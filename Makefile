@@ -1,0 +1,47 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+.PHONY: all build vet test race cover bench fuzz examples experiments artifacts
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+cover:
+	go test -cover ./...
+
+bench:
+	go test -run XXX -bench . -benchmem .
+
+# Seed-corpus fuzzing already runs under `make test`; this target fuzzes
+# each parser for 30s.
+fuzz:
+	go test -fuzz FuzzParse -fuzztime 30s ./internal/ocl/
+	go test -fuzz FuzzEval -fuzztime 30s ./internal/ocl/
+	go test -fuzz FuzzParseRule -fuzztime 30s ./internal/rbac/
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/cinder-volumes
+	go run ./examples/mutation-testing
+	go run ./examples/codegen
+	go run ./examples/multiservice
+	go run ./examples/slicing
+
+# Regenerate every paper artifact (EXPERIMENTS.md index).
+experiments:
+	go test -v -run TestExperiment .
+
+artifacts:
+	go run ./cmd/mutantlab -table1
+	go run ./cmd/mutantlab -listing1
+	go run ./cmd/mutantlab -paper

@@ -1,0 +1,423 @@
+// Benchmark harness for the paper's experiments (see EXPERIMENTS.md):
+//
+//	E5 BenchmarkMonitorOverhead    proxy cost vs direct cloud access
+//	E6 BenchmarkContractGeneration model-size sweep
+//	E7 BenchmarkOCLEval            formula-size sweep (+ parse)
+//	E8 BenchmarkCodegen            resources-count sweep
+//
+// plus supporting micro-benchmarks for the substrate (policy checks,
+// XMI round-trips, router dispatch).
+package cloudmon_test
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cloudmon/internal/codegen"
+	"cloudmon/internal/contract"
+	"cloudmon/internal/core"
+	"cloudmon/internal/httpkit"
+	"cloudmon/internal/monitor"
+	"cloudmon/internal/ocl"
+	"cloudmon/internal/openstack"
+	"cloudmon/internal/openstack/cinder"
+	"cloudmon/internal/osbinding"
+	"cloudmon/internal/osclient"
+	"cloudmon/internal/paper"
+	"cloudmon/internal/rbac"
+	"cloudmon/internal/uml"
+	"cloudmon/internal/xmi"
+)
+
+// benchDeployment wires cloud + monitor in process for the overhead bench.
+type benchDeployment struct {
+	cloud     *openstack.Cloud
+	sys       *core.System
+	projectID string
+	volumeID  string
+	direct    *osclient.Client // straight to the cloud
+	monitored *osclient.Client // through the monitor
+}
+
+func newBenchDeployment(b *testing.B, mode monitor.Mode) *benchDeployment {
+	b.Helper()
+	cloud := openstack.New(openstack.Config{})
+	seed := cloud.ApplySeed(openstack.Seed{
+		ProjectName: "bench",
+		Quota:       cinder.QuotaSet{Volumes: 1000000, Gigabytes: 1 << 30},
+		GroupRoles:  paper.GroupRole(),
+		Users: []openstack.SeedUser{
+			{Name: "alice", Password: "pw", Group: paper.GroupProjAdministrator},
+			{Name: "cm-svc", Password: "pw", Group: paper.GroupProjAdministrator},
+		},
+	})
+	cloudHTTP := httpkit.HandlerClient(cloud)
+	sys, err := core.Build(core.Options{
+		Model:    paper.CinderModel(),
+		CloudURL: "http://cloud.internal",
+		ServiceAccount: osbinding.ServiceAccount{
+			User: "cm-svc", Password: "pw", ProjectID: seed.ProjectID,
+		},
+		Mode:       mode,
+		HTTPClient: cloudHTTP,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	auth := osclient.Client{BaseURL: "http://cloud.internal", HTTPClient: cloudHTTP}
+	tok, err := auth.Authenticate("alice", "pw", seed.ProjectID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	direct := osclient.New("http://cloud.internal")
+	direct.HTTPClient = cloudHTTP
+	monitored := osclient.New("http://monitor.internal")
+	monitored.HTTPClient = httpkit.HandlerClient(sys.Monitor)
+
+	d := &benchDeployment{
+		cloud:     cloud,
+		sys:       sys,
+		projectID: seed.ProjectID,
+		direct:    direct.WithToken(tok),
+		monitored: monitored.WithToken(tok),
+	}
+	v, _, err := d.direct.CreateVolume(d.projectID, "bench", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.volumeID = v.ID
+	return d
+}
+
+// BenchmarkMonitorOverhead (E5) compares a GET on the volume resource
+// issued directly against the cloud with the same GET through the cloud
+// monitor (pre-snapshot + pre-check + forward + post-snapshot +
+// post-check), plus the write path (POST+DELETE pairs).
+func BenchmarkMonitorOverhead(b *testing.B) {
+	b.Run("GET/direct", func(b *testing.B) {
+		d := newBenchDeployment(b, monitor.Enforce)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := d.direct.GetVolume(d.projectID, d.volumeID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("GET/monitored", func(b *testing.B) {
+		d := newBenchDeployment(b, monitor.Enforce)
+		path := "/projects/" + d.projectID + "/volumes/" + d.volumeID
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.monitored.Do(http.MethodGet, path, nil, nil, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("CreateDelete/direct", func(b *testing.B) {
+		d := newBenchDeployment(b, monitor.Enforce)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v, _, err := d.direct.CreateVolume(d.projectID, "x", 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.direct.DeleteVolume(d.projectID, v.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("CreateDelete/monitored", func(b *testing.B) {
+		d := newBenchDeployment(b, monitor.Enforce)
+		collection := "/projects/" + d.projectID + "/volumes"
+		in := map[string]map[string]any{"volume": {"name": "x", "size": 1}}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var out struct {
+				Volume cinder.Volume `json:"volume"`
+			}
+			if _, err := d.monitored.Do(http.MethodPost, collection, in, &out, nil); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.monitored.Do(http.MethodDelete, collection+"/"+out.Volume.ID, nil, nil, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMonitorAblation compares the full workflow against the
+// pre-only ablation (no post-state snapshot, no effect check) on the write
+// path — the cost the post-condition verification adds, to be read against
+// the mutants only it can kill (see TestAblationPreOnlyMissesLostEffects).
+func BenchmarkMonitorAblation(b *testing.B) {
+	run := func(b *testing.B, level monitor.CheckLevel) {
+		cloud := openstack.New(openstack.Config{})
+		seed := cloud.ApplySeed(openstack.Seed{
+			ProjectName: "bench",
+			Quota:       cinder.QuotaSet{Volumes: 1000000, Gigabytes: 1 << 30},
+			GroupRoles:  paper.GroupRole(),
+			Users: []openstack.SeedUser{
+				{Name: "alice", Password: "pw", Group: paper.GroupProjAdministrator},
+				{Name: "cm-svc", Password: "pw", Group: paper.GroupProjAdministrator},
+			},
+		})
+		cloudHTTP := httpkit.HandlerClient(cloud)
+		sys, err := core.Build(core.Options{
+			Model:    paper.CinderModel(),
+			CloudURL: "http://cloud.internal",
+			ServiceAccount: osbinding.ServiceAccount{
+				User: "cm-svc", Password: "pw", ProjectID: seed.ProjectID,
+			},
+			Level:      level,
+			HTTPClient: cloudHTTP,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		auth := osclient.Client{BaseURL: "http://cloud.internal", HTTPClient: cloudHTTP}
+		tok, err := auth.Authenticate("alice", "pw", seed.ProjectID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		client := osclient.New("http://monitor.internal").WithToken(tok)
+		client.HTTPClient = httpkit.HandlerClient(sys.Monitor)
+		collection := "/projects/" + seed.ProjectID + "/volumes"
+		in := map[string]map[string]any{"volume": {"name": "x", "size": 1}}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var out struct {
+				Volume cinder.Volume `json:"volume"`
+			}
+			if _, err := client.Do(http.MethodPost, collection, in, &out, nil); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := client.Do(http.MethodDelete, collection+"/"+out.Volume.ID, nil, nil, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("full", func(b *testing.B) { run(b, monitor.CheckFull) })
+	b.Run("pre-only", func(b *testing.B) { run(b, monitor.CheckPreOnly) })
+}
+
+// syntheticModel builds a chain state machine with the given number of
+// states (and one POST transition between consecutive states) over a
+// two-resource model — the workload for the generation sweeps.
+func syntheticModel(states int) *uml.Model {
+	rm := &uml.ResourceModel{
+		Name: "synthetic",
+		Resources: []*uml.ResourceDef{
+			{Name: "things", Kind: uml.KindCollection},
+			{Name: "thing", Kind: uml.KindNormal, Attributes: []uml.Attribute{
+				{Name: "id", Type: uml.TypeString},
+				{Name: "count", Type: uml.TypeInteger},
+			}},
+		},
+		Associations: []uml.Association{
+			{From: "things", To: "thing", Role: "thing", Mult: uml.Multiplicity{Min: 0, Max: uml.Many}},
+		},
+	}
+	bm := &uml.BehavioralModel{Name: "synthetic_sm"}
+	for i := 0; i < states; i++ {
+		bm.States = append(bm.States, &uml.State{
+			Name:      "s" + strconv.Itoa(i),
+			Initial:   i == 0,
+			Invariant: "thing.count = " + strconv.Itoa(i),
+		})
+	}
+	for i := 0; i+1 < states; i++ {
+		bm.Transitions = append(bm.Transitions, &uml.Transition{
+			From: "s" + strconv.Itoa(i), To: "s" + strconv.Itoa(i+1),
+			Trigger: uml.Trigger{Method: uml.POST, Resource: "thing"},
+			Guard:   "user.id.groups='admin' and thing.count >= " + strconv.Itoa(i),
+			Effect:  "thing.count = pre(thing.count) + 1",
+			SecReqs: []string{"1." + strconv.Itoa(i%4)},
+		})
+	}
+	return &uml.Model{Resource: rm, Behavioral: bm}
+}
+
+// BenchmarkContractGeneration (E6) sweeps the behavioral-model size.
+func BenchmarkContractGeneration(b *testing.B) {
+	for _, states := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("states=%d", states), func(b *testing.B) {
+			m := syntheticModel(states)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := contract.Generate(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// conjFormula builds a conjunction of n comparison clauses.
+func conjFormula(n int) string {
+	clauses := make([]string, n)
+	for i := range clauses {
+		clauses[i] = fmt.Sprintf("project.volumes->size() >= %d", i%3)
+	}
+	return strings.Join(clauses, " and ")
+}
+
+// BenchmarkOCLEval (E7) sweeps the formula size for evaluation cost.
+func BenchmarkOCLEval(b *testing.B) {
+	env := ocl.MapEnv{
+		"project.volumes": ocl.CollectionVal(ocl.StringVal("a"), ocl.StringVal("b"), ocl.StringVal("c")),
+	}
+	ctx := ocl.Context{Cur: env}
+	for _, n := range []int{1, 4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("clauses=%d", n), func(b *testing.B) {
+			e := ocl.MustParse(conjFormula(n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ocl.EvalBool(e, ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOCLParse measures parsing cost over the same sweep.
+func BenchmarkOCLParse(b *testing.B) {
+	for _, n := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("clauses=%d", n), func(b *testing.B) {
+			src := conjFormula(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ocl.Parse(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOCLEvalPaperDelete evaluates the real DELETE(volume) pre- and
+// post-condition the monitor runs per request.
+func BenchmarkOCLEvalPaperDelete(b *testing.B) {
+	set, err := contract.Generate(paper.CinderModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, _ := set.For(uml.Trigger{Method: uml.DELETE, Resource: "volume"})
+	pre := ocl.MapEnv{
+		"project.id":        ocl.StringVal("p"),
+		"project.volumes":   ocl.CollectionVal(ocl.StringVal("a"), ocl.StringVal("b")),
+		"quota_sets.volume": ocl.IntVal(10),
+		"volume.status":     ocl.StringVal("available"),
+		"user.id.groups":    ocl.StringsVal("admin"),
+	}
+	post := ocl.MapEnv{
+		"project.id":        ocl.StringVal("p"),
+		"project.volumes":   ocl.CollectionVal(ocl.StringVal("a")),
+		"quota_sets.volume": ocl.IntVal(10),
+		"volume.status":     ocl.StringVal("available"),
+		"user.id.groups":    ocl.StringsVal("admin"),
+	}
+	b.Run("pre", func(b *testing.B) {
+		ctx := ocl.Context{Cur: pre}
+		for i := 0; i < b.N; i++ {
+			if _, err := ocl.EvalBool(c.Pre, ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("post", func(b *testing.B) {
+		ctx := ocl.Context{Cur: post, Pre: pre}
+		for i := 0; i < b.N; i++ {
+			if _, err := ocl.EvalBool(c.Post, ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// syntheticResourceModel builds a resource model with n normal resources
+// hanging off one collection.
+func syntheticResourceModel(n int) *uml.Model {
+	rm := &uml.ResourceModel{
+		Name:      "wide",
+		Resources: []*uml.ResourceDef{{Name: "roots", Kind: uml.KindCollection}},
+	}
+	bm := &uml.BehavioralModel{Name: "wide_sm"}
+	bm.States = append(bm.States,
+		&uml.State{Name: "empty", Initial: true},
+		&uml.State{Name: "busy"})
+	for i := 0; i < n; i++ {
+		name := "res" + strconv.Itoa(i)
+		rm.Resources = append(rm.Resources, &uml.ResourceDef{
+			Name: name, Kind: uml.KindNormal,
+			Attributes: []uml.Attribute{
+				{Name: "id", Type: uml.TypeString},
+				{Name: "size", Type: uml.TypeInteger},
+			},
+		})
+		rm.Associations = append(rm.Associations, uml.Association{
+			From: "roots", To: name, Role: name, Mult: uml.Multiplicity{Min: 0, Max: uml.Many},
+		})
+		bm.Transitions = append(bm.Transitions, &uml.Transition{
+			From: "empty", To: "busy",
+			Trigger: uml.Trigger{Method: uml.POST, Resource: name},
+			Guard:   "user.id.groups='admin'",
+			SecReqs: []string{"1.1"},
+		})
+	}
+	return &uml.Model{Resource: rm, Behavioral: bm}
+}
+
+// BenchmarkCodegen (E8) sweeps the resource count for skeleton generation.
+func BenchmarkCodegen(b *testing.B) {
+	for _, n := range []int{2, 8, 32, 128} {
+		b.Run(fmt.Sprintf("resources=%d", n), func(b *testing.B) {
+			m := syntheticResourceModel(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := codegen.Generate(m, codegen.Options{Project: "bench"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPolicyCheck measures a policy.json rule evaluation, the cost
+// the simulated cloud pays per request.
+func BenchmarkPolicyCheck(b *testing.B) {
+	p := cinder.DefaultPolicy()
+	creds := rbac.Credentials{UserID: "u", ProjectID: "p", Roles: []string{"member"}}
+	target := rbac.Target{"project_id": "p"}
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Check(cinder.ActionCreate, creds, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkXMIRoundTrip measures model import/export.
+func BenchmarkXMIRoundTrip(b *testing.B) {
+	m := paper.CinderModel()
+	data, err := xmi.Encode(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := xmi.Encode(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := xmi.Decode(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

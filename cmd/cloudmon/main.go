@@ -1,0 +1,174 @@
+// Command cloudmon runs the cloud monitor proxy against a private cloud,
+// generating contracts from an XMI model file (or the bundled Cinder
+// example when -xmi is omitted):
+//
+//	cloudmon -cloud http://127.0.0.1:8776 -project <id> -addr :8000 \
+//	         -xmi diagrams.xmi -mode enforce
+//
+// The monitor authenticates to the cloud with a service account
+// (-svc-user/-svc-pass) and exposes the model's URI space, e.g.
+// /projects/{project_id}/volumes/{volume_id}.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"cloudmon/internal/contract"
+	"cloudmon/internal/core"
+	"cloudmon/internal/monitor"
+	"cloudmon/internal/osbinding"
+	"cloudmon/internal/paper"
+	"cloudmon/internal/slice"
+	"cloudmon/internal/uml"
+	"cloudmon/internal/xmi"
+)
+
+// splitCSV splits a comma-separated flag value into trimmed parts.
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudmon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cloudmon", flag.ContinueOnError)
+	addr := fs.String("addr", ":8000", "listen address")
+	cloudURL := fs.String("cloud", "http://127.0.0.1:8776", "private cloud base URL")
+	xmiPath := fs.String("xmi", "", "XMI model file (default: bundled Cinder example)")
+	modeName := fs.String("mode", "enforce", "monitor mode: enforce | observe")
+	inspectAddr := fs.String("inspect-addr", "", "optional listen address for the verdict/coverage API (e.g. 127.0.0.1:8001)")
+	levelName := fs.String("level", "full", "contract check level: full | pre-only")
+	logFile := fs.String("log-file", "", "append verdicts as NDJSON to this file")
+	parallelSnapshots := fs.Bool("parallel-snapshots", false,
+		"resolve state snapshots concurrently (recommended when the cloud is across a network)")
+	secReqs := fs.String("secreqs", "", "comma-separated SecReq tags to slice the model to (e.g. 1.3,1.4)")
+	methods := fs.String("methods", "", "comma-separated HTTP methods to slice the model to (e.g. DELETE,PUT)")
+	svcUser := fs.String("svc-user", "cm-svc", "monitor service-account user")
+	svcPass := fs.String("svc-pass", "pw-svc", "monitor service-account password")
+	project := fs.String("project", "", "project the service account is scoped to (required)")
+	printContracts := fs.Bool("contracts", false, "print generated contracts at startup")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *project == "" {
+		return fmt.Errorf("-project is required (the seeded project id; cloudsim prints it)")
+	}
+
+	var (
+		model *uml.Model
+		err   error
+	)
+	if *xmiPath != "" {
+		model, err = xmi.ReadFile(*xmiPath)
+		if err != nil {
+			return err
+		}
+	} else {
+		model = paper.CinderModel()
+	}
+
+	var mode monitor.Mode
+	switch *modeName {
+	case "enforce":
+		mode = monitor.Enforce
+	case "observe":
+		mode = monitor.Observe
+	default:
+		return fmt.Errorf("unknown mode %q (want enforce or observe)", *modeName)
+	}
+	var level monitor.CheckLevel
+	switch *levelName {
+	case "full":
+		level = monitor.CheckFull
+	case "pre-only":
+		level = monitor.CheckPreOnly
+	default:
+		return fmt.Errorf("unknown level %q (want full or pre-only)", *levelName)
+	}
+
+	// Optional model slicing (paper §VI.B future work): monitor only the
+	// selected scenarios.
+	var preds []slice.Predicate
+	if *secReqs != "" {
+		preds = append(preds, slice.BySecReqs(splitCSV(*secReqs)...))
+	}
+	if *methods != "" {
+		var ms []uml.HTTPMethod
+		for _, m := range splitCSV(*methods) {
+			ms = append(ms, uml.HTTPMethod(strings.ToUpper(m)))
+		}
+		preds = append(preds, slice.ByMethods(ms...))
+	}
+	if len(preds) > 0 {
+		model, err = slice.Model(model, slice.Any(preds...))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("sliced model: %d transitions remain\n", len(model.Behavioral.Transitions))
+	}
+
+	var onVerdict func(monitor.Verdict)
+	if *logFile != "" {
+		f, err := os.OpenFile(*logFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open log file: %w", err)
+		}
+		defer f.Close()
+		aw := monitor.NewAuditWriter(f)
+		onVerdict = aw.Record
+	}
+
+	sys, err := core.Build(core.Options{
+		Model:    model,
+		CloudURL: *cloudURL,
+		ServiceAccount: osbinding.ServiceAccount{
+			User: *svcUser, Password: *svcPass, ProjectID: *project,
+		},
+		Mode:              mode,
+		Level:             level,
+		OnVerdict:         onVerdict,
+		ParallelSnapshots: *parallelSnapshots,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("cloud monitor (%s mode) on %s, proxying %s\n", mode, *addr, *cloudURL)
+	fmt.Printf("  %d contracts over model %q; security requirements %v\n",
+		len(sys.Contracts.Contracts), model.Resource.Name, sys.Contracts.SecReqs())
+	for _, r := range sys.Routes {
+		fmt.Printf("  %-6s %-45s -> %s\n", r.Trigger.Method, r.Pattern, r.Backend)
+	}
+	if *printContracts {
+		fmt.Println()
+		fmt.Print(contract.RenderSet(sys.Contracts, contract.StyleConjunction))
+	}
+	if *inspectAddr != "" {
+		fmt.Printf("  inspect API on %s (/log /violations /coverage /outcomes /contracts)\n", *inspectAddr)
+		errCh := make(chan error, 1)
+		go func() {
+			errCh <- http.ListenAndServe(*inspectAddr, sys.Monitor.InspectHandler())
+		}()
+		go func() {
+			errCh <- http.ListenAndServe(*addr, sys.Monitor)
+		}()
+		// Either listener failing brings the process down.
+		return <-errCh
+	}
+	return http.ListenAndServe(*addr, sys.Monitor)
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestFlagValidation(t *testing.T) {
+	// -project is mandatory.
+	if err := run([]string{}); err == nil {
+		t.Error("missing -project accepted")
+	}
+	// Unknown mode is rejected before any network activity.
+	if err := run([]string{"-project", "p1", "-mode", "bogus"}); err == nil {
+		t.Error("bogus mode accepted")
+	}
+	// Missing XMI file is rejected.
+	if err := run([]string{"-project", "p1", "-xmi", "no-such-file.xmi"}); err == nil {
+		t.Error("missing XMI accepted")
+	}
+	// Unknown flag is rejected.
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	// Unknown check level is rejected.
+	if err := run([]string{"-project", "p1", "-level", "bogus"}); err == nil {
+		t.Error("bogus level accepted")
+	}
+	// A slice matching nothing is rejected.
+	if err := run([]string{"-project", "p1", "-secreqs", "9.9"}); err == nil {
+		t.Error("empty slice accepted")
+	}
+}
+
+func TestSplitCSV(t *testing.T) {
+	got := splitCSV(" a, b ,,c ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("splitCSV = %v", got)
+	}
+	if splitCSV("") != nil {
+		t.Error("empty input should yield nil")
+	}
+}

@@ -1,0 +1,71 @@
+// Command cloudsim runs the simulated OpenStack private cloud (keystone +
+// cinder + nova) and seeds it with the paper's example deployment: project
+// myProject, three user groups holding the Table-I roles, and a volume
+// quota.
+//
+//	cloudsim -addr :8776 -quota 10
+//
+// Credentials printed at startup can be used with cURL exactly as in the
+// paper's workflow, e.g.:
+//
+//	curl -X DELETE -H "X-Auth-Token: $TOK" \
+//	    http://127.0.0.1:8776/volume/v3/$PROJECT/volumes/$VOL
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"cloudmon/internal/openstack"
+	"cloudmon/internal/openstack/cinder"
+	"cloudmon/internal/paper"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudsim:", err)
+		os.Exit(1)
+	}
+}
+
+// buildCloud provisions the example deployment with the given volume
+// quota and returns the cloud plus the seeded identifiers.
+func buildCloud(quota int) (*openstack.Cloud, openstack.SeedResult) {
+	cloud := openstack.New(openstack.Config{})
+	res := cloud.ApplySeed(openstack.Seed{
+		ProjectName: "myProject",
+		Quota:       cinder.QuotaSet{Volumes: quota, Gigabytes: 100 * quota},
+		GroupRoles:  paper.GroupRole(),
+		Users: []openstack.SeedUser{
+			{Name: "alice", Password: "pw-alice", Group: paper.GroupProjAdministrator},
+			{Name: "bob", Password: "pw-bob", Group: paper.GroupServiceArchitect},
+			{Name: "carol", Password: "pw-carol", Group: paper.GroupBusinessAnalyst},
+			{Name: "cm-svc", Password: "pw-svc", Group: paper.GroupProjAdministrator},
+		},
+	})
+	return cloud, res
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cloudsim", flag.ContinueOnError)
+	addr := fs.String("addr", ":8776", "listen address")
+	quota := fs.Int("quota", 10, "volume quota for the seeded project")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cloud, res := buildCloud(*quota)
+
+	fmt.Printf("simulated OpenStack cloud on %s\n", *addr)
+	fmt.Printf("  project myProject: %s (volume quota %d)\n", res.ProjectID, *quota)
+	fmt.Println("  users (password = pw-<name>):")
+	fmt.Println("    alice  proj_administrator -> role admin")
+	fmt.Println("    bob    service_architect  -> role member")
+	fmt.Println("    carol  business_analyst   -> role user")
+	fmt.Println("    cm-svc proj_administrator -> monitor service account")
+	fmt.Println("  services: /identity/v3, /volume/v3, /compute/v2.1")
+
+	return http.ListenAndServe(*addr, cloud)
+}

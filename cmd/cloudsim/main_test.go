@@ -1,0 +1,52 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"cloudmon/internal/osclient"
+)
+
+func TestBuildCloudSeedsExampleDeployment(t *testing.T) {
+	cloud, res := buildCloud(7)
+	if res.ProjectID == "" {
+		t.Fatal("no project seeded")
+	}
+	if len(res.UserIDs) != 4 {
+		t.Errorf("users = %v", res.UserIDs)
+	}
+	srv := httptest.NewServer(cloud)
+	defer srv.Close()
+
+	// Each seeded user can authenticate and holds the expected role.
+	for user, role := range map[string]string{
+		"alice": "admin", "bob": "member", "carol": "user",
+	} {
+		c := osclient.New(srv.URL)
+		if _, err := c.Authenticate(user, "pw-"+user, res.ProjectID); err != nil {
+			t.Fatalf("authenticate %s: %v", user, err)
+		}
+		tok, err := c.ValidateToken(c.Token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tok.Roles) != 1 || tok.Roles[0] != role {
+			t.Errorf("%s roles = %v, want [%s]", user, tok.Roles, role)
+		}
+	}
+	// The quota flag is applied.
+	admin := osclient.New(srv.URL)
+	if _, err := admin.Authenticate("alice", "pw-alice", res.ProjectID); err != nil {
+		t.Fatal(err)
+	}
+	q, _, err := admin.GetQuota(res.ProjectID)
+	if err != nil || q.Volumes != 7 {
+		t.Errorf("quota = %+v, %v", q, err)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,59 @@
+// Command contractdiff compares the contracts generated from two model
+// versions — the release-to-release requirement check the paper's
+// conclusion motivates ("check whether functional and security
+// requirements have been preserved in new releases"):
+//
+//	contractdiff old.xmi new.xmi
+//
+// Exit status: 0 when the contracts are unchanged, 1 when requirements
+// drifted, 2 on usage or model errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudmon/internal/contract"
+	"cloudmon/internal/xmi"
+)
+
+func main() {
+	changed, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "contractdiff:", err)
+		os.Exit(2)
+	}
+	if changed {
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) (changed bool, err error) {
+	fs := flag.NewFlagSet("contractdiff", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	if fs.NArg() != 2 {
+		return false, fmt.Errorf("usage: contractdiff old.xmi new.xmi")
+	}
+	oldModel, err := xmi.ReadFile(fs.Arg(0))
+	if err != nil {
+		return false, fmt.Errorf("old model: %w", err)
+	}
+	newModel, err := xmi.ReadFile(fs.Arg(1))
+	if err != nil {
+		return false, fmt.Errorf("new model: %w", err)
+	}
+	oldSet, err := contract.Generate(oldModel)
+	if err != nil {
+		return false, fmt.Errorf("old model: %w", err)
+	}
+	newSet, err := contract.Generate(newModel)
+	if err != nil {
+		return false, fmt.Errorf("new model: %w", err)
+	}
+	diff := contract.DiffSets(oldSet, newSet)
+	diff.Format(out)
+	return !diff.Empty(), nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cloudmon/internal/paper"
+	"cloudmon/internal/uml"
+	"cloudmon/internal/xmi"
+)
+
+func writeModel(t *testing.T, path string, m *uml.Model) {
+	t.Helper()
+	if err := xmi.WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdenticalModelsExitClean(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.xmi")
+	b := filepath.Join(dir, "b.xmi")
+	writeModel(t, a, paper.CinderModel())
+	writeModel(t, b, paper.CinderModel())
+	changed, err := run([]string{a, b}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Error("identical models reported as changed")
+	}
+}
+
+func TestDriftedModelReported(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.xmi")
+	b := filepath.Join(dir, "b.xmi")
+	writeModel(t, a, paper.CinderModel())
+	m := paper.CinderModel()
+	for _, tr := range m.Behavioral.Transitions {
+		if tr.Trigger.Method == uml.DELETE {
+			tr.Guard = strings.ReplaceAll(tr.Guard,
+				"user.id.groups='admin'", "user.id.groups='member'")
+		}
+	}
+	writeModel(t, b, m)
+	changed, err := run([]string{a, b}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Error("guard drift not reported")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if _, err := run([]string{}, os.Stdout); err == nil {
+		t.Error("no args accepted")
+	}
+	if _, err := run([]string{"only-one.xmi"}, os.Stdout); err == nil {
+		t.Error("single arg accepted")
+	}
+	if _, err := run([]string{"missing-a.xmi", "missing-b.xmi"}, os.Stdout); err == nil {
+		t.Error("missing files accepted")
+	}
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.xmi")
+	writeModel(t, a, paper.CinderModel())
+	if _, err := run([]string{a, "missing-b.xmi"}, os.Stdout); err == nil {
+		t.Error("missing new model accepted")
+	}
+}

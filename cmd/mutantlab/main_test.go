@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestArtifactModes(t *testing.T) {
+	for _, flag := range []string{"-table1", "-listing1", "-coverage"} {
+		if err := run([]string{flag}); err != nil {
+			t.Errorf("run(%s): %v", flag, err)
+		}
+	}
+}
+
+func TestPaperCampaign(t *testing.T) {
+	if err := run([]string{"-paper"}); err != nil {
+		t.Fatalf("run(-paper): %v", err)
+	}
+}
+
+func TestPaperCampaignWithAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	if err := run([]string{"-paper", "-ablation"}); err != nil {
+		t.Fatalf("run(-paper -ablation): %v", err)
+	}
+}
+
+func TestNovaCampaignFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign in -short mode")
+	}
+	if err := run([]string{"-nova"}); err != nil {
+		t.Fatalf("run(-nova): %v", err)
+	}
+}
+
+func TestMBTFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite in -short mode")
+	}
+	if err := run([]string{"-mbt"}); err != nil {
+		t.Fatalf("run(-mbt): %v", err)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,16 @@
+// Package cloudmon is a model-driven cloud-monitor generator, a complete
+// reproduction of "Generating Cloud Monitors from Models to Secure Clouds"
+// (DSN 2018).
+//
+// Design models — a UML resource model and a protocol state machine with
+// OCL invariants, guards and effects — are turned into Design-by-Contract
+// method contracts; the contracts drive an HTTP proxy (the cloud monitor)
+// that verifies every request against the specified functional and
+// security requirements of a private cloud.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); cmd/ holds the CLIs (uml2go, cloudsim, cloudmon, mutantlab)
+// and examples/ the runnable scenarios. The benchmark and experiment
+// harness in this root package regenerates every measurable artifact of
+// the paper (EXPERIMENTS.md records paper-vs-measured).
+package cloudmon

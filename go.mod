@@ -1,0 +1,3 @@
+module cloudmon
+
+go 1.22

@@ -1,0 +1,254 @@
+// Package codegen implements uml2go, the paper's uml2django analogue
+// (Section VI): from the design models it generates the file structure of a
+// runnable cloud-monitor skeleton. The Django trio maps onto Go files:
+//
+//	models.py -> resources.go   local mirror structs of the resources
+//	urls.py   -> routes.go      the URI table derived from the class diagram
+//	views.py  -> handlers.go    per-method handlers embedding the generated
+//	                            pre-/post-conditions, the authorization
+//	                            guards, and the SecReq traceability
+//	                            variables, with TODO gaps for the
+//	                            developer's own code
+//
+// plus contracts.go (the Listing-1 contracts as constants), main.go and
+// go.mod, so the output is a self-contained module that compiles with the
+// standard library alone.
+package codegen
+
+import (
+	"bytes"
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"unicode"
+
+	"cloudmon/internal/contract"
+	"cloudmon/internal/uml"
+)
+
+// Options configures generation.
+type Options struct {
+	// Project is the generated module and package name (the ProjectName
+	// argument of `uml2go ProjectName diagrams.xmi`).
+	Project string
+	// CloudURL is the default backend the generated monitor proxies to.
+	CloudURL string
+}
+
+// Result is the generated file set, keyed by file name.
+type Result struct {
+	Files map[string][]byte
+	// Contracts is the generated contract set the files embed.
+	Contracts *contract.Set
+}
+
+// Generate produces the skeleton from a validated model.
+func Generate(m *uml.Model, opts Options) (*Result, error) {
+	if opts.Project == "" {
+		return nil, fmt.Errorf("codegen: missing project name")
+	}
+	if !validIdent(opts.Project) {
+		return nil, fmt.Errorf("codegen: project name %q is not a valid Go identifier", opts.Project)
+	}
+	set, err := contract.Generate(m)
+	if err != nil {
+		return nil, fmt.Errorf("codegen: %w", err)
+	}
+	cloudURL := opts.CloudURL
+	if cloudURL == "" {
+		cloudURL = "http://127.0.0.1:8776"
+	}
+	data := buildTemplateData(m, set, opts.Project, cloudURL)
+
+	files := make(map[string][]byte, 6)
+	for name, tmpl := range templates {
+		var buf bytes.Buffer
+		if err := tmpl.Execute(&buf, data); err != nil {
+			return nil, fmt.Errorf("codegen: render %s: %w", name, err)
+		}
+		out := buf.Bytes()
+		if strings.HasSuffix(name, ".go") {
+			formatted, err := format.Source(out)
+			if err != nil {
+				return nil, fmt.Errorf("codegen: format %s: %w (source:\n%s)", name, err, out)
+			}
+			out = formatted
+		}
+		files[name] = out
+	}
+	return &Result{Files: files, Contracts: set}, nil
+}
+
+// WriteFiles writes the generated files into dir, creating it if needed.
+func WriteFiles(dir string, files map[string][]byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("codegen: %w", err)
+	}
+	for name, data := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			return fmt.Errorf("codegen: write %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// templateData is the input to all file templates.
+type templateData struct {
+	Project   string
+	CloudURL  string
+	ModelName string
+	Resources []resourceData
+	Routes    []routeData
+	Handlers  []handlerData
+	SecReqs   []string
+}
+
+type resourceData struct {
+	GoName string
+	Name   string
+	Kind   string
+	Fields []fieldData
+}
+
+type fieldData struct {
+	GoName string
+	Name   string
+	GoType string
+}
+
+type handlerData struct {
+	FuncName   string
+	Method     string
+	Resource   string
+	Pattern    string
+	Backend    string
+	PreConst   string
+	PostConst  string
+	Pre        string
+	Post       string
+	StatePaths []string
+	SecReqs    []string
+	Guards     []string
+}
+
+type routeData struct {
+	Method   string
+	Pattern  string
+	FuncName string
+}
+
+func buildTemplateData(m *uml.Model, set *contract.Set, project, cloudURL string) templateData {
+	data := templateData{
+		Project:   project,
+		CloudURL:  cloudURL,
+		ModelName: m.Resource.Name,
+		SecReqs:   set.SecReqs(),
+	}
+	for _, r := range m.Resource.Resources {
+		rd := resourceData{
+			GoName: exportName(r.Name),
+			Name:   r.Name,
+			Kind:   r.Kind.String(),
+		}
+		for _, a := range r.Attributes {
+			rd.Fields = append(rd.Fields, fieldData{
+				GoName: exportName(a.Name),
+				Name:   a.Name,
+				GoType: goType(a.Type),
+			})
+		}
+		data.Resources = append(data.Resources, rd)
+	}
+	for _, c := range set.Contracts {
+		pattern := c.URI
+		if c.Trigger.Method == uml.POST {
+			if idx := strings.LastIndex(pattern, "/"); idx > 0 {
+				pattern = pattern[:idx]
+			}
+		}
+		fn := "handle" + exportName(strings.ToLower(string(c.Trigger.Method))) + exportName(c.Trigger.Resource)
+		var guards []string
+		for _, cs := range c.Cases {
+			guards = append(guards, cs.Transition.Guard)
+		}
+		hd := handlerData{
+			FuncName:   fn,
+			Method:     string(c.Trigger.Method),
+			Resource:   c.Trigger.Resource,
+			Pattern:    pattern,
+			Backend:    backendTemplate(pattern),
+			PreConst:   "pre" + exportName(strings.ToLower(string(c.Trigger.Method))) + exportName(c.Trigger.Resource),
+			PostConst:  "post" + exportName(strings.ToLower(string(c.Trigger.Method))) + exportName(c.Trigger.Resource),
+			Pre:        c.Pre.String(),
+			Post:       c.Post.String(),
+			StatePaths: c.StatePaths(),
+			SecReqs:    c.SecReqs,
+		}
+		hd.Guards = guards
+		data.Handlers = append(data.Handlers, hd)
+		data.Routes = append(data.Routes, routeData{
+			Method:   string(c.Trigger.Method),
+			Pattern:  pattern,
+			FuncName: fn,
+		})
+	}
+	sort.Slice(data.Routes, func(i, j int) bool {
+		if data.Routes[i].Pattern != data.Routes[j].Pattern {
+			return data.Routes[i].Pattern < data.Routes[j].Pattern
+		}
+		return data.Routes[i].Method < data.Routes[j].Method
+	})
+	return data
+}
+
+// backendTemplate maps the model URI to the OpenStack cinder URI, matching
+// the deployment the paper monitors.
+func backendTemplate(pattern string) string {
+	const prefix = "/projects/"
+	if !strings.HasPrefix(pattern, prefix) {
+		return pattern
+	}
+	return "/volume/v3/" + pattern[len(prefix):]
+}
+
+// exportName converts snake_case to an exported Go identifier.
+func exportName(s string) string {
+	parts := strings.FieldsFunc(s, func(r rune) bool { return r == '_' || r == '-' })
+	var sb strings.Builder
+	for _, p := range parts {
+		runes := []rune(p)
+		runes[0] = unicode.ToUpper(runes[0])
+		sb.WriteString(string(runes))
+	}
+	return sb.String()
+}
+
+// validIdent reports whether s can serve as a Go identifier/module name.
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if i == 0 && !unicode.IsLetter(r) && r != '_' {
+			return false
+		}
+		if i > 0 && !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+func goType(t uml.AttrType) string {
+	switch t {
+	case uml.TypeInteger:
+		return "int"
+	case uml.TypeBoolean:
+		return "bool"
+	default:
+		return "string"
+	}
+}

@@ -1,0 +1,178 @@
+package codegen
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cloudmon/internal/paper"
+)
+
+func generatePaper(t *testing.T) *Result {
+	t.Helper()
+	res, err := Generate(paper.CinderModel(), Options{
+		Project:  "cindermon",
+		CloudURL: "http://127.0.0.1:8776",
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return res
+}
+
+func TestGenerateProducesAllFiles(t *testing.T) {
+	res := generatePaper(t)
+	for _, name := range []string{"go.mod", "resources.go", "contracts.go", "routes.go", "handlers.go", "main.go"} {
+		if _, ok := res.Files[name]; !ok {
+			t.Errorf("missing generated file %s", name)
+		}
+	}
+}
+
+func TestGeneratedResourcesMirrorModel(t *testing.T) {
+	res := generatePaper(t)
+	src := string(res.Files["resources.go"])
+	for _, want := range []string{
+		"type Volume struct",
+		"type QuotaSets struct",
+		"type Projects struct",
+		"`json:\"status\"`",
+		"Volume int `json:\"volume\"`",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("resources.go missing %q", want)
+		}
+	}
+}
+
+func TestGeneratedContractsEmbedOCL(t *testing.T) {
+	res := generatePaper(t)
+	src := string(res.Files["contracts.go"])
+	for _, want := range []string{
+		"preDeleteVolume",
+		"postDeleteVolume",
+		"volume.status <> 'in-use'",
+		"user.id.groups = 'admin'",
+		"SecReq 1.4",
+		`"project.volumes"`,
+		`secReqs = []string{"1.1", "1.2", "1.3", "1.4"}`,
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("contracts.go missing %q", want)
+		}
+	}
+}
+
+func TestGeneratedRoutesUseModelURIs(t *testing.T) {
+	res := generatePaper(t)
+	src := string(res.Files["routes.go"])
+	for _, want := range []string{
+		`mux.HandleFunc("DELETE /projects/{project_id}/volumes/{volume_id}", handleDeleteVolume)`,
+		`mux.HandleFunc("POST /projects/{project_id}/volumes", handlePostVolume)`,
+		`mux.HandleFunc("GET /projects/{project_id}/volumes/{volume_id}", handleGetVolume)`,
+		`mux.HandleFunc("PUT /projects/{project_id}/volumes/{volume_id}", handlePutVolume)`,
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("routes.go missing %q", want)
+		}
+	}
+}
+
+func TestGeneratedHandlersHaveSkeletonMarkers(t *testing.T) {
+	res := generatePaper(t)
+	src := string(res.Files["handlers.go"])
+	for _, want := range []string{
+		"func handleDeleteVolume(w http.ResponseWriter, r *http.Request)",
+		"TODO: add the desired implementation",
+		"checkContract(preDeleteVolume, r)",
+		"checkContract(postDeleteVolume, r)",
+		"/volume/v3/{project_id}/volumes/{volume_id}",
+		"r.PathValue(name)",
+		`coveredSecReqs := []string{"1.4"}`,
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("handlers.go missing %q", want)
+		}
+	}
+}
+
+// TestGeneratedCodeCompiles writes the skeleton to disk and builds it with
+// the Go toolchain — the generated module must be self-contained.
+func TestGeneratedCodeCompiles(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	res := generatePaper(t)
+	dir := t.TempDir()
+	if err := WriteFiles(dir, res.Files); err != nil {
+		t.Fatalf("WriteFiles: %v", err)
+	}
+	cmd := exec.Command("go", "build", "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod", "GO111MODULE=on")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("generated code does not compile: %v\n%s", err, out)
+	}
+	if err := cmd.Err; err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "go.mod")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(paper.CinderModel(), Options{}); err == nil {
+		t.Error("missing project name accepted")
+	}
+	if _, err := Generate(paper.CinderModel(), Options{Project: "9bad"}); err == nil {
+		t.Error("invalid identifier accepted")
+	}
+	if _, err := Generate(paper.CinderModel(), Options{Project: "with space"}); err == nil {
+		t.Error("identifier with space accepted")
+	}
+	bad := paper.CinderModel()
+	bad.Behavioral.Transitions[0].Guard = "((("
+	if _, err := Generate(bad, Options{Project: "x"}); err == nil {
+		t.Error("malformed model accepted")
+	}
+}
+
+func TestDefaultCloudURL(t *testing.T) {
+	res, err := Generate(paper.CinderModel(), Options{Project: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(res.Files["handlers.go"]), "http://127.0.0.1:8776") {
+		t.Error("default cloud URL not applied")
+	}
+}
+
+func TestExportName(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"volume", "Volume"},
+		{"quota_sets", "QuotaSets"},
+		{"usergroup", "Usergroup"},
+		{"a_b_c", "ABC"},
+		{"with-dash", "WithDash"},
+	}
+	for _, tt := range tests {
+		if got := exportName(tt.in); got != tt.want {
+			t.Errorf("exportName(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestWriteFilesCreatesDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "out")
+	if err := WriteFiles(dir, map[string][]byte{"a.txt": []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "a.txt"))
+	if err != nil || string(data) != "hi" {
+		t.Errorf("read back = %q, %v", data, err)
+	}
+}

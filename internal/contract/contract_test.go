@@ -1,0 +1,332 @@
+package contract
+
+import (
+	"strings"
+	"testing"
+
+	"cloudmon/internal/ocl"
+	"cloudmon/internal/paper"
+	"cloudmon/internal/uml"
+)
+
+func generate(t *testing.T) *Set {
+	t.Helper()
+	set, err := Generate(paper.CinderModel())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return set
+}
+
+func TestGenerateProducesContractPerTrigger(t *testing.T) {
+	set := generate(t)
+	if len(set.Contracts) != 4 {
+		t.Fatalf("contracts = %d, want 4 (GET/PUT/POST/DELETE on volume)", len(set.Contracts))
+	}
+	for _, m := range []uml.HTTPMethod{uml.GET, uml.PUT, uml.POST, uml.DELETE} {
+		if _, ok := set.For(uml.Trigger{Method: m, Resource: "volume"}); !ok {
+			t.Errorf("no contract for %s(volume)", m)
+		}
+	}
+}
+
+func TestDeleteContractShape(t *testing.T) {
+	// Section V / Listing 1: DELETE(volume) combines three transitions.
+	set := generate(t)
+	c, ok := set.For(uml.Trigger{Method: uml.DELETE, Resource: "volume"})
+	if !ok {
+		t.Fatal("no DELETE contract")
+	}
+	if len(c.Cases) != 3 {
+		t.Fatalf("DELETE cases = %d, want 3", len(c.Cases))
+	}
+	// Pre is a 3-way disjunction.
+	pre, ok := c.Pre.(*ocl.Binary)
+	if !ok || pre.Op != ocl.OpOr {
+		t.Fatalf("Pre is not a disjunction: %s", c.Pre)
+	}
+	// Post is a conjunction of implications over pre-state antecedents.
+	if !ocl.UsesPre(c.Post) {
+		t.Error("Post must reference the pre-state")
+	}
+	if ocl.UsesPre(c.Pre) {
+		t.Error("Pre must not reference the pre-state")
+	}
+	if len(c.SecReqs) != 1 || c.SecReqs[0] != "1.4" {
+		t.Errorf("DELETE SecReqs = %v, want [1.4]", c.SecReqs)
+	}
+	if c.URI != "/projects/{project_id}/volumes/{volume_id}" {
+		t.Errorf("DELETE URI = %q", c.URI)
+	}
+}
+
+func TestDeletePreSemantics(t *testing.T) {
+	set := generate(t)
+	c, _ := set.For(uml.Trigger{Method: uml.DELETE, Resource: "volume"})
+
+	mkEnv := func(vols, quota int, status string, roles ...string) ocl.MapEnv {
+		elems := make([]ocl.Value, vols)
+		for i := range elems {
+			elems[i] = ocl.StringVal("v")
+		}
+		return ocl.MapEnv{
+			"project.id":        ocl.StringVal("p1"),
+			"project.volumes":   ocl.CollectionVal(elems...),
+			"quota_sets.volume": ocl.IntVal(quota),
+			"volume.status":     ocl.StringVal(status),
+			"user.id.groups":    ocl.StringsVal(roles...),
+		}
+	}
+	tests := []struct {
+		name string
+		env  ocl.MapEnv
+		want bool
+	}{
+		{"admin deletes available volume", mkEnv(1, 10, "available", "admin"), true},
+		{"admin deletes from full quota", mkEnv(3, 3, "available", "admin"), true},
+		{"member cannot delete", mkEnv(1, 10, "available", "member"), false},
+		{"user cannot delete", mkEnv(1, 10, "available", "user"), false},
+		{"in-use volume cannot be deleted", mkEnv(1, 10, "in-use", "admin"), false},
+		{"no volume to delete", mkEnv(0, 10, "available", "admin"), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := ocl.EvalBool(c.Pre, ocl.Context{Cur: tt.env})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("pre = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDeletePostSemantics(t *testing.T) {
+	set := generate(t)
+	c, _ := set.For(uml.Trigger{Method: uml.DELETE, Resource: "volume"})
+
+	mkEnv := func(vols int) ocl.MapEnv {
+		elems := make([]ocl.Value, vols)
+		for i := range elems {
+			elems[i] = ocl.StringVal("v")
+		}
+		return ocl.MapEnv{
+			"project.id":        ocl.StringVal("p1"),
+			"project.volumes":   ocl.CollectionVal(elems...),
+			"quota_sets.volume": ocl.IntVal(3),
+			"volume.status":     ocl.StringVal("available"),
+			"user.id.groups":    ocl.StringsVal("admin"),
+		}
+	}
+	// Correct behaviour: 2 volumes -> 1 volume.
+	okPost, err := ocl.EvalBool(c.Post, ocl.Context{Cur: mkEnv(1), Pre: mkEnv(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !okPost {
+		t.Error("post should hold when a volume was removed")
+	}
+	// Faulty behaviour: nothing was removed.
+	badPost, err := ocl.EvalBool(c.Post, ocl.Context{Cur: mkEnv(2), Pre: mkEnv(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if badPost {
+		t.Error("post should fail when the volume was not removed")
+	}
+}
+
+func TestPostContractQuota(t *testing.T) {
+	set := generate(t)
+	c, _ := set.For(uml.Trigger{Method: uml.POST, Resource: "volume"})
+	if len(c.Cases) != 4 {
+		t.Fatalf("POST cases = %d, want 4", len(c.Cases))
+	}
+	mkEnv := func(vols, quota int, roles ...string) ocl.MapEnv {
+		elems := make([]ocl.Value, vols)
+		for i := range elems {
+			elems[i] = ocl.StringVal("v")
+		}
+		return ocl.MapEnv{
+			"project.id":        ocl.StringVal("p1"),
+			"project.volumes":   ocl.CollectionVal(elems...),
+			"quota_sets.volume": ocl.IntVal(quota),
+			"volume.status":     ocl.StringVal("available"),
+			"user.id.groups":    ocl.StringsVal(roles...),
+		}
+	}
+	tests := []struct {
+		name string
+		env  ocl.MapEnv
+		want bool
+	}{
+		{"member creates first volume", mkEnv(0, 10, "member"), true},
+		{"admin creates under quota", mkEnv(2, 10, "admin"), true},
+		{"quota full blocks create", mkEnv(3, 3, "admin"), false},
+		{"plain user cannot create", mkEnv(0, 10, "user"), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := ocl.EvalBool(c.Pre, ocl.Context{Cur: tt.env})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("pre = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStatePaths(t *testing.T) {
+	set := generate(t)
+	c, _ := set.For(uml.Trigger{Method: uml.DELETE, Resource: "volume"})
+	paths := c.StatePaths()
+	want := map[string]bool{
+		"project.id":        true,
+		"project.volumes":   true,
+		"quota_sets.volume": true,
+		"volume.status":     true,
+		"user.id.groups":    true,
+	}
+	if len(paths) != len(want) {
+		t.Fatalf("StatePaths = %v", paths)
+	}
+	for _, p := range paths {
+		if !want[p] {
+			t.Errorf("unexpected path %q", p)
+		}
+	}
+}
+
+func TestRenderListing(t *testing.T) {
+	set := generate(t)
+	c, _ := set.For(uml.Trigger{Method: uml.DELETE, Resource: "volume"})
+	out := RenderListing(c, StyleConjunction)
+	for _, want := range []string{
+		"PreCondition(DELETE(/projects/{project_id}/volumes/{volume_id})):",
+		"PostCondition(DELETE(/projects/{project_id}/volumes/{volume_id})):",
+		"volume.status <> 'in-use'",
+		"user.id.groups = 'admin'",
+		" or\n",
+		" => ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+	paperStyle := RenderListing(c, StylePaper)
+	if strings.Count(paperStyle, ") or\n((") < 2 {
+		t.Errorf("paper style should join posts with or:\n%s", paperStyle)
+	}
+	// Round-trip: each rendered case must re-parse.
+	for _, cs := range c.Cases {
+		if _, err := ocl.Parse(cs.Pre.String()); err != nil {
+			t.Errorf("case pre does not re-parse: %v", err)
+		}
+		if _, err := ocl.Parse(cs.Post.String()); err != nil {
+			t.Errorf("case post does not re-parse: %v", err)
+		}
+	}
+}
+
+func TestRenderSet(t *testing.T) {
+	set := generate(t)
+	out := RenderSet(set, StyleConjunction)
+	for _, m := range []string{"GET", "PUT", "POST", "DELETE"} {
+		if !strings.Contains(out, "PreCondition("+m+"(") {
+			t.Errorf("RenderSet missing %s contract", m)
+		}
+	}
+}
+
+func TestSetSecReqs(t *testing.T) {
+	set := generate(t)
+	got := set.SecReqs()
+	want := []string{"1.1", "1.2", "1.3", "1.4"}
+	if len(got) != len(want) {
+		t.Fatalf("SecReqs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SecReqs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGenerateRejectsBadModels(t *testing.T) {
+	base := func() *uml.Model { return paper.CinderModel() }
+
+	t.Run("invalid model", func(t *testing.T) {
+		m := base()
+		m.Behavioral.States = nil
+		if _, err := Generate(m); err == nil {
+			t.Error("want error for empty state machine")
+		}
+	})
+	t.Run("syntax error in guard", func(t *testing.T) {
+		m := base()
+		m.Behavioral.Transitions[0].Guard = "a and"
+		if _, err := Generate(m); err == nil {
+			t.Error("want error for malformed guard")
+		}
+	})
+	t.Run("pre in guard", func(t *testing.T) {
+		m := base()
+		m.Behavioral.Transitions[0].Guard = "project.volumes->size() = pre(project.volumes->size())"
+		if _, err := Generate(m); err == nil {
+			t.Error("want error for pre() in guard")
+		}
+	})
+	t.Run("pre in invariant", func(t *testing.T) {
+		m := base()
+		m.Behavioral.States[0].Invariant = "pre(project.id) = project.id"
+		if _, err := Generate(m); err == nil {
+			t.Error("want error for pre() in invariant")
+		}
+	})
+	t.Run("unknown resource in guard", func(t *testing.T) {
+		m := base()
+		m.Behavioral.Transitions[0].Guard = "flavors.count > 1"
+		if _, err := Generate(m); err == nil {
+			t.Error("want error for unknown navigation head")
+		}
+	})
+	t.Run("unknown attribute in guard", func(t *testing.T) {
+		m := base()
+		m.Behavioral.Transitions[0].Guard = "volume.colour = 'red'"
+		if _, err := Generate(m); err == nil {
+			t.Error("want error for unknown attribute")
+		}
+	})
+	t.Run("syntax error in effect", func(t *testing.T) {
+		m := base()
+		m.Behavioral.Transitions[0].Effect = ")("
+		if _, err := Generate(m); err == nil {
+			t.Error("want error for malformed effect")
+		}
+	})
+	t.Run("syntax error in invariant", func(t *testing.T) {
+		m := base()
+		m.Behavioral.States[0].Invariant = "(("
+		if _, err := Generate(m); err == nil {
+			t.Error("want error for malformed invariant")
+		}
+	})
+}
+
+func TestEmptyGuardMeansTrue(t *testing.T) {
+	m := paper.CinderModel()
+	// Strip one guard: the case pre-condition collapses to the source
+	// invariant alone.
+	m.Behavioral.Transitions[0].Guard = ""
+	set, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := set.For(uml.Trigger{Method: uml.POST, Resource: "volume"})
+	if strings.Contains(c.Cases[0].Pre.String(), "true") {
+		t.Errorf("true literal should be dropped from conjunction: %s", c.Cases[0].Pre)
+	}
+}

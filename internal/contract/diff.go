@@ -1,0 +1,172 @@
+package contract
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cloudmon/internal/uml"
+)
+
+// This file implements contract diffing — the release-to-release check the
+// paper's conclusion motivates: "Since open source cloud frameworks
+// usually undergo frequent changes, the automated nature of our approach
+// allows the developers to relatively easily check whether functional and
+// security requirements have been preserved in new releases." Diffing the
+// contract sets generated from two model versions reports exactly which
+// methods' obligations drifted.
+
+// ChangeKind classifies one contract change.
+type ChangeKind int
+
+// Change kinds.
+const (
+	// MethodAdded: the new model introduces a method the old one lacked.
+	MethodAdded ChangeKind = iota + 1
+	// MethodRemoved: a previously specified method disappeared.
+	MethodRemoved
+	// PreChanged: the combined pre-condition differs.
+	PreChanged
+	// PostChanged: the combined post-condition differs.
+	PostChanged
+	// SecReqsChanged: the traced security requirements differ.
+	SecReqsChanged
+	// URIChanged: the resource moved in the URI space.
+	URIChanged
+)
+
+// String returns the kind name.
+func (k ChangeKind) String() string {
+	switch k {
+	case MethodAdded:
+		return "method-added"
+	case MethodRemoved:
+		return "method-removed"
+	case PreChanged:
+		return "pre-changed"
+	case PostChanged:
+		return "post-changed"
+	case SecReqsChanged:
+		return "secreqs-changed"
+	case URIChanged:
+		return "uri-changed"
+	}
+	return fmt.Sprintf("ChangeKind(%d)", int(k))
+}
+
+// Change is one detected difference between contract sets.
+type Change struct {
+	Trigger uml.Trigger
+	Kind    ChangeKind
+	// Old and New carry the differing renderings (empty when not
+	// applicable, e.g. for added/removed methods).
+	Old, New string
+}
+
+// Diff is the full comparison result.
+type Diff struct {
+	Changes []Change
+}
+
+// Empty reports whether the two sets agree — the requirements were
+// preserved.
+func (d *Diff) Empty() bool { return len(d.Changes) == 0 }
+
+// ForTrigger returns the changes affecting one trigger.
+func (d *Diff) ForTrigger(tr uml.Trigger) []Change {
+	var out []Change
+	for _, c := range d.Changes {
+		if c.Trigger == tr {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// DiffSets compares two generated contract sets (typically: the previous
+// release's model vs. the current one). Formulas are compared by their
+// canonical printed form, so semantically identical rewrites that print
+// identically do not alarm.
+func DiffSets(old, new *Set) *Diff {
+	d := &Diff{}
+	seen := make(map[uml.Trigger]bool)
+	for _, oc := range old.Contracts {
+		seen[oc.Trigger] = true
+		nc, ok := new.For(oc.Trigger)
+		if !ok {
+			d.Changes = append(d.Changes, Change{
+				Trigger: oc.Trigger, Kind: MethodRemoved,
+				Old: RenderListing(oc, StyleConjunction),
+			})
+			continue
+		}
+		if oc.URI != nc.URI {
+			d.Changes = append(d.Changes, Change{
+				Trigger: oc.Trigger, Kind: URIChanged, Old: oc.URI, New: nc.URI,
+			})
+		}
+		if oldPre, newPre := oc.Pre.String(), nc.Pre.String(); oldPre != newPre {
+			d.Changes = append(d.Changes, Change{
+				Trigger: oc.Trigger, Kind: PreChanged, Old: oldPre, New: newPre,
+			})
+		}
+		if oldPost, newPost := oc.Post.String(), nc.Post.String(); oldPost != newPost {
+			d.Changes = append(d.Changes, Change{
+				Trigger: oc.Trigger, Kind: PostChanged, Old: oldPost, New: newPost,
+			})
+		}
+		if oldReqs, newReqs := strings.Join(oc.SecReqs, ","), strings.Join(nc.SecReqs, ","); oldReqs != newReqs {
+			d.Changes = append(d.Changes, Change{
+				Trigger: oc.Trigger, Kind: SecReqsChanged, Old: oldReqs, New: newReqs,
+			})
+		}
+	}
+	for _, nc := range new.Contracts {
+		if !seen[nc.Trigger] {
+			d.Changes = append(d.Changes, Change{
+				Trigger: nc.Trigger, Kind: MethodAdded,
+				New: RenderListing(nc, StyleConjunction),
+			})
+		}
+	}
+	sort.SliceStable(d.Changes, func(i, j int) bool {
+		ti, tj := d.Changes[i].Trigger, d.Changes[j].Trigger
+		if ti.Resource != tj.Resource {
+			return ti.Resource < tj.Resource
+		}
+		if ti.Method != tj.Method {
+			return ti.Method < tj.Method
+		}
+		return d.Changes[i].Kind < d.Changes[j].Kind
+	})
+	return d
+}
+
+// Format renders the diff as a review report.
+func (d *Diff) Format(w io.Writer) {
+	if d.Empty() {
+		fmt.Fprintln(w, "contracts unchanged: functional and security requirements preserved")
+		return
+	}
+	fmt.Fprintf(w, "%d contract change(s) detected:\n", len(d.Changes))
+	for _, c := range d.Changes {
+		fmt.Fprintf(w, "\n* %s — %s\n", c.Trigger, c.Kind)
+		switch c.Kind {
+		case MethodAdded:
+			fmt.Fprintf(w, "  new contract:\n%s", indent(c.New, "    "))
+		case MethodRemoved:
+			fmt.Fprintf(w, "  removed contract:\n%s", indent(c.Old, "    "))
+		default:
+			fmt.Fprintf(w, "  old: %s\n  new: %s\n", c.Old, c.New)
+		}
+	}
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,183 @@
+package contract
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cloudmon/internal/paper"
+	"cloudmon/internal/uml"
+)
+
+func genFrom(t *testing.T, m *uml.Model) *Set {
+	t.Helper()
+	set, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestDiffIdenticalModelsIsEmpty(t *testing.T) {
+	old := genFrom(t, paper.CinderModel())
+	new := genFrom(t, paper.CinderModel())
+	d := DiffSets(old, new)
+	if !d.Empty() {
+		t.Errorf("identical models diff: %+v", d.Changes)
+	}
+	var buf bytes.Buffer
+	d.Format(&buf)
+	if !strings.Contains(buf.String(), "preserved") {
+		t.Errorf("empty diff report = %q", buf.String())
+	}
+}
+
+func TestDiffDetectsLoosenedGuard(t *testing.T) {
+	// The next release accidentally lets members delete volumes: exactly
+	// the paper's A1 mutant, caught at the model level before deployment.
+	old := genFrom(t, paper.CinderModel())
+	m := paper.CinderModel()
+	for _, tr := range m.Behavioral.Transitions {
+		if tr.Trigger.Method == uml.DELETE {
+			tr.Guard = strings.ReplaceAll(tr.Guard,
+				"user.id.groups='admin'",
+				"(user.id.groups='admin' or user.id.groups='member')")
+		}
+	}
+	new := genFrom(t, m)
+	d := DiffSets(old, new)
+	del := uml.Trigger{Method: uml.DELETE, Resource: "volume"}
+	changes := d.ForTrigger(del)
+	kinds := map[ChangeKind]bool{}
+	for _, c := range changes {
+		kinds[c.Kind] = true
+	}
+	if !kinds[PreChanged] || !kinds[PostChanged] {
+		t.Errorf("loosened guard not reported: %+v", changes)
+	}
+	// Untouched methods are quiet.
+	if got := d.ForTrigger(uml.Trigger{Method: uml.GET, Resource: "volume"}); len(got) != 0 {
+		t.Errorf("GET changed: %+v", got)
+	}
+}
+
+func TestDiffDetectsRemovedAndAddedMethods(t *testing.T) {
+	old := genFrom(t, paper.CinderModel())
+	m := paper.CinderModel()
+	// Remove all PUT transitions: the method disappears from the API spec.
+	var kept []*uml.Transition
+	for _, tr := range m.Behavioral.Transitions {
+		if tr.Trigger.Method != uml.PUT {
+			kept = append(kept, tr)
+		}
+	}
+	m.Behavioral.Transitions = kept
+	new := genFrom(t, m)
+	d := DiffSets(old, new)
+	var removed, added int
+	for _, c := range d.Changes {
+		switch c.Kind {
+		case MethodRemoved:
+			removed++
+			if c.Trigger.Method != uml.PUT {
+				t.Errorf("wrong method removed: %s", c.Trigger)
+			}
+		case MethodAdded:
+			added++
+		}
+	}
+	if removed != 1 || added != 0 {
+		t.Errorf("removed=%d added=%d", removed, added)
+	}
+	// Reverse direction reports an addition.
+	rd := DiffSets(new, old)
+	if len(rd.Changes) != 1 || rd.Changes[0].Kind != MethodAdded {
+		t.Errorf("reverse diff = %+v", rd.Changes)
+	}
+}
+
+func TestDiffDetectsSecReqRetagging(t *testing.T) {
+	old := genFrom(t, paper.CinderModel())
+	m := paper.CinderModel()
+	for _, tr := range m.Behavioral.Transitions {
+		if tr.Trigger.Method == uml.GET {
+			tr.SecReqs = []string{"1.9"}
+		}
+	}
+	new := genFrom(t, m)
+	d := DiffSets(old, new)
+	found := false
+	for _, c := range d.Changes {
+		if c.Kind == SecReqsChanged {
+			found = true
+			if c.Old != "1.1" || c.New != "1.9" {
+				t.Errorf("secreq change = %q -> %q", c.Old, c.New)
+			}
+		}
+	}
+	if !found {
+		t.Error("SecReq retagging not detected")
+	}
+}
+
+func TestDiffDetectsURIMove(t *testing.T) {
+	old := genFrom(t, paper.CinderModel())
+	m := paper.CinderModel()
+	// Rename the volumes association role: every volume URI moves.
+	for i := range m.Resource.Associations {
+		if m.Resource.Associations[i].Role == "volumes" {
+			m.Resource.Associations[i].Role = "block_devices"
+		}
+	}
+	// Keep OCL paths intact (they reference the old role); patch the
+	// vocabulary by renaming in the formulas too.
+	rewrite := func(s string) string {
+		return strings.ReplaceAll(s, "project.volumes", "project.block_devices")
+	}
+	for _, st := range m.Behavioral.States {
+		st.Invariant = rewrite(st.Invariant)
+	}
+	for _, tr := range m.Behavioral.Transitions {
+		tr.Guard = rewrite(tr.Guard)
+		tr.Effect = rewrite(tr.Effect)
+	}
+	new := genFrom(t, m)
+	d := DiffSets(old, new)
+	found := false
+	for _, c := range d.Changes {
+		if c.Kind == URIChanged {
+			found = true
+			if !strings.Contains(c.New, "block_devices") {
+				t.Errorf("URI change = %q -> %q", c.Old, c.New)
+			}
+		}
+	}
+	if !found {
+		t.Error("URI move not detected")
+	}
+}
+
+func TestDiffFormat(t *testing.T) {
+	old := genFrom(t, paper.CinderModel())
+	m := paper.CinderModel()
+	m.Behavioral.Transitions = m.Behavioral.Transitions[:5] // drop some
+	new := genFrom(t, m)
+	var buf bytes.Buffer
+	DiffSets(old, new).Format(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "change(s) detected") {
+		t.Errorf("report = %q", out)
+	}
+}
+
+func TestChangeKindString(t *testing.T) {
+	kinds := []ChangeKind{MethodAdded, MethodRemoved, PreChanged, PostChanged, SecReqsChanged, URIChanged}
+	for _, k := range kinds {
+		if strings.HasPrefix(k.String(), "ChangeKind(") {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+	if ChangeKind(99).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}

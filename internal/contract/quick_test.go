@@ -1,0 +1,169 @@
+package contract
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cloudmon/internal/ocl"
+	"cloudmon/internal/uml"
+)
+
+// genModel builds a random valid model: a chain/star state machine over a
+// small resource vocabulary with random guards and effects.
+func genModel(r *rand.Rand) *uml.Model {
+	rm := &uml.ResourceModel{
+		Name: "gen",
+		Resources: []*uml.ResourceDef{
+			{Name: "roots", Kind: uml.KindCollection},
+			{Name: "item", Kind: uml.KindNormal, Attributes: []uml.Attribute{
+				{Name: "id", Type: uml.TypeString},
+				{Name: "count", Type: uml.TypeInteger},
+				{Name: "state", Type: uml.TypeString},
+			}},
+		},
+		Associations: []uml.Association{
+			{From: "roots", To: "item", Role: "item", Mult: uml.Multiplicity{Min: 0, Max: uml.Many}},
+		},
+	}
+	nStates := 2 + r.Intn(5)
+	bm := &uml.BehavioralModel{Name: "gen_sm"}
+	for i := 0; i < nStates; i++ {
+		bm.States = append(bm.States, &uml.State{
+			Name:      fmt.Sprintf("s%d", i),
+			Initial:   i == 0,
+			Invariant: fmt.Sprintf("item.count >= %d", i),
+		})
+	}
+	methods := []uml.HTTPMethod{uml.GET, uml.PUT, uml.POST, uml.DELETE}
+	nTrans := 1 + r.Intn(8)
+	for i := 0; i < nTrans; i++ {
+		guard := ""
+		if r.Intn(2) == 0 {
+			guard = fmt.Sprintf("user.id.groups='admin' and item.count < %d", 1+r.Intn(9))
+		}
+		effect := ""
+		if r.Intn(2) == 0 {
+			effect = "item.count = pre(item.count) + 1"
+		}
+		var reqs []string
+		if r.Intn(2) == 0 {
+			reqs = []string{fmt.Sprintf("9.%d", r.Intn(4))}
+		}
+		bm.Transitions = append(bm.Transitions, &uml.Transition{
+			From:    fmt.Sprintf("s%d", r.Intn(nStates)),
+			To:      fmt.Sprintf("s%d", r.Intn(nStates)),
+			Trigger: uml.Trigger{Method: methods[r.Intn(len(methods))], Resource: "item"},
+			Guard:   guard,
+			Effect:  effect,
+			SecReqs: reqs,
+		})
+	}
+	return &uml.Model{Resource: rm, Behavioral: bm}
+}
+
+// TestPropertyGenerateInvariants: for any valid model, Generate succeeds
+// and the output satisfies the structural laws of Section V.
+func TestPropertyGenerateInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 300; i++ {
+		m := genModel(r)
+		set, err := Generate(m)
+		if err != nil {
+			t.Fatalf("iteration %d: Generate: %v", i, err)
+		}
+		// One contract per distinct trigger.
+		triggers := m.Behavioral.Triggers()
+		if len(set.Contracts) != len(triggers) {
+			t.Fatalf("iteration %d: %d contracts for %d triggers", i, len(set.Contracts), len(triggers))
+		}
+		for _, c := range set.Contracts {
+			// Law 1: one case per triggering transition.
+			if got, want := len(c.Cases), len(m.Behavioral.TransitionsFor(c.Trigger)); got != want {
+				t.Fatalf("iteration %d: %s has %d cases, want %d", i, c.Trigger, got, want)
+			}
+			// Law 2: pre-conditions never use old values.
+			if ocl.UsesPre(c.Pre) {
+				t.Fatalf("iteration %d: %s pre uses pre()", i, c.Trigger)
+			}
+			for _, cs := range c.Cases {
+				if ocl.UsesPre(cs.Pre) {
+					t.Fatalf("iteration %d: case pre uses pre()", i)
+				}
+			}
+			// Law 3: rendered contracts re-parse.
+			if _, err := ocl.Parse(c.Pre.String()); err != nil {
+				t.Fatalf("iteration %d: pre does not re-parse: %v", i, err)
+			}
+			if _, err := ocl.Parse(c.Post.String()); err != nil {
+				t.Fatalf("iteration %d: post does not re-parse: %v", i, err)
+			}
+			// Law 4: any case pre implies the combined pre (disjunction
+			// soundness) — checked semantically on random environments.
+			for trial := 0; trial < 4; trial++ {
+				env := ocl.MapEnv{
+					"item.id":        ocl.StringVal("x"),
+					"item.count":     ocl.IntVal(r.Intn(12)),
+					"item.state":     ocl.StringVal("s"),
+					"user.id.groups": ocl.StringsVal([]string{"admin", "member"}[r.Intn(2)]),
+				}
+				ctx := ocl.Context{Cur: env}
+				combined, err := ocl.EvalBool(c.Pre, ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				anyCase := false
+				for _, cs := range c.Cases {
+					ok, err := ocl.EvalBool(cs.Pre, ctx)
+					if err != nil {
+						t.Fatal(err)
+					}
+					anyCase = anyCase || ok
+				}
+				if anyCase != combined {
+					t.Fatalf("iteration %d: combined pre %v but cases %v for %s",
+						i, combined, anyCase, c.Trigger)
+				}
+			}
+			// Law 5: state paths cover both pre and post vocabulary.
+			pathSet := map[string]bool{}
+			for _, p := range c.StatePaths() {
+				pathSet[p] = true
+			}
+			for _, p := range append(ocl.NavPaths(c.Pre), ocl.NavPaths(c.Post)...) {
+				if !pathSet[p] {
+					t.Fatalf("iteration %d: path %s missing from StatePaths", i, p)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertySecReqsAreUnionOfCases: contract SecReqs equal the union of
+// the triggering transitions' tags.
+func TestPropertySecReqsUnion(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for i := 0; i < 200; i++ {
+		m := genModel(r)
+		set, err := Generate(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range set.Contracts {
+			want := map[string]bool{}
+			for _, tr := range m.Behavioral.TransitionsFor(c.Trigger) {
+				for _, s := range tr.SecReqs {
+					want[s] = true
+				}
+			}
+			if len(want) != len(c.SecReqs) {
+				t.Fatalf("iteration %d: SecReqs %v, want %v", i, c.SecReqs, want)
+			}
+			for _, s := range c.SecReqs {
+				if !want[s] {
+					t.Fatalf("iteration %d: unexpected SecReq %s", i, s)
+				}
+			}
+		}
+	}
+}

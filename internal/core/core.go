@@ -1,0 +1,110 @@
+// Package core is the top of the cloud-monitor pipeline: it takes the
+// design models an analyst produced (programmatically, or imported from
+// XMI), generates the method contracts, and wires a ready-to-serve cloud
+// monitor against a private cloud URL.
+//
+// It is the API the examples and CLIs use:
+//
+//	sys, err := core.Build(core.Options{
+//	    Model:    paper.CinderModel(),
+//	    CloudURL: "http://cloud:8080",
+//	    ServiceAccount: osbinding.ServiceAccount{...},
+//	})
+//	http.ListenAndServe(":9090", sys.Monitor)
+package core
+
+import (
+	"fmt"
+	"net/http"
+
+	"cloudmon/internal/contract"
+	"cloudmon/internal/monitor"
+	"cloudmon/internal/osbinding"
+	"cloudmon/internal/uml"
+)
+
+// Options configures Build.
+type Options struct {
+	// Model is the validated design model (resource + behavioral).
+	Model *uml.Model
+	// CloudURL is the private cloud's base URL.
+	CloudURL string
+	// ServiceAccount is the monitor's read-access identity on the cloud.
+	ServiceAccount osbinding.ServiceAccount
+	// Mode defaults to monitor.Enforce.
+	Mode monitor.Mode
+	// Level defaults to monitor.CheckFull; CheckPreOnly ablates the
+	// post-condition verification.
+	Level monitor.CheckLevel
+	// OnVerdict, if set, receives every verdict (e.g. an
+	// monitor.AuditWriter's Record method).
+	OnVerdict func(monitor.Verdict)
+	// ParallelSnapshots resolves state paths concurrently — enable when
+	// the cloud is across a network (see osbinding.Provider.Parallel).
+	ParallelSnapshots bool
+	// HTTPClient overrides the forwarding client (tests inject the
+	// httptest client here).
+	HTTPClient *http.Client
+	// MaxLog bounds the verdict log.
+	MaxLog int
+}
+
+// System is the assembled pipeline.
+type System struct {
+	// Model is the source model.
+	Model *uml.Model
+	// Contracts are the generated method contracts.
+	Contracts *contract.Set
+	// Monitor is the ready-to-serve proxy.
+	Monitor *monitor.Monitor
+	// Provider is the state binding (exported so callers can reuse it,
+	// e.g. the mutation driver snapshots state through it).
+	Provider *osbinding.Provider
+	// Routes are the derived proxy routes.
+	Routes []monitor.Route
+}
+
+// Build runs the pipeline: validate model -> generate contracts -> derive
+// routes -> bind state provider -> assemble monitor.
+func Build(opts Options) (*System, error) {
+	if opts.Model == nil {
+		return nil, fmt.Errorf("core: missing model")
+	}
+	if opts.CloudURL == "" {
+		return nil, fmt.Errorf("core: missing cloud URL")
+	}
+	set, err := contract.Generate(opts.Model)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	routes := osbinding.Routes(set)
+	provider := osbinding.NewProvider(opts.CloudURL, opts.ServiceAccount)
+	if opts.HTTPClient != nil {
+		// The provider's embedded client shares the HTTP client.
+		provider = osbinding.NewProviderWithClient(opts.CloudURL, opts.ServiceAccount, opts.HTTPClient)
+	}
+	provider.Parallel = opts.ParallelSnapshots
+	mon, err := monitor.New(monitor.Config{
+		Contracts: set,
+		Routes:    routes,
+		Provider:  provider,
+		Forward: &monitor.HTTPForwarder{
+			BaseURL: opts.CloudURL,
+			Client:  opts.HTTPClient,
+		},
+		Mode:      opts.Mode,
+		Level:     opts.Level,
+		MaxLog:    opts.MaxLog,
+		OnVerdict: opts.OnVerdict,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &System{
+		Model:     opts.Model,
+		Contracts: set,
+		Monitor:   mon,
+		Provider:  provider,
+		Routes:    routes,
+	}, nil
+}

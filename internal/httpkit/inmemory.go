@@ -1,0 +1,78 @@
+package httpkit
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// HandlerClient returns an *http.Client whose requests are served directly
+// by h, in process, without opening sockets. The mutation lab and the
+// benchmarks use it to wire monitor -> cloud without network overhead; the
+// same handlers can still be mounted on a real listener.
+func HandlerClient(h http.Handler) *http.Client {
+	return &http.Client{Transport: handlerTransport{h: h}}
+}
+
+// handlerTransport serves round-trips straight through an http.Handler.
+type handlerTransport struct {
+	h http.Handler
+}
+
+var _ http.RoundTripper = handlerTransport{}
+
+// RoundTrip implements http.RoundTripper.
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := newRecorder()
+	// Handlers may expect a non-nil body.
+	if req.Body == nil {
+		req.Body = io.NopCloser(bytes.NewReader(nil))
+	}
+	t.h.ServeHTTP(rec, req)
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", rec.status, http.StatusText(rec.status)),
+		StatusCode:    rec.status,
+		Proto:         req.Proto,
+		ProtoMajor:    req.ProtoMajor,
+		ProtoMinor:    req.ProtoMinor,
+		Header:        rec.header,
+		Body:          io.NopCloser(bytes.NewReader(rec.body.Bytes())),
+		ContentLength: int64(rec.body.Len()),
+		Request:       req,
+	}, nil
+}
+
+// recorder is a minimal in-memory http.ResponseWriter.
+type recorder struct {
+	header http.Header
+	body   bytes.Buffer
+	status int
+	wrote  bool
+}
+
+var _ http.ResponseWriter = (*recorder)(nil)
+
+func newRecorder() *recorder {
+	return &recorder{header: make(http.Header), status: http.StatusOK}
+}
+
+// Header implements http.ResponseWriter.
+func (r *recorder) Header() http.Header { return r.header }
+
+// WriteHeader implements http.ResponseWriter.
+func (r *recorder) WriteHeader(status int) {
+	if r.wrote {
+		return
+	}
+	r.wrote = true
+	r.status = status
+}
+
+// Write implements http.ResponseWriter.
+func (r *recorder) Write(p []byte) (int, error) {
+	if !r.wrote {
+		r.WriteHeader(http.StatusOK)
+	}
+	return r.body.Write(p)
+}

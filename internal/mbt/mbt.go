@@ -1,0 +1,247 @@
+// Package mbt derives executable test suites from the behavioral model —
+// model-based testing, which the paper names as a direct payoff of having
+// the design models ("we can use several existing model-based testing
+// approaches to facilitate functional and security testing of private
+// clouds", Section III).
+//
+// For every transition of the model the generator emits:
+//
+//   - one *positive* case per role its authorization guard admits: drive
+//     the deployment along a transition path from the initial state to the
+//     transition's source state, fire the trigger with that role, and
+//     expect the request to be permitted;
+//   - one *negative* case per role that no transition of the same trigger
+//     admits, expecting the request to be denied;
+//   - one *anonymous* case per trigger (no credentials), always denied.
+//
+// Cases run against any Executor — in this repository, the cloud-monitor
+// lab, so the monitor serves as the test oracle exactly as in the paper's
+// validation.
+package mbt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cloudmon/internal/ocl"
+	"cloudmon/internal/uml"
+)
+
+// Case is one generated test case.
+type Case struct {
+	// ID is stable and unique within a suite, e.g. "POS-DELETE(volume)-admin-2".
+	ID string
+	// Description says what the case checks.
+	Description string
+	// Path is the trigger/role sequence that drives the deployment from
+	// the initial state to the state under test.
+	Path []Step
+	// Target is the request under test.
+	Target Step
+	// ExpectPermitted is the oracle: whether the contract admits Target
+	// after Path.
+	ExpectPermitted bool
+}
+
+// Step is one request: a trigger fired by a role. An empty role means an
+// unauthenticated request.
+type Step struct {
+	Trigger uml.Trigger
+	Role    string
+}
+
+// String renders the step, e.g. "DELETE(volume) as admin".
+func (s Step) String() string {
+	role := s.Role
+	if role == "" {
+		role = "<anonymous>"
+	}
+	return fmt.Sprintf("%s as %s", s.Trigger, role)
+}
+
+// Suite is a generated set of cases.
+type Suite struct {
+	Model *uml.BehavioralModel
+	Cases []Case
+}
+
+// GuardRoles extracts the roles a guard admits via its
+// `user.id.groups='<role>'` comparisons. A guard without such comparisons
+// admits every role (authorization-free transition). The scan is
+// syntactic, matching how Table-I authorization enters the paper's guards.
+func GuardRoles(guard string) ([]string, error) {
+	e, err := ocl.Parse(guard)
+	if err != nil {
+		return nil, fmt.Errorf("mbt: parse guard: %w", err)
+	}
+	set := make(map[string]bool)
+	ocl.Walk(e, func(n ocl.Expr) bool {
+		b, ok := n.(*ocl.Binary)
+		if !ok || b.Op != ocl.OpEq {
+			return true
+		}
+		nav, lit := asGroupComparison(b.L, b.R)
+		if nav == nil {
+			nav, lit = asGroupComparison(b.R, b.L)
+		}
+		if nav != nil && lit != nil && lit.Value.Kind == ocl.KindString {
+			set[lit.Value.Str] = true
+		}
+		return true
+	})
+	roles := make([]string, 0, len(set))
+	for r := range set {
+		roles = append(roles, r)
+	}
+	sort.Strings(roles)
+	return roles, nil
+}
+
+// asGroupComparison matches (user.id.groups, literal) operand pairs.
+func asGroupComparison(l, r ocl.Expr) (*ocl.Nav, *ocl.Lit) {
+	nav, ok := l.(*ocl.Nav)
+	if !ok || strings.Join(nav.Path, ".") != "user.id.groups" {
+		return nil, nil
+	}
+	lit, ok := r.(*ocl.Lit)
+	if !ok {
+		return nil, nil
+	}
+	return nav, lit
+}
+
+// Generate derives a suite from the model. allRoles is the deployment's
+// role universe (for negative cases).
+func Generate(m *uml.BehavioralModel, allRoles []string) (*Suite, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("mbt: %w", err)
+	}
+	initial, ok := m.InitialState()
+	if !ok {
+		return nil, fmt.Errorf("mbt: model %q has no initial state", m.Name)
+	}
+
+	// Per-transition authorized roles, and the per-trigger union used for
+	// negative cases (a negative role must fail EVERY transition of the
+	// trigger, or the combined disjunctive pre-condition could still admit
+	// it).
+	transRoles := make(map[*uml.Transition][]string, len(m.Transitions))
+	triggerRoles := make(map[uml.Trigger]map[string]bool)
+	for _, t := range m.Transitions {
+		roles, err := GuardRoles(t.Guard)
+		if err != nil {
+			return nil, err
+		}
+		if len(roles) == 0 {
+			// Authorization-free transition: every role qualifies.
+			roles = append([]string(nil), allRoles...)
+		}
+		transRoles[t] = roles
+		set, ok := triggerRoles[t.Trigger]
+		if !ok {
+			set = make(map[string]bool)
+			triggerRoles[t.Trigger] = set
+		}
+		for _, r := range roles {
+			set[r] = true
+		}
+	}
+
+	paths, err := shortestPaths(m, initial.Name, transRoles)
+	if err != nil {
+		return nil, err
+	}
+
+	suite := &Suite{Model: m}
+	// Positive cases: per transition, per authorized role.
+	for ti, t := range m.Transitions {
+		path, reachable := paths[t.From]
+		if !reachable {
+			// The scenario cannot be driven from the initial state with
+			// authorized requests; skip but keep generation total.
+			continue
+		}
+		for _, role := range transRoles[t] {
+			suite.Cases = append(suite.Cases, Case{
+				ID: fmt.Sprintf("POS-%s-t%d-%s", t.Trigger, ti, role),
+				Description: fmt.Sprintf("%s by %s from state %s is permitted (SecReqs %v)",
+					t.Trigger, role, t.From, t.SecReqs),
+				Path:            path,
+				Target:          Step{Trigger: t.Trigger, Role: role},
+				ExpectPermitted: true,
+			})
+		}
+	}
+	// Negative + anonymous cases: per trigger.
+	for _, tr := range m.Triggers() {
+		// Fire from a state where the trigger has at least one transition,
+		// so the denial is attributable to authorization, not to state.
+		var from string
+		found := false
+		for _, t := range m.Transitions {
+			if t.Trigger == tr {
+				from = t.From
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		path, reachable := paths[from]
+		if !reachable {
+			continue
+		}
+		admitted := triggerRoles[tr]
+		for _, role := range allRoles {
+			if admitted[role] {
+				continue
+			}
+			suite.Cases = append(suite.Cases, Case{
+				ID: fmt.Sprintf("NEG-%s-%s", tr, role),
+				Description: fmt.Sprintf("%s by unauthorized role %s is denied",
+					tr, role),
+				Path:            path,
+				Target:          Step{Trigger: tr, Role: role},
+				ExpectPermitted: false,
+			})
+		}
+		suite.Cases = append(suite.Cases, Case{
+			ID:              fmt.Sprintf("ANON-%s", tr),
+			Description:     fmt.Sprintf("%s without credentials is denied", tr),
+			Path:            path,
+			Target:          Step{Trigger: tr},
+			ExpectPermitted: false,
+		})
+	}
+	return suite, nil
+}
+
+// shortestPaths BFSes the state machine from the initial state, recording
+// for every reachable state one executable step sequence (each hop fired
+// by one of its authorized roles).
+func shortestPaths(m *uml.BehavioralModel, initial string, transRoles map[*uml.Transition][]string) (map[string][]Step, error) {
+	paths := map[string][]Step{initial: {}}
+	queue := []string{initial}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, t := range m.Transitions {
+			if t.From != cur {
+				continue
+			}
+			if _, seen := paths[t.To]; seen {
+				continue
+			}
+			roles := transRoles[t]
+			if len(roles) == 0 {
+				continue
+			}
+			hop := Step{Trigger: t.Trigger, Role: roles[0]}
+			paths[t.To] = append(append([]Step(nil), paths[cur]...), hop)
+			queue = append(queue, t.To)
+		}
+	}
+	return paths, nil
+}

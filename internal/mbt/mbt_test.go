@@ -1,0 +1,277 @@
+package mbt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cloudmon/internal/paper"
+	"cloudmon/internal/uml"
+)
+
+var allRoles = []string{paper.RoleAdmin, paper.RoleMember, paper.RoleUser}
+
+func TestGuardRoles(t *testing.T) {
+	tests := []struct {
+		guard string
+		want  []string
+	}{
+		{"user.id.groups='admin'", []string{"admin"}},
+		{"(user.id.groups='admin' or user.id.groups='member')", []string{"admin", "member"}},
+		{"user.id.groups='admin' and project.volumes->size() > 0", []string{"admin"}},
+		{"'member' = user.id.groups", []string{"member"}},
+		{"project.volumes->size() > 0", nil},
+		{"", nil},
+	}
+	for _, tt := range tests {
+		got, err := GuardRoles(tt.guard)
+		if err != nil {
+			t.Fatalf("GuardRoles(%q): %v", tt.guard, err)
+		}
+		if len(got) != len(tt.want) {
+			t.Errorf("GuardRoles(%q) = %v, want %v", tt.guard, got, tt.want)
+			continue
+		}
+		for i := range tt.want {
+			if got[i] != tt.want[i] {
+				t.Errorf("GuardRoles(%q) = %v, want %v", tt.guard, got, tt.want)
+			}
+		}
+	}
+	if _, err := GuardRoles("((("); err == nil {
+		t.Error("malformed guard accepted")
+	}
+}
+
+func TestGenerateCinderSuiteShape(t *testing.T) {
+	suite, err := Generate(paper.CinderBehavioralModel(), allRoles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pos, neg, anon int
+	for _, c := range suite.Cases {
+		switch {
+		case strings.HasPrefix(c.ID, "POS-"):
+			pos++
+			if !c.ExpectPermitted {
+				t.Errorf("%s: positive case expects denial", c.ID)
+			}
+		case strings.HasPrefix(c.ID, "NEG-"):
+			neg++
+			if c.ExpectPermitted {
+				t.Errorf("%s: negative case expects permission", c.ID)
+			}
+		case strings.HasPrefix(c.ID, "ANON-"):
+			anon++
+			if c.Target.Role != "" {
+				t.Errorf("%s: anonymous case carries a role", c.ID)
+			}
+		}
+	}
+	// Positive: POST 4 transitions x {admin,member} + DELETE 3 x {admin} +
+	// GET 2 x 3 roles + PUT 2 x {admin,member} = 8+3+6+4 = 21.
+	if pos != 21 {
+		t.Errorf("positive cases = %d, want 21", pos)
+	}
+	// Negative: POST user, DELETE member+user, PUT user = 4 (GET admits all).
+	if neg != 4 {
+		t.Errorf("negative cases = %d, want 4", neg)
+	}
+	if anon != 4 {
+		t.Errorf("anonymous cases = %d, want 4 (one per trigger)", anon)
+	}
+	// Every trigger is covered as a target.
+	cov := suite.TriggerCoverage()
+	for _, tr := range suite.Model.Triggers() {
+		if cov[tr] == 0 {
+			t.Errorf("trigger %s not covered", tr)
+		}
+	}
+	// Unique IDs.
+	seen := map[string]bool{}
+	for _, c := range suite.Cases {
+		if seen[c.ID] {
+			t.Errorf("duplicate case ID %s", c.ID)
+		}
+		seen[c.ID] = true
+	}
+}
+
+func TestGeneratePathsReachSourceStates(t *testing.T) {
+	suite, err := Generate(paper.CinderBehavioralModel(), allRoles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range suite.Cases {
+		// Paths are short: the Cinder machine has diameter 2.
+		if len(c.Path) > 2 {
+			t.Errorf("%s: path length %d", c.ID, len(c.Path))
+		}
+		// Every path hop carries a role (the hop must be executable).
+		for _, s := range c.Path {
+			if s.Role == "" {
+				t.Errorf("%s: path hop without role", c.ID)
+			}
+		}
+	}
+}
+
+func TestGenerateNovaSuite(t *testing.T) {
+	suite, err := Generate(paper.NovaBehavioralModel(), allRoles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Cases) == 0 {
+		t.Fatal("empty suite")
+	}
+	// DELETE(server) negatives: member and user.
+	var negDelete int
+	for _, c := range suite.Cases {
+		if strings.HasPrefix(c.ID, "NEG-DELETE(server)") {
+			negDelete++
+		}
+	}
+	if negDelete != 2 {
+		t.Errorf("negative DELETE cases = %d, want 2", negDelete)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	m := paper.CinderBehavioralModel()
+	m.States = nil
+	if _, err := Generate(m, allRoles); err == nil {
+		t.Error("invalid model accepted")
+	}
+	m2 := paper.CinderBehavioralModel()
+	m2.States[0].Initial = false
+	if _, err := Generate(m2, allRoles); err == nil {
+		t.Error("model without initial state accepted")
+	}
+	m3 := paper.CinderBehavioralModel()
+	m3.Transitions[0].Guard = "((("
+	if _, err := Generate(m3, allRoles); err == nil {
+		t.Error("malformed guard accepted")
+	}
+}
+
+// scriptedExecutor answers per-step according to a rule.
+type scriptedExecutor struct {
+	resets int
+	fired  []Step
+	// permit decides the answer for a step.
+	permit func(Step) bool
+	err    error
+}
+
+func (s *scriptedExecutor) Reset() error {
+	s.resets++
+	return nil
+}
+
+func (s *scriptedExecutor) Fire(step Step) (bool, error) {
+	s.fired = append(s.fired, step)
+	if s.err != nil {
+		return false, s.err
+	}
+	return s.permit(step), nil
+}
+
+func TestRunHappyPath(t *testing.T) {
+	suite, err := Generate(paper.CinderBehavioralModel(), allRoles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An executor faithful to Table I: permitted iff the role matches the
+	// trigger's authorization.
+	authorized := map[uml.HTTPMethod]map[string]bool{
+		uml.GET:    {"admin": true, "member": true, "user": true},
+		uml.PUT:    {"admin": true, "member": true},
+		uml.POST:   {"admin": true, "member": true},
+		uml.DELETE: {"admin": true},
+	}
+	ex := &scriptedExecutor{permit: func(s Step) bool {
+		return authorized[s.Trigger.Method][s.Role]
+	}}
+	res, err := Run(suite, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() != len(res.Results) {
+		for _, f := range res.Failures() {
+			t.Errorf("case %s failed: permitted=%v expect=%v setup=%v",
+				f.Case.ID, f.Permitted, f.Case.ExpectPermitted, f.SetupErr)
+		}
+	}
+	if ex.resets != len(suite.Cases) {
+		t.Errorf("resets = %d, want one per case (%d)", ex.resets, len(suite.Cases))
+	}
+}
+
+func TestRunDetectsMisbehaviour(t *testing.T) {
+	suite, err := Generate(paper.CinderBehavioralModel(), allRoles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deployment that lets everyone do everything: negative cases fail.
+	ex := &scriptedExecutor{permit: func(Step) bool { return true }}
+	res, err := Run(suite, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures := res.Failures()
+	if len(failures) == 0 {
+		t.Fatal("over-permissive deployment passed the suite")
+	}
+	for _, f := range failures {
+		if f.Case.ExpectPermitted {
+			t.Errorf("positive case %s failed under allow-all", f.Case.ID)
+		}
+	}
+}
+
+func TestRunSetupFailureInvalidatesCase(t *testing.T) {
+	suite, err := Generate(paper.CinderBehavioralModel(), allRoles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deny everything: cases with non-empty paths fail in setup.
+	ex := &scriptedExecutor{permit: func(Step) bool { return false }}
+	res, err := Run(suite, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Results {
+		if len(r.Case.Path) > 0 && r.SetupErr == nil {
+			t.Errorf("case %s: path denied but no setup error", r.Case.ID)
+		}
+	}
+}
+
+func TestFormatReport(t *testing.T) {
+	suite, err := Generate(paper.CinderBehavioralModel(), allRoles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &scriptedExecutor{permit: func(s Step) bool { return s.Role == "admin" }}
+	res, err := Run(suite, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.Format(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "passed ") || !strings.Contains(out, "Case") {
+		t.Errorf("report malformed:\n%s", out)
+	}
+}
+
+func TestStepString(t *testing.T) {
+	s := Step{Trigger: uml.Trigger{Method: uml.DELETE, Resource: "volume"}, Role: "admin"}
+	if s.String() != "DELETE(volume) as admin" {
+		t.Errorf("String = %q", s.String())
+	}
+	anon := Step{Trigger: uml.Trigger{Method: uml.GET, Resource: "volume"}}
+	if !strings.Contains(anon.String(), "<anonymous>") {
+		t.Errorf("String = %q", anon.String())
+	}
+}

@@ -1,0 +1,122 @@
+package mbt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cloudmon/internal/uml"
+)
+
+// Executor drives one deployment. Implementations map triggers to concrete
+// REST requests against the monitored cloud (see mutation.NewModelExecutor).
+type Executor interface {
+	// Reset provisions a fresh deployment.
+	Reset() error
+	// Fire issues the step's request and reports whether it was permitted
+	// (the contract let it through and the cloud succeeded).
+	Fire(step Step) (permitted bool, err error)
+}
+
+// CaseResult records one executed case.
+type CaseResult struct {
+	Case Case
+	// Permitted is what the deployment answered for the target request.
+	Permitted bool
+	// Pass is whether Permitted matched the case's expectation.
+	Pass bool
+	// SetupErr is non-nil when a path step failed, invalidating the case.
+	SetupErr error
+}
+
+// SuiteResult aggregates a run.
+type SuiteResult struct {
+	Results []CaseResult
+}
+
+// Passed returns the number of passing cases.
+func (r *SuiteResult) Passed() int {
+	n := 0
+	for _, res := range r.Results {
+		if res.Pass {
+			n++
+		}
+	}
+	return n
+}
+
+// Failures returns the non-passing results.
+func (r *SuiteResult) Failures() []CaseResult {
+	var out []CaseResult
+	for _, res := range r.Results {
+		if !res.Pass {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// Run executes the suite: each case on a fresh deployment.
+func Run(suite *Suite, ex Executor) (*SuiteResult, error) {
+	out := &SuiteResult{Results: make([]CaseResult, 0, len(suite.Cases))}
+	for _, c := range suite.Cases {
+		res := CaseResult{Case: c}
+		if err := ex.Reset(); err != nil {
+			return nil, fmt.Errorf("mbt: reset before %s: %w", c.ID, err)
+		}
+		setupOK := true
+		for i, step := range c.Path {
+			permitted, err := ex.Fire(step)
+			if err != nil {
+				res.SetupErr = fmt.Errorf("path step %d (%s): %w", i, step, err)
+				setupOK = false
+				break
+			}
+			if !permitted {
+				res.SetupErr = fmt.Errorf("path step %d (%s) was denied", i, step)
+				setupOK = false
+				break
+			}
+		}
+		if setupOK {
+			permitted, err := ex.Fire(c.Target)
+			if err != nil {
+				res.SetupErr = fmt.Errorf("target (%s): %w", c.Target, err)
+			} else {
+				res.Permitted = permitted
+				res.Pass = permitted == c.ExpectPermitted
+			}
+		}
+		out.Results = append(out.Results, res)
+	}
+	return out, nil
+}
+
+// Format renders the suite result as a report table.
+func (r *SuiteResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "%-28s %-7s %-9s %s\n", "Case", "Pass", "Permitted", "Detail")
+	fmt.Fprintln(w, strings.Repeat("-", 80))
+	for _, res := range r.Results {
+		pass := "ok"
+		if !res.Pass {
+			pass = "FAIL"
+		}
+		detail := res.Case.Description
+		if res.SetupErr != nil {
+			detail = "setup: " + res.SetupErr.Error()
+		}
+		fmt.Fprintf(w, "%-28s %-7s %-9v %s\n", res.Case.ID, pass, res.Permitted, detail)
+	}
+	fmt.Fprintln(w, strings.Repeat("-", 80))
+	fmt.Fprintf(w, "passed %d/%d\n", r.Passed(), len(r.Results))
+}
+
+// TriggerCoverage reports which triggers of the model the suite exercises
+// as targets.
+func (s *Suite) TriggerCoverage() map[uml.Trigger]int {
+	out := make(map[uml.Trigger]int)
+	for _, c := range s.Cases {
+		out[c.Target.Trigger]++
+	}
+	return out
+}

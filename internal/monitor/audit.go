@@ -1,0 +1,42 @@
+package monitor
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// AuditWriter streams verdicts as NDJSON (one JSON document per line) —
+// the durable log the paper's automated-testing use case needs for "fault
+// localization". Install its Record method as Config.OnVerdict.
+type AuditWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewAuditWriter returns an audit writer emitting to w.
+func NewAuditWriter(w io.Writer) *AuditWriter {
+	return &AuditWriter{enc: json.NewEncoder(w)}
+}
+
+// Record writes one verdict line. Write failures are remembered and
+// reported by Err; monitoring must not fail because the audit sink did.
+func (a *AuditWriter) Record(v Verdict) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.err != nil {
+		return
+	}
+	docs := verdictDocs([]Verdict{v})
+	if err := a.enc.Encode(docs[0]); err != nil {
+		a.err = err
+	}
+}
+
+// Err returns the first write error, if any.
+func (a *AuditWriter) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}

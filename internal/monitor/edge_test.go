@@ -1,0 +1,142 @@
+package monitor
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cloudmon/internal/ocl"
+)
+
+// slowSecondSnapshot fails only on the post-state snapshot, isolating the
+// error path after forwarding.
+type slowSecondSnapshot struct {
+	pre   ocl.MapEnv
+	calls int
+}
+
+func (f *slowSecondSnapshot) Snapshot(_ *RequestContext, paths []string) (ocl.MapEnv, error) {
+	f.calls++
+	if f.calls > 1 {
+		return nil, errFake
+	}
+	out := make(ocl.MapEnv, len(paths))
+	for _, p := range paths {
+		if v, ok := f.pre[p]; ok {
+			out[p] = v
+		}
+	}
+	return out, nil
+}
+
+func TestPostSnapshotFailureIsError(t *testing.T) {
+	p := &slowSecondSnapshot{pre: env(2, 10, "available", "admin")}
+	m := newMonitor(t, Enforce, p, &fakeForwarder{status: 204})
+	rec := doDelete(t, m)
+	if rec.Code != http.StatusBadGateway {
+		t.Errorf("status = %d, want 502", rec.Code)
+	}
+	v := lastVerdict(t, m)
+	if v.Outcome != Error || !v.Forwarded {
+		t.Errorf("verdict = %+v", v)
+	}
+	if !strings.Contains(v.Detail, "post-state snapshot") {
+		t.Errorf("detail = %q", v.Detail)
+	}
+}
+
+// headerForwarder returns a response with headers and body to verify
+// pass-through fidelity.
+type headerForwarder struct{}
+
+func (headerForwarder) Forward(*http.Request, *Route, map[string]string) (*BackendResponse, error) {
+	h := http.Header{}
+	h.Set("X-Backend", "cinder")
+	h.Add("X-Multi", "a")
+	h.Add("X-Multi", "b")
+	return &BackendResponse{StatusCode: 200, Header: h, Body: []byte(`{"volume":{}}`)}, nil
+}
+
+func TestBackendHeadersAndBodyPassThrough(t *testing.T) {
+	p := &fakeProvider{
+		pre:  env(2, 10, "available", "admin"),
+		post: env(2, 10, "available", "admin"),
+	}
+	m := newMonitor(t, Enforce, p, headerForwarder{})
+	req := httptest.NewRequest(http.MethodGet, "/projects/p1/volumes/v1", nil)
+	req.Header.Set("X-Auth-Token", "tok")
+	rec := httptest.NewRecorder()
+	m.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if rec.Header().Get("X-Backend") != "cinder" {
+		t.Error("backend header lost")
+	}
+	if got := rec.Header().Values("X-Multi"); len(got) != 2 {
+		t.Errorf("multi-value header = %v", got)
+	}
+	if rec.Body.String() != `{"volume":{}}` {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}
+
+// TestMethodMismatchIs404 ensures a known pattern with the wrong verb does
+// not match a different trigger's route.
+func TestMethodMismatchIs404(t *testing.T) {
+	p := &fakeProvider{pre: env(1, 10, "available", "admin")}
+	m := newMonitor(t, Enforce, p, &fakeForwarder{status: 200})
+	// PATCH is not a modeled method at all.
+	req := httptest.NewRequest("PATCH", "/projects/p1/volumes/v1", nil)
+	rec := httptest.NewRecorder()
+	m.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("PATCH = %d, want 404", rec.Code)
+	}
+}
+
+// TestHTTPForwarderSubstitution checks param substitution and header
+// propagation of the default forwarder against a live backend.
+func TestHTTPForwarderSubstitution(t *testing.T) {
+	var gotPath, gotToken, gotBody string
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath = r.URL.Path
+		gotToken = r.Header.Get("X-Auth-Token")
+		buf := make([]byte, 64)
+		n, _ := r.Body.Read(buf)
+		gotBody = string(buf[:n])
+		w.WriteHeader(201)
+	}))
+	defer backend.Close()
+
+	f := &HTTPForwarder{BaseURL: backend.URL}
+	req := httptest.NewRequest(http.MethodPost, "/projects/p9/volumes",
+		strings.NewReader(`{"volume":{}}`))
+	req.Header.Set("X-Auth-Token", "tok-123")
+	route := &Route{Backend: "/volume/v3/{project_id}/volumes"}
+	resp, err := f.Forward(req, route, map[string]string{"project_id": "p9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 201 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	if gotPath != "/volume/v3/p9/volumes" {
+		t.Errorf("backend path = %q", gotPath)
+	}
+	if gotToken != "tok-123" {
+		t.Errorf("token = %q", gotToken)
+	}
+	if gotBody != `{"volume":{}}` {
+		t.Errorf("body = %q", gotBody)
+	}
+}
+
+func TestHTTPForwarderUnreachableBackend(t *testing.T) {
+	f := &HTTPForwarder{BaseURL: "http://127.0.0.1:1"}
+	req := httptest.NewRequest(http.MethodGet, "/x", nil)
+	if _, err := f.Forward(req, &Route{Backend: "/x"}, nil); err == nil {
+		t.Error("unreachable backend accepted")
+	}
+}

@@ -1,0 +1,184 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// inspected builds a monitor, drives one OK delete and one blocked delete,
+// and returns the inspect handler.
+func inspected(t *testing.T) (*Monitor, http.Handler) {
+	t.Helper()
+	p := &fakeProvider{
+		pre:  env(2, 10, "available", "admin"),
+		post: env(1, 10, "available", "admin"),
+	}
+	m := newMonitor(t, Enforce, p, &fakeForwarder{status: 204})
+	doDelete(t, m) // OK
+	p2 := &fakeProvider{pre: env(2, 10, "available", "member")}
+	m2 := newMonitor(t, Enforce, p2, &fakeForwarder{status: 204})
+	doDelete(t, m2) // Blocked (separate monitor to keep envs scripted)
+	return m, m.InspectHandler()
+}
+
+func getJSON(t *testing.T, h http.Handler, path string, out any) int {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("decode %s: %v (body %s)", path, err, rec.Body.String())
+		}
+	}
+	return rec.Code
+}
+
+func TestInspectLog(t *testing.T) {
+	_, h := inspected(t)
+	var body struct {
+		Verdicts []struct {
+			Trigger       string            `json:"trigger"`
+			Outcome       string            `json:"outcome"`
+			PreOK         bool              `json:"pre_ok"`
+			PreSnapshot   map[string]string `json:"pre_snapshot"`
+			ElapsedMicros int64             `json:"elapsed_micros"`
+		} `json:"verdicts"`
+	}
+	if code := getJSON(t, h, "/log", &body); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(body.Verdicts) != 1 {
+		t.Fatalf("verdicts = %d", len(body.Verdicts))
+	}
+	v := body.Verdicts[0]
+	if v.Trigger != "DELETE(volume)" || v.Outcome != "ok" || !v.PreOK {
+		t.Errorf("verdict = %+v", v)
+	}
+	// Snapshots are rendered in OCL literal syntax for fault localization.
+	if v.PreSnapshot["user.id.groups"] != "Set{'admin'}" {
+		t.Errorf("pre snapshot = %v", v.PreSnapshot)
+	}
+}
+
+func TestInspectViolationsEmptyOnCleanRun(t *testing.T) {
+	_, h := inspected(t)
+	var body struct {
+		Verdicts []json.RawMessage `json:"verdicts"`
+	}
+	if code := getJSON(t, h, "/violations", &body); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(body.Verdicts) != 0 {
+		t.Errorf("violations = %d, want 0", len(body.Verdicts))
+	}
+}
+
+func TestInspectCoverageAndOutcomes(t *testing.T) {
+	_, h := inspected(t)
+	var cov struct {
+		Coverage    map[string]int `json:"coverage"`
+		Transitions map[string]int `json:"transitions"`
+	}
+	getJSON(t, h, "/coverage", &cov)
+	if cov.Coverage["1.4"] != 1 || cov.Coverage["1.1"] != 0 {
+		t.Errorf("coverage = %v", cov.Coverage)
+	}
+	if len(cov.Transitions) != 11 {
+		t.Errorf("transition coverage universe = %d, want 11", len(cov.Transitions))
+	}
+	hits := 0
+	for _, n := range cov.Transitions {
+		hits += n
+	}
+	if hits != 1 {
+		t.Errorf("transition hits = %d, want 1", hits)
+	}
+	var out struct {
+		Outcomes map[string]int `json:"outcomes"`
+	}
+	getJSON(t, h, "/outcomes", &out)
+	if out.Outcomes["ok"] != 1 {
+		t.Errorf("outcomes = %v", out.Outcomes)
+	}
+}
+
+func TestInspectContracts(t *testing.T) {
+	_, h := inspected(t)
+	var body struct {
+		Contracts []struct {
+			Trigger    string   `json:"trigger"`
+			URI        string   `json:"uri"`
+			Pre        string   `json:"pre"`
+			SecReqs    []string `json:"sec_reqs"`
+			StatePaths []string `json:"state_paths"`
+		} `json:"contracts"`
+	}
+	getJSON(t, h, "/contracts", &body)
+	if len(body.Contracts) != 4 {
+		t.Fatalf("contracts = %d", len(body.Contracts))
+	}
+	found := false
+	for _, c := range body.Contracts {
+		if c.Trigger == "DELETE(volume)" {
+			found = true
+			if c.URI == "" || c.Pre == "" || len(c.StatePaths) == 0 {
+				t.Errorf("incomplete contract doc: %+v", c)
+			}
+			if len(c.SecReqs) != 1 || c.SecReqs[0] != "1.4" {
+				t.Errorf("sec_reqs = %v", c.SecReqs)
+			}
+		}
+	}
+	if !found {
+		t.Error("DELETE(volume) contract missing")
+	}
+}
+
+func TestInspectReset(t *testing.T) {
+	m, h := inspected(t)
+	req := httptest.NewRequest(http.MethodPost, "/reset", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("reset status = %d", rec.Code)
+	}
+	if len(m.Log()) != 0 {
+		t.Error("log not cleared")
+	}
+}
+
+func TestInspectStats(t *testing.T) {
+	m, h := inspected(t)
+	var body struct {
+		Stats []struct {
+			Trigger  string         `json:"trigger"`
+			Count    int            `json:"count"`
+			Outcomes map[string]int `json:"outcomes"`
+		} `json:"stats"`
+	}
+	if code := getJSON(t, h, "/stats", &body); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(body.Stats) != 1 {
+		t.Fatalf("stats = %+v", body.Stats)
+	}
+	st := body.Stats[0]
+	if st.Trigger != "DELETE(volume)" || st.Count != 1 || st.Outcomes["ok"] != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Programmatic access agrees.
+	stats := m.Stats()
+	if len(stats) != 1 || stats[0].Count != 1 {
+		t.Errorf("Stats() = %+v", stats)
+	}
+}
+
+func TestInspectUnknownPath(t *testing.T) {
+	_, h := inspected(t)
+	if code := getJSON(t, h, "/nope", nil); code != http.StatusNotFound {
+		t.Errorf("unknown path = %d", code)
+	}
+}

@@ -1,0 +1,703 @@
+// Package monitor implements the paper's Cloud Monitor (CM): a proxy
+// interface on top of a private cloud that verifies every intercepted
+// request against the contracts generated from the design models
+// (Figure 2's workflow).
+//
+// For each request the monitor:
+//
+//  1. snapshots the pre-state — only the navigation-path values the
+//     method's contract mentions ("a few bits of storage per method"),
+//  2. evaluates the pre-condition on the snapshot,
+//  3. forwards the request to the private cloud (in Enforce mode only if
+//     the pre-condition holds),
+//  4. snapshots the post-state and evaluates the post-condition with the
+//     pre-state bound to pre()/@pre references,
+//  5. returns the cloud's response, or an invalid-response document
+//     describing the contract violation.
+//
+// Two modes cover the paper's use cases (Section III.B): Enforce protects a
+// live cloud by blocking requests whose pre-condition fails; Observe
+// forwards everything and acts as a conformance test oracle — the mode the
+// mutation campaign uses, where a request the contract forbids but the
+// cloud accepts reveals a privilege-escalation fault.
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cloudmon/internal/contract"
+	"cloudmon/internal/httpkit"
+	"cloudmon/internal/ocl"
+	"cloudmon/internal/uml"
+)
+
+// Mode selects the monitor's behaviour on pre-condition failure.
+type Mode int
+
+// Monitor modes.
+const (
+	// Enforce blocks requests whose pre-condition fails (proxy
+	// protection; the workflow of Figure 2).
+	Enforce Mode = iota + 1
+	// Observe forwards every request and reports contract violations —
+	// the test-oracle mode used for mutation analysis.
+	Observe
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Enforce:
+		return "enforce"
+	case Observe:
+		return "observe"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Outcome classifies a monitored request.
+type Outcome int
+
+// Outcomes.
+const (
+	// OK: contract satisfied end to end.
+	OK Outcome = iota + 1
+	// Blocked: pre-condition failed in Enforce mode; not forwarded.
+	Blocked
+	// Rejected: pre-condition failed and the cloud also rejected the
+	// request (Observe mode) — correct behaviour.
+	Rejected
+	// ViolationForbiddenAccepted: the contract forbids the request but
+	// the cloud accepted it — privilege escalation or a broken guard.
+	ViolationForbiddenAccepted
+	// ViolationAllowedRejected: the contract permits the request but the
+	// cloud rejected it — an authorized user was denied access.
+	ViolationAllowedRejected
+	// ViolationPostcondition: the request was permitted and accepted but
+	// the observed effect contradicts the post-condition.
+	ViolationPostcondition
+	// Error: the monitor itself failed (cloud unreachable, evaluation
+	// error); no verdict about the cloud is implied.
+	Error
+)
+
+// String returns the outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Blocked:
+		return "blocked"
+	case Rejected:
+		return "rejected"
+	case ViolationForbiddenAccepted:
+		return "violation:forbidden-accepted"
+	case ViolationAllowedRejected:
+		return "violation:allowed-rejected"
+	case ViolationPostcondition:
+		return "violation:postcondition"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// IsViolation reports whether the outcome is a contract violation.
+func (o Outcome) IsViolation() bool {
+	switch o {
+	case ViolationForbiddenAccepted, ViolationAllowedRejected, ViolationPostcondition:
+		return true
+	}
+	return false
+}
+
+// RequestContext describes one intercepted request to the state provider.
+type RequestContext struct {
+	// Method and Resource identify the contract trigger.
+	Method   uml.HTTPMethod
+	Resource string
+	// Params are the URI captures (e.g. project_id, volume_id).
+	Params map[string]string
+	// Token is the requester's X-Auth-Token.
+	Token string
+}
+
+// StateProvider resolves the navigation paths a contract mentions to
+// current cloud state for a given request. Implementations query the
+// monitored cloud over REST (see package osbinding); tests use fakes.
+// Paths that navigate through missing resources must resolve to
+// ocl.Undefined; only infrastructure failures should return an error.
+type StateProvider interface {
+	Snapshot(ctx *RequestContext, paths []string) (ocl.MapEnv, error)
+}
+
+// Forwarder sends the (possibly rewritten) request to the private cloud
+// and returns its response. The default implementation rewrites the URI by
+// the route's backend template and uses an http.Client.
+type Forwarder interface {
+	Forward(r *http.Request, route *Route, params map[string]string) (*BackendResponse, error)
+}
+
+// BackendResponse is the captured cloud response.
+type BackendResponse struct {
+	StatusCode int
+	Header     http.Header
+	Body       []byte
+}
+
+// Succeeded reports whether the status code is 2xx.
+func (r *BackendResponse) Succeeded() bool {
+	return r.StatusCode >= 200 && r.StatusCode <= 299
+}
+
+// Route binds a contract to URI patterns: Pattern is the monitor-facing
+// URI (from the resource model); Backend is the cloud URI template with
+// the same `{name}` placeholders.
+type Route struct {
+	Trigger uml.Trigger
+	Pattern string
+	Backend string
+}
+
+// Verdict records the monitoring result for one request.
+type Verdict struct {
+	Trigger   uml.Trigger
+	Outcome   Outcome
+	PreOK     bool
+	PostOK    bool
+	Forwarded bool
+	// BackendStatus is the cloud's response code (0 when not forwarded).
+	BackendStatus int
+	// SecReqs are the security requirements attached to the contract.
+	SecReqs []string
+	// MatchedSecReqs are the requirements of the transition cases whose
+	// pre-condition held — the coverage signal of Section IV.C.
+	MatchedSecReqs []string
+	// MatchedTransitions identifies the transition cases whose
+	// pre-condition held, as "From->To" labels — model-element coverage
+	// for the behavioral diagram.
+	MatchedTransitions []string
+	// PreSnapshot and PostSnapshot are the state the verdict was computed
+	// from, for fault localization.
+	PreSnapshot  ocl.MapEnv
+	PostSnapshot ocl.MapEnv
+	// Detail is a human-readable explanation for violations and errors.
+	Detail string
+	// Elapsed is the total monitoring duration.
+	Elapsed time.Duration
+}
+
+// CheckLevel selects how much of the contract the monitor verifies per
+// request — the ablation axis of the evaluation (a pre-only monitor halves
+// the state reads but cannot catch lost-effect faults).
+type CheckLevel int
+
+// Check levels.
+const (
+	// CheckFull verifies pre- and post-conditions (the paper's workflow).
+	CheckFull CheckLevel = iota + 1
+	// CheckPreOnly verifies only pre-conditions: no post-state snapshot,
+	// no effect verification.
+	CheckPreOnly
+)
+
+// String returns the level name.
+func (l CheckLevel) String() string {
+	switch l {
+	case CheckFull:
+		return "full"
+	case CheckPreOnly:
+		return "pre-only"
+	}
+	return fmt.Sprintf("CheckLevel(%d)", int(l))
+}
+
+// Config assembles a Monitor.
+type Config struct {
+	// Contracts are the generated contracts to enforce.
+	Contracts *contract.Set
+	// Routes map contract triggers to URI patterns. Required.
+	Routes []Route
+	// Provider snapshots cloud state. Required.
+	Provider StateProvider
+	// Forward sends requests to the cloud. Required.
+	Forward Forwarder
+	// Mode defaults to Enforce.
+	Mode Mode
+	// Level defaults to CheckFull.
+	Level CheckLevel
+	// MaxLog bounds the in-memory verdict log (default 1024).
+	MaxLog int
+	// OnVerdict, if set, is invoked synchronously with every recorded
+	// verdict — the hook for persistent audit logs and alerting.
+	OnVerdict func(Verdict)
+}
+
+// Monitor is the cloud monitor. Safe for concurrent use.
+type Monitor struct {
+	contracts *contract.Set
+	routes    []compiledRoute
+	provider  StateProvider
+	forward   Forwarder
+	mode      Mode
+	level     CheckLevel
+	onVerdict func(Verdict)
+
+	mu            sync.Mutex
+	log           []Verdict
+	maxLog        int
+	coverage      map[string]int
+	transCoverage map[string]int
+	outcomes      map[Outcome]int
+}
+
+type compiledRoute struct {
+	route    Route
+	segments []string
+	contract *contract.Contract
+}
+
+var _ http.Handler = (*Monitor)(nil)
+
+// New builds a monitor from the configuration.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.Contracts == nil {
+		return nil, fmt.Errorf("monitor: missing contracts")
+	}
+	if cfg.Provider == nil {
+		return nil, fmt.Errorf("monitor: missing state provider")
+	}
+	if cfg.Forward == nil {
+		return nil, fmt.Errorf("monitor: missing forwarder")
+	}
+	if len(cfg.Routes) == 0 {
+		return nil, fmt.Errorf("monitor: no routes")
+	}
+	mode := cfg.Mode
+	if mode == 0 {
+		mode = Enforce
+	}
+	level := cfg.Level
+	if level == 0 {
+		level = CheckFull
+	}
+	maxLog := cfg.MaxLog
+	if maxLog <= 0 {
+		maxLog = 1024
+	}
+	m := &Monitor{
+		contracts:     cfg.Contracts,
+		provider:      cfg.Provider,
+		forward:       cfg.Forward,
+		mode:          mode,
+		level:         level,
+		onVerdict:     cfg.OnVerdict,
+		maxLog:        maxLog,
+		coverage:      make(map[string]int),
+		transCoverage: make(map[string]int),
+		outcomes:      make(map[Outcome]int),
+	}
+	seen := make(map[string]bool, len(cfg.Routes))
+	for _, r := range cfg.Routes {
+		c, ok := cfg.Contracts.For(r.Trigger)
+		if !ok {
+			return nil, fmt.Errorf("monitor: route %s has no contract", r.Trigger)
+		}
+		key := string(r.Trigger.Method) + " " + r.Pattern
+		if seen[key] {
+			return nil, fmt.Errorf("monitor: conflicting routes for %s", key)
+		}
+		seen[key] = true
+		m.routes = append(m.routes, compiledRoute{
+			route:    r,
+			segments: splitPath(r.Pattern),
+			contract: c,
+		})
+	}
+	return m, nil
+}
+
+// Mode returns the monitor's mode.
+func (m *Monitor) Mode() Mode { return m.mode }
+
+// Level returns the monitor's check level.
+func (m *Monitor) Level() CheckLevel { return m.level }
+
+// ServeHTTP implements the proxy entry point.
+func (m *Monitor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	cr, params, ok := m.match(r)
+	if !ok {
+		httpkit.WriteError(w, httpkit.NotFound(
+			"cloud monitor has no contract route for %s %s", r.Method, r.URL.Path))
+		return
+	}
+	verdict, resp := m.check(r, cr, params)
+	m.record(verdict)
+	m.respond(w, verdict, resp)
+}
+
+// match finds the route for the request.
+func (m *Monitor) match(r *http.Request) (*compiledRoute, map[string]string, bool) {
+	segs := splitPath(r.URL.Path)
+	for i := range m.routes {
+		cr := &m.routes[i]
+		if string(cr.route.Trigger.Method) != r.Method {
+			continue
+		}
+		if params, ok := matchSegments(cr.segments, segs); ok {
+			if params == nil {
+				params = map[string]string{}
+			}
+			return cr, params, true
+		}
+	}
+	return nil, nil, false
+}
+
+// check runs the full monitoring workflow for a matched request and
+// returns the verdict plus the backend response (nil when not forwarded).
+func (m *Monitor) check(r *http.Request, cr *compiledRoute, params map[string]string) (Verdict, *BackendResponse) {
+	start := time.Now()
+	c := cr.contract
+	reqCtx := &RequestContext{
+		Method:   c.Trigger.Method,
+		Resource: c.Trigger.Resource,
+		Params:   params,
+		Token:    r.Header.Get("X-Auth-Token"),
+	}
+	v := Verdict{Trigger: c.Trigger, SecReqs: c.SecReqs}
+	finish := func(outcome Outcome, detail string) Verdict {
+		v.Outcome = outcome
+		v.Detail = detail
+		v.Elapsed = time.Since(start)
+		return v
+	}
+
+	paths := c.StatePaths()
+	pre, err := m.provider.Snapshot(reqCtx, paths)
+	if err != nil {
+		return finish(Error, fmt.Sprintf("pre-state snapshot: %v", err)), nil
+	}
+	v.PreSnapshot = pre
+
+	preOK, matched, matchedTrans, err := evalPre(c, pre)
+	if err != nil {
+		return finish(Error, fmt.Sprintf("pre-condition evaluation: %v", err)), nil
+	}
+	v.PreOK = preOK
+	v.MatchedSecReqs = matched
+	v.MatchedTransitions = matchedTrans
+
+	if !preOK && m.mode == Enforce {
+		return finish(Blocked, "pre-condition failed; request not forwarded"), nil
+	}
+
+	resp, err := m.forward.Forward(r, &cr.route, params)
+	if err != nil {
+		return finish(Error, fmt.Sprintf("forward to cloud: %v", err)), nil
+	}
+	v.Forwarded = true
+	v.BackendStatus = resp.StatusCode
+
+	if !preOK {
+		// Observe mode with a forbidden request: the cloud must reject it.
+		if resp.Succeeded() {
+			return finish(ViolationForbiddenAccepted, fmt.Sprintf(
+				"contract forbids %s but cloud answered %d", c.Trigger, resp.StatusCode)), resp
+		}
+		return finish(Rejected, ""), resp
+	}
+
+	// Pre-condition held: the cloud must accept and produce the specified
+	// effect.
+	if !resp.Succeeded() {
+		return finish(ViolationAllowedRejected, fmt.Sprintf(
+			"contract permits %s but cloud answered %d", c.Trigger, resp.StatusCode)), resp
+	}
+
+	if m.level == CheckPreOnly {
+		// Ablated monitor: skip the post-state snapshot and effect check.
+		v.PostOK = true
+		return finish(OK, ""), resp
+	}
+
+	post, err := m.provider.Snapshot(reqCtx, paths)
+	if err != nil {
+		return finish(Error, fmt.Sprintf("post-state snapshot: %v", err)), resp
+	}
+	v.PostSnapshot = post
+	postOK, err := ocl.EvalBool(c.Post, ocl.Context{Cur: post, Pre: pre})
+	if err != nil {
+		return finish(Error, fmt.Sprintf("post-condition evaluation: %v", err)), resp
+	}
+	v.PostOK = postOK
+	if !postOK {
+		return finish(ViolationPostcondition, fmt.Sprintf(
+			"post-condition of %s failed: %s", c.Trigger, c.Post)), resp
+	}
+	return finish(OK, ""), resp
+}
+
+// evalPre evaluates the combined pre-condition and reports which cases'
+// SecReqs and transitions matched (for coverage).
+func evalPre(c *contract.Contract, env ocl.MapEnv) (bool, []string, []string, error) {
+	ctx := ocl.Context{Cur: env}
+	anyOK := false
+	var matched, matchedTrans []string
+	seen := make(map[string]bool)
+	for _, cs := range c.Cases {
+		ok, err := ocl.EvalBool(cs.Pre, ctx)
+		if err != nil {
+			return false, nil, nil, err
+		}
+		if !ok {
+			continue
+		}
+		anyOK = true
+		matchedTrans = append(matchedTrans,
+			cs.Transition.From+"->"+cs.Transition.To+" on "+cs.Transition.Trigger.String())
+		for _, s := range cs.Transition.SecReqs {
+			if !seen[s] {
+				seen[s] = true
+				matched = append(matched, s)
+			}
+		}
+	}
+	sort.Strings(matched)
+	return anyOK, matched, matchedTrans, nil
+}
+
+// violationBody is the invalid-response document returned to the CM user.
+type violationBody struct {
+	Violation struct {
+		Outcome string   `json:"outcome"`
+		Trigger string   `json:"trigger"`
+		Detail  string   `json:"detail"`
+		SecReqs []string `json:"sec_reqs,omitempty"`
+		Backend int      `json:"backend_status,omitempty"`
+	} `json:"violation"`
+}
+
+// respond writes the monitor's answer: the cloud's response when the
+// contract holds, or a violation document.
+func (m *Monitor) respond(w http.ResponseWriter, v Verdict, resp *BackendResponse) {
+	switch v.Outcome {
+	case OK, Rejected:
+		writeBackend(w, resp)
+	case Blocked:
+		httpkit.WriteError(w, httpkit.Errorf(http.StatusPreconditionFailed,
+			"precondition_failed", "cloud monitor: %s", v.Detail))
+	case Error:
+		httpkit.WriteError(w, httpkit.Errorf(http.StatusBadGateway,
+			"monitor_error", "cloud monitor: %s", v.Detail))
+	default: // violations
+		var body violationBody
+		body.Violation.Outcome = v.Outcome.String()
+		body.Violation.Trigger = v.Trigger.String()
+		body.Violation.Detail = v.Detail
+		body.Violation.SecReqs = v.SecReqs
+		body.Violation.Backend = v.BackendStatus
+		httpkit.WriteJSON(w, http.StatusConflict, body)
+	}
+}
+
+func writeBackend(w http.ResponseWriter, resp *BackendResponse) {
+	for k, vals := range resp.Header {
+		for _, val := range vals {
+			w.Header().Add(k, val)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	if len(resp.Body) > 0 {
+		// The response is already committed; a failed write only truncates
+		// the body for this one client.
+		_, _ = w.Write(resp.Body)
+	}
+}
+
+// record appends the verdict to the bounded log and updates counters.
+func (m *Monitor) record(v Verdict) {
+	m.mu.Lock()
+	if len(m.log) >= m.maxLog {
+		copy(m.log, m.log[1:])
+		m.log = m.log[:len(m.log)-1]
+	}
+	m.log = append(m.log, v)
+	m.outcomes[v.Outcome]++
+	for _, s := range v.MatchedSecReqs {
+		m.coverage[s]++
+	}
+	for _, tr := range v.MatchedTransitions {
+		m.transCoverage[tr]++
+	}
+	m.mu.Unlock()
+	if m.onVerdict != nil {
+		m.onVerdict(v)
+	}
+}
+
+// Log returns a copy of the verdict log (oldest first).
+func (m *Monitor) Log() []Verdict {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Verdict, len(m.log))
+	copy(out, m.log)
+	return out
+}
+
+// Violations returns the logged verdicts that are contract violations.
+func (m *Monitor) Violations() []Verdict {
+	var out []Verdict
+	for _, v := range m.Log() {
+		if v.Outcome.IsViolation() {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Coverage returns the hit count per security requirement: how often a
+// transition annotated with the requirement had its pre-condition matched.
+// Requirements declared by the contracts but never exercised appear with
+// count zero, so testers can see uncovered requirements (Section IV.C).
+func (m *Monitor) Coverage() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int, len(m.coverage))
+	for _, s := range m.contracts.SecReqs() {
+		out[s] = m.coverage[s]
+	}
+	return out
+}
+
+// TransitionCoverage returns per-transition hit counts — how often each
+// transition's case pre-condition matched a monitored request. Transitions
+// never exercised appear with count zero, giving model-element coverage of
+// the behavioral diagram.
+func (m *Monitor) TransitionCoverage() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int)
+	for _, c := range m.contracts.Contracts {
+		for _, cs := range c.Cases {
+			key := cs.Transition.From + "->" + cs.Transition.To + " on " + cs.Transition.Trigger.String()
+			out[key] = m.transCoverage[key]
+		}
+	}
+	return out
+}
+
+// Outcomes returns the count per outcome class.
+func (m *Monitor) Outcomes() map[Outcome]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[Outcome]int, len(m.outcomes))
+	for k, c := range m.outcomes {
+		out[k] = c
+	}
+	return out
+}
+
+// ResetLog clears the verdict log and counters (between mutation runs).
+func (m *Monitor) ResetLog() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.log = nil
+	m.coverage = make(map[string]int)
+	m.transCoverage = make(map[string]int)
+	m.outcomes = make(map[Outcome]int)
+}
+
+// splitPath splits a URL path into non-empty segments.
+func splitPath(p string) []string {
+	parts := strings.Split(strings.Trim(p, "/"), "/")
+	if len(parts) == 1 && parts[0] == "" {
+		return nil
+	}
+	return parts
+}
+
+// matchSegments matches concrete path segments against a pattern with
+// `{name}` captures.
+func matchSegments(pattern, segs []string) (map[string]string, bool) {
+	if len(pattern) != len(segs) {
+		return nil, false
+	}
+	var params map[string]string
+	for i, p := range pattern {
+		if strings.HasPrefix(p, "{") && strings.HasSuffix(p, "}") {
+			if params == nil {
+				params = make(map[string]string, 2)
+			}
+			params[p[1:len(p)-1]] = segs[i]
+			continue
+		}
+		if p != segs[i] {
+			return nil, false
+		}
+	}
+	return params, true
+}
+
+// HTTPForwarder is the default Forwarder: it substitutes the captured
+// params into the route's backend template and issues the request against
+// BaseURL with Client.
+type HTTPForwarder struct {
+	// BaseURL is the private cloud's root URL.
+	BaseURL string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+var _ Forwarder = (*HTTPForwarder)(nil)
+
+// Forward implements Forwarder.
+func (f *HTTPForwarder) Forward(r *http.Request, route *Route, params map[string]string) (*BackendResponse, error) {
+	target := route.Backend
+	for k, val := range params {
+		target = strings.ReplaceAll(target, "{"+k+"}", val)
+	}
+	var body io.Reader
+	if r.Body != nil {
+		data, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			return nil, fmt.Errorf("monitor: read request body: %w", err)
+		}
+		if len(data) > 0 {
+			body = strings.NewReader(string(data))
+		}
+	}
+	req, err := http.NewRequest(r.Method, f.BaseURL+target, body)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: build backend request: %w", err)
+	}
+	for _, h := range []string{"X-Auth-Token", "Content-Type", "Accept"} {
+		if val := r.Header.Get(h); val != "" {
+			req.Header.Set(h, val)
+		}
+	}
+	client := f.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: backend request: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("monitor: read backend response: %w", err)
+	}
+	return &BackendResponse{
+		StatusCode: resp.StatusCode,
+		Header:     resp.Header.Clone(),
+		Body:       data,
+	}, nil
+}

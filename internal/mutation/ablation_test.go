@@ -1,0 +1,50 @@
+package mutation
+
+import (
+	"testing"
+
+	"cloudmon/internal/monitor"
+)
+
+// TestAblationPreOnlyMissesLostEffects: the post-condition check earns its
+// cost — a pre-only monitor still kills every authorization mutant and the
+// guard-violating functional mutants, but the lost-effect mutants (F3
+// delete-noop, F4 create-noop) survive because only the post-state
+// comparison can see them.
+func TestAblationPreOnlyMissesLostEffects(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation campaign in -short mode")
+	}
+	report, err := RunCampaignWithOptions(Catalogue(), LabOptions{
+		Level: monitor.CheckPreOnly,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.BaselineViolations != 0 {
+		t.Errorf("baseline violations = %d", report.BaselineViolations)
+	}
+	survivors := map[string]bool{}
+	for _, run := range report.Runs {
+		if !run.Killed {
+			survivors[run.MutantID] = true
+		}
+	}
+	// The lost-effect mutants must survive pre-only checking.
+	for _, id := range []string{"F3", "F4"} {
+		if !survivors[id] {
+			t.Errorf("mutant %s killed by the pre-only monitor; post-conditions would be redundant", id)
+		}
+	}
+	// Everything else is still killed (pre checks + response-code
+	// comparison suffice for authorization and guard faults).
+	for _, run := range report.Runs {
+		if run.MutantID == "F3" || run.MutantID == "F4" {
+			continue
+		}
+		if !run.Killed {
+			t.Errorf("mutant %s (%s) unexpectedly survived pre-only checking",
+				run.MutantID, run.MutantName)
+		}
+	}
+}

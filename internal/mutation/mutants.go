@@ -1,0 +1,170 @@
+// Package mutation reproduces and extends the paper's validation
+// (Section VI.D): implementation faults — mutants — are systematically
+// injected into the simulated private cloud, a request matrix is driven
+// through the cloud monitor in its test-oracle mode, and a mutant counts
+// as killed when the monitor reports a contract violation.
+//
+// The paper injected three authorization mutants and killed all three; the
+// catalogue below contains those three (marked Paper) plus an extended set
+// of authorization and functional mutants.
+package mutation
+
+import (
+	"fmt"
+
+	"cloudmon/internal/openstack"
+	"cloudmon/internal/openstack/cinder"
+)
+
+// Kind classifies mutants.
+type Kind int
+
+// Mutant kinds.
+const (
+	// KindAuthorization mutants corrupt the access-control implementation
+	// (wrong role, dropped check, over/under-permissive policy).
+	KindAuthorization Kind = iota + 1
+	// KindFunctional mutants corrupt the functional behaviour the
+	// contracts specify (quota, status lifecycle, lost effects).
+	KindFunctional
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindAuthorization:
+		return "authorization"
+	case KindFunctional:
+		return "functional"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Mutant is one injectable implementation fault.
+type Mutant struct {
+	// ID is a short stable identifier, e.g. "A1".
+	ID string
+	// Name is a one-line summary.
+	Name string
+	// Description explains the developer error the mutant models.
+	Description string
+	// Kind classifies the fault.
+	Kind Kind
+	// Paper marks the three mutants reproducing the paper's validation.
+	Paper bool
+	// Apply injects the fault into a freshly built cloud.
+	Apply func(c *openstack.Cloud) error
+}
+
+// policyMutant builds a mutant that replaces one cinder policy rule.
+func policyMutant(id, name, desc, action, rule string, isPaper bool) Mutant {
+	return Mutant{
+		ID: id, Name: name, Description: desc,
+		Kind: KindAuthorization, Paper: isPaper,
+		Apply: func(c *openstack.Cloud) error {
+			p := c.Volumes.Policy().Clone()
+			if err := p.SetRule(action, rule); err != nil {
+				return fmt.Errorf("mutation %s: %w", id, err)
+			}
+			c.Volumes.SetPolicy(p)
+			return nil
+		},
+	}
+}
+
+// faultMutant builds a mutant that installs cinder fault flags.
+func faultMutant(id, name, desc string, kind Kind, f cinder.Faults) Mutant {
+	return Mutant{
+		ID: id, Name: name, Description: desc, Kind: kind,
+		Apply: func(c *openstack.Cloud) error {
+			c.Volumes.SetFaults(f)
+			return nil
+		},
+	}
+}
+
+// Catalogue returns the full mutant catalogue. The first three reproduce
+// the paper's validation mutants ("wrong authorization on resources").
+func Catalogue() []Mutant {
+	return []Mutant{
+		// --- The paper's three authorization mutants. ---
+		policyMutant("A1", "delete-allows-member",
+			"the DELETE policy wrongly grants the member role (privilege escalation)",
+			cinder.ActionDelete, "role:admin or role:member", true),
+		policyMutant("A2", "get-denies-user",
+			"the GET policy wrongly drops the user role (authorized user locked out)",
+			cinder.ActionGet, "role:admin or role:member", true),
+		{
+			ID:   "A3",
+			Name: "delete-check-dropped",
+			Description: "the developer forgot the authorization check on DELETE " +
+				"entirely; any authenticated user can delete volumes",
+			Kind: KindAuthorization, Paper: true,
+			Apply: func(c *openstack.Cloud) error {
+				c.Volumes.SetFaults(cinder.Faults{
+					SkipAuth: map[string]bool{cinder.ActionDelete: true},
+				})
+				return nil
+			},
+		},
+		// --- Extended authorization mutants. ---
+		policyMutant("A4", "create-allows-user",
+			"the POST policy wrongly grants the user role",
+			cinder.ActionCreate, "role:admin or role:member or role:user", false),
+		policyMutant("A5", "update-allows-user",
+			"the PUT policy wrongly grants the user role",
+			cinder.ActionUpdate, "role:admin or role:member or role:user", false),
+		policyMutant("A6", "delete-allows-anyone",
+			"the DELETE policy degenerates to always-allow",
+			cinder.ActionDelete, "@", false),
+		policyMutant("A7", "delete-denies-admin",
+			"a role-name typo denies DELETE even to administrators",
+			cinder.ActionDelete, "role:adm1n", false),
+		policyMutant("A8", "create-denies-member",
+			"the POST policy wrongly drops the member role",
+			cinder.ActionCreate, "role:admin", false),
+		policyMutant("A9", "update-denies-member",
+			"the PUT policy wrongly drops the member role",
+			cinder.ActionUpdate, "role:admin", false),
+		{
+			ID:   "A10",
+			Name: "create-check-dropped",
+			Description: "the developer forgot the authorization check on POST; " +
+				"any authenticated user can create volumes",
+			Kind: KindAuthorization,
+			Apply: func(c *openstack.Cloud) error {
+				c.Volumes.SetFaults(cinder.Faults{
+					SkipAuth: map[string]bool{cinder.ActionCreate: true},
+				})
+				return nil
+			},
+		},
+		// --- Functional mutants. ---
+		faultMutant("F1", "delete-ignores-in-use",
+			"DELETE removes volumes that are attached to an instance",
+			KindFunctional, cinder.Faults{IgnoreInUseOnDelete: true}),
+		faultMutant("F2", "create-ignores-quota",
+			"POST creates volumes beyond the project quota",
+			KindFunctional, cinder.Faults{IgnoreQuotaOnCreate: true}),
+		faultMutant("F3", "delete-is-noop",
+			"DELETE acknowledges with 204 but the volume is not removed",
+			KindFunctional, cinder.Faults{DeleteIsNoOp: true}),
+		faultMutant("F4", "create-is-noop",
+			"POST acknowledges with 202 but no volume is created",
+			KindFunctional, cinder.Faults{CreateIsNoOp: true}),
+		faultMutant("F5", "delete-wrong-status",
+			"DELETE answers 500 although the volume was removed",
+			KindFunctional, cinder.Faults{DeleteStatusCode: 500}),
+	}
+}
+
+// PaperMutants returns only the three mutants reproducing Section VI.D.
+func PaperMutants() []Mutant {
+	var out []Mutant
+	for _, m := range Catalogue() {
+		if m.Paper {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package mutation
+
+import (
+	"fmt"
+	"net/http"
+
+	"cloudmon/internal/core"
+	"cloudmon/internal/httpkit"
+	"cloudmon/internal/monitor"
+	"cloudmon/internal/openstack"
+	"cloudmon/internal/openstack/nova"
+	"cloudmon/internal/osbinding"
+	"cloudmon/internal/osclient"
+	"cloudmon/internal/paper"
+)
+
+// This file extends the validation to the compute service: the same
+// campaign design (inject faults into the cloud, drive a matrix through
+// the monitor, count kills) applied to the Nova server model — evidence
+// that the approach generalizes beyond the paper's Cinder case study.
+
+// NovaCatalogue returns authorization mutants for the compute service.
+func NovaCatalogue() []Mutant {
+	novaPolicyMutant := func(id, name, desc, action, rule string) Mutant {
+		return Mutant{
+			ID: id, Name: name, Description: desc, Kind: KindAuthorization,
+			Apply: func(c *openstack.Cloud) error {
+				p := c.Compute.Policy().Clone()
+				if err := p.SetRule(action, rule); err != nil {
+					return fmt.Errorf("mutation %s: %w", id, err)
+				}
+				c.Compute.SetPolicy(p)
+				return nil
+			},
+		}
+	}
+	return []Mutant{
+		novaPolicyMutant("N1", "server-delete-allows-member",
+			"the compute DELETE policy wrongly grants the member role",
+			nova.ActionDelete, "role:admin or role:member"),
+		novaPolicyMutant("N2", "server-get-denies-user",
+			"the compute GET policy wrongly drops the user role",
+			nova.ActionGet, "role:admin or role:member"),
+		novaPolicyMutant("N3", "server-create-allows-user",
+			"the compute POST policy wrongly grants the user role",
+			nova.ActionCreate, "role:admin or role:member or role:user"),
+		novaPolicyMutant("N4", "server-delete-denies-admin",
+			"a role-name typo denies server DELETE even to administrators",
+			nova.ActionDelete, "role:adm1n"),
+	}
+}
+
+// NovaLab is the compute-service twin of Lab: a fresh cloud monitored by
+// contracts generated from the Nova server model.
+type NovaLab struct {
+	Cloud     *openstack.Cloud
+	Sys       *core.System
+	ProjectID string
+
+	monClient *osclient.Client
+	tokens    map[string]string
+	created   []string
+	requests  int
+}
+
+// NewNovaLab builds the compute-model deployment.
+func NewNovaLab() (*NovaLab, error) {
+	cloud := openstack.New(openstack.Config{})
+	res := cloud.ApplySeed(openstack.Seed{
+		ProjectName: "myProject",
+		GroupRoles:  paper.GroupRole(),
+		Users:       labUsers,
+	})
+	cloudHTTP := httpkit.HandlerClient(cloud)
+	sys, err := core.Build(core.Options{
+		Model:    paper.NovaModel(),
+		CloudURL: "http://cloud.internal",
+		ServiceAccount: osbinding.ServiceAccount{
+			User: "cm-svc", Password: "pw-svc", ProjectID: res.ProjectID,
+		},
+		Mode:       monitor.Observe,
+		HTTPClient: cloudHTTP,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mutation: build nova monitor: %w", err)
+	}
+	lab := &NovaLab{
+		Cloud:     cloud,
+		Sys:       sys,
+		ProjectID: res.ProjectID,
+		tokens:    make(map[string]string, 3),
+	}
+	lab.monClient = osclient.New("http://monitor.internal")
+	lab.monClient.HTTPClient = httpkit.HandlerClient(sys.Monitor)
+	cloudClient := osclient.New("http://cloud.internal")
+	cloudClient.HTTPClient = cloudHTTP
+	for user, role := range map[string]string{
+		"alice": paper.RoleAdmin, "bob": paper.RoleMember, "carol": paper.RoleUser,
+	} {
+		auth := *cloudClient
+		tok, err := auth.Authenticate(user, "pw-"+user, res.ProjectID)
+		if err != nil {
+			return nil, fmt.Errorf("mutation: authenticate %s: %w", user, err)
+		}
+		lab.tokens[role] = tok
+	}
+	return lab, nil
+}
+
+func (l *NovaLab) serversPath() string {
+	return "/projects/" + l.ProjectID + "/servers"
+}
+
+func (l *NovaLab) as(role string) *osclient.Client {
+	return l.monClient.WithToken(l.tokens[role])
+}
+
+func (l *NovaLab) post(role string) string {
+	l.requests++
+	var out struct {
+		Server nova.Server `json:"server"`
+	}
+	in := map[string]map[string]string{"server": {"name": "srv"}}
+	if _, err := l.as(role).Do(http.MethodPost, l.serversPath(), in, &out, nil); err != nil {
+		return ""
+	}
+	l.created = append(l.created, out.Server.ID)
+	return out.Server.ID
+}
+
+func (l *NovaLab) get(role, id string) {
+	l.requests++
+	_, _ = l.as(role).Do(http.MethodGet, l.serversPath()+"/"+id, nil, nil, nil)
+}
+
+func (l *NovaLab) del(role, id string) {
+	l.requests++
+	_, _ = l.as(role).Do(http.MethodDelete, l.serversPath()+"/"+id, nil, nil, nil)
+}
+
+// RunMatrix drives the compute request matrix: creation by each role,
+// reads by each role, forbidden deletions, then cleanup by the admin.
+func (l *NovaLab) RunMatrix() int {
+	before := l.requests
+	s1 := l.post(paper.RoleAdmin)
+	l.post(paper.RoleMember)
+	l.post(paper.RoleUser) // forbidden
+
+	target := s1
+	if target == "" {
+		target = "missing-server"
+	}
+	for _, role := range []string{paper.RoleAdmin, paper.RoleMember, paper.RoleUser} {
+		l.get(role, target)
+	}
+	l.del(paper.RoleMember, target) // forbidden
+	l.del(paper.RoleUser, target)   // forbidden
+	for _, id := range l.created {
+		if id != "" {
+			l.del(paper.RoleAdmin, id)
+		}
+	}
+	return l.requests - before
+}
+
+// RunNovaCampaign executes the compute matrix against a clean deployment
+// and one fresh deployment per mutant.
+func RunNovaCampaign(mutants []Mutant) (*CampaignReport, error) {
+	report := &CampaignReport{}
+	baseline, err := NewNovaLab()
+	if err != nil {
+		return nil, err
+	}
+	report.BaselineRequests = baseline.RunMatrix()
+	report.BaselineViolations = len(baseline.Sys.Monitor.Violations())
+
+	for _, m := range mutants {
+		lab, err := NewNovaLab()
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Apply(lab.Cloud); err != nil {
+			return nil, err
+		}
+		requests := lab.RunMatrix()
+		violations := lab.Sys.Monitor.Violations()
+		run := RunReport{
+			MutantID:   m.ID,
+			MutantName: m.Name,
+			Kind:       m.Kind,
+			Paper:      m.Paper,
+			Killed:     len(violations) > 0,
+			Violations: len(violations),
+			Requests:   requests,
+		}
+		if len(violations) > 0 {
+			v := violations[0]
+			run.FirstViolation = fmt.Sprintf("%s on %s", v.Outcome, v.Trigger)
+		}
+		report.Runs = append(report.Runs, run)
+	}
+	return report, nil
+}

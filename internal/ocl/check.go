@@ -1,0 +1,50 @@
+package ocl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VocabularyFunc reports whether a navigation path is known to the model.
+// The contract generator derives one from the resource model so typos in
+// analyst-written formulas are caught at generation time, not at runtime.
+type VocabularyFunc func(path []string) bool
+
+// CheckVocabulary walks the expression and returns an error naming the
+// first free navigation path the vocabulary does not recognize. Iterator
+// variables are lexically scoped and exempt.
+func CheckVocabulary(e Expr, known VocabularyFunc) error {
+	var badPath string
+	collectNavPaths(e, map[string]int{}, func(dotted string) {
+		if badPath != "" {
+			return
+		}
+		if !known(strings.Split(dotted, ".")) {
+			badPath = dotted
+		}
+	})
+	if badPath != "" {
+		return fmt.Errorf("ocl: unknown navigation path %q", badPath)
+	}
+	return nil
+}
+
+// CheckNoPre returns an error if the expression uses pre()/@pre. Used to
+// validate pre-conditions and guards, which by definition have no pre-state.
+func CheckNoPre(e Expr) error {
+	if UsesPre(e) {
+		return fmt.Errorf("ocl: pre() old-value reference not allowed here: %s", e)
+	}
+	return nil
+}
+
+// Complexity returns the number of AST nodes in the expression — a simple
+// size metric used by the benchmarks (experiment E7 sweeps formula size).
+func Complexity(e Expr) int {
+	n := 0
+	Walk(e, func(Expr) bool {
+		n++
+		return true
+	})
+	return n
+}

@@ -1,0 +1,569 @@
+package ocl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// EvalError is an evaluation error (type mismatch, unknown operation, or a
+// pre() reference without a pre-state environment).
+type EvalError struct {
+	Expr    Expr
+	Message string
+}
+
+// Error implements the error interface.
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("ocl: eval %s: %s", e.Expr, e.Message)
+}
+
+// ErrNoPreState is returned when pre(...)/@pre is used without a pre-state
+// environment (e.g. inside a pre-condition).
+var ErrNoPreState = errors.New("ocl: pre() used without a pre-state environment")
+
+// Context carries the environments an evaluation reads from. Cur resolves
+// navigation in the current state; Pre resolves old values for pre()/@pre
+// and may be nil when no pre-state exists.
+type Context struct {
+	Cur Environment
+	Pre Environment
+}
+
+// Eval evaluates the expression in the context, returning an OCL value.
+// Navigation through missing resources yields Undefined (three-valued
+// logic applies to the boolean connectives); genuine failures (environment
+// errors, type mismatches) return a non-nil error.
+func Eval(e Expr, ctx Context) (Value, error) {
+	ev := evaluator{ctx: ctx, inPre: false}
+	return ev.eval(e)
+}
+
+// EvalBool evaluates the expression and converts the result to a boolean
+// verdict: true only if the expression evaluates to the Boolean true.
+// Undefined — e.g. a formula over a resource that does not exist — counts
+// as false, which is the conservative verdict for contract checking.
+func EvalBool(e Expr, ctx Context) (bool, error) {
+	v, err := Eval(e, ctx)
+	if err != nil {
+		return false, err
+	}
+	return v.Kind == KindBool && v.Bool, nil
+}
+
+type evaluator struct {
+	ctx Context
+	// inPre is true while evaluating inside pre(...) — navigation then
+	// resolves against the pre-state environment.
+	inPre bool
+	// scopes holds iterator-variable bindings, innermost last.
+	scopes []scopeBinding
+}
+
+type scopeBinding struct {
+	name  string
+	value Value
+}
+
+// lookupVar resolves an iterator variable from the innermost scope.
+func (ev *evaluator) lookupVar(name string) (Value, bool) {
+	for i := len(ev.scopes) - 1; i >= 0; i-- {
+		if ev.scopes[i].name == name {
+			return ev.scopes[i].value, true
+		}
+	}
+	return Value{}, false
+}
+
+func (ev *evaluator) eval(e Expr) (Value, error) {
+	switch n := e.(type) {
+	case *Lit:
+		return n.Value, nil
+	case *Nav:
+		// Iterator variables shadow navigation heads.
+		if v, ok := ev.lookupVar(n.Path[0]); ok {
+			if len(n.Path) > 1 {
+				return Value{}, &EvalError{Expr: e, Message: fmt.Sprintf(
+					"cannot navigate below iterator variable %q", n.Path[0])}
+			}
+			if n.AtPre {
+				return Value{}, &EvalError{Expr: e, Message: "@pre on an iterator variable"}
+			}
+			return v, nil
+		}
+		env := ev.ctx.Cur
+		if ev.inPre || n.AtPre {
+			env = ev.ctx.Pre
+			if env == nil {
+				return Value{}, ErrNoPreState
+			}
+		}
+		if env == nil {
+			return Value{}, &EvalError{Expr: e, Message: "no environment"}
+		}
+		return env.Resolve(n.Path)
+	case *PreExpr:
+		if ev.ctx.Pre == nil {
+			return Value{}, ErrNoPreState
+		}
+		saved := ev.inPre
+		ev.inPre = true
+		v, err := ev.eval(n.Expr)
+		ev.inPre = saved
+		return v, err
+	case *Unary:
+		return ev.evalUnary(n)
+	case *Binary:
+		return ev.evalBinary(n)
+	case *CollOp:
+		return ev.evalCollOp(n)
+	case *IterOp:
+		return ev.evalIterOp(n)
+	default:
+		return Value{}, &EvalError{Expr: e, Message: "unknown expression node"}
+	}
+}
+
+// evalIterOp evaluates forAll/exists/select/reject/collect with the
+// iterator variable bound per element. forAll over the empty collection is
+// true and exists is false, per OCL.
+func (ev *evaluator) evalIterOp(n *IterOp) (Value, error) {
+	recv, err := ev.eval(n.Recv)
+	if err != nil {
+		return Value{}, err
+	}
+	elems := asCollection(recv)
+	ev.scopes = append(ev.scopes, scopeBinding{name: n.Var})
+	defer func() { ev.scopes = ev.scopes[:len(ev.scopes)-1] }()
+	evalBody := func(elem Value) (Value, error) {
+		ev.scopes[len(ev.scopes)-1].value = elem
+		return ev.eval(n.Body)
+	}
+	switch n.Name {
+	case "forAll", "exists":
+		want := n.Name == "exists" // short-circuit value
+		sawUndefined := false
+		for _, elem := range elems {
+			v, err := evalBody(elem)
+			if err != nil {
+				return Value{}, err
+			}
+			b, def, err := boolOf(n, v)
+			if err != nil {
+				return Value{}, err
+			}
+			if !def {
+				sawUndefined = true
+				continue
+			}
+			if b == want {
+				return BoolVal(want), nil
+			}
+		}
+		if sawUndefined {
+			return Undefined(), nil
+		}
+		return BoolVal(!want), nil
+	case "select", "reject":
+		keepOn := n.Name == "select"
+		out := make([]Value, 0, len(elems))
+		for _, elem := range elems {
+			v, err := evalBody(elem)
+			if err != nil {
+				return Value{}, err
+			}
+			b, def, err := boolOf(n, v)
+			if err != nil {
+				return Value{}, err
+			}
+			if def && b == keepOn {
+				out = append(out, elem)
+			}
+		}
+		return CollectionVal(out...), nil
+	case "collect":
+		out := make([]Value, 0, len(elems))
+		for _, elem := range elems {
+			v, err := evalBody(elem)
+			if err != nil {
+				return Value{}, err
+			}
+			out = append(out, v)
+		}
+		return CollectionVal(out...), nil
+	default:
+		return Value{}, &EvalError{Expr: n, Message: "unknown iterator operation " + n.Name}
+	}
+}
+
+func (ev *evaluator) evalUnary(n *Unary) (Value, error) {
+	v, err := ev.eval(n.Expr)
+	if err != nil {
+		return Value{}, err
+	}
+	switch n.Op {
+	case OpNot:
+		if v.IsUndefined() {
+			return Undefined(), nil
+		}
+		if v.Kind != KindBool {
+			return Value{}, &EvalError{Expr: n, Message: "not applied to " + v.Kind.String()}
+		}
+		return BoolVal(!v.Bool), nil
+	case OpNeg:
+		if v.IsUndefined() {
+			return Undefined(), nil
+		}
+		if v.Kind != KindInt {
+			return Value{}, &EvalError{Expr: n, Message: "negation applied to " + v.Kind.String()}
+		}
+		return IntVal(-v.Int), nil
+	}
+	return Value{}, &EvalError{Expr: n, Message: "unknown unary operator"}
+}
+
+func (ev *evaluator) evalBinary(n *Binary) (Value, error) {
+	// Boolean connectives use OCL's three-valued (Kleene) semantics so
+	// that formulas over missing resources behave sensibly; they also
+	// short-circuit, which matters when navigation is backed by live REST
+	// queries.
+	switch n.Op {
+	case OpAnd, OpOr, OpImplies, OpXor:
+		return ev.evalLogic(n)
+	}
+	l, err := ev.eval(n.L)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := ev.eval(n.R)
+	if err != nil {
+		return Value{}, err
+	}
+	switch n.Op {
+	case OpEq:
+		return equalValues(l, r), nil
+	case OpNe:
+		eq := equalValues(l, r)
+		if eq.IsUndefined() {
+			return eq, nil
+		}
+		return BoolVal(!eq.Bool), nil
+	case OpLt, OpLe, OpGt, OpGe:
+		return compareValues(n, l, r)
+	case OpAdd, OpSub, OpMul, OpDiv:
+		return arithValues(n, l, r)
+	}
+	return Value{}, &EvalError{Expr: n, Message: "unknown binary operator"}
+}
+
+// evalLogic implements short-circuiting three-valued boolean connectives.
+func (ev *evaluator) evalLogic(n *Binary) (Value, error) {
+	l, err := ev.eval(n.L)
+	if err != nil {
+		return Value{}, err
+	}
+	lb, lDef, err := boolOf(n, l)
+	if err != nil {
+		return Value{}, err
+	}
+	// Short-circuit on a determined left operand.
+	switch n.Op {
+	case OpAnd:
+		if lDef && !lb {
+			return BoolVal(false), nil
+		}
+	case OpOr:
+		if lDef && lb {
+			return BoolVal(true), nil
+		}
+	case OpImplies:
+		if lDef && !lb {
+			return BoolVal(true), nil
+		}
+	}
+	r, err := ev.eval(n.R)
+	if err != nil {
+		return Value{}, err
+	}
+	rb, rDef, err := boolOf(n, r)
+	if err != nil {
+		return Value{}, err
+	}
+	switch n.Op {
+	case OpAnd:
+		if rDef && !rb {
+			return BoolVal(false), nil
+		}
+		if !lDef || !rDef {
+			return Undefined(), nil
+		}
+		return BoolVal(lb && rb), nil
+	case OpOr:
+		if rDef && rb {
+			return BoolVal(true), nil
+		}
+		if !lDef || !rDef {
+			return Undefined(), nil
+		}
+		return BoolVal(lb || rb), nil
+	case OpImplies:
+		if rDef && rb {
+			return BoolVal(true), nil
+		}
+		if !lDef || !rDef {
+			return Undefined(), nil
+		}
+		return BoolVal(!lb || rb), nil
+	case OpXor:
+		if !lDef || !rDef {
+			return Undefined(), nil
+		}
+		return BoolVal(lb != rb), nil
+	}
+	return Value{}, &EvalError{Expr: n, Message: "unknown logical operator"}
+}
+
+// boolOf extracts a boolean, reporting (value, defined, error). Undefined is
+// (false, false, nil); non-boolean kinds are errors.
+func boolOf(ctx Expr, v Value) (bool, bool, error) {
+	switch v.Kind {
+	case KindBool:
+		return v.Bool, true, nil
+	case KindUndefined:
+		return false, false, nil
+	default:
+		return false, false, &EvalError{Expr: ctx, Message: "boolean operator applied to " + v.Kind.String()}
+	}
+}
+
+// equalValues implements `=` with the documented coercions:
+//
+//   - Collection = scalar compares membership — the paper's
+//     `user.id.groups='admin'` tests that 'admin' is among the user's
+//     groups.
+//   - Collection = Integer additionally compares the collection size when
+//     the collection holds no integers (the paper writes
+//     `project.volumes < quota_sets.volume` and `project.volumes->size()=0`
+//     interchangeably for counts).
+//   - Undefined = anything is Undefined (except Undefined = Undefined,
+//     which is true).
+func equalValues(l, r Value) Value {
+	if l.IsUndefined() && r.IsUndefined() {
+		return BoolVal(true)
+	}
+	if l.IsUndefined() || r.IsUndefined() {
+		return Undefined()
+	}
+	// Membership coercion for collection vs scalar.
+	if l.Kind == KindCollection && r.Kind != KindCollection {
+		return collectionEqScalar(l, r)
+	}
+	if r.Kind == KindCollection && l.Kind != KindCollection {
+		return collectionEqScalar(r, l)
+	}
+	if l.Kind != r.Kind {
+		return BoolVal(false)
+	}
+	return BoolVal(l.Equal(r))
+}
+
+func collectionEqScalar(coll, scalar Value) Value {
+	for _, e := range coll.Elems {
+		if e.Equal(scalar) {
+			return BoolVal(true)
+		}
+	}
+	// Count coercion: an all-non-integer collection compared to an integer
+	// compares its size.
+	if scalar.Kind == KindInt {
+		for _, e := range coll.Elems {
+			if e.Kind == KindInt {
+				return BoolVal(false)
+			}
+		}
+		return BoolVal(len(coll.Elems) == scalar.Int)
+	}
+	return BoolVal(false)
+}
+
+// intOf coerces a value to an integer for ordering/arithmetic: integers map
+// to themselves and collections coerce to their size (the paper compares
+// `project.volumes` — a collection — against quota integers directly).
+func intOf(v Value) (int, bool) {
+	switch v.Kind {
+	case KindInt:
+		return v.Int, true
+	case KindCollection:
+		return len(v.Elems), true
+	default:
+		return 0, false
+	}
+}
+
+func compareValues(n *Binary, l, r Value) (Value, error) {
+	if l.IsUndefined() || r.IsUndefined() {
+		return Undefined(), nil
+	}
+	if l.Kind == KindString && r.Kind == KindString {
+		return BoolVal(compareOrd(n.Op, stringCmp(l.Str, r.Str))), nil
+	}
+	li, lok := intOf(l)
+	ri, rok := intOf(r)
+	if !lok || !rok {
+		return Value{}, &EvalError{Expr: n, Message: fmt.Sprintf(
+			"cannot order %s and %s", l.Kind, r.Kind)}
+	}
+	return BoolVal(compareOrd(n.Op, intCmp(li, ri))), nil
+}
+
+func intCmp(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func stringCmp(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func compareOrd(op BinOp, cmp int) bool {
+	switch op {
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+func arithValues(n *Binary, l, r Value) (Value, error) {
+	if l.IsUndefined() || r.IsUndefined() {
+		return Undefined(), nil
+	}
+	li, lok := intOf(l)
+	ri, rok := intOf(r)
+	if !lok || !rok {
+		return Value{}, &EvalError{Expr: n, Message: fmt.Sprintf(
+			"arithmetic on %s and %s", l.Kind, r.Kind)}
+	}
+	switch n.Op {
+	case OpAdd:
+		return IntVal(li + ri), nil
+	case OpSub:
+		return IntVal(li - ri), nil
+	case OpMul:
+		return IntVal(li * ri), nil
+	case OpDiv:
+		if ri == 0 {
+			return Undefined(), nil
+		}
+		return IntVal(li / ri), nil
+	}
+	return Value{}, &EvalError{Expr: n, Message: "unknown arithmetic operator"}
+}
+
+// asCollection coerces a value to collection elements. Scalars become
+// singleton collections (OCL's implicit collect); Undefined becomes the
+// empty collection, which is how "resource not found" reads as size 0.
+func asCollection(v Value) []Value {
+	switch v.Kind {
+	case KindCollection:
+		return v.Elems
+	case KindUndefined:
+		return nil
+	default:
+		return []Value{v}
+	}
+}
+
+func (ev *evaluator) evalCollOp(n *CollOp) (Value, error) {
+	recv, err := ev.eval(n.Recv)
+	if err != nil {
+		return Value{}, err
+	}
+	elems := asCollection(recv)
+	needArgs := func(k int) error {
+		if len(n.Args) != k {
+			return &EvalError{Expr: n, Message: fmt.Sprintf(
+				"%s expects %d argument(s), got %d", n.Name, k, len(n.Args))}
+		}
+		return nil
+	}
+	switch n.Name {
+	case "size":
+		if err := needArgs(0); err != nil {
+			return Value{}, err
+		}
+		return IntVal(len(elems)), nil
+	case "isEmpty":
+		if err := needArgs(0); err != nil {
+			return Value{}, err
+		}
+		return BoolVal(len(elems) == 0), nil
+	case "notEmpty":
+		if err := needArgs(0); err != nil {
+			return Value{}, err
+		}
+		return BoolVal(len(elems) > 0), nil
+	case "includes", "excludes", "count":
+		if err := needArgs(1); err != nil {
+			return Value{}, err
+		}
+		arg, err := ev.eval(n.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		count := 0
+		for _, e := range elems {
+			if e.Equal(arg) {
+				count++
+			}
+		}
+		switch n.Name {
+		case "includes":
+			return BoolVal(count > 0), nil
+		case "excludes":
+			return BoolVal(count == 0), nil
+		default:
+			return IntVal(count), nil
+		}
+	case "sum":
+		if err := needArgs(0); err != nil {
+			return Value{}, err
+		}
+		total := 0
+		for _, e := range elems {
+			i, ok := intOf(e)
+			if !ok {
+				return Value{}, &EvalError{Expr: n, Message: "sum over non-integer element"}
+			}
+			total += i
+		}
+		return IntVal(total), nil
+	case "first":
+		if err := needArgs(0); err != nil {
+			return Value{}, err
+		}
+		if len(elems) == 0 {
+			return Undefined(), nil
+		}
+		return elems[0], nil
+	default:
+		return Value{}, &EvalError{Expr: n, Message: "unknown collection operation " + n.Name}
+	}
+}

@@ -1,0 +1,87 @@
+package ocl
+
+import "testing"
+
+// FuzzParse checks the parser never panics and that accepted inputs have a
+// stable printed normal form (print -> parse -> print is idempotent). The
+// seed corpus runs under plain `go test`; use `go test -fuzz FuzzParse`
+// for continuous fuzzing.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"true",
+		"project.id->size()=1 and project.volumes->size()=0",
+		"project.volumes < quota_sets.volume and volume.status <> 'in-use'",
+		"user.id.groups='admin' or user.id.groups='member'",
+		"pre(project.volumes->size()) - 1",
+		"x@pre = 3",
+		"nums->select(n | n > 1)->size()",
+		"coll->forAll(g | g <> 'banned')",
+		"not (a and b) implies c xor d",
+		"1 + 2 * 3 / 4 - 5",
+		"(((((x)))))",
+		"'unterminated",
+		"a->",
+		"->size()",
+		"pre(",
+		"a | b",
+		"@pre",
+		"-9",
+		"a->includes('x', 'y')",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := e.String()
+		e2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form %q of %q does not re-parse: %v", printed, src, err)
+		}
+		if got := e2.String(); got != printed {
+			t.Fatalf("printing not idempotent: %q -> %q", printed, got)
+		}
+	})
+}
+
+// FuzzEval checks evaluation never panics on arbitrary accepted formulas
+// over a fixed environment.
+func FuzzEval(f *testing.F) {
+	for _, s := range []string{
+		"project.volumes->size() = 2",
+		"user.id.groups->forAll(g | g = 'admin')",
+		"pre(x) + 1 < y",
+		"a / 0",
+		"x->sum()",
+	} {
+		f.Add(s)
+	}
+	env := MapEnv{
+		"project.volumes": CollectionVal(StringVal("a"), StringVal("b")),
+		"user.id.groups":  StringsVal("admin"),
+		"x":               IntVal(1),
+		"y":               IntVal(2),
+		"a":               IntVal(3),
+	}
+	ctx := Context{Cur: env, Pre: env}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Eval may fail (type errors) but must not panic, and must be
+		// deterministic.
+		v1, err1 := Eval(e, ctx)
+		v2, err2 := Eval(e, ctx)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic error: %v vs %v", err1, err2)
+		}
+		if err1 == nil && !v1.Equal(v2) {
+			t.Fatalf("nondeterministic value: %v vs %v", v1, v2)
+		}
+	})
+}

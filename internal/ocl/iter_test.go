@@ -1,0 +1,189 @@
+package ocl
+
+import "testing"
+
+func iterEnv() MapEnv {
+	return MapEnv{
+		"user.id.groups":  StringsVal("admin", "member"),
+		"project.volumes": CollectionVal(StringVal("v1"), StringVal("v2"), StringVal("v3")),
+		"volume.id":       StringVal("v2"),
+		"nums":            CollectionVal(IntVal(1), IntVal(2), IntVal(3)),
+		"empty":           CollectionVal(),
+	}
+}
+
+func TestIteratorEval(t *testing.T) {
+	ctx := Context{Cur: iterEnv()}
+	tests := []struct {
+		src  string
+		want Value
+	}{
+		// forAll / exists with strings.
+		{"user.id.groups->forAll(g | g <> 'banned')", BoolVal(true)},
+		{"user.id.groups->forAll(g | g = 'admin')", BoolVal(false)},
+		{"user.id.groups->exists(g | g = 'member')", BoolVal(true)},
+		{"user.id.groups->exists(g | g = 'ghost')", BoolVal(false)},
+		// Membership of a navigated value.
+		{"project.volumes->exists(v | v = volume.id)", BoolVal(true)},
+		// Empty-collection semantics.
+		{"empty->forAll(x | x = 1)", BoolVal(true)},
+		{"empty->exists(x | x = 1)", BoolVal(false)},
+		// Scalars coerce to singleton collections.
+		{"volume.id->forAll(v | v = 'v2')", BoolVal(true)},
+		// select / reject / collect.
+		{"nums->select(n | n > 1)->size()", IntVal(2)},
+		{"nums->reject(n | n > 1)->size()", IntVal(1)},
+		{"nums->collect(n | n * 10)->sum()", IntVal(60)},
+		{"nums->select(n | n > 1)->sum()", IntVal(5)},
+		// Nested iterators with shadowing-free distinct vars.
+		{"nums->forAll(a | nums->exists(b | b = a))", BoolVal(true)},
+		// Undefined receiver behaves as empty.
+		{"missing->forAll(x | x = 1)", BoolVal(true)},
+		{"missing->exists(x | x = 1)", BoolVal(false)},
+	}
+	for _, tt := range tests {
+		got := evalSrc(t, tt.src, ctx)
+		if !got.Equal(tt.want) {
+			t.Errorf("Eval(%q) = %v, want %v", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestIteratorUndefinedBody(t *testing.T) {
+	ctx := Context{Cur: iterEnv()}
+	// A body that is undefined for some element leaves the verdict
+	// undetermined unless short-circuited.
+	v := evalSrc(t, "nums->forAll(n | missing = n)", ctx)
+	if !v.IsUndefined() {
+		t.Errorf("forAll with undefined body = %v, want undefined", v)
+	}
+	// ...but a definite witness still decides exists.
+	v = evalSrc(t, "nums->exists(n | n = 2 or missing = 1)", ctx)
+	if !v.Equal(BoolVal(true)) {
+		t.Errorf("exists with witness = %v", v)
+	}
+}
+
+func TestIteratorParsePrintRoundTrip(t *testing.T) {
+	srcs := []string{
+		"user.id.groups->forAll(g | g <> 'banned')",
+		"project.volumes->select(v | v = volume.id)->size() = 1",
+		"nums->collect(n | n + 1)->sum() > 0",
+		"nums->forAll(a | nums->exists(b | b = a))",
+	}
+	for _, src := range srcs {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		printed := e.String()
+		if printed != src {
+			t.Errorf("print = %q, want %q", printed, src)
+		}
+		if _, err := Parse(printed); err != nil {
+			t.Errorf("reparse of %q: %v", printed, err)
+		}
+	}
+}
+
+func TestIteratorParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"x->forAll(g g)",         // missing bar
+		"x->forAll()",            // iterator without variable
+		"x->frobAll(g | g = 1)",  // unknown iterator
+		"x->forAll(g | )",        // empty body
+		"x->forAll(g | g = 1",    // unclosed
+		"x->size(g | g)",         // non-iterator with variable form
+		"x->forAll(g | g = 1) =", // trailing operator
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): want error", src)
+		}
+	}
+}
+
+func TestIteratorEvalErrors(t *testing.T) {
+	ctx := Context{Cur: iterEnv()}
+	for _, src := range []string{
+		// Navigation below an iterator variable is not supported.
+		"nums->forAll(n | n.field = 1)",
+		// Non-boolean body for forAll.
+		"nums->forAll(n | n + 1)",
+	} {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if _, err := Eval(e, ctx); err == nil {
+			t.Errorf("Eval(%q): want error", src)
+		}
+	}
+}
+
+func TestIteratorVariableScoping(t *testing.T) {
+	// The iterator variable shadows an environment path of the same name
+	// inside the body only.
+	env := MapEnv{
+		"g":    StringVal("outer"),
+		"coll": StringsVal("inner"),
+	}
+	ctx := Context{Cur: env}
+	v := evalSrc(t, "coll->forAll(g | g = 'inner')", ctx)
+	if !v.Equal(BoolVal(true)) {
+		t.Errorf("shadowed variable = %v", v)
+	}
+	v = evalSrc(t, "g = 'outer'", ctx)
+	if !v.Equal(BoolVal(true)) {
+		t.Errorf("outer binding = %v", v)
+	}
+	// After the iterator, the outer binding is visible again.
+	v = evalSrc(t, "coll->forAll(g | g = 'inner') and g = 'outer'", ctx)
+	if !v.Equal(BoolVal(true)) {
+		t.Errorf("post-iterator binding = %v", v)
+	}
+}
+
+func TestIteratorNavPathsExcludeBoundVars(t *testing.T) {
+	e := MustParse("project.volumes->select(v | v = volume.id)->size() = 1")
+	paths := NavPaths(e)
+	want := map[string]bool{"project.volumes": true, "volume.id": true}
+	if len(paths) != len(want) {
+		t.Fatalf("NavPaths = %v", paths)
+	}
+	for _, p := range paths {
+		if !want[p] {
+			t.Errorf("unexpected path %q (iterator variable leaked?)", p)
+		}
+	}
+}
+
+func TestIteratorVocabularyExcludesBoundVars(t *testing.T) {
+	known := func(path []string) bool {
+		head := path[0]
+		return head == "project" || head == "volume"
+	}
+	e := MustParse("project.volumes->forAll(v | v <> volume.id)")
+	if err := CheckVocabulary(e, known); err != nil {
+		t.Errorf("bound variable rejected by vocabulary: %v", err)
+	}
+	e = MustParse("project.volumes->forAll(v | v <> ghost.id)")
+	if err := CheckVocabulary(e, known); err == nil {
+		t.Error("free unknown path accepted")
+	}
+}
+
+func TestIteratorInGuardThroughContractPipeline(t *testing.T) {
+	// Iterators compose with pre(): old collection contents.
+	pre := MapEnv{"project.volumes": StringsVal("a", "b")}
+	cur := MapEnv{"project.volumes": StringsVal("a")}
+	v := evalSrc(t, "pre(project.volumes)->forAll(x | x = 'a' or x = 'b')",
+		Context{Cur: cur, Pre: pre})
+	if !v.Equal(BoolVal(true)) {
+		t.Errorf("pre + iterator = %v", v)
+	}
+	v = evalSrc(t, "pre(project.volumes->select(x | x = 'b'))->size() = 1",
+		Context{Cur: cur, Pre: pre})
+	if !v.Equal(BoolVal(true)) {
+		t.Errorf("pre(select) = %v", v)
+	}
+}

@@ -1,0 +1,276 @@
+package ocl
+
+import "fmt"
+
+// Parse parses an OCL expression from source. The empty (or all-whitespace)
+// string parses to the true literal, matching the convention that omitted
+// guards/invariants mean "true".
+func Parse(src string) (Expr, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	if p.peek().Kind == TokEOF {
+		return True(), nil
+	}
+	e, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if tok := p.peek(); tok.Kind != TokEOF {
+		return nil, p.errf(tok.Pos, "unexpected %s after expression", tok.Kind)
+	}
+	return e, nil
+}
+
+// MustParse parses src and panics on error. For use in tests and in
+// programmatically-built models with constant expressions.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src  string
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) advance() Token {
+	tok := p.toks[p.pos]
+	if tok.Kind != TokEOF {
+		p.pos++
+	}
+	return tok
+}
+
+func (p *parser) expect(kind TokenKind) (Token, error) {
+	tok := p.peek()
+	if tok.Kind != kind {
+		return Token{}, p.errf(tok.Pos, "expected %s, got %s", kind, tok.Kind)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Message: fmt.Sprintf(format, args...), Src: p.src}
+}
+
+// binOpFor maps a token to a binary operator, if it is one.
+func binOpFor(kind TokenKind) (BinOp, bool) {
+	switch kind {
+	case TokImplies:
+		return OpImplies, true
+	case TokOr:
+		return OpOr, true
+	case TokXor:
+		return OpXor, true
+	case TokAnd:
+		return OpAnd, true
+	case TokEq:
+		return OpEq, true
+	case TokNe:
+		return OpNe, true
+	case TokLt:
+		return OpLt, true
+	case TokLe:
+		return OpLe, true
+	case TokGt:
+		return OpGt, true
+	case TokGe:
+		return OpGe, true
+	case TokPlus:
+		return OpAdd, true
+	case TokMinus:
+		return OpSub, true
+	case TokStar:
+		return OpMul, true
+	case TokSlash:
+		return OpDiv, true
+	}
+	return 0, false
+}
+
+// parseExpr is a precedence-climbing expression parser. minPrec is the
+// minimum operator precedence to consume.
+func (p *parser) parseExpr(minPrec int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := binOpFor(p.peek().Kind)
+		if !ok || op.precedence() < minPrec {
+			return left, nil
+		}
+		p.advance()
+		// Left-associative: parse the right side at one level tighter.
+		right, err := p.parseExpr(op.precedence() + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch tok := p.peek(); tok.Kind {
+	case TokNot:
+		p.advance()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: OpNot, Expr: e}, nil
+	case TokMinus:
+		p.advance()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: OpNeg, Expr: e}, nil
+	}
+	return p.parsePostfix()
+}
+
+// parsePostfix parses a primary expression followed by any chain of
+// `->op(args)` collection operations and `@pre` suffixes.
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().Kind {
+		case TokArrow:
+			p.advance()
+			name, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokLParen); err != nil {
+				return nil, err
+			}
+			// Iterator form: ->name(var | body).
+			if p.peek().Kind == TokIdent && p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == TokBar {
+				if !iterNames[name.Text] {
+					return nil, p.errf(name.Pos, "unknown iterator operation %q", name.Text)
+				}
+				varTok := p.advance()
+				p.advance() // the bar
+				body, err := p.parseExpr(0)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokRParen); err != nil {
+					return nil, err
+				}
+				e = &IterOp{Recv: e, Name: name.Text, Var: varTok.Text, Body: body}
+				continue
+			}
+			if iterNames[name.Text] {
+				return nil, p.errf(name.Pos, "iterator %q requires a variable: ->%s(v | ...)",
+					name.Text, name.Text)
+			}
+			var args []Expr
+			if p.peek().Kind != TokRParen {
+				for {
+					arg, err := p.parseExpr(0)
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, arg)
+					if p.peek().Kind != TokComma {
+						break
+					}
+					p.advance()
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			e = &CollOp{Recv: e, Name: name.Text, Args: args}
+		case TokAt:
+			// `@pre` suffix on a navigation path.
+			p.advance()
+			word, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if word.Text != "pre" {
+				return nil, p.errf(word.Pos, "expected 'pre' after '@', got %q", word.Text)
+			}
+			nav, ok := e.(*Nav)
+			if !ok {
+				return nil, p.errf(word.Pos, "@pre may only follow a navigation path")
+			}
+			nav.AtPre = true
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch tok := p.peek(); tok.Kind {
+	case TokLParen:
+		p.advance()
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokPre:
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &PreExpr{Expr: inner}, nil
+	case TokTrue:
+		p.advance()
+		return &Lit{Value: BoolVal(true)}, nil
+	case TokFalse:
+		p.advance()
+		return &Lit{Value: BoolVal(false)}, nil
+	case TokInt:
+		p.advance()
+		n, ok := unquoteInt(tok.Text)
+		if !ok {
+			return nil, p.errf(tok.Pos, "invalid integer literal %q", tok.Text)
+		}
+		return &Lit{Value: IntVal(n)}, nil
+	case TokString:
+		p.advance()
+		return &Lit{Value: StringVal(tok.Text)}, nil
+	case TokIdent:
+		p.advance()
+		path := []string{tok.Text}
+		for p.peek().Kind == TokDot {
+			p.advance()
+			seg, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			path = append(path, seg.Text)
+		}
+		return &Nav{Path: path}, nil
+	default:
+		return nil, p.errf(tok.Pos, "unexpected %s", tok.Kind)
+	}
+}

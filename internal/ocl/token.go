@@ -1,0 +1,124 @@
+package ocl
+
+import "fmt"
+
+// TokenKind enumerates lexical token kinds.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota + 1
+	TokIdent
+	TokInt
+	TokString // 'single-quoted'
+	TokLParen
+	TokRParen
+	TokDot
+	TokComma
+	TokArrow   // ->
+	TokEq      // =
+	TokNe      // <>
+	TokLt      // <
+	TokLe      // <=
+	TokGt      // >
+	TokGe      // >=
+	TokPlus    // +
+	TokMinus   // -
+	TokStar    // *
+	TokSlash   // /
+	TokAnd     // and
+	TokOr      // or
+	TokXor     // xor
+	TokNot     // not
+	TokImplies // implies, also accepted as => or ==>
+	TokTrue    // true
+	TokFalse   // false
+	TokPre     // pre  (old-value operator / @pre)
+	TokAt      // @
+	TokBar     // |  (iterator variable separator)
+)
+
+// String returns a human-readable token kind name.
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokInt:
+		return "integer"
+	case TokString:
+		return "string"
+	case TokLParen:
+		return "("
+	case TokRParen:
+		return ")"
+	case TokDot:
+		return "."
+	case TokComma:
+		return ","
+	case TokArrow:
+		return "->"
+	case TokEq:
+		return "="
+	case TokNe:
+		return "<>"
+	case TokLt:
+		return "<"
+	case TokLe:
+		return "<="
+	case TokGt:
+		return ">"
+	case TokGe:
+		return ">="
+	case TokPlus:
+		return "+"
+	case TokMinus:
+		return "-"
+	case TokStar:
+		return "*"
+	case TokSlash:
+		return "/"
+	case TokAnd:
+		return "and"
+	case TokOr:
+		return "or"
+	case TokXor:
+		return "xor"
+	case TokNot:
+		return "not"
+	case TokImplies:
+		return "implies"
+	case TokTrue:
+		return "true"
+	case TokFalse:
+		return "false"
+	case TokPre:
+		return "pre"
+	case TokAt:
+		return "@"
+	case TokBar:
+		return "|"
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+// SyntaxError is a lexing or parsing error with the byte offset into the
+// expression source.
+type SyntaxError struct {
+	Pos     int
+	Message string
+	Src     string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("ocl: syntax error at offset %d: %s (in %q)", e.Pos, e.Message, e.Src)
+}

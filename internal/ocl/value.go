@@ -1,0 +1,195 @@
+// Package ocl implements the OCL (Object Constraint Language) subset the
+// paper uses for state invariants, guards and effects: boolean connectives
+// (and, or, not, implies), comparisons, integer arithmetic, navigation paths
+// over addressable resources, collection operations (->size(), ->isEmpty(),
+// ->notEmpty(), ->includes(v)), and the pre(...) old-value operator used in
+// post-conditions.
+//
+// Expressions are parsed once into an AST and evaluated against an
+// Environment that resolves navigation paths (e.g. project.volumes) to
+// values. The cloud monitor supplies an Environment backed by live REST
+// queries against the monitored cloud; tests supply map-backed environments.
+package ocl
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the value kinds the evaluator produces.
+type Kind int
+
+// Value kinds. Enums start at 1 so the zero Kind is detectably invalid.
+const (
+	KindBool Kind = iota + 1
+	KindInt
+	KindString
+	KindCollection
+	KindUndefined
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindBool:
+		return "Boolean"
+	case KindInt:
+		return "Integer"
+	case KindString:
+		return "String"
+	case KindCollection:
+		return "Collection"
+	case KindUndefined:
+		return "OclUndefined"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Value is an OCL runtime value. Exactly one field (selected by Kind) is
+// meaningful. Undefined models OCL's OclUndefined: navigation over a
+// missing/unreachable resource yields Undefined rather than an error, which
+// is how the paper maps "GET returned non-200" into formulas (the
+// `project.volumes->size()=0` reading in Section IV.B).
+type Value struct {
+	Kind Kind
+	Bool bool
+	Int  int
+	Str  string
+	// Elems holds collection elements.
+	Elems []Value
+}
+
+// Convenience constructors.
+
+// BoolVal returns a Boolean value.
+func BoolVal(b bool) Value { return Value{Kind: KindBool, Bool: b} }
+
+// IntVal returns an Integer value.
+func IntVal(i int) Value { return Value{Kind: KindInt, Int: i} }
+
+// StringVal returns a String value.
+func StringVal(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// CollectionVal returns a Collection value over elems. The slice is copied
+// so callers may reuse their buffer.
+func CollectionVal(elems ...Value) Value {
+	cp := make([]Value, len(elems))
+	copy(cp, elems)
+	return Value{Kind: KindCollection, Elems: cp}
+}
+
+// StringsVal returns a Collection of String values.
+func StringsVal(ss ...string) Value {
+	elems := make([]Value, len(ss))
+	for i, s := range ss {
+		elems[i] = StringVal(s)
+	}
+	return Value{Kind: KindCollection, Elems: elems}
+}
+
+// Undefined is the OclUndefined value.
+func Undefined() Value { return Value{Kind: KindUndefined} }
+
+// IsUndefined reports whether the value is OclUndefined.
+func (v Value) IsUndefined() bool { return v.Kind == KindUndefined }
+
+// Size returns the collection cardinality. Non-collection values have
+// size 1 in OCL (a single object coerces to the singleton collection);
+// Undefined has size 0 — this matches the paper's idiom where
+// `project.id->size()=1` tests that GET on the resource returned 200.
+func (v Value) Size() int {
+	switch v.Kind {
+	case KindCollection:
+		return len(v.Elems)
+	case KindUndefined:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// Equal reports deep value equality.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindBool:
+		return v.Bool == o.Bool
+	case KindInt:
+		return v.Int == o.Int
+	case KindString:
+		return v.Str == o.Str
+	case KindUndefined:
+		return true
+	case KindCollection:
+		if len(v.Elems) != len(o.Elems) {
+			return false
+		}
+		for i := range v.Elems {
+			if !v.Elems[i].Equal(o.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// String renders the value in OCL-ish literal syntax.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindBool:
+		return strconv.FormatBool(v.Bool)
+	case KindInt:
+		return strconv.Itoa(v.Int)
+	case KindString:
+		return "'" + v.Str + "'"
+	case KindUndefined:
+		return "OclUndefined"
+	case KindCollection:
+		parts := make([]string, len(v.Elems))
+		for i, e := range v.Elems {
+			parts[i] = e.String()
+		}
+		return "Set{" + strings.Join(parts, ", ") + "}"
+	}
+	return "<invalid>"
+}
+
+// Environment resolves navigation paths to values. Paths are the dotted
+// prefixes of OCL navigation expressions, e.g. ["project", "volumes"].
+// Implementations return (Undefined(), nil) for paths that navigate through
+// missing resources, and a non-nil error only for infrastructure failures
+// (e.g. the monitored cloud is unreachable).
+type Environment interface {
+	Resolve(path []string) (Value, error)
+}
+
+// MapEnv is a map-backed Environment keyed by the dotted path. It is the
+// standard environment for tests and for the monitor's state snapshots.
+type MapEnv map[string]Value
+
+var _ Environment = MapEnv(nil)
+
+// Resolve implements Environment. Unknown paths resolve to Undefined.
+func (m MapEnv) Resolve(path []string) (Value, error) {
+	v, ok := m[strings.Join(path, ".")]
+	if !ok {
+		return Undefined(), nil
+	}
+	return v, nil
+}
+
+// Keys returns the sorted keys of the environment (useful for deterministic
+// snapshot reporting).
+func (m MapEnv) Keys() []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,466 @@
+// Package cinder simulates the OpenStack block-storage service: volumes
+// with a status lifecycle, per-project quota sets, and policy.json-based
+// authorization of every request. It is the service the paper's case study
+// monitors (Section II and Section VI).
+//
+// The service exposes deliberate fault-injection hooks (Faults) so the
+// mutation framework can reproduce the paper's validation: authorization
+// and functional mutants are injected into the *cloud implementation* and
+// the cloud monitor must detect them.
+package cinder
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"cloudmon/internal/httpkit"
+	"cloudmon/internal/openstack/keystone"
+	"cloudmon/internal/rbac"
+)
+
+// Volume statuses used by the simulator. Creation is synchronous, so new
+// volumes are immediately "available"; attachment (driven by nova) moves
+// them to "in-use".
+const (
+	StatusAvailable = "available"
+	StatusInUse     = "in-use"
+	StatusError     = "error"
+)
+
+// Policy action names enforced by the service.
+const (
+	ActionGet         = "volume:get"
+	ActionCreate      = "volume:create"
+	ActionUpdate      = "volume:update"
+	ActionDelete      = "volume:delete"
+	ActionQuotaGet    = "quota:get"
+	ActionQuotaUpdate = "quota:update"
+)
+
+// DefaultPolicy returns the policy.json the example deployment ships with:
+// the direct encoding of the paper's Table I.
+func DefaultPolicy() *rbac.Policy {
+	return rbac.MustPolicy(map[string]string{
+		ActionGet:         "role:admin or role:member or role:user",
+		ActionCreate:      "role:admin or role:member",
+		ActionUpdate:      "role:admin or role:member",
+		ActionDelete:      "role:admin",
+		ActionQuotaGet:    "role:admin or role:member or role:user",
+		ActionQuotaUpdate: "role:admin",
+	})
+}
+
+// Volume is a block-storage volume.
+type Volume struct {
+	ID        string `json:"id"`
+	ProjectID string `json:"-"`
+	Name      string `json:"name"`
+	SizeGB    int    `json:"size"`
+	Status    string `json:"status"`
+	// AttachedTo is the server the volume is attached to, if any.
+	AttachedTo string `json:"attached_to,omitempty"`
+}
+
+// QuotaSet carries the per-project resource limits. The paper's behavioral
+// model reads quota_sets.volume — the maximum number of volumes.
+type QuotaSet struct {
+	Volumes   int `json:"volumes"`
+	Gigabytes int `json:"gigabytes"`
+}
+
+// DefaultQuota is applied to projects without an explicit quota set.
+var DefaultQuota = QuotaSet{Volumes: 10, Gigabytes: 1000}
+
+// TokenValidator resolves bearer tokens; keystone.Service satisfies it.
+type TokenValidator interface {
+	Validate(tokenID string) (*keystone.Token, error)
+}
+
+// Faults are the mutation hooks: each field models a class of
+// implementation error a cloud developer could introduce. All zero values
+// mean "correct implementation".
+type Faults struct {
+	// SkipAuth disables the policy check for the given actions — the
+	// "missing authorization check" mutant.
+	SkipAuth map[string]bool
+	// IgnoreInUseOnDelete deletes volumes even when attached — the
+	// functional mutant violating the DELETE guard.
+	IgnoreInUseOnDelete bool
+	// IgnoreQuotaOnCreate creates volumes beyond the project quota.
+	IgnoreQuotaOnCreate bool
+	// DeleteStatusCode overrides the (correct) 204 success status of
+	// DELETE — the "wrong response code" mutant. Zero means correct.
+	DeleteStatusCode int
+	// DeleteIsNoOp acknowledges DELETE without removing the volume — a
+	// lost-update mutant only the post-condition can catch.
+	DeleteIsNoOp bool
+	// CreateIsNoOp acknowledges POST without creating the volume.
+	CreateIsNoOp bool
+}
+
+// Service is the simulated block-storage service. Safe for concurrent use.
+type Service struct {
+	mu      sync.RWMutex
+	volumes map[string]*Volume // by volume ID
+	quotas  map[string]QuotaSet
+	policy  *rbac.Policy
+	tokens  TokenValidator
+	faults  Faults
+	nextID  int
+}
+
+// New returns a cinder service authorizing via the validator and policy.
+// A nil policy selects DefaultPolicy.
+func New(tokens TokenValidator, policy *rbac.Policy) *Service {
+	if policy == nil {
+		policy = DefaultPolicy()
+	}
+	return &Service{
+		volumes: make(map[string]*Volume),
+		quotas:  make(map[string]QuotaSet),
+		policy:  policy,
+		tokens:  tokens,
+	}
+}
+
+// SetPolicy swaps the enforcement policy (mutation campaigns use this).
+func (s *Service) SetPolicy(p *rbac.Policy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.policy = p
+}
+
+// Policy returns the current enforcement policy.
+func (s *Service) Policy() *rbac.Policy {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.policy
+}
+
+// SetFaults installs mutation hooks.
+func (s *Service) SetFaults(f Faults) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = f
+}
+
+// SetQuota sets the project's quota.
+func (s *Service) SetQuota(projectID string, q QuotaSet) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quotas[projectID] = q
+}
+
+// Quota returns the project's quota (or the default).
+func (s *Service) Quota(projectID string) QuotaSet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.quotaLocked(projectID)
+}
+
+func (s *Service) quotaLocked(projectID string) QuotaSet {
+	if q, ok := s.quotas[projectID]; ok {
+		return q
+	}
+	return DefaultQuota
+}
+
+func (s *Service) genID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		s.nextID++
+		return fmt.Sprintf("vol-%d", s.nextID)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Volumes returns the project's volumes sorted by ID.
+func (s *Service) Volumes(projectID string) []*Volume {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Volume
+	for _, v := range s.volumes {
+		if v.ProjectID == projectID {
+			cp := *v
+			out = append(out, &cp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Volume returns a copy of the volume if it belongs to the project.
+func (s *Service) Volume(projectID, id string) (*Volume, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.volumes[id]
+	if !ok || v.ProjectID != projectID {
+		return nil, false
+	}
+	cp := *v
+	return &cp, true
+}
+
+// Create creates a volume, enforcing the project quota (unless the quota
+// mutant is active).
+func (s *Service) Create(projectID, name string, sizeGB int) (*Volume, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sizeGB <= 0 {
+		return nil, httpkit.BadRequest("volume size must be positive, got %d", sizeGB)
+	}
+	if s.faults.CreateIsNoOp {
+		// Mutant: acknowledge without creating.
+		return &Volume{ID: s.genID(), ProjectID: projectID, Name: name,
+			SizeGB: sizeGB, Status: StatusAvailable}, nil
+	}
+	if !s.faults.IgnoreQuotaOnCreate {
+		q := s.quotaLocked(projectID)
+		count, gigs := 0, 0
+		for _, v := range s.volumes {
+			if v.ProjectID == projectID {
+				count++
+				gigs += v.SizeGB
+			}
+		}
+		if count+1 > q.Volumes {
+			return nil, httpkit.OverLimit("volume quota exceeded (%d/%d)", count, q.Volumes)
+		}
+		if gigs+sizeGB > q.Gigabytes {
+			return nil, httpkit.OverLimit("gigabytes quota exceeded (%d+%d/%d)", gigs, sizeGB, q.Gigabytes)
+		}
+	}
+	v := &Volume{
+		ID:        s.genID(),
+		ProjectID: projectID,
+		Name:      name,
+		SizeGB:    sizeGB,
+		Status:    StatusAvailable,
+	}
+	s.volumes[v.ID] = v
+	return v, nil
+}
+
+// Update renames a volume.
+func (s *Service) Update(projectID, id, name string) (*Volume, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.volumes[id]
+	if !ok || v.ProjectID != projectID {
+		return nil, httpkit.NotFound("volume %q not found", id)
+	}
+	if name != "" {
+		v.Name = name
+	}
+	cp := *v
+	return &cp, nil
+}
+
+// Delete removes a volume. Attached (in-use) volumes are rejected with 400,
+// as in the real Cinder API, unless the in-use mutant is active.
+func (s *Service) Delete(projectID, id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.volumes[id]
+	if !ok || v.ProjectID != projectID {
+		return httpkit.NotFound("volume %q not found", id)
+	}
+	if v.Status == StatusInUse && !s.faults.IgnoreInUseOnDelete {
+		return httpkit.BadRequest("volume %q is in-use and cannot be deleted", id)
+	}
+	if s.faults.DeleteIsNoOp {
+		return nil
+	}
+	delete(s.volumes, id)
+	return nil
+}
+
+// SetAttachment marks the volume attached to a server (in-use) or detached
+// (available). Nova drives this when servers attach and detach volumes.
+func (s *Service) SetAttachment(projectID, id, serverID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.volumes[id]
+	if !ok || v.ProjectID != projectID {
+		return httpkit.NotFound("volume %q not found", id)
+	}
+	if serverID == "" {
+		v.AttachedTo = ""
+		v.Status = StatusAvailable
+		return nil
+	}
+	if v.Status == StatusInUse {
+		return httpkit.Conflict("volume %q already attached to %q", id, v.AttachedTo)
+	}
+	v.AttachedTo = serverID
+	v.Status = StatusInUse
+	return nil
+}
+
+// authorize validates the token and enforces the policy action.
+func (s *Service) authorize(r *http.Request, action, projectID string) (rbac.Credentials, error) {
+	tok, err := s.tokens.Validate(r.Header.Get("X-Auth-Token"))
+	if err != nil {
+		return rbac.Credentials{}, err
+	}
+	creds := tok.Credentials()
+	s.mu.RLock()
+	skip := s.faults.SkipAuth[action]
+	policy := s.policy
+	s.mu.RUnlock()
+	if skip {
+		// Mutant: authorization check dropped by the developer.
+		return creds, nil
+	}
+	ok, err := policy.Check(action, creds, rbac.Target{"project_id": projectID})
+	if err != nil {
+		return rbac.Credentials{}, fmt.Errorf("cinder: policy check %s: %w", action, err)
+	}
+	if !ok {
+		return rbac.Credentials{}, httpkit.Forbidden(
+			"policy does not allow %s for roles %v", action, creds.Roles)
+	}
+	return creds, nil
+}
+
+// Handler returns the Cinder v3 REST API:
+//
+//	GET    /v3/{project_id}/volumes               list volumes
+//	POST   /v3/{project_id}/volumes               create volume
+//	GET    /v3/{project_id}/volumes/{volume_id}   show volume
+//	PUT    /v3/{project_id}/volumes/{volume_id}   update volume
+//	DELETE /v3/{project_id}/volumes/{volume_id}   delete volume (204)
+//	GET    /v3/{project_id}/quota_sets            show quota
+//	PUT    /v3/{project_id}/quota_sets            update quota
+func (s *Service) Handler() http.Handler {
+	rt := &httpkit.Router{}
+	rt.Handle(http.MethodGet, "/v3/{project_id}/volumes", s.handleList)
+	rt.Handle(http.MethodPost, "/v3/{project_id}/volumes", s.handleCreate)
+	rt.Handle(http.MethodGet, "/v3/{project_id}/volumes/{volume_id}", s.handleShow)
+	rt.Handle(http.MethodPut, "/v3/{project_id}/volumes/{volume_id}", s.handleUpdate)
+	rt.Handle(http.MethodDelete, "/v3/{project_id}/volumes/{volume_id}", s.handleDelete)
+	rt.Handle(http.MethodGet, "/v3/{project_id}/quota_sets", s.handleQuotaGet)
+	rt.Handle(http.MethodPut, "/v3/{project_id}/quota_sets", s.handleQuotaUpdate)
+	return rt
+}
+
+// volumeBody is the JSON envelope for one volume.
+type volumeBody struct {
+	Volume *Volume `json:"volume"`
+}
+
+// createRequest is the POST body.
+type createRequest struct {
+	Volume struct {
+		Name   string `json:"name"`
+		SizeGB int    `json:"size"`
+	} `json:"volume"`
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request, params map[string]string) error {
+	projectID := params["project_id"]
+	if _, err := s.authorize(r, ActionGet, projectID); err != nil {
+		return err
+	}
+	vols := s.Volumes(projectID)
+	if vols == nil {
+		vols = []*Volume{}
+	}
+	httpkit.WriteJSON(w, http.StatusOK, map[string][]*Volume{"volumes": vols})
+	return nil
+}
+
+func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request, params map[string]string) error {
+	projectID := params["project_id"]
+	if _, err := s.authorize(r, ActionCreate, projectID); err != nil {
+		return err
+	}
+	var req createRequest
+	if err := httpkit.ReadJSON(r, &req); err != nil {
+		return err
+	}
+	v, err := s.Create(projectID, req.Volume.Name, req.Volume.SizeGB)
+	if err != nil {
+		return err
+	}
+	httpkit.WriteJSON(w, http.StatusAccepted, volumeBody{Volume: v})
+	return nil
+}
+
+func (s *Service) handleShow(w http.ResponseWriter, r *http.Request, params map[string]string) error {
+	projectID := params["project_id"]
+	if _, err := s.authorize(r, ActionGet, projectID); err != nil {
+		return err
+	}
+	v, ok := s.Volume(projectID, params["volume_id"])
+	if !ok {
+		return httpkit.NotFound("volume %q not found", params["volume_id"])
+	}
+	httpkit.WriteJSON(w, http.StatusOK, volumeBody{Volume: v})
+	return nil
+}
+
+func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request, params map[string]string) error {
+	projectID := params["project_id"]
+	if _, err := s.authorize(r, ActionUpdate, projectID); err != nil {
+		return err
+	}
+	var req createRequest
+	if err := httpkit.ReadJSON(r, &req); err != nil {
+		return err
+	}
+	v, err := s.Update(projectID, params["volume_id"], req.Volume.Name)
+	if err != nil {
+		return err
+	}
+	httpkit.WriteJSON(w, http.StatusOK, volumeBody{Volume: v})
+	return nil
+}
+
+func (s *Service) handleDelete(w http.ResponseWriter, r *http.Request, params map[string]string) error {
+	projectID := params["project_id"]
+	if _, err := s.authorize(r, ActionDelete, projectID); err != nil {
+		return err
+	}
+	if err := s.Delete(projectID, params["volume_id"]); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	status := s.faults.DeleteStatusCode
+	s.mu.RUnlock()
+	if status == 0 {
+		status = http.StatusNoContent
+	}
+	w.WriteHeader(status)
+	return nil
+}
+
+func (s *Service) handleQuotaGet(w http.ResponseWriter, r *http.Request, params map[string]string) error {
+	projectID := params["project_id"]
+	if _, err := s.authorize(r, ActionQuotaGet, projectID); err != nil {
+		return err
+	}
+	q := s.Quota(projectID)
+	httpkit.WriteJSON(w, http.StatusOK, map[string]QuotaSet{"quota_set": q})
+	return nil
+}
+
+func (s *Service) handleQuotaUpdate(w http.ResponseWriter, r *http.Request, params map[string]string) error {
+	projectID := params["project_id"]
+	if _, err := s.authorize(r, ActionQuotaUpdate, projectID); err != nil {
+		return err
+	}
+	var req struct {
+		QuotaSet QuotaSet `json:"quota_set"`
+	}
+	if err := httpkit.ReadJSON(r, &req); err != nil {
+		return err
+	}
+	s.SetQuota(projectID, req.QuotaSet)
+	httpkit.WriteJSON(w, http.StatusOK, map[string]QuotaSet{"quota_set": req.QuotaSet})
+	return nil
+}

@@ -1,0 +1,245 @@
+package cinder
+
+import (
+	"errors"
+	"testing"
+
+	"cloudmon/internal/httpkit"
+	"cloudmon/internal/openstack/keystone"
+	"cloudmon/internal/rbac"
+)
+
+func service(t *testing.T) (*Service, string) {
+	t.Helper()
+	ks := keystone.New()
+	proj := ks.CreateProject("p")
+	return New(ks, nil), proj.ID
+}
+
+func wantStatus(t *testing.T, err error, status int) {
+	t.Helper()
+	var apiErr *httpkit.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want APIError with status %d, got %v", status, err)
+	}
+	if apiErr.Status != status {
+		t.Fatalf("status = %d, want %d (err: %v)", apiErr.Status, status, err)
+	}
+}
+
+func TestCreateListDelete(t *testing.T) {
+	s, pid := service(t)
+	v, err := s.Create(pid, "data", 5)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if v.Status != StatusAvailable {
+		t.Errorf("new volume status = %q", v.Status)
+	}
+	if got := s.Volumes(pid); len(got) != 1 || got[0].ID != v.ID {
+		t.Errorf("Volumes = %v", got)
+	}
+	if _, ok := s.Volume(pid, v.ID); !ok {
+		t.Error("Volume lookup failed")
+	}
+	if err := s.Delete(pid, v.ID); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if got := s.Volumes(pid); len(got) != 0 {
+		t.Errorf("Volumes after delete = %v", got)
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	s, pid := service(t)
+	_, err := s.Create(pid, "bad", 0)
+	wantStatus(t, err, 400)
+	_, err = s.Create(pid, "bad", -3)
+	wantStatus(t, err, 400)
+}
+
+func TestQuotaEnforcement(t *testing.T) {
+	s, pid := service(t)
+	s.SetQuota(pid, QuotaSet{Volumes: 2, Gigabytes: 100})
+	if _, err := s.Create(pid, "a", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create(pid, "b", 10); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Create(pid, "c", 10)
+	wantStatus(t, err, 413)
+
+	// Gigabytes quota binds independently.
+	s.SetQuota(pid, QuotaSet{Volumes: 10, Gigabytes: 25})
+	_, err = s.Create(pid, "big", 10)
+	wantStatus(t, err, 413)
+}
+
+func TestQuotaIsPerProject(t *testing.T) {
+	ks := keystone.New()
+	p1 := ks.CreateProject("p1").ID
+	p2 := ks.CreateProject("p2").ID
+	s := New(ks, nil)
+	s.SetQuota(p1, QuotaSet{Volumes: 1, Gigabytes: 100})
+	if _, err := s.Create(p1, "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create(p2, "b", 1); err != nil {
+		t.Errorf("other project blocked by p1 quota: %v", err)
+	}
+	_, err := s.Create(p1, "c", 1)
+	wantStatus(t, err, 413)
+}
+
+func TestDefaultQuota(t *testing.T) {
+	s, pid := service(t)
+	if q := s.Quota(pid); q != DefaultQuota {
+		t.Errorf("Quota = %+v, want default", q)
+	}
+}
+
+func TestDeleteInUseRejected(t *testing.T) {
+	s, pid := service(t)
+	v, err := s.Create(pid, "data", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAttachment(pid, v.ID, "server-1"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Volume(pid, v.ID)
+	if got.Status != StatusInUse || got.AttachedTo != "server-1" {
+		t.Fatalf("attachment not recorded: %+v", got)
+	}
+	err = s.Delete(pid, v.ID)
+	wantStatus(t, err, 400)
+
+	// Detach frees it for deletion.
+	if err := s.SetAttachment(pid, v.ID, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(pid, v.ID); err != nil {
+		t.Errorf("Delete after detach: %v", err)
+	}
+}
+
+func TestDoubleAttachConflicts(t *testing.T) {
+	s, pid := service(t)
+	v, _ := s.Create(pid, "data", 1)
+	if err := s.SetAttachment(pid, v.ID, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	err := s.SetAttachment(pid, v.ID, "s2")
+	wantStatus(t, err, 409)
+}
+
+func TestNotFoundPaths(t *testing.T) {
+	s, pid := service(t)
+	wantStatus(t, s.Delete(pid, "ghost"), 404)
+	_, err := s.Update(pid, "ghost", "x")
+	wantStatus(t, err, 404)
+	wantStatus(t, s.SetAttachment(pid, "ghost", "s"), 404)
+	// Cross-project access is not-found, not forbidden (no information leak).
+	v, _ := s.Create(pid, "data", 1)
+	wantStatus(t, s.Delete("other-project", v.ID), 404)
+	if _, ok := s.Volume("other-project", v.ID); ok {
+		t.Error("cross-project volume visible")
+	}
+}
+
+func TestUpdateRename(t *testing.T) {
+	s, pid := service(t)
+	v, _ := s.Create(pid, "old", 1)
+	got, err := s.Update(pid, v.ID, "new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "new" {
+		t.Errorf("name = %q", got.Name)
+	}
+	// Empty name keeps the old one.
+	got, err = s.Update(pid, v.ID, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "new" {
+		t.Errorf("empty update changed name to %q", got.Name)
+	}
+}
+
+func TestFaultIgnoreQuota(t *testing.T) {
+	s, pid := service(t)
+	s.SetQuota(pid, QuotaSet{Volumes: 1, Gigabytes: 100})
+	if _, err := s.Create(pid, "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	s.SetFaults(Faults{IgnoreQuotaOnCreate: true})
+	if _, err := s.Create(pid, "b", 1); err != nil {
+		t.Errorf("quota mutant should allow over-quota create: %v", err)
+	}
+}
+
+func TestFaultIgnoreInUse(t *testing.T) {
+	s, pid := service(t)
+	v, _ := s.Create(pid, "a", 1)
+	if err := s.SetAttachment(pid, v.ID, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	s.SetFaults(Faults{IgnoreInUseOnDelete: true})
+	if err := s.Delete(pid, v.ID); err != nil {
+		t.Errorf("in-use mutant should delete attached volume: %v", err)
+	}
+}
+
+func TestFaultNoOps(t *testing.T) {
+	s, pid := service(t)
+	s.SetFaults(Faults{CreateIsNoOp: true})
+	if _, err := s.Create(pid, "ghost", 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Volumes(pid); len(got) != 0 {
+		t.Errorf("no-op create actually created: %v", got)
+	}
+	s.SetFaults(Faults{DeleteIsNoOp: true})
+	v, err := s.Create(pid, "real", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(pid, v.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Volumes(pid); len(got) != 1 {
+		t.Errorf("no-op delete actually deleted: %v", got)
+	}
+}
+
+func TestDefaultPolicyMatchesTableI(t *testing.T) {
+	p := DefaultPolicy()
+	creds := func(role string) rbac.Credentials {
+		return rbac.Credentials{Roles: []string{role}}
+	}
+	tests := []struct {
+		action, role string
+		want         bool
+	}{
+		{ActionGet, "admin", true},
+		{ActionGet, "member", true},
+		{ActionGet, "user", true},
+		{ActionUpdate, "user", false},
+		{ActionCreate, "member", true},
+		{ActionCreate, "user", false},
+		{ActionDelete, "admin", true},
+		{ActionDelete, "member", false},
+		{ActionQuotaUpdate, "member", false},
+	}
+	for _, tt := range tests {
+		got, err := p.Check(tt.action, creds(tt.role), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("Check(%s, %s) = %v, want %v", tt.action, tt.role, got, tt.want)
+		}
+	}
+}

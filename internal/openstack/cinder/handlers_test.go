@@ -1,0 +1,259 @@
+package cinder
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cloudmon/internal/openstack/keystone"
+)
+
+// httpFixture boots keystone + cinder with an admin, a member and a plain
+// user, served over httptest.
+type httpFixture struct {
+	srv       *httptest.Server
+	service   *Service
+	projectID string
+	tokens    map[string]string // role -> token
+}
+
+func newHTTPFixture(t *testing.T) *httpFixture {
+	t.Helper()
+	ks := keystone.New()
+	proj := ks.CreateProject("p")
+	groups := map[string]string{"admin": "g-admin", "member": "g-member", "user": "g-user"}
+	tokens := make(map[string]string, len(groups))
+	for role, group := range groups {
+		u := ks.CreateUser("u-"+role, "pw")
+		ks.AddUserToGroup(u.ID, group)
+		ks.AssignRole(proj.ID, group, role)
+		tok, err := ks.Authenticate("u-"+role, "pw", proj.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tokens[role] = tok.ID
+	}
+	svc := New(ks, nil)
+	svc.SetQuota(proj.ID, QuotaSet{Volumes: 2, Gigabytes: 100})
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return &httpFixture{srv: srv, service: svc, projectID: proj.ID, tokens: tokens}
+}
+
+// do issues a request with the role's token and returns status + body.
+func (f *httpFixture) do(t *testing.T, role, method, path string, body []byte) (int, []byte) {
+	t.Helper()
+	var rdr *bytes.Reader
+	if body == nil {
+		rdr = bytes.NewReader(nil)
+	} else {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, f.srv.URL+path, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if role != "" {
+		req.Header.Set("X-Auth-Token", f.tokens[role])
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes()
+}
+
+func (f *httpFixture) volumes() string { return "/v3/" + f.projectID + "/volumes" }
+
+func createBody(name string, size int) []byte {
+	b, _ := json.Marshal(map[string]map[string]any{"volume": {"name": name, "size": size}})
+	return b
+}
+
+func TestHandlerVolumeLifecycle(t *testing.T) {
+	f := newHTTPFixture(t)
+
+	status, body := f.do(t, "admin", http.MethodPost, f.volumes(), createBody("v", 5))
+	if status != http.StatusAccepted {
+		t.Fatalf("create = %d (%s)", status, body)
+	}
+	var created struct {
+		Volume Volume `json:"volume"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+
+	status, body = f.do(t, "user", http.MethodGet, f.volumes(), nil)
+	if status != http.StatusOK {
+		t.Fatalf("list = %d", status)
+	}
+	var listed struct {
+		Volumes []Volume `json:"volumes"`
+	}
+	if err := json.Unmarshal(body, &listed); err != nil {
+		t.Fatal(err)
+	}
+	if len(listed.Volumes) != 1 {
+		t.Errorf("listed = %v", listed.Volumes)
+	}
+
+	status, _ = f.do(t, "member", http.MethodGet, f.volumes()+"/"+created.Volume.ID, nil)
+	if status != http.StatusOK {
+		t.Errorf("show = %d", status)
+	}
+	status, _ = f.do(t, "member", http.MethodPut, f.volumes()+"/"+created.Volume.ID, createBody("renamed", 0))
+	if status != http.StatusOK {
+		t.Errorf("update = %d", status)
+	}
+	status, _ = f.do(t, "admin", http.MethodDelete, f.volumes()+"/"+created.Volume.ID, nil)
+	if status != http.StatusNoContent {
+		t.Errorf("delete = %d, want 204", status)
+	}
+}
+
+func TestHandlerAuthorizationMatrix(t *testing.T) {
+	f := newHTTPFixture(t)
+	status, body := f.do(t, "admin", http.MethodPost, f.volumes(), createBody("v", 5))
+	if status != http.StatusAccepted {
+		t.Fatalf("setup create = %d", status)
+	}
+	var created struct {
+		Volume Volume `json:"volume"`
+	}
+	_ = json.Unmarshal(body, &created)
+	item := f.volumes() + "/" + created.Volume.ID
+
+	tests := []struct {
+		role, method, path string
+		body               []byte
+		want               int
+	}{
+		{"user", http.MethodPost, f.volumes(), createBody("x", 1), http.StatusForbidden},
+		{"user", http.MethodPut, item, createBody("x", 0), http.StatusForbidden},
+		{"user", http.MethodDelete, item, nil, http.StatusForbidden},
+		{"member", http.MethodDelete, item, nil, http.StatusForbidden},
+		{"user", http.MethodGet, item, nil, http.StatusOK},
+	}
+	for _, tt := range tests {
+		status, _ := f.do(t, tt.role, tt.method, tt.path, tt.body)
+		if status != tt.want {
+			t.Errorf("%s %s as %s = %d, want %d", tt.method, tt.path, tt.role, status, tt.want)
+		}
+	}
+}
+
+func TestHandlerAuthErrors(t *testing.T) {
+	f := newHTTPFixture(t)
+	// Missing token.
+	status, _ := f.do(t, "", http.MethodGet, f.volumes(), nil)
+	if status != http.StatusUnauthorized {
+		t.Errorf("no token = %d", status)
+	}
+	// Garbage token.
+	req, _ := http.NewRequest(http.MethodGet, f.srv.URL+f.volumes(), nil)
+	req.Header.Set("X-Auth-Token", "garbage")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("garbage token = %d", resp.StatusCode)
+	}
+}
+
+func TestHandlerBadBodies(t *testing.T) {
+	f := newHTTPFixture(t)
+	for _, body := range [][]byte{nil, []byte("{"), []byte("")} {
+		status, _ := f.do(t, "admin", http.MethodPost, f.volumes(), body)
+		if status != http.StatusBadRequest {
+			t.Errorf("create with body %q = %d, want 400", body, status)
+		}
+	}
+	// Non-positive size.
+	status, _ := f.do(t, "admin", http.MethodPost, f.volumes(), createBody("v", 0))
+	if status != http.StatusBadRequest {
+		t.Errorf("zero size = %d", status)
+	}
+}
+
+func TestHandlerQuotaEndpoints(t *testing.T) {
+	f := newHTTPFixture(t)
+	path := "/v3/" + f.projectID + "/quota_sets"
+
+	status, body := f.do(t, "user", http.MethodGet, path, nil)
+	if status != http.StatusOK {
+		t.Fatalf("quota get = %d", status)
+	}
+	var q struct {
+		QuotaSet QuotaSet `json:"quota_set"`
+	}
+	if err := json.Unmarshal(body, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.QuotaSet.Volumes != 2 {
+		t.Errorf("quota = %+v", q.QuotaSet)
+	}
+
+	update, _ := json.Marshal(map[string]QuotaSet{"quota_set": {Volumes: 9, Gigabytes: 10}})
+	status, _ = f.do(t, "member", http.MethodPut, path, update)
+	if status != http.StatusForbidden {
+		t.Errorf("member quota update = %d, want 403", status)
+	}
+	status, _ = f.do(t, "admin", http.MethodPut, path, update)
+	if status != http.StatusOK {
+		t.Errorf("admin quota update = %d", status)
+	}
+	if got := f.service.Quota(f.projectID); got.Volumes != 9 {
+		t.Errorf("quota after update = %+v", got)
+	}
+	// Malformed quota body.
+	status, _ = f.do(t, "admin", http.MethodPut, path, []byte("{"))
+	if status != http.StatusBadRequest {
+		t.Errorf("bad quota body = %d", status)
+	}
+}
+
+func TestHandlerQuotaOverflowAndFaultStatus(t *testing.T) {
+	f := newHTTPFixture(t)
+	f.do(t, "admin", http.MethodPost, f.volumes(), createBody("a", 1))
+	f.do(t, "admin", http.MethodPost, f.volumes(), createBody("b", 1))
+	status, _ := f.do(t, "admin", http.MethodPost, f.volumes(), createBody("c", 1))
+	if status != http.StatusRequestEntityTooLarge {
+		t.Errorf("over quota = %d, want 413", status)
+	}
+
+	// The wrong-status mutant surfaces through the handler.
+	f.service.SetFaults(Faults{DeleteStatusCode: http.StatusInternalServerError})
+	_, body := f.do(t, "admin", http.MethodGet, f.volumes(), nil)
+	var listed struct {
+		Volumes []Volume `json:"volumes"`
+	}
+	_ = json.Unmarshal(body, &listed)
+	status, _ = f.do(t, "admin", http.MethodDelete, f.volumes()+"/"+listed.Volumes[0].ID, nil)
+	if status != http.StatusInternalServerError {
+		t.Errorf("mutated delete status = %d, want 500", status)
+	}
+}
+
+func TestHandlerNotFoundVolume(t *testing.T) {
+	f := newHTTPFixture(t)
+	status, _ := f.do(t, "admin", http.MethodGet, f.volumes()+"/ghost", nil)
+	if status != http.StatusNotFound {
+		t.Errorf("ghost show = %d", status)
+	}
+	status, _ = f.do(t, "admin", http.MethodDelete, f.volumes()+"/ghost", nil)
+	if status != http.StatusNotFound {
+		t.Errorf("ghost delete = %d", status)
+	}
+	status, _ = f.do(t, "admin", http.MethodPut, f.volumes()+"/ghost", createBody("x", 0))
+	if status != http.StatusNotFound {
+		t.Errorf("ghost update = %d", status)
+	}
+}

@@ -1,0 +1,123 @@
+// Package openstack wires the simulated IaaS services — keystone (identity),
+// cinder (block storage) and nova (compute) — into one private cloud with a
+// single HTTP entry point, mirroring the two-node OpenStack deployment the
+// paper validates against (Section VI.D).
+//
+// Service APIs are mounted under path prefixes in place of the distinct
+// ports a real deployment uses:
+//
+//	/identity  -> keystone   (e.g. /identity/v3/auth/tokens)
+//	/volume    -> cinder     (e.g. /volume/v3/{project_id}/volumes)
+//	/compute   -> nova       (e.g. /compute/v2.1/{project_id}/servers)
+package openstack
+
+import (
+	"net/http"
+	"strings"
+
+	"cloudmon/internal/httpkit"
+	"cloudmon/internal/openstack/cinder"
+	"cloudmon/internal/openstack/keystone"
+	"cloudmon/internal/openstack/nova"
+	"cloudmon/internal/rbac"
+)
+
+// Cloud is the simulated private cloud.
+type Cloud struct {
+	// Identity is the keystone service.
+	Identity *keystone.Service
+	// Volumes is the cinder service.
+	Volumes *cinder.Service
+	// Compute is the nova service.
+	Compute *nova.Service
+
+	identityH http.Handler
+	volumeH   http.Handler
+	computeH  http.Handler
+}
+
+// Config customizes cloud construction.
+type Config struct {
+	// VolumePolicy overrides cinder's default policy.
+	VolumePolicy *rbac.Policy
+	// ComputePolicy overrides nova's default policy.
+	ComputePolicy *rbac.Policy
+}
+
+// New builds a cloud with empty state.
+func New(cfg Config) *Cloud {
+	identity := keystone.New()
+	volumes := cinder.New(identity, cfg.VolumePolicy)
+	compute := nova.New(identity, volumes, cfg.ComputePolicy)
+	return &Cloud{
+		Identity:  identity,
+		Volumes:   volumes,
+		Compute:   compute,
+		identityH: identity.Handler(),
+		volumeH:   volumes.Handler(),
+		computeH:  compute.Handler(),
+	}
+}
+
+var _ http.Handler = (*Cloud)(nil)
+
+// ServeHTTP dispatches on the service prefix.
+func (c *Cloud) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch {
+	case strings.HasPrefix(path, "/identity/"):
+		c.stripPrefix("/identity", c.identityH).ServeHTTP(w, r)
+	case strings.HasPrefix(path, "/volume/"):
+		c.stripPrefix("/volume", c.volumeH).ServeHTTP(w, r)
+	case strings.HasPrefix(path, "/compute/"):
+		c.stripPrefix("/compute", c.computeH).ServeHTTP(w, r)
+	default:
+		httpkit.WriteError(w, httpkit.NotFound("unknown service path %q", path))
+	}
+}
+
+func (c *Cloud) stripPrefix(prefix string, h http.Handler) http.Handler {
+	return http.StripPrefix(prefix, h)
+}
+
+// SeedUser describes one user of the example deployment.
+type SeedUser struct {
+	Name     string
+	Password string
+	Group    string
+}
+
+// Seed describes an initial deployment: a project with a quota and a set of
+// users whose groups hold roles.
+type Seed struct {
+	ProjectName string
+	Quota       cinder.QuotaSet
+	// GroupRoles maps group name -> role held in the project.
+	GroupRoles map[string]string
+	Users      []SeedUser
+}
+
+// SeedResult reports the identifiers the seed created.
+type SeedResult struct {
+	ProjectID string
+	// UserIDs maps user name -> user ID.
+	UserIDs map[string]string
+}
+
+// ApplySeed provisions the deployment and returns the created IDs.
+func (c *Cloud) ApplySeed(s Seed) SeedResult {
+	proj := c.Identity.CreateProject(s.ProjectName)
+	if s.Quota != (cinder.QuotaSet{}) {
+		c.Volumes.SetQuota(proj.ID, s.Quota)
+	}
+	for group, role := range s.GroupRoles {
+		c.Identity.AssignRole(proj.ID, group, role)
+	}
+	res := SeedResult{ProjectID: proj.ID, UserIDs: make(map[string]string, len(s.Users))}
+	for _, u := range s.Users {
+		user := c.Identity.CreateUser(u.Name, u.Password)
+		c.Identity.AddUserToGroup(user.ID, u.Group)
+		res.UserIDs[u.Name] = user.ID
+	}
+	return res
+}

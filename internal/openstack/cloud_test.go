@@ -1,0 +1,238 @@
+package openstack_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cloudmon/internal/openstack"
+	"cloudmon/internal/openstack/cinder"
+	"cloudmon/internal/osclient"
+	"cloudmon/internal/paper"
+)
+
+// deploy provisions the paper's example deployment (Section VI.D): one
+// project, three user groups bound to the Table-I roles, and one user in
+// each group.
+func deploy(t *testing.T) (*openstack.Cloud, *httptest.Server, openstack.SeedResult) {
+	t.Helper()
+	cloud := openstack.New(openstack.Config{})
+	res := cloud.ApplySeed(openstack.Seed{
+		ProjectName: "myProject",
+		Quota:       cinder.QuotaSet{Volumes: 3, Gigabytes: 100},
+		GroupRoles:  paper.GroupRole(),
+		Users: []openstack.SeedUser{
+			{Name: "alice", Password: "pw-alice", Group: paper.GroupProjAdministrator},
+			{Name: "bob", Password: "pw-bob", Group: paper.GroupServiceArchitect},
+			{Name: "carol", Password: "pw-carol", Group: paper.GroupBusinessAnalyst},
+		},
+	})
+	srv := httptest.NewServer(cloud)
+	t.Cleanup(srv.Close)
+	return cloud, srv, res
+}
+
+func login(t *testing.T, url, user, password, projectID string) *osclient.Client {
+	t.Helper()
+	c := osclient.New(url)
+	if _, err := c.Authenticate(user, password, projectID); err != nil {
+		t.Fatalf("authenticate %s: %v", user, err)
+	}
+	return c
+}
+
+func TestEndToEndVolumeLifecycle(t *testing.T) {
+	_, srv, res := deploy(t)
+	pid := res.ProjectID
+	admin := login(t, srv.URL, "alice", "pw-alice", pid)
+
+	// Create.
+	v, status, err := admin.CreateVolume(pid, "data", 10)
+	if err != nil {
+		t.Fatalf("CreateVolume: %v", err)
+	}
+	if status != http.StatusAccepted {
+		t.Errorf("create status = %d", status)
+	}
+	// List and show.
+	vols, _, err := admin.ListVolumes(pid)
+	if err != nil || len(vols) != 1 {
+		t.Fatalf("ListVolumes = %v, %v", vols, err)
+	}
+	got, _, err := admin.GetVolume(pid, v.ID)
+	if err != nil || got.Status != cinder.StatusAvailable {
+		t.Fatalf("GetVolume = %+v, %v", got, err)
+	}
+	// Update.
+	upd, _, err := admin.UpdateVolume(pid, v.ID, "renamed")
+	if err != nil || upd.Name != "renamed" {
+		t.Fatalf("UpdateVolume = %+v, %v", upd, err)
+	}
+	// Delete returns 204 as the paper's Listing 2 expects.
+	status, err = admin.DeleteVolume(pid, v.ID)
+	if err != nil {
+		t.Fatalf("DeleteVolume: %v", err)
+	}
+	if status != http.StatusNoContent {
+		t.Errorf("delete status = %d, want 204", status)
+	}
+}
+
+func TestEndToEndTableIAuthorization(t *testing.T) {
+	_, srv, res := deploy(t)
+	pid := res.ProjectID
+	admin := login(t, srv.URL, "alice", "pw-alice", pid)
+	member := login(t, srv.URL, "bob", "pw-bob", pid)
+	user := login(t, srv.URL, "carol", "pw-carol", pid)
+
+	v, _, err := admin.CreateVolume(pid, "shared", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// SecReq 1.1: GET for all three roles.
+	for name, c := range map[string]*osclient.Client{"admin": admin, "member": member, "user": user} {
+		if _, _, err := c.GetVolume(pid, v.ID); err != nil {
+			t.Errorf("GET as %s: %v", name, err)
+		}
+	}
+	// SecReq 1.2: PUT for admin and member only.
+	if _, _, err := member.UpdateVolume(pid, v.ID, "m"); err != nil {
+		t.Errorf("PUT as member: %v", err)
+	}
+	if _, status, err := user.UpdateVolume(pid, v.ID, "u"); !osclient.IsStatus(err, http.StatusForbidden) {
+		t.Errorf("PUT as user = %d, %v; want 403", status, err)
+	}
+	// SecReq 1.3: POST for admin and member only.
+	if _, _, err := member.CreateVolume(pid, "m-vol", 5); err != nil {
+		t.Errorf("POST as member: %v", err)
+	}
+	if _, status, err := user.CreateVolume(pid, "u-vol", 5); !osclient.IsStatus(err, http.StatusForbidden) {
+		t.Errorf("POST as user = %d, %v; want 403", status, err)
+	}
+	// SecReq 1.4: DELETE for admin only.
+	if status, err := member.DeleteVolume(pid, v.ID); !osclient.IsStatus(err, http.StatusForbidden) {
+		t.Errorf("DELETE as member = %d, %v; want 403", status, err)
+	}
+	if status, err := user.DeleteVolume(pid, v.ID); !osclient.IsStatus(err, http.StatusForbidden) {
+		t.Errorf("DELETE as user = %d, %v; want 403", status, err)
+	}
+	if _, err := admin.DeleteVolume(pid, v.ID); err != nil {
+		t.Errorf("DELETE as admin: %v", err)
+	}
+}
+
+func TestEndToEndQuotaAndInUse(t *testing.T) {
+	_, srv, res := deploy(t)
+	pid := res.ProjectID
+	admin := login(t, srv.URL, "alice", "pw-alice", pid)
+
+	// Fill the 3-volume quota.
+	ids := make([]string, 0, 3)
+	for i := 0; i < 3; i++ {
+		v, _, err := admin.CreateVolume(pid, "v", 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	if _, status, err := admin.CreateVolume(pid, "overflow", 5); !osclient.IsStatus(err, http.StatusRequestEntityTooLarge) {
+		t.Errorf("over-quota create = %d, %v; want 413", status, err)
+	}
+
+	// Attach one to a server: it becomes in-use and undeletable.
+	server, _, err := admin.CreateServer(pid, "web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := admin.AttachVolume(pid, server.ID, ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := admin.GetVolume(pid, ids[0])
+	if err != nil || got.Status != cinder.StatusInUse {
+		t.Fatalf("attached volume = %+v, %v", got, err)
+	}
+	if status, err := admin.DeleteVolume(pid, ids[0]); !osclient.IsStatus(err, http.StatusBadRequest) {
+		t.Errorf("delete in-use = %d, %v; want 400", status, err)
+	}
+	// Detach frees it.
+	if _, err := admin.DetachVolume(pid, server.ID, ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := admin.DeleteVolume(pid, ids[0]); err != nil {
+		t.Errorf("delete after detach: %v", err)
+	}
+}
+
+func TestEndToEndTokenPlumbing(t *testing.T) {
+	_, srv, res := deploy(t)
+	pid := res.ProjectID
+
+	// No token: 401.
+	anon := osclient.New(srv.URL)
+	if _, status, err := anon.ListVolumes(pid); !osclient.IsStatus(err, http.StatusUnauthorized) {
+		t.Errorf("anonymous list = %d, %v; want 401", status, err)
+	}
+	// Garbage token: 401.
+	bogus := osclient.New(srv.URL).WithToken("bogus")
+	if _, status, err := bogus.ListVolumes(pid); !osclient.IsStatus(err, http.StatusUnauthorized) {
+		t.Errorf("bogus token list = %d, %v; want 401", status, err)
+	}
+	// Validate endpoint reflects the requester's roles.
+	admin := login(t, srv.URL, "alice", "pw-alice", pid)
+	tok, err := admin.ValidateToken(admin.Token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tok.Roles) != 1 || tok.Roles[0] != paper.RoleAdmin {
+		t.Errorf("validated roles = %v", tok.Roles)
+	}
+	// Unknown service prefix is 404.
+	status, err := admin.Do(http.MethodGet, "/nonsense/v1", nil, nil, nil)
+	if !osclient.IsStatus(err, http.StatusNotFound) {
+		t.Errorf("unknown prefix = %d, %v", status, err)
+	}
+	// GetProject works and 404s for ghosts.
+	if _, _, err := admin.GetProject(pid); err != nil {
+		t.Errorf("GetProject: %v", err)
+	}
+	if _, status, err := admin.GetProject("ghost"); !osclient.IsStatus(err, http.StatusNotFound) {
+		t.Errorf("ghost project = %d, %v", status, err)
+	}
+}
+
+func TestEndToEndQuotaAPI(t *testing.T) {
+	_, srv, res := deploy(t)
+	pid := res.ProjectID
+	admin := login(t, srv.URL, "alice", "pw-alice", pid)
+	user := login(t, srv.URL, "carol", "pw-carol", pid)
+
+	q, _, err := admin.GetQuota(pid)
+	if err != nil || q.Volumes != 3 {
+		t.Fatalf("GetQuota = %+v, %v", q, err)
+	}
+	if _, err := admin.SetQuota(pid, cinder.QuotaSet{Volumes: 5, Gigabytes: 100}); err != nil {
+		t.Fatalf("SetQuota: %v", err)
+	}
+	q, _, _ = admin.GetQuota(pid)
+	if q.Volumes != 5 {
+		t.Errorf("quota after update = %+v", q)
+	}
+	// Plain users may read but not write quotas.
+	if _, _, err := user.GetQuota(pid); err != nil {
+		t.Errorf("user GetQuota: %v", err)
+	}
+	if status, err := user.SetQuota(pid, cinder.QuotaSet{Volumes: 99}); !osclient.IsStatus(err, http.StatusForbidden) {
+		t.Errorf("user SetQuota = %d, %v; want 403", status, err)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, srv, res := deploy(t)
+	admin := login(t, srv.URL, "alice", "pw-alice", res.ProjectID)
+	// PATCH on volumes is not a supported method.
+	status, err := admin.Do("PATCH", "/volume/v3/"+res.ProjectID+"/volumes", nil, nil, nil)
+	if !osclient.IsStatus(err, http.StatusMethodNotAllowed) {
+		t.Errorf("PATCH = %d, %v; want 405", status, err)
+	}
+}

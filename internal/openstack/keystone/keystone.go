@@ -1,0 +1,322 @@
+// Package keystone simulates the OpenStack identity service: projects,
+// users, user groups, per-project role assignments and bearer tokens. The
+// other simulated services (cinder, nova) validate request tokens against
+// it, exactly as real OpenStack services do ("Cinder uses Keystone service
+// to validate the user's credentials and authorization requests",
+// Section IV).
+package keystone
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"cloudmon/internal/httpkit"
+	"cloudmon/internal/rbac"
+)
+
+// DefaultTokenTTL is how long issued tokens stay valid.
+const DefaultTokenTTL = time.Hour
+
+// Project is an OpenStack project (tenant).
+type Project struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+}
+
+// User is an identity user.
+type User struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	Password string `json:"-"`
+}
+
+// Token is an issued bearer token scoped to a project.
+type Token struct {
+	ID        string    `json:"-"`
+	UserID    string    `json:"user_id"`
+	ProjectID string    `json:"project_id"`
+	Roles     []string  `json:"roles"`
+	Groups    []string  `json:"groups"`
+	ExpiresAt time.Time `json:"expires_at"`
+}
+
+// Credentials converts the token into the rbac credential view services
+// authorize against.
+func (t *Token) Credentials() rbac.Credentials {
+	return rbac.Credentials{
+		UserID:    t.UserID,
+		ProjectID: t.ProjectID,
+		Roles:     t.Roles,
+		Groups:    t.Groups,
+	}
+}
+
+// Service is the simulated identity service. All methods are safe for
+// concurrent use.
+type Service struct {
+	mu        sync.RWMutex
+	projects  map[string]*Project
+	users     map[string]*User
+	usersByNm map[string]*User
+	tokens    map[string]*Token
+	directory *rbac.Directory
+	tokenTTL  time.Duration
+	now       func() time.Time
+	nextID    int
+}
+
+// New returns an empty identity service.
+func New() *Service {
+	return &Service{
+		projects:  make(map[string]*Project),
+		users:     make(map[string]*User),
+		usersByNm: make(map[string]*User),
+		tokens:    make(map[string]*Token),
+		directory: rbac.NewDirectory(),
+		tokenTTL:  DefaultTokenTTL,
+		now:       time.Now,
+	}
+}
+
+// SetClock overrides the time source (tests use this to expire tokens).
+func (s *Service) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+}
+
+// genID draws a random 16-byte hex identifier, falling back to a counter if
+// the system randomness source fails.
+func (s *Service) genID(prefix string) string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		s.nextID++
+		return fmt.Sprintf("%s-%d", prefix, s.nextID)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// CreateProject registers a project and returns it.
+func (s *Service) CreateProject(name string) *Project {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := &Project{ID: s.genID("proj"), Name: name}
+	s.projects[p.ID] = p
+	return p
+}
+
+// Project returns the project by ID.
+func (s *Service) Project(id string) (*Project, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.projects[id]
+	return p, ok
+}
+
+// Projects returns all projects sorted by name.
+func (s *Service) Projects() []*Project {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Project, 0, len(s.projects))
+	for _, p := range s.projects {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CreateUser registers a user with password credentials.
+func (s *Service) CreateUser(name, password string) *User {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u := &User{ID: s.genID("user"), Name: name, Password: password}
+	s.users[u.ID] = u
+	s.usersByNm[u.Name] = u
+	return u
+}
+
+// AddUserToGroup records group membership.
+func (s *Service) AddUserToGroup(userID, group string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.directory.AddUserToGroup(userID, group)
+}
+
+// AssignRole grants the role to the group within the project.
+func (s *Service) AssignRole(projectID, group, role string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.directory.AssignRole(projectID, group, role)
+}
+
+// RevokeRole removes the grant.
+func (s *Service) RevokeRole(projectID, group, role string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.directory.RevokeRole(projectID, group, role)
+}
+
+// Roles returns the roles the user holds in the project.
+func (s *Service) Roles(userID, projectID string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.directory.Roles(userID, projectID)
+}
+
+// Authenticate verifies name/password and issues a token scoped to the
+// project, carrying the user's groups and project roles.
+func (s *Service) Authenticate(userName, password, projectID string) (*Token, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.usersByNm[userName]
+	if !ok || u.Password != password {
+		return nil, httpkit.Unauthorized("invalid credentials for user %q", userName)
+	}
+	if _, ok := s.projects[projectID]; !ok {
+		return nil, httpkit.Unauthorized("unknown scope project %q", projectID)
+	}
+	tok := &Token{
+		ID:        s.genID("tok"),
+		UserID:    u.ID,
+		ProjectID: projectID,
+		Roles:     s.directory.Roles(u.ID, projectID),
+		Groups:    s.directory.Groups(u.ID),
+		ExpiresAt: s.now().Add(s.tokenTTL),
+	}
+	s.tokens[tok.ID] = tok
+	return tok, nil
+}
+
+// Validate resolves a bearer token, rejecting unknown and expired tokens.
+// Role and group sets are re-read from the directory at validation time so
+// revocations take effect immediately.
+func (s *Service) Validate(tokenID string) (*Token, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tok, ok := s.tokens[tokenID]
+	if !ok {
+		return nil, httpkit.Unauthorized("invalid token")
+	}
+	if s.now().After(tok.ExpiresAt) {
+		return nil, httpkit.Unauthorized("token expired")
+	}
+	fresh := *tok
+	fresh.Roles = s.directory.Roles(tok.UserID, tok.ProjectID)
+	fresh.Groups = s.directory.Groups(tok.UserID)
+	return &fresh, nil
+}
+
+// Revoke invalidates a token. Revoking an unknown token is a no-op.
+func (s *Service) Revoke(tokenID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.tokens, tokenID)
+}
+
+// authRequest is the (reduced) OpenStack v3 password-auth request body.
+type authRequest struct {
+	Auth struct {
+		Identity struct {
+			Password struct {
+				User struct {
+					Name     string `json:"name"`
+					Password string `json:"password"`
+				} `json:"user"`
+			} `json:"password"`
+		} `json:"identity"`
+		Scope struct {
+			Project struct {
+				ID string `json:"id"`
+			} `json:"project"`
+		} `json:"scope"`
+	} `json:"auth"`
+}
+
+// tokenBody is the token document returned by the auth endpoints.
+type tokenBody struct {
+	Token Token `json:"token"`
+}
+
+// Handler returns the Keystone REST API:
+//
+//	POST   /v3/auth/tokens          password auth; token in X-Subject-Token
+//	GET    /v3/auth/tokens          validate X-Subject-Token (needs X-Auth-Token)
+//	DELETE /v3/auth/tokens          revoke X-Subject-Token
+//	GET    /v3/projects             list projects
+//	GET    /v3/projects/{id}        one project
+func (s *Service) Handler() http.Handler {
+	rt := &httpkit.Router{}
+	rt.Handle(http.MethodPost, "/v3/auth/tokens", s.handleIssueToken)
+	rt.Handle(http.MethodGet, "/v3/auth/tokens", s.handleValidateToken)
+	rt.Handle(http.MethodDelete, "/v3/auth/tokens", s.handleRevokeToken)
+	rt.Handle(http.MethodGet, "/v3/projects", s.handleListProjects)
+	rt.Handle(http.MethodGet, "/v3/projects/{project_id}", s.handleGetProject)
+	return rt
+}
+
+func (s *Service) handleIssueToken(w http.ResponseWriter, r *http.Request, _ map[string]string) error {
+	var req authRequest
+	if err := httpkit.ReadJSON(r, &req); err != nil {
+		return err
+	}
+	tok, err := s.Authenticate(
+		req.Auth.Identity.Password.User.Name,
+		req.Auth.Identity.Password.User.Password,
+		req.Auth.Scope.Project.ID,
+	)
+	if err != nil {
+		return err
+	}
+	w.Header().Set("X-Subject-Token", tok.ID)
+	httpkit.WriteJSON(w, http.StatusCreated, tokenBody{Token: *tok})
+	return nil
+}
+
+func (s *Service) handleValidateToken(w http.ResponseWriter, r *http.Request, _ map[string]string) error {
+	// The caller must itself hold a valid token.
+	if _, err := s.Validate(r.Header.Get("X-Auth-Token")); err != nil {
+		return err
+	}
+	tok, err := s.Validate(r.Header.Get("X-Subject-Token"))
+	if err != nil {
+		// Per the Keystone API, an invalid subject token is a 404 for an
+		// authenticated caller.
+		return httpkit.NotFound("subject token not found")
+	}
+	httpkit.WriteJSON(w, http.StatusOK, tokenBody{Token: *tok})
+	return nil
+}
+
+func (s *Service) handleRevokeToken(w http.ResponseWriter, r *http.Request, _ map[string]string) error {
+	if _, err := s.Validate(r.Header.Get("X-Auth-Token")); err != nil {
+		return err
+	}
+	s.Revoke(r.Header.Get("X-Subject-Token"))
+	w.WriteHeader(http.StatusNoContent)
+	return nil
+}
+
+func (s *Service) handleListProjects(w http.ResponseWriter, r *http.Request, _ map[string]string) error {
+	if _, err := s.Validate(r.Header.Get("X-Auth-Token")); err != nil {
+		return err
+	}
+	httpkit.WriteJSON(w, http.StatusOK, map[string][]*Project{"projects": s.Projects()})
+	return nil
+}
+
+func (s *Service) handleGetProject(w http.ResponseWriter, r *http.Request, params map[string]string) error {
+	if _, err := s.Validate(r.Header.Get("X-Auth-Token")); err != nil {
+		return err
+	}
+	p, ok := s.Project(params["project_id"])
+	if !ok {
+		return httpkit.NotFound("project %q not found", params["project_id"])
+	}
+	httpkit.WriteJSON(w, http.StatusOK, map[string]*Project{"project": p})
+	return nil
+}

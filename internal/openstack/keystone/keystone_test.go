@@ -1,0 +1,231 @@
+package keystone
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func seeded(t *testing.T) (*Service, *Project, *User) {
+	t.Helper()
+	s := New()
+	proj := s.CreateProject("myProject")
+	u := s.CreateUser("alice", "secret")
+	s.AddUserToGroup(u.ID, "proj_administrator")
+	s.AssignRole(proj.ID, "proj_administrator", "admin")
+	return s, proj, u
+}
+
+func TestAuthenticateAndValidate(t *testing.T) {
+	s, proj, u := seeded(t)
+	tok, err := s.Authenticate("alice", "secret", proj.ID)
+	if err != nil {
+		t.Fatalf("Authenticate: %v", err)
+	}
+	if tok.UserID != u.ID || tok.ProjectID != proj.ID {
+		t.Errorf("token scope wrong: %+v", tok)
+	}
+	if len(tok.Roles) != 1 || tok.Roles[0] != "admin" {
+		t.Errorf("roles = %v, want [admin]", tok.Roles)
+	}
+	got, err := s.Validate(tok.ID)
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got.UserID != u.ID {
+		t.Errorf("validated token user = %q", got.UserID)
+	}
+}
+
+func TestAuthenticateRejections(t *testing.T) {
+	s, proj, _ := seeded(t)
+	if _, err := s.Authenticate("alice", "wrong", proj.ID); err == nil {
+		t.Error("wrong password accepted")
+	}
+	if _, err := s.Authenticate("ghost", "secret", proj.ID); err == nil {
+		t.Error("unknown user accepted")
+	}
+	if _, err := s.Authenticate("alice", "secret", "ghost-project"); err == nil {
+		t.Error("unknown project scope accepted")
+	}
+}
+
+func TestValidateRejectsUnknownAndExpired(t *testing.T) {
+	s, proj, _ := seeded(t)
+	if _, err := s.Validate("bogus"); err == nil {
+		t.Error("unknown token accepted")
+	}
+	now := time.Now()
+	s.SetClock(func() time.Time { return now })
+	tok, err := s.Authenticate("alice", "secret", proj.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetClock(func() time.Time { return now.Add(2 * DefaultTokenTTL) })
+	if _, err := s.Validate(tok.ID); err == nil {
+		t.Error("expired token accepted")
+	}
+}
+
+func TestValidateReflectsRevocations(t *testing.T) {
+	s, proj, u := seeded(t)
+	tok, err := s.Authenticate("alice", "secret", proj.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Revoke the role after issuing: validation must show the fresh set.
+	s.RevokeRole(proj.ID, "proj_administrator", "admin")
+	got, err := s.Validate(tok.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Roles) != 0 {
+		t.Errorf("roles after revocation = %v, want none", got.Roles)
+	}
+	// Token revocation kills the token.
+	s.Revoke(tok.ID)
+	if _, err := s.Validate(tok.ID); err == nil {
+		t.Error("revoked token accepted")
+	}
+	_ = u
+}
+
+func TestRolesPerProjectIsolation(t *testing.T) {
+	s, proj, u := seeded(t)
+	other := s.CreateProject("otherProject")
+	if roles := s.Roles(u.ID, other.ID); len(roles) != 0 {
+		t.Errorf("roles in other project = %v, want none", roles)
+	}
+	if roles := s.Roles(u.ID, proj.ID); len(roles) != 1 {
+		t.Errorf("roles in own project = %v", roles)
+	}
+}
+
+func authBody(name, password, projectID string) []byte {
+	var req authRequest
+	req.Auth.Identity.Password.User.Name = name
+	req.Auth.Identity.Password.User.Password = password
+	req.Auth.Scope.Project.ID = projectID
+	b, _ := json.Marshal(req)
+	return b
+}
+
+func TestHTTPAuthFlow(t *testing.T) {
+	s, proj, _ := seeded(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Issue a token.
+	resp, err := http.Post(srv.URL+"/v3/auth/tokens", "application/json",
+		bytes.NewReader(authBody("alice", "secret", proj.ID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("auth status = %d", resp.StatusCode)
+	}
+	tok := resp.Header.Get("X-Subject-Token")
+	if tok == "" {
+		t.Fatal("missing X-Subject-Token")
+	}
+
+	// Validate it.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v3/auth/tokens", nil)
+	req.Header.Set("X-Auth-Token", tok)
+	req.Header.Set("X-Subject-Token", tok)
+	vresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vresp.Body.Close()
+	if vresp.StatusCode != http.StatusOK {
+		t.Fatalf("validate status = %d", vresp.StatusCode)
+	}
+	var body struct {
+		Token Token `json:"token"`
+	}
+	if err := json.NewDecoder(vresp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Token.Roles) != 1 || body.Token.Roles[0] != "admin" {
+		t.Errorf("validated roles = %v", body.Token.Roles)
+	}
+
+	// Project endpoints.
+	preq, _ := http.NewRequest(http.MethodGet, srv.URL+"/v3/projects/"+proj.ID, nil)
+	preq.Header.Set("X-Auth-Token", tok)
+	presp, err := http.DefaultClient.Do(preq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Errorf("get project status = %d", presp.StatusCode)
+	}
+
+	// Unknown project is 404.
+	nreq, _ := http.NewRequest(http.MethodGet, srv.URL+"/v3/projects/nope", nil)
+	nreq.Header.Set("X-Auth-Token", tok)
+	nresp, err := http.DefaultClient.Do(nreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown project status = %d", nresp.StatusCode)
+	}
+
+	// Revoke, then validation of subject fails with 404.
+	rreq, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v3/auth/tokens", nil)
+	rreq.Header.Set("X-Auth-Token", tok)
+	rreq.Header.Set("X-Subject-Token", tok)
+	rresp, err := http.DefaultClient.Do(rreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusNoContent {
+		t.Errorf("revoke status = %d", rresp.StatusCode)
+	}
+}
+
+func TestHTTPUnauthenticatedCalls(t *testing.T) {
+	s, proj, _ := seeded(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	for _, path := range []string{"/v3/projects", "/v3/projects/" + proj.ID} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("GET %s without token = %d, want 401", path, resp.StatusCode)
+		}
+	}
+	// Malformed auth body is a 400.
+	resp, err := http.Post(srv.URL+"/v3/auth/tokens", "application/json",
+		bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed auth = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestProjectsListing(t *testing.T) {
+	s := New()
+	s.CreateProject("beta")
+	s.CreateProject("alpha")
+	ps := s.Projects()
+	if len(ps) != 2 || ps[0].Name != "alpha" || ps[1].Name != "beta" {
+		t.Errorf("Projects order wrong: %v, %v", ps[0], ps[1])
+	}
+}

@@ -1,0 +1,212 @@
+package nova
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cloudmon/internal/openstack/cinder"
+	"cloudmon/internal/openstack/keystone"
+	"cloudmon/internal/rbac"
+)
+
+type httpFixture struct {
+	srv       *httptest.Server
+	compute   *Service
+	volumes   *cinder.Service
+	projectID string
+	tokens    map[string]string
+}
+
+func newHTTPFixture(t *testing.T) *httpFixture {
+	t.Helper()
+	ks := keystone.New()
+	proj := ks.CreateProject("p")
+	tokens := make(map[string]string, 3)
+	for _, role := range []string{"admin", "member", "user"} {
+		u := ks.CreateUser("u-"+role, "pw")
+		ks.AddUserToGroup(u.ID, "g-"+role)
+		ks.AssignRole(proj.ID, "g-"+role, role)
+		tok, err := ks.Authenticate("u-"+role, "pw", proj.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tokens[role] = tok.ID
+	}
+	vols := cinder.New(ks, nil)
+	svc := New(ks, vols, nil)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return &httpFixture{srv: srv, compute: svc, volumes: vols, projectID: proj.ID, tokens: tokens}
+}
+
+func (f *httpFixture) do(t *testing.T, role, method, path string, body []byte) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, f.srv.URL+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if role != "" {
+		req.Header.Set("X-Auth-Token", f.tokens[role])
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes()
+}
+
+func (f *httpFixture) servers() string { return "/v2.1/" + f.projectID + "/servers" }
+
+func serverBodyJSON(name string) []byte {
+	b, _ := json.Marshal(map[string]map[string]string{"server": {"name": name}})
+	return b
+}
+
+func TestHandlerServerLifecycle(t *testing.T) {
+	f := newHTTPFixture(t)
+	status, body := f.do(t, "member", http.MethodPost, f.servers(), serverBodyJSON("web"))
+	if status != http.StatusAccepted {
+		t.Fatalf("create = %d (%s)", status, body)
+	}
+	var created struct {
+		Server Server `json:"server"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	status, body = f.do(t, "user", http.MethodGet, f.servers(), nil)
+	if status != http.StatusOK {
+		t.Fatalf("list = %d", status)
+	}
+	var listed struct {
+		Servers []Server `json:"servers"`
+	}
+	_ = json.Unmarshal(body, &listed)
+	if len(listed.Servers) != 1 {
+		t.Errorf("servers = %v", listed.Servers)
+	}
+	status, _ = f.do(t, "user", http.MethodGet, f.servers()+"/"+created.Server.ID, nil)
+	if status != http.StatusOK {
+		t.Errorf("show = %d", status)
+	}
+	// Deletion is admin-only.
+	status, _ = f.do(t, "member", http.MethodDelete, f.servers()+"/"+created.Server.ID, nil)
+	if status != http.StatusForbidden {
+		t.Errorf("member delete = %d, want 403", status)
+	}
+	status, _ = f.do(t, "admin", http.MethodDelete, f.servers()+"/"+created.Server.ID, nil)
+	if status != http.StatusNoContent {
+		t.Errorf("admin delete = %d", status)
+	}
+}
+
+func TestHandlerAttachDetach(t *testing.T) {
+	f := newHTTPFixture(t)
+	v, err := f.volumes.Create(f.projectID, "data", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, body := f.do(t, "admin", http.MethodPost, f.servers(), serverBodyJSON("web"))
+	var created struct {
+		Server Server `json:"server"`
+	}
+	_ = json.Unmarshal(body, &created)
+
+	attach, _ := json.Marshal(map[string]string{"volume_id": v.ID})
+	status, _ := f.do(t, "member", http.MethodPost, f.servers()+"/"+created.Server.ID+"/attach", attach)
+	if status != http.StatusAccepted {
+		t.Fatalf("attach = %d", status)
+	}
+	got, _ := f.volumes.Volume(f.projectID, v.ID)
+	if got.Status != cinder.StatusInUse {
+		t.Errorf("volume status = %q", got.Status)
+	}
+	// Plain users cannot attach.
+	status, _ = f.do(t, "user", http.MethodPost, f.servers()+"/"+created.Server.ID+"/attach", attach)
+	if status != http.StatusForbidden {
+		t.Errorf("user attach = %d, want 403", status)
+	}
+	status, _ = f.do(t, "member", http.MethodPost, f.servers()+"/"+created.Server.ID+"/detach", attach)
+	if status != http.StatusAccepted {
+		t.Fatalf("detach = %d", status)
+	}
+	got, _ = f.volumes.Volume(f.projectID, v.ID)
+	if got.Status != cinder.StatusAvailable {
+		t.Errorf("volume status after detach = %q", got.Status)
+	}
+}
+
+func TestHandlerErrors(t *testing.T) {
+	f := newHTTPFixture(t)
+	// No token.
+	status, _ := f.do(t, "", http.MethodGet, f.servers(), nil)
+	if status != http.StatusUnauthorized {
+		t.Errorf("no token = %d", status)
+	}
+	// Malformed create body.
+	status, _ = f.do(t, "admin", http.MethodPost, f.servers(), []byte("{"))
+	if status != http.StatusBadRequest {
+		t.Errorf("bad body = %d", status)
+	}
+	// Ghost server.
+	status, _ = f.do(t, "admin", http.MethodGet, f.servers()+"/ghost", nil)
+	if status != http.StatusNotFound {
+		t.Errorf("ghost show = %d", status)
+	}
+	status, _ = f.do(t, "admin", http.MethodDelete, f.servers()+"/ghost", nil)
+	if status != http.StatusNotFound {
+		t.Errorf("ghost delete = %d", status)
+	}
+	// Attach with malformed body.
+	_, body := f.do(t, "admin", http.MethodPost, f.servers(), serverBodyJSON("web"))
+	var created struct {
+		Server Server `json:"server"`
+	}
+	_ = json.Unmarshal(body, &created)
+	status, _ = f.do(t, "admin", http.MethodPost, f.servers()+"/"+created.Server.ID+"/attach", []byte("{"))
+	if status != http.StatusBadRequest {
+		t.Errorf("bad attach body = %d", status)
+	}
+	// Detach with malformed body.
+	status, _ = f.do(t, "admin", http.MethodPost, f.servers()+"/"+created.Server.ID+"/detach", []byte("{"))
+	if status != http.StatusBadRequest {
+		t.Errorf("bad detach body = %d", status)
+	}
+}
+
+func TestDefaultPolicyRoles(t *testing.T) {
+	p := DefaultPolicy()
+	checks := []struct {
+		action string
+		role   string
+		want   bool
+	}{
+		{ActionGet, "user", true},
+		{ActionCreate, "member", true},
+		{ActionCreate, "user", false},
+		{ActionDelete, "admin", true},
+		{ActionDelete, "member", false},
+		{ActionAttach, "member", true},
+		{ActionDetach, "user", false},
+	}
+	for _, tt := range checks {
+		got, err := p.Check(tt.action, credsWithRole(tt.role), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("Check(%s, %s) = %v, want %v", tt.action, tt.role, got, tt.want)
+		}
+	}
+}
+
+// credsWithRole builds credentials holding one role.
+func credsWithRole(role string) rbac.Credentials {
+	return rbac.Credentials{Roles: []string{role}}
+}

@@ -1,0 +1,354 @@
+// Package nova simulates the OpenStack compute service: servers (virtual
+// machine instances) and volume attachment. Attaching a volume moves it to
+// the "in-use" status in cinder, which is exactly the condition the paper's
+// DELETE(volume) guard inspects ("a volume can be deleted if ... the volume
+// is not attached to any instance, i.e., its status is not in-use").
+package nova
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"cloudmon/internal/httpkit"
+	"cloudmon/internal/openstack/cinder"
+	"cloudmon/internal/openstack/keystone"
+	"cloudmon/internal/rbac"
+)
+
+// Server statuses.
+const (
+	StatusActive  = "ACTIVE"
+	StatusDeleted = "DELETED"
+)
+
+// Policy action names enforced by the service.
+const (
+	ActionGet    = "compute:get"
+	ActionCreate = "compute:create"
+	ActionDelete = "compute:delete"
+	ActionAttach = "compute:attach_volume"
+	ActionDetach = "compute:detach_volume"
+)
+
+// DefaultPolicy returns the compute policy of the example deployment.
+func DefaultPolicy() *rbac.Policy {
+	return rbac.MustPolicy(map[string]string{
+		ActionGet:    "role:admin or role:member or role:user",
+		ActionCreate: "role:admin or role:member",
+		ActionDelete: "role:admin",
+		ActionAttach: "role:admin or role:member",
+		ActionDetach: "role:admin or role:member",
+	})
+}
+
+// Server is a compute instance.
+type Server struct {
+	ID        string   `json:"id"`
+	ProjectID string   `json:"-"`
+	Name      string   `json:"name"`
+	Status    string   `json:"status"`
+	Volumes   []string `json:"volumes"`
+}
+
+// TokenValidator resolves bearer tokens; keystone.Service satisfies it.
+type TokenValidator interface {
+	Validate(tokenID string) (*keystone.Token, error)
+}
+
+// Service is the simulated compute service. Safe for concurrent use.
+type Service struct {
+	mu      sync.RWMutex
+	servers map[string]*Server
+	policy  *rbac.Policy
+	tokens  TokenValidator
+	volumes *cinder.Service
+	nextID  int
+}
+
+// SetPolicy swaps the enforcement policy (mutation campaigns use this).
+func (s *Service) SetPolicy(p *rbac.Policy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.policy = p
+}
+
+// Policy returns the current enforcement policy.
+func (s *Service) Policy() *rbac.Policy {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.policy
+}
+
+// New returns a nova service. Volume attachment state is pushed into the
+// given cinder service. A nil policy selects DefaultPolicy.
+func New(tokens TokenValidator, volumes *cinder.Service, policy *rbac.Policy) *Service {
+	if policy == nil {
+		policy = DefaultPolicy()
+	}
+	return &Service{
+		servers: make(map[string]*Server),
+		policy:  policy,
+		tokens:  tokens,
+		volumes: volumes,
+	}
+}
+
+func (s *Service) genID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		s.nextID++
+		return fmt.Sprintf("srv-%d", s.nextID)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// CreateServer boots a server (synchronously ACTIVE).
+func (s *Service) CreateServer(projectID, name string) *Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	srv := &Server{ID: s.genID(), ProjectID: projectID, Name: name, Status: StatusActive}
+	s.servers[srv.ID] = srv
+	return srv
+}
+
+// Server returns a copy of the server if it belongs to the project.
+func (s *Service) Server(projectID, id string) (*Server, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	srv, ok := s.servers[id]
+	if !ok || srv.ProjectID != projectID {
+		return nil, false
+	}
+	cp := *srv
+	cp.Volumes = append([]string(nil), srv.Volumes...)
+	return &cp, true
+}
+
+// Servers returns the project's servers sorted by ID.
+func (s *Service) Servers(projectID string) []*Server {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Server
+	for _, srv := range s.servers {
+		if srv.ProjectID == projectID {
+			cp := *srv
+			cp.Volumes = append([]string(nil), srv.Volumes...)
+			out = append(out, &cp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// DeleteServer removes a server, detaching its volumes first.
+func (s *Service) DeleteServer(projectID, id string) error {
+	s.mu.Lock()
+	srv, ok := s.servers[id]
+	if !ok || srv.ProjectID != projectID {
+		s.mu.Unlock()
+		return httpkit.NotFound("server %q not found", id)
+	}
+	vols := append([]string(nil), srv.Volumes...)
+	delete(s.servers, id)
+	s.mu.Unlock()
+	// Detach outside the lock: cinder has its own lock.
+	for _, volID := range vols {
+		// A failed detach leaves the volume in-use; report it.
+		if err := s.volumes.SetAttachment(projectID, volID, ""); err != nil {
+			return fmt.Errorf("nova: detach %s during delete: %w", volID, err)
+		}
+	}
+	return nil
+}
+
+// Attach attaches the volume to the server, marking it in-use in cinder.
+func (s *Service) Attach(projectID, serverID, volumeID string) error {
+	s.mu.Lock()
+	srv, ok := s.servers[serverID]
+	if !ok || srv.ProjectID != projectID {
+		s.mu.Unlock()
+		return httpkit.NotFound("server %q not found", serverID)
+	}
+	s.mu.Unlock()
+	if err := s.volumes.SetAttachment(projectID, volumeID, serverID); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	// Re-check: the server may have been deleted while we attached.
+	srv, ok = s.servers[serverID]
+	if ok {
+		srv.Volumes = append(srv.Volumes, volumeID)
+	}
+	s.mu.Unlock()
+	if !ok {
+		// Roll back the attachment.
+		if err := s.volumes.SetAttachment(projectID, volumeID, ""); err != nil {
+			return fmt.Errorf("nova: rollback attach of %s: %w", volumeID, err)
+		}
+		return httpkit.NotFound("server %q was deleted", serverID)
+	}
+	return nil
+}
+
+// Detach detaches the volume from the server, marking it available.
+func (s *Service) Detach(projectID, serverID, volumeID string) error {
+	s.mu.Lock()
+	srv, ok := s.servers[serverID]
+	if !ok || srv.ProjectID != projectID {
+		s.mu.Unlock()
+		return httpkit.NotFound("server %q not found", serverID)
+	}
+	idx := -1
+	for i, v := range srv.Volumes {
+		if v == volumeID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		s.mu.Unlock()
+		return httpkit.NotFound("volume %q not attached to server %q", volumeID, serverID)
+	}
+	srv.Volumes = append(srv.Volumes[:idx], srv.Volumes[idx+1:]...)
+	s.mu.Unlock()
+	return s.volumes.SetAttachment(projectID, volumeID, "")
+}
+
+func (s *Service) authorize(r *http.Request, action, projectID string) (rbac.Credentials, error) {
+	tok, err := s.tokens.Validate(r.Header.Get("X-Auth-Token"))
+	if err != nil {
+		return rbac.Credentials{}, err
+	}
+	creds := tok.Credentials()
+	s.mu.RLock()
+	policy := s.policy
+	s.mu.RUnlock()
+	ok, err := policy.Check(action, creds, rbac.Target{"project_id": projectID})
+	if err != nil {
+		return rbac.Credentials{}, fmt.Errorf("nova: policy check %s: %w", action, err)
+	}
+	if !ok {
+		return rbac.Credentials{}, httpkit.Forbidden(
+			"policy does not allow %s for roles %v", action, creds.Roles)
+	}
+	return creds, nil
+}
+
+// Handler returns the Nova REST API:
+//
+//	GET    /v2.1/{project_id}/servers                          list
+//	POST   /v2.1/{project_id}/servers                          create
+//	GET    /v2.1/{project_id}/servers/{server_id}              show
+//	DELETE /v2.1/{project_id}/servers/{server_id}              delete
+//	POST   /v2.1/{project_id}/servers/{server_id}/attach       attach volume
+//	POST   /v2.1/{project_id}/servers/{server_id}/detach       detach volume
+func (s *Service) Handler() http.Handler {
+	rt := &httpkit.Router{}
+	rt.Handle(http.MethodGet, "/v2.1/{project_id}/servers", s.handleList)
+	rt.Handle(http.MethodPost, "/v2.1/{project_id}/servers", s.handleCreate)
+	rt.Handle(http.MethodGet, "/v2.1/{project_id}/servers/{server_id}", s.handleShow)
+	rt.Handle(http.MethodDelete, "/v2.1/{project_id}/servers/{server_id}", s.handleDelete)
+	rt.Handle(http.MethodPost, "/v2.1/{project_id}/servers/{server_id}/attach", s.handleAttach)
+	rt.Handle(http.MethodPost, "/v2.1/{project_id}/servers/{server_id}/detach", s.handleDetach)
+	return rt
+}
+
+type serverBody struct {
+	Server *Server `json:"server"`
+}
+
+type attachRequest struct {
+	VolumeID string `json:"volume_id"`
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request, params map[string]string) error {
+	projectID := params["project_id"]
+	if _, err := s.authorize(r, ActionGet, projectID); err != nil {
+		return err
+	}
+	servers := s.Servers(projectID)
+	if servers == nil {
+		servers = []*Server{}
+	}
+	httpkit.WriteJSON(w, http.StatusOK, map[string][]*Server{"servers": servers})
+	return nil
+}
+
+func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request, params map[string]string) error {
+	projectID := params["project_id"]
+	if _, err := s.authorize(r, ActionCreate, projectID); err != nil {
+		return err
+	}
+	var req serverBody
+	if err := httpkit.ReadJSON(r, &req); err != nil {
+		return err
+	}
+	name := ""
+	if req.Server != nil {
+		name = req.Server.Name
+	}
+	srv := s.CreateServer(projectID, name)
+	httpkit.WriteJSON(w, http.StatusAccepted, serverBody{Server: srv})
+	return nil
+}
+
+func (s *Service) handleShow(w http.ResponseWriter, r *http.Request, params map[string]string) error {
+	projectID := params["project_id"]
+	if _, err := s.authorize(r, ActionGet, projectID); err != nil {
+		return err
+	}
+	srv, ok := s.Server(projectID, params["server_id"])
+	if !ok {
+		return httpkit.NotFound("server %q not found", params["server_id"])
+	}
+	httpkit.WriteJSON(w, http.StatusOK, serverBody{Server: srv})
+	return nil
+}
+
+func (s *Service) handleDelete(w http.ResponseWriter, r *http.Request, params map[string]string) error {
+	projectID := params["project_id"]
+	if _, err := s.authorize(r, ActionDelete, projectID); err != nil {
+		return err
+	}
+	if err := s.DeleteServer(projectID, params["server_id"]); err != nil {
+		return err
+	}
+	w.WriteHeader(http.StatusNoContent)
+	return nil
+}
+
+func (s *Service) handleAttach(w http.ResponseWriter, r *http.Request, params map[string]string) error {
+	projectID := params["project_id"]
+	if _, err := s.authorize(r, ActionAttach, projectID); err != nil {
+		return err
+	}
+	var req attachRequest
+	if err := httpkit.ReadJSON(r, &req); err != nil {
+		return err
+	}
+	if err := s.Attach(projectID, params["server_id"], req.VolumeID); err != nil {
+		return err
+	}
+	w.WriteHeader(http.StatusAccepted)
+	return nil
+}
+
+func (s *Service) handleDetach(w http.ResponseWriter, r *http.Request, params map[string]string) error {
+	projectID := params["project_id"]
+	if _, err := s.authorize(r, ActionDetach, projectID); err != nil {
+		return err
+	}
+	var req attachRequest
+	if err := httpkit.ReadJSON(r, &req); err != nil {
+		return err
+	}
+	if err := s.Detach(projectID, params["server_id"], req.VolumeID); err != nil {
+		return err
+	}
+	w.WriteHeader(http.StatusAccepted)
+	return nil
+}

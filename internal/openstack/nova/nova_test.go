@@ -1,0 +1,131 @@
+package nova
+
+import (
+	"errors"
+	"testing"
+
+	"cloudmon/internal/httpkit"
+	"cloudmon/internal/openstack/cinder"
+	"cloudmon/internal/openstack/keystone"
+)
+
+func setup(t *testing.T) (*Service, *cinder.Service, string) {
+	t.Helper()
+	ks := keystone.New()
+	proj := ks.CreateProject("p")
+	vols := cinder.New(ks, nil)
+	return New(ks, vols, nil), vols, proj.ID
+}
+
+func wantStatus(t *testing.T, err error, status int) {
+	t.Helper()
+	var apiErr *httpkit.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want APIError with status %d, got %v", status, err)
+	}
+	if apiErr.Status != status {
+		t.Fatalf("status = %d, want %d", apiErr.Status, status)
+	}
+}
+
+func TestServerLifecycle(t *testing.T) {
+	s, _, pid := setup(t)
+	srv := s.CreateServer(pid, "web")
+	if srv.Status != StatusActive {
+		t.Errorf("status = %q", srv.Status)
+	}
+	if got, ok := s.Server(pid, srv.ID); !ok || got.Name != "web" {
+		t.Errorf("Server lookup = %v, %v", got, ok)
+	}
+	if got := s.Servers(pid); len(got) != 1 {
+		t.Errorf("Servers = %v", got)
+	}
+	if err := s.DeleteServer(pid, srv.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Server(pid, srv.ID); ok {
+		t.Error("server survives delete")
+	}
+	wantStatus(t, s.DeleteServer(pid, srv.ID), 404)
+}
+
+func TestAttachDetachDrivesVolumeStatus(t *testing.T) {
+	s, vols, pid := setup(t)
+	srv := s.CreateServer(pid, "web")
+	v, err := vols.Create(pid, "data", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Attach(pid, srv.ID, v.ID); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	got, _ := vols.Volume(pid, v.ID)
+	if got.Status != cinder.StatusInUse || got.AttachedTo != srv.ID {
+		t.Errorf("volume after attach = %+v", got)
+	}
+	gotSrv, _ := s.Server(pid, srv.ID)
+	if len(gotSrv.Volumes) != 1 || gotSrv.Volumes[0] != v.ID {
+		t.Errorf("server volumes = %v", gotSrv.Volumes)
+	}
+	if err := s.Detach(pid, srv.ID, v.ID); err != nil {
+		t.Fatalf("Detach: %v", err)
+	}
+	got, _ = vols.Volume(pid, v.ID)
+	if got.Status != cinder.StatusAvailable || got.AttachedTo != "" {
+		t.Errorf("volume after detach = %+v", got)
+	}
+}
+
+func TestDeleteServerDetachesVolumes(t *testing.T) {
+	s, vols, pid := setup(t)
+	srv := s.CreateServer(pid, "web")
+	v, _ := vols.Create(pid, "data", 1)
+	if err := s.Attach(pid, srv.ID, v.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteServer(pid, srv.ID); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := vols.Volume(pid, v.ID)
+	if got.Status != cinder.StatusAvailable {
+		t.Errorf("volume not released on server delete: %+v", got)
+	}
+}
+
+func TestAttachErrors(t *testing.T) {
+	s, vols, pid := setup(t)
+	srv := s.CreateServer(pid, "web")
+	v, _ := vols.Create(pid, "data", 1)
+	wantStatus(t, s.Attach(pid, "ghost", v.ID), 404)
+	wantStatus(t, s.Attach(pid, srv.ID, "ghost"), 404)
+	if err := s.Attach(pid, srv.ID, v.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Double attach conflicts (propagated from cinder).
+	other := s.CreateServer(pid, "web2")
+	wantStatus(t, s.Attach(pid, other.ID, v.ID), 409)
+}
+
+func TestDetachErrors(t *testing.T) {
+	s, vols, pid := setup(t)
+	srv := s.CreateServer(pid, "web")
+	v, _ := vols.Create(pid, "data", 1)
+	wantStatus(t, s.Detach(pid, srv.ID, v.ID), 404) // not attached
+	wantStatus(t, s.Detach(pid, "ghost", v.ID), 404)
+}
+
+func TestProjectIsolation(t *testing.T) {
+	ks := keystone.New()
+	p1 := ks.CreateProject("p1").ID
+	p2 := ks.CreateProject("p2").ID
+	vols := cinder.New(ks, nil)
+	s := New(ks, vols, nil)
+	srv := s.CreateServer(p1, "web")
+	if _, ok := s.Server(p2, srv.ID); ok {
+		t.Error("cross-project server visible")
+	}
+	if got := s.Servers(p2); len(got) != 0 {
+		t.Errorf("cross-project listing = %v", got)
+	}
+	wantStatus(t, s.DeleteServer(p2, srv.ID), 404)
+}

@@ -1,0 +1,67 @@
+package osbinding
+
+import (
+	"testing"
+
+	"cloudmon/internal/contract"
+	"cloudmon/internal/monitor"
+	"cloudmon/internal/ocl"
+	"cloudmon/internal/paper"
+	"cloudmon/internal/uml"
+)
+
+func TestSnapshotServerPaths(t *testing.T) {
+	f := newFixture(t)
+	srv := f.cloud.Compute.CreateServer(f.projectID, "web")
+
+	ctx := &monitor.RequestContext{
+		Method:   uml.DELETE,
+		Resource: "server",
+		Params: map[string]string{
+			"project_id": f.projectID,
+			"server_id":  srv.ID,
+		},
+		Token: f.adminTok,
+	}
+	env, err := f.provider.Snapshot(ctx, []string{"project.servers", "server.status"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := env["project.servers"]; got.Size() != 1 {
+		t.Errorf("project.servers = %v", got)
+	}
+	if got := env["server.status"]; !got.Equal(ocl.StringVal("ACTIVE")) {
+		t.Errorf("server.status = %v", got)
+	}
+
+	// Ghost server resolves to undefined.
+	ctx.Params["server_id"] = "ghost"
+	env, err = f.provider.Snapshot(ctx, []string{"server.status"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !env["server.status"].IsUndefined() {
+		t.Errorf("ghost server.status = %v", env["server.status"])
+	}
+}
+
+func TestNovaRoutesTargetCompute(t *testing.T) {
+	set, err := contract.Generate(paper.NovaModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := Routes(set)
+	byMethod := make(map[uml.HTTPMethod]monitor.Route, len(routes))
+	for _, r := range routes {
+		byMethod[r.Trigger.Method] = r
+	}
+	if got := byMethod[uml.POST].Pattern; got != "/projects/{project_id}/servers" {
+		t.Errorf("POST pattern = %q", got)
+	}
+	if got := byMethod[uml.POST].Backend; got != "/compute/v2.1/{project_id}/servers" {
+		t.Errorf("POST backend = %q", got)
+	}
+	if got := byMethod[uml.DELETE].Backend; got != "/compute/v2.1/{project_id}/servers/{server_id}" {
+		t.Errorf("DELETE backend = %q", got)
+	}
+}

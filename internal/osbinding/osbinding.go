@@ -1,0 +1,406 @@
+// Package osbinding binds the cloud monitor to the (simulated) OpenStack
+// cloud: it implements monitor.StateProvider by resolving the OCL
+// navigation paths of the paper's models to live REST queries, and derives
+// the monitor's proxy routes from the generated contracts.
+//
+// Path bindings (Section IV.B semantics — each value is observed through
+// the cloud's own API, so "the stateless nature of REST remains
+// uncompromised"):
+//
+//	project.id        GET  /identity/v3/projects/{project_id}
+//	                  200 -> the project id; otherwise OclUndefined
+//	project.volumes   GET  /volume/v3/{project_id}/volumes
+//	                  200 -> collection of volume ids
+//	quota_sets.volume GET  /volume/v3/{project_id}/quota_sets
+//	                  200 -> the volume quota integer
+//	volume.status     GET  /volume/v3/{project_id}/volumes/{volume_id}
+//	                  200 -> the status string; otherwise OclUndefined
+//	user.id.groups    GET  /identity/v3/auth/tokens (X-Subject-Token =
+//	                  requester token) -> the requester's project roles
+//
+// The provider authenticates as a dedicated monitoring service account
+// with read access, exactly like a real monitoring deployment would.
+package osbinding
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"cloudmon/internal/contract"
+	"cloudmon/internal/monitor"
+	"cloudmon/internal/ocl"
+	"cloudmon/internal/osclient"
+	"cloudmon/internal/uml"
+)
+
+// ServiceAccount is the monitor's own identity on the cloud.
+type ServiceAccount struct {
+	User     string
+	Password string
+	// ProjectID scopes the account's token.
+	ProjectID string
+}
+
+// Provider implements monitor.StateProvider over the cloud's REST APIs.
+type Provider struct {
+	client  *osclient.Client
+	account ServiceAccount
+
+	// Parallel resolves snapshot paths concurrently. Worth enabling when
+	// the cloud is across a network (snapshot latency becomes the slowest
+	// read instead of the sum); for in-process or same-host deployments
+	// the goroutine and lock-contention overhead outweighs the gain (see
+	// BenchmarkSnapshotParallel).
+	Parallel bool
+
+	mu sync.Mutex
+	// token caches the service-account token; refreshed on 401.
+	token string
+}
+
+var _ monitor.StateProvider = (*Provider)(nil)
+
+// NewProvider returns a provider for the cloud at baseURL, authenticating
+// with the service account on demand.
+func NewProvider(baseURL string, account ServiceAccount) *Provider {
+	return NewProviderWithClient(baseURL, account, nil)
+}
+
+// NewProviderWithClient is NewProvider with an explicit HTTP client
+// (httptest servers inject their client here).
+func NewProviderWithClient(baseURL string, account ServiceAccount, httpClient *http.Client) *Provider {
+	c := osclient.New(baseURL)
+	c.HTTPClient = httpClient
+	return &Provider{
+		client:  c,
+		account: account,
+	}
+}
+
+// authedClient returns a client carrying a valid service token,
+// re-authenticating if needed.
+func (p *Provider) authedClient() (*osclient.Client, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.token == "" {
+		tok, err := p.client.Authenticate(p.account.User, p.account.Password, p.account.ProjectID)
+		if err != nil {
+			return nil, fmt.Errorf("osbinding: service-account auth: %w", err)
+		}
+		p.token = tok
+	}
+	return p.client.WithToken(p.token), nil
+}
+
+// invalidateToken drops the cached token after a 401.
+func (p *Provider) invalidateToken() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.token = ""
+}
+
+// withRetry runs fn with an authenticated client, retrying once after
+// re-authentication if the cloud answers 401 (expired service token).
+func (p *Provider) withRetry(fn func(c *osclient.Client) error) error {
+	c, err := p.authedClient()
+	if err != nil {
+		return err
+	}
+	err = fn(c)
+	if osclient.IsStatus(err, http.StatusUnauthorized) {
+		p.invalidateToken()
+		c, err = p.authedClient()
+		if err != nil {
+			return err
+		}
+		err = fn(c)
+	}
+	return err
+}
+
+// Snapshot implements monitor.StateProvider. Paths are independent REST
+// reads; with Parallel set they are resolved concurrently.
+func (p *Provider) Snapshot(ctx *monitor.RequestContext, paths []string) (ocl.MapEnv, error) {
+	if !p.Parallel || len(paths) < 2 {
+		env := make(ocl.MapEnv, len(paths))
+		for _, path := range paths {
+			v, err := p.resolve(ctx, path)
+			if err != nil {
+				return nil, fmt.Errorf("osbinding: resolve %s: %w", path, err)
+			}
+			env[path] = v
+		}
+		return env, nil
+	}
+	type result struct {
+		path string
+		val  ocl.Value
+		err  error
+	}
+	results := make([]result, len(paths))
+	var wg sync.WaitGroup
+	for i, path := range paths {
+		wg.Add(1)
+		go func(i int, path string) {
+			defer wg.Done()
+			v, err := p.resolve(ctx, path)
+			results[i] = result{path: path, val: v, err: err}
+		}(i, path)
+	}
+	wg.Wait()
+	env := make(ocl.MapEnv, len(paths))
+	for _, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("osbinding: resolve %s: %w", r.path, r.err)
+		}
+		env[r.path] = r.val
+	}
+	return env, nil
+}
+
+// resolve maps one navigation path to a value. Unknown paths and missing
+// resources are OclUndefined, never errors — that is how "GET was not 200"
+// enters the formulas.
+func (p *Provider) resolve(ctx *monitor.RequestContext, path string) (ocl.Value, error) {
+	switch path {
+	case "project.id":
+		return p.resolveProjectID(ctx)
+	case "project.volumes":
+		return p.resolveProjectVolumes(ctx)
+	case "project.servers":
+		return p.resolveProjectServers(ctx)
+	case "quota_sets.volume":
+		return p.resolveQuota(ctx)
+	case "volume.status":
+		return p.resolveVolumeStatus(ctx)
+	case "server.status":
+		return p.resolveServerStatus(ctx)
+	case "user.id.groups":
+		return p.resolveUserGroups(ctx)
+	default:
+		return ocl.Undefined(), nil
+	}
+}
+
+func (p *Provider) resolveProjectID(ctx *monitor.RequestContext) (ocl.Value, error) {
+	pid := ctx.Params["project_id"]
+	if pid == "" {
+		return ocl.Undefined(), nil
+	}
+	var out ocl.Value
+	err := p.withRetry(func(c *osclient.Client) error {
+		proj, _, err := c.GetProject(pid)
+		if err != nil {
+			return err
+		}
+		out = ocl.StringVal(proj.ID)
+		return nil
+	})
+	if osclient.IsStatus(err, http.StatusNotFound) {
+		return ocl.Undefined(), nil
+	}
+	if err != nil {
+		return ocl.Value{}, err
+	}
+	return out, nil
+}
+
+func (p *Provider) resolveProjectVolumes(ctx *monitor.RequestContext) (ocl.Value, error) {
+	pid := ctx.Params["project_id"]
+	if pid == "" {
+		return ocl.Undefined(), nil
+	}
+	var out ocl.Value
+	err := p.withRetry(func(c *osclient.Client) error {
+		vols, _, err := c.ListVolumes(pid)
+		if err != nil {
+			return err
+		}
+		ids := make([]ocl.Value, len(vols))
+		for i, v := range vols {
+			ids[i] = ocl.StringVal(v.ID)
+		}
+		out = ocl.CollectionVal(ids...)
+		return nil
+	})
+	if osclient.IsStatus(err, http.StatusNotFound) {
+		return ocl.Undefined(), nil
+	}
+	if err != nil {
+		return ocl.Value{}, err
+	}
+	return out, nil
+}
+
+func (p *Provider) resolveProjectServers(ctx *monitor.RequestContext) (ocl.Value, error) {
+	pid := ctx.Params["project_id"]
+	if pid == "" {
+		return ocl.Undefined(), nil
+	}
+	var out ocl.Value
+	err := p.withRetry(func(c *osclient.Client) error {
+		servers, _, err := c.ListServers(pid)
+		if err != nil {
+			return err
+		}
+		ids := make([]ocl.Value, len(servers))
+		for i, s := range servers {
+			ids[i] = ocl.StringVal(s.ID)
+		}
+		out = ocl.CollectionVal(ids...)
+		return nil
+	})
+	if osclient.IsStatus(err, http.StatusNotFound) {
+		return ocl.Undefined(), nil
+	}
+	if err != nil {
+		return ocl.Value{}, err
+	}
+	return out, nil
+}
+
+func (p *Provider) resolveServerStatus(ctx *monitor.RequestContext) (ocl.Value, error) {
+	pid := ctx.Params["project_id"]
+	sid := ctx.Params["server_id"]
+	if pid == "" || sid == "" {
+		return ocl.Undefined(), nil
+	}
+	var out ocl.Value
+	err := p.withRetry(func(c *osclient.Client) error {
+		s, _, err := c.GetServer(pid, sid)
+		if err != nil {
+			return err
+		}
+		out = ocl.StringVal(s.Status)
+		return nil
+	})
+	if osclient.IsStatus(err, http.StatusNotFound) {
+		return ocl.Undefined(), nil
+	}
+	if err != nil {
+		return ocl.Value{}, err
+	}
+	return out, nil
+}
+
+func (p *Provider) resolveQuota(ctx *monitor.RequestContext) (ocl.Value, error) {
+	pid := ctx.Params["project_id"]
+	if pid == "" {
+		return ocl.Undefined(), nil
+	}
+	var out ocl.Value
+	err := p.withRetry(func(c *osclient.Client) error {
+		q, _, err := c.GetQuota(pid)
+		if err != nil {
+			return err
+		}
+		out = ocl.IntVal(q.Volumes)
+		return nil
+	})
+	if osclient.IsStatus(err, http.StatusNotFound) {
+		return ocl.Undefined(), nil
+	}
+	if err != nil {
+		return ocl.Value{}, err
+	}
+	return out, nil
+}
+
+func (p *Provider) resolveVolumeStatus(ctx *monitor.RequestContext) (ocl.Value, error) {
+	pid := ctx.Params["project_id"]
+	vid := ctx.Params["volume_id"]
+	if pid == "" || vid == "" {
+		// POST on the collection has no volume id; the formula's
+		// volume.status conjuncts then evaluate over OclUndefined.
+		return ocl.Undefined(), nil
+	}
+	var out ocl.Value
+	err := p.withRetry(func(c *osclient.Client) error {
+		v, _, err := c.GetVolume(pid, vid)
+		if err != nil {
+			return err
+		}
+		out = ocl.StringVal(v.Status)
+		return nil
+	})
+	if osclient.IsStatus(err, http.StatusNotFound) {
+		return ocl.Undefined(), nil
+	}
+	if err != nil {
+		return ocl.Value{}, err
+	}
+	return out, nil
+}
+
+// resolveUserGroups resolves the requester's roles in the project. The
+// paper's guards write `user.id.groups='admin'` where 'admin' is the role
+// the user's group holds (Table I maps groups to roles); Keystone reports
+// those roles in token validation.
+func (p *Provider) resolveUserGroups(ctx *monitor.RequestContext) (ocl.Value, error) {
+	if ctx.Token == "" {
+		return ocl.Undefined(), nil
+	}
+	var out ocl.Value
+	err := p.withRetry(func(c *osclient.Client) error {
+		tok, err := c.ValidateToken(ctx.Token)
+		if err != nil {
+			return err
+		}
+		out = ocl.StringsVal(tok.Roles...)
+		return nil
+	})
+	if osclient.IsStatus(err, http.StatusNotFound) {
+		// Invalid requester token: no roles.
+		return ocl.Undefined(), nil
+	}
+	if err != nil {
+		return ocl.Value{}, err
+	}
+	return out, nil
+}
+
+// Routes derives the monitor's proxy routes from the generated contracts:
+// the monitor-facing pattern is the model URI (POST uses the parent
+// collection, since creation addresses the collection), and the backend
+// template is the cloud's cinder URI.
+func Routes(set *contract.Set) []monitor.Route {
+	routes := make([]monitor.Route, 0, len(set.Contracts))
+	for _, c := range set.Contracts {
+		pattern := c.URI
+		if c.Trigger.Method == uml.POST {
+			pattern = parentOf(pattern)
+		}
+		routes = append(routes, monitor.Route{
+			Trigger: c.Trigger,
+			Pattern: pattern,
+			Backend: backendFor(pattern),
+		})
+	}
+	return routes
+}
+
+// parentOf strips the trailing path segment (the item id).
+func parentOf(uri string) string {
+	idx := strings.LastIndex(uri, "/")
+	if idx <= 0 {
+		return uri
+	}
+	return uri[:idx]
+}
+
+// backendFor maps a model URI onto the simulated cloud's service APIs:
+// paths under a project route to cinder (/volume/v3) by default and to
+// nova (/compute/v2.1) when they address the servers subtree.
+func backendFor(pattern string) string {
+	const prefix = "/projects/"
+	if !strings.HasPrefix(pattern, prefix) {
+		return pattern
+	}
+	rest := pattern[len(prefix):]
+	if strings.Contains(pattern, "/servers") {
+		return "/compute/v2.1/" + rest
+	}
+	return "/volume/v3/" + rest
+}

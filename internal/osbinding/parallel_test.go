@@ -1,0 +1,89 @@
+package osbinding
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cloudmon/internal/ocl"
+)
+
+func TestParallelSnapshotMatchesSerial(t *testing.T) {
+	f := newFixture(t)
+	v, err := f.cloud.Volumes.Create(f.projectID, "data", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := f.provider.Snapshot(f.ctx(v.ID), allPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.provider.Parallel = true
+	parallel, err := f.provider.Snapshot(f.ctx(v.ID), allPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("env sizes differ: %d vs %d", len(serial), len(parallel))
+	}
+	for k, sv := range serial {
+		if !parallel[k].Equal(sv) {
+			t.Errorf("%s: serial %v, parallel %v", k, sv, parallel[k])
+		}
+	}
+}
+
+func TestParallelSnapshotPropagatesErrors(t *testing.T) {
+	// A provider against a dead endpoint fails in both modes.
+	dead := NewProvider("http://127.0.0.1:1", ServiceAccount{User: "x", Password: "y", ProjectID: "p"})
+	dead.Parallel = true
+	ctx := (&fixture{projectID: "p"}).ctx("")
+	if _, err := dead.Snapshot(ctx, allPaths); err == nil {
+		t.Error("dead cloud accepted")
+	}
+}
+
+// TestParallelSnapshotOverlapsLatency pins the point of the option: with
+// an artificial per-request delay, the parallel snapshot completes in
+// roughly one delay rather than five.
+func TestParallelSnapshotOverlapsLatency(t *testing.T) {
+	f := newFixture(t)
+	vol, err := f.cloud.Volumes.Create(f.projectID, "data", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const delay = 30 * time.Millisecond
+	var requests atomic.Int64
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		time.Sleep(delay)
+		f.cloud.ServeHTTP(w, r)
+	}))
+	defer slow.Close()
+
+	provider := NewProvider(slow.URL, ServiceAccount{
+		User: "cm-svc", Password: "pw", ProjectID: f.projectID,
+	})
+	provider.Parallel = true
+	// Warm the service token outside the measurement.
+	if _, err := provider.Snapshot(f.ctx(vol.ID), []string{"project.id"}); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	env, err := provider.Snapshot(f.ctx(vol.ID), allPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if got := env["volume.status"]; got.Kind != ocl.KindString {
+		t.Fatalf("snapshot incomplete: %v", env)
+	}
+	// Five reads at 30ms each: serial would need >= 150ms; parallel should
+	// land well under 3 delays even on a loaded machine.
+	if elapsed >= 3*delay {
+		t.Errorf("parallel snapshot took %v (>= %v); latency not overlapped", elapsed, 3*delay)
+	}
+}

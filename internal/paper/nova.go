@@ -1,0 +1,106 @@
+package paper
+
+import "cloudmon/internal/uml"
+
+// This file extends the paper's case study with a second service model —
+// the compute (Nova) server API — demonstrating that the approach
+// generalizes beyond the Cinder volume scenario: same metamodel, same
+// contract generator, same monitor, different resource vocabulary.
+
+// State names of the server behavioral model.
+const (
+	StateNoServer    = "project_with_no_server"
+	StateWithServers = "project_with_servers"
+)
+
+// Server-model invariants.
+const (
+	InvNoServer    = "project.id->size()=1 and project.servers->size()=0"
+	InvWithServers = "project.id->size()=1 and project.servers->size()>=1"
+)
+
+// NovaResourceModel models the compute API's resource structure: the
+// Servers collection under a project, and the server resource.
+func NovaResourceModel() *uml.ResourceModel {
+	return &uml.ResourceModel{
+		Name: "nova",
+		Resources: []*uml.ResourceDef{
+			{Name: "projects", Kind: uml.KindCollection},
+			{Name: "project", Kind: uml.KindNormal, Attributes: []uml.Attribute{
+				{Name: "id", Type: uml.TypeString},
+				{Name: "name", Type: uml.TypeString},
+			}},
+			{Name: "servers", Kind: uml.KindCollection},
+			{Name: "server", Kind: uml.KindNormal, Attributes: []uml.Attribute{
+				{Name: "id", Type: uml.TypeString},
+				{Name: "name", Type: uml.TypeString},
+				{Name: "status", Type: uml.TypeString},
+			}},
+		},
+		Associations: []uml.Association{
+			{From: "projects", To: "project", Role: "project", Mult: uml.Multiplicity{Min: 0, Max: uml.Many}},
+			{From: "project", To: "servers", Role: "servers", Mult: uml.Multiplicity{Min: 1, Max: 1}},
+			{From: "servers", To: "server", Role: "server", Mult: uml.Multiplicity{Min: 0, Max: uml.Many}},
+		},
+	}
+}
+
+// NovaBehavioralModel models the server lifecycle: creation by admin or
+// member (SecReq 2.2), reads by every role (SecReq 2.1), deletion by the
+// administrator only (SecReq 2.3).
+func NovaBehavioralModel() *uml.BehavioralModel {
+	post := uml.Trigger{Method: uml.POST, Resource: "server"}
+	get := uml.Trigger{Method: uml.GET, Resource: "server"}
+	del := uml.Trigger{Method: uml.DELETE, Resource: "server"}
+
+	return &uml.BehavioralModel{
+		Name: "nova_project",
+		States: []*uml.State{
+			{Name: StateNoServer, Initial: true, Invariant: InvNoServer},
+			{Name: StateWithServers, Invariant: InvWithServers},
+		},
+		Transitions: []*uml.Transition{
+			// POST(server): boot an instance (SecReq 2.2).
+			{
+				From: StateNoServer, To: StateWithServers, Trigger: post,
+				Guard:   AuthAdminMember,
+				Effect:  "project.servers->size() = pre(project.servers->size()) + 1",
+				SecReqs: []string{"2.2"},
+			},
+			{
+				From: StateWithServers, To: StateWithServers, Trigger: post,
+				Guard:   AuthAdminMember,
+				Effect:  "project.servers->size() = pre(project.servers->size()) + 1",
+				SecReqs: []string{"2.2"},
+			},
+			// GET(server): read access for every role (SecReq 2.1).
+			{
+				From: StateWithServers, To: StateWithServers, Trigger: get,
+				Guard:   AuthAnyRole,
+				Effect:  "project.servers->size() = pre(project.servers->size())",
+				SecReqs: []string{"2.1"},
+			},
+			// DELETE(server): administrators only (SecReq 2.3).
+			{
+				From: StateWithServers, To: StateWithServers, Trigger: del,
+				Guard:   AuthAdmin + " and project.servers->size() > 1",
+				Effect:  "project.servers->size() = pre(project.servers->size()) - 1",
+				SecReqs: []string{"2.3"},
+			},
+			{
+				From: StateWithServers, To: StateNoServer, Trigger: del,
+				Guard:   AuthAdmin + " and project.servers->size() = 1",
+				Effect:  "project.servers->size() = pre(project.servers->size()) - 1",
+				SecReqs: []string{"2.3"},
+			},
+		},
+	}
+}
+
+// NovaModel bundles the compute-service diagrams.
+func NovaModel() *uml.Model {
+	return &uml.Model{
+		Resource:   NovaResourceModel(),
+		Behavioral: NovaBehavioralModel(),
+	}
+}

@@ -1,0 +1,106 @@
+package paper
+
+import (
+	"testing"
+
+	"cloudmon/internal/ocl"
+	"cloudmon/internal/uml"
+)
+
+func TestNovaModelValidates(t *testing.T) {
+	if err := NovaModel().Validate(); err != nil {
+		t.Fatalf("nova model invalid: %v", err)
+	}
+}
+
+func TestNovaOCLFragmentsParse(t *testing.T) {
+	m := NovaBehavioralModel()
+	for _, s := range m.States {
+		if _, err := ocl.Parse(s.Invariant); err != nil {
+			t.Errorf("state %s invariant: %v", s.Name, err)
+		}
+	}
+	for i, tr := range m.Transitions {
+		if _, err := ocl.Parse(tr.Guard); err != nil {
+			t.Errorf("transition %d guard: %v", i, err)
+		}
+		if _, err := ocl.Parse(tr.Effect); err != nil {
+			t.Errorf("transition %d effect: %v", i, err)
+		}
+		if g := ocl.MustParse(tr.Guard); ocl.UsesPre(g) {
+			t.Errorf("transition %d guard uses pre()", i)
+		}
+	}
+}
+
+func TestNovaURIs(t *testing.T) {
+	uris := NovaResourceModel().URIs()
+	if uris["server"] != "/projects/{project_id}/servers/{server_id}" {
+		t.Errorf("server URI = %q", uris["server"])
+	}
+	if uris["servers"] != "/projects/{project_id}/servers" {
+		t.Errorf("servers URI = %q", uris["servers"])
+	}
+}
+
+func TestNovaSecReqsDisjointFromCinder(t *testing.T) {
+	cinderReqs := CinderBehavioralModel().SecReqs()
+	novaReqs := NovaBehavioralModel().SecReqs()
+	seen := make(map[string]bool, len(cinderReqs))
+	for _, s := range cinderReqs {
+		seen[s] = true
+	}
+	for _, s := range novaReqs {
+		if seen[s] {
+			t.Errorf("SecReq %s used by both models; tags must be distinct for traceability", s)
+		}
+	}
+	if len(novaReqs) != 3 {
+		t.Errorf("nova SecReqs = %v, want 3", novaReqs)
+	}
+}
+
+func TestNovaInvariantsPartition(t *testing.T) {
+	invs := []string{InvNoServer, InvWithServers}
+	for servers := 0; servers <= 3; servers++ {
+		elems := make([]ocl.Value, servers)
+		for i := range elems {
+			elems[i] = ocl.StringVal("s")
+		}
+		env := ocl.MapEnv{
+			"project.id":      ocl.StringVal("p"),
+			"project.servers": ocl.CollectionVal(elems...),
+		}
+		holds := 0
+		for _, src := range invs {
+			ok, err := ocl.EvalBool(ocl.MustParse(src), ocl.Context{Cur: env})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				holds++
+			}
+		}
+		if holds != 1 {
+			t.Errorf("servers=%d: %d invariants hold, want exactly 1", servers, holds)
+		}
+	}
+}
+
+func TestNovaDeleteAdminOnly(t *testing.T) {
+	m := NovaBehavioralModel()
+	for _, tr := range m.TransitionsFor(uml.Trigger{Method: uml.DELETE, Resource: "server"}) {
+		env := ocl.MapEnv{
+			"project.id":      ocl.StringVal("p"),
+			"project.servers": ocl.CollectionVal(ocl.StringVal("s")),
+			"user.id.groups":  ocl.StringsVal(RoleMember),
+		}
+		ok, err := ocl.EvalBool(ocl.MustParse(tr.Guard), ocl.Context{Cur: env})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("member satisfies DELETE guard %q", tr.Guard)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package paper provides the running example of the DSN'18 paper as
+// ready-made fixtures: the Cinder resource and behavioral models of
+// Figure 3, and the security-requirements table of Table I. Examples,
+// tests and the experiment harness all build on these so the repository
+// reproduces the paper's artifacts from a single source of truth.
+package paper
+
+import (
+	"cloudmon/internal/uml"
+)
+
+// Role names used in the example cloud (Table I).
+const (
+	RoleAdmin  = "admin"
+	RoleMember = "member"
+	RoleUser   = "user"
+)
+
+// User-group names used in the example cloud (Table I).
+const (
+	GroupProjAdministrator = "proj_administrator"
+	GroupServiceArchitect  = "service_architect"
+	GroupBusinessAnalyst   = "business_analyst"
+)
+
+// State names of the behavioral model (Figure 3, right).
+const (
+	StateNoVolume     = "project_with_no_volume"
+	StateNotFullQuota = "project_with_volume_and_not_full_quota"
+	StateFullQuota    = "project_with_volume_and_full_quota"
+)
+
+// State invariants (Section IV.B).
+const (
+	InvNoVolume = "project.id->size()=1 and project.volumes->size()=0"
+	InvNotFull  = "project.id->size()=1 and project.volumes->size()>=1 and " +
+		"project.volumes < quota_sets.volume"
+	InvFull = "project.id->size()=1 and project.volumes->size()>=1 and " +
+		"project.volumes = quota_sets.volume"
+)
+
+// Authorization guard fragments derived from Table I. `user.id.groups`
+// resolves to the set of roles held by the requesting user.
+const (
+	AuthAdmin       = "user.id.groups='admin'"
+	AuthAdminMember = "(user.id.groups='admin' or user.id.groups='member')"
+	AuthAnyRole     = "(user.id.groups='admin' or user.id.groups='member' or user.id.groups='user')"
+)
+
+// TableIRow is one row of Table I: which roles (via which user groups) may
+// issue a request on a resource, tagged with a security requirement id.
+type TableIRow struct {
+	Resource string
+	SecReq   string
+	Request  uml.HTTPMethod
+	// Roles maps each permitted role to the user group holding it in the
+	// example deployment.
+	Roles map[string]string
+}
+
+// TableI returns the paper's Table I (security requirements for the Cinder
+// volume resource).
+func TableI() []TableIRow {
+	return []TableIRow{
+		{
+			Resource: "volume", SecReq: "1.1", Request: uml.GET,
+			Roles: map[string]string{
+				RoleAdmin:  GroupProjAdministrator,
+				RoleMember: GroupServiceArchitect,
+				RoleUser:   GroupBusinessAnalyst,
+			},
+		},
+		{
+			Resource: "volume", SecReq: "1.2", Request: uml.PUT,
+			Roles: map[string]string{
+				RoleAdmin:  GroupProjAdministrator,
+				RoleMember: GroupServiceArchitect,
+			},
+		},
+		{
+			Resource: "volume", SecReq: "1.3", Request: uml.POST,
+			Roles: map[string]string{
+				RoleAdmin:  GroupProjAdministrator,
+				RoleMember: GroupServiceArchitect,
+			},
+		},
+		{
+			Resource: "volume", SecReq: "1.4", Request: uml.DELETE,
+			Roles: map[string]string{
+				RoleAdmin: GroupProjAdministrator,
+			},
+		},
+	}
+}
+
+// CinderResourceModel builds the resource model of Figure 3 (left): the
+// Projects and Volumes collections, and the project, volume, quota_sets and
+// usergroup normal resources with their associations.
+func CinderResourceModel() *uml.ResourceModel {
+	return &uml.ResourceModel{
+		Name: "cinder",
+		Resources: []*uml.ResourceDef{
+			{Name: "projects", Kind: uml.KindCollection},
+			{Name: "project", Kind: uml.KindNormal, Attributes: []uml.Attribute{
+				{Name: "id", Type: uml.TypeString},
+				{Name: "name", Type: uml.TypeString},
+			}},
+			{Name: "volumes", Kind: uml.KindCollection},
+			{Name: "volume", Kind: uml.KindNormal, Attributes: []uml.Attribute{
+				{Name: "id", Type: uml.TypeString},
+				{Name: "status", Type: uml.TypeString},
+				{Name: "size", Type: uml.TypeInteger},
+			}},
+			{Name: "quota_sets", Kind: uml.KindNormal, Attributes: []uml.Attribute{
+				{Name: "volume", Type: uml.TypeInteger},
+			}},
+			{Name: "usergroup", Kind: uml.KindNormal, Attributes: []uml.Attribute{
+				{Name: "name", Type: uml.TypeString},
+				{Name: "role", Type: uml.TypeString},
+			}},
+		},
+		Associations: []uml.Association{
+			{From: "projects", To: "project", Role: "project", Mult: uml.Multiplicity{Min: 0, Max: uml.Many}},
+			{From: "project", To: "volumes", Role: "volumes", Mult: uml.Multiplicity{Min: 1, Max: 1}},
+			{From: "volumes", To: "volume", Role: "volume", Mult: uml.Multiplicity{Min: 0, Max: uml.Many}},
+			{From: "project", To: "quota_sets", Role: "quota_sets", Mult: uml.Multiplicity{Min: 1, Max: 1}},
+			{From: "project", To: "usergroup", Role: "usergroups", Mult: uml.Multiplicity{Min: 0, Max: uml.Many}},
+		},
+	}
+}
+
+// CinderBehavioralModel builds the behavioral model of Figure 3 (right):
+// three project states with OCL invariants, POST/DELETE transitions moving
+// between them under Table-I authorization guards, and GET/PUT self-loops.
+// Transition comments carry the SecReq tags for traceability.
+func CinderBehavioralModel() *uml.BehavioralModel {
+	post := uml.Trigger{Method: uml.POST, Resource: "volume"}
+	del := uml.Trigger{Method: uml.DELETE, Resource: "volume"}
+	get := uml.Trigger{Method: uml.GET, Resource: "volume"}
+	put := uml.Trigger{Method: uml.PUT, Resource: "volume"}
+
+	m := &uml.BehavioralModel{
+		Name: "cinder_project",
+		States: []*uml.State{
+			{Name: StateNoVolume, Initial: true, Invariant: InvNoVolume},
+			{Name: StateNotFullQuota, Invariant: InvNotFull},
+			{Name: StateFullQuota, Invariant: InvFull},
+		},
+		Transitions: []*uml.Transition{
+			// POST(volume): add a volume (SecReq 1.3).
+			{
+				From: StateNoVolume, To: StateNotFullQuota, Trigger: post,
+				Guard:   AuthAdminMember + " and quota_sets.volume > 1",
+				Effect:  "project.volumes->size() = pre(project.volumes->size()) + 1",
+				SecReqs: []string{"1.3"},
+			},
+			{
+				From: StateNoVolume, To: StateFullQuota, Trigger: post,
+				Guard:   AuthAdminMember + " and quota_sets.volume = 1",
+				Effect:  "project.volumes->size() = pre(project.volumes->size()) + 1",
+				SecReqs: []string{"1.3"},
+			},
+			{
+				From: StateNotFullQuota, To: StateNotFullQuota, Trigger: post,
+				Guard:   AuthAdminMember + " and project.volumes + 1 < quota_sets.volume",
+				Effect:  "project.volumes->size() = pre(project.volumes->size()) + 1",
+				SecReqs: []string{"1.3"},
+			},
+			{
+				From: StateNotFullQuota, To: StateFullQuota, Trigger: post,
+				Guard:   AuthAdminMember + " and project.volumes + 1 = quota_sets.volume",
+				Effect:  "project.volumes->size() = pre(project.volumes->size()) + 1",
+				SecReqs: []string{"1.3"},
+			},
+			// DELETE(volume): three transitions, as in Section V — one from
+			// full quota, two from not-full quota (SecReq 1.4).
+			{
+				From: StateNotFullQuota, To: StateNoVolume, Trigger: del,
+				Guard: "volume.status <> 'in-use' and " + AuthAdmin +
+					" and project.volumes->size() = 1",
+				Effect:  "project.volumes->size() = pre(project.volumes->size()) - 1",
+				SecReqs: []string{"1.4"},
+			},
+			{
+				From: StateNotFullQuota, To: StateNotFullQuota, Trigger: del,
+				Guard: "project.volumes->size() > 1 and volume.status <> 'in-use' and " +
+					AuthAdmin,
+				Effect:  "project.volumes->size() = pre(project.volumes->size()) - 1",
+				SecReqs: []string{"1.4"},
+			},
+			{
+				From: StateFullQuota, To: StateNotFullQuota, Trigger: del,
+				Guard:   "volume.status <> 'in-use' and " + AuthAdmin,
+				Effect:  "project.volumes->size() = pre(project.volumes->size()) - 1",
+				SecReqs: []string{"1.4"},
+			},
+			// GET(volume): read access on every state with a volume
+			// (SecReq 1.1).
+			{
+				From: StateNotFullQuota, To: StateNotFullQuota, Trigger: get,
+				Guard:   AuthAnyRole,
+				Effect:  "project.volumes->size() = pre(project.volumes->size())",
+				SecReqs: []string{"1.1"},
+			},
+			{
+				From: StateFullQuota, To: StateFullQuota, Trigger: get,
+				Guard:   AuthAnyRole,
+				Effect:  "project.volumes->size() = pre(project.volumes->size())",
+				SecReqs: []string{"1.1"},
+			},
+			// PUT(volume): update on every state with a volume (SecReq 1.2).
+			{
+				From: StateNotFullQuota, To: StateNotFullQuota, Trigger: put,
+				Guard:   AuthAdminMember,
+				Effect:  "project.volumes->size() = pre(project.volumes->size())",
+				SecReqs: []string{"1.2"},
+			},
+			{
+				From: StateFullQuota, To: StateFullQuota, Trigger: put,
+				Guard:   AuthAdminMember,
+				Effect:  "project.volumes->size() = pre(project.volumes->size())",
+				SecReqs: []string{"1.2"},
+			},
+		},
+	}
+	return m
+}
+
+// CinderModel bundles both Figure-3 diagrams.
+func CinderModel() *uml.Model {
+	return &uml.Model{
+		Resource:   CinderResourceModel(),
+		Behavioral: CinderBehavioralModel(),
+	}
+}
+
+// GroupRole maps the example deployment's user groups to their assigned
+// roles (Table I, rightmost columns).
+func GroupRole() map[string]string {
+	return map[string]string{
+		GroupProjAdministrator: RoleAdmin,
+		GroupServiceArchitect:  RoleMember,
+		GroupBusinessAnalyst:   RoleUser,
+	}
+}

@@ -1,0 +1,162 @@
+package paper
+
+import (
+	"testing"
+
+	"cloudmon/internal/ocl"
+	"cloudmon/internal/uml"
+)
+
+func TestCinderModelValidates(t *testing.T) {
+	if err := CinderModel().Validate(); err != nil {
+		t.Fatalf("paper model invalid: %v", err)
+	}
+}
+
+func TestAllOCLFragmentsParse(t *testing.T) {
+	m := CinderBehavioralModel()
+	for _, s := range m.States {
+		if _, err := ocl.Parse(s.Invariant); err != nil {
+			t.Errorf("state %s invariant: %v", s.Name, err)
+		}
+	}
+	for i, tr := range m.Transitions {
+		if _, err := ocl.Parse(tr.Guard); err != nil {
+			t.Errorf("transition %d guard: %v", i, err)
+		}
+		if _, err := ocl.Parse(tr.Effect); err != nil {
+			t.Errorf("transition %d effect: %v", i, err)
+		}
+	}
+}
+
+func TestGuardsHaveNoPre(t *testing.T) {
+	m := CinderBehavioralModel()
+	for i, tr := range m.Transitions {
+		g := ocl.MustParse(tr.Guard)
+		if err := ocl.CheckNoPre(g); err != nil {
+			t.Errorf("transition %d guard uses pre(): %v", i, err)
+		}
+	}
+}
+
+func TestDeleteHasThreeTransitions(t *testing.T) {
+	// Section V: "DELETE on volume invokes three transitions in the
+	// behavioral model: one from project_with_volume_and_full_quota and two
+	// from project_with_volume_and_not_full_quota".
+	m := CinderBehavioralModel()
+	del := m.TransitionsFor(uml.Trigger{Method: uml.DELETE, Resource: "volume"})
+	if len(del) != 3 {
+		t.Fatalf("DELETE(volume) transitions = %d, want 3", len(del))
+	}
+	from := map[string]int{}
+	for _, tr := range del {
+		from[tr.From]++
+	}
+	if from[StateFullQuota] != 1 || from[StateNotFullQuota] != 2 {
+		t.Errorf("DELETE transition sources = %v", from)
+	}
+}
+
+func TestTableICoversAllMethods(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 4 {
+		t.Fatalf("Table I rows = %d, want 4", len(rows))
+	}
+	bySec := map[string]TableIRow{}
+	for _, r := range rows {
+		bySec[r.SecReq] = r
+	}
+	if bySec["1.1"].Request != uml.GET || len(bySec["1.1"].Roles) != 3 {
+		t.Errorf("SecReq 1.1 row wrong: %+v", bySec["1.1"])
+	}
+	if bySec["1.4"].Request != uml.DELETE || len(bySec["1.4"].Roles) != 1 {
+		t.Errorf("SecReq 1.4 row wrong: %+v", bySec["1.4"])
+	}
+	if _, ok := bySec["1.4"].Roles[RoleAdmin]; !ok {
+		t.Error("DELETE must be admin-only")
+	}
+}
+
+func TestSecReqTagsMatchTableI(t *testing.T) {
+	m := CinderBehavioralModel()
+	got := m.SecReqs()
+	want := []string{"1.1", "1.2", "1.3", "1.4"}
+	if len(got) != len(want) {
+		t.Fatalf("SecReqs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SecReqs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBehavioralSecReqsMatchMethods(t *testing.T) {
+	// Every transition's SecReq tag must agree with its trigger method per
+	// Table I (1.1=GET, 1.2=PUT, 1.3=POST, 1.4=DELETE).
+	secOf := map[uml.HTTPMethod]string{
+		uml.GET: "1.1", uml.PUT: "1.2", uml.POST: "1.3", uml.DELETE: "1.4",
+	}
+	for i, tr := range CinderBehavioralModel().Transitions {
+		want := secOf[tr.Trigger.Method]
+		if len(tr.SecReqs) != 1 || tr.SecReqs[0] != want {
+			t.Errorf("transition %d (%s): SecReqs = %v, want [%s]",
+				i, tr.Trigger, tr.SecReqs, want)
+		}
+	}
+}
+
+func TestVolumeURI(t *testing.T) {
+	uris := CinderResourceModel().URIs()
+	if uris["volume"] != "/projects/{project_id}/volumes/{volume_id}" {
+		t.Errorf("volume URI = %q", uris["volume"])
+	}
+}
+
+func TestGroupRole(t *testing.T) {
+	gr := GroupRole()
+	if gr[GroupProjAdministrator] != RoleAdmin ||
+		gr[GroupServiceArchitect] != RoleMember ||
+		gr[GroupBusinessAnalyst] != RoleUser {
+		t.Errorf("GroupRole = %v", gr)
+	}
+}
+
+func TestInvariantsDisjoint(t *testing.T) {
+	// The three states partition the reachable configurations: for a grid
+	// of (volumes, quota) values exactly one invariant holds (given the
+	// project exists and quota >= 1, volumes <= quota).
+	invs := []string{InvNoVolume, InvNotFull, InvFull}
+	parsed := make([]ocl.Expr, len(invs))
+	for i, s := range invs {
+		parsed[i] = ocl.MustParse(s)
+	}
+	for quota := 1; quota <= 4; quota++ {
+		for vols := 0; vols <= quota; vols++ {
+			elems := make([]ocl.Value, vols)
+			for i := range elems {
+				elems[i] = ocl.StringVal("v")
+			}
+			env := ocl.MapEnv{
+				"project.id":        ocl.StringVal("p1"),
+				"project.volumes":   ocl.CollectionVal(elems...),
+				"quota_sets.volume": ocl.IntVal(quota),
+			}
+			holds := 0
+			for _, e := range parsed {
+				ok, err := ocl.EvalBool(e, ocl.Context{Cur: env})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
+					holds++
+				}
+			}
+			if holds != 1 {
+				t.Errorf("volumes=%d quota=%d: %d invariants hold, want exactly 1",
+					vols, quota, holds)
+			}
+		}
+	}
+}

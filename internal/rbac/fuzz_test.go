@@ -1,0 +1,45 @@
+package rbac
+
+import "testing"
+
+// FuzzParseRule checks the policy-rule parser never panics and that
+// accepted rules evaluate without panicking.
+func FuzzParseRule(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"@",
+		"!",
+		"role:admin",
+		"role:admin or role:member",
+		"rule:admin_required and not group:banned",
+		"project_id:%(project_id)s",
+		"(role:a or role:b) and not role:c",
+		"not not role:x",
+		"role:",
+		"bogus",
+		"(((",
+		"%(",
+		"user_id:%(user_id)s or @",
+	} {
+		f.Add(s)
+	}
+	creds := Credentials{
+		UserID:    "u1",
+		ProjectID: "p1",
+		Roles:     []string{"admin", "a"},
+		Groups:    []string{"g1"},
+	}
+	target := Target{"project_id": "p1", "user_id": "u1"}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := NewPolicy(map[string]string{"r": src})
+		if err != nil {
+			return
+		}
+		// Accepted rules must evaluate deterministically without panics.
+		got1, err1 := p.Check("r", creds, target)
+		got2, err2 := p.Check("r", creds, target)
+		if (err1 == nil) != (err2 == nil) || got1 != got2 {
+			t.Fatalf("nondeterministic rule %q: (%v,%v) vs (%v,%v)", src, got1, err1, got2, err2)
+		}
+	})
+}

@@ -1,0 +1,384 @@
+package rbac
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Policy is a parsed policy.json document: a set of named rules. Services
+// check a request by evaluating the rule named after the action, e.g.
+// "volume:delete".
+type Policy struct {
+	rules map[string]checkExpr
+	// raw keeps the original rule sources for re-serialization.
+	raw map[string]string
+}
+
+// ParsePolicy parses a policy.json document:
+//
+//	{
+//	  "admin_required": "role:admin",
+//	  "volume:get":     "role:admin or role:member or role:user",
+//	  "volume:delete":  "rule:admin_required",
+//	  "volume:attach":  "role:admin and project_id:%(project_id)s"
+//	}
+//
+// Rule syntax: `role:<name>`, `group:<name>`, `user_id:<id>`, `rule:<name>`
+// references, `<attr>:%(<target>)s` target matching, the constants `@`
+// (always allow), `!` (always deny) and `true`/`false`, combined with
+// `and`, `or`, `not` and parentheses.
+func ParsePolicy(data []byte) (*Policy, error) {
+	var doc map[string]string
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("rbac: parse policy.json: %w", err)
+	}
+	return NewPolicy(doc)
+}
+
+// NewPolicy builds a policy from rule name -> rule source.
+func NewPolicy(rules map[string]string) (*Policy, error) {
+	p := &Policy{
+		rules: make(map[string]checkExpr, len(rules)),
+		raw:   make(map[string]string, len(rules)),
+	}
+	for name, src := range rules {
+		expr, err := parseRule(src)
+		if err != nil {
+			return nil, fmt.Errorf("rbac: rule %q: %w", name, err)
+		}
+		p.rules[name] = expr
+		p.raw[name] = src
+	}
+	return p, nil
+}
+
+// MustPolicy builds a policy and panics on error; for constant policies in
+// tests and fixtures.
+func MustPolicy(rules map[string]string) *Policy {
+	p, err := NewPolicy(rules)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Rules returns the sorted rule names.
+func (p *Policy) Rules() []string {
+	out := make([]string, 0, len(p.rules))
+	for name := range p.rules {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Source returns the original source text of a rule.
+func (p *Policy) Source(name string) (string, bool) {
+	src, ok := p.raw[name]
+	return src, ok
+}
+
+// SetRule adds or replaces a rule. Used by the mutation framework to inject
+// authorization faults.
+func (p *Policy) SetRule(name, src string) error {
+	expr, err := parseRule(src)
+	if err != nil {
+		return fmt.Errorf("rbac: rule %q: %w", name, err)
+	}
+	p.rules[name] = expr
+	p.raw[name] = src
+	return nil
+}
+
+// Clone returns a deep copy of the policy (mutation campaigns clone the
+// baseline policy before perturbing it).
+func (p *Policy) Clone() *Policy {
+	cp := &Policy{
+		rules: make(map[string]checkExpr, len(p.rules)),
+		raw:   make(map[string]string, len(p.raw)),
+	}
+	for k, v := range p.rules {
+		cp.rules[k] = v
+	}
+	for k, v := range p.raw {
+		cp.raw[k] = v
+	}
+	return cp
+}
+
+// MarshalJSON re-serializes the policy as a policy.json document.
+func (p *Policy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.raw)
+}
+
+// Check evaluates the named rule against the credentials and target.
+// A missing rule denies and returns an UnknownRuleError.
+func (p *Policy) Check(rule string, creds Credentials, target Target) (bool, error) {
+	expr, ok := p.rules[rule]
+	if !ok {
+		return false, &UnknownRuleError{Rule: rule}
+	}
+	return expr.eval(p, creds, target, 0)
+}
+
+// maxRuleDepth bounds rule-reference chains so cyclic policies terminate.
+const maxRuleDepth = 32
+
+// checkExpr is a parsed rule expression.
+type checkExpr interface {
+	eval(p *Policy, creds Credentials, target Target, depth int) (bool, error)
+}
+
+type constCheck bool
+
+func (c constCheck) eval(*Policy, Credentials, Target, int) (bool, error) {
+	return bool(c), nil
+}
+
+type roleCheck string
+
+func (r roleCheck) eval(_ *Policy, creds Credentials, _ Target, _ int) (bool, error) {
+	return creds.HasRole(string(r)), nil
+}
+
+type groupCheck string
+
+func (g groupCheck) eval(_ *Policy, creds Credentials, _ Target, _ int) (bool, error) {
+	return creds.HasGroup(string(g)), nil
+}
+
+type userCheck string
+
+func (u userCheck) eval(_ *Policy, creds Credentials, _ Target, _ int) (bool, error) {
+	return creds.UserID == string(u), nil
+}
+
+type ruleRef string
+
+func (r ruleRef) eval(p *Policy, creds Credentials, target Target, depth int) (bool, error) {
+	if depth >= maxRuleDepth {
+		return false, fmt.Errorf("rbac: rule reference depth exceeded at %q", string(r))
+	}
+	expr, ok := p.rules[string(r)]
+	if !ok {
+		return false, &UnknownRuleError{Rule: string(r)}
+	}
+	return expr.eval(p, creds, target, depth+1)
+}
+
+// attrCheck matches a credential attribute against a target substitution,
+// e.g. `project_id:%(project_id)s`.
+type attrCheck struct {
+	attr      string
+	targetKey string
+}
+
+func (a attrCheck) eval(_ *Policy, creds Credentials, target Target, _ int) (bool, error) {
+	want, ok := target[a.targetKey]
+	if !ok {
+		return false, nil
+	}
+	switch a.attr {
+	case "project_id":
+		return creds.ProjectID == want, nil
+	case "user_id":
+		return creds.UserID == want, nil
+	default:
+		return false, nil
+	}
+}
+
+type notCheck struct{ inner checkExpr }
+
+func (n notCheck) eval(p *Policy, creds Credentials, target Target, depth int) (bool, error) {
+	ok, err := n.inner.eval(p, creds, target, depth)
+	return !ok, err
+}
+
+type andCheck struct{ l, r checkExpr }
+
+func (a andCheck) eval(p *Policy, creds Credentials, target Target, depth int) (bool, error) {
+	ok, err := a.l.eval(p, creds, target, depth)
+	if err != nil || !ok {
+		return false, err
+	}
+	return a.r.eval(p, creds, target, depth)
+}
+
+type orCheck struct{ l, r checkExpr }
+
+func (o orCheck) eval(p *Policy, creds Credentials, target Target, depth int) (bool, error) {
+	ok, err := o.l.eval(p, creds, target, depth)
+	if err != nil || ok {
+		return ok, err
+	}
+	return o.r.eval(p, creds, target, depth)
+}
+
+// parseRule parses a rule source string. Grammar (precedence low to high):
+//
+//	expr   := term ("or" term)*
+//	term   := factor ("and" factor)*
+//	factor := "not" factor | "(" expr ")" | atom
+//	atom   := "@" | "!" | "true" | "false" | kind ":" value
+func parseRule(src string) (checkExpr, error) {
+	toks := tokenizeRule(src)
+	p := &ruleParser{toks: toks}
+	if len(toks) == 0 {
+		// Empty rule means "always allow" in oslo.policy.
+		return constCheck(true), nil
+	}
+	expr, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("unexpected token %q", p.toks[p.pos])
+	}
+	return expr, nil
+}
+
+// tokenizeRule splits a rule into tokens. Parentheses are separate tokens
+// except inside a `%(key)s` target substitution, which stays part of its
+// check token.
+func tokenizeRule(src string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			flush()
+		case c == '%' && i+1 < len(src) && src[i+1] == '(':
+			// Consume the whole %(key)s substitution into the current token.
+			end := strings.IndexByte(src[i:], ')')
+			if end < 0 {
+				cur.WriteByte(c)
+				continue
+			}
+			stop := i + end + 1
+			if stop < len(src) && src[stop] == 's' {
+				stop++
+			}
+			cur.WriteString(src[i:stop])
+			i = stop - 1
+		case c == '(' || c == ')':
+			flush()
+			toks = append(toks, string(c))
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return toks
+}
+
+type ruleParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *ruleParser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *ruleParser) parseOr() (checkExpr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for strings.EqualFold(p.peek(), "or") {
+		p.pos++
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = orCheck{l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *ruleParser) parseAnd() (checkExpr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for strings.EqualFold(p.peek(), "and") {
+		p.pos++
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = andCheck{l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *ruleParser) parseFactor() (checkExpr, error) {
+	tok := p.peek()
+	switch {
+	case tok == "":
+		return nil, fmt.Errorf("unexpected end of rule")
+	case strings.EqualFold(tok, "not"):
+		p.pos++
+		inner, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return notCheck{inner: inner}, nil
+	case tok == "(":
+		p.pos++
+		expr, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ")" {
+			return nil, fmt.Errorf("missing closing parenthesis")
+		}
+		p.pos++
+		return expr, nil
+	default:
+		p.pos++
+		return parseAtom(tok)
+	}
+}
+
+func parseAtom(tok string) (checkExpr, error) {
+	switch tok {
+	case "@", "true":
+		return constCheck(true), nil
+	case "!", "false":
+		return constCheck(false), nil
+	}
+	kind, value, ok := strings.Cut(tok, ":")
+	if !ok {
+		return nil, fmt.Errorf("malformed check %q (expected kind:value)", tok)
+	}
+	// Target substitution: attr:%(key)s
+	if strings.HasPrefix(value, "%(") && strings.HasSuffix(value, ")s") {
+		return attrCheck{attr: kind, targetKey: value[2 : len(value)-2]}, nil
+	}
+	switch kind {
+	case "role":
+		return roleCheck(value), nil
+	case "group":
+		return groupCheck(value), nil
+	case "user_id":
+		return userCheck(value), nil
+	case "rule":
+		return ruleRef(value), nil
+	default:
+		return nil, fmt.Errorf("unknown check kind %q", kind)
+	}
+}

@@ -1,0 +1,147 @@
+// Package rbac implements Role Based Access Control as used by OpenStack
+// services (Section IV.C of the paper): users belong to user groups, groups
+// are assigned roles within projects, and services authorize requests by
+// evaluating policy rules — the policy.json paradigm — against the
+// requester's credentials.
+package rbac
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Directory is the RBAC database: users, groups, group membership and the
+// role each group holds per project. It mirrors the information the paper
+// assumes is "well-defined and available for the cloud developer and
+// security analyst".
+//
+// Directory is not safe for concurrent mutation; services guard it with
+// their own locks.
+type Directory struct {
+	// userGroups maps user ID -> set of group names.
+	userGroups map[string]map[string]bool
+	// groupRoles maps project ID -> group name -> set of roles.
+	groupRoles map[string]map[string]map[string]bool
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{
+		userGroups: make(map[string]map[string]bool),
+		groupRoles: make(map[string]map[string]map[string]bool),
+	}
+}
+
+// AddUserToGroup records that the user belongs to the group.
+func (d *Directory) AddUserToGroup(userID, group string) {
+	gs, ok := d.userGroups[userID]
+	if !ok {
+		gs = make(map[string]bool)
+		d.userGroups[userID] = gs
+	}
+	gs[group] = true
+}
+
+// RemoveUserFromGroup removes a membership; unknown pairs are ignored.
+func (d *Directory) RemoveUserFromGroup(userID, group string) {
+	delete(d.userGroups[userID], group)
+}
+
+// AssignRole grants the role to the group within the project.
+func (d *Directory) AssignRole(projectID, group, role string) {
+	pg, ok := d.groupRoles[projectID]
+	if !ok {
+		pg = make(map[string]map[string]bool)
+		d.groupRoles[projectID] = pg
+	}
+	rs, ok := pg[group]
+	if !ok {
+		rs = make(map[string]bool)
+		pg[group] = rs
+	}
+	rs[role] = true
+}
+
+// RevokeRole removes a grant; unknown grants are ignored.
+func (d *Directory) RevokeRole(projectID, group, role string) {
+	delete(d.groupRoles[projectID][group], role)
+}
+
+// Groups returns the sorted groups the user belongs to.
+func (d *Directory) Groups(userID string) []string {
+	return sortedKeys(d.userGroups[userID])
+}
+
+// Roles returns the sorted roles the user holds in the project, through any
+// of its groups.
+func (d *Directory) Roles(userID, projectID string) []string {
+	set := make(map[string]bool)
+	for g := range d.userGroups[userID] {
+		for r := range d.groupRoles[projectID][g] {
+			set[r] = true
+		}
+	}
+	return sortedKeys(set)
+}
+
+// HasRole reports whether the user holds the role in the project.
+func (d *Directory) HasRole(userID, projectID, role string) bool {
+	for g := range d.userGroups[userID] {
+		if d.groupRoles[projectID][g][role] {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Credentials are the authenticated requester attributes a policy rule can
+// reference, mirroring what Keystone puts into a token's context.
+type Credentials struct {
+	UserID    string
+	ProjectID string
+	Roles     []string
+	Groups    []string
+}
+
+// HasRole reports whether the credentials carry the role.
+func (c Credentials) HasRole(role string) bool {
+	for _, r := range c.Roles {
+		if r == role {
+			return true
+		}
+	}
+	return false
+}
+
+// HasGroup reports whether the credentials carry the group.
+func (c Credentials) HasGroup(group string) bool {
+	for _, g := range c.Groups {
+		if g == group {
+			return true
+		}
+	}
+	return false
+}
+
+// Target carries request attributes a rule can match with the
+// `%(attr)s` substitution syntax, e.g. the project ID a resource belongs to.
+type Target map[string]string
+
+// UnknownRuleError is returned when evaluation references an undefined rule.
+type UnknownRuleError struct {
+	Rule string
+}
+
+// Error implements the error interface.
+func (e *UnknownRuleError) Error() string {
+	return fmt.Sprintf("rbac: unknown policy rule %q", e.Rule)
+}

@@ -1,0 +1,350 @@
+package rbac
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectoryMembershipAndRoles(t *testing.T) {
+	d := NewDirectory()
+	d.AddUserToGroup("alice", "proj_administrator")
+	d.AddUserToGroup("bob", "service_architect")
+	d.AddUserToGroup("bob", "business_analyst")
+	d.AssignRole("p1", "proj_administrator", "admin")
+	d.AssignRole("p1", "service_architect", "member")
+	d.AssignRole("p1", "business_analyst", "user")
+	d.AssignRole("p2", "proj_administrator", "member")
+
+	if got := d.Groups("bob"); len(got) != 2 || got[0] != "business_analyst" {
+		t.Errorf("Groups(bob) = %v", got)
+	}
+	if got := d.Roles("alice", "p1"); len(got) != 1 || got[0] != "admin" {
+		t.Errorf("Roles(alice,p1) = %v", got)
+	}
+	if got := d.Roles("bob", "p1"); len(got) != 2 {
+		t.Errorf("Roles(bob,p1) = %v, want [member user]", got)
+	}
+	// Role assignments are per-project.
+	if got := d.Roles("alice", "p2"); len(got) != 1 || got[0] != "member" {
+		t.Errorf("Roles(alice,p2) = %v", got)
+	}
+	if !d.HasRole("alice", "p1", "admin") {
+		t.Error("alice should be admin in p1")
+	}
+	if d.HasRole("alice", "p2", "admin") {
+		t.Error("alice should not be admin in p2")
+	}
+	if d.HasRole("nobody", "p1", "admin") {
+		t.Error("unknown user should have no roles")
+	}
+}
+
+func TestDirectoryRevocation(t *testing.T) {
+	d := NewDirectory()
+	d.AddUserToGroup("alice", "g")
+	d.AssignRole("p", "g", "admin")
+	if !d.HasRole("alice", "p", "admin") {
+		t.Fatal("setup failed")
+	}
+	d.RevokeRole("p", "g", "admin")
+	if d.HasRole("alice", "p", "admin") {
+		t.Error("role survives revocation")
+	}
+	d.AssignRole("p", "g", "admin")
+	d.RemoveUserFromGroup("alice", "g")
+	if d.HasRole("alice", "p", "admin") {
+		t.Error("role survives group removal")
+	}
+	// Removing unknown pairs must not panic.
+	d.RemoveUserFromGroup("ghost", "g")
+	d.RevokeRole("ghost", "g", "admin")
+}
+
+func cinderPolicy(t *testing.T) *Policy {
+	t.Helper()
+	p, err := NewPolicy(map[string]string{
+		"admin_required": "role:admin",
+		"volume:get":     "role:admin or role:member or role:user",
+		"volume:update":  "role:admin or role:member",
+		"volume:create":  "role:admin or role:member",
+		"volume:delete":  "rule:admin_required",
+		"owner_only":     "project_id:%(project_id)s",
+		"admin_or_owner": "rule:admin_required or rule:owner_only",
+	})
+	if err != nil {
+		t.Fatalf("NewPolicy: %v", err)
+	}
+	return p
+}
+
+func TestPolicyTableISemantics(t *testing.T) {
+	p := cinderPolicy(t)
+	admin := Credentials{UserID: "alice", ProjectID: "p1", Roles: []string{"admin"}}
+	member := Credentials{UserID: "bob", ProjectID: "p1", Roles: []string{"member"}}
+	user := Credentials{UserID: "carol", ProjectID: "p1", Roles: []string{"user"}}
+
+	tests := []struct {
+		rule  string
+		creds Credentials
+		want  bool
+	}{
+		{"volume:get", admin, true},
+		{"volume:get", member, true},
+		{"volume:get", user, true},
+		{"volume:update", admin, true},
+		{"volume:update", member, true},
+		{"volume:update", user, false},
+		{"volume:create", member, true},
+		{"volume:create", user, false},
+		{"volume:delete", admin, true},
+		{"volume:delete", member, false},
+		{"volume:delete", user, false},
+	}
+	for _, tt := range tests {
+		got, err := p.Check(tt.rule, tt.creds, nil)
+		if err != nil {
+			t.Fatalf("Check(%s): %v", tt.rule, err)
+		}
+		if got != tt.want {
+			t.Errorf("Check(%s, roles=%v) = %v, want %v", tt.rule, tt.creds.Roles, got, tt.want)
+		}
+	}
+}
+
+func TestPolicyTargetSubstitution(t *testing.T) {
+	p := cinderPolicy(t)
+	owner := Credentials{UserID: "dave", ProjectID: "p7", Roles: []string{"user"}}
+	ok, err := p.Check("admin_or_owner", owner, Target{"project_id": "p7"})
+	if err != nil || !ok {
+		t.Errorf("owner should pass admin_or_owner: %v %v", ok, err)
+	}
+	ok, err = p.Check("admin_or_owner", owner, Target{"project_id": "other"})
+	if err != nil || ok {
+		t.Errorf("non-owner non-admin should fail: %v %v", ok, err)
+	}
+	// Missing target attribute denies.
+	ok, err = p.Check("owner_only", owner, nil)
+	if err != nil || ok {
+		t.Errorf("missing target should deny: %v %v", ok, err)
+	}
+}
+
+func TestPolicyConstsAndConnectives(t *testing.T) {
+	p := MustPolicy(map[string]string{
+		"allow":    "@",
+		"deny":     "!",
+		"empty":    "",
+		"both":     "role:a and role:b",
+		"neg":      "not role:a",
+		"grouping": "(role:a or role:b) and not role:c",
+		"group":    "group:g1",
+		"uid":      "user_id:u42",
+	})
+	creds := func(roles ...string) Credentials { return Credentials{Roles: roles} }
+	tests := []struct {
+		rule  string
+		creds Credentials
+		want  bool
+	}{
+		{"allow", creds(), true},
+		{"deny", creds("admin"), false},
+		{"empty", creds(), true},
+		{"both", creds("a"), false},
+		{"both", creds("a", "b"), true},
+		{"neg", creds("a"), false},
+		{"neg", creds("b"), true},
+		{"grouping", creds("a"), true},
+		{"grouping", creds("a", "c"), false},
+		{"grouping", creds("c"), false},
+		{"group", Credentials{Groups: []string{"g1"}}, true},
+		{"group", Credentials{Groups: []string{"g2"}}, false},
+		{"uid", Credentials{UserID: "u42"}, true},
+		{"uid", Credentials{UserID: "u43"}, false},
+	}
+	for _, tt := range tests {
+		got, err := p.Check(tt.rule, tt.creds, nil)
+		if err != nil {
+			t.Fatalf("Check(%s): %v", tt.rule, err)
+		}
+		if got != tt.want {
+			t.Errorf("Check(%s, %+v) = %v, want %v", tt.rule, tt.creds, got, tt.want)
+		}
+	}
+}
+
+func TestPolicyUnknownRule(t *testing.T) {
+	p := cinderPolicy(t)
+	_, err := p.Check("no:such:rule", Credentials{}, nil)
+	var unknown *UnknownRuleError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("want UnknownRuleError, got %v", err)
+	}
+	if unknown.Rule != "no:such:rule" {
+		t.Errorf("rule = %q", unknown.Rule)
+	}
+}
+
+func TestPolicyUnknownRuleReference(t *testing.T) {
+	p := MustPolicy(map[string]string{"a": "rule:missing"})
+	if _, err := p.Check("a", Credentials{}, nil); err == nil {
+		t.Error("dangling rule reference should error")
+	}
+}
+
+func TestPolicyCycleTerminates(t *testing.T) {
+	p := MustPolicy(map[string]string{
+		"a": "rule:b",
+		"b": "rule:a",
+	})
+	if _, err := p.Check("a", Credentials{}, nil); err == nil {
+		t.Error("cyclic rules should error, not hang")
+	}
+}
+
+func TestPolicyParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"role:",           // empty value is fine actually? -> role named "" allowed; skip
+		"bogus:x",         // unknown kind
+		"role:a or",       // dangling connective
+		"(role:a",         // unbalanced paren
+		"role:a role:b",   // missing connective
+		"not",             // dangling not
+		"role:a and (or)", // nested garbage
+	} {
+		if src == "role:" {
+			continue // empty role value is tolerated like oslo.policy
+		}
+		if _, err := NewPolicy(map[string]string{"r": src}); err == nil {
+			t.Errorf("NewPolicy(%q): want error", src)
+		}
+	}
+}
+
+func TestParsePolicyJSON(t *testing.T) {
+	data := []byte(`{
+		"volume:delete": "role:admin",
+		"volume:get": "role:admin or role:member or role:user"
+	}`)
+	p, err := ParsePolicy(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := p.Check("volume:delete", Credentials{Roles: []string{"admin"}}, nil)
+	if err != nil || !ok {
+		t.Errorf("Check = %v, %v", ok, err)
+	}
+	if _, err := ParsePolicy([]byte("not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	// Round-trip through MarshalJSON.
+	out, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ParsePolicy(out)
+	if err != nil {
+		t.Fatalf("re-parse marshaled policy: %v", err)
+	}
+	if len(p2.Rules()) != len(p.Rules()) {
+		t.Errorf("round-trip lost rules: %v vs %v", p2.Rules(), p.Rules())
+	}
+}
+
+func TestPolicyCloneIsolation(t *testing.T) {
+	p := cinderPolicy(t)
+	cp := p.Clone()
+	if err := cp.SetRule("volume:delete", "role:member"); err != nil {
+		t.Fatal(err)
+	}
+	member := Credentials{Roles: []string{"member"}}
+	ok, _ := cp.Check("volume:delete", member, nil)
+	if !ok {
+		t.Error("mutated clone should allow member")
+	}
+	ok, _ = p.Check("volume:delete", member, nil)
+	if ok {
+		t.Error("mutating the clone must not affect the original")
+	}
+}
+
+func TestPolicySetRuleRejectsGarbage(t *testing.T) {
+	p := cinderPolicy(t)
+	if err := p.SetRule("volume:delete", "((("); err == nil {
+		t.Error("garbage rule accepted")
+	}
+}
+
+func TestPolicySourceAndRules(t *testing.T) {
+	p := cinderPolicy(t)
+	src, ok := p.Source("volume:delete")
+	if !ok || src != "rule:admin_required" {
+		t.Errorf("Source = %q, %v", src, ok)
+	}
+	if _, ok := p.Source("ghost"); ok {
+		t.Error("ghost rule has source")
+	}
+	rules := p.Rules()
+	if len(rules) != 7 {
+		t.Errorf("Rules = %v", rules)
+	}
+}
+
+// Property: a role check passes exactly when the role is among the
+// credentials' roles, regardless of the other roles present.
+func TestPolicyRoleCheckProperty(t *testing.T) {
+	p := MustPolicy(map[string]string{"r": "role:target"})
+	f := func(others []string, include bool) bool {
+		roles := make([]string, 0, len(others)+1)
+		for _, o := range others {
+			if o != "target" {
+				roles = append(roles, o)
+			}
+		}
+		if include {
+			roles = append(roles, "target")
+		}
+		got, err := p.Check("r", Credentials{Roles: roles}, nil)
+		return err == nil && got == include
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: directory role lookup is the union over the user's groups.
+func TestDirectoryRolesProperty(t *testing.T) {
+	f := func(groups []uint8, grants []uint8) bool {
+		d := NewDirectory()
+		groupName := func(i uint8) string { return "g" + string(rune('a'+i%8)) }
+		roleName := func(i uint8) string { return "r" + string(rune('a'+i%4)) }
+		want := make(map[string]bool)
+		inGroup := make(map[string]bool)
+		for _, g := range groups {
+			d.AddUserToGroup("u", groupName(g))
+			inGroup[groupName(g)] = true
+		}
+		for _, gr := range grants {
+			g := groupName(gr)
+			r := roleName(gr / 8)
+			d.AssignRole("p", g, r)
+			if inGroup[g] {
+				want[r] = true
+			}
+		}
+		got := d.Roles("u", "p")
+		if len(got) != len(want) {
+			return false
+		}
+		for _, r := range got {
+			if !want[r] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

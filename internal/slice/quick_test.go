@@ -1,0 +1,85 @@
+package slice
+
+import (
+	"reflect"
+	"testing"
+
+	"cloudmon/internal/contract"
+	"cloudmon/internal/paper"
+	"cloudmon/internal/uml"
+)
+
+// TestSliceIdempotent: slicing a slice by the same criterion is the
+// identity — the slice already contains exactly the matching scenarios.
+func TestSliceIdempotent(t *testing.T) {
+	for _, tag := range []string{"1.1", "1.2", "1.3", "1.4"} {
+		once, err := Model(paper.CinderModel(), BySecReqs(tag))
+		if err != nil {
+			t.Fatalf("tag %s: %v", tag, err)
+		}
+		twice, err := Model(once, BySecReqs(tag))
+		if err != nil {
+			t.Fatalf("tag %s re-slice: %v", tag, err)
+		}
+		if !reflect.DeepEqual(once.Behavioral, twice.Behavioral) {
+			t.Errorf("tag %s: behavioral slice not idempotent", tag)
+		}
+		if !reflect.DeepEqual(once.Resource, twice.Resource) {
+			t.Errorf("tag %s: resource slice not idempotent", tag)
+		}
+	}
+}
+
+// TestSliceContractsAgreeWithFullModel: a slice's contracts equal the full
+// model's contracts for the covered triggers (slicing never changes the
+// obligations it keeps).
+func TestSliceContractsAgreeWithFullModel(t *testing.T) {
+	full, err := contract.Generate(paper.CinderModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []uml.HTTPMethod{uml.GET, uml.PUT, uml.POST, uml.DELETE} {
+		sliced, err := Model(paper.CinderModel(), ByMethods(method))
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		set, err := contract.Generate(sliced)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		tr := uml.Trigger{Method: method, Resource: "volume"}
+		fc, ok1 := full.For(tr)
+		sc, ok2 := set.For(tr)
+		if !ok1 || !ok2 {
+			t.Fatalf("%s: contract missing (full=%v slice=%v)", method, ok1, ok2)
+		}
+		if fc.Pre.String() != sc.Pre.String() {
+			t.Errorf("%s: slice pre differs:\n full %s\nslice %s", method, fc.Pre, sc.Pre)
+		}
+		if fc.Post.String() != sc.Post.String() {
+			t.Errorf("%s: slice post differs", method)
+		}
+		if fc.URI != sc.URI {
+			t.Errorf("%s: slice URI %q != full %q", method, sc.URI, fc.URI)
+		}
+	}
+}
+
+// TestSliceUnionCoversModel: slicing by every SecReq and unioning the
+// transition counts recovers the full model's transitions (no scenario is
+// lost across the partition).
+func TestSliceUnionCoversModel(t *testing.T) {
+	m := paper.CinderModel()
+	total := 0
+	for _, tag := range m.Behavioral.SecReqs() {
+		s, err := Model(paper.CinderModel(), BySecReqs(tag))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(s.Behavioral.Transitions)
+	}
+	if total != len(m.Behavioral.Transitions) {
+		t.Errorf("union of per-SecReq slices has %d transitions, model has %d",
+			total, len(m.Behavioral.Transitions))
+	}
+}

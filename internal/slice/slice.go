@@ -1,0 +1,228 @@
+// Package slice implements model slicing — the future-work item the paper
+// names for managing model complexity ("proposing a support for splitting
+// the models into several parts via slicing", Section VI.B). A slice keeps
+// only the behavioral scenarios an expert cares about (selected by
+// resource, trigger, or security requirement) together with the minimal
+// resource-model vocabulary those scenarios reference, and is itself a
+// valid model: it validates, generates contracts, and can be fed to the
+// monitor or to uml2go unchanged.
+package slice
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cloudmon/internal/ocl"
+	"cloudmon/internal/uml"
+)
+
+// Predicate selects the transitions to keep.
+type Predicate func(*uml.Transition) bool
+
+// ByResources keeps transitions whose trigger targets one of the resources.
+func ByResources(resources ...string) Predicate {
+	set := toSet(resources)
+	return func(t *uml.Transition) bool { return set[t.Trigger.Resource] }
+}
+
+// ByMethods keeps transitions triggered by one of the HTTP methods.
+func ByMethods(methods ...uml.HTTPMethod) Predicate {
+	set := make(map[uml.HTTPMethod]bool, len(methods))
+	for _, m := range methods {
+		set[m] = true
+	}
+	return func(t *uml.Transition) bool { return set[t.Trigger.Method] }
+}
+
+// BySecReqs keeps transitions annotated with any of the requirement tags —
+// the slice an auditor of specific requirements wants.
+func BySecReqs(tags ...string) Predicate {
+	set := toSet(tags)
+	return func(t *uml.Transition) bool {
+		for _, s := range t.SecReqs {
+			if set[s] {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Any keeps transitions matched by any of the predicates.
+func Any(preds ...Predicate) Predicate {
+	return func(t *uml.Transition) bool {
+		for _, p := range preds {
+			if p(t) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func toSet(items []string) map[string]bool {
+	set := make(map[string]bool, len(items))
+	for _, s := range items {
+		set[s] = true
+	}
+	return set
+}
+
+// Model produces the slice of m selected by keep. The result contains:
+//
+//   - the kept transitions;
+//   - every state that is an endpoint of a kept transition, plus the
+//     initial state (so the scenario remains anchored);
+//   - the resource definitions referenced by kept triggers, state
+//     invariants, guards and effects — closed over association-role
+//     navigation and over ancestors needed to compose URIs;
+//   - the associations whose both ends survive.
+//
+// An empty slice (no transition matches) is an error: a monitor without
+// methods is meaningless.
+func Model(m *uml.Model, keep Predicate) (*uml.Model, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("slice: invalid input model: %w", err)
+	}
+
+	var kept []*uml.Transition
+	for _, t := range m.Behavioral.Transitions {
+		if keep(t) {
+			kept = append(kept, copyTransition(t))
+		}
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("slice: no transition of %q matches the criterion", m.Behavioral.Name)
+	}
+
+	// States: endpoints of kept transitions + the initial state.
+	stateNames := make(map[string]bool, len(kept)*2)
+	for _, t := range kept {
+		stateNames[t.From] = true
+		stateNames[t.To] = true
+	}
+	if init, ok := m.Behavioral.InitialState(); ok {
+		stateNames[init.Name] = true
+	}
+	var states []*uml.State
+	for _, s := range m.Behavioral.States {
+		if stateNames[s.Name] {
+			cp := *s
+			states = append(states, &cp)
+		}
+	}
+
+	bm := &uml.BehavioralModel{
+		Name:        m.Behavioral.Name,
+		States:      states,
+		Transitions: kept,
+	}
+
+	rm, err := sliceResourceModel(m.Resource, bm)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &uml.Model{Resource: rm, Behavioral: bm}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("slice: produced invalid model: %w", err)
+	}
+	return out, nil
+}
+
+// sliceResourceModel computes the minimal resource vocabulary the sliced
+// behavioral model needs.
+func sliceResourceModel(rm *uml.ResourceModel, bm *uml.BehavioralModel) (*uml.ResourceModel, error) {
+	needed := make(map[string]bool)
+
+	// 1. Trigger resources.
+	for _, t := range bm.Transitions {
+		needed[t.Trigger.Resource] = true
+	}
+
+	// 2. OCL navigation vocabulary: heads, and targets of association
+	// roles used as second segments.
+	addPaths := func(src string) error {
+		if strings.TrimSpace(src) == "" {
+			return nil
+		}
+		e, err := ocl.Parse(src)
+		if err != nil {
+			return fmt.Errorf("slice: parse %q: %w", src, err)
+		}
+		for _, dotted := range ocl.NavPaths(e) {
+			path := strings.Split(dotted, ".")
+			head := path[0]
+			if head == "user" {
+				continue
+			}
+			needed[head] = true
+			if len(path) > 1 {
+				for _, a := range rm.AssociationsFrom(head) {
+					if a.Role == path[1] {
+						needed[a.To] = true
+					}
+				}
+			}
+		}
+		return nil
+	}
+	for _, s := range bm.States {
+		if err := addPaths(s.Invariant); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range bm.Transitions {
+		if err := addPaths(t.Guard); err != nil {
+			return nil, err
+		}
+		if err := addPaths(t.Effect); err != nil {
+			return nil, err
+		}
+	}
+
+	// 3. Ancestors: every resource on an incoming association chain, so
+	// URI composition from the roots still works.
+	incoming := make(map[string][]string, len(rm.Associations))
+	for _, a := range rm.Associations {
+		incoming[a.To] = append(incoming[a.To], a.From)
+	}
+	queue := make([]string, 0, len(needed))
+	for name := range needed {
+		queue = append(queue, name)
+	}
+	sort.Strings(queue) // deterministic traversal
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		for _, parent := range incoming[name] {
+			if !needed[parent] {
+				needed[parent] = true
+				queue = append(queue, parent)
+			}
+		}
+	}
+
+	out := &uml.ResourceModel{Name: rm.Name}
+	for _, r := range rm.Resources {
+		if !needed[r.Name] {
+			continue
+		}
+		cp := &uml.ResourceDef{Name: r.Name, Kind: r.Kind}
+		cp.Attributes = append(cp.Attributes, r.Attributes...)
+		out.Resources = append(out.Resources, cp)
+	}
+	for _, a := range rm.Associations {
+		if needed[a.From] && needed[a.To] {
+			out.Associations = append(out.Associations, a)
+		}
+	}
+	return out, nil
+}
+
+func copyTransition(t *uml.Transition) *uml.Transition {
+	cp := *t
+	cp.SecReqs = append([]string(nil), t.SecReqs...)
+	return &cp
+}

@@ -1,0 +1,143 @@
+package slice
+
+import (
+	"testing"
+
+	"cloudmon/internal/contract"
+	"cloudmon/internal/paper"
+	"cloudmon/internal/uml"
+)
+
+func TestSliceBySecReqDelete(t *testing.T) {
+	m, err := Model(paper.CinderModel(), BySecReqs("1.4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the three DELETE transitions survive.
+	if len(m.Behavioral.Transitions) != 3 {
+		t.Fatalf("transitions = %d, want 3", len(m.Behavioral.Transitions))
+	}
+	for _, tr := range m.Behavioral.Transitions {
+		if tr.Trigger.Method != uml.DELETE {
+			t.Errorf("unexpected trigger %s", tr.Trigger)
+		}
+	}
+	// All three states remain (endpoints + initial).
+	if len(m.Behavioral.States) != 3 {
+		t.Errorf("states = %d, want 3", len(m.Behavioral.States))
+	}
+	// The slice still generates contracts.
+	set, err := contract.Generate(m)
+	if err != nil {
+		t.Fatalf("slice does not generate: %v", err)
+	}
+	if len(set.Contracts) != 1 {
+		t.Errorf("contracts = %d, want 1", len(set.Contracts))
+	}
+	if got := set.SecReqs(); len(got) != 1 || got[0] != "1.4" {
+		t.Errorf("SecReqs = %v", got)
+	}
+}
+
+func TestSliceByMethodsKeepsVocabulary(t *testing.T) {
+	m, err := Model(paper.CinderModel(), ByMethods(uml.POST))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// POST guards reference quota_sets.volume; the resource must survive.
+	if _, ok := m.Resource.Resource("quota_sets"); !ok {
+		t.Error("quota_sets dropped although POST guards reference it")
+	}
+	// usergroup is not referenced by POST scenarios and must be gone.
+	if _, ok := m.Resource.Resource("usergroup"); ok {
+		t.Error("usergroup kept although nothing references it")
+	}
+	// Ancestors for URI composition survive.
+	for _, name := range []string{"projects", "project", "volumes", "volume"} {
+		if _, ok := m.Resource.Resource(name); !ok {
+			t.Errorf("ancestor %q dropped", name)
+		}
+	}
+	// URIs still compose as in the full model.
+	uris := m.Resource.URIs()
+	if uris["volume"] != "/projects/{project_id}/volumes/{volume_id}" {
+		t.Errorf("volume URI = %q", uris["volume"])
+	}
+}
+
+func TestSliceByResources(t *testing.T) {
+	m, err := Model(paper.CinderModel(), ByResources("volume"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Behavioral.Transitions) != len(paper.CinderBehavioralModel().Transitions) {
+		t.Errorf("volume slice should keep all transitions of the volume-only model")
+	}
+}
+
+func TestSliceAnyCombinesPredicates(t *testing.T) {
+	m, err := Model(paper.CinderModel(), Any(BySecReqs("1.1"), BySecReqs("1.4")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := map[uml.HTTPMethod]bool{}
+	for _, tr := range m.Behavioral.Transitions {
+		methods[tr.Trigger.Method] = true
+	}
+	if !methods[uml.GET] || !methods[uml.DELETE] || methods[uml.POST] || methods[uml.PUT] {
+		t.Errorf("methods in slice = %v", methods)
+	}
+}
+
+func TestSliceEmptyIsError(t *testing.T) {
+	if _, err := Model(paper.CinderModel(), BySecReqs("9.9")); err == nil {
+		t.Error("empty slice accepted")
+	}
+}
+
+func TestSliceInvalidInputIsError(t *testing.T) {
+	m := paper.CinderModel()
+	m.Behavioral.States = nil
+	if _, err := Model(m, ByResources("volume")); err == nil {
+		t.Error("invalid input accepted")
+	}
+}
+
+func TestSliceDoesNotAliasInput(t *testing.T) {
+	src := paper.CinderModel()
+	m, err := Model(src, BySecReqs("1.4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the slice must not affect the source.
+	m.Behavioral.Transitions[0].Guard = "true"
+	m.Behavioral.Transitions[0].SecReqs[0] = "X"
+	m.Behavioral.States[0].Invariant = "true"
+	for _, tr := range src.Behavioral.Transitions {
+		if tr.Guard == "true" {
+			t.Error("slice aliases source transitions")
+		}
+		for _, s := range tr.SecReqs {
+			if s == "X" {
+				t.Error("slice aliases SecReq slices")
+			}
+		}
+	}
+	for _, s := range src.Behavioral.States {
+		if s.Invariant == "true" {
+			t.Error("slice aliases source states")
+		}
+	}
+}
+
+func TestSliceKeepsInitialState(t *testing.T) {
+	// A slice of only GET self-loops on non-initial states must still
+	// carry the initial state so the scenario stays anchored.
+	m, err := Model(paper.CinderModel(), BySecReqs("1.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Behavioral.InitialState(); !ok {
+		t.Error("initial state dropped")
+	}
+}

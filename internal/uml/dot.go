@@ -1,0 +1,112 @@
+package uml
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders models as Graphviz DOT documents. The paper motivates
+// models partly by their communicability ("the models provide a graphical
+// representation of the expected behavior of the system with the
+// contracts, which can be communicated with a relative ease compared to
+// the textual specifications", Section III); DOT export recovers that
+// graphical view from the machine-readable models.
+
+// DotBehavioral renders the behavioral model as a DOT digraph: states as
+// nodes (invariants as tooltips), transitions as edges labelled with
+// trigger, guard and SecReq tags.
+func (m *BehavioralModel) Dot() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", m.Name)
+	sb.WriteString("  rankdir=LR;\n")
+	sb.WriteString("  node [shape=box, style=rounded, fontsize=10];\n")
+	sb.WriteString("  edge [fontsize=9];\n")
+	for _, s := range m.States {
+		attrs := []string{fmt.Sprintf("label=%q", s.Name)}
+		if s.Invariant != "" {
+			attrs = append(attrs, fmt.Sprintf("tooltip=%q", s.Invariant))
+		}
+		if s.Initial {
+			attrs = append(attrs, "peripheries=2")
+		}
+		fmt.Fprintf(&sb, "  %q [%s];\n", s.Name, strings.Join(attrs, ", "))
+	}
+	if init, ok := m.InitialState(); ok {
+		sb.WriteString("  __initial [shape=point, width=0.15];\n")
+		fmt.Fprintf(&sb, "  __initial -> %q;\n", init.Name)
+	}
+	for _, t := range m.Transitions {
+		label := t.Trigger.String()
+		if t.Guard != "" {
+			label += "\\n[" + escapeDot(t.Guard) + "]"
+		}
+		if len(t.SecReqs) > 0 {
+			label += "\\nSecReq " + strings.Join(t.SecReqs, ", ")
+		}
+		fmt.Fprintf(&sb, "  %q -> %q [label=\"%s\"];\n", t.From, t.To, label)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Dot renders the resource model as a DOT digraph: resource definitions as
+// record nodes listing attributes, associations as labelled edges with
+// multiplicities.
+func (m *ResourceModel) Dot() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", m.Name)
+	sb.WriteString("  rankdir=TB;\n")
+	sb.WriteString("  node [shape=record, fontsize=10];\n")
+	sb.WriteString("  edge [fontsize=9];\n")
+	for _, r := range m.Resources {
+		var fields []string
+		for _, a := range r.Attributes {
+			fields = append(fields, fmt.Sprintf("%s: %s", a.Name, a.Type))
+		}
+		label := r.Name
+		if r.Kind == KindCollection {
+			label = "\\<\\<collection\\>\\> " + r.Name
+		}
+		if len(fields) > 0 {
+			label += "|" + strings.Join(fields, "\\l") + "\\l"
+		}
+		fmt.Fprintf(&sb, "  %q [label=\"{%s}\"];\n", r.Name, label)
+	}
+	for _, a := range m.Associations {
+		fmt.Fprintf(&sb, "  %q -> %q [label=\"%s %s\"];\n", a.From, a.To, a.Role, a.Mult)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Dot renders both diagrams as one DOT document with two clusters.
+func (m *Model) Dot() string {
+	var sb strings.Builder
+	sb.WriteString("digraph model {\n")
+	sb.WriteString("  compound=true;\n")
+	sb.WriteString(indentCluster("cluster_resources", "Resource model", m.Resource.Dot()))
+	sb.WriteString(indentCluster("cluster_behavior", "Behavioral model", m.Behavioral.Dot()))
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// indentCluster re-wraps an inner digraph body as a subgraph cluster.
+func indentCluster(name, label, dot string) string {
+	lines := strings.Split(dot, "\n")
+	var body []string
+	for _, line := range lines[1:] { // drop "digraph ... {"
+		if strings.TrimSpace(line) == "}" || line == "" {
+			continue
+		}
+		body = append(body, "  "+line)
+	}
+	return fmt.Sprintf("  subgraph %q {\n    label=%q;\n%s\n  }\n",
+		name, label, strings.Join(body, "\n"))
+}
+
+// escapeDot escapes characters that break DOT string labels.
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}

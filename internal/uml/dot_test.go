@@ -1,0 +1,73 @@
+package uml
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBehavioralDot(t *testing.T) {
+	m := validBehavioralModel()
+	dot := m.Dot()
+	for _, want := range []string{
+		`digraph "cinder_project"`,
+		`"empty" [label="empty"`,
+		"peripheries=2",      // initial state double border
+		"__initial ->",       // initial marker edge
+		`POST(volume)`,       // trigger label
+		`SecReq 1.3`,         // traceability on edges
+		`[user.id.groups='a`, // guard fragment (escaped quote)
+		`"empty" -> "nonemp`, // transition edge
+		`tooltip="project.v`, // invariant as tooltip
+		"rankdir=LR",         // layout
+		`"nonempty" -> "emp`, // delete transition
+		"}",                  // well-formed closing
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("behavioral DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestResourceDot(t *testing.T) {
+	m := validResourceModel()
+	dot := m.Dot()
+	for _, want := range []string{
+		`digraph "cinder"`,
+		`\<\<collection\>\> projects`,
+		"id: String",
+		"status: String",
+		"size: Integer",
+		`"projects" -> "project" [label="project 0..*"]`,
+		`"project" -> "volumes" [label="volumes 1..1"]`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("resource DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestModelDotClusters(t *testing.T) {
+	m := &Model{Resource: validResourceModel(), Behavioral: validBehavioralModel()}
+	dot := m.Dot()
+	for _, want := range []string{
+		"digraph model",
+		`subgraph "cluster_resources"`,
+		`subgraph "cluster_behavior"`,
+		`label="Resource model"`,
+		`label="Behavioral model"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("model DOT missing %q", want)
+		}
+	}
+	// Balanced braces.
+	if strings.Count(dot, "{") != strings.Count(dot, "}") {
+		t.Error("unbalanced braces in DOT output")
+	}
+}
+
+func TestEscapeDot(t *testing.T) {
+	if got := escapeDot(`a"b\c`); got != `a\"b\\c` {
+		t.Errorf("escapeDot = %q", got)
+	}
+}

@@ -1,0 +1,482 @@
+// Package uml defines the UML metamodel subset used by the cloud-monitor
+// pipeline: resource models (class diagrams restricted by the paper's design
+// constraints) and behavioral models (protocol state machines whose state
+// invariants, guards and effects are OCL expressions over addressable
+// resources).
+//
+// The vocabulary follows Section IV of the paper:
+//
+//   - A *resource definition* is a class. A *collection* resource definition
+//     has no attributes and contains 0..* child resources; a *normal*
+//     resource definition has one or more typed, public attributes.
+//   - Associations carry a role name (used to compose URIs) and
+//     multiplicities.
+//   - The behavioral model's transitions are triggered by HTTP methods on
+//     resources; guards combine functional conditions and authorization
+//     conditions; comments on transitions carry security-requirement tags
+//     (e.g. "SecReq 1.4") for traceability.
+package uml
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// HTTPMethod is a REST method that can trigger a transition.
+type HTTPMethod string
+
+// The four methods the paper's REST interfaces use.
+const (
+	GET    HTTPMethod = "GET"
+	PUT    HTTPMethod = "PUT"
+	POST   HTTPMethod = "POST"
+	DELETE HTTPMethod = "DELETE"
+)
+
+// ValidMethod reports whether m is one of the supported REST methods.
+func ValidMethod(m HTTPMethod) bool {
+	switch m {
+	case GET, PUT, POST, DELETE:
+		return true
+	}
+	return false
+}
+
+// ResourceKind distinguishes collection resource definitions from normal
+// ones (Section IV.A).
+type ResourceKind int
+
+// Resource kinds. Enums start at 1 so the zero value is detectably unset.
+const (
+	// KindNormal is a resource with its own attributes.
+	KindNormal ResourceKind = iota + 1
+	// KindCollection is a resource that merely contains other resources.
+	KindCollection
+)
+
+// String returns the kind name.
+func (k ResourceKind) String() string {
+	switch k {
+	case KindNormal:
+		return "normal"
+	case KindCollection:
+		return "collection"
+	}
+	return fmt.Sprintf("ResourceKind(%d)", int(k))
+}
+
+// AttrType is the type of a resource attribute. Attributes must be typed
+// because they represent serialized documents (Section IV.A).
+type AttrType string
+
+// Attribute types supported by the OCL evaluator and the simulator.
+const (
+	TypeString  AttrType = "String"
+	TypeInteger AttrType = "Integer"
+	TypeBoolean AttrType = "Boolean"
+)
+
+// ValidAttrType reports whether t is a supported attribute type.
+func ValidAttrType(t AttrType) bool {
+	switch t {
+	case TypeString, TypeInteger, TypeBoolean:
+		return true
+	}
+	return false
+}
+
+// Attribute is a typed, public property of a normal resource definition.
+type Attribute struct {
+	Name string
+	Type AttrType
+}
+
+// Multiplicity is a cardinality bound on an association end. Max == Many
+// denotes an unbounded upper end ("*").
+type Multiplicity struct {
+	Min int
+	Max int
+}
+
+// Many is the unbounded upper multiplicity ("*").
+const Many = -1
+
+// String renders the multiplicity in UML notation, e.g. "0..*".
+func (m Multiplicity) String() string {
+	upper := "*"
+	if m.Max != Many {
+		upper = fmt.Sprintf("%d", m.Max)
+	}
+	return fmt.Sprintf("%d..%s", m.Min, upper)
+}
+
+// Contains reports whether n satisfies the multiplicity bounds.
+func (m Multiplicity) Contains(n int) bool {
+	if n < m.Min {
+		return false
+	}
+	return m.Max == Many || n <= m.Max
+}
+
+// Association is a directed link between two resource definitions. The role
+// name becomes a URI path segment (Section IV.A: "To form URI addresses,
+// every association should have a role name").
+type Association struct {
+	// From and To are resource-definition names.
+	From, To string
+	// Role is the role name (URI segment) of the target end.
+	Role string
+	// Mult is the multiplicity of the target end.
+	Mult Multiplicity
+}
+
+// ResourceDef is a resource definition: a class in the resource model.
+type ResourceDef struct {
+	Name       string
+	Kind       ResourceKind
+	Attributes []Attribute
+}
+
+// Attribute returns the named attribute, if present.
+func (r *ResourceDef) Attribute(name string) (Attribute, bool) {
+	for _, a := range r.Attributes {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Attribute{}, false
+}
+
+// ResourceModel is the paper's resource model: a restricted class diagram.
+type ResourceModel struct {
+	Name         string
+	Resources    []*ResourceDef
+	Associations []Association
+}
+
+// Resource returns the named resource definition, if present.
+func (m *ResourceModel) Resource(name string) (*ResourceDef, bool) {
+	for _, r := range m.Resources {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// AssociationsFrom returns all associations whose source is the named
+// resource definition, in declaration order.
+func (m *ResourceModel) AssociationsFrom(name string) []Association {
+	var out []Association
+	for _, a := range m.Associations {
+		if a.From == name {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Roots returns resource definitions that are not the target of any
+// association — the URI composition entry points.
+func (m *ResourceModel) Roots() []*ResourceDef {
+	targeted := make(map[string]bool, len(m.Associations))
+	for _, a := range m.Associations {
+		targeted[a.To] = true
+	}
+	var roots []*ResourceDef
+	for _, r := range m.Resources {
+		if !targeted[r.Name] {
+			roots = append(roots, r)
+		}
+	}
+	return roots
+}
+
+// URIs composes the relative URI of every resource definition by traversing
+// association role names from the roots (Section VI: "By traversing the tags
+// on the associations between the resources, we compose the paths of each
+// resource. We always start from the corresponding collection").
+//
+// Collection targets contribute their role name; normal resources contained
+// in a collection additionally get an `{<resource>_id}` segment so items in
+// the collection are addressable.
+func (m *ResourceModel) URIs() map[string]string {
+	uris := make(map[string]string, len(m.Resources))
+	var walk func(name, prefix string, seen map[string]bool)
+	walk = func(name, prefix string, seen map[string]bool) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		defer delete(seen, name)
+		if existing, ok := uris[name]; !ok || len(prefix) < len(existing) {
+			uris[name] = prefix
+		}
+		res, ok := m.Resource(name)
+		if !ok {
+			return
+		}
+		for _, a := range m.AssociationsFrom(name) {
+			seg := "/" + a.Role
+			if res.Kind == KindCollection && a.Mult.Max == Many {
+				// Items inside a collection are addressed by id.
+				seg = "/{" + strings.ToLower(a.To) + "_id}"
+			}
+			walk(a.To, prefix+seg, seen)
+		}
+	}
+	for _, root := range m.Roots() {
+		prefix := "/" + strings.ToLower(root.Name)
+		walk(root.Name, prefix, make(map[string]bool))
+	}
+	return uris
+}
+
+// Validate checks the paper's design constraints on the resource model.
+func (m *ResourceModel) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("resource model: missing name")
+	}
+	seen := make(map[string]bool, len(m.Resources))
+	for _, r := range m.Resources {
+		if r.Name == "" {
+			return fmt.Errorf("resource model %q: resource with empty name", m.Name)
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("resource model %q: duplicate resource %q", m.Name, r.Name)
+		}
+		seen[r.Name] = true
+		switch r.Kind {
+		case KindCollection:
+			if len(r.Attributes) > 0 {
+				return fmt.Errorf("collection resource %q must not declare attributes", r.Name)
+			}
+		case KindNormal:
+			if len(r.Attributes) == 0 {
+				return fmt.Errorf("normal resource %q must declare at least one attribute", r.Name)
+			}
+		default:
+			return fmt.Errorf("resource %q: invalid kind %v", r.Name, r.Kind)
+		}
+		attrSeen := make(map[string]bool, len(r.Attributes))
+		for _, a := range r.Attributes {
+			if a.Name == "" {
+				return fmt.Errorf("resource %q: attribute with empty name", r.Name)
+			}
+			if attrSeen[a.Name] {
+				return fmt.Errorf("resource %q: duplicate attribute %q", r.Name, a.Name)
+			}
+			attrSeen[a.Name] = true
+			if !ValidAttrType(a.Type) {
+				return fmt.Errorf("resource %q attribute %q: attributes must have a supported type, got %q",
+					r.Name, a.Name, a.Type)
+			}
+		}
+	}
+	for _, a := range m.Associations {
+		if a.Role == "" {
+			return fmt.Errorf("association %s->%s: every association must have a role name", a.From, a.To)
+		}
+		if !seen[a.From] {
+			return fmt.Errorf("association %s->%s: unknown source resource %q", a.From, a.To, a.From)
+		}
+		if !seen[a.To] {
+			return fmt.Errorf("association %s->%s: unknown target resource %q", a.From, a.To, a.To)
+		}
+		if a.Mult.Min < 0 {
+			return fmt.Errorf("association %s->%s: negative minimum multiplicity", a.From, a.To)
+		}
+		if a.Mult.Max != Many && a.Mult.Max < a.Mult.Min {
+			return fmt.Errorf("association %s->%s: max multiplicity below min", a.From, a.To)
+		}
+	}
+	return nil
+}
+
+// Trigger is a transition trigger: an HTTP method invoked on a resource.
+type Trigger struct {
+	Method   HTTPMethod
+	Resource string
+}
+
+// String renders the trigger as in the paper, e.g. "DELETE(volume)".
+func (t Trigger) String() string {
+	return fmt.Sprintf("%s(%s)", t.Method, t.Resource)
+}
+
+// State is a state of the behavioral model, carrying an OCL invariant
+// (Section IV.B: "We define the invariant of a state using OCL as a boolean
+// expression over the addressable resources").
+type State struct {
+	Name string
+	// Invariant is the OCL state invariant source text. Empty means "true".
+	Invariant string
+	// Initial marks the initial state.
+	Initial bool
+}
+
+// Transition is a transition of the behavioral model.
+type Transition struct {
+	From, To string
+	Trigger  Trigger
+	// Guard is the OCL guard source text (functional + authorization
+	// conditions). Empty means "true".
+	Guard string
+	// Effect is the OCL effect/postcondition fragment on the transition.
+	// Empty means "true". Effects may use pre(...) to refer to pre-state
+	// values.
+	Effect string
+	// SecReqs are the security-requirement tags annotated as comments on
+	// the transition (Section IV.C), e.g. ["1.4"].
+	SecReqs []string
+}
+
+// BehavioralModel is the paper's behavioral model: a protocol state machine
+// for one stateful usage scenario of the REST API.
+type BehavioralModel struct {
+	Name        string
+	States      []*State
+	Transitions []*Transition
+}
+
+// State returns the named state, if present.
+func (m *BehavioralModel) State(name string) (*State, bool) {
+	for _, s := range m.States {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// InitialState returns the model's initial state, if declared.
+func (m *BehavioralModel) InitialState() (*State, bool) {
+	for _, s := range m.States {
+		if s.Initial {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// TransitionsFor returns all transitions triggered by the given trigger, in
+// declaration order. Contract generation combines these (Section V).
+func (m *BehavioralModel) TransitionsFor(tr Trigger) []*Transition {
+	var out []*Transition
+	for _, t := range m.Transitions {
+		if t.Trigger == tr {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Triggers returns the distinct triggers appearing in the model, sorted for
+// deterministic iteration.
+func (m *BehavioralModel) Triggers() []Trigger {
+	set := make(map[Trigger]bool, len(m.Transitions))
+	for _, t := range m.Transitions {
+		set[t.Trigger] = true
+	}
+	out := make([]Trigger, 0, len(set))
+	for tr := range set {
+		out = append(out, tr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Resource != out[j].Resource {
+			return out[i].Resource < out[j].Resource
+		}
+		return out[i].Method < out[j].Method
+	})
+	return out
+}
+
+// SecReqs returns the distinct security-requirement tags annotated anywhere
+// in the model, sorted.
+func (m *BehavioralModel) SecReqs() []string {
+	set := make(map[string]bool)
+	for _, t := range m.Transitions {
+		for _, s := range t.SecReqs {
+			set[s] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks structural well-formedness of the behavioral model.
+func (m *BehavioralModel) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("behavioral model: missing name")
+	}
+	if len(m.States) == 0 {
+		return fmt.Errorf("behavioral model %q: no states", m.Name)
+	}
+	seen := make(map[string]bool, len(m.States))
+	initials := 0
+	for _, s := range m.States {
+		if s.Name == "" {
+			return fmt.Errorf("behavioral model %q: state with empty name", m.Name)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("behavioral model %q: duplicate state %q", m.Name, s.Name)
+		}
+		seen[s.Name] = true
+		if s.Initial {
+			initials++
+		}
+	}
+	if initials > 1 {
+		return fmt.Errorf("behavioral model %q: multiple initial states", m.Name)
+	}
+	for _, t := range m.Transitions {
+		if !seen[t.From] {
+			return fmt.Errorf("transition %s: unknown source state %q", t.Trigger, t.From)
+		}
+		if !seen[t.To] {
+			return fmt.Errorf("transition %s: unknown target state %q", t.Trigger, t.To)
+		}
+		if !ValidMethod(t.Trigger.Method) {
+			return fmt.Errorf("transition %s->%s: invalid trigger method %q", t.From, t.To, t.Trigger.Method)
+		}
+		if t.Trigger.Resource == "" {
+			return fmt.Errorf("transition %s->%s: trigger missing resource", t.From, t.To)
+		}
+	}
+	return nil
+}
+
+// Model bundles the two diagrams the analyst produces for one scenario.
+type Model struct {
+	Resource   *ResourceModel
+	Behavioral *BehavioralModel
+}
+
+// Validate validates both diagrams and their cross-references: every trigger
+// resource must be declared in the resource model.
+func (m *Model) Validate() error {
+	if m.Resource == nil {
+		return fmt.Errorf("model: missing resource model")
+	}
+	if m.Behavioral == nil {
+		return fmt.Errorf("model: missing behavioral model")
+	}
+	if err := m.Resource.Validate(); err != nil {
+		return err
+	}
+	if err := m.Behavioral.Validate(); err != nil {
+		return err
+	}
+	for _, t := range m.Behavioral.Transitions {
+		if _, ok := m.Resource.Resource(t.Trigger.Resource); !ok {
+			return fmt.Errorf("transition %s: trigger resource %q not in resource model",
+				t.Trigger, t.Trigger.Resource)
+		}
+	}
+	return nil
+}

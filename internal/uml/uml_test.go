@@ -1,0 +1,330 @@
+package uml
+
+import (
+	"strings"
+	"testing"
+)
+
+func validResourceModel() *ResourceModel {
+	return &ResourceModel{
+		Name: "cinder",
+		Resources: []*ResourceDef{
+			{Name: "projects", Kind: KindCollection},
+			{Name: "project", Kind: KindNormal, Attributes: []Attribute{{Name: "id", Type: TypeString}}},
+			{Name: "volumes", Kind: KindCollection},
+			{Name: "volume", Kind: KindNormal, Attributes: []Attribute{
+				{Name: "id", Type: TypeString},
+				{Name: "status", Type: TypeString},
+				{Name: "size", Type: TypeInteger},
+			}},
+			{Name: "quota_sets", Kind: KindNormal, Attributes: []Attribute{{Name: "volume", Type: TypeInteger}}},
+		},
+		Associations: []Association{
+			{From: "projects", To: "project", Role: "project", Mult: Multiplicity{Min: 0, Max: Many}},
+			{From: "project", To: "volumes", Role: "volumes", Mult: Multiplicity{Min: 1, Max: 1}},
+			{From: "volumes", To: "volume", Role: "volume", Mult: Multiplicity{Min: 0, Max: Many}},
+			{From: "project", To: "quota_sets", Role: "quota_sets", Mult: Multiplicity{Min: 1, Max: 1}},
+		},
+	}
+}
+
+func validBehavioralModel() *BehavioralModel {
+	return &BehavioralModel{
+		Name: "cinder_project",
+		States: []*State{
+			{Name: "empty", Initial: true, Invariant: "project.volumes->size()=0"},
+			{Name: "nonempty", Invariant: "project.volumes->size()>=1"},
+		},
+		Transitions: []*Transition{
+			{
+				From: "empty", To: "nonempty",
+				Trigger: Trigger{Method: POST, Resource: "volume"},
+				Guard:   "user.id.groups='admin'",
+				SecReqs: []string{"1.3"},
+			},
+			{
+				From: "nonempty", To: "empty",
+				Trigger: Trigger{Method: DELETE, Resource: "volume"},
+				Guard:   "user.id.groups='admin'",
+				SecReqs: []string{"1.4"},
+			},
+		},
+	}
+}
+
+func TestResourceModelValidateOK(t *testing.T) {
+	if err := validResourceModel().Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+}
+
+func TestResourceModelValidateErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*ResourceModel)
+		want   string
+	}{
+		{"missing name", func(m *ResourceModel) { m.Name = "" }, "missing name"},
+		{"duplicate resource", func(m *ResourceModel) {
+			m.Resources = append(m.Resources, &ResourceDef{
+				Name: "project", Kind: KindNormal,
+				Attributes: []Attribute{{Name: "x", Type: TypeString}}})
+		}, "duplicate resource"},
+		{"collection with attributes", func(m *ResourceModel) {
+			m.Resources[0].Attributes = []Attribute{{Name: "x", Type: TypeString}}
+		}, "must not declare attributes"},
+		{"normal without attributes", func(m *ResourceModel) {
+			m.Resources[1].Attributes = nil
+		}, "at least one attribute"},
+		{"untyped attribute", func(m *ResourceModel) {
+			m.Resources[1].Attributes[0].Type = ""
+		}, "supported type"},
+		{"duplicate attribute", func(m *ResourceModel) {
+			m.Resources[1].Attributes = append(m.Resources[1].Attributes, Attribute{Name: "id", Type: TypeString})
+		}, "duplicate attribute"},
+		{"association without role", func(m *ResourceModel) {
+			m.Associations[0].Role = ""
+		}, "role name"},
+		{"association unknown target", func(m *ResourceModel) {
+			m.Associations[0].To = "ghost"
+		}, "unknown target"},
+		{"association unknown source", func(m *ResourceModel) {
+			m.Associations[0].From = "ghost"
+		}, "unknown source"},
+		{"bad multiplicity", func(m *ResourceModel) {
+			m.Associations[0].Mult = Multiplicity{Min: 2, Max: 1}
+		}, "max multiplicity below min"},
+		{"invalid kind", func(m *ResourceModel) {
+			m.Resources[0].Kind = 0
+		}, "invalid kind"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := validResourceModel()
+			tt.mutate(m)
+			err := m.Validate()
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestResourceModelURIs(t *testing.T) {
+	m := validResourceModel()
+	uris := m.URIs()
+	tests := []struct {
+		res, want string
+	}{
+		{"projects", "/projects"},
+		{"project", "/projects/{project_id}"},
+		{"volumes", "/projects/{project_id}/volumes"},
+		{"volume", "/projects/{project_id}/volumes/{volume_id}"},
+		{"quota_sets", "/projects/{project_id}/quota_sets"},
+	}
+	for _, tt := range tests {
+		if got := uris[tt.res]; got != tt.want {
+			t.Errorf("URI(%s) = %q, want %q", tt.res, got, tt.want)
+		}
+	}
+}
+
+func TestResourceModelURIsCyclic(t *testing.T) {
+	m := &ResourceModel{
+		Name: "cyclic",
+		Resources: []*ResourceDef{
+			{Name: "a", Kind: KindNormal, Attributes: []Attribute{{Name: "id", Type: TypeString}}},
+			{Name: "b", Kind: KindNormal, Attributes: []Attribute{{Name: "id", Type: TypeString}}},
+		},
+		Associations: []Association{
+			{From: "a", To: "b", Role: "b", Mult: Multiplicity{Min: 1, Max: 1}},
+			{From: "b", To: "a", Role: "a", Mult: Multiplicity{Min: 1, Max: 1}},
+		},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("cyclic model should validate: %v", err)
+	}
+	// Both a and b are association targets, so there is no root; URI
+	// composition must terminate and return an empty (but safe) map.
+	uris := m.URIs()
+	if len(uris) != 0 {
+		t.Errorf("cyclic rootless model URIs = %v, want none", uris)
+	}
+}
+
+func TestRoots(t *testing.T) {
+	m := validResourceModel()
+	roots := m.Roots()
+	if len(roots) != 1 || roots[0].Name != "projects" {
+		names := make([]string, len(roots))
+		for i, r := range roots {
+			names[i] = r.Name
+		}
+		t.Errorf("Roots = %v, want [projects]", names)
+	}
+}
+
+func TestMultiplicity(t *testing.T) {
+	m := Multiplicity{Min: 0, Max: Many}
+	if m.String() != "0..*" {
+		t.Errorf("String = %q, want 0..*", m.String())
+	}
+	if !m.Contains(0) || !m.Contains(100) {
+		t.Error("0..* should contain everything >= 0")
+	}
+	if m.Contains(-1) {
+		t.Error("0..* should not contain -1")
+	}
+	one := Multiplicity{Min: 1, Max: 1}
+	if one.String() != "1..1" {
+		t.Errorf("String = %q, want 1..1", one.String())
+	}
+	if one.Contains(0) || one.Contains(2) || !one.Contains(1) {
+		t.Error("1..1 bounds wrong")
+	}
+}
+
+func TestBehavioralModelValidateOK(t *testing.T) {
+	if err := validBehavioralModel().Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+}
+
+func TestBehavioralModelValidateErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*BehavioralModel)
+		want   string
+	}{
+		{"missing name", func(m *BehavioralModel) { m.Name = "" }, "missing name"},
+		{"no states", func(m *BehavioralModel) { m.States = nil }, "no states"},
+		{"duplicate state", func(m *BehavioralModel) {
+			m.States = append(m.States, &State{Name: "empty"})
+		}, "duplicate state"},
+		{"two initials", func(m *BehavioralModel) {
+			m.States[1].Initial = true
+		}, "multiple initial"},
+		{"unknown source", func(m *BehavioralModel) {
+			m.Transitions[0].From = "ghost"
+		}, "unknown source state"},
+		{"unknown target", func(m *BehavioralModel) {
+			m.Transitions[0].To = "ghost"
+		}, "unknown target state"},
+		{"bad method", func(m *BehavioralModel) {
+			m.Transitions[0].Trigger.Method = "PATCH"
+		}, "invalid trigger method"},
+		{"missing resource", func(m *BehavioralModel) {
+			m.Transitions[0].Trigger.Resource = ""
+		}, "missing resource"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := validBehavioralModel()
+			tt.mutate(m)
+			err := m.Validate()
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestTransitionsForAndTriggers(t *testing.T) {
+	m := validBehavioralModel()
+	post := Trigger{Method: POST, Resource: "volume"}
+	if got := m.TransitionsFor(post); len(got) != 1 || got[0].From != "empty" {
+		t.Errorf("TransitionsFor(POST volume) = %v", got)
+	}
+	if got := m.TransitionsFor(Trigger{Method: GET, Resource: "volume"}); len(got) != 0 {
+		t.Errorf("TransitionsFor(GET volume) = %v, want empty", got)
+	}
+	trs := m.Triggers()
+	if len(trs) != 2 {
+		t.Fatalf("Triggers = %v, want 2", trs)
+	}
+	// Sorted by resource then method: DELETE < POST.
+	if trs[0].Method != DELETE || trs[1].Method != POST {
+		t.Errorf("Triggers order = %v", trs)
+	}
+}
+
+func TestTriggerString(t *testing.T) {
+	tr := Trigger{Method: DELETE, Resource: "volume"}
+	if tr.String() != "DELETE(volume)" {
+		t.Errorf("Trigger.String() = %q", tr.String())
+	}
+}
+
+func TestSecReqs(t *testing.T) {
+	m := validBehavioralModel()
+	got := m.SecReqs()
+	if len(got) != 2 || got[0] != "1.3" || got[1] != "1.4" {
+		t.Errorf("SecReqs = %v, want [1.3 1.4]", got)
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	m := validBehavioralModel()
+	s, ok := m.InitialState()
+	if !ok || s.Name != "empty" {
+		t.Errorf("InitialState = %v, %v", s, ok)
+	}
+	m.States[0].Initial = false
+	if _, ok := m.InitialState(); ok {
+		t.Error("no initial state should be reported")
+	}
+}
+
+func TestModelValidateCrossRef(t *testing.T) {
+	m := &Model{Resource: validResourceModel(), Behavioral: validBehavioralModel()}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid cross-model rejected: %v", err)
+	}
+	m.Behavioral.Transitions[0].Trigger.Resource = "ghost"
+	if err := m.Validate(); err == nil {
+		t.Error("trigger on undeclared resource accepted")
+	}
+	if err := (&Model{}).Validate(); err == nil {
+		t.Error("empty model accepted")
+	}
+	if err := (&Model{Resource: validResourceModel()}).Validate(); err == nil {
+		t.Error("model without behavioral accepted")
+	}
+}
+
+func TestValidMethod(t *testing.T) {
+	for _, m := range []HTTPMethod{GET, PUT, POST, DELETE} {
+		if !ValidMethod(m) {
+			t.Errorf("ValidMethod(%s) = false", m)
+		}
+	}
+	if ValidMethod("PATCH") {
+		t.Error("PATCH should be invalid")
+	}
+}
+
+func TestResourceKindString(t *testing.T) {
+	if KindNormal.String() != "normal" || KindCollection.String() != "collection" {
+		t.Error("kind names wrong")
+	}
+	if ResourceKind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestAttributeLookup(t *testing.T) {
+	m := validResourceModel()
+	vol, _ := m.Resource("volume")
+	if a, ok := vol.Attribute("status"); !ok || a.Type != TypeString {
+		t.Errorf("Attribute(status) = %v, %v", a, ok)
+	}
+	if _, ok := vol.Attribute("ghost"); ok {
+		t.Error("ghost attribute found")
+	}
+}

@@ -1,0 +1,43 @@
+package xmi
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cloudmon/internal/paper"
+)
+
+// TestGoldenCinderXMI pins the on-disk XMI format: the checked-in
+// testdata/cinder.xmi must decode to the paper's model and re-encode
+// byte-identically. If the format changes intentionally, regenerate with
+//
+//	go run ./cmd/uml2go -emit-example internal/xmi/testdata/cinder.xmi
+func TestGoldenCinderXMI(t *testing.T) {
+	golden := filepath.Join("testdata", "cinder.xmi")
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden file: %v", err)
+	}
+	m, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode golden file: %v", err)
+	}
+	want := paper.CinderModel()
+	if !reflect.DeepEqual(m.Resource, want.Resource) {
+		t.Error("golden resource model drifted from paper fixture")
+	}
+	if !reflect.DeepEqual(m.Behavioral, want.Behavioral) {
+		t.Error("golden behavioral model drifted from paper fixture")
+	}
+	reencoded, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reencoded, data) {
+		t.Error("golden file is not byte-stable under decode/encode; " +
+			"regenerate with: go run ./cmd/uml2go -emit-example internal/xmi/testdata/cinder.xmi")
+	}
+}

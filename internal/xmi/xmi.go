@@ -1,0 +1,291 @@
+// Package xmi imports and exports design models as XMI documents — the
+// interchange step of the paper's toolchain ("We generate XML Metadata
+// Interchange (XMI) of the behavioral model from [MagicDraw] and save it
+// into a file. The XMI files are given as the input to CM", Section VI).
+//
+// The vocabulary is a simplified, namespace-free rendering of the XMI 2.1
+// content the paper's tool consumes: classes with kinds and typed
+// attributes, associations with role names and multiplicities, and a
+// protocol state machine whose states carry OCL invariants and whose
+// transitions carry triggers, guards, effects and SecReq comments.
+// Documents written by Encode round-trip through Decode losslessly.
+package xmi
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cloudmon/internal/uml"
+)
+
+// Version is the XMI dialect version this package reads and writes.
+const Version = "2.1"
+
+// exporterName identifies documents produced by this tool.
+const exporterName = "cloudmon uml2go"
+
+// Document is the root XMI element.
+type Document struct {
+	XMLName  xml.Name  `xml:"XMI"`
+	Version  string    `xml:"version,attr"`
+	Exporter string    `xml:"exporter,attr,omitempty"`
+	Model    ModelElem `xml:"Model"`
+}
+
+// ModelElem is the UML model: the class diagram content plus one state
+// machine.
+type ModelElem struct {
+	Name         string            `xml:"name,attr"`
+	Classes      []ClassElem       `xml:"Class"`
+	Associations []AssociationElem `xml:"Association"`
+	StateMachine *StateMachineElem `xml:"StateMachine"`
+}
+
+// ClassElem is a resource definition.
+type ClassElem struct {
+	Name       string          `xml:"name,attr"`
+	Kind       string          `xml:"kind,attr"`
+	Attributes []AttributeElem `xml:"Attribute"`
+}
+
+// AttributeElem is a typed public attribute.
+type AttributeElem struct {
+	Name string `xml:"name,attr"`
+	Type string `xml:"type,attr"`
+}
+
+// AssociationElem is a directed association with a role name and the
+// multiplicity of the target end ("*" denotes unbounded).
+type AssociationElem struct {
+	From  string `xml:"from,attr"`
+	To    string `xml:"to,attr"`
+	Role  string `xml:"role,attr"`
+	Lower string `xml:"lower,attr"`
+	Upper string `xml:"upper,attr"`
+}
+
+// StateMachineElem is the behavioral model.
+type StateMachineElem struct {
+	Name        string           `xml:"name,attr"`
+	States      []StateElem      `xml:"State"`
+	Transitions []TransitionElem `xml:"Transition"`
+}
+
+// StateElem is a state with its OCL invariant.
+type StateElem struct {
+	Name      string `xml:"name,attr"`
+	Initial   bool   `xml:"initial,attr,omitempty"`
+	Invariant string `xml:"Invariant,omitempty"`
+}
+
+// TransitionElem is a transition with trigger, guard, effect and comments.
+type TransitionElem struct {
+	From     string   `xml:"from,attr"`
+	To       string   `xml:"to,attr"`
+	Method   string   `xml:"method,attr"`
+	Resource string   `xml:"resource,attr"`
+	Guard    string   `xml:"Guard,omitempty"`
+	Effect   string   `xml:"Effect,omitempty"`
+	Comments []string `xml:"Comment"`
+}
+
+// secReqPrefix is how security requirements appear in model comments
+// (Section IV.C: "each method should be labeled with a corresponding
+// security requirement represented as a comment").
+const secReqPrefix = "SecReq"
+
+// Encode serializes the model as an XMI document.
+func Encode(m *uml.Model) ([]byte, error) {
+	if m == nil || m.Resource == nil || m.Behavioral == nil {
+		return nil, fmt.Errorf("xmi: model must have both diagrams")
+	}
+	doc := Document{
+		Version:  Version,
+		Exporter: exporterName,
+		Model: ModelElem{
+			Name: m.Resource.Name,
+		},
+	}
+	for _, r := range m.Resource.Resources {
+		ce := ClassElem{Name: r.Name, Kind: r.Kind.String()}
+		for _, a := range r.Attributes {
+			ce.Attributes = append(ce.Attributes, AttributeElem{Name: a.Name, Type: string(a.Type)})
+		}
+		doc.Model.Classes = append(doc.Model.Classes, ce)
+	}
+	for _, a := range m.Resource.Associations {
+		upper := "*"
+		if a.Mult.Max != uml.Many {
+			upper = strconv.Itoa(a.Mult.Max)
+		}
+		doc.Model.Associations = append(doc.Model.Associations, AssociationElem{
+			From: a.From, To: a.To, Role: a.Role,
+			Lower: strconv.Itoa(a.Mult.Min), Upper: upper,
+		})
+	}
+	sm := &StateMachineElem{Name: m.Behavioral.Name}
+	for _, s := range m.Behavioral.States {
+		sm.States = append(sm.States, StateElem{
+			Name: s.Name, Initial: s.Initial, Invariant: s.Invariant,
+		})
+	}
+	for _, t := range m.Behavioral.Transitions {
+		te := TransitionElem{
+			From: t.From, To: t.To,
+			Method:   string(t.Trigger.Method),
+			Resource: t.Trigger.Resource,
+			Guard:    t.Guard,
+			Effect:   t.Effect,
+		}
+		for _, s := range t.SecReqs {
+			te.Comments = append(te.Comments, secReqPrefix+" "+s)
+		}
+		sm.Transitions = append(sm.Transitions, te)
+	}
+	doc.Model.StateMachine = sm
+
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	enc := xml.NewEncoder(&buf)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return nil, fmt.Errorf("xmi: encode: %w", err)
+	}
+	buf.WriteByte('\n')
+	return buf.Bytes(), nil
+}
+
+// Decode parses an XMI document into a validated model.
+func Decode(data []byte) (*uml.Model, error) {
+	var doc Document
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("xmi: parse: %w", err)
+	}
+	if doc.Version != "" && doc.Version != Version {
+		return nil, fmt.Errorf("xmi: unsupported version %q (want %s)", doc.Version, Version)
+	}
+	if doc.Model.StateMachine == nil {
+		return nil, fmt.Errorf("xmi: document has no StateMachine element")
+	}
+
+	rm := &uml.ResourceModel{Name: doc.Model.Name}
+	for _, ce := range doc.Model.Classes {
+		kind, err := parseKind(ce.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("xmi: class %q: %w", ce.Name, err)
+		}
+		rd := &uml.ResourceDef{Name: ce.Name, Kind: kind}
+		for _, ae := range ce.Attributes {
+			rd.Attributes = append(rd.Attributes, uml.Attribute{
+				Name: ae.Name, Type: uml.AttrType(ae.Type),
+			})
+		}
+		rm.Resources = append(rm.Resources, rd)
+	}
+	for _, ae := range doc.Model.Associations {
+		mult, err := parseMultiplicity(ae.Lower, ae.Upper)
+		if err != nil {
+			return nil, fmt.Errorf("xmi: association %s->%s: %w", ae.From, ae.To, err)
+		}
+		rm.Associations = append(rm.Associations, uml.Association{
+			From: ae.From, To: ae.To, Role: ae.Role, Mult: mult,
+		})
+	}
+
+	bm := &uml.BehavioralModel{Name: doc.Model.StateMachine.Name}
+	for _, se := range doc.Model.StateMachine.States {
+		bm.States = append(bm.States, &uml.State{
+			Name:      se.Name,
+			Initial:   se.Initial,
+			Invariant: strings.TrimSpace(se.Invariant),
+		})
+	}
+	for _, te := range doc.Model.StateMachine.Transitions {
+		tr := &uml.Transition{
+			From: te.From, To: te.To,
+			Trigger: uml.Trigger{
+				Method:   uml.HTTPMethod(te.Method),
+				Resource: te.Resource,
+			},
+			Guard:  strings.TrimSpace(te.Guard),
+			Effect: strings.TrimSpace(te.Effect),
+		}
+		for _, c := range te.Comments {
+			if tag, ok := parseSecReqComment(c); ok {
+				tr.SecReqs = append(tr.SecReqs, tag)
+			}
+		}
+		bm.Transitions = append(bm.Transitions, tr)
+	}
+
+	m := &uml.Model{Resource: rm, Behavioral: bm}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("xmi: invalid model: %w", err)
+	}
+	return m, nil
+}
+
+// parseSecReqComment extracts the requirement tag from a "SecReq <tag>"
+// comment; other comments are ignored.
+func parseSecReqComment(c string) (string, bool) {
+	c = strings.TrimSpace(c)
+	if !strings.HasPrefix(c, secReqPrefix) {
+		return "", false
+	}
+	tag := strings.TrimSpace(strings.TrimPrefix(c, secReqPrefix))
+	if tag == "" {
+		return "", false
+	}
+	return tag, true
+}
+
+func parseKind(s string) (uml.ResourceKind, error) {
+	switch s {
+	case "normal":
+		return uml.KindNormal, nil
+	case "collection":
+		return uml.KindCollection, nil
+	default:
+		return 0, fmt.Errorf("unknown kind %q", s)
+	}
+}
+
+func parseMultiplicity(lower, upper string) (uml.Multiplicity, error) {
+	min, err := strconv.Atoi(lower)
+	if err != nil {
+		return uml.Multiplicity{}, fmt.Errorf("bad lower bound %q", lower)
+	}
+	if upper == "*" {
+		return uml.Multiplicity{Min: min, Max: uml.Many}, nil
+	}
+	max, err := strconv.Atoi(upper)
+	if err != nil {
+		return uml.Multiplicity{}, fmt.Errorf("bad upper bound %q", upper)
+	}
+	return uml.Multiplicity{Min: min, Max: max}, nil
+}
+
+// ReadFile loads and decodes a model from an XMI file.
+func ReadFile(path string) (*uml.Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("xmi: %w", err)
+	}
+	return Decode(data)
+}
+
+// WriteFile encodes and writes the model to path.
+func WriteFile(path string, m *uml.Model) error {
+	data, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("xmi: %w", err)
+	}
+	return nil
+}

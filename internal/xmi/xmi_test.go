@@ -1,0 +1,180 @@
+package xmi
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cloudmon/internal/paper"
+	"cloudmon/internal/uml"
+)
+
+func TestRoundTripPaperModel(t *testing.T) {
+	m := paper.CinderModel()
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got.Resource, m.Resource) {
+		t.Errorf("resource model did not round-trip:\n got %+v\nwant %+v", got.Resource, m.Resource)
+	}
+	if !reflect.DeepEqual(got.Behavioral, m.Behavioral) {
+		t.Errorf("behavioral model did not round-trip")
+		for i := range m.Behavioral.Transitions {
+			if !reflect.DeepEqual(got.Behavioral.Transitions[i], m.Behavioral.Transitions[i]) {
+				t.Errorf("transition %d:\n got %+v\nwant %+v",
+					i, got.Behavioral.Transitions[i], m.Behavioral.Transitions[i])
+			}
+		}
+	}
+}
+
+func TestEncodeContainsExpectedVocabulary(t *testing.T) {
+	data, err := Encode(paper.CinderModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, want := range []string{
+		`<XMI version="2.1"`,
+		`<Class name="volume" kind="normal">`,
+		`<Attribute name="status" type="String">`,
+		`<Association from="volumes" to="volume" role="volume" lower="0" upper="*">`,
+		`<StateMachine name="cinder_project">`,
+		`<State name="project_with_no_volume" initial="true">`,
+		`<Comment>SecReq 1.4</Comment>`,
+		`<Guard>`,
+		`<Effect>`,
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("encoded XMI missing %q", want)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		doc  string
+	}{
+		{"not xml", "this is not xml"},
+		{"wrong version", `<XMI version="9.9"><Model name="m"><StateMachine name="s"/></Model></XMI>`},
+		{"no state machine", `<XMI version="2.1"><Model name="m"/></XMI>`},
+		{"bad kind", `<XMI version="2.1"><Model name="m">
+			<Class name="c" kind="weird"/>
+			<StateMachine name="s"><State name="a" initial="true"/></StateMachine></Model></XMI>`},
+		{"bad lower bound", `<XMI version="2.1"><Model name="m">
+			<Class name="a" kind="collection"/><Class name="b" kind="collection"/>
+			<Association from="a" to="b" role="r" lower="x" upper="*"/>
+			<StateMachine name="s"><State name="q" initial="true"/></StateMachine></Model></XMI>`},
+		{"bad upper bound", `<XMI version="2.1"><Model name="m">
+			<Class name="a" kind="collection"/><Class name="b" kind="collection"/>
+			<Association from="a" to="b" role="r" lower="0" upper="x"/>
+			<StateMachine name="s"><State name="q" initial="true"/></StateMachine></Model></XMI>`},
+		{"invalid model semantics", `<XMI version="2.1"><Model name="m">
+			<Class name="c" kind="normal"/>
+			<StateMachine name="s"><State name="a" initial="true"/></StateMachine></Model></XMI>`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode([]byte(tt.doc)); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestDecodeMinimalDocument(t *testing.T) {
+	doc := `<XMI version="2.1">
+	  <Model name="tiny">
+	    <Class name="things" kind="collection"/>
+	    <Class name="thing" kind="normal">
+	      <Attribute name="id" type="String"/>
+	    </Class>
+	    <Association from="things" to="thing" role="thing" lower="0" upper="*"/>
+	    <StateMachine name="tiny_sm">
+	      <State name="start" initial="true">
+	        <Invariant>thing.id->size()=0</Invariant>
+	      </State>
+	      <State name="made">
+	        <Invariant>thing.id->size()=1</Invariant>
+	      </State>
+	      <Transition from="start" to="made" method="POST" resource="thing">
+	        <Guard>user.id.groups='admin'</Guard>
+	        <Effect>thing.id->size() = 1</Effect>
+	        <Comment>SecReq 2.1</Comment>
+	        <Comment>free-form note, ignored</Comment>
+	      </Transition>
+	    </StateMachine>
+	  </Model>
+	</XMI>`
+	m, err := Decode([]byte(doc))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if m.Resource.Name != "tiny" || len(m.Resource.Resources) != 2 {
+		t.Errorf("resource model = %+v", m.Resource)
+	}
+	tr := m.Behavioral.Transitions[0]
+	if tr.Guard != "user.id.groups='admin'" {
+		t.Errorf("guard = %q", tr.Guard)
+	}
+	if len(tr.SecReqs) != 1 || tr.SecReqs[0] != "2.1" {
+		t.Errorf("SecReqs = %v (free-form comments must be ignored)", tr.SecReqs)
+	}
+	if st, ok := m.Behavioral.InitialState(); !ok || st.Name != "start" {
+		t.Errorf("initial state = %v, %v", st, ok)
+	}
+}
+
+func TestEncodeRejectsPartialModels(t *testing.T) {
+	if _, err := Encode(nil); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := Encode(&uml.Model{Resource: paper.CinderResourceModel()}); err == nil {
+		t.Error("model without behavioral diagram accepted")
+	}
+}
+
+func TestReadWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cinder.xmi")
+	if err := WriteFile(path, paper.CinderModel()); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	m, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if m.Resource.Name != "cinder" {
+		t.Errorf("model name = %q", m.Resource.Name)
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.xmi")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestParseSecReqComment(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"SecReq 1.4", "1.4", true},
+		{"  SecReq 1.4  ", "1.4", true},
+		{"SecReq", "", false},
+		{"note about design", "", false},
+		{"", "", false},
+	}
+	for _, tt := range tests {
+		got, ok := parseSecReqComment(tt.in)
+		if got != tt.want || ok != tt.ok {
+			t.Errorf("parseSecReqComment(%q) = %q,%v; want %q,%v", tt.in, got, ok, tt.want, tt.ok)
+		}
+	}
+}
