@@ -1,14 +1,22 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test race cover bench fuzz examples experiments artifacts
+.PHONY: all build vet lint test race cover bench fuzz examples experiments artifacts
 
-all: build vet test
+all: build vet lint test
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+# Static analysis of every model the examples construct: the two paper
+# models and the SecReq-1.4 audit slice. Fails on any error-severity
+# diagnostic.
+lint:
+	go run ./cmd/modelvet -example cinder
+	go run ./cmd/modelvet -example nova
+	go run ./cmd/modelvet -example cinder-secreq-1.4
 
 test:
 	go test ./...

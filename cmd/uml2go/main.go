@@ -8,6 +8,7 @@
 //	-out DIR     output directory (default: ./<ProjectName>)
 //	-cloud URL   backend cloud URL baked into the skeleton
 //	-contracts   also print the generated contracts (Listing-1 format)
+//	-lenient     generate even when static analysis reports errors
 //	-emit-example PATH  write the bundled Cinder example model as XMI and exit
 package main
 
@@ -36,6 +37,7 @@ func run(args []string) error {
 	cloudURL := fs.String("cloud", "http://127.0.0.1:8776", "private cloud base URL")
 	printContracts := fs.Bool("contracts", false, "print generated contracts")
 	emitExample := fs.String("emit-example", "", "write the bundled Cinder example model as XMI to PATH and exit")
+	lenient := fs.Bool("lenient", false, "generate even when static analysis (modelvet) reports errors")
 	dotPath := fs.String("dot", "", "also write a Graphviz rendering of the models to PATH")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,8 +65,10 @@ func run(args []string) error {
 		fmt.Printf("wrote Graphviz rendering to %s\n", *dotPath)
 	}
 	res, err := codegen.Generate(model, codegen.Options{
-		Project:  project,
-		CloudURL: *cloudURL,
+		Project:     project,
+		CloudURL:    *cloudURL,
+		Lenient:     *lenient,
+		AnalysisLog: os.Stderr,
 	})
 	if err != nil {
 		return err

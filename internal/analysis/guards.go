@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"cloudmon/internal/ocl"
+	"cloudmon/internal/uml"
+)
+
+// guardsPass analyzes transition guards: syntactic contradictions (a
+// conjunction containing both e and not e, or a literal false), guard
+// overlap between same-trigger transitions out of the same state (either
+// duplicated guards, or a complementary pair g / not g whose disjunction
+// makes the method pre-condition trivially true whenever the source
+// invariant holds), and illegal pre()/@pre references in guards and
+// invariants (which by definition have no pre-state).
+func guardsPass() Pass {
+	return Pass{
+		Name:  "guards",
+		Doc:   "contradictory, overlapping and illegal guards",
+		Codes: []string{"MV201", "MV202", "MV203"},
+		Run:   runGuards,
+	}
+}
+
+func runGuards(ctx *Context) []Diagnostic {
+	var ds []Diagnostic
+
+	// MV201 + MV203 per fragment.
+	for _, me := range ctx.Exprs() {
+		if me.Expr == nil {
+			continue
+		}
+		switch me.Kind {
+		case exprGuard:
+			if reason, bad := contradictoryConjunction(me.Expr); bad {
+				ds = append(ds, Diagnostic{
+					Code: "MV201", Severity: Error, Pass: "guards",
+					Loc: me.Loc,
+					Message: fmt.Sprintf(
+						"guard is unsatisfiable (%s) — the transition can never fire", reason),
+				})
+			}
+			if ocl.UsesPre(me.Expr) {
+				ds = append(ds, Diagnostic{
+					Code: "MV203", Severity: Error, Pass: "guards",
+					Loc:     me.Loc,
+					Message: "guard uses pre()/@pre — guards are evaluated before the call and have no pre-state",
+				})
+			}
+		case exprInvariant:
+			if ocl.UsesPre(me.Expr) {
+				ds = append(ds, Diagnostic{
+					Code: "MV203", Severity: Error, Pass: "guards",
+					Loc:     me.Loc,
+					Message: "state invariant uses pre()/@pre — invariants have no pre-state",
+				})
+			}
+		}
+	}
+
+	// MV202: group transitions by (source state, trigger).
+	type groupKey struct {
+		from    string
+		trigger uml.Trigger
+	}
+	groups := make(map[groupKey][]*uml.Transition)
+	var order []groupKey
+	for _, t := range ctx.Model.Behavioral.Transitions {
+		k := groupKey{from: t.From, trigger: t.Trigger}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], t)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].from != order[j].from {
+			return order[i].from < order[j].from
+		}
+		return order[i].trigger.String() < order[j].trigger.String()
+	})
+	for _, k := range order {
+		ts := groups[k]
+		if len(ts) < 2 {
+			continue
+		}
+		for i := 0; i < len(ts); i++ {
+			gi := canonicalGuard(ts[i].Guard)
+			for j := i + 1; j < len(ts); j++ {
+				gj := canonicalGuard(ts[j].Guard)
+				switch {
+				case gi == gj:
+					ds = append(ds, Diagnostic{
+						Code: "MV202", Severity: Warning, Pass: "guards",
+						Loc: transitionLoc(ts[i], "guard"),
+						Message: fmt.Sprintf(
+							"same-trigger transition to %q carries an identical guard — the contract cases overlap and the target state is ambiguous",
+							ts[j].To),
+					})
+				case complementary(gi, gj):
+					ds = append(ds, Diagnostic{
+						Code: "MV202", Severity: Warning, Pass: "guards",
+						Loc: transitionLoc(ts[i], "guard"),
+						Message: fmt.Sprintf(
+							"guard and the guard of the same-trigger transition to %q are complementary — their disjunction makes pre(%s) trivially true whenever the source invariant holds",
+							ts[j].To, k.trigger),
+					})
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// canonicalGuard renders the guard's canonical OCL spelling ("" parses to
+// the true literal). Unparseable guards canonicalize to their raw text so
+// they never spuriously collide.
+func canonicalGuard(src string) string {
+	e, err := ocl.Parse(src)
+	if err != nil {
+		return src
+	}
+	return e.String()
+}
+
+// complementary reports whether the canonical guards are g and not g.
+func complementary(a, b string) bool {
+	return a == "not "+b || b == "not "+a ||
+		a == "not ("+b+")" || b == "not ("+a+")"
+}
+
+// contradictoryConjunction reports whether the expression is a conjunction
+// containing a literal false or both e and not e for syntactically equal
+// e. This is the cheap, sound-but-incomplete contradiction check: it never
+// flags a satisfiable guard.
+func contradictoryConjunction(e ocl.Expr) (string, bool) {
+	conjuncts := flattenAnd(e)
+	rendered := make(map[string]bool, len(conjuncts))
+	for _, c := range conjuncts {
+		rendered[c.String()] = true
+	}
+	for _, c := range conjuncts {
+		if lit, ok := c.(*ocl.Lit); ok &&
+			lit.Value.Kind == ocl.KindBool && !lit.Value.Bool {
+			return "contains the literal false", true
+		}
+		if u, ok := c.(*ocl.Unary); ok && u.Op == ocl.OpNot {
+			inner := u.Expr.String()
+			if rendered[inner] {
+				return fmt.Sprintf("contains both %q and its negation", inner), true
+			}
+		}
+	}
+	return "", false
+}
+
+// flattenAnd returns the conjuncts of a (possibly nested) conjunction.
+func flattenAnd(e ocl.Expr) []ocl.Expr {
+	if b, ok := e.(*ocl.Binary); ok && b.Op == ocl.OpAnd {
+		return append(flattenAnd(b.L), flattenAnd(b.R)...)
+	}
+	return []ocl.Expr{e}
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"fmt"
+
+	"cloudmon/internal/ocl"
+	"cloudmon/internal/uml"
+)
+
+// monitorabilityPass checks that postconditions only reference values the
+// proxy can actually observe. The monitor addresses resources through the
+// request's URI parameters and snapshots exactly the navigation paths the
+// contract mentions (contract.StatePaths), once before forwarding and
+// once after; that mechanism cannot see:
+//
+//   - the resource a POST creates — its id is not in the request URI, so
+//     every navigation into it resolves to OclUndefined in both
+//     snapshots (MV501);
+//   - the current state of a resource a DELETE removed — only pre()
+//     references are backed by the pre-state snapshot; a post-state read
+//     of the deleted resource is OclUndefined (MV502), except through
+//     cardinality operations (size/isEmpty/notEmpty), where "undefined
+//     reads as empty" is exactly how the paper asserts deletion;
+//   - a state before the pre-state — pre() inside pre() (or @pre inside
+//     pre()) references a snapshot the monitor never took (MV503).
+func monitorabilityPass() Pass {
+	return Pass{
+		Name:  "monitorability",
+		Doc:   "postconditions the proxy cannot observe",
+		Codes: []string{"MV501", "MV502", "MV503"},
+		Run:   runMonitorability,
+	}
+}
+
+func runMonitorability(ctx *Context) []Diagnostic {
+	var ds []Diagnostic
+
+	invariants := make(map[string]ocl.Expr, len(ctx.Model.Behavioral.States))
+	for _, me := range ctx.Exprs() {
+		if me.Kind == exprInvariant && me.Expr != nil {
+			invariants[me.State.Name] = me.Expr
+		}
+	}
+
+	for _, me := range ctx.Exprs() {
+		if me.Expr == nil || me.Kind != exprEffect {
+			continue
+		}
+		t := me.Transition
+		res := t.Trigger.Resource
+
+		// MV503: nested old-value references, anywhere in the effect.
+		for _, nested := range nestedPreRefs(me.Expr) {
+			ds = append(ds, Diagnostic{
+				Code: "MV503", Severity: Warning, Pass: "monitorability",
+				Loc: me.Loc,
+				Message: fmt.Sprintf(
+					"nested old-value reference %s — the monitor keeps a single pre-state snapshot; there is no state before it", nested),
+			})
+		}
+
+		// The postcondition of the transition is inv(target) and effect.
+		post := []struct {
+			expr ocl.Expr
+			part string
+		}{
+			{me.Expr, "effect"},
+			{invariants[t.To], fmt.Sprintf("target invariant (%s)", t.To)},
+		}
+		for _, p := range post {
+			if p.expr == nil {
+				continue
+			}
+			switch t.Trigger.Method {
+			case uml.POST:
+				for _, path := range headedPaths(p.expr, res, false) {
+					ds = append(ds, Diagnostic{
+						Code: "MV501", Severity: Warning, Pass: "monitorability",
+						Loc: me.Loc,
+						Message: fmt.Sprintf(
+							"%s references %q of the resource POST creates — the created id is not in the request URI, so the proxy observes OclUndefined in both snapshots",
+							p.part, path),
+					})
+				}
+			case uml.DELETE:
+				for _, path := range headedPaths(p.expr, res, true) {
+					ds = append(ds, Diagnostic{
+						Code: "MV502", Severity: Warning, Pass: "monitorability",
+						Loc: me.Loc,
+						Message: fmt.Sprintf(
+							"%s reads %q of the deleted resource in the post-state — only pre(%s) is observable after DELETE",
+							p.part, path, path),
+					})
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// nestedPreRefs returns the rendered pre()/@pre sub-expressions that occur
+// inside another pre() context.
+func nestedPreRefs(e ocl.Expr) []string {
+	var out []string
+	var walk func(n ocl.Expr, inPre bool)
+	walk = func(n ocl.Expr, inPre bool) {
+		switch x := n.(type) {
+		case nil:
+		case *ocl.PreExpr:
+			if inPre {
+				out = append(out, x.String())
+			}
+			walk(x.Expr, true)
+		case *ocl.Nav:
+			if inPre && x.AtPre {
+				out = append(out, x.String())
+			}
+		case *ocl.Unary:
+			walk(x.Expr, inPre)
+		case *ocl.Binary:
+			walk(x.L, inPre)
+			walk(x.R, inPre)
+		case *ocl.CollOp:
+			walk(x.Recv, inPre)
+			for _, a := range x.Args {
+				walk(a, inPre)
+			}
+		case *ocl.IterOp:
+			walk(x.Recv, inPre)
+			walk(x.Body, inPre)
+		}
+	}
+	walk(e, false)
+	return out
+}
+
+// headedPaths returns the distinct navigation paths headed at resource
+// head that occur outside pre()/@pre contexts, in first-occurrence order.
+// With skipCardinality set, paths consumed solely as the receiver of a
+// cardinality operation (size, isEmpty, notEmpty) are exempt: reading a
+// missing resource as "empty" is meaningful.
+func headedPaths(e ocl.Expr, head string, skipCardinality bool) []string {
+	cardinality := map[string]bool{"size": true, "isEmpty": true, "notEmpty": true}
+	seen := make(map[string]bool)
+	var out []string
+	var walk func(n ocl.Expr, bound map[string]int)
+	walk = func(n ocl.Expr, bound map[string]int) {
+		switch x := n.(type) {
+		case nil:
+		case *ocl.PreExpr:
+			// Old-value references are backed by the pre-state snapshot.
+		case *ocl.Nav:
+			if x.AtPre {
+				return
+			}
+			if bound[x.Path[0]] > 0 {
+				return
+			}
+			if x.Path[0] == head {
+				key := x.String()
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, key)
+				}
+			}
+		case *ocl.Unary:
+			walk(x.Expr, bound)
+		case *ocl.Binary:
+			walk(x.L, bound)
+			walk(x.R, bound)
+		case *ocl.CollOp:
+			if !(skipCardinality && cardinality[x.Name]) {
+				walk(x.Recv, bound)
+			}
+			for _, a := range x.Args {
+				walk(a, bound)
+			}
+		case *ocl.IterOp:
+			walk(x.Recv, bound)
+			bound[x.Var]++
+			walk(x.Body, bound)
+			bound[x.Var]--
+		}
+	}
+	walk(e, map[string]int{})
+	return out
+}

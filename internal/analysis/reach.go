@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"fmt"
+)
+
+// reachabilityPass checks the behavioral model's graph structure: every
+// state should be reachable from the initial state, every transition
+// should be live, and the machine should not trap the scenario — either
+// every state can reach a terminal (absorbing) state when the model has
+// one, or, in a fully live machine, every state can return to the initial
+// state (the home-state property of protocol state machines).
+func reachabilityPass() Pass {
+	return Pass{
+		Name:  "reachability",
+		Doc:   "unreachable states, dead transitions, trap states",
+		Codes: []string{"MV101", "MV102", "MV103", "MV104"},
+		Run:   runReachability,
+	}
+}
+
+func runReachability(ctx *Context) []Diagnostic {
+	bm := ctx.Model.Behavioral
+	init, ok := bm.InitialState()
+	if !ok {
+		return []Diagnostic{{
+			Code: "MV101", Severity: Warning, Pass: "reachability",
+			Loc: Location{Diagram: "behavioral",
+				Element: fmt.Sprintf("state machine %q", bm.Name)},
+			Message: "no initial state — reachability cannot be analyzed",
+		}}
+	}
+
+	succ := make(map[string][]string, len(bm.States))
+	pred := make(map[string][]string, len(bm.States))
+	for _, t := range bm.Transitions {
+		succ[t.From] = append(succ[t.From], t.To)
+		pred[t.To] = append(pred[t.To], t.From)
+	}
+
+	reachable := closure([]string{init.Name}, succ)
+
+	var ds []Diagnostic
+	for _, s := range bm.States {
+		if !reachable[s.Name] {
+			ds = append(ds, Diagnostic{
+				Code: "MV102", Severity: Warning, Pass: "reachability",
+				Loc: stateLoc(s, ""),
+				Message: fmt.Sprintf("state is unreachable from the initial state %q",
+					init.Name),
+			})
+		}
+	}
+	for _, t := range bm.Transitions {
+		if !reachable[t.From] {
+			ds = append(ds, Diagnostic{
+				Code: "MV103", Severity: Warning, Pass: "reachability",
+				Loc: transitionLoc(t, ""),
+				Message: fmt.Sprintf("dead transition: source state %q is unreachable",
+					t.From),
+			})
+		}
+	}
+
+	// Liveness. Terminal states are absorbing: no outgoing transitions.
+	var terminals []string
+	for _, s := range bm.States {
+		if len(succ[s.Name]) == 0 {
+			terminals = append(terminals, s.Name)
+		}
+	}
+	var goal map[string]bool
+	var goalDesc string
+	if len(terminals) > 0 {
+		goal = closure(terminals, pred)
+		goalDesc = "no path to a terminal state"
+	} else {
+		goal = closure([]string{init.Name}, pred)
+		goalDesc = fmt.Sprintf("trap: no path back to the initial state %q", init.Name)
+	}
+	for _, s := range bm.States {
+		if reachable[s.Name] && !goal[s.Name] {
+			ds = append(ds, Diagnostic{
+				Code: "MV104", Severity: Warning, Pass: "reachability",
+				Loc: stateLoc(s, ""), Message: goalDesc,
+			})
+		}
+	}
+	return ds
+}
+
+// closure returns the set of states reachable from the seeds over edges.
+func closure(seeds []string, edges map[string][]string) map[string]bool {
+	seen := make(map[string]bool, len(edges))
+	stack := append([]string(nil), seeds...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, edges[n]...)
+	}
+	return seen
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"fmt"
+
+	"cloudmon/internal/uml"
+)
+
+// secreqPass checks security-requirement traceability (Section IV.C of
+// the paper): authorization-relevant transitions (PUT/POST/DELETE) should
+// carry a SecReq tag, tags must be well-formed and not duplicated on one
+// transition, and — when the analyst supplies the requirements table —
+// every required tag must trace to at least one transition.
+func secreqPass() Pass {
+	return Pass{
+		Name:  "secreq",
+		Doc:   "security-requirement traceability",
+		Codes: []string{"MV401", "MV402", "MV403"},
+		Run:   runSecReq,
+	}
+}
+
+// authRelevant reports whether the method changes cloud state and thus
+// needs an authorization requirement trace.
+func authRelevant(m uml.HTTPMethod) bool {
+	switch m {
+	case uml.PUT, uml.POST, uml.DELETE:
+		return true
+	}
+	return false
+}
+
+func runSecReq(ctx *Context) []Diagnostic {
+	bm := ctx.Model.Behavioral
+	var ds []Diagnostic
+
+	traced := make(map[string]bool)
+	for _, t := range bm.Transitions {
+		seen := make(map[string]bool, len(t.SecReqs))
+		for _, tag := range t.SecReqs {
+			if tag == "" {
+				ds = append(ds, Diagnostic{
+					Code: "MV403", Severity: Warning, Pass: "secreq",
+					Loc:     transitionLoc(t, ""),
+					Message: "empty security-requirement tag",
+				})
+				continue
+			}
+			if seen[tag] {
+				ds = append(ds, Diagnostic{
+					Code: "MV403", Severity: Warning, Pass: "secreq",
+					Loc:     transitionLoc(t, ""),
+					Message: fmt.Sprintf("security-requirement tag %q repeated on one transition", tag),
+					SecReq:  tag,
+				})
+			}
+			seen[tag] = true
+			traced[tag] = true
+		}
+		if authRelevant(t.Trigger.Method) && len(t.SecReqs) == 0 {
+			ds = append(ds, Diagnostic{
+				Code: "MV401", Severity: Warning, Pass: "secreq",
+				Loc: transitionLoc(t, ""),
+				Message: fmt.Sprintf(
+					"authorization-relevant %s transition carries no security-requirement tag",
+					t.Trigger.Method),
+			})
+		}
+	}
+
+	// MV402: requirements the analyst declared but never traced.
+	for _, tag := range ctx.Config.RequiredSecReqs {
+		if !traced[tag] {
+			ds = append(ds, Diagnostic{
+				Code: "MV402", Severity: Error, Pass: "secreq",
+				Loc: Location{Diagram: "behavioral",
+					Element: fmt.Sprintf("state machine %q", bm.Name)},
+				Message: fmt.Sprintf(
+					"security requirement %q traces to no transition — the requirement is not monitored", tag),
+				SecReq: tag,
+			})
+		}
+	}
+	return ds
+}

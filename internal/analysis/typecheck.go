@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"fmt"
+
+	"cloudmon/internal/ocl"
+	"cloudmon/internal/uml"
+)
+
+// TypeEnvOf derives the static type environment from the resource model,
+// mirroring how the monitor's state provider resolves paths at runtime:
+//
+//   - `<resource>.<attribute>` has the attribute's declared type;
+//   - `<resource>.<role>` navigating into a collection resource or across
+//     a 0..*/1..* association is a Collection;
+//   - a bare collection resource is a Collection;
+//   - everything else — the `user` authorization context, bare normal
+//     resources, paths deeper than two segments — is OclAny, about which
+//     the checker stays silent (vocabulary errors are a separate check).
+func TypeEnvOf(rm *uml.ResourceModel) ocl.TypeEnv {
+	return &modelTypeEnv{rm: rm}
+}
+
+type modelTypeEnv struct {
+	rm *uml.ResourceModel
+}
+
+func (e *modelTypeEnv) TypeOf(path []string) ocl.Type {
+	if len(path) == 0 {
+		return ocl.AnyType()
+	}
+	res, ok := e.rm.Resource(path[0])
+	if !ok {
+		return ocl.AnyType()
+	}
+	if len(path) == 1 {
+		if res.Kind == uml.KindCollection {
+			return ocl.CollType(ocl.AnyType())
+		}
+		return ocl.AnyType()
+	}
+	if len(path) > 2 {
+		return ocl.AnyType()
+	}
+	if a, ok := res.Attribute(path[1]); ok {
+		return attrType(a.Type)
+	}
+	for _, assoc := range e.rm.AssociationsFrom(res.Name) {
+		if assoc.Role != path[1] {
+			continue
+		}
+		target, ok := e.rm.Resource(assoc.To)
+		if ok && target.Kind == uml.KindCollection {
+			return ocl.CollType(ocl.AnyType())
+		}
+		if assoc.Mult.Max == uml.Many || assoc.Mult.Max > 1 {
+			return ocl.CollType(ocl.AnyType())
+		}
+		return ocl.AnyType()
+	}
+	return ocl.AnyType()
+}
+
+func attrType(t uml.AttrType) ocl.Type {
+	switch t {
+	case uml.TypeString:
+		return ocl.StringType()
+	case uml.TypeInteger:
+		return ocl.IntType()
+	case uml.TypeBoolean:
+		return ocl.BoolType()
+	}
+	return ocl.AnyType()
+}
+
+// typecheckPass builds the OCL front-end pass: parse errors, vocabulary
+// errors (every unknown path, not just the first), static type errors
+// mirroring the evaluator's coercion rules, and non-boolean constraints.
+func typecheckPass() Pass {
+	return Pass{
+		Name: "ocl-typecheck",
+		Doc:  "parse, vocabulary and type errors in every OCL fragment",
+		Codes: []string{
+			"MV001", "MV002", "MV003", "MV004", "MV005", "MV006", "MV007",
+		},
+		Run: runTypecheck,
+	}
+}
+
+func runTypecheck(ctx *Context) []Diagnostic {
+	var ds []Diagnostic
+	for _, me := range ctx.Exprs() {
+		if me.Expr == nil {
+			// Re-parse to recover the error text.
+			_, err := ocl.Parse(me.Source)
+			msg := "unparseable OCL"
+			if err != nil {
+				msg = err.Error()
+			}
+			ds = append(ds, Diagnostic{
+				Code: "MV001", Severity: Error, Pass: "ocl-typecheck",
+				Loc: me.Loc, Message: msg,
+			})
+			continue
+		}
+		// MV002: every unknown navigation path, sorted and deduplicated.
+		for _, p := range ocl.UnknownPaths(me.Expr, ctx.vocab) {
+			ds = append(ds, Diagnostic{
+				Code: "MV002", Severity: Error, Pass: "ocl-typecheck",
+				Loc: me.Loc, Message: fmt.Sprintf("unknown navigation path %q", p),
+			})
+		}
+		top, issues := ocl.InferType(me.Expr, ctx.typeEnv)
+		for _, is := range issues {
+			code, sev := issueCode(is.Kind)
+			ds = append(ds, Diagnostic{
+				Code: code, Severity: sev, Pass: "ocl-typecheck",
+				Loc:     me.Loc,
+				Message: fmt.Sprintf("%s (in %s)", is.Message, is.Expr),
+			})
+		}
+		// MV007: an invariant or guard or effect must be a Boolean
+		// constraint; any other definite top-level type can never hold.
+		if top.Kind != ocl.TAny && top.Kind != ocl.TBool {
+			ds = append(ds, Diagnostic{
+				Code: "MV007", Severity: Error, Pass: "ocl-typecheck",
+				Loc: me.Loc,
+				Message: fmt.Sprintf("%s is %s, not Boolean — the constraint can never hold",
+					me.Kind, top),
+			})
+		}
+	}
+	return ds
+}
+
+// issueCode maps a static type issue onto its diagnostic code and
+// severity.
+func issueCode(k ocl.IssueKind) (string, Severity) {
+	switch k {
+	case ocl.IssueTypeMismatch:
+		return "MV003", Error
+	case ocl.IssueIncomparable:
+		return "MV004", Warning
+	case ocl.IssueUnknownOp, ocl.IssueBadArity:
+		return "MV005", Error
+	case ocl.IssueIterScope:
+		return "MV006", Error
+	}
+	return "MV003", Error
+}

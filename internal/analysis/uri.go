@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cloudmon/internal/uml"
+)
+
+// interfacePass checks the REST interface derived from the resource
+// model: association role names must compose collision-free URIs, every
+// trigger must name an addressable resource, the contract table should
+// not have silent method holes, and the generated routes must be unique
+// per (method, URI pattern) — the condition monitor.New enforces at boot.
+func interfacePass() Pass {
+	return Pass{
+		Name:  "interface",
+		Doc:   "URI collisions, unaddressable resources, contract-table holes",
+		Codes: []string{"MV301", "MV302", "MV303", "MV304"},
+		Run:   runInterface,
+	}
+}
+
+func runInterface(ctx *Context) []Diagnostic {
+	rm := ctx.Model.Resource
+	var ds []Diagnostic
+
+	// MV301a: duplicate role names on associations out of one resource —
+	// the role is a URI segment, so duplicates alias distinct resources.
+	type roleKey struct{ from, role string }
+	roles := make(map[roleKey][]string)
+	for _, a := range rm.Associations {
+		k := roleKey{from: a.From, role: a.Role}
+		roles[k] = append(roles[k], a.To)
+	}
+	var roleKeys []roleKey
+	for k, targets := range roles {
+		if len(targets) > 1 {
+			roleKeys = append(roleKeys, k)
+		}
+	}
+	sort.Slice(roleKeys, func(i, j int) bool {
+		if roleKeys[i].from != roleKeys[j].from {
+			return roleKeys[i].from < roleKeys[j].from
+		}
+		return roleKeys[i].role < roleKeys[j].role
+	})
+	for _, k := range roleKeys {
+		targets := append([]string(nil), roles[k]...)
+		sort.Strings(targets)
+		ds = append(ds, Diagnostic{
+			Code: "MV301", Severity: Error, Pass: "interface",
+			Loc: resourceLoc(k.from, ""),
+			Message: fmt.Sprintf("role name %q is used by associations to %s — URI segments collide",
+				k.role, strings.Join(targets, " and ")),
+		})
+	}
+
+	// MV301b: distinct resources composing the same URI.
+	uris := rm.URIs()
+	byURI := make(map[string][]string)
+	for res, uri := range uris {
+		byURI[uri] = append(byURI[uri], res)
+	}
+	var collidingURIs []string
+	for uri, rs := range byURI {
+		if len(rs) > 1 {
+			collidingURIs = append(collidingURIs, uri)
+		}
+	}
+	sort.Strings(collidingURIs)
+	for _, uri := range collidingURIs {
+		rs := append([]string(nil), byURI[uri]...)
+		sort.Strings(rs)
+		ds = append(ds, Diagnostic{
+			Code: "MV301", Severity: Error, Pass: "interface",
+			Loc: Location{Diagram: "resource", Element: fmt.Sprintf("uri %q", uri)},
+			Message: fmt.Sprintf("resources %s compose the same URI",
+				strings.Join(rs, " and ")),
+		})
+	}
+
+	// MV302: triggers must name addressable resources — resources with a
+	// composed URI. A resource caught in an association cycle that no
+	// root reaches has none, and its contract would carry an empty URI.
+	reported := make(map[string]bool)
+	for _, t := range ctx.Model.Behavioral.Transitions {
+		res := t.Trigger.Resource
+		if _, ok := uris[res]; ok || reported[res] {
+			continue
+		}
+		reported[res] = true
+		ds = append(ds, Diagnostic{
+			Code: "MV302", Severity: Error, Pass: "interface",
+			Loc: resourceLoc(res, ""),
+			Message: fmt.Sprintf(
+				"trigger resource %q is unaddressable: no URI can be composed from the association roots", res),
+		})
+	}
+
+	// MV303: contract-table holes — a resource that appears in triggers
+	// but lacks transitions for some REST methods. Informational: the
+	// monitor will pass such requests through unchecked.
+	methodsFor := make(map[string]map[uml.HTTPMethod]bool)
+	for _, t := range ctx.Model.Behavioral.Transitions {
+		res := t.Trigger.Resource
+		if methodsFor[res] == nil {
+			methodsFor[res] = make(map[uml.HTTPMethod]bool, 4)
+		}
+		methodsFor[res][t.Trigger.Method] = true
+	}
+	var triggered []string
+	for res := range methodsFor {
+		triggered = append(triggered, res)
+	}
+	sort.Strings(triggered)
+	all := []uml.HTTPMethod{uml.GET, uml.PUT, uml.POST, uml.DELETE}
+	for _, res := range triggered {
+		var missing []string
+		for _, m := range all {
+			if !methodsFor[res][m] {
+				missing = append(missing, string(m))
+			}
+		}
+		if len(missing) > 0 {
+			ds = append(ds, Diagnostic{
+				Code: "MV303", Severity: Info, Pass: "interface",
+				Loc: resourceLoc(res, ""),
+				Message: fmt.Sprintf(
+					"no transition for %s — these methods on %q will not be monitored",
+					strings.Join(missing, ", "), res),
+			})
+		}
+	}
+
+	// MV304: route conflicts across generated contracts — two triggers
+	// mapping to the same (method, URI) pair. monitor.New refuses such a
+	// route table. Needs generated contracts.
+	if set := ctx.Contracts(); set != nil {
+		seen := make(map[string]uml.Trigger)
+		for _, c := range set.Contracts {
+			key := string(c.Trigger.Method) + " " + c.URI
+			if prev, dup := seen[key]; dup {
+				ds = append(ds, Diagnostic{
+					Code: "MV304", Severity: Error, Pass: "interface",
+					Loc: Location{Diagram: "resource", Element: fmt.Sprintf("uri %q", c.URI)},
+					Message: fmt.Sprintf("triggers %s and %s map to the same route %s",
+						prev, c.Trigger, key),
+				})
+			} else {
+				seen[key] = c.Trigger
+			}
+		}
+	}
+	return ds
+}

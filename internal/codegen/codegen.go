@@ -19,12 +19,14 @@ import (
 	"bytes"
 	"fmt"
 	"go/format"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"unicode"
 
+	"cloudmon/internal/analysis"
 	"cloudmon/internal/contract"
 	"cloudmon/internal/uml"
 )
@@ -36,6 +38,12 @@ type Options struct {
 	Project string
 	// CloudURL is the default backend the generated monitor proxies to.
 	CloudURL string
+	// Lenient downgrades static-analysis errors from refusal to a
+	// warning: generation proceeds even when modelvet reports errors.
+	Lenient bool
+	// AnalysisLog receives the rendered modelvet report when the model
+	// has diagnostics; nil discards it.
+	AnalysisLog io.Writer
 }
 
 // Result is the generated file set, keyed by file name.
@@ -52,6 +60,14 @@ func Generate(m *uml.Model, opts Options) (*Result, error) {
 	}
 	if !validIdent(opts.Project) {
 		return nil, fmt.Errorf("codegen: project name %q is not a valid Go identifier", opts.Project)
+	}
+	report := analysis.Analyze(m, analysis.Config{})
+	if len(report.Diagnostics) > 0 && opts.AnalysisLog != nil {
+		fmt.Fprint(opts.AnalysisLog, report.Render())
+	}
+	if report.HasErrors() && !opts.Lenient {
+		return nil, fmt.Errorf("codegen: model rejected by static analysis (%d error(s); run modelvet for details, or pass -lenient to generate anyway):\n%s",
+			report.Count(analysis.Error), strings.TrimRight(report.Render(), "\n"))
 	}
 	set, err := contract.Generate(m)
 	if err != nil {

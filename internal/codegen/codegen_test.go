@@ -176,3 +176,32 @@ func TestWriteFilesCreatesDir(t *testing.T) {
 		t.Errorf("read back = %q, %v", data, err)
 	}
 }
+
+func TestGenerateRefusesAnalyzerErrors(t *testing.T) {
+	// An unparsable invariant is an MV001 error: strict generation must
+	// refuse, lenient generation must proceed and log the report.
+	m := paper.CinderModel()
+	m.Behavioral.States[0].Invariant = "volumes->size( = 1"
+	_, err := Generate(m, Options{Project: "broken"})
+	if err == nil || !strings.Contains(err.Error(), "static analysis") {
+		t.Fatalf("Generate on broken model: err = %v, want static-analysis refusal", err)
+	}
+	if !strings.Contains(err.Error(), "MV001") {
+		t.Errorf("refusal does not name the diagnostic: %v", err)
+	}
+
+	var log strings.Builder
+	res, err := Generate(m, Options{Project: "broken", Lenient: true, AnalysisLog: &log})
+	if err == nil {
+		// Lenient passes the analyzer gate; contract generation itself
+		// may still fail on the unparsable OCL, which is acceptable.
+		if res == nil {
+			t.Fatal("lenient Generate returned nil result and nil error")
+		}
+	} else if !strings.Contains(err.Error(), "codegen:") {
+		t.Fatalf("lenient Generate: unexpected error %v", err)
+	}
+	if !strings.Contains(log.String(), "MV001") {
+		t.Errorf("AnalysisLog did not receive the report:\n%s", log.String())
+	}
+}

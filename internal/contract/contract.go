@@ -117,7 +117,7 @@ func Generate(m *uml.Model) (*Set, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("contract: invalid model: %w", err)
 	}
-	vocab := vocabularyOf(m.Resource)
+	vocab := VocabularyOf(m.Resource)
 	invs := make(map[string]ocl.Expr, len(m.Behavioral.States))
 	for _, s := range m.Behavioral.States {
 		inv, err := ocl.Parse(s.Invariant)
@@ -198,12 +198,14 @@ func isTrue(e ocl.Expr) bool {
 	return ok && l.Value.Kind == ocl.KindBool && l.Value.Bool
 }
 
-// vocabularyOf builds the navigation vocabulary from the resource model:
+// VocabularyOf builds the navigation vocabulary from the resource model:
 // a path head must be a declared resource (its second segment, when the
 // resource is known, must be one of its attributes or outgoing association
 // roles) or the `user` authorization context, which the monitor populates
-// from the requester's credentials.
-func vocabularyOf(rm *uml.ResourceModel) ocl.VocabularyFunc {
+// from the requester's credentials. The static analyzer (package analysis)
+// shares this definition so modelvet and the generator agree on what a
+// well-formed path is.
+func VocabularyOf(rm *uml.ResourceModel) ocl.VocabularyFunc {
 	type resourceVocab struct {
 		segments map[string]bool
 	}

@@ -2,6 +2,7 @@ package ocl
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -10,23 +11,42 @@ import (
 // analyst-written formulas are caught at generation time, not at runtime.
 type VocabularyFunc func(path []string) bool
 
-// CheckVocabulary walks the expression and returns an error naming the
-// first free navigation path the vocabulary does not recognize. Iterator
-// variables are lexically scoped and exempt.
-func CheckVocabulary(e Expr, known VocabularyFunc) error {
-	var badPath string
+// UnknownPaths returns every free navigation path in the expression the
+// vocabulary does not recognize, sorted and deduplicated, so one run
+// surfaces every typo. Iterator variables are lexically scoped and exempt.
+func UnknownPaths(e Expr, known VocabularyFunc) []string {
+	seen := make(map[string]bool)
+	var bad []string
 	collectNavPaths(e, map[string]int{}, func(dotted string) {
-		if badPath != "" {
+		if seen[dotted] {
 			return
 		}
+		seen[dotted] = true
 		if !known(strings.Split(dotted, ".")) {
-			badPath = dotted
+			bad = append(bad, dotted)
 		}
 	})
-	if badPath != "" {
-		return fmt.Errorf("ocl: unknown navigation path %q", badPath)
+	sort.Strings(bad)
+	return bad
+}
+
+// CheckVocabulary walks the expression and returns an error naming every
+// free navigation path the vocabulary does not recognize (sorted,
+// deduplicated). Iterator variables are lexically scoped and exempt.
+func CheckVocabulary(e Expr, known VocabularyFunc) error {
+	bad := UnknownPaths(e, known)
+	switch len(bad) {
+	case 0:
+		return nil
+	case 1:
+		return fmt.Errorf("ocl: unknown navigation path %q", bad[0])
+	default:
+		quoted := make([]string, len(bad))
+		for i, p := range bad {
+			quoted[i] = fmt.Sprintf("%q", p)
+		}
+		return fmt.Errorf("ocl: unknown navigation paths %s", strings.Join(quoted, ", "))
 	}
-	return nil
 }
 
 // CheckNoPre returns an error if the expression uses pre()/@pre. Used to

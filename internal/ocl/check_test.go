@@ -1,0 +1,115 @@
+package ocl
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// vocabOf builds a VocabularyFunc accepting exactly the dotted paths.
+func vocabOf(paths ...string) VocabularyFunc {
+	known := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		known[p] = true
+	}
+	return func(path []string) bool { return known[strings.Join(path, ".")] }
+}
+
+func TestCheckVocabularyAccepts(t *testing.T) {
+	e := MustParse("project.volumes->size() = 1 and volume.status <> 'x'")
+	err := CheckVocabulary(e, vocabOf("project.volumes", "volume.status"))
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCheckVocabularyReportsAllUnknownPathsSorted(t *testing.T) {
+	// Three distinct typos, one duplicated — the error must name all
+	// three, sorted, exactly once each.
+	e := MustParse("zz.top = 1 and aa.bb = 2 and mm.nn = 3 and aa.bb = 4")
+	err := CheckVocabulary(e, vocabOf())
+	if err == nil {
+		t.Fatal("want error")
+	}
+	msg := err.Error()
+	wantOrder := []string{`"aa.bb"`, `"mm.nn"`, `"zz.top"`}
+	last := -1
+	for _, w := range wantOrder {
+		idx := strings.Index(msg, w)
+		if idx < 0 {
+			t.Fatalf("error %q does not mention %s", msg, w)
+		}
+		if idx <= last {
+			t.Fatalf("error %q does not list paths in sorted order", msg)
+		}
+		last = idx
+	}
+	if strings.Count(msg, `"aa.bb"`) != 1 {
+		t.Fatalf("error %q repeats a deduplicated path", msg)
+	}
+}
+
+func TestCheckVocabularySingleUnknownKeepsClassicMessage(t *testing.T) {
+	e := MustParse("ghost.attr = 1")
+	err := CheckVocabulary(e, vocabOf())
+	if err == nil || !strings.Contains(err.Error(), `unknown navigation path "ghost.attr"`) {
+		t.Fatalf("error = %v, want the single-path message", err)
+	}
+}
+
+func TestUnknownPaths(t *testing.T) {
+	e := MustParse("known.a = 1 and bad.b = 2 and bad.c = 3")
+	got := UnknownPaths(e, vocabOf("known.a"))
+	want := []string{"bad.b", "bad.c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("UnknownPaths = %v, want %v", got, want)
+	}
+	if got := UnknownPaths(e, vocabOf("known.a", "bad.b", "bad.c")); len(got) != 0 {
+		t.Fatalf("UnknownPaths on fully-known = %v, want empty", got)
+	}
+}
+
+func TestVocabularyScopingOfIteratorVariables(t *testing.T) {
+	// The bound variable g is exempt inside its body but not outside;
+	// nested scopes re-bind and unbind correctly.
+	e := MustParse("user.id.groups->forAll(g | g <> 'banned') and g.x = 1")
+	got := UnknownPaths(e, vocabOf("user.id.groups"))
+	if !reflect.DeepEqual(got, []string{"g.x"}) {
+		t.Fatalf("UnknownPaths = %v, want [g.x] (g free outside the iterator)", got)
+	}
+
+	// Shadowing: the inner iterator re-binds the same name.
+	e = MustParse("xs->forAll(v | ys->exists(v | v = 1) and v = 2)")
+	if got := UnknownPaths(e, vocabOf("xs", "ys")); len(got) != 0 {
+		t.Fatalf("UnknownPaths = %v, want empty (v bound at both depths)", got)
+	}
+}
+
+func TestCheckNoPreOnNestedPre(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantErr bool
+	}{
+		{"project.volumes->size() = 1", false},
+		{"pre(project.volumes->size()) = 1", true},
+		{"project.volumes@pre->size() = 1", true},
+		// pre() buried in an iterator body.
+		{"xs->forAll(x | x = pre(quota.volume))", true},
+		// @pre buried under a collection operation argument.
+		{"xs->includes(limits@pre)", true},
+		// pre() nested inside pre().
+		{"pre(pre(quota.volume)) = 1", true},
+	}
+	for _, tt := range cases {
+		err := CheckNoPre(MustParse(tt.src))
+		if (err != nil) != tt.wantErr {
+			t.Errorf("CheckNoPre(%q) error = %v, want error %v", tt.src, err, tt.wantErr)
+		}
+	}
+}
+
+func TestComplexityCountsNodes(t *testing.T) {
+	if got := Complexity(MustParse("1 + 2")); got != 3 {
+		t.Fatalf("Complexity(1+2) = %d, want 3", got)
+	}
+}

@@ -1,0 +1,402 @@
+package ocl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements static type inference over OCL expressions. The
+// rules mirror the dynamic semantics of eval.go — including the paper's
+// documented coercions (collections order and add as their size, collection
+// = scalar is membership) — so that an expression the checker accepts
+// cannot raise an EvalError for a type reason at monitoring time, and an
+// expression it rejects would raise one on some input. The analyzer
+// (package analysis) runs the checker against a TypeEnv derived from the
+// resource model; tests can use MapTypeEnv.
+
+// TypeKind enumerates the static types.
+type TypeKind int
+
+// Static type kinds. TAny is the unknown type: paths outside the model
+// vocabulary (e.g. the `user` authorization context) and values the
+// checker cannot pin down. TAny is compatible with everything — the
+// checker only reports definite errors.
+const (
+	TAny TypeKind = iota
+	TBool
+	TInt
+	TString
+	TColl
+)
+
+// String returns the OCL-facing name of the kind.
+func (k TypeKind) String() string {
+	switch k {
+	case TAny:
+		return "OclAny"
+	case TBool:
+		return "Boolean"
+	case TInt:
+		return "Integer"
+	case TString:
+		return "String"
+	case TColl:
+		return "Collection"
+	}
+	return fmt.Sprintf("TypeKind(%d)", int(k))
+}
+
+// Type is a static OCL type. For TColl, Elem is the element type (nil
+// when unknown).
+type Type struct {
+	Kind TypeKind
+	Elem *Type
+}
+
+// Convenience constructors.
+
+// AnyType is the unknown type.
+func AnyType() Type { return Type{Kind: TAny} }
+
+// BoolType is the Boolean type.
+func BoolType() Type { return Type{Kind: TBool} }
+
+// IntType is the Integer type.
+func IntType() Type { return Type{Kind: TInt} }
+
+// StringType is the String type.
+func StringType() Type { return Type{Kind: TString} }
+
+// CollType is a collection type with the given element type. Pass AnyType()
+// for an unknown element type.
+func CollType(elem Type) Type {
+	e := elem
+	return Type{Kind: TColl, Elem: &e}
+}
+
+// String renders the type.
+func (t Type) String() string {
+	if t.Kind == TColl {
+		if t.Elem == nil || t.Elem.Kind == TAny {
+			return "Collection"
+		}
+		return "Collection(" + t.Elem.String() + ")"
+	}
+	return t.Kind.String()
+}
+
+// elem returns the element type a value of t yields under OCL's implicit
+// singleton-collection coercion.
+func (t Type) elem() Type {
+	if t.Kind == TColl {
+		if t.Elem == nil {
+			return AnyType()
+		}
+		return *t.Elem
+	}
+	// Scalars coerce to singleton collections of themselves; Any stays Any.
+	return t
+}
+
+// TypeEnv resolves navigation paths to static types. Implementations
+// return AnyType() for paths they cannot type (the checker then stays
+// silent about them — vocabulary errors are a separate check).
+type TypeEnv interface {
+	TypeOf(path []string) Type
+}
+
+// MapTypeEnv is a map-backed TypeEnv keyed by the dotted path; unknown
+// paths are TAny. It is the standard environment for tests.
+type MapTypeEnv map[string]Type
+
+var _ TypeEnv = MapTypeEnv(nil)
+
+// TypeOf implements TypeEnv.
+func (m MapTypeEnv) TypeOf(path []string) Type {
+	if t, ok := m[strings.Join(path, ".")]; ok {
+		return t
+	}
+	return AnyType()
+}
+
+// IssueKind classifies a static type issue.
+type IssueKind int
+
+// Issue kinds, ordered roughly by severity.
+const (
+	// IssueTypeMismatch: the operation would raise an EvalError at
+	// runtime (boolean connective over a non-boolean, ordering or
+	// arithmetic over an unorderable kind, not/- over the wrong kind).
+	IssueTypeMismatch IssueKind = iota + 1
+	// IssueIncomparable: `=`/`<>` between scalars of different definite
+	// kinds — never an error at runtime, but the comparison is
+	// constantly false (resp. true), which almost always means a typo.
+	IssueIncomparable
+	// IssueUnknownOp: a collection operation the evaluator does not
+	// implement — guaranteed EvalError on first evaluation.
+	IssueUnknownOp
+	// IssueBadArity: wrong number of arguments to a collection
+	// operation — guaranteed EvalError on first evaluation.
+	IssueBadArity
+	// IssueIterScope: navigation below an iterator variable or @pre on
+	// one — guaranteed EvalError when the body runs.
+	IssueIterScope
+)
+
+// String returns the kind label.
+func (k IssueKind) String() string {
+	switch k {
+	case IssueTypeMismatch:
+		return "type-mismatch"
+	case IssueIncomparable:
+		return "incomparable"
+	case IssueUnknownOp:
+		return "unknown-op"
+	case IssueBadArity:
+		return "bad-arity"
+	case IssueIterScope:
+		return "iterator-scope"
+	}
+	return fmt.Sprintf("IssueKind(%d)", int(k))
+}
+
+// TypeIssue is one finding of the static checker, anchored at the
+// offending sub-expression.
+type TypeIssue struct {
+	Kind    IssueKind
+	Expr    Expr
+	Message string
+}
+
+// String renders the issue with its sub-expression.
+func (i TypeIssue) String() string {
+	return fmt.Sprintf("%s: %s (in %s)", i.Kind, i.Message, i.Expr)
+}
+
+// InferType infers the static type of the expression under env, collecting
+// issues for every definite misuse. It never fails: un-inferable
+// sub-expressions type as TAny.
+func InferType(e Expr, env TypeEnv) (Type, []TypeIssue) {
+	c := &typeChecker{env: env}
+	t := c.infer(e)
+	return t, c.issues
+}
+
+// TypeCheck returns the issues of the expression under env.
+func TypeCheck(e Expr, env TypeEnv) []TypeIssue {
+	_, issues := InferType(e, env)
+	return issues
+}
+
+// collOpSig describes a supported collection operation: its arity and its
+// result type (resultElem means "the receiver's element type").
+type collOpSig struct {
+	arity      int
+	result     TypeKind
+	resultElem bool
+}
+
+// collOpSigs mirrors evalCollOp.
+var collOpSigs = map[string]collOpSig{
+	"size":     {arity: 0, result: TInt},
+	"isEmpty":  {arity: 0, result: TBool},
+	"notEmpty": {arity: 0, result: TBool},
+	"includes": {arity: 1, result: TBool},
+	"excludes": {arity: 1, result: TBool},
+	"count":    {arity: 1, result: TInt},
+	"sum":      {arity: 0, result: TInt},
+	"first":    {arity: 0, resultElem: true},
+}
+
+type scopeType struct {
+	name string
+	typ  Type
+}
+
+type typeChecker struct {
+	env    TypeEnv
+	scopes []scopeType
+	issues []TypeIssue
+}
+
+func (c *typeChecker) issue(kind IssueKind, e Expr, format string, args ...any) {
+	c.issues = append(c.issues, TypeIssue{
+		Kind:    kind,
+		Expr:    e,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *typeChecker) lookupVar(name string) (Type, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if c.scopes[i].name == name {
+			return c.scopes[i].typ, true
+		}
+	}
+	return Type{}, false
+}
+
+func (c *typeChecker) infer(e Expr) Type {
+	switch n := e.(type) {
+	case *Lit:
+		switch n.Value.Kind {
+		case KindBool:
+			return BoolType()
+		case KindInt:
+			return IntType()
+		case KindString:
+			return StringType()
+		case KindCollection:
+			return CollType(AnyType())
+		default:
+			return AnyType()
+		}
+	case *Nav:
+		if t, ok := c.lookupVar(n.Path[0]); ok {
+			if len(n.Path) > 1 {
+				c.issue(IssueIterScope, n,
+					"cannot navigate below iterator variable %q", n.Path[0])
+				return AnyType()
+			}
+			if n.AtPre {
+				c.issue(IssueIterScope, n, "@pre on iterator variable %q", n.Path[0])
+			}
+			return t
+		}
+		return c.env.TypeOf(n.Path)
+	case *PreExpr:
+		return c.infer(n.Expr)
+	case *Unary:
+		t := c.infer(n.Expr)
+		switch n.Op {
+		case OpNot:
+			c.requireBool(n, t, "not")
+			return BoolType()
+		case OpNeg:
+			// evalUnary requires a genuine Integer (no size coercion).
+			if t.Kind != TAny && t.Kind != TInt {
+				c.issue(IssueTypeMismatch, n, "negation applied to %s", t)
+			}
+			return IntType()
+		}
+		return AnyType()
+	case *Binary:
+		lt := c.infer(n.L)
+		rt := c.infer(n.R)
+		switch n.Op {
+		case OpAnd, OpOr, OpXor, OpImplies:
+			c.requireBool(n, lt, n.Op.String())
+			c.requireBool(n, rt, n.Op.String())
+			return BoolType()
+		case OpEq, OpNe:
+			c.checkComparable(n, lt, rt)
+			return BoolType()
+		case OpLt, OpLe, OpGt, OpGe:
+			c.checkOrdered(n, lt, rt)
+			return BoolType()
+		case OpAdd, OpSub, OpMul, OpDiv:
+			c.requireNumeric(n, lt, n.Op.String())
+			c.requireNumeric(n, rt, n.Op.String())
+			return IntType()
+		}
+		return AnyType()
+	case *CollOp:
+		recv := c.infer(n.Recv)
+		for _, a := range n.Args {
+			c.infer(a)
+		}
+		sig, ok := collOpSigs[n.Name]
+		if !ok {
+			c.issue(IssueUnknownOp, n, "unknown collection operation %q", n.Name)
+			return AnyType()
+		}
+		if len(n.Args) != sig.arity {
+			c.issue(IssueBadArity, n, "%s expects %d argument(s), got %d",
+				n.Name, sig.arity, len(n.Args))
+		}
+		if n.Name == "sum" {
+			// Sum needs integer elements; flag definitely-non-integer ones.
+			elem := recv.elem()
+			if elem.Kind == TBool || elem.Kind == TString {
+				c.issue(IssueTypeMismatch, n, "sum over %s elements", elem)
+			}
+		}
+		if sig.resultElem {
+			return recv.elem()
+		}
+		return Type{Kind: sig.result}
+	case *IterOp:
+		recv := c.infer(n.Recv)
+		c.scopes = append(c.scopes, scopeType{name: n.Var, typ: recv.elem()})
+		body := c.infer(n.Body)
+		c.scopes = c.scopes[:len(c.scopes)-1]
+		switch n.Name {
+		case "forAll", "exists":
+			c.requireBool(n, body, n.Name)
+			return BoolType()
+		case "select", "reject":
+			c.requireBool(n, body, n.Name)
+			return CollType(recv.elem())
+		case "collect":
+			return CollType(body)
+		default:
+			// The parser rejects unknown iterators; keep the evaluator's
+			// diagnostic anyway for ASTs built programmatically.
+			c.issue(IssueUnknownOp, n, "unknown iterator operation %q", n.Name)
+			return AnyType()
+		}
+	}
+	return AnyType()
+}
+
+// requireBool flags t unless it can be a Boolean (boolOf errors on
+// anything but Boolean and Undefined at runtime).
+func (c *typeChecker) requireBool(e Expr, t Type, op string) {
+	switch t.Kind {
+	case TBool, TAny:
+	default:
+		c.issue(IssueTypeMismatch, e, "%s applied to %s", op, t)
+	}
+}
+
+// requireNumeric flags t unless intOf can coerce it: Integer, or a
+// collection (which coerces to its size).
+func (c *typeChecker) requireNumeric(e Expr, t Type, op string) {
+	switch t.Kind {
+	case TInt, TColl, TAny:
+	default:
+		c.issue(IssueTypeMismatch, e, "arithmetic %q on %s", op, t)
+	}
+}
+
+// checkOrdered mirrors compareValues: String with String is fine,
+// otherwise both sides must coerce to integers.
+func (c *typeChecker) checkOrdered(e Expr, lt, rt Type) {
+	if lt.Kind == TAny || rt.Kind == TAny {
+		return
+	}
+	if lt.Kind == TString && rt.Kind == TString {
+		return
+	}
+	ok := func(t Type) bool { return t.Kind == TInt || t.Kind == TColl }
+	if !ok(lt) || !ok(rt) {
+		c.issue(IssueTypeMismatch, e, "cannot order %s and %s", lt, rt)
+	}
+}
+
+// checkComparable flags `=`/`<>` between scalars of different definite
+// kinds. Collection-vs-scalar is exempt (membership coercion), and a
+// collection compared with an Integer additionally reads as a size
+// comparison — both documented in equalValues.
+func (c *typeChecker) checkComparable(e Expr, lt, rt Type) {
+	if lt.Kind == TAny || rt.Kind == TAny {
+		return
+	}
+	if lt.Kind == TColl || rt.Kind == TColl {
+		return
+	}
+	if lt.Kind != rt.Kind {
+		c.issue(IssueIncomparable, e,
+			"comparison of %s and %s is always false", lt, rt)
+	}
+}

@@ -1,0 +1,164 @@
+package ocl
+
+import (
+	"strings"
+	"testing"
+)
+
+// testTypeEnv mirrors the Cinder vocabulary's interesting corners.
+func testTypeEnv() TypeEnv {
+	return MapTypeEnv{
+		"project.id":        StringType(),
+		"project.volumes":   CollType(AnyType()),
+		"quota_sets.volume": IntType(),
+		"volume.status":     StringType(),
+		"volume.size":       IntType(),
+		"volume.shared":     BoolType(),
+	}
+}
+
+func inferOf(t *testing.T, src string) (Type, []TypeIssue) {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return InferType(e, testTypeEnv())
+}
+
+func TestInferTypesOfPaperIdioms(t *testing.T) {
+	// Every shipped formula shape must type cleanly — the checker's
+	// coercions must match eval.go's.
+	clean := []struct {
+		src  string
+		want TypeKind
+	}{
+		{"project.id->size() = 1", TBool},
+		{"project.volumes->size() >= 1", TBool},
+		{"project.volumes < quota_sets.volume", TBool},
+		{"project.volumes + 1 = quota_sets.volume", TBool},
+		{"user.id.groups = 'admin'", TBool},
+		{"volume.status <> 'in-use'", TBool},
+		{"project.volumes->size() = pre(project.volumes->size()) + 1", TBool},
+		{"project.volumes->forAll(v | v <> 'banned')", TBool},
+		{"project.volumes->select(v | v = 'x')->size()", TInt},
+		{"project.volumes->isEmpty()", TBool},
+		{"volume.size * 2 + 1", TInt},
+		{"not volume.shared", TBool},
+		{"volume.status", TString},
+	}
+	for _, tt := range clean {
+		typ, issues := inferOf(t, tt.src)
+		if len(issues) != 0 {
+			t.Errorf("%q: unexpected issues %v", tt.src, issues)
+		}
+		if typ.Kind != tt.want {
+			t.Errorf("%q: type %s, want %s", tt.src, typ, tt.want)
+		}
+	}
+}
+
+func TestTypeIssues(t *testing.T) {
+	cases := []struct {
+		src     string
+		kind    IssueKind
+		mention string
+	}{
+		{"volume.size and volume.shared", IssueTypeMismatch, "and applied to Integer"},
+		{"not volume.size", IssueTypeMismatch, "not applied to Integer"},
+		{"-volume.status", IssueTypeMismatch, "negation applied to String"},
+		{"-project.volumes", IssueTypeMismatch, "negation applied to Collection"},
+		{"volume.status + 1", IssueTypeMismatch, `arithmetic "+" on String`},
+		{"volume.status < 1", IssueTypeMismatch, "cannot order String and Integer"},
+		{"volume.shared < volume.shared", IssueTypeMismatch, "cannot order Boolean and Boolean"},
+		{"volume.size = 'big'", IssueIncomparable, "always false"},
+		{"volume.shared = 1", IssueIncomparable, "always false"},
+		{"project.volumes->flatten() = 1", IssueUnknownOp, `"flatten"`},
+		{"project.volumes->size(1) = 1", IssueBadArity, "size expects 0"},
+		{"project.volumes->includes() = true", IssueBadArity, "includes expects 1"},
+		{"project.volumes->forAll(v | v.deep = 1)", IssueIterScope, "below iterator variable"},
+		{"project.volumes->forAll(v | volume.size)", IssueTypeMismatch, "forAll applied to Integer"},
+		{"project.volumes->sum()", IssueTypeMismatch, ""},
+	}
+	for _, tt := range cases {
+		t.Run(tt.src, func(t *testing.T) {
+			if tt.src == "project.volumes->sum()" {
+				// sum over Collection(OclAny) is fine: ensure NO issue.
+				_, issues := inferOf(t, tt.src)
+				if len(issues) != 0 {
+					t.Fatalf("unexpected issues: %v", issues)
+				}
+				return
+			}
+			_, issues := inferOf(t, tt.src)
+			found := false
+			for _, is := range issues {
+				if is.Kind == tt.kind && strings.Contains(is.Message, tt.mention) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("want %s issue mentioning %q, got %v", tt.kind, tt.mention, issues)
+			}
+		})
+	}
+}
+
+func TestTypeCheckerIteratorScoping(t *testing.T) {
+	// The iterator variable shadows the environment inside its body and
+	// goes back out of scope outside it.
+	typ, issues := inferOf(t, "project.volumes->select(s | s = 'x')->includes(volume.status)")
+	if len(issues) != 0 {
+		t.Fatalf("issues: %v", issues)
+	}
+	if typ.Kind != TBool {
+		t.Fatalf("type = %s, want Boolean", typ)
+	}
+	// A variable named like a resource shadows it: status navigation
+	// below it is an iterator-scope issue, not a vocabulary miss.
+	_, issues = inferOf(t, "project.volumes->forAll(volume | volume.status = 'x')")
+	if len(issues) != 1 || issues[0].Kind != IssueIterScope {
+		t.Fatalf("want one iterator-scope issue, got %v", issues)
+	}
+}
+
+func TestSumOverDefiniteStringElements(t *testing.T) {
+	env := MapTypeEnv{"tags": CollType(StringType())}
+	e := MustParse("tags->sum()")
+	issues := TypeCheck(e, env)
+	if len(issues) != 1 || issues[0].Kind != IssueTypeMismatch {
+		t.Fatalf("want sum type-mismatch, got %v", issues)
+	}
+}
+
+func TestCollectAndFirstTypes(t *testing.T) {
+	env := MapTypeEnv{"xs": CollType(IntType())}
+	typ, issues := InferType(MustParse("xs->collect(x | x + 1)->first()"), env)
+	if len(issues) != 0 {
+		t.Fatalf("issues: %v", issues)
+	}
+	if typ.Kind != TInt {
+		t.Fatalf("first of collect(int) = %s, want Integer", typ)
+	}
+}
+
+func TestTypeStringRendering(t *testing.T) {
+	if got := CollType(StringType()).String(); got != "Collection(String)" {
+		t.Errorf("CollType(String) = %q", got)
+	}
+	if got := CollType(AnyType()).String(); got != "Collection" {
+		t.Errorf("CollType(Any) = %q", got)
+	}
+	if got := AnyType().String(); got != "OclAny" {
+		t.Errorf("AnyType = %q", got)
+	}
+}
+
+func TestUnknownPathsStayAny(t *testing.T) {
+	// Unknown vocabulary must not produce type issues — vocabulary
+	// checking is a separate concern.
+	_, issues := inferOf(t, "mystery.path + unknown.other = 3 and user.id.groups = 'x'")
+	if len(issues) != 0 {
+		t.Fatalf("issues over unknown paths: %v", issues)
+	}
+}

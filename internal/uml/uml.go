@@ -18,6 +18,7 @@
 package uml
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -234,64 +235,69 @@ func (m *ResourceModel) URIs() map[string]string {
 }
 
 // Validate checks the paper's design constraints on the resource model.
+// All violations are collected and returned as one joined error rather
+// than stopping at the first, so an analyst fixes a broken diagram in one
+// round trip.
 func (m *ResourceModel) Validate() error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
 	if m.Name == "" {
-		return fmt.Errorf("resource model: missing name")
+		fail("resource model: missing name")
 	}
 	seen := make(map[string]bool, len(m.Resources))
 	for _, r := range m.Resources {
 		if r.Name == "" {
-			return fmt.Errorf("resource model %q: resource with empty name", m.Name)
-		}
-		if seen[r.Name] {
-			return fmt.Errorf("resource model %q: duplicate resource %q", m.Name, r.Name)
+			fail("resource model %q: resource with empty name", m.Name)
+		} else if seen[r.Name] {
+			fail("resource model %q: duplicate resource %q", m.Name, r.Name)
 		}
 		seen[r.Name] = true
 		switch r.Kind {
 		case KindCollection:
 			if len(r.Attributes) > 0 {
-				return fmt.Errorf("collection resource %q must not declare attributes", r.Name)
+				fail("collection resource %q must not declare attributes", r.Name)
 			}
 		case KindNormal:
 			if len(r.Attributes) == 0 {
-				return fmt.Errorf("normal resource %q must declare at least one attribute", r.Name)
+				fail("normal resource %q must declare at least one attribute", r.Name)
 			}
 		default:
-			return fmt.Errorf("resource %q: invalid kind %v", r.Name, r.Kind)
+			fail("resource %q: invalid kind %v", r.Name, r.Kind)
 		}
 		attrSeen := make(map[string]bool, len(r.Attributes))
 		for _, a := range r.Attributes {
 			if a.Name == "" {
-				return fmt.Errorf("resource %q: attribute with empty name", r.Name)
-			}
-			if attrSeen[a.Name] {
-				return fmt.Errorf("resource %q: duplicate attribute %q", r.Name, a.Name)
+				fail("resource %q: attribute with empty name", r.Name)
+			} else if attrSeen[a.Name] {
+				fail("resource %q: duplicate attribute %q", r.Name, a.Name)
 			}
 			attrSeen[a.Name] = true
 			if !ValidAttrType(a.Type) {
-				return fmt.Errorf("resource %q attribute %q: attributes must have a supported type, got %q",
+				fail("resource %q attribute %q: attributes must have a supported type, got %q",
 					r.Name, a.Name, a.Type)
 			}
 		}
 	}
 	for _, a := range m.Associations {
 		if a.Role == "" {
-			return fmt.Errorf("association %s->%s: every association must have a role name", a.From, a.To)
+			fail("association %s->%s: every association must have a role name", a.From, a.To)
 		}
 		if !seen[a.From] {
-			return fmt.Errorf("association %s->%s: unknown source resource %q", a.From, a.To, a.From)
+			fail("association %s->%s: unknown source resource %q", a.From, a.To, a.From)
 		}
 		if !seen[a.To] {
-			return fmt.Errorf("association %s->%s: unknown target resource %q", a.From, a.To, a.To)
+			fail("association %s->%s: unknown target resource %q", a.From, a.To, a.To)
 		}
 		if a.Mult.Min < 0 {
-			return fmt.Errorf("association %s->%s: negative minimum multiplicity", a.From, a.To)
+			fail("association %s->%s: negative minimum multiplicity", a.From, a.To)
 		}
 		if a.Mult.Max != Many && a.Mult.Max < a.Mult.Min {
-			return fmt.Errorf("association %s->%s: max multiplicity below min", a.From, a.To)
+			fail("association %s->%s: max multiplicity below min", a.From, a.To)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Trigger is a transition trigger: an HTTP method invoked on a resource.
@@ -410,21 +416,26 @@ func (m *BehavioralModel) SecReqs() []string {
 }
 
 // Validate checks structural well-formedness of the behavioral model.
+// Like ResourceModel.Validate it aggregates every violation into one
+// joined error.
 func (m *BehavioralModel) Validate() error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
 	if m.Name == "" {
-		return fmt.Errorf("behavioral model: missing name")
+		fail("behavioral model: missing name")
 	}
 	if len(m.States) == 0 {
-		return fmt.Errorf("behavioral model %q: no states", m.Name)
+		fail("behavioral model %q: no states", m.Name)
 	}
 	seen := make(map[string]bool, len(m.States))
 	initials := 0
 	for _, s := range m.States {
 		if s.Name == "" {
-			return fmt.Errorf("behavioral model %q: state with empty name", m.Name)
-		}
-		if seen[s.Name] {
-			return fmt.Errorf("behavioral model %q: duplicate state %q", m.Name, s.Name)
+			fail("behavioral model %q: state with empty name", m.Name)
+		} else if seen[s.Name] {
+			fail("behavioral model %q: duplicate state %q", m.Name, s.Name)
 		}
 		seen[s.Name] = true
 		if s.Initial {
@@ -432,23 +443,23 @@ func (m *BehavioralModel) Validate() error {
 		}
 	}
 	if initials > 1 {
-		return fmt.Errorf("behavioral model %q: multiple initial states", m.Name)
+		fail("behavioral model %q: multiple initial states", m.Name)
 	}
 	for _, t := range m.Transitions {
 		if !seen[t.From] {
-			return fmt.Errorf("transition %s: unknown source state %q", t.Trigger, t.From)
+			fail("transition %s: unknown source state %q", t.Trigger, t.From)
 		}
 		if !seen[t.To] {
-			return fmt.Errorf("transition %s: unknown target state %q", t.Trigger, t.To)
+			fail("transition %s: unknown target state %q", t.Trigger, t.To)
 		}
 		if !ValidMethod(t.Trigger.Method) {
-			return fmt.Errorf("transition %s->%s: invalid trigger method %q", t.From, t.To, t.Trigger.Method)
+			fail("transition %s->%s: invalid trigger method %q", t.From, t.To, t.Trigger.Method)
 		}
 		if t.Trigger.Resource == "" {
-			return fmt.Errorf("transition %s->%s: trigger missing resource", t.From, t.To)
+			fail("transition %s->%s: trigger missing resource", t.From, t.To)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Model bundles the two diagrams the analyst produces for one scenario.
@@ -458,25 +469,30 @@ type Model struct {
 }
 
 // Validate validates both diagrams and their cross-references: every trigger
-// resource must be declared in the resource model.
+// resource must be declared in the resource model. Failures from both
+// diagrams are reported together as one joined error.
 func (m *Model) Validate() error {
+	var errs []error
 	if m.Resource == nil {
-		return fmt.Errorf("model: missing resource model")
+		errs = append(errs, fmt.Errorf("model: missing resource model"))
 	}
 	if m.Behavioral == nil {
-		return fmt.Errorf("model: missing behavioral model")
+		errs = append(errs, fmt.Errorf("model: missing behavioral model"))
+	}
+	if len(errs) > 0 {
+		return errors.Join(errs...)
 	}
 	if err := m.Resource.Validate(); err != nil {
-		return err
+		errs = append(errs, err)
 	}
 	if err := m.Behavioral.Validate(); err != nil {
-		return err
+		errs = append(errs, err)
 	}
 	for _, t := range m.Behavioral.Transitions {
 		if _, ok := m.Resource.Resource(t.Trigger.Resource); !ok {
-			return fmt.Errorf("transition %s: trigger resource %q not in resource model",
-				t.Trigger, t.Trigger.Resource)
+			errs = append(errs, fmt.Errorf("transition %s: trigger resource %q not in resource model",
+				t.Trigger, t.Trigger.Resource))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
