@@ -1,9 +1,12 @@
 // Benchmark harness for the paper's experiments (see EXPERIMENTS.md):
 //
-//	E5 BenchmarkMonitorOverhead    proxy cost vs direct cloud access
-//	E6 BenchmarkContractGeneration model-size sweep
-//	E7 BenchmarkOCLEval            formula-size sweep (+ parse)
-//	E8 BenchmarkCodegen            resources-count sweep
+//	E5  BenchmarkMonitorOverhead    proxy cost vs direct cloud access
+//	E6  BenchmarkContractGeneration model-size sweep
+//	E7  BenchmarkOCLEval            formula-size sweep (+ parse)
+//	E8  BenchmarkCodegen            resources-count sweep
+//	E13 BenchmarkMonitorThroughput  concurrent hot path: serial vs
+//	    parallel snapshots vs pre-state cache, in-process and with
+//	    simulated network latency
 //
 // plus supporting micro-benchmarks for the substrate (policy checks,
 // XMI round-trips, router dispatch).
@@ -15,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"cloudmon/internal/codegen"
 	"cloudmon/internal/contract"
@@ -146,6 +150,149 @@ func BenchmarkMonitorOverhead(b *testing.B) {
 			}
 		}
 	})
+}
+
+// delayTransport adds a fixed latency to every backend round trip — a
+// stand-in for a monitor deployed across a network from the cloud.
+type delayTransport struct {
+	base  http.RoundTripper
+	delay time.Duration
+}
+
+func (t delayTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	time.Sleep(t.delay)
+	return t.base.RoundTrip(r)
+}
+
+// newThroughputDeployment wires cloud + monitor in process with an
+// optional per-backend-request delay and arbitrary core option tweaks.
+func newThroughputDeployment(b *testing.B, delay time.Duration, mutate func(*core.Options)) *benchDeployment {
+	b.Helper()
+	cloud := openstack.New(openstack.Config{})
+	seed := cloud.ApplySeed(openstack.Seed{
+		ProjectName: "bench",
+		Quota:       cinder.QuotaSet{Volumes: 1000000, Gigabytes: 1 << 30},
+		GroupRoles:  paper.GroupRole(),
+		Users: []openstack.SeedUser{
+			{Name: "alice", Password: "pw", Group: paper.GroupProjAdministrator},
+			{Name: "cm-svc", Password: "pw", Group: paper.GroupProjAdministrator},
+		},
+	})
+	cloudHTTP := httpkit.HandlerClient(cloud)
+	monHTTP := cloudHTTP
+	if delay > 0 {
+		monHTTP = &http.Client{Transport: delayTransport{base: cloudHTTP.Transport, delay: delay}}
+	}
+	opts := core.Options{
+		Model:    paper.CinderModel(),
+		CloudURL: "http://cloud.internal",
+		ServiceAccount: osbinding.ServiceAccount{
+			User: "cm-svc", Password: "pw", ProjectID: seed.ProjectID,
+		},
+		Mode:       monitor.Enforce,
+		HTTPClient: monHTTP,
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	sys, err := core.Build(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	auth := osclient.Client{BaseURL: "http://cloud.internal", HTTPClient: cloudHTTP}
+	tok, err := auth.Authenticate("alice", "pw", seed.ProjectID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	direct := osclient.New("http://cloud.internal")
+	direct.HTTPClient = cloudHTTP
+	monitored := osclient.New("http://monitor.internal")
+	monitored.HTTPClient = httpkit.HandlerClient(sys.Monitor)
+	d := &benchDeployment{
+		cloud:     cloud,
+		sys:       sys,
+		projectID: seed.ProjectID,
+		direct:    direct.WithToken(tok),
+		monitored: monitored.WithToken(tok),
+	}
+	v, _, err := d.direct.CreateVolume(d.projectID, "bench", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.volumeID = v.ID
+	return d
+}
+
+// BenchmarkMonitorThroughput (E13) drives a concurrent monitored GET
+// workload through each hot-path configuration. The in-process variants
+// measure software overhead under contention (sharded log, precomputed
+// state paths, pre-state cache); the netsim variants add 1ms of simulated
+// network latency per backend request, where fanning the five snapshot
+// reads across the worker pool collapses pre+post snapshot cost from
+// ~10 sequential round trips to ~2-4.
+func BenchmarkMonitorThroughput(b *testing.B) {
+	variants := []struct {
+		name   string
+		mutate func(*core.Options)
+	}{
+		{"serial", nil},
+		{"parallel-snapshots", func(o *core.Options) {
+			o.ParallelSnapshots = true
+			o.SnapshotWorkers = 5
+		}},
+		{"cached", func(o *core.Options) {
+			o.PreStateCacheTTL = 10 * time.Millisecond
+		}},
+		{"parallel+cached", func(o *core.Options) {
+			o.ParallelSnapshots = true
+			o.SnapshotWorkers = 5
+			o.PreStateCacheTTL = 10 * time.Millisecond
+		}},
+	}
+
+	b.Run("GET/direct", func(b *testing.B) {
+		d := newThroughputDeployment(b, 0, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, _, err := d.direct.GetVolume(d.projectID, d.volumeID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	for _, v := range variants {
+		b.Run("GET/"+v.name, func(b *testing.B) {
+			d := newThroughputDeployment(b, 0, v.mutate)
+			path := "/projects/" + d.projectID + "/volumes/" + d.volumeID
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := d.monitored.Do(http.MethodGet, path, nil, nil, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+
+	// Simulated network latency: the deployment regime the parallel
+	// snapshot fan-out exists for. Sequential client, latency-bound.
+	const delay = time.Millisecond
+	for _, v := range variants[:2] {
+		b.Run("netsim-1ms/"+v.name, func(b *testing.B) {
+			d := newThroughputDeployment(b, delay, v.mutate)
+			path := "/projects/" + d.projectID + "/volumes/" + d.volumeID
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.monitored.Do(http.MethodGet, path, nil, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkMonitorAblation compares the full workflow against the

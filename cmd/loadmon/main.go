@@ -1,0 +1,180 @@
+// Command loadmon runs a named load scenario against the cloud monitor
+// and reports throughput, latency percentiles and verdict tallies.
+//
+// By default it deploys the simulated cloud and the monitor in process
+// (no sockets) and hammers the proxy:
+//
+//	loadmon -scenario cinder-mixed -json
+//	loadmon -scenario cinder-read-heavy -cache-ttl 50ms -clients 32
+//	loadmon -list
+//
+// With -target it instead drives an already-running monitor over HTTP,
+// authenticating each role against the cloud (-cloud, -project must point
+// at the deployment cloudsim printed):
+//
+//	loadmon -target http://127.0.0.1:8000 -cloud http://127.0.0.1:8776 \
+//	        -project <id> -scenario cinder-mixed
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cloudmon/internal/loadgen"
+	"cloudmon/internal/monitor"
+	"cloudmon/internal/osclient"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadmon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadmon", flag.ContinueOnError)
+	scenario := fs.String("scenario", "cinder-mixed", "named scenario to run (see -list)")
+	list := fs.Bool("list", false, "list scenarios and exit")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	clients := fs.Int("clients", 0, "override concurrent clients")
+	requests := fs.Int("requests", 0, "override total request budget")
+	duration := fs.Duration("duration", 0, "override run duration (used when -requests is 0)")
+	rate := fs.Float64("rate", -1, "override open-loop arrival rate (req/s; 0 = closed loop)")
+	seed := fs.Int64("seed", -1, "override mix seed")
+	warmup := fs.Int("warmup", -1, "override warmup request count")
+	modeName := fs.String("mode", "enforce", "monitor mode for the in-process deployment: enforce | observe")
+	levelName := fs.String("level", "full", "check level for the in-process deployment: full | pre-only")
+	parallel := fs.Bool("parallel-snapshots", false, "resolve state snapshots concurrently")
+	workers := fs.Int("snapshot-workers", 0, "bound the parallel snapshot pool (0 = default)")
+	cacheTTL := fs.Duration("cache-ttl", 0, "pre-state read-cache TTL (0 = disabled)")
+	target := fs.String("target", "", "drive an external monitor at this URL instead of deploying in process")
+	cloudURL := fs.String("cloud", "", "cloud URL for role authentication (required with -target)")
+	project := fs.String("project", "", "project id (required with -target)")
+	creds := fs.String("credentials", "admin=alice:pw-alice,member=bob:pw-bob,user=carol:pw-carol",
+		"role=user:password list for -target authentication")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, sc := range loadgen.Scenarios() {
+			fmt.Fprintf(out, "%-18s %s\n", sc.Name, sc.Description)
+		}
+		return nil
+	}
+
+	sc, err := loadgen.Lookup(*scenario)
+	if err != nil {
+		return err
+	}
+	if *clients > 0 {
+		sc.Clients = *clients
+	}
+	if *requests > 0 {
+		sc.Requests = *requests
+	}
+	if *duration > 0 {
+		sc.Duration = *duration
+		if *requests == 0 {
+			sc.Requests = 0
+		}
+	}
+	if *rate >= 0 {
+		sc.Rate = *rate
+	}
+	if *seed >= 0 {
+		sc.Seed = *seed
+	}
+	if *warmup >= 0 {
+		sc.Warmup = *warmup
+	}
+
+	var tgt loadgen.Target
+	if *target != "" {
+		tgt, err = externalTarget(*target, *cloudURL, *project, *creds)
+		if err != nil {
+			return err
+		}
+	} else {
+		var mode monitor.Mode
+		switch *modeName {
+		case "enforce":
+			mode = monitor.Enforce
+		case "observe":
+			mode = monitor.Observe
+		default:
+			return fmt.Errorf("unknown mode %q (want enforce or observe)", *modeName)
+		}
+		var level monitor.CheckLevel
+		switch *levelName {
+		case "full":
+			level = monitor.CheckFull
+		case "pre-only":
+			level = monitor.CheckPreOnly
+		default:
+			return fmt.Errorf("unknown level %q (want full or pre-only)", *levelName)
+		}
+		dep, err := loadgen.Deploy(loadgen.DeployOptions{
+			Mode:              mode,
+			Level:             level,
+			ParallelSnapshots: *parallel,
+			SnapshotWorkers:   *workers,
+			PreStateCacheTTL:  *cacheTTL,
+		})
+		if err != nil {
+			return err
+		}
+		tgt = dep.Target
+	}
+
+	report, err := loadgen.Run(sc, tgt)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	_, err = fmt.Fprint(out, report.Text())
+	return err
+}
+
+// externalTarget authenticates each role against the cloud and aims the
+// workload at a running monitor.
+func externalTarget(targetURL, cloudURL, project, creds string) (loadgen.Target, error) {
+	if cloudURL == "" || project == "" {
+		return loadgen.Target{}, fmt.Errorf("-target needs -cloud and -project for role authentication")
+	}
+	tokens := map[string]string{loadgen.RoleAnonymous: ""}
+	for _, ent := range strings.Split(creds, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		role, userPass, ok := strings.Cut(ent, "=")
+		if !ok {
+			return loadgen.Target{}, fmt.Errorf("bad -credentials entry %q (want role=user:password)", ent)
+		}
+		user, pass, ok := strings.Cut(userPass, ":")
+		if !ok {
+			return loadgen.Target{}, fmt.Errorf("bad -credentials entry %q (want role=user:password)", ent)
+		}
+		auth := osclient.Client{BaseURL: cloudURL}
+		tok, err := auth.Authenticate(user, pass, project)
+		if err != nil {
+			return loadgen.Target{}, fmt.Errorf("authenticate %s: %w", user, err)
+		}
+		tokens[role] = tok
+	}
+	return loadgen.Target{
+		BaseURL:   targetURL,
+		ProjectID: project,
+		Tokens:    tokens,
+	}, nil
+}

@@ -56,13 +56,27 @@ type Contract struct {
 	// SecReqs are the distinct security-requirement tags covered by this
 	// method, sorted (traceability, Section IV.C).
 	SecReqs []string
+
+	// statePaths caches the StatePaths result. Generate fills it once so
+	// the monitor's per-request hot path never re-walks the formulas.
+	statePaths []string
 }
 
 // StatePaths returns the distinct navigation paths the contract needs from
 // the cloud: the union of paths in Pre and Post, in first-use order. The
 // monitor snapshots exactly these before forwarding ("only the values that
-// constitute the guards and invariants").
+// constitute the guards and invariants"). For contracts built by Generate
+// the result is precomputed; callers must not mutate it.
 func (c *Contract) StatePaths() []string {
+	if c.statePaths != nil {
+		return c.statePaths
+	}
+	return computeStatePaths(c)
+}
+
+// computeStatePaths walks Pre and Post collecting distinct paths in
+// first-use order.
+func computeStatePaths(c *Contract) []string {
 	seen := make(map[string]bool)
 	var out []string
 	for _, p := range append(ocl.NavPaths(c.Pre), ocl.NavPaths(c.Post)...) {
@@ -176,6 +190,7 @@ func Generate(m *uml.Model) (*Set, error) {
 			c.SecReqs = append(c.SecReqs, s)
 		}
 		sort.Strings(c.SecReqs)
+		c.statePaths = computeStatePaths(c)
 		set.Contracts = append(set.Contracts, c)
 	}
 	return set, nil

@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 	"net/http"
+	"time"
 
 	"cloudmon/internal/contract"
 	"cloudmon/internal/monitor"
@@ -42,6 +43,12 @@ type Options struct {
 	// ParallelSnapshots resolves state paths concurrently — enable when
 	// the cloud is across a network (see osbinding.Provider.Parallel).
 	ParallelSnapshots bool
+	// SnapshotWorkers bounds the per-snapshot worker pool when
+	// ParallelSnapshots is set (0 = osbinding.DefaultMaxParallel).
+	SnapshotWorkers int
+	// PreStateCacheTTL, when positive, enables the monitor's short-TTL
+	// pre-state read cache (see monitor.Config.PreStateCacheTTL).
+	PreStateCacheTTL time.Duration
 	// HTTPClient overrides the forwarding client (tests inject the
 	// httptest client here).
 	HTTPClient *http.Client
@@ -84,6 +91,7 @@ func Build(opts Options) (*System, error) {
 		provider = osbinding.NewProviderWithClient(opts.CloudURL, opts.ServiceAccount, opts.HTTPClient)
 	}
 	provider.Parallel = opts.ParallelSnapshots
+	provider.MaxParallel = opts.SnapshotWorkers
 	mon, err := monitor.New(monitor.Config{
 		Contracts: set,
 		Routes:    routes,
@@ -92,10 +100,11 @@ func Build(opts Options) (*System, error) {
 			BaseURL: opts.CloudURL,
 			Client:  opts.HTTPClient,
 		},
-		Mode:      opts.Mode,
-		Level:     opts.Level,
-		MaxLog:    opts.MaxLog,
-		OnVerdict: opts.OnVerdict,
+		Mode:             opts.Mode,
+		Level:            opts.Level,
+		MaxLog:           opts.MaxLog,
+		OnVerdict:        opts.OnVerdict,
+		PreStateCacheTTL: opts.PreStateCacheTTL,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)

@@ -1,0 +1,109 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"cloudmon/internal/core"
+	"cloudmon/internal/httpkit"
+	"cloudmon/internal/monitor"
+	"cloudmon/internal/openstack"
+	"cloudmon/internal/openstack/cinder"
+	"cloudmon/internal/osbinding"
+	"cloudmon/internal/osclient"
+	"cloudmon/internal/paper"
+)
+
+// DeployOptions configures the in-process deployment.
+type DeployOptions struct {
+	// Mode defaults to monitor.Enforce.
+	Mode monitor.Mode
+	// Level defaults to monitor.CheckFull.
+	Level monitor.CheckLevel
+	// ParallelSnapshots enables the provider's bounded fan-out.
+	ParallelSnapshots bool
+	// SnapshotWorkers bounds the fan-out pool (0 = default).
+	SnapshotWorkers int
+	// PreStateCacheTTL enables the monitor's pre-state read cache.
+	PreStateCacheTTL time.Duration
+	// QuotaVolumes is the project's volume quota (default 1e6 so the
+	// workload never trips quota pre-conditions unless asked to).
+	QuotaVolumes int
+	// MaxLog bounds the monitor's verdict log (default monitor's 1024;
+	// soak tests raise it to retain every verdict).
+	MaxLog int
+}
+
+// Deployment is a ready-to-drive in-process cloud + monitor pair.
+type Deployment struct {
+	// Cloud is the simulated OpenStack deployment.
+	Cloud *openstack.Cloud
+	// Sys is the assembled monitor pipeline.
+	Sys *core.System
+	// ProjectID is the seeded project.
+	ProjectID string
+	// Target drives the monitor proxy with per-role tokens.
+	Target Target
+}
+
+// Deploy builds the paper's example deployment in process — the simulated
+// cloud seeded with Table I's role groups and one user per role — wires
+// the monitor over an in-memory HTTP transport, and authenticates one
+// client token per role.
+func Deploy(opts DeployOptions) (*Deployment, error) {
+	quota := opts.QuotaVolumes
+	if quota <= 0 {
+		quota = 1000000
+	}
+	cloud := openstack.New(openstack.Config{})
+	seed := cloud.ApplySeed(openstack.Seed{
+		ProjectName: "loadgen",
+		Quota:       cinder.QuotaSet{Volumes: quota, Gigabytes: 1 << 30},
+		GroupRoles:  paper.GroupRole(),
+		Users: []openstack.SeedUser{
+			{Name: "alice", Password: "pw", Group: paper.GroupProjAdministrator},
+			{Name: "bob", Password: "pw", Group: paper.GroupServiceArchitect},
+			{Name: "carol", Password: "pw", Group: paper.GroupBusinessAnalyst},
+			{Name: "cm-svc", Password: "pw", Group: paper.GroupProjAdministrator},
+		},
+	})
+	cloudHTTP := httpkit.HandlerClient(cloud)
+	sys, err := core.Build(core.Options{
+		Model:    paper.CinderModel(),
+		CloudURL: "http://cloud.internal",
+		ServiceAccount: osbinding.ServiceAccount{
+			User: "cm-svc", Password: "pw", ProjectID: seed.ProjectID,
+		},
+		Mode:              opts.Mode,
+		Level:             opts.Level,
+		ParallelSnapshots: opts.ParallelSnapshots,
+		SnapshotWorkers:   opts.SnapshotWorkers,
+		PreStateCacheTTL:  opts.PreStateCacheTTL,
+		MaxLog:            opts.MaxLog,
+		HTTPClient:        cloudHTTP,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: deploy: %w", err)
+	}
+	tokens := map[string]string{RoleAnonymous: ""}
+	for role, user := range map[string]string{RoleAdmin: "alice", RoleMember: "bob", RoleUser: "carol"} {
+		auth := osclient.Client{BaseURL: "http://cloud.internal", HTTPClient: cloudHTTP}
+		tok, err := auth.Authenticate(user, "pw", seed.ProjectID)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: authenticate %s: %w", user, err)
+		}
+		tokens[role] = tok
+	}
+	return &Deployment{
+		Cloud:     cloud,
+		Sys:       sys,
+		ProjectID: seed.ProjectID,
+		Target: Target{
+			BaseURL:    "http://monitor.internal",
+			HTTPClient: httpkit.HandlerClient(sys.Monitor),
+			ProjectID:  seed.ProjectID,
+			Tokens:     tokens,
+			Outcomes:   sys.Monitor.Outcomes,
+		},
+	}, nil
+}

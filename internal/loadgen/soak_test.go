@@ -1,0 +1,177 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"cloudmon/internal/monitor"
+)
+
+// soakScenario is the mixed read/write matrix the -race soak drives: every
+// operation × role cell that produces a distinct verdict class, including
+// forbidden writes (Blocked in enforce mode) and anonymous reads.
+func soakScenario(clients, requests int) Scenario {
+	return Scenario{
+		Name: "soak",
+		Mix: []OpSpec{
+			{Op: OpGetVolume, Role: RoleAdmin, Weight: 10},
+			{Op: OpGetVolume, Role: RoleMember, Weight: 10},
+			{Op: OpGetVolume, Role: RoleUser, Weight: 8},
+			{Op: OpGetVolume, Role: RoleAnonymous, Weight: 2},
+			{Op: OpCreateVolume, Role: RoleAdmin, Weight: 6},
+			{Op: OpCreateVolume, Role: RoleMember, Weight: 4},
+			{Op: OpCreateVolume, Role: RoleUser, Weight: 2},
+			{Op: OpUpdateVolume, Role: RoleMember, Weight: 4},
+			{Op: OpUpdateVolume, Role: RoleAnonymous, Weight: 1},
+			{Op: OpDeleteVolume, Role: RoleAdmin, Weight: 6},
+			{Op: OpDeleteVolume, Role: RoleUser, Weight: 2},
+		},
+		Clients:     clients,
+		Requests:    requests,
+		Warmup:      requests / 10,
+		Prepopulate: 16,
+		Seed:        time.Now().UnixNano(), // soak hunts races, not golden outputs
+	}
+}
+
+// checkVerdictInvariants asserts the structural verdict-outcome invariants
+// that must hold for every monitored request no matter how requests
+// interleave. Concurrency can legitimately produce violation *outcomes*
+// (the snapshot-forward-snapshot workflow is not atomic, so racing writers
+// cause TOCTOU post-condition failures); what must never happen is an
+// outcome that contradicts its own evidence.
+func checkVerdictInvariants(t *testing.T, log []monitor.Verdict, mode monitor.Mode) {
+	t.Helper()
+	for i, v := range log {
+		fail := func(format string, args ...any) {
+			t.Helper()
+			t.Errorf("verdict %d (%s, outcome %s): "+format,
+				append([]any{i, v.Trigger, v.Outcome}, args...)...)
+		}
+		switch v.Outcome {
+		case monitor.Blocked:
+			if mode != monitor.Enforce {
+				fail("Blocked outside Enforce mode")
+			}
+			if v.Forwarded {
+				fail("Blocked implies not Forwarded")
+			}
+			if v.PreOK {
+				fail("Blocked implies pre-condition failed")
+			}
+			if v.BackendStatus != 0 {
+				fail("Blocked implies no backend status, got %d", v.BackendStatus)
+			}
+		case monitor.OK:
+			if !v.PreOK || !v.Forwarded {
+				fail("OK implies PreOK && Forwarded (PreOK=%v Forwarded=%v)", v.PreOK, v.Forwarded)
+			}
+			if !v.PostOK {
+				fail("OK implies PostOK")
+			}
+			if v.BackendStatus < 200 || v.BackendStatus > 299 {
+				fail("OK implies 2xx backend, got %d", v.BackendStatus)
+			}
+		case monitor.Rejected:
+			if v.PreOK {
+				fail("Rejected implies pre-condition failed")
+			}
+			if !v.Forwarded {
+				fail("Rejected implies Forwarded")
+			}
+			if v.BackendStatus >= 200 && v.BackendStatus <= 299 {
+				fail("Rejected implies non-2xx backend, got %d", v.BackendStatus)
+			}
+		case monitor.ViolationForbiddenAccepted:
+			if v.PreOK {
+				fail("ViolationForbiddenAccepted implies pre-condition failed")
+			}
+			if !v.Forwarded {
+				fail("ViolationForbiddenAccepted implies Forwarded")
+			}
+			if v.BackendStatus < 200 || v.BackendStatus > 299 {
+				fail("ViolationForbiddenAccepted implies 2xx backend, got %d", v.BackendStatus)
+			}
+		case monitor.ViolationAllowedRejected:
+			if !v.PreOK || !v.Forwarded {
+				fail("ViolationAllowedRejected implies PreOK && Forwarded")
+			}
+			if v.BackendStatus >= 200 && v.BackendStatus <= 299 {
+				fail("ViolationAllowedRejected implies non-2xx backend, got %d", v.BackendStatus)
+			}
+		case monitor.ViolationPostcondition:
+			if !v.PreOK || !v.Forwarded {
+				fail("ViolationPostcondition implies PreOK && Forwarded")
+			}
+			if v.PostOK {
+				fail("ViolationPostcondition implies post-condition failed")
+			}
+		case monitor.Error:
+			// The monitor itself failed; no cloud verdict is implied.
+		default:
+			fail("unknown outcome")
+		}
+	}
+}
+
+// runSoak deploys in process, hammers the monitor with ≥32 concurrent
+// clients, and checks every recorded verdict. Run under -race this is the
+// concurrency proof for the sharded log, the snapshot fan-out and the
+// pre-state cache.
+func runSoak(t *testing.T, opts DeployOptions, mode monitor.Mode) {
+	t.Helper()
+	clients, requests := 32, 4000
+	if testing.Short() {
+		requests = 1200
+	}
+	opts.Mode = mode
+	opts.MaxLog = requests + 256 // retain every verdict for the invariant sweep
+	dep, err := Deploy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Run(soakScenario(clients, requests), dep.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Errorf("%d transport errors during soak", report.Errors)
+	}
+	log := dep.Sys.Monitor.Log()
+	if len(log) == 0 {
+		t.Fatal("no verdicts recorded")
+	}
+	checkVerdictInvariants(t, log, mode)
+
+	// The sharded outcome counters must agree with the retained log.
+	fromLog := make(map[monitor.Outcome]int)
+	for _, v := range log {
+		fromLog[v.Outcome]++
+	}
+	for outcome, n := range dep.Sys.Monitor.Outcomes() {
+		if fromLog[outcome] != n {
+			t.Errorf("outcome %s: counter %d, log %d", outcome, n, fromLog[outcome])
+		}
+	}
+}
+
+// TestSoakEnforce is the satellite -race soak: 32 concurrent clients, all
+// verdict classes, serial snapshots.
+func TestSoakEnforce(t *testing.T) {
+	runSoak(t, DeployOptions{}, monitor.Enforce)
+}
+
+// TestSoakObserve repeats the soak in Observe (test-oracle) mode.
+func TestSoakObserve(t *testing.T) {
+	runSoak(t, DeployOptions{}, monitor.Observe)
+}
+
+// TestSoakHardened repeats the soak with every hot-path optimisation
+// enabled at once: bounded parallel snapshots plus the pre-state cache.
+func TestSoakHardened(t *testing.T) {
+	runSoak(t, DeployOptions{
+		ParallelSnapshots: true,
+		SnapshotWorkers:   4,
+		PreStateCacheTTL:  25 * time.Millisecond,
+	}, monitor.Enforce)
+}

@@ -1,0 +1,181 @@
+package monitor
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cloudmon/internal/ocl"
+)
+
+// snapshotCache is the optional short-TTL pre-state read cache. Entries are
+// keyed by (navigation path, requester token, URI params) and carry the
+// project's generation counter at fetch time: any forwarded write for the
+// project bumps the counter, invalidating every cached value for it in
+// O(1). The TTL additionally bounds how long a write that bypassed the
+// monitor can stay invisible.
+//
+// Only the pre-state lookup consults the cache; post-state snapshots always
+// read the cloud, because the post-condition verifies the request's own
+// effect.
+type snapshotCache struct {
+	ttl    time.Duration
+	now    func() time.Time
+	shards [cacheShards]cacheShard
+	// gens maps project id -> *atomic.Uint64 generation counter.
+	gens sync.Map
+}
+
+// cacheShards is the number of entry-map shards (power of two).
+const cacheShards = 16
+
+// cacheShardLimit triggers an expired-entry sweep when a shard grows past
+// it, bounding memory on long runs with many distinct tokens.
+const cacheShardLimit = 4096
+
+type cacheShard struct {
+	mu      sync.RWMutex
+	entries map[string]cacheEntry
+}
+
+type cacheEntry struct {
+	val     ocl.Value
+	present bool
+	expires time.Time
+	gen     uint64
+}
+
+func newSnapshotCache(ttl time.Duration) *snapshotCache {
+	c := &snapshotCache{ttl: ttl, now: time.Now}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]cacheEntry)
+	}
+	return c
+}
+
+// projectGen returns the project's current invalidation generation.
+func (c *snapshotCache) projectGen(project string) uint64 {
+	if g, ok := c.gens.Load(project); ok {
+		return g.(*atomic.Uint64).Load()
+	}
+	return 0
+}
+
+// invalidateProject bumps the project's generation, making every cached
+// entry fetched under an older generation stale.
+func (c *snapshotCache) invalidateProject(project string) {
+	g, ok := c.gens.Load(project)
+	if !ok {
+		g, _ = c.gens.LoadOrStore(project, new(atomic.Uint64))
+	}
+	g.(*atomic.Uint64).Add(1)
+}
+
+// cacheKey builds the entry key. The token partitions requester-dependent
+// paths (user.id.groups); the params partition resource-dependent ones.
+func cacheKey(path, token, paramsKey string) string {
+	return path + "\x1f" + token + "\x1f" + paramsKey
+}
+
+// paramsCacheKey flattens the URI captures into a stable string.
+func paramsCacheKey(params map[string]string) string {
+	if len(params) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(params[k])
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+func (c *snapshotCache) shardFor(key string) *cacheShard {
+	// FNV-1a over the key.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &c.shards[h%cacheShards]
+}
+
+// get returns the cached value for (path, token, params) if fresh under
+// the project's current generation. The second return distinguishes "path
+// was absent from the provider snapshot" (ok, present=false) from a miss.
+func (c *snapshotCache) get(path, token, paramsKey, project string) (ocl.Value, bool, bool) {
+	key := cacheKey(path, token, paramsKey)
+	sh := c.shardFor(key)
+	sh.mu.RLock()
+	e, ok := sh.entries[key]
+	sh.mu.RUnlock()
+	if !ok || c.now().After(e.expires) || e.gen != c.projectGen(project) {
+		return ocl.Value{}, false, false
+	}
+	return e.val, e.present, true
+}
+
+// put stores a fetched value under the generation captured before the
+// fetch started, so a write that lands mid-fetch invalidates it.
+func (c *snapshotCache) put(path, token, paramsKey, project string, val ocl.Value, present bool, gen uint64) {
+	key := cacheKey(path, token, paramsKey)
+	sh := c.shardFor(key)
+	now := c.now()
+	sh.mu.Lock()
+	if len(sh.entries) >= cacheShardLimit {
+		for k, e := range sh.entries {
+			if now.After(e.expires) {
+				delete(sh.entries, k)
+			}
+		}
+	}
+	sh.entries[key] = cacheEntry{val: val, present: present, expires: now.Add(c.ttl), gen: gen}
+	sh.mu.Unlock()
+}
+
+// preSnapshot resolves the pre-state, serving paths from the cache when
+// enabled and fetching only the misses from the provider.
+func (m *Monitor) preSnapshot(reqCtx *RequestContext, paths []string) (ocl.MapEnv, error) {
+	if m.cache == nil {
+		return m.provider.Snapshot(reqCtx, paths)
+	}
+	project := reqCtx.Params["project_id"]
+	pk := paramsCacheKey(reqCtx.Params)
+	env := make(ocl.MapEnv, len(paths))
+	var missing []string
+	for _, p := range paths {
+		v, present, ok := m.cache.get(p, reqCtx.Token, pk, project)
+		if !ok {
+			missing = append(missing, p)
+			continue
+		}
+		if present {
+			env[p] = v
+		}
+	}
+	if len(missing) == 0 {
+		return env, nil
+	}
+	gen := m.cache.projectGen(project)
+	fetched, err := m.provider.Snapshot(reqCtx, missing)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range missing {
+		v, present := fetched[p]
+		if present {
+			env[p] = v
+		}
+		m.cache.put(p, reqCtx.Token, pk, project, v, present, gen)
+	}
+	return env, nil
+}

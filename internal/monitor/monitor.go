@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cloudmon/internal/contract"
@@ -191,6 +192,10 @@ type Verdict struct {
 	Detail string
 	// Elapsed is the total monitoring duration.
 	Elapsed time.Duration
+
+	// seq is the global arrival order, assigned by record(); Log() sorts
+	// the sharded slices by it.
+	seq uint64
 }
 
 // CheckLevel selects how much of the contract the monitor verifies per
@@ -237,21 +242,44 @@ type Config struct {
 	// OnVerdict, if set, is invoked synchronously with every recorded
 	// verdict — the hook for persistent audit logs and alerting.
 	OnVerdict func(Verdict)
+	// PreStateCacheTTL, when positive, enables a short-TTL pre-state read
+	// cache keyed by (path, token, URI params). Cached values are
+	// invalidated whenever the monitor forwards a write (non-GET) for the
+	// same project, so monitor-mediated traffic stays coherent; writes
+	// that bypass the monitor are only seen after the TTL expires. Leave
+	// zero for strict per-request snapshots (the paper's workflow).
+	PreStateCacheTTL time.Duration
 }
 
 // Monitor is the cloud monitor. Safe for concurrent use.
 type Monitor struct {
 	contracts *contract.Set
 	routes    []compiledRoute
+	byMethod  map[string][]*compiledRoute
 	provider  StateProvider
 	forward   Forwarder
 	mode      Mode
 	level     CheckLevel
 	onVerdict func(Verdict)
+	cache     *snapshotCache
 
+	// The verdict log and coverage counters are sharded to keep the
+	// record() critical section off the proxy's critical path under
+	// concurrent load; verdicts carry a global sequence number so Log()
+	// can restore arrival order.
+	seq      atomic.Uint64
+	shards   [logShards]logShard
+	maxLog   int
+	shardMax int
+}
+
+// logShards is the number of verdict-log/counter shards (power of two).
+const logShards = 8
+
+// logShard holds one slice of the verdict log and its counters.
+type logShard struct {
 	mu            sync.Mutex
 	log           []Verdict
-	maxLog        int
 	coverage      map[string]int
 	transCoverage map[string]int
 	outcomes      map[Outcome]int
@@ -261,6 +289,9 @@ type compiledRoute struct {
 	route    Route
 	segments []string
 	contract *contract.Contract
+	// paths is the contract's StatePaths, computed once at build time so
+	// the per-request hot path never re-walks the formulas.
+	paths []string
 }
 
 var _ http.Handler = (*Monitor)(nil)
@@ -292,16 +323,23 @@ func New(cfg Config) (*Monitor, error) {
 		maxLog = 1024
 	}
 	m := &Monitor{
-		contracts:     cfg.Contracts,
-		provider:      cfg.Provider,
-		forward:       cfg.Forward,
-		mode:          mode,
-		level:         level,
-		onVerdict:     cfg.OnVerdict,
-		maxLog:        maxLog,
-		coverage:      make(map[string]int),
-		transCoverage: make(map[string]int),
-		outcomes:      make(map[Outcome]int),
+		contracts: cfg.Contracts,
+		provider:  cfg.Provider,
+		forward:   cfg.Forward,
+		mode:      mode,
+		level:     level,
+		onVerdict: cfg.OnVerdict,
+		maxLog:    maxLog,
+		shardMax:  (maxLog + logShards - 1) / logShards,
+	}
+	if m.shardMax < 1 {
+		m.shardMax = 1
+	}
+	for i := range m.shards {
+		m.shards[i].reset()
+	}
+	if cfg.PreStateCacheTTL > 0 {
+		m.cache = newSnapshotCache(cfg.PreStateCacheTTL)
 	}
 	seen := make(map[string]bool, len(cfg.Routes))
 	for _, r := range cfg.Routes {
@@ -318,9 +356,28 @@ func New(cfg Config) (*Monitor, error) {
 			route:    r,
 			segments: splitPath(r.Pattern),
 			contract: c,
+			paths:    c.StatePaths(),
 		})
 	}
+	// Index the compiled routes by HTTP method so match() scans only the
+	// method's candidates. Built after the append loop: pointers into
+	// m.routes are stable from here on.
+	m.byMethod = make(map[string][]*compiledRoute, 4)
+	for i := range m.routes {
+		cr := &m.routes[i]
+		meth := string(cr.route.Trigger.Method)
+		m.byMethod[meth] = append(m.byMethod[meth], cr)
+	}
 	return m, nil
+}
+
+// reset (re)initializes a shard's counters; callers hold the shard lock or
+// have exclusive access.
+func (s *logShard) reset() {
+	s.log = nil
+	s.coverage = make(map[string]int)
+	s.transCoverage = make(map[string]int)
+	s.outcomes = make(map[Outcome]int)
 }
 
 // Mode returns the monitor's mode.
@@ -345,11 +402,7 @@ func (m *Monitor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // match finds the route for the request.
 func (m *Monitor) match(r *http.Request) (*compiledRoute, map[string]string, bool) {
 	segs := splitPath(r.URL.Path)
-	for i := range m.routes {
-		cr := &m.routes[i]
-		if string(cr.route.Trigger.Method) != r.Method {
-			continue
-		}
+	for _, cr := range m.byMethod[r.Method] {
 		if params, ok := matchSegments(cr.segments, segs); ok {
 			if params == nil {
 				params = map[string]string{}
@@ -379,8 +432,8 @@ func (m *Monitor) check(r *http.Request, cr *compiledRoute, params map[string]st
 		return v
 	}
 
-	paths := c.StatePaths()
-	pre, err := m.provider.Snapshot(reqCtx, paths)
+	paths := cr.paths
+	pre, err := m.preSnapshot(reqCtx, paths)
 	if err != nil {
 		return finish(Error, fmt.Sprintf("pre-state snapshot: %v", err)), nil
 	}
@@ -404,6 +457,11 @@ func (m *Monitor) check(r *http.Request, cr *compiledRoute, params map[string]st
 	}
 	v.Forwarded = true
 	v.BackendStatus = resp.StatusCode
+	if m.cache != nil && r.Method != http.MethodGet {
+		// A forwarded write may change any state the project's contracts
+		// read: drop the project's cached pre-state.
+		m.cache.invalidateProject(params["project_id"])
+	}
 
 	if !preOK {
 		// Observe mode with a forbidden request: the cloud must reject it.
@@ -521,33 +579,46 @@ func writeBackend(w http.ResponseWriter, resp *BackendResponse) {
 	}
 }
 
-// record appends the verdict to the bounded log and updates counters.
+// record appends the verdict to its shard's bounded log and updates the
+// shard's counters. Verdicts are spread round-robin by sequence number, so
+// concurrent requests rarely contend on the same shard lock.
 func (m *Monitor) record(v Verdict) {
-	m.mu.Lock()
-	if len(m.log) >= m.maxLog {
-		copy(m.log, m.log[1:])
-		m.log = m.log[:len(m.log)-1]
+	v.seq = m.seq.Add(1)
+	s := &m.shards[v.seq%logShards]
+	s.mu.Lock()
+	if len(s.log) >= m.shardMax {
+		copy(s.log, s.log[1:])
+		s.log = s.log[:len(s.log)-1]
 	}
-	m.log = append(m.log, v)
-	m.outcomes[v.Outcome]++
-	for _, s := range v.MatchedSecReqs {
-		m.coverage[s]++
+	s.log = append(s.log, v)
+	s.outcomes[v.Outcome]++
+	for _, sec := range v.MatchedSecReqs {
+		s.coverage[sec]++
 	}
 	for _, tr := range v.MatchedTransitions {
-		m.transCoverage[tr]++
+		s.transCoverage[tr]++
 	}
-	m.mu.Unlock()
+	s.mu.Unlock()
 	if m.onVerdict != nil {
 		m.onVerdict(v)
 	}
 }
 
-// Log returns a copy of the verdict log (oldest first).
+// Log returns a copy of the verdict log (oldest first). With the log
+// sharded, the bound is enforced per shard; the merged view holds roughly
+// the MaxLog most recent verdicts.
 func (m *Monitor) Log() []Verdict {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]Verdict, len(m.log))
-	copy(out, m.log)
+	var out []Verdict
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		out = append(out, s.log...)
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	if len(out) > m.maxLog {
+		out = out[len(out)-m.maxLog:]
+	}
 	return out
 }
 
@@ -567,11 +638,19 @@ func (m *Monitor) Violations() []Verdict {
 // Requirements declared by the contracts but never exercised appear with
 // count zero, so testers can see uncovered requirements (Section IV.C).
 func (m *Monitor) Coverage() map[string]int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]int, len(m.coverage))
+	out := make(map[string]int)
 	for _, s := range m.contracts.SecReqs() {
-		out[s] = m.coverage[s]
+		out[s] = 0
+	}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for s, n := range sh.coverage {
+			if _, ok := out[s]; ok {
+				out[s] += n
+			}
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -581,37 +660,48 @@ func (m *Monitor) Coverage() map[string]int {
 // never exercised appear with count zero, giving model-element coverage of
 // the behavioral diagram.
 func (m *Monitor) TransitionCoverage() map[string]int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	out := make(map[string]int)
 	for _, c := range m.contracts.Contracts {
 		for _, cs := range c.Cases {
 			key := cs.Transition.From + "->" + cs.Transition.To + " on " + cs.Transition.Trigger.String()
-			out[key] = m.transCoverage[key]
+			out[key] = 0
 		}
+	}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for key, n := range sh.transCoverage {
+			if _, ok := out[key]; ok {
+				out[key] += n
+			}
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
 // Outcomes returns the count per outcome class.
 func (m *Monitor) Outcomes() map[Outcome]int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[Outcome]int, len(m.outcomes))
-	for k, c := range m.outcomes {
-		out[k] = c
+	out := make(map[Outcome]int)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for k, c := range sh.outcomes {
+			out[k] += c
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
 // ResetLog clears the verdict log and counters (between mutation runs).
 func (m *Monitor) ResetLog() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.log = nil
-	m.coverage = make(map[string]int)
-	m.transCoverage = make(map[string]int)
-	m.outcomes = make(map[Outcome]int)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		sh.reset()
+		sh.mu.Unlock()
+	}
 }
 
 // splitPath splits a URL path into non-empty segments.
@@ -657,6 +747,20 @@ type HTTPForwarder struct {
 
 var _ Forwarder = (*HTTPForwarder)(nil)
 
+// defaultForwardClient pools connections to the backend cloud: the proxy
+// forwards every request to the same host, so the idle-connection cap is
+// raised past net/http's per-host default of 2, and a timeout bounds how
+// long a hung cloud can stall a monitored request.
+var defaultForwardClient = &http.Client{
+	Timeout: 30 * time.Second,
+	Transport: func() *http.Transport {
+		t := http.DefaultTransport.(*http.Transport).Clone()
+		t.MaxIdleConns = 256
+		t.MaxIdleConnsPerHost = 64
+		return t
+	}(),
+}
+
 // Forward implements Forwarder.
 func (f *HTTPForwarder) Forward(r *http.Request, route *Route, params map[string]string) (*BackendResponse, error) {
 	target := route.Backend
@@ -684,7 +788,7 @@ func (f *HTTPForwarder) Forward(r *http.Request, route *Route, params map[string
 	}
 	client := f.Client
 	if client == nil {
-		client = http.DefaultClient
+		client = defaultForwardClient
 	}
 	resp, err := client.Do(req)
 	if err != nil {

@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"cloudmon/internal/contract"
 	"cloudmon/internal/monitor"
@@ -54,6 +55,12 @@ type Provider struct {
 	// the goroutine and lock-contention overhead outweighs the gain (see
 	// BenchmarkSnapshotParallel).
 	Parallel bool
+
+	// MaxParallel bounds the worker pool used when Parallel is set, so a
+	// contract with many paths cannot fan out an unbounded goroutine burst
+	// per request (which multiplies under concurrent proxy load). Zero
+	// selects DefaultMaxParallel.
+	MaxParallel int
 
 	mu sync.Mutex
 	// token caches the service-account token; refreshed on 401.
@@ -140,14 +147,30 @@ func (p *Provider) Snapshot(ctx *monitor.RequestContext, paths []string) (ocl.Ma
 		err  error
 	}
 	results := make([]result, len(paths))
+	workers := p.MaxParallel
+	if workers <= 0 {
+		workers = DefaultMaxParallel
+	}
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+	// Bounded pool: `workers` goroutines pull path indices off a shared
+	// atomic counter until the list is drained.
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i, path := range paths {
-		wg.Add(1)
-		go func(i int, path string) {
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
 			defer wg.Done()
-			v, err := p.resolve(ctx, path)
-			results[i] = result{path: path, val: v, err: err}
-		}(i, path)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(paths) {
+					return
+				}
+				v, err := p.resolve(ctx, paths[i])
+				results[i] = result{path: paths[i], val: v, err: err}
+			}
+		}()
 	}
 	wg.Wait()
 	env := make(ocl.MapEnv, len(paths))
@@ -159,6 +182,9 @@ func (p *Provider) Snapshot(ctx *monitor.RequestContext, paths []string) (ocl.Ma
 	}
 	return env, nil
 }
+
+// DefaultMaxParallel is the default per-snapshot worker-pool size.
+const DefaultMaxParallel = 8
 
 // resolve maps one navigation path to a value. Unknown paths and missing
 // resources are OclUndefined, never errors — that is how "GET was not 200"

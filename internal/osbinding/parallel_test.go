@@ -45,6 +45,51 @@ func TestParallelSnapshotPropagatesErrors(t *testing.T) {
 	}
 }
 
+// TestParallelSnapshotBoundedWorkers pins the MaxParallel contract: the
+// fan-out never holds more simultaneous backend requests than the
+// configured worker count.
+func TestParallelSnapshotBoundedWorkers(t *testing.T) {
+	f := newFixture(t)
+	vol, err := f.cloud.Volumes.Create(f.projectID, "data", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inFlight, peak atomic.Int64
+	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond) // hold the slot so overlaps are visible
+		f.cloud.ServeHTTP(w, r)
+		inFlight.Add(-1)
+	}))
+	defer gate.Close()
+
+	provider := NewProvider(gate.URL, ServiceAccount{
+		User: "cm-svc", Password: "pw", ProjectID: f.projectID,
+	})
+	provider.Parallel = true
+	provider.MaxParallel = 2
+	// Warm the service token outside the measurement.
+	if _, err := provider.Snapshot(f.ctx(vol.ID), []string{"project.id"}); err != nil {
+		t.Fatal(err)
+	}
+	peak.Store(0)
+	if _, err := provider.Snapshot(f.ctx(vol.ID), allPaths); err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > 2 {
+		t.Errorf("observed %d simultaneous backend requests, want <= MaxParallel (2)", got)
+	}
+	if got := peak.Load(); got < 2 {
+		t.Errorf("observed %d simultaneous backend requests; pool never overlapped", got)
+	}
+}
+
 // TestParallelSnapshotOverlapsLatency pins the point of the option: with
 // an artificial per-request delay, the parallel snapshot completes in
 // roughly one delay rather than five.

@@ -58,9 +58,21 @@ func (c *Client) WithToken(token string) *Client {
 	return &cp
 }
 
+// defaultTransport is the shared pooled transport: the monitor's snapshot
+// reads hit the same one or two cloud hosts from many goroutines, so the
+// per-host idle-connection cap is raised well past net/http's default of 2
+// — otherwise concurrent snapshots churn through TCP dials under load.
+var defaultTransport = func() *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 64
+	t.IdleConnTimeout = 90 * time.Second
+	return t
+}()
+
 // defaultClient bounds request latency so a hung cloud cannot stall the
 // monitor indefinitely.
-var defaultClient = &http.Client{Timeout: 15 * time.Second}
+var defaultClient = &http.Client{Timeout: 15 * time.Second, Transport: defaultTransport}
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
