@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet lint test race cover bench fuzz examples experiments artifacts
+.PHONY: all build vet lint test race cover bench fuzz chaos examples experiments artifacts
 
 all: build vet lint test
 
@@ -36,6 +36,14 @@ fuzz:
 	go test -fuzz FuzzParse -fuzztime 30s ./internal/ocl/
 	go test -fuzz FuzzEval -fuzztime 30s ./internal/ocl/
 	go test -fuzz FuzzParseRule -fuzztime 30s ./internal/rbac/
+
+# Chaos: the fault×policy matrix and the chaotic soaks under the race
+# detector, then a fault-ridden loadmon run with invariant verification.
+chaos:
+	go test -race ./internal/faults/... -run TestFaultPolicyMatrix
+	go test -race -run 'TestSoakChaos' ./internal/loadgen/
+	go run ./cmd/loadmon -scenario cinder-mixed -requests 600 -clients 16 \
+		-faults internal/faults/testdata/chaos.json -fail-policy open -verify
 
 examples:
 	go run ./examples/quickstart

@@ -5,6 +5,12 @@
 //
 //	cloudsim -addr :8776 -quota 10
 //
+// With -faults the cloud is wrapped in the fault-injection middleware, so
+// a monitor (and its retry/breaker/fail-policy stack) can be exercised
+// against a misbehaving cloud over real sockets:
+//
+//	cloudsim -addr :8776 -faults chaos.json
+//
 // Credentials printed at startup can be used with cURL exactly as in the
 // paper's workflow, e.g.:
 //
@@ -18,6 +24,7 @@ import (
 	"net/http"
 	"os"
 
+	"cloudmon/internal/faults"
 	"cloudmon/internal/openstack"
 	"cloudmon/internal/openstack/cinder"
 	"cloudmon/internal/paper"
@@ -52,11 +59,22 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("cloudsim", flag.ContinueOnError)
 	addr := fs.String("addr", ":8776", "listen address")
 	quota := fs.Int("quota", 10, "volume quota for the seeded project")
+	faultsPath := fs.String("faults", "", "fault-injection profile (JSON, see internal/faults)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	cloud, res := buildCloud(*quota)
+	var handler http.Handler = cloud
+	if *faultsPath != "" {
+		profile, err := faults.LoadProfile(*faultsPath)
+		if err != nil {
+			return err
+		}
+		handler = faults.NewInjector(profile).Middleware(cloud)
+		fmt.Printf("fault injection enabled: %d rules, seed %d (%s)\n",
+			len(profile.Rules), profile.Seed, *faultsPath)
+	}
 
 	fmt.Printf("simulated OpenStack cloud on %s\n", *addr)
 	fmt.Printf("  project myProject: %s (volume quota %d)\n", res.ProjectID, *quota)
@@ -67,5 +85,5 @@ func run(args []string) error {
 	fmt.Println("    cm-svc proj_administrator -> monitor service account")
 	fmt.Println("  services: /identity/v3, /volume/v3, /compute/v2.1")
 
-	return http.ListenAndServe(*addr, cloud)
+	return http.ListenAndServe(*addr, handler)
 }

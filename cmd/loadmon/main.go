@@ -8,6 +8,14 @@
 //	loadmon -scenario cinder-read-heavy -cache-ttl 50ms -clients 32
 //	loadmon -list
 //
+// Chaos runs wrap the in-process cloud in the fault injector and pick a
+// degradation policy for the monitor; -verify asserts the structural
+// verdict invariants afterwards and exits non-zero on violation:
+//
+//	loadmon -scenario cinder-mixed -requests 600 \
+//	        -faults internal/faults/testdata/chaos.json \
+//	        -fail-policy open -verify
+//
 // With -target it instead drives an already-running monitor over HTTP,
 // authenticating each role against the cloud (-cloud, -project must point
 // at the deployment cloudsim printed):
@@ -24,6 +32,7 @@ import (
 	"os"
 	"strings"
 
+	"cloudmon/internal/faults"
 	"cloudmon/internal/loadgen"
 	"cloudmon/internal/monitor"
 	"cloudmon/internal/osclient"
@@ -52,6 +61,13 @@ func run(args []string, out io.Writer) error {
 	parallel := fs.Bool("parallel-snapshots", false, "resolve state snapshots concurrently")
 	workers := fs.Int("snapshot-workers", 0, "bound the parallel snapshot pool (0 = default)")
 	cacheTTL := fs.Duration("cache-ttl", 0, "pre-state read-cache TTL (0 = disabled)")
+	faultsPath := fs.String("faults", "", "fault-injection profile (JSON) for the in-process cloud")
+	policyName := fs.String("fail-policy", "closed", "snapshot-failure policy: closed | open | degrade")
+	cloudTimeout := fs.Duration("cloud-timeout", 0, "shared cloud-facing deadline (snapshot attempts and forwards; 0 = default)")
+	retryAttempts := fs.Int("retry-attempts", 0, "override snapshot retry attempts (0 = default)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "enable the snapshot circuit breaker at this consecutive-failure threshold (0 = off)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "circuit-breaker open cooldown (0 = default)")
+	verify := fs.Bool("verify", false, "assert structural verdict invariants after the run (in-process only)")
 	target := fs.String("target", "", "drive an external monitor at this URL instead of deploying in process")
 	cloudURL := fs.String("cloud", "", "cloud URL for role authentication (required with -target)")
 	project := fs.String("project", "", "project id (required with -target)")
@@ -94,8 +110,23 @@ func run(args []string, out io.Writer) error {
 		sc.Warmup = *warmup
 	}
 
+	var policy monitor.FailPolicy
+	switch *policyName {
+	case "closed", "":
+		policy = monitor.FailClosed
+	case "open":
+		policy = monitor.FailOpen
+	case "degrade":
+		policy = monitor.Degrade
+	default:
+		return fmt.Errorf("unknown fail-policy %q (want closed, open or degrade)", *policyName)
+	}
+
 	var tgt loadgen.Target
 	if *target != "" {
+		if *verify {
+			return fmt.Errorf("-verify needs the in-process deployment (it reads monitor counters)")
+		}
 		tgt, err = externalTarget(*target, *cloudURL, *project, *creds)
 		if err != nil {
 			return err
@@ -119,13 +150,40 @@ func run(args []string, out io.Writer) error {
 		default:
 			return fmt.Errorf("unknown level %q (want full or pre-only)", *levelName)
 		}
-		dep, err := loadgen.Deploy(loadgen.DeployOptions{
+		if policy == monitor.Degrade && *cacheTTL <= 0 {
+			return fmt.Errorf("-fail-policy degrade needs -cache-ttl > 0 (the policy falls back to the pre-state cache)")
+		}
+		opts := loadgen.DeployOptions{
 			Mode:              mode,
 			Level:             level,
+			FailPolicy:        policy,
 			ParallelSnapshots: *parallel,
 			SnapshotWorkers:   *workers,
 			PreStateCacheTTL:  *cacheTTL,
-		})
+			CloudTimeout:      *cloudTimeout,
+		}
+		if *retryAttempts > 0 {
+			opts.Retry.MaxAttempts = *retryAttempts
+		}
+		if *breakerThreshold > 0 {
+			opts.Breaker = &osclient.BreakerConfig{
+				FailureThreshold: *breakerThreshold,
+				Cooldown:         *breakerCooldown,
+			}
+		}
+		if *faultsPath != "" {
+			profile, err := faults.LoadProfile(*faultsPath)
+			if err != nil {
+				return err
+			}
+			opts.Faults = profile
+		}
+		if *verify && sc.Requests > 0 {
+			// Keep every verdict so the counters can be cross-checked
+			// against the log.
+			opts.MaxLog = sc.Requests + 1024
+		}
+		dep, err := loadgen.Deploy(opts)
 		if err != nil {
 			return err
 		}
@@ -139,10 +197,43 @@ func run(args []string, out io.Writer) error {
 	if *jsonOut {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		return enc.Encode(report)
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	} else if _, err := fmt.Fprint(out, report.Text()); err != nil {
+		return err
 	}
-	_, err = fmt.Fprint(out, report.Text())
-	return err
+	if *verify {
+		if err := verifyReport(sc, report, policy); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "verify: structural invariants hold")
+	}
+	return nil
+}
+
+// verifyReport asserts the structural verdict invariants a chaotic run
+// must preserve: the monitor answered every request (no transport
+// errors), every issued request produced exactly one verdict, and a
+// fail-closed monitor never recorded an unverified forward.
+func verifyReport(sc loadgen.Scenario, r *loadgen.Report, policy monitor.FailPolicy) error {
+	if r.Errors > 0 {
+		return fmt.Errorf("verify: %d transport errors — the monitor itself failed under faults", r.Errors)
+	}
+	if sc.Requests > 0 {
+		sum := 0
+		for _, n := range r.Verdicts {
+			sum += n
+		}
+		if sum != sc.Requests {
+			return fmt.Errorf("verify: verdict counters sum to %d, want %d (one per issued request)", sum, sc.Requests)
+		}
+	}
+	if policy == monitor.FailClosed && r.Verdicts[monitor.Unverified.String()] != 0 {
+		return fmt.Errorf("verify: fail-closed run recorded %d unverified verdicts",
+			r.Verdicts[monitor.Unverified.String()])
+	}
+	return nil
 }
 
 // externalTarget authenticates each role against the cloud and aims the

@@ -21,6 +21,7 @@ import (
 	"cloudmon/internal/contract"
 	"cloudmon/internal/monitor"
 	"cloudmon/internal/osbinding"
+	"cloudmon/internal/osclient"
 	"cloudmon/internal/uml"
 )
 
@@ -37,6 +38,21 @@ type Options struct {
 	// Level defaults to monitor.CheckFull; CheckPreOnly ablates the
 	// post-condition verification.
 	Level monitor.CheckLevel
+	// FailPolicy decides the verdict when a state snapshot fails
+	// (defaults to monitor.FailClosed; Degrade requires
+	// PreStateCacheTTL > 0).
+	FailPolicy monitor.FailPolicy
+	// CloudTimeout is the one knob both cloud-facing paths derive their
+	// deadline from: the snapshot client's per-attempt deadline and the
+	// forwarder's per-request deadline (0 = httpkit.DefaultCloudTimeout
+	// via the default clients).
+	CloudTimeout time.Duration
+	// Retry tunes the snapshot provider's backoff loop (zero value =
+	// defaults; MaxAttempts 1 disables retries).
+	Retry osclient.RetryPolicy
+	// Breaker, when non-nil, puts a circuit breaker on the snapshot path
+	// so a dead cloud sheds reads instead of queueing retries.
+	Breaker *osclient.BreakerConfig
 	// OnVerdict, if set, receives every verdict (e.g. an
 	// monitor.AuditWriter's Record method).
 	OnVerdict func(monitor.Verdict)
@@ -49,6 +65,9 @@ type Options struct {
 	// PreStateCacheTTL, when positive, enables the monitor's short-TTL
 	// pre-state read cache (see monitor.Config.PreStateCacheTTL).
 	PreStateCacheTTL time.Duration
+	// DegradeTTL bounds the Degrade policy's stale-cache window (see
+	// monitor.Config.DegradeTTL; 0 = 10 × PreStateCacheTTL).
+	DegradeTTL time.Duration
 	// HTTPClient overrides the forwarding client (tests inject the
 	// httptest client here).
 	HTTPClient *http.Client
@@ -92,6 +111,13 @@ func Build(opts Options) (*System, error) {
 	}
 	provider.Parallel = opts.ParallelSnapshots
 	provider.MaxParallel = opts.SnapshotWorkers
+	provider.Retry = opts.Retry
+	if opts.CloudTimeout > 0 && provider.Retry.PerAttemptTimeout <= 0 {
+		provider.Retry.PerAttemptTimeout = opts.CloudTimeout
+	}
+	if opts.Breaker != nil {
+		provider.Breaker = osclient.NewBreaker(*opts.Breaker)
+	}
 	mon, err := monitor.New(monitor.Config{
 		Contracts: set,
 		Routes:    routes,
@@ -99,12 +125,15 @@ func Build(opts Options) (*System, error) {
 		Forward: &monitor.HTTPForwarder{
 			BaseURL: opts.CloudURL,
 			Client:  opts.HTTPClient,
+			Timeout: opts.CloudTimeout,
 		},
 		Mode:             opts.Mode,
 		Level:            opts.Level,
+		FailPolicy:       opts.FailPolicy,
 		MaxLog:           opts.MaxLog,
 		OnVerdict:        opts.OnVerdict,
 		PreStateCacheTTL: opts.PreStateCacheTTL,
+		DegradeTTL:       opts.DegradeTTL,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)

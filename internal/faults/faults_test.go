@@ -1,0 +1,387 @@
+package faults
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeBackend is a canned RoundTripper: always 200 with a small JSON
+// document, and it counts how often it was reached.
+type fakeBackend struct {
+	calls int
+	body  string
+}
+
+func (f *fakeBackend) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.calls++
+	body := f.body
+	if body == "" {
+		body = `{"volumes": [{"id": "v1", "name": "alpha", "size": 1}]}`
+	}
+	return synthesized(req, http.StatusOK, []byte(body)), nil
+}
+
+func get(t *testing.T, rt http.RoundTripper, path string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, "http://cloud.internal"+path, nil)
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	return rt.RoundTrip(req)
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Profile
+	}{
+		{"no rules", Profile{}},
+		{"unknown kind", Profile{Rules: []Rule{{Kind: "explode", Probability: 1}}}},
+		{"probability above one", Profile{Rules: []Rule{{Kind: KindStatus, Probability: 1.5}}}},
+		{"never fires", Profile{Rules: []Rule{{Kind: KindStatus}}}},
+		{"negative every", Profile{Rules: []Rule{{Kind: KindStatus, Every: -1, Probability: 0.5}}}},
+		{"status outside 4xx/5xx", Profile{Rules: []Rule{{Kind: KindStatus, Probability: 1, Status: 200}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tc.name)
+		}
+	}
+	ok := Profile{Seed: 1, Rules: []Rule{{Kind: KindLatency, Probability: 0.2, LatencyMS: 5}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+}
+
+func TestParseProfileRoundTrip(t *testing.T) {
+	src := `{"seed": 42, "rules": [
+		{"kind": "status", "method": "GET", "path": "/volume/", "probability": 0.25, "status": 502},
+		{"kind": "latency", "every": 10, "latency_ms": 5, "jitter_ms": 3}
+	]}`
+	p, err := ParseProfile([]byte(src))
+	if err != nil {
+		t.Fatalf("ParseProfile: %v", err)
+	}
+	if p.Seed != 42 || len(p.Rules) != 2 {
+		t.Fatalf("got seed %d, %d rules; want 42, 2", p.Seed, len(p.Rules))
+	}
+	if p.Rules[0].Kind != KindStatus || p.Rules[0].Status != 502 {
+		t.Fatalf("rule 0 = %+v", p.Rules[0])
+	}
+}
+
+// TestSeededScheduleDeterminism replays the same request order through two
+// injectors built from the same profile and demands an identical fault
+// sequence — the property that makes chaos runs reproducible.
+func TestSeededScheduleDeterminism(t *testing.T) {
+	profile := &Profile{Seed: 7, Rules: []Rule{
+		{Kind: KindStatus, Method: http.MethodGet, Probability: 0.3},
+		{Kind: KindReset, Probability: 0.2},
+	}}
+	sequence := func() []Kind {
+		in := NewInjector(profile)
+		var seq []Kind
+		for i := 0; i < 500; i++ {
+			method := http.MethodGet
+			if i%3 == 0 {
+				method = http.MethodPost
+			}
+			d := in.decide(method, "/volume/v3/p/volumes")
+			if d == nil {
+				seq = append(seq, "")
+			} else {
+				seq = append(seq, d.kind)
+			}
+		}
+		return seq
+	}
+	a, b := sequence(), sequence()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at request %d: %q vs %q", i, a[i], b[i])
+		}
+		if a[i] != "" {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("schedule fired no faults; the test proved nothing")
+	}
+
+	diff := NewInjector(&Profile{Seed: 8, Rules: profile.Rules})
+	diverged := false
+	for i := 0; i < 500; i++ {
+		method := http.MethodGet
+		if i%3 == 0 {
+			method = http.MethodPost
+		}
+		d := diff.decide(method, "/volume/v3/p/volumes")
+		k := Kind("")
+		if d != nil {
+			k = d.kind
+		}
+		if k != a[i] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seed replayed the same schedule")
+	}
+}
+
+// TestEveryFiresDeterministically pins the Nth-request discipline and the
+// burst extension: every 5th match fires, and a burst of 3 covers the two
+// following requests too.
+func TestEveryFiresDeterministically(t *testing.T) {
+	in := NewInjector(&Profile{Rules: []Rule{
+		{Kind: KindStatus, Every: 5, Burst: 3},
+	}})
+	var fired []int
+	for i := 1; i <= 20; i++ {
+		if in.decide(http.MethodGet, "/x") != nil {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{5, 6, 7, 10, 11, 12, 15, 16, 17, 20}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+	if got := in.Counts()[string(KindStatus)]; got != len(want) {
+		t.Fatalf("Counts()[status] = %d, want %d", got, len(want))
+	}
+	if in.Total() != len(want) {
+		t.Fatalf("Total() = %d, want %d", in.Total(), len(want))
+	}
+}
+
+func TestRuleMatching(t *testing.T) {
+	in := NewInjector(&Profile{Rules: []Rule{
+		{Kind: KindStatus, Method: http.MethodDelete, Path: "/volumes/", Every: 1},
+	}})
+	if d := in.decide(http.MethodGet, "/volume/v3/p/volumes/v1"); d != nil {
+		t.Fatal("method filter ignored")
+	}
+	if d := in.decide(http.MethodDelete, "/identity/v3/auth/tokens"); d != nil {
+		t.Fatal("path filter ignored")
+	}
+	if d := in.decide(http.MethodDelete, "/volume/v3/p/volumes/v1"); d == nil {
+		t.Fatal("matching request did not fire")
+	}
+}
+
+func TestSetEnabledSuspendsInjection(t *testing.T) {
+	in := NewInjector(&Profile{Rules: []Rule{{Kind: KindStatus, Every: 1}}})
+	in.SetEnabled(false)
+	for i := 0; i < 5; i++ {
+		if in.decide(http.MethodGet, "/x") != nil {
+			t.Fatal("disabled injector fired")
+		}
+	}
+	in.SetEnabled(true)
+	if in.decide(http.MethodGet, "/x") == nil {
+		t.Fatal("re-enabled injector did not fire")
+	}
+}
+
+func TestRoundTripperStatusFault(t *testing.T) {
+	backend := &fakeBackend{}
+	in := NewInjector(&Profile{Rules: []Rule{{Kind: KindStatus, Every: 2, Status: 502}}})
+	rt := in.RoundTripper(backend)
+
+	resp, err := get(t, rt, "/volumes")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("request 1: status %v err %v, want 200 pass-through", resp, err)
+	}
+	resp.Body.Close()
+
+	resp, err = get(t, rt, "/volumes")
+	if err != nil {
+		t.Fatalf("request 2: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("request 2: status %d, want 502", resp.StatusCode)
+	}
+	var doc struct {
+		Error struct {
+			Code    int    `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("synthesized body is not JSON: %v", err)
+	}
+	if doc.Error.Code != 502 {
+		t.Fatalf("body code %d, want 502", doc.Error.Code)
+	}
+	if backend.calls != 1 {
+		t.Fatalf("backend reached %d times, want 1 (status fault must not forward)", backend.calls)
+	}
+}
+
+func TestRoundTripperTokenExpiry(t *testing.T) {
+	backend := &fakeBackend{}
+	in := NewInjector(&Profile{Rules: []Rule{{Kind: KindTokenExpiry, Every: 1}}})
+	resp, err := get(t, in.RoundTripper(backend), "/volumes")
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("status %d, want 401", resp.StatusCode)
+	}
+	if backend.calls != 0 {
+		t.Fatal("token-expiry fault reached the backend")
+	}
+}
+
+func TestRoundTripperReset(t *testing.T) {
+	in := NewInjector(&Profile{Rules: []Rule{{Kind: KindReset, Every: 1}}})
+	_, err := get(t, in.RoundTripper(&fakeBackend{}), "/volumes")
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("err = %v, want ErrInjectedReset", err)
+	}
+}
+
+func TestRoundTripperTimeoutHonorsCallerDeadline(t *testing.T) {
+	in := NewInjector(&Profile{Rules: []Rule{{Kind: KindTimeout, Every: 1, LatencyMS: 10_000}}})
+	rt := in.RoundTripper(&fakeBackend{})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, "http://cloud.internal/volumes", nil)
+	start := time.Now()
+	_, err := rt.RoundTrip(req)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hang outlived the caller deadline by far: %v", elapsed)
+	}
+}
+
+func TestRoundTripperTimeoutCapForDeadlinelessCallers(t *testing.T) {
+	in := NewInjector(&Profile{Rules: []Rule{{Kind: KindTimeout, Every: 1, LatencyMS: 15}}})
+	_, err := get(t, in.RoundTripper(&fakeBackend{}), "/volumes")
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("err = %v, want a net.Error with Timeout() == true", err)
+	}
+}
+
+func TestRoundTripperLatencyDelaysThenForwards(t *testing.T) {
+	backend := &fakeBackend{}
+	in := NewInjector(&Profile{Rules: []Rule{{Kind: KindLatency, Every: 1, LatencyMS: 30}}})
+	start := time.Now()
+	resp, err := get(t, in.RoundTripper(backend), "/volumes")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %v err %v, want 200", resp, err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("latency fault added only %v, want >= 30ms", elapsed)
+	}
+	if backend.calls != 1 {
+		t.Fatal("latency fault must still reach the backend")
+	}
+}
+
+func TestRoundTripperCorruptsBodies(t *testing.T) {
+	for _, kind := range []Kind{KindTruncate, KindMalformed} {
+		t.Run(string(kind), func(t *testing.T) {
+			in := NewInjector(&Profile{Rules: []Rule{{Kind: kind, Every: 1}}})
+			resp, err := get(t, in.RoundTripper(&fakeBackend{}), "/volumes")
+			if err != nil {
+				t.Fatalf("round trip: %v", err)
+			}
+			defer resp.Body.Close()
+			data, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatalf("read body: %v", err)
+			}
+			var v any
+			if err := json.Unmarshal(data, &v); err == nil {
+				t.Fatalf("corrupted body still parses: %q", data)
+			}
+			if resp.ContentLength != int64(len(data)) {
+				t.Fatalf("ContentLength %d != body %d", resp.ContentLength, len(data))
+			}
+		})
+	}
+}
+
+func TestMiddlewareOverSockets(t *testing.T) {
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = io.WriteString(w, `{"volumes": [{"id": "v1"}]}`)
+	})
+
+	t.Run("status", func(t *testing.T) {
+		in := NewInjector(&Profile{Rules: []Rule{{Kind: KindStatus, Every: 1, Status: 503}}})
+		srv := httptest.NewServer(in.Middleware(next))
+		defer srv.Close()
+		resp, err := http.Get(srv.URL + "/volumes")
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status %d, want 503", resp.StatusCode)
+		}
+	})
+
+	t.Run("reset", func(t *testing.T) {
+		in := NewInjector(&Profile{Rules: []Rule{{Kind: KindReset, Every: 1}}})
+		srv := httptest.NewServer(in.Middleware(next))
+		defer srv.Close()
+		_, err := http.Get(srv.URL + "/volumes")
+		if err == nil {
+			t.Fatal("reset fault produced a response over a real socket")
+		}
+	})
+
+	t.Run("truncate", func(t *testing.T) {
+		in := NewInjector(&Profile{Rules: []Rule{{Kind: KindTruncate, Every: 1}}})
+		srv := httptest.NewServer(in.Middleware(next))
+		defer srv.Close()
+		resp, err := http.Get(srv.URL + "/volumes")
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		var v any
+		if err := json.Unmarshal(data, &v); err == nil {
+			t.Fatalf("truncated body still parses: %q", data)
+		}
+	})
+
+	t.Run("passthrough", func(t *testing.T) {
+		in := NewInjector(&Profile{Rules: []Rule{{Kind: KindStatus, Method: http.MethodDelete, Every: 1}}})
+		srv := httptest.NewServer(in.Middleware(next))
+		defer srv.Close()
+		resp, err := http.Get(srv.URL + "/volumes")
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), `"v1"`) {
+			t.Fatalf("pass-through mangled the response: %d %q", resp.StatusCode, data)
+		}
+	})
+}

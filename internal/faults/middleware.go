@@ -1,0 +1,231 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// ErrInjectedReset is the transport-level error an injected connection
+// reset surfaces through a RoundTripper.
+var ErrInjectedReset = errors.New("faults: injected connection reset")
+
+// timeoutError is the transport-level error for an injected hang that hit
+// its cap; it satisfies net.Error's Timeout contract.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "faults: injected timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// statusBody synthesizes an OpenStack-style error document.
+func statusBody(status int, msg string) []byte {
+	return []byte(fmt.Sprintf(`{"error": {"code": %d, "message": %q}}`, status, msg))
+}
+
+// corrupt rewrites a response body according to the fault kind.
+func corrupt(kind Kind, body []byte) []byte {
+	switch kind {
+	case KindTruncate:
+		if len(body) < 2 {
+			return []byte("{")
+		}
+		return body[:len(body)/2]
+	case KindMalformed:
+		return []byte(`{"volumes": [}`)
+	}
+	return body
+}
+
+// RoundTripper wraps next with the injector: faults are applied between
+// the caller and the backend, exactly where a flaky network or cloud
+// would sit. A nil next means http.DefaultTransport.
+func (in *Injector) RoundTripper(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &transport{in: in, next: next}
+}
+
+type transport struct {
+	in   *Injector
+	next http.RoundTripper
+}
+
+var _ http.RoundTripper = (*transport)(nil)
+
+// RoundTrip implements http.RoundTripper.
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.in.decide(req.Method, req.URL.Path)
+	if d == nil {
+		return t.next.RoundTrip(req)
+	}
+	switch d.kind {
+	case KindLatency:
+		select {
+		case <-time.After(d.delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return t.next.RoundTrip(req)
+	case KindReset:
+		return nil, ErrInjectedReset
+	case KindTimeout:
+		// Hold the request until the caller gives up (or the cap fires,
+		// so deadline-less callers cannot hang forever).
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(d.delay):
+			return nil, timeoutError{}
+		}
+	case KindStatus:
+		return synthesized(req, d.status, statusBody(d.status, "injected fault: service failure")), nil
+	case KindTokenExpiry:
+		return synthesized(req, http.StatusUnauthorized,
+			statusBody(http.StatusUnauthorized, "injected fault: the request you have made requires authentication")), nil
+	case KindTruncate, KindMalformed:
+		resp, err := t.next.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		data = corrupt(d.kind, data)
+		resp.Body = io.NopCloser(bytes.NewReader(data))
+		resp.ContentLength = int64(len(data))
+		resp.Header.Set("Content-Length", strconv.Itoa(len(data)))
+		return resp, nil
+	}
+	return t.next.RoundTrip(req)
+}
+
+// synthesized builds a backend-less JSON response.
+func synthesized(req *http.Request, status int, body []byte) *http.Response {
+	h := make(http.Header)
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         req.Proto,
+		ProtoMajor:    req.ProtoMajor,
+		ProtoMinor:    req.ProtoMinor,
+		Header:        h,
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// Middleware wraps next with the injector on the server side: cloudsim
+// mounts this so external monitors experience the same fault schedule
+// over real sockets.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := in.decide(r.Method, r.URL.Path)
+		if d == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		switch d.kind {
+		case KindLatency:
+			select {
+			case <-time.After(d.delay):
+			case <-r.Context().Done():
+				return
+			}
+			next.ServeHTTP(w, r)
+		case KindReset:
+			abort(w)
+		case KindTimeout:
+			select {
+			case <-r.Context().Done():
+			case <-time.After(d.delay):
+			}
+			abort(w)
+		case KindStatus:
+			writeRaw(w, d.status, statusBody(d.status, "injected fault: service failure"))
+		case KindTokenExpiry:
+			writeRaw(w, http.StatusUnauthorized,
+				statusBody(http.StatusUnauthorized, "injected fault: the request you have made requires authentication"))
+		case KindTruncate, KindMalformed:
+			rec := &bodyRecorder{header: make(http.Header), status: http.StatusOK}
+			next.ServeHTTP(rec, r)
+			body := corrupt(d.kind, rec.body.Bytes())
+			for k, vals := range rec.header {
+				if k == "Content-Length" {
+					continue
+				}
+				for _, v := range vals {
+					w.Header().Add(k, v)
+				}
+			}
+			w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+			w.WriteHeader(rec.status)
+			_, _ = w.Write(body)
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// abort drops the connection without a response: hijack-and-close when the
+// server supports it, otherwise the net/http abort panic (which the server
+// — and httpkit's in-process transport — turns into a closed connection).
+func abort(w http.ResponseWriter) {
+	if hj, ok := w.(http.Hijacker); ok {
+		conn, _, err := hj.Hijack()
+		if err == nil {
+			conn.Close()
+			return
+		}
+	}
+	panic(http.ErrAbortHandler)
+}
+
+// writeRaw writes a pre-encoded JSON body.
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// bodyRecorder buffers a downstream handler's response so the middleware
+// can corrupt it before it reaches the wire.
+type bodyRecorder struct {
+	header http.Header
+	body   bytes.Buffer
+	status int
+	wrote  bool
+}
+
+var _ http.ResponseWriter = (*bodyRecorder)(nil)
+
+// Header implements http.ResponseWriter.
+func (r *bodyRecorder) Header() http.Header { return r.header }
+
+// WriteHeader implements http.ResponseWriter.
+func (r *bodyRecorder) WriteHeader(status int) {
+	if r.wrote {
+		return
+	}
+	r.wrote = true
+	r.status = status
+}
+
+// Write implements http.ResponseWriter.
+func (r *bodyRecorder) Write(p []byte) (int, error) {
+	if !r.wrote {
+		r.WriteHeader(http.StatusOK)
+	}
+	return r.body.Write(p)
+}

@@ -2,10 +2,24 @@ package httpkit
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 )
+
+// DefaultCloudTimeout is the single knob every cloud-facing HTTP path
+// derives its default deadline from: the snapshot client (osclient) and
+// the monitor's backend forwarder both bound a request to this unless
+// configured otherwise, so "how long may a hung cloud stall us" has one
+// answer instead of two drifting ones.
+const DefaultCloudTimeout = 15 * time.Second
+
+// ErrAborted is returned by the in-process transport when the handler
+// aborted the exchange (http.ErrAbortHandler) — the in-memory equivalent
+// of the server closing the TCP connection mid-response.
+var ErrAborted = errors.New("httpkit: handler aborted connection")
 
 // HandlerClient returns an *http.Client whose requests are served directly
 // by h, in process, without opening sockets. The mutation lab and the
@@ -15,6 +29,13 @@ func HandlerClient(h http.Handler) *http.Client {
 	return &http.Client{Transport: handlerTransport{h: h}}
 }
 
+// HandlerRoundTripper exposes the in-process transport directly, so
+// callers can compose it with other RoundTripper middleware (the fault
+// injector wraps it to perturb monitor->cloud traffic without sockets).
+func HandlerRoundTripper(h http.Handler) http.RoundTripper {
+	return handlerTransport{h: h}
+}
+
 // handlerTransport serves round-trips straight through an http.Handler.
 type handlerTransport struct {
 	h http.Handler
@@ -22,13 +43,48 @@ type handlerTransport struct {
 
 var _ http.RoundTripper = handlerTransport{}
 
-// RoundTrip implements http.RoundTripper.
+// RoundTrip implements http.RoundTripper. Requests carrying a cancelable
+// context are served on a goroutine so deadlines interrupt the exchange
+// exactly as they would a socket read; background-context requests take
+// the synchronous fast path (no goroutine hop on the benchmark-hot loop).
 func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
-	rec := newRecorder()
 	// Handlers may expect a non-nil body.
 	if req.Body == nil {
 		req.Body = io.NopCloser(bytes.NewReader(nil))
 	}
+	if req.Context().Done() == nil {
+		return t.serve(req)
+	}
+	type result struct {
+		resp *http.Response
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		resp, err := t.serve(req)
+		ch <- result{resp, err}
+	}()
+	select {
+	case <-req.Context().Done():
+		return nil, req.Context().Err()
+	case r := <-ch:
+		return r.resp, r.err
+	}
+}
+
+// serve runs the handler to completion, converting panics into transport
+// errors the way net/http's server converts them into closed connections.
+func (t handlerTransport) serve(req *http.Request) (resp *http.Response, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if p == http.ErrAbortHandler {
+				err = ErrAborted
+				return
+			}
+			err = fmt.Errorf("httpkit: handler panic: %v", p)
+		}
+	}()
+	rec := newRecorder()
 	t.h.ServeHTTP(rec, req)
 	return &http.Response{
 		Status:        fmt.Sprintf("%d %s", rec.status, http.StatusText(rec.status)),

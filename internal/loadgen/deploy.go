@@ -2,9 +2,11 @@ package loadgen
 
 import (
 	"fmt"
+	"net/http"
 	"time"
 
 	"cloudmon/internal/core"
+	"cloudmon/internal/faults"
 	"cloudmon/internal/httpkit"
 	"cloudmon/internal/monitor"
 	"cloudmon/internal/openstack"
@@ -20,12 +22,30 @@ type DeployOptions struct {
 	Mode monitor.Mode
 	// Level defaults to monitor.CheckFull.
 	Level monitor.CheckLevel
+	// FailPolicy decides the monitor's verdict when a snapshot fails
+	// (default monitor.FailClosed; Degrade needs PreStateCacheTTL).
+	FailPolicy monitor.FailPolicy
 	// ParallelSnapshots enables the provider's bounded fan-out.
 	ParallelSnapshots bool
 	// SnapshotWorkers bounds the fan-out pool (0 = default).
 	SnapshotWorkers int
 	// PreStateCacheTTL enables the monitor's pre-state read cache.
 	PreStateCacheTTL time.Duration
+	// DegradeTTL bounds the Degrade policy's stale-cache window (0 =
+	// monitor's default of 10 × PreStateCacheTTL).
+	DegradeTTL time.Duration
+	// CloudTimeout is the shared deadline knob for both cloud-facing
+	// paths (0 = default).
+	CloudTimeout time.Duration
+	// Retry tunes the snapshot provider's backoff loop.
+	Retry osclient.RetryPolicy
+	// Breaker enables the snapshot circuit breaker.
+	Breaker *osclient.BreakerConfig
+	// Faults, when non-nil, injects this fault profile into all
+	// monitor->cloud traffic (snapshots and forwards) — chaos runs.
+	// Role authentication at deploy time bypasses the injector, so a
+	// hostile profile cannot fail the deployment itself.
+	Faults *faults.Profile
 	// QuotaVolumes is the project's volume quota (default 1e6 so the
 	// workload never trips quota pre-conditions unless asked to).
 	QuotaVolumes int
@@ -44,6 +64,9 @@ type Deployment struct {
 	ProjectID string
 	// Target drives the monitor proxy with per-role tokens.
 	Target Target
+	// Injector is the fault injector perturbing monitor->cloud traffic
+	// (nil unless DeployOptions.Faults was set).
+	Injector *faults.Injector
 }
 
 // Deploy builds the paper's example deployment in process — the simulated
@@ -68,6 +91,17 @@ func Deploy(opts DeployOptions) (*Deployment, error) {
 		},
 	})
 	cloudHTTP := httpkit.HandlerClient(cloud)
+	var inj *faults.Injector
+	monitorHTTP := cloudHTTP
+	if opts.Faults != nil {
+		if err := opts.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("loadgen: deploy: %w", err)
+		}
+		inj = faults.NewInjector(opts.Faults)
+		monitorHTTP = &http.Client{
+			Transport: inj.RoundTripper(httpkit.HandlerRoundTripper(cloud)),
+		}
+	}
 	sys, err := core.Build(core.Options{
 		Model:    paper.CinderModel(),
 		CloudURL: "http://cloud.internal",
@@ -76,11 +110,16 @@ func Deploy(opts DeployOptions) (*Deployment, error) {
 		},
 		Mode:              opts.Mode,
 		Level:             opts.Level,
+		FailPolicy:        opts.FailPolicy,
+		CloudTimeout:      opts.CloudTimeout,
+		Retry:             opts.Retry,
+		Breaker:           opts.Breaker,
 		ParallelSnapshots: opts.ParallelSnapshots,
 		SnapshotWorkers:   opts.SnapshotWorkers,
 		PreStateCacheTTL:  opts.PreStateCacheTTL,
+		DegradeTTL:        opts.DegradeTTL,
 		MaxLog:            opts.MaxLog,
-		HTTPClient:        cloudHTTP,
+		HTTPClient:        monitorHTTP,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: deploy: %w", err)
@@ -94,16 +133,21 @@ func Deploy(opts DeployOptions) (*Deployment, error) {
 		}
 		tokens[role] = tok
 	}
+	tgt := Target{
+		BaseURL:    "http://monitor.internal",
+		HTTPClient: httpkit.HandlerClient(sys.Monitor),
+		ProjectID:  seed.ProjectID,
+		Tokens:     tokens,
+		Outcomes:   sys.Monitor.Outcomes,
+	}
+	if inj != nil {
+		tgt.Faults = inj.Counts
+	}
 	return &Deployment{
 		Cloud:     cloud,
 		Sys:       sys,
 		ProjectID: seed.ProjectID,
-		Target: Target{
-			BaseURL:    "http://monitor.internal",
-			HTTPClient: httpkit.HandlerClient(sys.Monitor),
-			ProjectID:  seed.ProjectID,
-			Tokens:     tokens,
-			Outcomes:   sys.Monitor.Outcomes,
-		},
+		Target:    tgt,
+		Injector:  inj,
 	}, nil
 }

@@ -126,6 +126,10 @@ type Target struct {
 	// Outcomes, if set, supplies the monitor's outcome counters; Run
 	// diffs it around the run to produce the report's verdict tallies.
 	Outcomes func() map[monitor.Outcome]int
+	// Faults, if set, supplies the fault injector's per-kind counters
+	// (faults.Injector.Counts); Run diffs it around the run to report how
+	// much chaos the run actually absorbed.
+	Faults func() map[string]int
 }
 
 // volumePool is the shared set of volume ids the workload operates on.
@@ -229,6 +233,10 @@ func Run(sc Scenario, tgt Target) (*Report, error) {
 	if tgt.Outcomes != nil {
 		before = tgt.Outcomes()
 	}
+	var faultsBefore map[string]int
+	if tgt.Faults != nil {
+		faultsBefore = tgt.Faults()
+	}
 
 	var (
 		issued   atomic.Int64
@@ -277,8 +285,14 @@ func Run(sc Scenario, tgt Target) (*Report, error) {
 		after := tgt.Outcomes()
 		verdicts = diffOutcomes(before, after)
 	}
+	var injected map[string]int
+	if tgt.Faults != nil {
+		injected = diffCounts(faultsBefore, tgt.Faults())
+	}
 
-	return buildReport(sc, clients, elapsed, recorders, verdicts), nil
+	rep := buildReport(sc, clients, elapsed, recorders, verdicts)
+	rep.InjectedFaults = injected
+	return rep, nil
 }
 
 // dispatch schedules open-loop arrivals at the configured rate until the
@@ -440,6 +454,17 @@ func diffOutcomes(before, after map[monitor.Outcome]int) map[string]int {
 	for k, v := range after {
 		if d := v - before[k]; d != 0 {
 			out[k.String()] = d
+		}
+	}
+	return out
+}
+
+// diffCounts subtracts string-keyed counters (fault tallies).
+func diffCounts(before, after map[string]int) map[string]int {
+	out := make(map[string]int)
+	for k, v := range after {
+		if d := v - before[k]; d != 0 {
+			out[k] = d
 		}
 	}
 	return out

@@ -47,6 +47,9 @@ type Report struct {
 	// when the target exposes its outcome counters). Includes warmup
 	// requests: the counters are diffed around the whole run.
 	Verdicts map[string]int `json:"verdicts,omitempty"`
+	// InjectedFaults tallies fired fault-injection rules by kind (present
+	// when the target exposes its injector counters).
+	InjectedFaults map[string]int `json:"injected_faults,omitempty"`
 }
 
 // percentile returns the q-quantile (0 < q <= 1) of the sorted durations.
@@ -147,6 +150,18 @@ func (r *Report) Text() string {
 		sb.WriteString("  verdicts:")
 		for _, v := range names {
 			fmt.Fprintf(&sb, " %s=%d", v, r.Verdicts[v])
+		}
+		sb.WriteByte('\n')
+	}
+	if len(r.InjectedFaults) > 0 {
+		kinds := make([]string, 0, len(r.InjectedFaults))
+		for k := range r.InjectedFaults {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		sb.WriteString("  injected faults:")
+		for _, k := range kinds {
+			fmt.Fprintf(&sb, " %s=%d", k, r.InjectedFaults[k])
 		}
 		sb.WriteByte('\n')
 	}

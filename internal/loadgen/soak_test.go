@@ -1,10 +1,13 @@
 package loadgen
 
 import (
+	"strings"
 	"testing"
 	"time"
 
+	"cloudmon/internal/faults"
 	"cloudmon/internal/monitor"
+	"cloudmon/internal/osclient"
 )
 
 // soakScenario is the mixed read/write matrix the -race soak drives: every
@@ -40,8 +43,11 @@ func soakScenario(clients, requests int) Scenario {
 // (the snapshot-forward-snapshot workflow is not atomic, so racing writers
 // cause TOCTOU post-condition failures); what must never happen is an
 // outcome that contradicts its own evidence.
-func checkVerdictInvariants(t *testing.T, log []monitor.Verdict, mode monitor.Mode) {
+func checkVerdictInvariants(t *testing.T, log []monitor.Verdict, mode monitor.Mode, policy monitor.FailPolicy) {
 	t.Helper()
+	if policy == 0 {
+		policy = monitor.FailClosed
+	}
 	for i, v := range log {
 		fail := func(format string, args ...any) {
 			t.Helper()
@@ -107,7 +113,20 @@ func checkVerdictInvariants(t *testing.T, log []monitor.Verdict, mode monitor.Mo
 				fail("ViolationPostcondition implies post-condition failed")
 			}
 		case monitor.Error:
-			// The monitor itself failed; no cloud verdict is implied.
+			// The monitor itself failed; no cloud verdict is implied. But a
+			// fail-closed monitor must not have let the request through when
+			// the pre-state snapshot was the failure.
+			if policy == monitor.FailClosed &&
+				strings.HasPrefix(v.Detail, "pre-state snapshot:") && v.Forwarded {
+				fail("fail-closed forwarded a request whose pre-state snapshot failed")
+			}
+		case monitor.Unverified:
+			if policy == monitor.FailClosed {
+				fail("Unverified under fail-closed")
+			}
+			if !v.Forwarded {
+				fail("Unverified implies Forwarded (the gap is a forwarded, unchecked request)")
+			}
 		default:
 			fail("unknown outcome")
 		}
@@ -118,7 +137,7 @@ func checkVerdictInvariants(t *testing.T, log []monitor.Verdict, mode monitor.Mo
 // clients, and checks every recorded verdict. Run under -race this is the
 // concurrency proof for the sharded log, the snapshot fan-out and the
 // pre-state cache.
-func runSoak(t *testing.T, opts DeployOptions, mode monitor.Mode) {
+func runSoak(t *testing.T, opts DeployOptions, mode monitor.Mode) *Deployment {
 	t.Helper()
 	clients, requests := 32, 4000
 	if testing.Short() {
@@ -141,7 +160,7 @@ func runSoak(t *testing.T, opts DeployOptions, mode monitor.Mode) {
 	if len(log) == 0 {
 		t.Fatal("no verdicts recorded")
 	}
-	checkVerdictInvariants(t, log, mode)
+	checkVerdictInvariants(t, log, mode, opts.FailPolicy)
 
 	// The sharded outcome counters must agree with the retained log.
 	fromLog := make(map[monitor.Outcome]int)
@@ -153,6 +172,7 @@ func runSoak(t *testing.T, opts DeployOptions, mode monitor.Mode) {
 			t.Errorf("outcome %s: counter %d, log %d", outcome, n, fromLog[outcome])
 		}
 	}
+	return dep
 }
 
 // TestSoakEnforce is the satellite -race soak: 32 concurrent clients, all
@@ -174,4 +194,59 @@ func TestSoakHardened(t *testing.T) {
 		SnapshotWorkers:   4,
 		PreStateCacheTTL:  25 * time.Millisecond,
 	}, monitor.Enforce)
+}
+
+// chaosOpts returns DeployOptions under the checked-in ~20% mixed-fault
+// profile, with a fast retry policy so the soak finishes quickly while
+// still exercising the backoff and per-attempt-deadline paths.
+func chaosOpts(t *testing.T, policy monitor.FailPolicy) DeployOptions {
+	t.Helper()
+	profile, err := faults.LoadProfile("../faults/testdata/chaos.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return DeployOptions{
+		FailPolicy: policy,
+		Faults:     profile,
+		Retry: osclient.RetryPolicy{
+			MaxAttempts:       2,
+			BaseDelay:         time.Millisecond,
+			MaxDelay:          5 * time.Millisecond,
+			PerAttemptTimeout: 500 * time.Millisecond,
+		},
+	}
+}
+
+// TestSoakChaosFailClosed is the acceptance soak: ~20% of cloud calls fail
+// while a fail-closed monitor takes the full mixed matrix. The invariant
+// sweep proves no request whose pre-state snapshot failed was forwarded
+// and no Unverified verdict exists; the counter cross-check proves the
+// verdict counters still sum to the log under chaos.
+func TestSoakChaosFailClosed(t *testing.T) {
+	dep := runSoak(t, chaosOpts(t, monitor.FailClosed), monitor.Enforce)
+	if dep.Injector == nil || dep.Injector.Total() == 0 {
+		t.Fatal("chaos soak injected no faults; the profile is not wired in")
+	}
+	if n := dep.Sys.Monitor.Outcomes()[monitor.Unverified]; n != 0 {
+		t.Fatalf("fail-closed recorded %d Unverified verdicts, want 0", n)
+	}
+}
+
+// TestSoakChaosFailOpen repeats the chaos soak with availability-first
+// policy: snapshot failures must forward and be recorded as Unverified
+// (asserted per-verdict by checkVerdictInvariants).
+func TestSoakChaosFailOpen(t *testing.T) {
+	dep := runSoak(t, chaosOpts(t, monitor.FailOpen), monitor.Enforce)
+	if dep.Injector == nil || dep.Injector.Total() == 0 {
+		t.Fatal("chaos soak injected no faults; the profile is not wired in")
+	}
+}
+
+// TestSoakChaosDegrade adds the stale-cache fallback on top of chaos: the
+// pre-state cache both serves the degrade path and races generation
+// invalidation against the fault-ridden snapshot fan-out.
+func TestSoakChaosDegrade(t *testing.T) {
+	opts := chaosOpts(t, monitor.Degrade)
+	opts.PreStateCacheTTL = 25 * time.Millisecond
+	runSoak(t, opts, monitor.Enforce)
 }

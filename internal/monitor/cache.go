@@ -43,6 +43,7 @@ type cacheShard struct {
 type cacheEntry struct {
 	val     ocl.Value
 	present bool
+	fetched time.Time
 	expires time.Time
 	gen     uint64
 }
@@ -138,8 +139,49 @@ func (c *snapshotCache) put(path, token, paramsKey, project string, val ocl.Valu
 			}
 		}
 	}
-	sh.entries[key] = cacheEntry{val: val, present: present, expires: now.Add(c.ttl), gen: gen}
+	sh.entries[key] = cacheEntry{val: val, present: present, fetched: now, expires: now.Add(c.ttl), gen: gen}
 	sh.mu.Unlock()
+}
+
+// getStale is the degrade-path lookup: it accepts entries past the normal
+// TTL as long as they were fetched within maxAge and belong to the
+// project's current generation. Normal (non-degraded) reads must use get.
+func (c *snapshotCache) getStale(path, token, paramsKey, project string, maxAge time.Duration) (ocl.Value, bool, bool) {
+	key := cacheKey(path, token, paramsKey)
+	sh := c.shardFor(key)
+	sh.mu.RLock()
+	e, ok := sh.entries[key]
+	sh.mu.RUnlock()
+	if !ok || c.now().Sub(e.fetched) > maxAge || e.gen != c.projectGen(project) {
+		return ocl.Value{}, false, false
+	}
+	return e.val, e.present, true
+}
+
+// cachedPre serves the full pre-state from the cache alone — the Degrade
+// fail policy's fallback when the live snapshot fails. Entries may be
+// older than the read-cache TTL (a live snapshot would otherwise have
+// succeeded) but must be younger than the degrade window and of the
+// project's current generation. Every path must be served; one miss and
+// the fallback is refused (a partial pre-state would evaluate formulas
+// over silently-undefined values).
+func (m *Monitor) cachedPre(reqCtx *RequestContext, paths []string) (ocl.MapEnv, bool) {
+	if m.cache == nil {
+		return nil, false
+	}
+	project := reqCtx.Params["project_id"]
+	pk := paramsCacheKey(reqCtx.Params)
+	env := make(ocl.MapEnv, len(paths))
+	for _, p := range paths {
+		v, present, ok := m.cache.getStale(p, reqCtx.Token, pk, project, m.degradeTTL)
+		if !ok {
+			return nil, false
+		}
+		if present {
+			env[p] = v
+		}
+	}
+	return env, true
 }
 
 // preSnapshot resolves the pre-state, serving paths from the cache when

@@ -23,6 +23,7 @@
 package monitor
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -62,6 +63,43 @@ func (m Mode) String() string {
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
+// FailPolicy decides what a verdict means when the monitor cannot
+// snapshot cloud state (cloud flaky, slow, or shed by the circuit
+// breaker) — the degradation semantics a proxy monitor must make
+// explicit, because "no snapshot" is otherwise silently either an outage
+// amplifier or an enforcement hole.
+type FailPolicy int
+
+// Fail policies.
+const (
+	// FailClosed blocks the request when a snapshot fails: nothing
+	// unverifiable reaches the cloud. Availability is sacrificed for
+	// enforcement (the default, and the paper's implicit behaviour).
+	FailClosed FailPolicy = iota + 1
+	// FailOpen forwards the request anyway and records the verdict as
+	// Unverified: availability is preserved, the enforcement gap is made
+	// auditable instead of silent.
+	FailOpen
+	// Degrade falls back to the pre-state read cache (fresh within its
+	// TTL and generation) when the live snapshot fails; with no usable
+	// cached state it behaves like FailClosed. Requires the pre-state
+	// cache to be enabled.
+	Degrade
+)
+
+// String returns the policy name.
+func (p FailPolicy) String() string {
+	switch p {
+	case FailClosed:
+		return "fail-closed"
+	case FailOpen:
+		return "fail-open"
+	case Degrade:
+		return "degrade"
+	}
+	return fmt.Sprintf("FailPolicy(%d)", int(p))
+}
+
 // Outcome classifies a monitored request.
 type Outcome int
 
@@ -86,6 +124,12 @@ const (
 	// Error: the monitor itself failed (cloud unreachable, evaluation
 	// error); no verdict about the cloud is implied.
 	Error
+	// Unverified: a snapshot failed but the fail policy let the request
+	// through (FailOpen, or Degrade without usable cached state for the
+	// post-check) — the request was forwarded and answered, but the
+	// contract was not (fully) verified. Auditors must treat these as
+	// gaps, not as passes.
+	Unverified
 )
 
 // String returns the outcome name.
@@ -105,6 +149,8 @@ func (o Outcome) String() string {
 		return "violation:postcondition"
 	case Error:
 		return "error"
+	case Unverified:
+		return "unverified"
 	}
 	return fmt.Sprintf("Outcome(%d)", int(o))
 }
@@ -173,6 +219,9 @@ type Verdict struct {
 	PreOK     bool
 	PostOK    bool
 	Forwarded bool
+	// DegradedPre marks a verdict whose pre-state came from the cache
+	// after the live snapshot failed (FailPolicy Degrade).
+	DegradedPre bool
 	// BackendStatus is the cloud's response code (0 when not forwarded).
 	BackendStatus int
 	// SecReqs are the security requirements attached to the contract.
@@ -237,6 +286,10 @@ type Config struct {
 	Mode Mode
 	// Level defaults to CheckFull.
 	Level CheckLevel
+	// FailPolicy decides the verdict when a state snapshot fails
+	// (defaults to FailClosed). Degrade additionally requires
+	// PreStateCacheTTL > 0.
+	FailPolicy FailPolicy
 	// MaxLog bounds the in-memory verdict log (default 1024).
 	MaxLog int
 	// OnVerdict, if set, is invoked synchronously with every recorded
@@ -249,6 +302,13 @@ type Config struct {
 	// that bypass the monitor are only seen after the TTL expires. Leave
 	// zero for strict per-request snapshots (the paper's workflow).
 	PreStateCacheTTL time.Duration
+	// DegradeTTL bounds how stale a cached pre-state the Degrade fail
+	// policy may substitute for a failed live snapshot. It is
+	// deliberately wider than PreStateCacheTTL — within the read-cache
+	// TTL a live snapshot would not have been attempted at all — but
+	// entries invalidated by a forwarded write are never served
+	// regardless of age. Default 10 × PreStateCacheTTL.
+	DegradeTTL time.Duration
 }
 
 // Monitor is the cloud monitor. Safe for concurrent use.
@@ -256,12 +316,14 @@ type Monitor struct {
 	contracts *contract.Set
 	routes    []compiledRoute
 	byMethod  map[string][]*compiledRoute
-	provider  StateProvider
-	forward   Forwarder
-	mode      Mode
-	level     CheckLevel
-	onVerdict func(Verdict)
-	cache     *snapshotCache
+	provider   StateProvider
+	forward    Forwarder
+	mode       Mode
+	level      CheckLevel
+	failPolicy FailPolicy
+	degradeTTL time.Duration
+	onVerdict  func(Verdict)
+	cache      *snapshotCache
 
 	// The verdict log and coverage counters are sharded to keep the
 	// record() critical section off the proxy's critical path under
@@ -318,19 +380,27 @@ func New(cfg Config) (*Monitor, error) {
 	if level == 0 {
 		level = CheckFull
 	}
+	policy := cfg.FailPolicy
+	if policy == 0 {
+		policy = FailClosed
+	}
+	if policy == Degrade && cfg.PreStateCacheTTL <= 0 {
+		return nil, fmt.Errorf("monitor: fail policy %s requires PreStateCacheTTL > 0", policy)
+	}
 	maxLog := cfg.MaxLog
 	if maxLog <= 0 {
 		maxLog = 1024
 	}
 	m := &Monitor{
-		contracts: cfg.Contracts,
-		provider:  cfg.Provider,
-		forward:   cfg.Forward,
-		mode:      mode,
-		level:     level,
-		onVerdict: cfg.OnVerdict,
-		maxLog:    maxLog,
-		shardMax:  (maxLog + logShards - 1) / logShards,
+		contracts:  cfg.Contracts,
+		provider:   cfg.Provider,
+		forward:    cfg.Forward,
+		mode:       mode,
+		level:      level,
+		failPolicy: policy,
+		onVerdict:  cfg.OnVerdict,
+		maxLog:     maxLog,
+		shardMax:   (maxLog + logShards - 1) / logShards,
 	}
 	if m.shardMax < 1 {
 		m.shardMax = 1
@@ -340,6 +410,10 @@ func New(cfg Config) (*Monitor, error) {
 	}
 	if cfg.PreStateCacheTTL > 0 {
 		m.cache = newSnapshotCache(cfg.PreStateCacheTTL)
+		m.degradeTTL = cfg.DegradeTTL
+		if m.degradeTTL <= 0 {
+			m.degradeTTL = 10 * cfg.PreStateCacheTTL
+		}
 	}
 	seen := make(map[string]bool, len(cfg.Routes))
 	for _, r := range cfg.Routes {
@@ -385,6 +459,9 @@ func (m *Monitor) Mode() Mode { return m.mode }
 
 // Level returns the monitor's check level.
 func (m *Monitor) Level() CheckLevel { return m.level }
+
+// FailPolicy returns the monitor's snapshot-failure policy.
+func (m *Monitor) FailPolicy() FailPolicy { return m.failPolicy }
 
 // ServeHTTP implements the proxy entry point.
 func (m *Monitor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -434,7 +511,33 @@ func (m *Monitor) check(r *http.Request, cr *compiledRoute, params map[string]st
 
 	paths := cr.paths
 	pre, err := m.preSnapshot(reqCtx, paths)
+	if err != nil && m.failPolicy == Degrade {
+		// Degrade: a recent cached pre-state (within the degrade window,
+		// generation-valid) substitutes for the failed live snapshot;
+		// without one the policy falls through to fail-closed below.
+		if cached, ok := m.cachedPre(reqCtx, paths); ok {
+			pre, err = cached, nil
+			v.DegradedPre = true
+		}
+	}
 	if err != nil {
+		if m.failPolicy == FailOpen {
+			// FailOpen: forward unverified rather than amplify the cloud's
+			// flakiness into blocked requests; the gap is recorded.
+			resp, ferr := m.forward.Forward(r, &cr.route, params)
+			if ferr != nil {
+				return finish(Error, fmt.Sprintf(
+					"pre-state snapshot: %v; forward to cloud: %v", err, ferr)), nil
+			}
+			v.Forwarded = true
+			v.BackendStatus = resp.StatusCode
+			if m.cache != nil && r.Method != http.MethodGet {
+				m.cache.invalidateProject(params["project_id"])
+			}
+			return finish(Unverified, fmt.Sprintf("pre-state snapshot failed (fail-open): %v", err)), resp
+		}
+		// FailClosed (and Degrade with a cold cache): nothing
+		// unverifiable reaches the cloud.
 		return finish(Error, fmt.Sprintf("pre-state snapshot: %v", err)), nil
 	}
 	v.PreSnapshot = pre
@@ -487,6 +590,14 @@ func (m *Monitor) check(r *http.Request, cr *compiledRoute, params map[string]st
 
 	post, err := m.provider.Snapshot(reqCtx, paths)
 	if err != nil {
+		// The response is already in hand; under FailOpen and Degrade the
+		// missing effect-check is recorded as an enforcement gap rather
+		// than a monitor error (Degrade cannot substitute a cache here —
+		// the post-condition verifies this request's own effect).
+		if m.failPolicy == FailOpen || m.failPolicy == Degrade {
+			return finish(Unverified, fmt.Sprintf(
+				"post-state snapshot failed (%s): %v", m.failPolicy, err)), resp
+		}
 		return finish(Error, fmt.Sprintf("post-state snapshot: %v", err)), resp
 	}
 	v.PostSnapshot = post
@@ -546,7 +657,9 @@ type violationBody struct {
 // contract holds, or a violation document.
 func (m *Monitor) respond(w http.ResponseWriter, v Verdict, resp *BackendResponse) {
 	switch v.Outcome {
-	case OK, Rejected:
+	case OK, Rejected, Unverified:
+		// Unverified: the fail policy decided the cloud's answer stands
+		// even though the contract could not be (fully) checked.
 		writeBackend(w, resp)
 	case Blocked:
 		httpkit.WriteError(w, httpkit.Errorf(http.StatusPreconditionFailed,
@@ -741,18 +854,24 @@ func matchSegments(pattern, segs []string) (map[string]string, bool) {
 type HTTPForwarder struct {
 	// BaseURL is the private cloud's root URL.
 	BaseURL string
-	// Client defaults to http.DefaultClient.
+	// Client defaults to a pooled client bounded by the shared
+	// httpkit.DefaultCloudTimeout knob.
 	Client *http.Client
+	// Timeout, when positive, bounds each forwarded request with a
+	// context deadline — the same knob the snapshot client derives its
+	// per-attempt deadline from, so the two cloud-facing paths cannot
+	// silently drift apart.
+	Timeout time.Duration
 }
 
 var _ Forwarder = (*HTTPForwarder)(nil)
 
 // defaultForwardClient pools connections to the backend cloud: the proxy
 // forwards every request to the same host, so the idle-connection cap is
-// raised past net/http's per-host default of 2, and a timeout bounds how
-// long a hung cloud can stall a monitored request.
+// raised past net/http's per-host default of 2, and the shared cloud
+// timeout bounds how long a hung cloud can stall a monitored request.
 var defaultForwardClient = &http.Client{
-	Timeout: 30 * time.Second,
+	Timeout: httpkit.DefaultCloudTimeout,
 	Transport: func() *http.Transport {
 		t := http.DefaultTransport.(*http.Transport).Clone()
 		t.MaxIdleConns = 256
@@ -777,7 +896,13 @@ func (f *HTTPForwarder) Forward(r *http.Request, route *Route, params map[string
 			body = strings.NewReader(string(data))
 		}
 	}
-	req, err := http.NewRequest(r.Method, f.BaseURL+target, body)
+	ctx := r.Context()
+	if f.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.Timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, f.BaseURL+target, body)
 	if err != nil {
 		return nil, fmt.Errorf("monitor: build backend request: %w", err)
 	}

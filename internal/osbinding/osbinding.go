@@ -28,6 +28,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cloudmon/internal/contract"
 	"cloudmon/internal/monitor"
@@ -61,6 +62,17 @@ type Provider struct {
 	// per request (which multiplies under concurrent proxy load). Zero
 	// selects DefaultMaxParallel.
 	MaxParallel int
+
+	// Retry configures the backoff loop every cloud read runs under. The
+	// zero value selects the defaults (3 attempts, 10ms base, 4x growth,
+	// ±50% jitter); set MaxAttempts to 1 to disable retries.
+	Retry osclient.RetryPolicy
+
+	// Breaker, when non-nil, sheds snapshot reads while the cloud is down
+	// instead of queueing retries against it; shed reads surface as
+	// snapshot errors, which the monitor resolves through its fail
+	// policy.
+	Breaker *osclient.Breaker
 
 	mu sync.Mutex
 	// token caches the service-account token; refreshed on 401.
@@ -108,23 +120,61 @@ func (p *Provider) invalidateToken() {
 	p.token = ""
 }
 
-// withRetry runs fn with an authenticated client, retrying once after
-// re-authentication if the cloud answers 401 (expired service token).
+// withRetry runs fn — a read against the cloud — with an authenticated
+// client under the provider's retry policy. All current callers are GET
+// resolvers, hence idempotent.
 func (p *Provider) withRetry(fn func(c *osclient.Client) error) error {
-	c, err := p.authedClient()
-	if err != nil {
-		return err
+	return p.retryDo(true, fn)
+}
+
+// retryDo is the provider's retry loop: exponential backoff with jitter,
+// a fresh per-attempt context deadline, an optional wall-clock budget,
+// and re-authentication whenever the cloud answers 401 (expired service
+// token — a pre-application failure, so re-sending is always safe).
+//
+// idempotent declares whether fn may be re-sent after a failure that
+// could already have been applied. Non-idempotent operations (POST/PUT
+// writes) are retried only on a 401 response: the cloud rejected the
+// token before acting on the body, so the first attempt provably had no
+// effect. A transport error or 5xx on a write is NOT retried — the write
+// may have landed, and re-sending it is the double-apply bug.
+func (p *Provider) retryDo(idempotent bool, fn func(c *osclient.Client) error) error {
+	pol := p.Retry.WithDefaults()
+	var deadline time.Time
+	if pol.Budget > 0 {
+		deadline = time.Now().Add(pol.Budget)
 	}
-	err = fn(c)
-	if osclient.IsStatus(err, http.StatusUnauthorized) {
-		p.invalidateToken()
-		c, err = p.authedClient()
-		if err != nil {
+	for attempt := 1; ; attempt++ {
+		if p.Breaker != nil && !p.Breaker.Allow() {
+			return fmt.Errorf("osbinding: snapshot shed: %w", osclient.ErrCircuitOpen)
+		}
+		c, err := p.authedClient()
+		if err == nil {
+			if pol.PerAttemptTimeout > 0 {
+				cp := *c
+				cp.Timeout = pol.PerAttemptTimeout
+				c = &cp
+			}
+			err = fn(c)
+		}
+		if p.Breaker != nil {
+			p.Breaker.Record(!osclient.Infrastructure(err))
+		}
+		if err == nil {
+			return nil
+		}
+		if osclient.IsStatus(err, http.StatusUnauthorized) {
+			p.invalidateToken()
+		}
+		if !osclient.RetryableFor(err, idempotent) || attempt >= pol.MaxAttempts {
 			return err
 		}
-		err = fn(c)
+		sleep := pol.Backoff(attempt, nil)
+		if !deadline.IsZero() && time.Now().Add(sleep).After(deadline) {
+			return err
+		}
+		time.Sleep(sleep)
 	}
-	return err
 }
 
 // Snapshot implements monitor.StateProvider. Paths are independent REST

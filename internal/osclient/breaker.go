@@ -1,0 +1,149 @@
+package osclient
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned (wrapped) by callers that shed a request
+// because the breaker is open — the cloud is down and probing it again
+// immediately would only add load and latency.
+var ErrCircuitOpen = errors.New("osclient: circuit breaker open")
+
+// BreakerConfig tunes the circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the run of consecutive infrastructure failures
+	// that opens the circuit (default 5).
+	FailureThreshold int
+	// Cooldown is how long the circuit stays open before letting probe
+	// traffic through (default 1s).
+	Cooldown time.Duration
+	// HalfOpenProbes is how many concurrent probes the half-open state
+	// admits (default 1).
+	HalfOpenProbes int
+}
+
+// withDefaults fills unset knobs.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	return c
+}
+
+// Breaker state names.
+const (
+	StateClosed   = "closed"
+	StateOpen     = "open"
+	StateHalfOpen = "half-open"
+)
+
+// Breaker is a small three-state circuit breaker for the snapshot path:
+// closed passes everything, a run of consecutive infrastructure failures
+// opens it, and after a cooldown it half-opens to admit a bounded number
+// of probes — one success closes it again, one failure re-opens it.
+// Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    string
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	inflight int       // admitted probes while half-open
+	shed     uint64    // requests rejected while open
+
+	// now is the clock (tests override it).
+	now func() time.Time
+}
+
+// NewBreaker builds a breaker from the config.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), state: StateClosed, now: time.Now}
+}
+
+// Allow reports whether a request may proceed. A false return means the
+// caller must fail fast with ErrCircuitOpen (the request was shed).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = StateHalfOpen
+			b.inflight = 1
+			return true
+		}
+		b.shed++
+		return false
+	default: // half-open
+		if b.inflight < b.cfg.HalfOpenProbes {
+			b.inflight++
+			return true
+		}
+		b.shed++
+		return false
+	}
+}
+
+// Record reports an attempt's outcome. Only infrastructure failures count
+// against the circuit (pass Infrastructure(err) or equivalent); API-level
+// answers like 404 are successes from the breaker's point of view.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		if ok {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			b.open()
+		}
+	case StateHalfOpen:
+		if b.inflight > 0 {
+			b.inflight--
+		}
+		if ok {
+			b.state = StateClosed
+			b.fails = 0
+			return
+		}
+		b.open()
+	case StateOpen:
+		// A late result from before the circuit opened; nothing to do.
+	}
+}
+
+// open transitions to the open state; callers hold the lock.
+func (b *Breaker) open() {
+	b.state = StateOpen
+	b.openedAt = b.now()
+	b.fails = 0
+	b.inflight = 0
+}
+
+// State returns the current state name.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Shed returns how many requests the breaker has rejected so far.
+func (b *Breaker) Shed() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.shed
+}

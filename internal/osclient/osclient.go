@@ -7,12 +7,15 @@ package osclient
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"time"
 
+	"cloudmon/internal/httpkit"
 	"cloudmon/internal/openstack/cinder"
 	"cloudmon/internal/openstack/keystone"
 	"cloudmon/internal/openstack/nova"
@@ -30,10 +33,11 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("http %d: %s", e.Status, e.Message)
 }
 
-// IsStatus reports whether err is a StatusError with the given code.
+// IsStatus reports whether err is (or wraps) a StatusError with the given
+// code.
 func IsStatus(err error, code int) bool {
-	se, ok := err.(*StatusError)
-	return ok && se.Status == code
+	var se *StatusError
+	return errors.As(err, &se) && se.Status == code
 }
 
 // Client talks to one base URL with an optional bearer token.
@@ -42,8 +46,14 @@ type Client struct {
 	BaseURL string
 	// Token is sent as X-Auth-Token when non-empty.
 	Token string
-	// HTTPClient defaults to http.DefaultClient.
+	// HTTPClient defaults to a pooled client bounded by
+	// httpkit.DefaultCloudTimeout.
 	HTTPClient *http.Client
+	// Timeout, when positive, bounds each individual request with a
+	// context deadline — the per-attempt deadline retry loops rely on.
+	// It applies on top of (and usually under) the HTTP client's own
+	// overall timeout.
+	Timeout time.Duration
 }
 
 // New returns a client for the base URL.
@@ -71,8 +81,9 @@ var defaultTransport = func() *http.Transport {
 }()
 
 // defaultClient bounds request latency so a hung cloud cannot stall the
-// monitor indefinitely.
-var defaultClient = &http.Client{Timeout: 15 * time.Second, Transport: defaultTransport}
+// monitor indefinitely. The bound derives from the one shared knob
+// (httpkit.DefaultCloudTimeout) the monitor's forwarder also uses.
+var defaultClient = &http.Client{Timeout: httpkit.DefaultCloudTimeout, Transport: defaultTransport}
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
@@ -86,6 +97,18 @@ func (c *Client) httpClient() *http.Client {
 // response status code; non-2xx responses additionally return a
 // *StatusError. extraHeaders are applied verbatim.
 func (c *Client) Do(method, path string, in, out any, extraHeaders map[string]string) (int, error) {
+	return c.DoCtx(context.Background(), method, path, in, out, extraHeaders)
+}
+
+// DoCtx is Do bounded by ctx; the client's Timeout (when set) additionally
+// arms a per-request deadline, so a retry loop passing a long-lived ctx
+// still gets fresh per-attempt deadlines.
+func (c *Client) DoCtx(ctx context.Context, method, path string, in, out any, extraHeaders map[string]string) (int, error) {
+	if c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
 	var body io.Reader
 	if in != nil {
 		data, err := json.Marshal(in)
@@ -94,7 +117,7 @@ func (c *Client) Do(method, path string, in, out any, extraHeaders map[string]st
 		}
 		body = bytes.NewReader(data)
 	}
-	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return 0, fmt.Errorf("osclient: new request: %w", err)
 	}
@@ -173,7 +196,13 @@ func (c *Client) Authenticate(userName, password, projectID string) (string, err
 	if err != nil {
 		return "", fmt.Errorf("osclient: marshal auth: %w", err)
 	}
-	httpReq, err := http.NewRequest(http.MethodPost, c.BaseURL+"/identity/v3/auth/tokens", bytes.NewReader(body))
+	ctx := context.Background()
+	if c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/identity/v3/auth/tokens", bytes.NewReader(body))
 	if err != nil {
 		return "", fmt.Errorf("osclient: new auth request: %w", err)
 	}

@@ -1,0 +1,161 @@
+package osclient
+
+import (
+	"errors"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// RetryPolicy configures the exponential-backoff retry loops that sit on
+// top of the client (the osbinding snapshot provider is the main user).
+// The zero value means "use the defaults"; explicit fields override.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 3). 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 10ms).
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep (default 500ms).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff per attempt (default 4).
+	Multiplier float64
+	// Jitter widens each sleep to [d*(1-Jitter), d*(1+Jitter)] so
+	// synchronized retries don't stampede a recovering cloud
+	// (default 0.5; set negative for none).
+	Jitter float64
+	// PerAttemptTimeout bounds each individual attempt with a context
+	// deadline (default httpkit.DefaultCloudTimeout via the client; zero
+	// leaves the client's own Timeout in charge).
+	PerAttemptTimeout time.Duration
+	// Budget caps the whole loop — attempts plus backoff sleeps — in
+	// wall-clock time. Zero means no budget beyond MaxAttempts.
+	Budget time.Duration
+}
+
+// Default-policy knobs.
+const (
+	defaultRetryAttempts   = 3
+	defaultRetryBase       = 10 * time.Millisecond
+	defaultRetryMax        = 500 * time.Millisecond
+	defaultRetryMultiplier = 4.0
+	defaultRetryJitter     = 0.5
+)
+
+// WithDefaults fills unset fields with the default policy.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = defaultRetryAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = defaultRetryBase
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = defaultRetryMax
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = defaultRetryMultiplier
+	}
+	if p.Jitter == 0 {
+		p.Jitter = defaultRetryJitter
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	return p
+}
+
+// Backoff returns the sleep before attempt+1 (attempt counts from 1), with
+// jitter drawn from rng (nil uses the global source).
+func (p RetryPolicy) Backoff(attempt int, rng *rand.Rand) time.Duration {
+	p = p.WithDefaults()
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.Jitter > 0 {
+		f := rand.Float64
+		if rng != nil {
+			f = rng.Float64
+		}
+		d *= 1 + p.Jitter*(2*f()-1)
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// IdempotentMethod reports whether re-sending the method can never apply
+// an effect twice. Deliberately conservative: DELETE and PUT are
+// idempotent by HTTP semantics, but re-sending them changes the observed
+// response (a second DELETE answers 404) and the monitor's post-state, so
+// only the read methods qualify.
+func IdempotentMethod(method string) bool {
+	switch method {
+	case http.MethodGet, http.MethodHead, http.MethodOptions:
+		return true
+	}
+	return false
+}
+
+// Retryable classifies err for a retry loop driving the given method.
+//
+// A 401 StatusError is always retryable: the cloud's auth middleware
+// rejected the token before the operation body was acted on, so the
+// failure is provably pre-application — re-sending (after re-auth) cannot
+// double-apply, even for a POST. Server-side 5xx and 429 answers, and
+// transport-level failures (resets, timeouts, truncated bodies), are
+// retryable only for idempotent methods: a write interrupted mid-flight
+// may already have been applied, and blindly re-sending it is the
+// double-apply bug this function exists to prevent.
+func Retryable(err error, method string) bool {
+	return RetryableFor(err, IdempotentMethod(method))
+}
+
+// RetryableFor is Retryable with the idempotency decided by the caller
+// (closure-style retry loops know whether their operation is a read).
+func RetryableFor(err error, idempotent bool) bool {
+	if err == nil {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		if se.Status == http.StatusUnauthorized {
+			return true
+		}
+		switch se.Status {
+		case http.StatusTooManyRequests,
+			http.StatusInternalServerError,
+			http.StatusBadGateway,
+			http.StatusServiceUnavailable,
+			http.StatusGatewayTimeout:
+			return idempotent
+		}
+		return false
+	}
+	// Transport failure or undecodable response: the request may or may
+	// not have been applied.
+	return idempotent
+}
+
+// Infrastructure reports whether err signals cloud-infrastructure trouble
+// (the kind a circuit breaker should count) rather than a meaningful API
+// answer like 404 or 403.
+func Infrastructure(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Status >= 500 || se.Status == http.StatusTooManyRequests
+	}
+	return true
+}

@@ -1,0 +1,191 @@
+package osclient
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	p := RetryPolicy{}.WithDefaults()
+	if p.MaxAttempts != 3 || p.BaseDelay != 10*time.Millisecond || p.MaxDelay != 500*time.Millisecond {
+		t.Fatalf("defaults = %+v", p)
+	}
+	if p.Multiplier != 4.0 || p.Jitter != 0.5 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	custom := RetryPolicy{MaxAttempts: 7, Jitter: -1}.WithDefaults()
+	if custom.MaxAttempts != 7 {
+		t.Fatalf("explicit MaxAttempts overridden: %+v", custom)
+	}
+	if custom.Jitter != 0 {
+		t.Fatalf("negative Jitter should mean none, got %v", custom.Jitter)
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond,
+		Multiplier: 4, Jitter: -1}
+	want := []time.Duration{
+		10 * time.Millisecond,  // attempt 1
+		40 * time.Millisecond,  // attempt 2
+		100 * time.Millisecond, // attempt 3: 160ms capped
+		100 * time.Millisecond, // stays capped
+	}
+	for i, w := range want {
+		if got := p.Backoff(i+1, nil); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterStaysBounded(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second,
+		Multiplier: 2, Jitter: 0.5}
+	rng := rand.New(rand.NewSource(1))
+	lo, hi := 50*time.Millisecond, 150*time.Millisecond
+	varied := false
+	first := p.Backoff(1, rng)
+	for i := 0; i < 200; i++ {
+		d := p.Backoff(1, rng)
+		if d < lo || d > hi {
+			t.Fatalf("jittered backoff %v outside [%v, %v]", d, lo, hi)
+		}
+		if d != first {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter produced a constant backoff")
+	}
+}
+
+func TestIdempotentMethod(t *testing.T) {
+	for _, m := range []string{http.MethodGet, http.MethodHead, http.MethodOptions} {
+		if !IdempotentMethod(m) {
+			t.Errorf("%s should be idempotent", m)
+		}
+	}
+	// PUT and DELETE are idempotent in HTTP but re-sending them changes
+	// the observed response and post-state, so the retry loop treats them
+	// as writes.
+	for _, m := range []string{http.MethodPost, http.MethodPut, http.MethodDelete, http.MethodPatch} {
+		if IdempotentMethod(m) {
+			t.Errorf("%s must not be auto-retried", m)
+		}
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	status := func(code int) error { return &StatusError{Status: code, Message: "x"} }
+	wrapped := fmt.Errorf("resolve: %w", status(503))
+	transport := errors.New("connection reset")
+
+	cases := []struct {
+		name       string
+		err        error
+		idempotent bool
+		want       bool
+	}{
+		{"401 on a write is pre-application, retryable", status(401), false, true},
+		{"401 on a read", status(401), true, true},
+		{"503 on a read", status(503), true, true},
+		{"503 on a write may have applied", status(503), false, false},
+		{"wrapped 503 on a read", wrapped, true, true},
+		{"429 on a read", status(429), true, true},
+		{"404 is an answer, not a failure", status(404), true, false},
+		{"403 is an answer", status(403), true, false},
+		{"transport error on a read", transport, true, true},
+		{"transport error on a write may have applied", transport, false, false},
+		{"nil error", nil, true, false},
+	}
+	for _, tc := range cases {
+		if got := RetryableFor(tc.err, tc.idempotent); got != tc.want {
+			t.Errorf("%s: RetryableFor = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if !Retryable(status(500), http.MethodGet) || Retryable(status(500), http.MethodPost) {
+		t.Error("Retryable must derive idempotency from the method")
+	}
+}
+
+func TestInfrastructureClassification(t *testing.T) {
+	status := func(code int) error { return &StatusError{Status: code, Message: "x"} }
+	if !Infrastructure(status(503)) || !Infrastructure(status(429)) || !Infrastructure(errors.New("reset")) {
+		t.Error("5xx/429/transport must count as infrastructure failures")
+	}
+	if Infrastructure(status(404)) || Infrastructure(status(403)) || Infrastructure(nil) {
+		t.Error("API answers (and nil) must not trip the breaker")
+	}
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: time.Minute})
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker must allow")
+		}
+		b.Record(false)
+	}
+	// A success resets the run.
+	b.Allow()
+	b.Record(true)
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Record(false)
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("state %s after threshold failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	if b.Shed() != 1 {
+		t.Fatalf("Shed() = %d, want 1", b.Shed())
+	}
+}
+
+func TestBreakerHalfOpenProbeLifecycle(t *testing.T) {
+	clock := time.Now()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second, HalfOpenProbes: 1})
+	b.now = func() time.Time { return clock }
+
+	b.Allow()
+	b.Record(false)
+	if b.State() != StateOpen {
+		t.Fatalf("state %s, want open", b.State())
+	}
+
+	clock = clock.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed: a probe must be admitted")
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state %s, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe exceeded HalfOpenProbes")
+	}
+
+	// Probe fails: back to open, full cooldown again.
+	b.Record(false)
+	if b.State() != StateOpen || b.Allow() {
+		t.Fatal("failed probe must reopen the circuit")
+	}
+
+	// Next cooldown, successful probe closes it.
+	clock = clock.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe not admitted after second cooldown")
+	}
+	b.Record(true)
+	if b.State() != StateClosed {
+		t.Fatalf("state %s after successful probe, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow")
+	}
+}
