@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet lint test race cover bench fuzz chaos examples experiments artifacts
+.PHONY: all build vet lint test race cover bench fuzz chaos obs examples experiments artifacts
 
 all: build vet lint test
 
@@ -44,6 +44,17 @@ chaos:
 	go test -race -run 'TestSoakChaos' ./internal/loadgen/
 	go run ./cmd/loadmon -scenario cinder-mixed -requests 600 -clients 16 \
 		-faults internal/faults/testdata/chaos.json -fail-policy open -verify
+
+# Observability smoke: a chaotic loadmon run writing an audit trail,
+# verified three ways (verdict counters ≡ /metrics ≡ audit records),
+# then the trail inspected and chain-checked with auditctl.
+obs:
+	rm -rf /tmp/cloudmon-obs-audit
+	go run ./cmd/loadmon -scenario cinder-mixed -requests 600 -clients 16 \
+		-faults internal/faults/testdata/chaos.json -fail-policy open \
+		-audit-dir /tmp/cloudmon-obs-audit -verify
+	go run ./cmd/auditctl verify -dir /tmp/cloudmon-obs-audit
+	go run ./cmd/auditctl summarize -dir /tmp/cloudmon-obs-audit
 
 examples:
 	go run ./examples/quickstart

@@ -1,0 +1,341 @@
+// Command auditctl queries the cloud monitor's audit trail — the
+// append-only JSONL chain an obs.AuditLog writes — without the monitor
+// process:
+//
+//	auditctl list -dir audit/ -secreq 1.3 -outcome rejected
+//	auditctl summarize -dir audit/
+//	auditctl verify -dir audit/
+//
+// list filters records (by SecReq, outcome, resource, time window) and
+// prints one line per record, or full JSON with -json. summarize
+// tallies the trail per outcome, SecReq and trigger, and condenses the
+// recorded stage timings. verify checks the chain: contiguous segment
+// indices, contiguous sequence numbers, no torn lines — exit status 1
+// when the trail has a hole.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"cloudmon/internal/obs"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "auditctl:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func usage(out io.Writer) {
+	fmt.Fprintln(out, `usage: auditctl <list|summarize|verify> -dir <audit-dir> [flags]
+
+  list       print records, optionally filtered (-secreq -outcome -resource -since -until -json)
+  summarize  tally the trail per outcome, SecReq and trigger
+  verify     check the chain (segments, sequence, torn lines); exit 1 on problems`)
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	if len(args) == 0 {
+		usage(out)
+		return 2, nil
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "list":
+		return runList(rest, out)
+	case "summarize":
+		return runSummarize(rest, out)
+	case "verify":
+		return runVerify(rest, out)
+	case "help", "-h", "-help", "--help":
+		usage(out)
+		return 0, nil
+	}
+	usage(out)
+	return 2, fmt.Errorf("unknown subcommand %q", cmd)
+}
+
+// filter is the record predicate list shares across flags.
+type filter struct {
+	secReq   string
+	outcome  string
+	resource string
+	since    time.Time
+	until    time.Time
+}
+
+func (f *filter) match(rec *obs.AuditRecord) bool {
+	if f.secReq != "" {
+		found := false
+		for _, s := range rec.SecReqs {
+			if s == f.secReq {
+				found = true
+				break
+			}
+		}
+		if !found {
+			for _, s := range rec.MatchedSecReqs {
+				if s == f.secReq {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if f.outcome != "" && rec.Outcome != f.outcome {
+		return false
+	}
+	if f.resource != "" && rec.Resource != f.resource {
+		return false
+	}
+	ts := rec.TimeStamp()
+	if !f.since.IsZero() && ts.Before(f.since) {
+		return false
+	}
+	if !f.until.IsZero() && ts.After(f.until) {
+		return false
+	}
+	return true
+}
+
+// parseWhen accepts RFC 3339 or a Unix-seconds integer.
+func parseWhen(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return t, nil
+	}
+	var secs int64
+	if _, err := fmt.Sscanf(s, "%d", &secs); err == nil {
+		return time.Unix(secs, 0), nil
+	}
+	return time.Time{}, fmt.Errorf("bad time %q (want RFC 3339 or Unix seconds)", s)
+}
+
+func runList(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("auditctl list", flag.ContinueOnError)
+	dir := fs.String("dir", "", "audit directory (required)")
+	secReq := fs.String("secreq", "", "keep records naming this SecReq ID")
+	outcome := fs.String("outcome", "", "keep records with this outcome (e.g. rejected, violation:postcondition)")
+	resource := fs.String("resource", "", "keep records for this resource (e.g. volume)")
+	since := fs.String("since", "", "keep records at or after this time (RFC 3339 or Unix seconds)")
+	until := fs.String("until", "", "keep records at or before this time")
+	jsonOut := fs.Bool("json", false, "print full records as JSON lines")
+	limit := fs.Int("limit", 0, "stop after this many records (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *dir == "" {
+		return 2, fmt.Errorf("list: -dir is required")
+	}
+	f := filter{secReq: *secReq, outcome: *outcome, resource: *resource}
+	var err error
+	if f.since, err = parseWhen(*since); err != nil {
+		return 2, err
+	}
+	if f.until, err = parseWhen(*until); err != nil {
+		return 2, err
+	}
+	res, err := obs.ReadAuditDir(*dir)
+	if err != nil {
+		return 2, err
+	}
+	enc := json.NewEncoder(out)
+	shown := 0
+	for i := range res.Records {
+		rec := &res.Records[i]
+		if !f.match(rec) {
+			continue
+		}
+		if *jsonOut {
+			if err := enc.Encode(rec); err != nil {
+				return 2, err
+			}
+		} else {
+			secs := strings.Join(rec.SecReqs, ",")
+			if secs == "" {
+				secs = "-"
+			}
+			fmt.Fprintf(out, "%6d  %s  %-24s %-8s %-28s secreqs=%s  %s\n",
+				rec.Seq, rec.TimeStamp().UTC().Format(time.RFC3339), rec.Outcome,
+				rec.Method, rec.Resource, secs, rec.Detail)
+		}
+		shown++
+		if *limit > 0 && shown >= *limit {
+			break
+		}
+	}
+	if !*jsonOut {
+		fmt.Fprintf(out, "%d of %d records matched", shown, len(res.Records))
+		if len(res.Torn) > 0 {
+			fmt.Fprintf(out, " (%d torn lines skipped)", len(res.Torn))
+		}
+		fmt.Fprintln(out)
+	}
+	return 0, nil
+}
+
+// summary is the JSON document summarize emits.
+type summary struct {
+	Records   int                         `json:"records"`
+	Segments  int                         `json:"segments"`
+	Torn      int                         `json:"torn"`
+	First     string                      `json:"first,omitempty"`
+	Last      string                      `json:"last,omitempty"`
+	Outcomes  map[string]int              `json:"outcomes"`
+	SecReqs   map[string]int              `json:"sec_reqs"`
+	Triggers  map[string]int              `json:"triggers"`
+	NoSecReqs map[string]int              `json:"records_without_secreqs,omitempty"`
+	Stages    map[string]obs.StageSummary `json:"stages,omitempty"`
+}
+
+func runSummarize(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("auditctl summarize", flag.ContinueOnError)
+	dir := fs.String("dir", "", "audit directory (required)")
+	jsonOut := fs.Bool("json", false, "emit the summary as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *dir == "" {
+		return 2, fmt.Errorf("summarize: -dir is required")
+	}
+	res, err := obs.ReadAuditDir(*dir)
+	if err != nil {
+		return 2, err
+	}
+	sum := summary{
+		Records:   len(res.Records),
+		Segments:  len(res.Segments),
+		Torn:      len(res.Torn),
+		Outcomes:  map[string]int{},
+		SecReqs:   map[string]int{},
+		Triggers:  map[string]int{},
+		NoSecReqs: map[string]int{},
+	}
+	// Re-aggregate the recorded stage timings into histograms so the
+	// summary carries percentiles, not just counts.
+	stageHists := map[string]*obs.Histogram{}
+	for i := range res.Records {
+		rec := &res.Records[i]
+		sum.Outcomes[rec.Outcome]++
+		sum.Triggers[rec.Trigger]++
+		for _, s := range rec.SecReqs {
+			sum.SecReqs[s]++
+		}
+		if len(rec.SecReqs) == 0 {
+			sum.NoSecReqs[rec.Outcome]++
+		}
+		for stage, ns := range rec.StageNanos {
+			h, ok := stageHists[stage]
+			if !ok {
+				h = obs.NewDurationHistogram()
+				stageHists[stage] = h
+			}
+			h.Observe(time.Duration(ns))
+		}
+	}
+	if len(stageHists) > 0 {
+		sum.Stages = map[string]obs.StageSummary{}
+		for stage, h := range stageHists {
+			sum.Stages[stage] = obs.SummarizeHistogram(h.Snapshot())
+		}
+	}
+	if len(res.Records) > 0 {
+		sum.First = res.Records[0].TimeStamp().UTC().Format(time.RFC3339)
+		sum.Last = res.Records[len(res.Records)-1].TimeStamp().UTC().Format(time.RFC3339)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			return 2, err
+		}
+		return 0, nil
+	}
+	fmt.Fprintf(out, "%d records in %d segments (%d torn lines)\n", sum.Records, sum.Segments, sum.Torn)
+	if sum.First != "" {
+		fmt.Fprintf(out, "  window %s .. %s\n", sum.First, sum.Last)
+	}
+	printTally(out, "outcomes", sum.Outcomes)
+	printTally(out, "sec reqs", sum.SecReqs)
+	printTally(out, "triggers", sum.Triggers)
+	if len(sum.NoSecReqs) > 0 {
+		printTally(out, "records without secreqs", sum.NoSecReqs)
+	}
+	if len(sum.Stages) > 0 {
+		for _, name := range obs.StageNames() {
+			st, ok := sum.Stages[name]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(out, "  stage %-14s %6d spans  p50 %.0f  p95 %.0f  p99 %.0f µs\n",
+				name, st.Count, st.P50US, st.P95US, st.P99US)
+		}
+	}
+	return 0, nil
+}
+
+func printTally(out io.Writer, title string, m map[string]int) {
+	if len(m) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(out, "  %s:", title)
+	for _, k := range keys {
+		fmt.Fprintf(out, " %s=%d", k, m[k])
+	}
+	fmt.Fprintln(out)
+}
+
+func runVerify(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("auditctl verify", flag.ContinueOnError)
+	dir := fs.String("dir", "", "audit directory (required)")
+	jsonOut := fs.Bool("json", false, "emit the verification result as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *dir == "" {
+		return 2, fmt.Errorf("verify: -dir is required")
+	}
+	res, err := obs.VerifyAuditDir(*dir)
+	if err != nil {
+		return 2, err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return 2, err
+		}
+	} else {
+		fmt.Fprintf(out, "%d records in %d segments\n", res.Records, res.Segments)
+		for _, p := range res.Problems {
+			fmt.Fprintf(out, "  problem: %s\n", p)
+		}
+		if res.OK() {
+			fmt.Fprintln(out, "chain OK")
+		}
+	}
+	if !res.OK() {
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"cloudmon/internal/obs"
+)
+
+// writeTrail builds a small audit trail and returns its directory.
+func writeTrail(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	log, err := obs.OpenAuditLog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []*obs.AuditRecord{
+		{Trigger: "DELETE(volume)", Method: "DELETE", Resource: "volume",
+			Outcome: "blocked", SecReqs: []string{"1.4"}, Time: 1000},
+		{Trigger: "GET(volume)", Method: "GET", Resource: "volume",
+			Outcome: "rejected", SecReqs: []string{"1.1", "1.3"}, Time: 2000},
+		{Trigger: "POST(volume)", Method: "POST", Resource: "volume",
+			Outcome: "violation:postcondition", SecReqs: []string{"1.3"}, Time: 3000,
+			StageNanos: map[string]int64{"forward": 12000}},
+	}
+	for _, r := range recs {
+		log.Append(r)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestListFilters(t *testing.T) {
+	dir := writeTrail(t)
+	var sb strings.Builder
+	code, err := run([]string{"list", "-dir", dir, "-secreq", "1.3"}, &sb)
+	if err != nil || code != 0 {
+		t.Fatalf("list: code=%d err=%v", code, err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "2 of 3 records matched") {
+		t.Fatalf("secreq filter output:\n%s", out)
+	}
+	if strings.Contains(out, "DELETE") {
+		t.Fatalf("secreq filter leaked the DELETE record:\n%s", out)
+	}
+
+	sb.Reset()
+	if code, err := run([]string{"list", "-dir", dir, "-outcome", "blocked"}, &sb); err != nil || code != 0 {
+		t.Fatalf("list -outcome: code=%d err=%v", code, err)
+	}
+	if !strings.Contains(sb.String(), "1 of 3 records matched") {
+		t.Fatalf("outcome filter output:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	if code, err := run([]string{"list", "-dir", dir, "-json", "-outcome", "rejected"}, &sb); err != nil || code != 0 {
+		t.Fatalf("list -json: code=%d err=%v", code, err)
+	}
+	if !strings.Contains(sb.String(), `"sec_reqs":["1.1","1.3"]`) {
+		t.Fatalf("json output:\n%s", sb.String())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	dir := writeTrail(t)
+	var sb strings.Builder
+	code, err := run([]string{"summarize", "-dir", dir}, &sb)
+	if err != nil || code != 0 {
+		t.Fatalf("summarize: code=%d err=%v", code, err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"3 records in 1 segments",
+		"blocked=1",
+		"rejected=1",
+		"violation:postcondition=1",
+		"1.3=2",
+		"stage forward",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVerifyCleanAndTorn(t *testing.T) {
+	dir := writeTrail(t)
+	var sb strings.Builder
+	code, err := run([]string{"verify", "-dir", dir}, &sb)
+	if err != nil || code != 0 {
+		t.Fatalf("verify clean: code=%d err=%v\n%s", code, err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "chain OK") {
+		t.Fatalf("verify output:\n%s", sb.String())
+	}
+
+	// Truncate the last record mid-way: verify must exit 1.
+	segs, err := obs.AuditSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(segs[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segs[0].Path, data[:len(data)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	code, err = run([]string{"verify", "-dir", dir}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("verify on torn chain: code=%d, want 1\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "torn final record") {
+		t.Fatalf("verify output:\n%s", sb.String())
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	var sb strings.Builder
+	if code, _ := run(nil, &sb); code != 2 {
+		t.Fatalf("no args: code=%d, want 2", code)
+	}
+	if code, err := run([]string{"bogus"}, &sb); code != 2 || err == nil {
+		t.Fatalf("unknown subcommand: code=%d err=%v", code, err)
+	}
+	if code, err := run([]string{"list"}, &sb); code != 2 || err == nil {
+		t.Fatalf("list without -dir: code=%d err=%v", code, err)
+	}
+}

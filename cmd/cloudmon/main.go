@@ -20,6 +20,7 @@ import (
 	"cloudmon/internal/contract"
 	"cloudmon/internal/core"
 	"cloudmon/internal/monitor"
+	"cloudmon/internal/obs"
 	"cloudmon/internal/osbinding"
 	"cloudmon/internal/paper"
 	"cloudmon/internal/slice"
@@ -54,6 +55,9 @@ func run(args []string) error {
 	inspectAddr := fs.String("inspect-addr", "", "optional listen address for the verdict/coverage API (e.g. 127.0.0.1:8001)")
 	levelName := fs.String("level", "full", "contract check level: full | pre-only")
 	logFile := fs.String("log-file", "", "append verdicts as NDJSON to this file")
+	metricsAddr := fs.String("metrics-addr", "", "optional listen address for the Prometheus-text /metrics endpoint (e.g. 127.0.0.1:8002)")
+	auditDir := fs.String("audit-dir", "", "directory for the append-only audit trail (violations and Unverified outcomes)")
+	auditMaxBytes := fs.Int64("audit-max-bytes", 0, "rotate audit segments at this size (0 = 8 MiB default)")
 	parallelSnapshots := fs.Bool("parallel-snapshots", false,
 		"resolve state snapshots concurrently (recommended when the cloud is across a network)")
 	secReqs := fs.String("secreqs", "", "comma-separated SecReq tags to slice the model to (e.g. 1.3,1.4)")
@@ -133,6 +137,15 @@ func run(args []string) error {
 		onVerdict = aw.Record
 	}
 
+	var audit *obs.AuditLog
+	if *auditDir != "" {
+		audit, err = obs.OpenAuditLog(*auditDir, *auditMaxBytes)
+		if err != nil {
+			return fmt.Errorf("open audit log: %w", err)
+		}
+		defer audit.Close()
+	}
+
 	sys, err := core.Build(core.Options{
 		Model:    model,
 		CloudURL: *cloudURL,
@@ -143,6 +156,7 @@ func run(args []string) error {
 		Level:             level,
 		OnVerdict:         onVerdict,
 		ParallelSnapshots: *parallelSnapshots,
+		Audit:             audit,
 	})
 	if err != nil {
 		return err
@@ -158,17 +172,33 @@ func run(args []string) error {
 		fmt.Println()
 		fmt.Print(contract.RenderSet(sys.Contracts, contract.StyleConjunction))
 	}
+	if audit != nil {
+		fmt.Printf("  audit trail in %s\n", audit.Dir())
+	}
+	// Either listener failing brings the process down.
+	errCh := make(chan error, 1)
+	extra := 0
 	if *inspectAddr != "" {
-		fmt.Printf("  inspect API on %s (/log /violations /coverage /outcomes /contracts)\n", *inspectAddr)
-		errCh := make(chan error, 1)
+		fmt.Printf("  inspect API on %s (/log /violations /coverage /outcomes /contracts /stages)\n", *inspectAddr)
+		extra++
 		go func() {
 			errCh <- http.ListenAndServe(*inspectAddr, sys.Monitor.InspectHandler())
 		}()
-		go func() {
-			errCh <- http.ListenAndServe(*addr, sys.Monitor)
-		}()
-		// Either listener failing brings the process down.
-		return <-errCh
 	}
-	return http.ListenAndServe(*addr, sys.Monitor)
+	if *metricsAddr != "" {
+		fmt.Printf("  metrics on %s/metrics\n", *metricsAddr)
+		extra++
+		go func() {
+			mux := http.NewServeMux()
+			mux.Handle("/metrics", sys.Metrics.Handler())
+			errCh <- http.ListenAndServe(*metricsAddr, mux)
+		}()
+	}
+	if extra == 0 {
+		return http.ListenAndServe(*addr, sys.Monitor)
+	}
+	go func() {
+		errCh <- http.ListenAndServe(*addr, sys.Monitor)
+	}()
+	return <-errCh
 }

@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sort"
 
 	"cloudmon/internal/faults"
+	"cloudmon/internal/obs"
 	"cloudmon/internal/openstack"
 	"cloudmon/internal/openstack/cinder"
 	"cloudmon/internal/paper"
@@ -60,20 +62,46 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8776", "listen address")
 	quota := fs.Int("quota", 10, "volume quota for the seeded project")
 	faultsPath := fs.String("faults", "", "fault-injection profile (JSON, see internal/faults)")
+	metricsAddr := fs.String("metrics-addr", "", "optional listen address for the Prometheus-text /metrics endpoint")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	cloud, res := buildCloud(*quota)
 	var handler http.Handler = cloud
+	var injector *faults.Injector
 	if *faultsPath != "" {
 		profile, err := faults.LoadProfile(*faultsPath)
 		if err != nil {
 			return err
 		}
-		handler = faults.NewInjector(profile).Middleware(cloud)
+		injector = faults.NewInjector(profile)
+		handler = injector.Middleware(cloud)
 		fmt.Printf("fault injection enabled: %d rules, seed %d (%s)\n",
 			len(profile.Rules), profile.Seed, *faultsPath)
+	}
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = &obs.Registry{}
+		hm := obs.NewHTTPMetrics()
+		handler = hm.Wrap(handler)
+		hm.Register(reg, "cloudsim")
+		if injector != nil {
+			reg.Collect(func(w *obs.MetricsWriter) {
+				counts := injector.Counts()
+				kinds := make([]string, 0, len(counts))
+				for k := range counts {
+					kinds = append(kinds, k)
+				}
+				sort.Strings(kinds)
+				for _, k := range kinds {
+					w.Counter("cloudsim_injected_faults_total",
+						"Fault-injection rules fired, by kind.",
+						float64(counts[k]), obs.L("kind", k))
+				}
+			})
+		}
 	}
 
 	fmt.Printf("simulated OpenStack cloud on %s\n", *addr)
@@ -85,5 +113,18 @@ func run(args []string) error {
 	fmt.Println("    cm-svc proj_administrator -> monitor service account")
 	fmt.Println("  services: /identity/v3, /volume/v3, /compute/v2.1")
 
+	if reg != nil {
+		fmt.Printf("  metrics on %s/metrics\n", *metricsAddr)
+		errCh := make(chan error, 1)
+		go func() {
+			mux := http.NewServeMux()
+			mux.Handle("/metrics", reg.Handler())
+			errCh <- http.ListenAndServe(*metricsAddr, mux)
+		}()
+		go func() {
+			errCh <- http.ListenAndServe(*addr, handler)
+		}()
+		return <-errCh
+	}
 	return http.ListenAndServe(*addr, handler)
 }

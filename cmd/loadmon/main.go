@@ -29,12 +29,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"sort"
 	"strings"
 
 	"cloudmon/internal/faults"
 	"cloudmon/internal/loadgen"
 	"cloudmon/internal/monitor"
+	"cloudmon/internal/obs"
 	"cloudmon/internal/osclient"
 )
 
@@ -68,6 +71,8 @@ func run(args []string, out io.Writer) error {
 	breakerThreshold := fs.Int("breaker-threshold", 0, "enable the snapshot circuit breaker at this consecutive-failure threshold (0 = off)")
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "circuit-breaker open cooldown (0 = default)")
 	verify := fs.Bool("verify", false, "assert structural verdict invariants after the run (in-process only)")
+	auditDir := fs.String("audit-dir", "", "audit-trail directory for the in-process monitor (-verify defaults to a temp dir)")
+	metricsAddr := fs.String("metrics-addr", "", "scrape this /metrics endpoint after the run (with -target; e.g. http://127.0.0.1:8002)")
 	target := fs.String("target", "", "drive an external monitor at this URL instead of deploying in process")
 	cloudURL := fs.String("cloud", "", "cloud URL for role authentication (required with -target)")
 	project := fs.String("project", "", "project id (required with -target)")
@@ -123,6 +128,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var tgt loadgen.Target
+	var dep *loadgen.Deployment
 	if *target != "" {
 		if *verify {
 			return fmt.Errorf("-verify needs the in-process deployment (it reads monitor counters)")
@@ -183,16 +189,33 @@ func run(args []string, out io.Writer) error {
 			// against the log.
 			opts.MaxLog = sc.Requests + 1024
 		}
-		dep, err := loadgen.Deploy(opts)
+		opts.AuditDir = *auditDir
+		if opts.AuditDir == "" && *verify {
+			// -verify cross-checks audit counts against verdict counters,
+			// so it always needs a trail.
+			tmp, err := os.MkdirTemp("", "loadmon-audit-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			opts.AuditDir = tmp
+		}
+		dep, err = loadgen.Deploy(opts)
 		if err != nil {
 			return err
 		}
+		defer dep.Close()
 		tgt = dep.Target
 	}
 
 	report, err := loadgen.Run(sc, tgt)
 	if err != nil {
 		return err
+	}
+	if *metricsAddr != "" {
+		if err := scrapeMetrics(*metricsAddr, report, out); err != nil {
+			return err
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(out)
@@ -207,7 +230,128 @@ func run(args []string, out io.Writer) error {
 		if err := verifyReport(sc, report, policy); err != nil {
 			return err
 		}
-		fmt.Fprintln(out, "verify: structural invariants hold")
+		if err := verifyObs(dep, report); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "verify: structural invariants hold (verdicts ≡ metrics ≡ audit)")
+	}
+	return nil
+}
+
+// scrapeMetrics pulls an external monitor's /metrics endpoint after the
+// run, prints its verdict counters, and fills the report's stage
+// breakdown from the scraped latency histograms. The scraped values are
+// cumulative over the monitor's lifetime, not diffed around the run.
+func scrapeMetrics(addr string, r *loadgen.Report, out io.Writer) error {
+	url := strings.TrimSuffix(addr, "/") + "/metrics"
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("scrape %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("scrape %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape %s: status %d", url, resp.StatusCode)
+	}
+	samples, err := obs.ParseText(body)
+	if err != nil {
+		return fmt.Errorf("scrape %s: %w", url, err)
+	}
+	verdicts := obs.CounterByLabel(samples, "cloudmon_verdicts_total", "outcome")
+	outcomes := make([]string, 0, len(verdicts))
+	for o, n := range verdicts {
+		if n > 0 {
+			outcomes = append(outcomes, o)
+		}
+	}
+	sort.Strings(outcomes)
+	fmt.Fprintf(out, "scraped %s:", url)
+	for _, o := range outcomes {
+		fmt.Fprintf(out, " %s=%.0f", o, verdicts[o])
+	}
+	fmt.Fprintln(out)
+	if len(r.Stages) == 0 {
+		stages := make(map[string]obs.StageSummary)
+		for _, name := range obs.StageNames() {
+			snap, ok := obs.HistogramFromSamples(samples, "cloudmon_stage_duration_seconds", "stage", name)
+			if !ok || snap.Count == 0 {
+				continue
+			}
+			stages[name] = obs.SummarizeHistogram(snap)
+		}
+		if len(stages) > 0 {
+			r.Stages = stages
+		}
+	}
+	return nil
+}
+
+// verifyObs cross-checks the run's three observability signals against
+// each other: the report's verdict tallies (diffed monitor counters),
+// the /metrics registry (scraped in process), and the audit trail on
+// disk. All three must agree exactly — they claim to be views of the
+// same requests.
+func verifyObs(dep *loadgen.Deployment, r *loadgen.Report) error {
+	if dep == nil {
+		return nil
+	}
+	// 1. The metrics registry must agree with the monitor's cumulative
+	// outcome counters (both read the same atomics; a drift means a
+	// collector bug).
+	samples, err := obs.ParseText([]byte(dep.Sys.Metrics.Render()))
+	if err != nil {
+		return fmt.Errorf("verify: render /metrics: %w", err)
+	}
+	scraped := obs.CounterByLabel(samples, "cloudmon_verdicts_total", "outcome")
+	for outcome, n := range dep.Sys.Monitor.Outcomes() {
+		if int(scraped[outcome.String()]) != n {
+			return fmt.Errorf("verify: /metrics reports %s=%.0f, monitor counters say %d",
+				outcome.String(), scraped[outcome.String()], n)
+		}
+	}
+	if dep.Audit == nil {
+		return nil
+	}
+	// 2. The audit diff must match the verdict diff on every non-OK
+	// outcome: each violation produced exactly one audit record.
+	for outcome, n := range r.Verdicts {
+		if outcome == monitor.OK.String() {
+			continue
+		}
+		if r.Audit[outcome] != n {
+			return fmt.Errorf("verify: %d %s verdicts but %d audit records", n, outcome, r.Audit[outcome])
+		}
+	}
+	for outcome, n := range r.Audit {
+		if r.Verdicts[outcome] != n {
+			return fmt.Errorf("verify: %d audit records for %s but %d verdicts", n, outcome, r.Verdicts[outcome])
+		}
+	}
+	if err := dep.Audit.Sync(); err != nil {
+		return fmt.Errorf("verify: sync audit log: %w", err)
+	}
+	// 3. The trail on disk must verify (contiguous chain, no torn lines)
+	// and every Rejected record must carry at least one SecReq ID — the
+	// trail's purpose is tracing violations back to requirements.
+	res, err := obs.VerifyAuditDir(dep.Audit.Dir())
+	if err != nil {
+		return fmt.Errorf("verify: audit chain: %w", err)
+	}
+	if !res.OK() {
+		return fmt.Errorf("verify: audit chain problems: %s", strings.Join(res.Problems, "; "))
+	}
+	read, err := obs.ReadAuditDir(dep.Audit.Dir())
+	if err != nil {
+		return fmt.Errorf("verify: read audit dir: %w", err)
+	}
+	for _, rec := range read.Records {
+		if rec.Outcome == monitor.Rejected.String() && len(rec.SecReqs) == 0 {
+			return fmt.Errorf("verify: audit record %d (%s %s) is Rejected but names no SecReq",
+				rec.Seq, rec.Trigger, rec.Resource)
+		}
 	}
 	return nil
 }

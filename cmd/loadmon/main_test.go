@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"cloudmon/internal/obs"
 )
 
 func TestListScenarios(t *testing.T) {
@@ -87,5 +89,34 @@ func TestBadArgs(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("run(%v) accepted", args)
 		}
+	}
+}
+
+// TestVerifyWithAudit runs the full three-way cross-check: verdict
+// tallies, the /metrics registry and the on-disk audit trail must agree.
+func TestVerifyWithAudit(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-scenario", "cinder-mixed", "-requests", "200", "-clients", "4",
+		"-seed", "11", "-audit-dir", dir, "-verify"}, &out)
+	if err != nil {
+		t.Fatalf("run -verify: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "verify: structural invariants hold") {
+		t.Fatalf("no verify confirmation:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "audit records:") {
+		t.Fatalf("report has no audit tallies:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "stage pre_snapshot") {
+		t.Fatalf("report has no stage breakdown:\n%s", out.String())
+	}
+	// The trail must be inspectable after the run.
+	res, err := obs.VerifyAuditDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || res.Records == 0 {
+		t.Fatalf("audit chain: %+v problems %v", res, res.Problems)
 	}
 }

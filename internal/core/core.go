@@ -20,6 +20,7 @@ import (
 
 	"cloudmon/internal/contract"
 	"cloudmon/internal/monitor"
+	"cloudmon/internal/obs"
 	"cloudmon/internal/osbinding"
 	"cloudmon/internal/osclient"
 	"cloudmon/internal/uml"
@@ -73,6 +74,9 @@ type Options struct {
 	HTTPClient *http.Client
 	// MaxLog bounds the verdict log.
 	MaxLog int
+	// Audit, when non-nil, is the append-only audit sink the monitor
+	// writes every violation and Unverified outcome to (see obs.AuditLog).
+	Audit *obs.AuditLog
 }
 
 // System is the assembled pipeline.
@@ -88,6 +92,10 @@ type System struct {
 	Provider *osbinding.Provider
 	// Routes are the derived proxy routes.
 	Routes []monitor.Route
+	// Metrics is the system's metric registry: the monitor's verdict,
+	// stage-latency, cache, and audit counters plus the provider's retry
+	// and breaker state. Serve Metrics.Handler() on /metrics.
+	Metrics *obs.Registry
 }
 
 // Build runs the pipeline: validate model -> generate contracts -> derive
@@ -134,15 +142,20 @@ func Build(opts Options) (*System, error) {
 		OnVerdict:        opts.OnVerdict,
 		PreStateCacheTTL: opts.PreStateCacheTTL,
 		DegradeTTL:       opts.DegradeTTL,
+		Audit:            opts.Audit,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	reg := &obs.Registry{}
+	mon.RegisterMetrics(reg)
+	provider.RegisterMetrics(reg)
 	return &System{
 		Model:     opts.Model,
 		Contracts: set,
 		Monitor:   mon,
 		Provider:  provider,
 		Routes:    routes,
+		Metrics:   reg,
 	}, nil
 }

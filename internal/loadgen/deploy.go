@@ -9,6 +9,7 @@ import (
 	"cloudmon/internal/faults"
 	"cloudmon/internal/httpkit"
 	"cloudmon/internal/monitor"
+	"cloudmon/internal/obs"
 	"cloudmon/internal/openstack"
 	"cloudmon/internal/openstack/cinder"
 	"cloudmon/internal/osbinding"
@@ -52,6 +53,12 @@ type DeployOptions struct {
 	// MaxLog bounds the monitor's verdict log (default monitor's 1024;
 	// soak tests raise it to retain every verdict).
 	MaxLog int
+	// AuditDir, when non-empty, opens an obs.AuditLog there and wires it
+	// into the monitor; every violation and Unverified outcome of the run
+	// lands in the trail. Close the Deployment to flush it.
+	AuditDir string
+	// AuditMaxBytes bounds audit segments (0 = obs.DefaultAuditMaxBytes).
+	AuditMaxBytes int64
 }
 
 // Deployment is a ready-to-drive in-process cloud + monitor pair.
@@ -67,6 +74,17 @@ type Deployment struct {
 	// Injector is the fault injector perturbing monitor->cloud traffic
 	// (nil unless DeployOptions.Faults was set).
 	Injector *faults.Injector
+	// Audit is the monitor's audit sink (nil unless DeployOptions.AuditDir
+	// was set).
+	Audit *obs.AuditLog
+}
+
+// Close flushes and closes the deployment's audit sink, if any.
+func (d *Deployment) Close() error {
+	if d.Audit != nil {
+		return d.Audit.Close()
+	}
+	return nil
 }
 
 // Deploy builds the paper's example deployment in process — the simulated
@@ -102,6 +120,14 @@ func Deploy(opts DeployOptions) (*Deployment, error) {
 			Transport: inj.RoundTripper(httpkit.HandlerRoundTripper(cloud)),
 		}
 	}
+	var audit *obs.AuditLog
+	if opts.AuditDir != "" {
+		var err error
+		audit, err = obs.OpenAuditLog(opts.AuditDir, opts.AuditMaxBytes)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: deploy: %w", err)
+		}
+	}
 	sys, err := core.Build(core.Options{
 		Model:    paper.CinderModel(),
 		CloudURL: "http://cloud.internal",
@@ -120,8 +146,12 @@ func Deploy(opts DeployOptions) (*Deployment, error) {
 		DegradeTTL:        opts.DegradeTTL,
 		MaxLog:            opts.MaxLog,
 		HTTPClient:        monitorHTTP,
+		Audit:             audit,
 	})
 	if err != nil {
+		if audit != nil {
+			audit.Close()
+		}
 		return nil, fmt.Errorf("loadgen: deploy: %w", err)
 	}
 	tokens := map[string]string{RoleAnonymous: ""}
@@ -139,9 +169,19 @@ func Deploy(opts DeployOptions) (*Deployment, error) {
 		ProjectID:  seed.ProjectID,
 		Tokens:     tokens,
 		Outcomes:   sys.Monitor.Outcomes,
+		Stages:     sys.Monitor.StageSummaries,
 	}
 	if inj != nil {
 		tgt.Faults = inj.Counts
+	}
+	if audit != nil {
+		tgt.Audit = func() map[string]int {
+			out := make(map[string]int)
+			for k, v := range audit.Counts() {
+				out[k] = int(v)
+			}
+			return out
+		}
 	}
 	return &Deployment{
 		Cloud:     cloud,
@@ -149,5 +189,6 @@ func Deploy(opts DeployOptions) (*Deployment, error) {
 		ProjectID: seed.ProjectID,
 		Target:    tgt,
 		Injector:  inj,
+		Audit:     audit,
 	}, nil
 }

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"cloudmon/internal/monitor"
+	"cloudmon/internal/obs"
 	"cloudmon/internal/osclient"
 )
 
@@ -130,6 +131,14 @@ type Target struct {
 	// (faults.Injector.Counts); Run diffs it around the run to report how
 	// much chaos the run actually absorbed.
 	Faults func() map[string]int
+	// Stages, if set, supplies the monitor's per-pipeline-stage latency
+	// summaries (monitor.StageSummaries); sampled after the run for the
+	// report's stage breakdown.
+	Stages func() map[string]obs.StageSummary
+	// Audit, if set, supplies the audit sink's per-outcome record counts
+	// (obs.AuditLog.Counts); Run diffs it around the run so the report's
+	// audit tallies can be cross-checked against the verdict tallies.
+	Audit func() map[string]int
 }
 
 // volumePool is the shared set of volume ids the workload operates on.
@@ -237,6 +246,10 @@ func Run(sc Scenario, tgt Target) (*Report, error) {
 	if tgt.Faults != nil {
 		faultsBefore = tgt.Faults()
 	}
+	var auditBefore map[string]int
+	if tgt.Audit != nil {
+		auditBefore = tgt.Audit()
+	}
 
 	var (
 		issued   atomic.Int64
@@ -292,6 +305,12 @@ func Run(sc Scenario, tgt Target) (*Report, error) {
 
 	rep := buildReport(sc, clients, elapsed, recorders, verdicts)
 	rep.InjectedFaults = injected
+	if tgt.Audit != nil {
+		rep.Audit = diffCounts(auditBefore, tgt.Audit())
+	}
+	if tgt.Stages != nil {
+		rep.Stages = tgt.Stages()
+	}
 	return rep, nil
 }
 

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"cloudmon/internal/obs"
 )
 
 // LatencySummary holds the distribution of recorded request latencies in
@@ -50,6 +52,15 @@ type Report struct {
 	// InjectedFaults tallies fired fault-injection rules by kind (present
 	// when the target exposes its injector counters).
 	InjectedFaults map[string]int `json:"injected_faults,omitempty"`
+	// Audit tallies the audit records written during the run, per outcome
+	// (present when the target exposes its audit sink; diffed around the
+	// run exactly like Verdicts, so the two must agree on non-OK outcomes).
+	Audit map[string]int `json:"audit,omitempty"`
+	// Stages holds the monitor's per-pipeline-stage latency summaries
+	// (present when the target exposes its tracer). The histograms are
+	// cumulative over the monitor's lifetime, warmup and prepopulation
+	// included.
+	Stages map[string]obs.StageSummary `json:"stages,omitempty"`
 }
 
 // percentile returns the q-quantile (0 < q <= 1) of the sorted durations.
@@ -164,6 +175,28 @@ func (r *Report) Text() string {
 			fmt.Fprintf(&sb, " %s=%d", k, r.InjectedFaults[k])
 		}
 		sb.WriteByte('\n')
+	}
+	if len(r.Audit) > 0 {
+		names := make([]string, 0, len(r.Audit))
+		for v := range r.Audit {
+			names = append(names, v)
+		}
+		sort.Strings(names)
+		sb.WriteString("  audit records:")
+		for _, v := range names {
+			fmt.Fprintf(&sb, " %s=%d", v, r.Audit[v])
+		}
+		sb.WriteByte('\n')
+	}
+	if len(r.Stages) > 0 {
+		for _, name := range obs.StageNames() {
+			st, ok := r.Stages[name]
+			if !ok || st.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "  stage %-14s %8d spans  p50 %.0f  p95 %.0f  p99 %.0f  mean %.0f µs\n",
+				name, st.Count, st.P50US, st.P95US, st.P99US, st.MeanUS)
+		}
 	}
 	ops := make([]string, 0, len(r.Ops))
 	for op := range r.Ops {

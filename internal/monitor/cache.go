@@ -7,8 +7,22 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cloudmon/internal/obs"
 	"cloudmon/internal/ocl"
 )
+
+// CacheStats are the pre-state cache's hit/generation counters, exported
+// on /metrics.
+type CacheStats struct {
+	// Hits and Misses count fresh-read lookups (per path).
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// StaleHits counts degrade-path lookups served past the TTL.
+	StaleHits uint64 `json:"stale_hits"`
+	// Invalidations counts project generation bumps from forwarded
+	// writes.
+	Invalidations uint64 `json:"invalidations"`
+}
 
 // snapshotCache is the optional short-TTL pre-state read cache. Entries are
 // keyed by (navigation path, requester token, URI params) and carry the
@@ -26,6 +40,22 @@ type snapshotCache struct {
 	shards [cacheShards]cacheShard
 	// gens maps project id -> *atomic.Uint64 generation counter.
 	gens sync.Map
+
+	// Lock-free observability counters (see CacheStats).
+	hits          obs.Counter
+	misses        obs.Counter
+	staleHits     obs.Counter
+	invalidations obs.Counter
+}
+
+// stats snapshots the counters.
+func (c *snapshotCache) stats() CacheStats {
+	return CacheStats{
+		Hits:          c.hits.Value(),
+		Misses:        c.misses.Value(),
+		StaleHits:     c.staleHits.Value(),
+		Invalidations: c.invalidations.Value(),
+	}
 }
 
 // cacheShards is the number of entry-map shards (power of two).
@@ -72,6 +102,7 @@ func (c *snapshotCache) invalidateProject(project string) {
 		g, _ = c.gens.LoadOrStore(project, new(atomic.Uint64))
 	}
 	g.(*atomic.Uint64).Add(1)
+	c.invalidations.Inc()
 }
 
 // cacheKey builds the entry key. The token partitions requester-dependent
@@ -120,8 +151,10 @@ func (c *snapshotCache) get(path, token, paramsKey, project string) (ocl.Value, 
 	e, ok := sh.entries[key]
 	sh.mu.RUnlock()
 	if !ok || c.now().After(e.expires) || e.gen != c.projectGen(project) {
+		c.misses.Inc()
 		return ocl.Value{}, false, false
 	}
+	c.hits.Inc()
 	return e.val, e.present, true
 }
 
@@ -155,6 +188,7 @@ func (c *snapshotCache) getStale(path, token, paramsKey, project string, maxAge 
 	if !ok || c.now().Sub(e.fetched) > maxAge || e.gen != c.projectGen(project) {
 		return ocl.Value{}, false, false
 	}
+	c.staleHits.Inc()
 	return e.val, e.present, true
 }
 

@@ -18,6 +18,7 @@ import (
 //	GET /coverage     SecReq -> hit count (zero-hit requirements included)
 //	GET /outcomes     outcome class -> count
 //	GET /contracts    the generated contracts (trigger, URI, pre, post)
+//	GET /stages       per-pipeline-stage latency summaries (p50/p95/p99)
 //	POST /reset       clear the log and counters
 //
 // Mount it beside the proxy, e.g. on a loopback-only listener.
@@ -71,6 +72,10 @@ func (m *Monitor) InspectHandler() http.Handler {
 	})
 	rt.Handle(http.MethodGet, "/stats", func(w http.ResponseWriter, r *http.Request, _ map[string]string) error {
 		httpkit.WriteJSON(w, http.StatusOK, map[string]any{"stats": m.Stats()})
+		return nil
+	})
+	rt.Handle(http.MethodGet, "/stages", func(w http.ResponseWriter, r *http.Request, _ map[string]string) error {
+		httpkit.WriteJSON(w, http.StatusOK, map[string]any{"stages": m.StageSummaries()})
 		return nil
 	})
 	rt.Handle(http.MethodPost, "/reset", func(w http.ResponseWriter, r *http.Request, _ map[string]string) error {
@@ -131,8 +136,10 @@ type verdictDoc struct {
 	BackendStatus  int               `json:"backend_status,omitempty"`
 	SecReqs        []string          `json:"sec_reqs,omitempty"`
 	MatchedSecReqs []string          `json:"matched_sec_reqs,omitempty"`
+	FailingClause  string            `json:"failing_clause,omitempty"`
 	Detail         string            `json:"detail,omitempty"`
 	ElapsedMicros  int64             `json:"elapsed_micros"`
+	StageNanos     map[string]int64  `json:"stage_nanos,omitempty"`
 	PreSnapshot    map[string]string `json:"pre_snapshot,omitempty"`
 	PostSnapshot   map[string]string `json:"post_snapshot,omitempty"`
 }
@@ -149,8 +156,10 @@ func verdictDocs(vs []Verdict) []verdictDoc {
 			BackendStatus:  v.BackendStatus,
 			SecReqs:        v.SecReqs,
 			MatchedSecReqs: v.MatchedSecReqs,
+			FailingClause:  v.FailingClause,
 			Detail:         v.Detail,
 			ElapsedMicros:  v.Elapsed.Microseconds(),
+			StageNanos:     v.Trace.Map(),
 			PreSnapshot:    snapshotDoc(v.PreSnapshot),
 			PostSnapshot:   snapshotDoc(v.PostSnapshot),
 		})

@@ -35,6 +35,7 @@ import (
 
 	"cloudmon/internal/contract"
 	"cloudmon/internal/httpkit"
+	"cloudmon/internal/obs"
 	"cloudmon/internal/ocl"
 	"cloudmon/internal/uml"
 )
@@ -239,8 +240,15 @@ type Verdict struct {
 	PostSnapshot ocl.MapEnv
 	// Detail is a human-readable explanation for violations and errors.
 	Detail string
+	// FailingClause is the contract clause that decided a negative
+	// verdict: the pre-condition for blocked/rejected/forbidden-accepted
+	// outcomes, the post-condition for effect violations.
+	FailingClause string
 	// Elapsed is the total monitoring duration.
 	Elapsed time.Duration
+	// Trace holds the per-stage pipeline timings (route match, snapshots,
+	// evaluations, forward). Stages the request never reached are zero.
+	Trace obs.Trace
 
 	// seq is the global arrival order, assigned by record(); Log() sorts
 	// the sharded slices by it.
@@ -293,8 +301,14 @@ type Config struct {
 	// MaxLog bounds the in-memory verdict log (default 1024).
 	MaxLog int
 	// OnVerdict, if set, is invoked synchronously with every recorded
-	// verdict — the hook for persistent audit logs and alerting.
+	// verdict — the hook for NDJSON verdict streams and alerting.
 	OnVerdict func(Verdict)
+	// Audit, if set, receives an obs.AuditRecord for every verdict that
+	// is not a clean pass (blocked, rejected, violations, errors,
+	// unverified forwards) — the durable, SecReq-indexed trail
+	// cmd/auditctl queries. OK verdicts are never audited, so the hot
+	// path stays write-free under healthy traffic.
+	Audit *obs.AuditLog
 	// PreStateCacheTTL, when positive, enables a short-TTL pre-state read
 	// cache keyed by (path, token, URI params). Cached values are
 	// invalidated whenever the monitor forwards a write (non-GET) for the
@@ -324,27 +338,41 @@ type Monitor struct {
 	degradeTTL time.Duration
 	onVerdict  func(Verdict)
 	cache      *snapshotCache
+	audit      *obs.AuditLog
 
-	// The verdict log and coverage counters are sharded to keep the
-	// record() critical section off the proxy's critical path under
-	// concurrent load; verdicts carry a global sequence number so Log()
-	// can restore arrival order.
+	// The verdict log is sharded to keep the record() critical section
+	// off the proxy's critical path under concurrent load; verdicts
+	// carry a global sequence number so Log() can restore arrival order.
 	seq      atomic.Uint64
 	shards   [logShards]logShard
 	maxLog   int
 	shardMax int
+
+	// Counters and per-stage latency histograms live in lock-free obs
+	// types — the single source of truth ResetLog, Outcomes(), the
+	// /metrics endpoint and loadmon -verify all read (previously each
+	// shard kept its own maps, which only agreed with the log by
+	// convention).
+	tracer        *obs.Tracer
+	outcomes      [numOutcomes]obs.Counter
+	coverage      obs.KeyedCounter
+	transCoverage obs.KeyedCounter
 }
 
-// logShards is the number of verdict-log/counter shards (power of two).
+// numOutcomes sizes the outcome counter array (outcomes are 1-based).
+const numOutcomes = int(Unverified) + 1
+
+// logShards is the number of verdict-log shards (power of two).
 const logShards = 8
 
-// logShard holds one slice of the verdict log and its counters.
+// logShard holds one slice of the verdict log. Once the shard is full it
+// becomes a circular buffer: next is the index of the oldest entry (the
+// one the next verdict overwrites). Log() sorts by sequence number, so
+// in-shard rotation never has to shift elements.
 type logShard struct {
-	mu            sync.Mutex
-	log           []Verdict
-	coverage      map[string]int
-	transCoverage map[string]int
-	outcomes      map[Outcome]int
+	mu   sync.Mutex
+	log  []Verdict
+	next int
 }
 
 type compiledRoute struct {
@@ -399,14 +427,13 @@ func New(cfg Config) (*Monitor, error) {
 		level:      level,
 		failPolicy: policy,
 		onVerdict:  cfg.OnVerdict,
+		audit:      cfg.Audit,
 		maxLog:     maxLog,
 		shardMax:   (maxLog + logShards - 1) / logShards,
+		tracer:     obs.NewTracer(),
 	}
 	if m.shardMax < 1 {
 		m.shardMax = 1
-	}
-	for i := range m.shards {
-		m.shards[i].reset()
 	}
 	if cfg.PreStateCacheTTL > 0 {
 		m.cache = newSnapshotCache(cfg.PreStateCacheTTL)
@@ -445,15 +472,6 @@ func New(cfg Config) (*Monitor, error) {
 	return m, nil
 }
 
-// reset (re)initializes a shard's counters; callers hold the shard lock or
-// have exclusive access.
-func (s *logShard) reset() {
-	s.log = nil
-	s.coverage = make(map[string]int)
-	s.transCoverage = make(map[string]int)
-	s.outcomes = make(map[Outcome]int)
-}
-
 // Mode returns the monitor's mode.
 func (m *Monitor) Mode() Mode { return m.mode }
 
@@ -465,13 +483,20 @@ func (m *Monitor) FailPolicy() FailPolicy { return m.failPolicy }
 
 // ServeHTTP implements the proxy entry point.
 func (m *Monitor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// The trace lives on this frame: stage spans are written into the
+	// array as the pipeline advances and folded into the per-stage
+	// histograms once — no allocation, no locks on the hot path.
+	var trace obs.Trace
+	matchStart := time.Now()
 	cr, params, ok := m.match(r)
+	trace[obs.StageRouteMatch] = time.Since(matchStart)
 	if !ok {
 		httpkit.WriteError(w, httpkit.NotFound(
 			"cloud monitor has no contract route for %s %s", r.Method, r.URL.Path))
 		return
 	}
-	verdict, resp := m.check(r, cr, params)
+	verdict, resp := m.check(r, cr, params, &trace)
+	verdict.Trace = trace
 	m.record(verdict)
 	m.respond(w, verdict, resp)
 }
@@ -492,7 +517,8 @@ func (m *Monitor) match(r *http.Request) (*compiledRoute, map[string]string, boo
 
 // check runs the full monitoring workflow for a matched request and
 // returns the verdict plus the backend response (nil when not forwarded).
-func (m *Monitor) check(r *http.Request, cr *compiledRoute, params map[string]string) (Verdict, *BackendResponse) {
+// Stage boundaries are written into trace as the pipeline advances.
+func (m *Monitor) check(r *http.Request, cr *compiledRoute, params map[string]string, trace *obs.Trace) (Verdict, *BackendResponse) {
 	start := time.Now()
 	c := cr.contract
 	reqCtx := &RequestContext{
@@ -506,7 +532,24 @@ func (m *Monitor) check(r *http.Request, cr *compiledRoute, params map[string]st
 		v.Outcome = outcome
 		v.Detail = detail
 		v.Elapsed = time.Since(start)
+		// A negative verdict names the clause that decided it — the
+		// traceability link the audit trail indexes.
+		switch outcome {
+		case Blocked, Rejected, ViolationForbiddenAccepted, ViolationAllowedRejected:
+			v.FailingClause = c.Pre.String()
+		case ViolationPostcondition:
+			v.FailingClause = c.Post.String()
+		}
 		return v
+	}
+	// Stage spans are boundary-to-boundary: one clock read per stage
+	// transition (not two per stage), each span absorbing the thin glue
+	// code that precedes its stage.
+	now := start
+	mark := func(stage obs.Stage) {
+		t := time.Now()
+		trace[stage] = t.Sub(now)
+		now = t
 	}
 
 	paths := cr.paths
@@ -520,11 +563,13 @@ func (m *Monitor) check(r *http.Request, cr *compiledRoute, params map[string]st
 			v.DegradedPre = true
 		}
 	}
+	mark(obs.StagePreSnapshot)
 	if err != nil {
 		if m.failPolicy == FailOpen {
 			// FailOpen: forward unverified rather than amplify the cloud's
 			// flakiness into blocked requests; the gap is recorded.
 			resp, ferr := m.forward.Forward(r, &cr.route, params)
+			mark(obs.StageForward)
 			if ferr != nil {
 				return finish(Error, fmt.Sprintf(
 					"pre-state snapshot: %v; forward to cloud: %v", err, ferr)), nil
@@ -543,6 +588,7 @@ func (m *Monitor) check(r *http.Request, cr *compiledRoute, params map[string]st
 	v.PreSnapshot = pre
 
 	preOK, matched, matchedTrans, err := evalPre(c, pre)
+	mark(obs.StagePreEval)
 	if err != nil {
 		return finish(Error, fmt.Sprintf("pre-condition evaluation: %v", err)), nil
 	}
@@ -555,6 +601,7 @@ func (m *Monitor) check(r *http.Request, cr *compiledRoute, params map[string]st
 	}
 
 	resp, err := m.forward.Forward(r, &cr.route, params)
+	mark(obs.StageForward)
 	if err != nil {
 		return finish(Error, fmt.Sprintf("forward to cloud: %v", err)), nil
 	}
@@ -589,6 +636,7 @@ func (m *Monitor) check(r *http.Request, cr *compiledRoute, params map[string]st
 	}
 
 	post, err := m.provider.Snapshot(reqCtx, paths)
+	mark(obs.StagePostSnapshot)
 	if err != nil {
 		// The response is already in hand; under FailOpen and Degrade the
 		// missing effect-check is recorded as an enforcement gap rather
@@ -602,6 +650,7 @@ func (m *Monitor) check(r *http.Request, cr *compiledRoute, params map[string]st
 	}
 	v.PostSnapshot = post
 	postOK, err := ocl.EvalBool(c.Post, ocl.Context{Cur: post, Pre: pre})
+	mark(obs.StagePostEval)
 	if err != nil {
 		return finish(Error, fmt.Sprintf("post-condition evaluation: %v", err)), resp
 	}
@@ -692,28 +741,58 @@ func writeBackend(w http.ResponseWriter, resp *BackendResponse) {
 	}
 }
 
-// record appends the verdict to its shard's bounded log and updates the
-// shard's counters. Verdicts are spread round-robin by sequence number, so
+// record appends the verdict to its shard's bounded log, updates the
+// lock-free counters and stage histograms, and feeds the audit sink for
+// non-OK outcomes. Verdicts are spread round-robin by sequence number, so
 // concurrent requests rarely contend on the same shard lock.
 func (m *Monitor) record(v Verdict) {
 	v.seq = m.seq.Add(1)
 	s := &m.shards[v.seq%logShards]
 	s.mu.Lock()
-	if len(s.log) >= m.shardMax {
-		copy(s.log, s.log[1:])
-		s.log = s.log[:len(s.log)-1]
-	}
-	s.log = append(s.log, v)
-	s.outcomes[v.Outcome]++
-	for _, sec := range v.MatchedSecReqs {
-		s.coverage[sec]++
-	}
-	for _, tr := range v.MatchedTransitions {
-		s.transCoverage[tr]++
+	if len(s.log) < m.shardMax {
+		s.log = append(s.log, v)
+	} else {
+		s.log[s.next] = v
+		s.next++
+		if s.next == m.shardMax {
+			s.next = 0
+		}
 	}
 	s.mu.Unlock()
+	if int(v.Outcome) < numOutcomes {
+		m.outcomes[v.Outcome].Inc()
+	}
+	for _, sec := range v.MatchedSecReqs {
+		m.coverage.Add(sec, 1)
+	}
+	for _, tr := range v.MatchedTransitions {
+		m.transCoverage.Add(tr, 1)
+	}
+	m.tracer.Observe(&v.Trace)
+	if m.audit != nil && v.Outcome != OK {
+		m.audit.Append(auditRecord(&v))
+	}
 	if m.onVerdict != nil {
 		m.onVerdict(v)
+	}
+}
+
+// auditRecord converts a verdict into the durable audit shape.
+func auditRecord(v *Verdict) *obs.AuditRecord {
+	return &obs.AuditRecord{
+		Trigger:        v.Trigger.String(),
+		Method:         string(v.Trigger.Method),
+		Resource:       v.Trigger.Resource,
+		Outcome:        v.Outcome.String(),
+		SecReqs:        v.SecReqs,
+		MatchedSecReqs: v.MatchedSecReqs,
+		FailingClause:  v.FailingClause,
+		Detail:         v.Detail,
+		BackendStatus:  v.BackendStatus,
+		DegradedPre:    v.DegradedPre,
+		Pre:            snapshotDoc(v.PreSnapshot),
+		Post:           snapshotDoc(v.PostSnapshot),
+		StageNanos:     v.Trace.Map(),
 	}
 }
 
@@ -755,15 +834,10 @@ func (m *Monitor) Coverage() map[string]int {
 	for _, s := range m.contracts.SecReqs() {
 		out[s] = 0
 	}
-	for i := range m.shards {
-		sh := &m.shards[i]
-		sh.mu.Lock()
-		for s, n := range sh.coverage {
-			if _, ok := out[s]; ok {
-				out[s] += n
-			}
+	for s, n := range m.coverage.Snapshot() {
+		if _, ok := out[s]; ok {
+			out[s] += int(n)
 		}
-		sh.mu.Unlock()
 	}
 	return out
 }
@@ -780,41 +854,98 @@ func (m *Monitor) TransitionCoverage() map[string]int {
 			out[key] = 0
 		}
 	}
-	for i := range m.shards {
-		sh := &m.shards[i]
-		sh.mu.Lock()
-		for key, n := range sh.transCoverage {
-			if _, ok := out[key]; ok {
-				out[key] += n
-			}
+	for key, n := range m.transCoverage.Snapshot() {
+		if _, ok := out[key]; ok {
+			out[key] += int(n)
 		}
-		sh.mu.Unlock()
 	}
 	return out
 }
 
-// Outcomes returns the count per outcome class.
+// Outcomes returns the count per outcome class, read from the same
+// atomic counters the /metrics endpoint exports — the log, the counters
+// and the exposition document cannot drift apart.
 func (m *Monitor) Outcomes() map[Outcome]int {
 	out := make(map[Outcome]int)
-	for i := range m.shards {
-		sh := &m.shards[i]
-		sh.mu.Lock()
-		for k, c := range sh.outcomes {
-			out[k] += c
+	for i := 1; i < numOutcomes; i++ {
+		if n := m.outcomes[i].Value(); n > 0 {
+			out[Outcome(i)] = int(n)
 		}
-		sh.mu.Unlock()
 	}
 	return out
 }
 
-// ResetLog clears the verdict log and counters (between mutation runs).
+// Tracer exposes the per-stage latency histograms.
+func (m *Monitor) Tracer() *obs.Tracer { return m.tracer }
+
+// StageSummaries condenses the per-stage histograms for reports.
+func (m *Monitor) StageSummaries() map[string]obs.StageSummary {
+	return m.tracer.Summaries()
+}
+
+// CacheStats returns the pre-state cache counters (zero when the cache
+// is disabled).
+func (m *Monitor) CacheStats() CacheStats {
+	if m.cache == nil {
+		return CacheStats{}
+	}
+	return m.cache.stats()
+}
+
+// AuditLog returns the configured audit sink (nil when none).
+func (m *Monitor) AuditLog() *obs.AuditLog { return m.audit }
+
+// RegisterMetrics contributes the monitor's counters and histograms to a
+// metrics registry under cloudmon_* names. The collectors read the live
+// atomic state at scrape time; nothing is copied on the hot path.
+func (m *Monitor) RegisterMetrics(reg *obs.Registry) {
+	reg.Collect(func(w *obs.MetricsWriter) {
+		for i := 1; i < numOutcomes; i++ {
+			w.Counter("cloudmon_verdicts_total",
+				"Monitored requests by verdict outcome.",
+				float64(m.outcomes[i].Value()), obs.L("outcome", Outcome(i).String()))
+		}
+		w.KeyedCounter("cloudmon_secreq_matched_total",
+			"Requests whose matched transition case is annotated with the security requirement.",
+			&m.coverage, "secreq")
+		for s := obs.Stage(0); s < obs.NumStages; s++ {
+			w.Histogram("cloudmon_stage_duration_seconds",
+				"Monitor pipeline latency by stage.",
+				m.tracer.Stage(s), obs.L("stage", s.String()))
+		}
+		if m.cache != nil {
+			cs := m.cache.stats()
+			w.Counter("cloudmon_cache_hits_total", "Pre-state cache hits.", float64(cs.Hits))
+			w.Counter("cloudmon_cache_misses_total", "Pre-state cache misses.", float64(cs.Misses))
+			w.Counter("cloudmon_cache_stale_hits_total", "Degrade-path stale cache hits.", float64(cs.StaleHits))
+			w.Counter("cloudmon_cache_invalidations_total", "Project generation bumps from forwarded writes.", float64(cs.Invalidations))
+		}
+		if m.audit != nil {
+			var total uint64
+			for _, n := range m.audit.Counts() {
+				total += n
+			}
+			w.Counter("cloudmon_audit_records_total", "Audit records appended.", float64(total))
+		}
+	})
+}
+
+// ResetLog clears the verdict log, counters and stage histograms
+// (between mutation runs).
 func (m *Monitor) ResetLog() {
 	for i := range m.shards {
 		sh := &m.shards[i]
 		sh.mu.Lock()
-		sh.reset()
+		sh.log = nil
+		sh.next = 0
 		sh.mu.Unlock()
 	}
+	for i := range m.outcomes {
+		m.outcomes[i].Reset()
+	}
+	m.coverage.Reset()
+	m.transCoverage.Reset()
+	m.tracer.Reset()
 }
 
 // splitPath splits a URL path into non-empty segments.

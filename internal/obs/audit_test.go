@@ -1,0 +1,328 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testRecord(outcome string) *AuditRecord {
+	return &AuditRecord{
+		Trigger:  "DELETE(volume)",
+		Method:   "DELETE",
+		Resource: "volume",
+		Outcome:  outcome,
+		SecReqs:  []string{"1.4"},
+		Detail:   "pre-condition failed",
+		Pre:      map[string]string{"project.volumes": "Set{v1}"},
+		StageNanos: map[string]int64{
+			"route_match": 1200,
+			"pre_eval":    8400,
+		},
+	}
+}
+
+func TestAuditAppendAndRead(t *testing.T) {
+	dir := t.TempDir()
+	log, err := OpenAuditLog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		log.Append(testRecord("blocked"))
+	}
+	log.Append(testRecord("violation:postcondition"))
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Err(); err != nil {
+		t.Fatal(err)
+	}
+	counts := log.Counts()
+	if counts["blocked"] != 5 || counts["violation:postcondition"] != 1 {
+		t.Fatalf("Counts() = %v", counts)
+	}
+
+	res, err := ReadAuditDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 6 || len(res.Torn) != 0 {
+		t.Fatalf("read %d records, %d torn", len(res.Records), len(res.Torn))
+	}
+	for i, rec := range res.Records {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, rec.Seq)
+		}
+		if rec.Time == 0 {
+			t.Fatalf("record %d has no timestamp", i)
+		}
+	}
+	if res.Records[0].StageNanos["pre_eval"] != 8400 {
+		t.Fatalf("stage timings lost: %v", res.Records[0].StageNanos)
+	}
+
+	ver, err := VerifyAuditDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ver.OK() {
+		t.Fatalf("verify problems: %v", ver.Problems)
+	}
+}
+
+func TestAuditRotation(t *testing.T) {
+	dir := t.TempDir()
+	// A record is ~250 bytes; 1 KiB segments force rotation every few
+	// appends.
+	log, err := OpenAuditLog(dir, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		log.Append(testRecord("rejected"))
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segments, err := AuditSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segments) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", len(segments))
+	}
+	for _, seg := range segments {
+		if seg.Size > 1024+600 {
+			t.Errorf("segment %s is %d bytes, way past the 1 KiB bound", seg.Path, seg.Size)
+		}
+	}
+	// The chain must stay contiguous across the rotation boundaries.
+	ver, err := VerifyAuditDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ver.OK() || ver.Records != n || ver.Segments != len(segments) {
+		t.Fatalf("verify = %+v, problems %v", ver, ver.Problems)
+	}
+}
+
+func TestAuditResume(t *testing.T) {
+	dir := t.TempDir()
+	log, err := OpenAuditLog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Append(testRecord("blocked"))
+	log.Append(testRecord("blocked"))
+	log.Close()
+
+	// Reopen: the sequence continues, and writes land in a new segment.
+	log2, err := OpenAuditLog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log2.Append(testRecord("error"))
+	log2.Close()
+
+	res, err := ReadAuditDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 3 || res.Records[2].Seq != 3 {
+		t.Fatalf("resume broke the chain: %d records, last seq %d",
+			len(res.Records), res.Records[len(res.Records)-1].Seq)
+	}
+	if len(res.Segments) != 2 {
+		t.Fatalf("reopen must start a fresh segment, got %d", len(res.Segments))
+	}
+	ver, err := VerifyAuditDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ver.OK() {
+		t.Fatalf("verify problems: %v", ver.Problems)
+	}
+}
+
+// TestAuditCrashTruncation simulates a crash mid-write: the segment's
+// last line is cut short. The reader must skip the torn record and keep
+// every whole one; the verifier must flag the hole.
+func TestAuditCrashTruncation(t *testing.T) {
+	dir := t.TempDir()
+	log, err := OpenAuditLog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		log.Append(testRecord("blocked"))
+	}
+	log.Close()
+
+	segments, err := AuditSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := segments[0].Path
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the final newline plus half the last record.
+	cut := len(data) - 1 - len(data)/8
+	if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := ReadAuditDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 3 {
+		t.Fatalf("reader kept %d records, want 3 whole ones", len(res.Records))
+	}
+	if len(res.Torn) != 1 {
+		t.Fatalf("reader reported %d torn lines, want 1", len(res.Torn))
+	}
+	if !res.Torn[0].Final {
+		t.Errorf("torn line not marked final: %+v", res.Torn[0])
+	}
+
+	ver, err := VerifyAuditDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver.OK() {
+		t.Fatal("verify passed a truncated chain")
+	}
+	found := false
+	for _, p := range ver.Problems {
+		if strings.Contains(p, "torn final record") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("problems = %v, want a torn-final-record entry", ver.Problems)
+	}
+
+	// Reopening after the crash must resume after the last whole record
+	// and never append to the torn segment.
+	log2, err := OpenAuditLog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log2.Append(testRecord("blocked"))
+	log2.Close()
+	res2, err := ReadAuditDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res2.Records[len(res2.Records)-1]
+	if last.Seq != 4 {
+		t.Fatalf("resumed seq = %d, want 4 (after 3 whole records)", last.Seq)
+	}
+	if len(res2.Segments) != 2 {
+		t.Fatalf("crash recovery must write a fresh segment, got %d", len(res2.Segments))
+	}
+}
+
+// TestAuditMidFileCorruption: a corrupt line with valid records after it
+// is stronger than a crash tail and must be reported as such.
+func TestAuditMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	log, err := OpenAuditLog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		log.Append(testRecord("blocked"))
+	}
+	log.Close()
+	segments, _ := AuditSegments(dir)
+	path := segments[0].Path
+	data, _ := os.ReadFile(path)
+	lines := strings.SplitAfter(string(data), "\n")
+	lines[1] = "{corrupted" + "\n"
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ver, err := VerifyAuditDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver.OK() {
+		t.Fatal("verify passed a corrupt chain")
+	}
+	foundCorrupt, foundGap := false, false
+	for _, p := range ver.Problems {
+		if strings.Contains(p, "corrupt mid-file record") {
+			foundCorrupt = true
+		}
+		if strings.Contains(p, "sequence gap") {
+			foundGap = true
+		}
+	}
+	if !foundCorrupt || !foundGap {
+		t.Fatalf("problems = %v, want corrupt-mid-file and sequence-gap entries", ver.Problems)
+	}
+}
+
+func TestAuditSegmentsIgnoresStrangers(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "audit-000009.jsonl.d"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	log, err := OpenAuditLog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Append(testRecord("blocked"))
+	log.Close()
+	segments, err := AuditSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segments) != 1 {
+		t.Fatalf("AuditSegments = %+v, want just the real segment", segments)
+	}
+}
+
+func TestVerifySegmentGap(t *testing.T) {
+	dir := t.TempDir()
+	log, err := OpenAuditLog(dir, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		log.Append(testRecord("blocked"))
+	}
+	log.Close()
+	segments, _ := AuditSegments(dir)
+	if len(segments) < 3 {
+		t.Fatalf("need 3+ segments, got %d", len(segments))
+	}
+	if err := os.Remove(segments[1].Path); err != nil {
+		t.Fatal(err)
+	}
+	ver, err := VerifyAuditDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver.OK() {
+		t.Fatal("verify passed a chain with a deleted segment")
+	}
+	foundSeg := false
+	for _, p := range ver.Problems {
+		if strings.Contains(p, "segment gap") {
+			foundSeg = true
+		}
+	}
+	if !foundSeg {
+		t.Fatalf("problems = %v, want a segment-gap entry", ver.Problems)
+	}
+}

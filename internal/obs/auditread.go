@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// TornLine describes a record the reader could not parse — typically the
+// crash-truncated last line of a segment.
+type TornLine struct {
+	// Path is the segment file.
+	Path string `json:"path"`
+	// Line is the 1-based line number.
+	Line int `json:"line"`
+	// Reason explains why the line was skipped.
+	Reason string `json:"reason"`
+	// Final reports whether the line was the last of its segment (the
+	// expected crash shape; a torn line mid-file is stronger corruption).
+	Final bool `json:"final"`
+}
+
+// ReadResult is the outcome of reading an audit chain.
+type ReadResult struct {
+	// Records are the parsed records in chain order.
+	Records []AuditRecord
+	// Torn lists the skipped lines.
+	Torn []TornLine
+	// Segments are the files read, in index order.
+	Segments []Segment
+}
+
+// readSegment parses one segment file, skipping torn lines. A line is
+// torn when it fails to parse as JSON or — the crash signature — is the
+// final line of the file without a trailing newline.
+func readSegment(path string) ([]AuditRecord, []TornLine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: open audit segment: %w", err)
+	}
+	defer f.Close()
+	var (
+		recs []AuditRecord
+		torn []TornLine
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	lineNo := 0
+	// Track the raw byte count consumed vs the file size to detect a
+	// missing trailing newline on the last line.
+	info, err := f.Stat()
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: stat audit segment: %w", err)
+	}
+	var consumed int64
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		consumed += int64(len(line)) + 1 // +1 for the newline
+		if len(line) == 0 {
+			continue
+		}
+		var rec AuditRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			final := consumed >= info.Size()+1 // the +1 newline was assumed
+			torn = append(torn, TornLine{
+				Path: path, Line: lineNo, Final: final,
+				Reason: fmt.Sprintf("unparsable record: %v", err),
+			})
+			continue
+		}
+		// A syntactically valid document on an unterminated final line is
+		// still suspect only if truncated mid-way; valid JSON that
+		// consumed the whole file is accepted even without the newline.
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("obs: scan audit segment %s: %w", path, err)
+	}
+	return recs, torn, nil
+}
+
+// ReadAuditDir reads the whole audit chain under dir, in segment order,
+// skipping (and reporting) torn lines.
+func ReadAuditDir(dir string) (*ReadResult, error) {
+	segments, err := AuditSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	res := &ReadResult{Segments: segments}
+	for _, seg := range segments {
+		recs, torn, err := readSegment(seg.Path)
+		if err != nil {
+			return nil, err
+		}
+		res.Records = append(res.Records, recs...)
+		res.Torn = append(res.Torn, torn...)
+	}
+	return res, nil
+}
+
+// VerifyResult reports the chain checks auditctl verify runs.
+type VerifyResult struct {
+	// Segments is the number of segment files.
+	Segments int `json:"segments"`
+	// Records is the number of valid records.
+	Records int `json:"records"`
+	// Torn lists skipped lines (crash-truncated tails).
+	Torn []TornLine `json:"torn,omitempty"`
+	// Problems lists chain violations: segment-index gaps, sequence
+	// gaps or regressions, torn lines in non-final positions.
+	Problems []string `json:"problems,omitempty"`
+}
+
+// OK reports whether the chain verified cleanly (torn final lines are
+// themselves problems — a verifier must flag a crash-truncated record).
+func (v *VerifyResult) OK() bool { return len(v.Problems) == 0 }
+
+// VerifyAuditDir checks the audit chain: segment indices must be
+// contiguous, sequence numbers strictly increasing by one across the
+// whole chain, and every line parsable. Torn lines are flagged as
+// problems (the reader skipped them, but an auditor must know the trail
+// has a hole).
+func VerifyAuditDir(dir string) (*VerifyResult, error) {
+	res, err := ReadAuditDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := &VerifyResult{
+		Segments: len(res.Segments),
+		Records:  len(res.Records),
+		Torn:     res.Torn,
+	}
+	for i := 1; i < len(res.Segments); i++ {
+		if res.Segments[i].Index != res.Segments[i-1].Index+1 {
+			out.Problems = append(out.Problems, fmt.Sprintf(
+				"segment gap: %s jumps to %s",
+				res.Segments[i-1].Path, res.Segments[i].Path))
+		}
+	}
+	for i := 1; i < len(res.Records); i++ {
+		prev, cur := res.Records[i-1].Seq, res.Records[i].Seq
+		if cur != prev+1 {
+			out.Problems = append(out.Problems, fmt.Sprintf(
+				"sequence gap: record %d follows record %d", cur, prev))
+		}
+	}
+	for _, t := range res.Torn {
+		kind := "torn final record"
+		if !t.Final {
+			kind = "corrupt mid-file record"
+		}
+		out.Problems = append(out.Problems, fmt.Sprintf(
+			"%s: %s line %d (%s)", kind, t.Path, t.Line, t.Reason))
+	}
+	return out, nil
+}

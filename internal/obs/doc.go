@@ -1,0 +1,24 @@
+// Package obs is the observability substrate of the cloud monitor: the
+// paper's Cloud Monitor exists to make security violations visible, and
+// this package turns each monitored request into three durable signals —
+//
+//   - a per-request trace through the monitor pipeline (route match,
+//     pre-state snapshot, pre-condition eval, forward, post-state
+//     snapshot, post-condition eval), aggregated into per-stage
+//     latency histograms with lock-free atomic buckets;
+//
+//   - a dependency-free Prometheus-text metrics registry (counters,
+//     gauges, histograms) rendered on demand by an http.Handler, so a
+//     deployed monitor or cloud exposes /metrics without pulling in a
+//     client library;
+//
+//   - an append-only, size-rotated JSONL audit trail of every verdict
+//     that is not a clean pass, each record carrying the SecReq IDs of
+//     the contract it protects, the failing clause, the pre/post state
+//     snapshots the verdict was computed from, and the stage timings —
+//     the queryable evidence chain cmd/auditctl inspects.
+//
+// The hot path pays only atomic counter increments and a stack-allocated
+// span array per request; the audit sink is consulted solely for non-OK
+// outcomes, so a healthy deployment writes nothing.
+package obs

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultDurationBounds are the upper bucket bounds (in seconds) used for
+// latency histograms: 1µs to 10s on a 1-2.5-5 grid, covering everything
+// from an in-process cache hit to a fault-injected hang.
+var DefaultDurationBounds = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram with lock-free atomic counters,
+// Prometheus-compatible (cumulative buckets rendered by
+// MetricsWriter.Histogram). Observations are durations; bounds are in
+// seconds to match the exposition convention.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, seconds
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sumNS  atomic.Uint64   // sum of observations in nanoseconds
+	count  atomic.Uint64
+}
+
+// NewDurationHistogram builds a histogram over DefaultDurationBounds.
+func NewDurationHistogram() *Histogram {
+	return NewHistogram(DefaultDurationBounds)
+}
+
+// NewHistogram builds a histogram with the given upper bounds (seconds,
+// must be sorted ascending).
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	secs := d.Seconds()
+	// Binary search for the first bound >= secs.
+	i := sort.SearchFloat64s(h.bounds, secs)
+	h.counts[i].Add(1)
+	h.sumNS.Add(uint64(d.Nanoseconds()))
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
+
+// Mean returns the mean observation (zero when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load() / n)
+}
+
+// Reset zeroes all buckets (between runs).
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sumNS.Store(0)
+	h.count.Store(0)
+}
+
+// HistSnapshot is a consistent-enough copy of a histogram for rendering
+// (buckets are read individually; a scrape racing an Observe may be off
+// by one observation, which the exposition format tolerates).
+type HistSnapshot struct {
+	// Bounds are the upper bucket bounds in seconds.
+	Bounds []float64
+	// Counts are per-bucket (non-cumulative) counts; Counts[len(Bounds)]
+	// is the +Inf bucket.
+	Counts []uint64
+	// Sum is the total observed time in seconds.
+	Sum float64
+	// Count is the number of observations.
+	Count uint64
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    time.Duration(h.sumNS.Load()).Seconds(),
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// within the containing bucket — the same estimate Prometheus's
+// histogram_quantile computes. Returns zero when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	return h.Snapshot().Quantile(q)
+}
+
+// Quantile estimates the q-quantile from a snapshot.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := uint64(0)
+	for i, c := range s.Counts {
+		prev := float64(cum)
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		// The rank falls in bucket i, spanning (lower, upper].
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		var upper float64
+		if i < len(s.Bounds) {
+			upper = s.Bounds[i]
+		} else {
+			// +Inf bucket: report its lower bound (the standard
+			// Prometheus behaviour for overflowed quantiles).
+			return secondsToDuration(lower)
+		}
+		frac := (rank - prev) / float64(c)
+		return secondsToDuration(lower + (upper-lower)*frac)
+	}
+	if len(s.Bounds) > 0 {
+		return secondsToDuration(s.Bounds[len(s.Bounds)-1])
+	}
+	return 0
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // bucket 0
+	h.Observe(1 * time.Millisecond)   // bucket 0 (bounds are inclusive upper)
+	h.Observe(5 * time.Millisecond)   // bucket 1
+	h.Observe(2 * time.Second)        // +Inf
+	h.Observe(-time.Second)           // clamped to 0, bucket 0
+	snap := h.Snapshot()
+	want := []uint64{3, 1, 0, 1}
+	for i, c := range snap.Counts {
+		if c != want[i] {
+			t.Fatalf("Counts = %v, want %v", snap.Counts, want)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	wantSum := 500*time.Microsecond + time.Millisecond + 5*time.Millisecond + 2*time.Second
+	if h.Sum() != wantSum {
+		t.Fatalf("Sum = %v, want %v", h.Sum(), wantSum)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("Reset left Count=%d Sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.010, 0.020, 0.040})
+	// 10 observations in (10ms, 20ms]: the bucket spans 10ms..20ms.
+	for i := 0; i < 10; i++ {
+		h.Observe(15 * time.Millisecond)
+	}
+	// Median interpolates to the middle of the containing bucket.
+	q50 := h.Quantile(0.50)
+	if q50 < 14*time.Millisecond || q50 > 16*time.Millisecond {
+		t.Errorf("Quantile(0.5) = %v, want ~15ms", q50)
+	}
+	// All mass in one bucket: p99 stays within its bounds.
+	q99 := h.Quantile(0.99)
+	if q99 < 10*time.Millisecond || q99 > 20*time.Millisecond {
+		t.Errorf("Quantile(0.99) = %v, want within (10ms, 20ms]", q99)
+	}
+	// Observations beyond the last bound: the quantile reports the last
+	// finite bound (Prometheus's overflowed-quantile behaviour).
+	h2 := NewHistogram([]float64{0.001})
+	h2.Observe(time.Second)
+	if q := h2.Quantile(0.99); q != time.Millisecond {
+		t.Errorf("overflow Quantile(0.99) = %v, want 1ms", q)
+	}
+	// Empty histogram.
+	if q := NewDurationHistogram().Quantile(0.5); q != 0 {
+		t.Errorf("empty Quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramQuantileSpread(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.002, 0.004, 0.008})
+	// 90 fast, 10 slow: p50 in the first bucket, p99 in the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(6 * time.Millisecond)
+	}
+	if q := h.Quantile(0.50); q > time.Millisecond {
+		t.Errorf("Quantile(0.50) = %v, want <= 1ms", q)
+	}
+	if q := h.Quantile(0.99); q < 4*time.Millisecond || q > 8*time.Millisecond {
+		t.Errorf("Quantile(0.99) = %v, want in (4ms, 8ms]", q)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewDurationHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(time.Duration(i+1) * time.Millisecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("Count = %d, want 4000", h.Count())
+	}
+	var total uint64
+	for _, c := range h.Snapshot().Counts {
+		total += c
+	}
+	if total != 4000 {
+		t.Fatalf("bucket sum = %d, want 4000", total)
+	}
+}
+
+func TestDefaultDurationBoundsSorted(t *testing.T) {
+	for i := 1; i < len(DefaultDurationBounds); i++ {
+		if DefaultDurationBounds[i] <= DefaultDurationBounds[i-1] {
+			t.Fatalf("bounds not strictly ascending at %d: %v", i, DefaultDurationBounds)
+		}
+	}
+	if math.IsInf(DefaultDurationBounds[len(DefaultDurationBounds)-1], 1) {
+		t.Fatal("bounds must not include +Inf (implicit last bucket)")
+	}
+}
+
+func TestTracer(t *testing.T) {
+	tr := NewTracer()
+	var trace Trace
+	trace[StageRouteMatch] = 2 * time.Microsecond
+	trace[StageForward] = 3 * time.Millisecond
+	// Post stages stay zero: blocked request.
+	tr.Observe(&trace)
+	sums := tr.Summaries()
+	if len(sums) != 2 {
+		t.Fatalf("Summaries() has %d stages, want 2: %v", len(sums), sums)
+	}
+	if sums["route_match"].Count != 1 || sums["forward"].Count != 1 {
+		t.Fatalf("Summaries() = %v", sums)
+	}
+	if _, ok := sums["post_eval"]; ok {
+		t.Fatal("zero-span stage leaked into summaries")
+	}
+	m := trace.Map()
+	if len(m) != 2 || m["forward"] != (3 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("Map() = %v", m)
+	}
+	tr.Reset()
+	if len(tr.Summaries()) != 0 {
+		t.Fatal("Reset left observations")
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	names := StageNames()
+	if len(names) != int(NumStages) {
+		t.Fatalf("StageNames() has %d entries, want %d", len(names), NumStages)
+	}
+	if names[0] != "route_match" || names[int(NumStages)-1] != "post_eval" {
+		t.Fatalf("StageNames() = %v", names)
+	}
+	if Stage(99).String() != "unknown" {
+		t.Fatalf("out-of-range Stage.String() = %q", Stage(99).String())
+	}
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// HTTPMetrics is a counting middleware for a served API (cloudsim wraps
+// its cloud handler in one): requests tallied by method and status
+// class, latencies folded into one histogram. All hot-path updates are
+// atomic.
+type HTTPMetrics struct {
+	requests KeyedCounter // "METHOD status" -> count
+	latency  *Histogram
+}
+
+// NewHTTPMetrics builds the middleware state.
+func NewHTTPMetrics() *HTTPMetrics {
+	return &HTTPMetrics{latency: NewDurationHistogram()}
+}
+
+// statusRecorder captures the response code written by the wrapped
+// handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Wrap instruments next.
+func (m *HTTPMetrics) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		m.requests.Add(r.Method+" "+strconv.Itoa(rec.status), 1)
+		m.latency.Observe(time.Since(start))
+	})
+}
+
+// Register wires the middleware's metrics into a registry under the
+// given metric-name prefix (e.g. "cloudsim").
+func (m *HTTPMetrics) Register(reg *Registry, prefix string) {
+	reg.Collect(func(w *MetricsWriter) {
+		snap := m.requests.Snapshot()
+		keys := make([]string, 0, len(snap))
+		for k := range snap {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			method, status, _ := strings.Cut(key, " ")
+			w.Counter(prefix+"_requests_total", "Requests served by method and status.",
+				float64(snap[key]), L("method", method), L("status", status))
+		}
+		w.Histogram(prefix+"_request_duration_seconds", "Request service time.", m.latency)
+	})
+}

@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+	c.Reset()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("Value() after Reset = %d, want 0", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Value() = %d, want 8000", got)
+	}
+}
+
+func TestKeyedCounter(t *testing.T) {
+	var kc KeyedCounter
+	kc.Add("a", 2)
+	kc.Add("b", 1)
+	kc.Add("a", 3)
+	if got := kc.Value("a"); got != 5 {
+		t.Fatalf("Value(a) = %d, want 5", got)
+	}
+	if got := kc.Value("missing"); got != 0 {
+		t.Fatalf("Value(missing) = %d, want 0", got)
+	}
+	snap := kc.Snapshot()
+	if snap["a"] != 5 || snap["b"] != 1 {
+		t.Fatalf("Snapshot() = %v", snap)
+	}
+	kc.Reset()
+	if got := kc.Value("a"); got != 0 {
+		t.Fatalf("Value(a) after Reset = %d, want 0", got)
+	}
+}
+
+func TestRegistryRender(t *testing.T) {
+	reg := &Registry{}
+	var hits Counter
+	hits.Add(7)
+	var byKind KeyedCounter
+	byKind.Add("timeout", 3)
+	byKind.Add("drop", 1)
+	h := NewHistogram([]float64{0.001, 0.01})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(50 * time.Millisecond)
+	reg.Collect(func(w *MetricsWriter) {
+		w.Counter("demo_hits_total", "Hits.", float64(hits.Value()))
+		w.Gauge("demo_state", "State.", 2, L("name", "breaker"))
+		w.KeyedCounter("demo_faults_total", "Faults by kind.", &byKind, "kind")
+		w.Histogram("demo_latency_seconds", "Latency.", h)
+	})
+	doc := reg.Render()
+
+	for _, want := range []string{
+		"# HELP demo_hits_total Hits.",
+		"# TYPE demo_hits_total counter",
+		"demo_hits_total 7",
+		"# TYPE demo_state gauge",
+		`demo_state{name="breaker"} 2`,
+		`demo_faults_total{kind="drop"} 1`,
+		`demo_faults_total{kind="timeout"} 3`,
+		"# TYPE demo_latency_seconds histogram",
+		`demo_latency_seconds_bucket{le="0.001"} 1`,
+		`demo_latency_seconds_bucket{le="0.01"} 2`,
+		`demo_latency_seconds_bucket{le="+Inf"} 3`,
+		"demo_latency_seconds_count 3",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("rendered document missing %q:\n%s", want, doc)
+		}
+	}
+	// Keys must render sorted for a stable document.
+	if strings.Index(doc, `kind="drop"`) > strings.Index(doc, `kind="timeout"`) {
+		t.Errorf("keyed counter samples not sorted:\n%s", doc)
+	}
+}
+
+func TestRegistryHeaderDedup(t *testing.T) {
+	reg := &Registry{}
+	reg.Collect(func(w *MetricsWriter) {
+		w.Counter("dup_total", "Dup.", 1, L("src", "a"))
+		w.Counter("dup_total", "Dup.", 2, L("src", "b"))
+	})
+	doc := reg.Render()
+	if n := strings.Count(doc, "# HELP dup_total"); n != 1 {
+		t.Fatalf("HELP emitted %d times, want 1:\n%s", n, doc)
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	reg := &Registry{}
+	reg.Collect(func(w *MetricsWriter) {
+		w.Counter("served_total", "Served.", 42)
+	})
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "served_total 42") {
+		t.Errorf("body = %q", buf[:n])
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	doc := func() string {
+		reg := &Registry{}
+		reg.Collect(func(w *MetricsWriter) {
+			w.Counter("esc_total", "Esc.", 1, L("v", "a\"b\\c\nd"))
+		})
+		return reg.Render()
+	}()
+	if !strings.Contains(doc, `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", doc)
+	}
+	// And the parser must invert it.
+	samples, err := ParseText([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := Find(samples, "esc_total")
+	if len(found) != 1 || found[0].Label("v") != "a\"b\\c\nd" {
+		t.Fatalf("round trip = %+v", found)
+	}
+}
+
+func TestParseTextRoundTrip(t *testing.T) {
+	reg := &Registry{}
+	h := NewDurationHistogram()
+	h.Observe(100 * time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+	reg.Collect(func(w *MetricsWriter) {
+		w.Counter("rt_verdicts_total", "V.", 11, L("outcome", "ok"))
+		w.Counter("rt_verdicts_total", "V.", 3, L("outcome", "blocked"))
+		w.Histogram("rt_stage_duration_seconds", "S.", h, L("stage", "forward"))
+	})
+	samples, err := ParseText([]byte(reg.Render()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := CounterByLabel(samples, "rt_verdicts_total", "outcome")
+	if verdicts["ok"] != 11 || verdicts["blocked"] != 3 {
+		t.Fatalf("CounterByLabel = %v", verdicts)
+	}
+	snap, ok := HistogramFromSamples(samples, "rt_stage_duration_seconds", "stage", "forward")
+	if !ok {
+		t.Fatal("HistogramFromSamples found nothing")
+	}
+	if snap.Count != 2 {
+		t.Fatalf("scraped Count = %d, want 2", snap.Count)
+	}
+	// De-accumulated buckets must sum back to the count.
+	var total uint64
+	for _, c := range snap.Counts {
+		total += c
+	}
+	if total != 2 {
+		t.Fatalf("bucket counts sum to %d, want 2", total)
+	}
+	// Quantiles over the reconstructed snapshot must land in the right
+	// buckets: both observations are under 5ms.
+	if q := snap.Quantile(0.99); q > 5*time.Millisecond {
+		t.Fatalf("Quantile(0.99) = %v, want <= 5ms", q)
+	}
+	if _, ok := HistogramFromSamples(samples, "rt_stage_duration_seconds", "stage", "missing"); ok {
+		t.Fatal("HistogramFromSamples matched a missing selector")
+	}
+}
+
+func TestParseTextRejectsGarbage(t *testing.T) {
+	for _, doc := range []string{
+		"novalue",
+		`bad{unterminated="x} 1`,
+		"name{} notanumber",
+	} {
+		if _, err := ParseText([]byte(doc)); err == nil {
+			t.Errorf("ParseText(%q) succeeded, want error", doc)
+		}
+	}
+	// Comments, blanks and trailing timestamps are fine.
+	samples, err := ParseText([]byte("# HELP x y\n\nx 5 1712345678\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 || samples[0].Value != 5 {
+		t.Fatalf("samples = %+v", samples)
+	}
+}
+
+func TestHTTPMetrics(t *testing.T) {
+	hm := NewHTTPMetrics()
+	handler := hm.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/missing" {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+	for _, path := range []string{"/", "/", "/missing"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	reg := &Registry{}
+	hm.Register(reg, "demo")
+	samples, err := ParseText([]byte(reg.Render()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok200, notFound float64
+	for _, s := range Find(samples, "demo_requests_total") {
+		switch s.Label("status") {
+		case "200":
+			ok200 = s.Value
+		case "404":
+			notFound = s.Value
+		}
+		if s.Label("method") != "GET" {
+			t.Errorf("method label = %q", s.Label("method"))
+		}
+	}
+	if ok200 != 2 || notFound != 1 {
+		t.Fatalf("requests: 200=%v 404=%v, want 2 and 1", ok200, notFound)
+	}
+	if snap, ok := HistogramFromSamples(samples, "demo_request_duration_seconds", "", ""); !ok || snap.Count != 3 {
+		t.Fatalf("latency histogram count = %d (ok=%v), want 3", snap.Count, ok)
+	}
+}

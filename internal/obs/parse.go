@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition-format sample line.
+type Sample struct {
+	// Name is the metric name (including _bucket/_sum/_count suffixes).
+	Name string
+	// Labels are the sample's label pairs.
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// Label returns the named label value ("" when absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// ParseText parses a Prometheus text exposition document into samples —
+// the consumer side of the Registry, used by loadmon to scrape a
+// deployed monitor's /metrics endpoint. Comment and blank lines are
+// skipped; malformed sample lines are errors.
+func ParseText(data []byte) ([]Sample, error) {
+	var out []Sample
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: metrics line %d: %w", lineNo+1, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// parseSample parses `name{a="b",...} value`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// Exposition lines may carry a trailing timestamp; take the first field.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses `a="b",c="d"`. Escaped quotes and backslashes in
+// values are unescaped.
+func parseLabels(body string) (map[string]string, error) {
+	out := map[string]string{}
+	rest := body
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("bad label in %q", body)
+		}
+		name := strings.TrimSpace(rest[:eq])
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, fmt.Errorf("unquoted label value in %q", body)
+		}
+		rest = rest[1:]
+		var sb strings.Builder
+		closed := false
+		for i := 0; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					sb.WriteByte('\n')
+				default:
+					sb.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				rest = rest[i+1:]
+				closed = true
+				break
+			}
+			sb.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value in %q", body)
+		}
+		out[name] = sb.String()
+		rest = strings.TrimPrefix(strings.TrimSpace(rest), ",")
+		rest = strings.TrimSpace(rest)
+	}
+	return out, nil
+}
+
+// Find returns the samples with the given name.
+func Find(samples []Sample, name string) []Sample {
+	var out []Sample
+	for _, s := range samples {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// CounterByLabel collects name's samples into a map keyed by the given
+// label — e.g. verdict counters keyed by outcome.
+func CounterByLabel(samples []Sample, name, label string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, s := range Find(samples, name) {
+		out[s.Label(label)] += s.Value
+	}
+	return out
+}
+
+// HistogramFromSamples reconstructs a histogram snapshot from scraped
+// _bucket/_sum/_count samples of the metric base name, keeping only
+// samples whose selector label matches (pass "" to match all). The
+// cumulative bucket counts are de-accumulated back into per-bucket
+// counts so Quantile works on the result.
+func HistogramFromSamples(samples []Sample, base, selectorLabel, selectorValue string) (HistSnapshot, bool) {
+	type bucket struct {
+		le  float64
+		cum uint64
+	}
+	var (
+		buckets []bucket
+		snap    HistSnapshot
+		seen    bool
+	)
+	match := func(s Sample) bool {
+		return selectorLabel == "" || s.Label(selectorLabel) == selectorValue
+	}
+	for _, s := range Find(samples, base+"_bucket") {
+		if !match(s) {
+			continue
+		}
+		le := s.Label("le")
+		if le == "+Inf" {
+			buckets = append(buckets, bucket{le: -1, cum: uint64(s.Value)})
+			continue
+		}
+		f, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			continue
+		}
+		buckets = append(buckets, bucket{le: f, cum: uint64(s.Value)})
+	}
+	for _, s := range Find(samples, base+"_sum") {
+		if match(s) {
+			snap.Sum = s.Value
+			seen = true
+		}
+	}
+	for _, s := range Find(samples, base+"_count") {
+		if match(s) {
+			snap.Count = uint64(s.Value)
+			seen = true
+		}
+	}
+	if len(buckets) == 0 || !seen {
+		return HistSnapshot{}, false
+	}
+	sort.Slice(buckets, func(i, j int) bool {
+		// +Inf (le = -1 sentinel) sorts last.
+		if buckets[i].le < 0 {
+			return false
+		}
+		if buckets[j].le < 0 {
+			return true
+		}
+		return buckets[i].le < buckets[j].le
+	})
+	prev := uint64(0)
+	for _, b := range buckets {
+		if b.le >= 0 {
+			snap.Bounds = append(snap.Bounds, b.le)
+		}
+		snap.Counts = append(snap.Counts, b.cum-prev)
+		prev = b.cum
+	}
+	return snap, true
+}

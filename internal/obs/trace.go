@@ -1,0 +1,142 @@
+package obs
+
+import "time"
+
+// Stage identifies one segment of the monitor pipeline a request passes
+// through. The order matches the paper's workflow (Section III).
+type Stage int
+
+// Pipeline stages.
+const (
+	// StageRouteMatch is the contract-route lookup.
+	StageRouteMatch Stage = iota
+	// StagePreSnapshot reads the pre-state navigation paths.
+	StagePreSnapshot
+	// StagePreEval evaluates the pre-condition over the snapshot.
+	StagePreEval
+	// StageForward is the round trip to the private cloud.
+	StageForward
+	// StagePostSnapshot reads the post-state paths.
+	StagePostSnapshot
+	// StagePostEval evaluates the post-condition.
+	StagePostEval
+	// NumStages is the stage count (array sizes).
+	NumStages
+)
+
+// stageNames indexes Stage -> metric label.
+var stageNames = [NumStages]string{
+	"route_match",
+	"pre_snapshot",
+	"pre_eval",
+	"forward",
+	"post_snapshot",
+	"post_eval",
+}
+
+// String returns the stage's metric label (snake_case).
+func (s Stage) String() string {
+	if s >= 0 && s < NumStages {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// StageNames returns all stage labels in pipeline order.
+func StageNames() []string {
+	return append([]string(nil), stageNames[:]...)
+}
+
+// Trace is the per-request span buffer: one duration per pipeline stage,
+// held on the caller's stack — no allocation, no locks. Stages a request
+// never reaches (e.g. post_eval on a blocked request) stay zero and are
+// not observed into the histograms.
+type Trace [NumStages]time.Duration
+
+// Map renders the non-zero spans keyed by stage label (audit records,
+// verdict documents).
+func (t *Trace) Map() map[string]int64 {
+	var out map[string]int64
+	for s := Stage(0); s < NumStages; s++ {
+		if t[s] > 0 {
+			if out == nil {
+				out = make(map[string]int64, int(NumStages))
+			}
+			out[s.String()] = t[s].Nanoseconds()
+		}
+	}
+	return out
+}
+
+// Tracer aggregates request traces into per-stage latency histograms.
+// Observing a trace is lock-free (atomic bucket increments only).
+type Tracer struct {
+	hists [NumStages]*Histogram
+}
+
+// NewTracer builds a tracer with a duration histogram per stage.
+func NewTracer() *Tracer {
+	t := &Tracer{}
+	for i := range t.hists {
+		t.hists[i] = NewDurationHistogram()
+	}
+	return t
+}
+
+// Observe folds one request's trace into the per-stage histograms.
+// Zero spans (stages the request never reached) are skipped.
+func (t *Tracer) Observe(tr *Trace) {
+	for s := Stage(0); s < NumStages; s++ {
+		if tr[s] > 0 {
+			t.hists[s].Observe(tr[s])
+		}
+	}
+}
+
+// Stage returns the histogram for one stage.
+func (t *Tracer) Stage(s Stage) *Histogram { return t.hists[s] }
+
+// Reset zeroes every stage histogram.
+func (t *Tracer) Reset() {
+	for _, h := range t.hists {
+		h.Reset()
+	}
+}
+
+// StageSummary condenses one stage's histogram for reports.
+type StageSummary struct {
+	Count  uint64  `json:"count"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+	MeanUS float64 `json:"mean_us"`
+}
+
+// Summaries returns a summary per stage that saw at least one request,
+// keyed by stage label.
+func (t *Tracer) Summaries() map[string]StageSummary {
+	out := make(map[string]StageSummary)
+	for s := Stage(0); s < NumStages; s++ {
+		h := t.hists[s]
+		if h.Count() == 0 {
+			continue
+		}
+		out[s.String()] = SummarizeHistogram(h.Snapshot())
+	}
+	return out
+}
+
+// SummarizeHistogram condenses a histogram snapshot into the report shape.
+func SummarizeHistogram(snap HistSnapshot) StageSummary {
+	toUS := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	sum := StageSummary{
+		Count: snap.Count,
+		P50US: toUS(snap.Quantile(0.50)),
+		P95US: toUS(snap.Quantile(0.95)),
+		P99US: toUS(snap.Quantile(0.99)),
+	}
+	if snap.Count > 0 {
+		sum.MeanUS = snap.Sum / float64(snap.Count) * 1e6
+	}
+	return sum
+}

@@ -32,6 +32,7 @@ import (
 
 	"cloudmon/internal/contract"
 	"cloudmon/internal/monitor"
+	"cloudmon/internal/obs"
 	"cloudmon/internal/ocl"
 	"cloudmon/internal/osclient"
 	"cloudmon/internal/uml"
@@ -77,6 +78,63 @@ type Provider struct {
 	mu sync.Mutex
 	// token caches the service-account token; refreshed on 401.
 	token string
+
+	// Lock-free observability counters over the retry loop (exported via
+	// RegisterMetrics).
+	attempts      obs.Counter
+	retries       obs.Counter
+	authRefreshes obs.Counter
+}
+
+// ProviderStats snapshots the retry-loop counters.
+type ProviderStats struct {
+	// Attempts counts cloud-read attempts, including retries.
+	Attempts uint64 `json:"attempts"`
+	// Retries counts attempts beyond the first for an operation.
+	Retries uint64 `json:"retries"`
+	// AuthRefreshes counts 401-triggered token invalidations.
+	AuthRefreshes uint64 `json:"auth_refreshes"`
+}
+
+// Stats snapshots the provider's counters.
+func (p *Provider) Stats() ProviderStats {
+	return ProviderStats{
+		Attempts:      p.attempts.Value(),
+		Retries:       p.retries.Value(),
+		AuthRefreshes: p.authRefreshes.Value(),
+	}
+}
+
+// RegisterMetrics exposes the provider's retry and breaker state on the
+// registry. Breaker state is sampled at scrape time (gauge: 0 closed,
+// 1 half-open, 2 open).
+func (p *Provider) RegisterMetrics(reg *obs.Registry) {
+	reg.Collect(func(w *obs.MetricsWriter) {
+		w.Counter("cloudmon_snapshot_attempts_total",
+			"Cloud read attempts by the snapshot provider, including retries.",
+			float64(p.attempts.Value()))
+		w.Counter("cloudmon_snapshot_retries_total",
+			"Snapshot read attempts beyond the first for an operation.",
+			float64(p.retries.Value()))
+		w.Counter("cloudmon_snapshot_auth_refresh_total",
+			"Service-token refreshes triggered by 401 responses.",
+			float64(p.authRefreshes.Value()))
+		if p.Breaker != nil {
+			var state float64
+			switch p.Breaker.State() {
+			case osclient.StateHalfOpen:
+				state = 1
+			case osclient.StateOpen:
+				state = 2
+			}
+			w.Gauge("cloudmon_breaker_state",
+				"Snapshot circuit breaker state: 0 closed, 1 half-open, 2 open.",
+				state)
+			w.Counter("cloudmon_breaker_shed_total",
+				"Snapshot reads shed while the breaker was open.",
+				float64(p.Breaker.Shed()))
+		}
+	})
 }
 
 var _ monitor.StateProvider = (*Provider)(nil)
@@ -148,6 +206,10 @@ func (p *Provider) retryDo(idempotent bool, fn func(c *osclient.Client) error) e
 		if p.Breaker != nil && !p.Breaker.Allow() {
 			return fmt.Errorf("osbinding: snapshot shed: %w", osclient.ErrCircuitOpen)
 		}
+		p.attempts.Inc()
+		if attempt > 1 {
+			p.retries.Inc()
+		}
 		c, err := p.authedClient()
 		if err == nil {
 			if pol.PerAttemptTimeout > 0 {
@@ -165,6 +227,7 @@ func (p *Provider) retryDo(idempotent bool, fn func(c *osclient.Client) error) e
 		}
 		if osclient.IsStatus(err, http.StatusUnauthorized) {
 			p.invalidateToken()
+			p.authRefreshes.Inc()
 		}
 		if !osclient.RetryableFor(err, idempotent) || attempt >= pol.MaxAttempts {
 			return err
