@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet lint test race cover bench fuzz chaos obs examples experiments artifacts
+.PHONY: all build vet lint test race cover bench planbench fuzz chaos obs examples experiments artifacts
 
 all: build vet lint test
 
@@ -29,6 +29,11 @@ cover:
 
 bench:
 	go test -run XXX -bench . -benchmem .
+
+# E15: the demand-driven evaluation engine vs the eager whole-contract
+# snapshot, with per-op cloud-GET economy (see EXPERIMENTS.md).
+planbench:
+	go test -run XXX -bench BenchmarkEvalPlan -benchmem .
 
 # Seed-corpus fuzzing already runs under `make test`; this target fuzzes
 # each parser for 30s.

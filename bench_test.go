@@ -7,6 +7,9 @@
 //	E13 BenchmarkMonitorThroughput  concurrent hot path: serial vs
 //	    parallel snapshots vs pre-state cache, in-process and with
 //	    simulated network latency
+//	E15 BenchmarkEvalPlan           demand-driven evaluation vs eager
+//	    whole-contract snapshots, with per-op cloud-GET economy and
+//	    flight coalescing under simulated latency
 //
 // plus supporting micro-benchmarks for the substrate (policy checks,
 // XMI round-trips, router dispatch).
@@ -293,6 +296,102 @@ func BenchmarkMonitorThroughput(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEvalPlan (E15) compares the demand-driven evaluation engine
+// (compiled plans, per-path fetches, effect-frame post reuse) against the
+// eager whole-contract snapshot, on the read and write paths, in process
+// and under 1ms of simulated network latency per backend round trip. Each
+// sub-benchmark also reports the cloud-read economy as cloudGETs/op — the
+// number the lazy engine exists to shrink; with network latency in the
+// loop, saved GETs convert directly into saved milliseconds.
+func BenchmarkEvalPlan(b *testing.B) {
+	engines := []struct {
+		name string
+		eval monitor.EvalMode
+	}{
+		{"lazy", monitor.EvalLazy},
+		{"eager", monitor.EvalEager},
+	}
+	reportGets := func(b *testing.B, d *benchDeployment, before uint64) {
+		b.ReportMetric(float64(d.sys.Provider.Stats().Gets-before)/float64(b.N), "cloudGETs/op")
+	}
+	for _, eng := range engines {
+		eng := eng
+		b.Run("GET/"+eng.name, func(b *testing.B) {
+			d := newThroughputDeployment(b, 0, func(o *core.Options) { o.Eval = eng.eval })
+			path := "/projects/" + d.projectID + "/volumes/" + d.volumeID
+			b.ReportAllocs()
+			before := d.sys.Provider.Stats().Gets
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.monitored.Do(http.MethodGet, path, nil, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportGets(b, d, before)
+		})
+		b.Run("CreateDelete/"+eng.name, func(b *testing.B) {
+			d := newThroughputDeployment(b, 0, func(o *core.Options) { o.Eval = eng.eval })
+			collection := "/projects/" + d.projectID + "/volumes"
+			in := map[string]map[string]any{"volume": {"name": "x", "size": 1}}
+			b.ReportAllocs()
+			before := d.sys.Provider.Stats().Gets
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var out struct {
+					Volume cinder.Volume `json:"volume"`
+				}
+				if _, err := d.monitored.Do(http.MethodPost, collection, in, &out, nil); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := d.monitored.Do(http.MethodDelete, collection+"/"+out.Volume.ID, nil, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			// Two monitored requests per iteration.
+			b.ReportMetric(float64(d.sys.Provider.Stats().Gets-before)/float64(2*b.N), "cloudGETs/req")
+		})
+		b.Run("netsim-1ms/GET/"+eng.name, func(b *testing.B) {
+			d := newThroughputDeployment(b, time.Millisecond, func(o *core.Options) { o.Eval = eng.eval })
+			path := "/projects/" + d.projectID + "/volumes/" + d.volumeID
+			before := d.sys.Provider.Stats().Gets
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.monitored.Do(http.MethodGet, path, nil, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportGets(b, d, before)
+		})
+	}
+	// Concurrent lazy GETs against a slow backend: identical in-flight
+	// path fetches coalesce onto one leader, so the per-op GET count
+	// drops below the serial figure as parallelism rises.
+	b.Run("netsim-1ms/GET/lazy-parallel", func(b *testing.B) {
+		d := newThroughputDeployment(b, time.Millisecond, func(o *core.Options) { o.Eval = monitor.EvalLazy })
+		path := "/projects/" + d.projectID + "/volumes/" + d.volumeID
+		// The workload is latency-bound, not CPU-bound: pin 8 client
+		// goroutines per proc so in-flight fetches overlap (and so
+		// coalesce) even on a single-core runner.
+		b.SetParallelism(8)
+		before := d.sys.Provider.Stats().Gets
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := d.monitored.Do(http.MethodGet, path, nil, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.StopTimer()
+		reportGets(b, d, before)
+		fs := d.sys.Monitor.FetchStats()
+		b.ReportMetric(float64(fs.Coalesced)/float64(b.N), "coalesced/op")
+	})
 }
 
 // BenchmarkMonitorAblation compares the full workflow against the

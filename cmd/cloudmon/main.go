@@ -54,6 +54,7 @@ func run(args []string) error {
 	modeName := fs.String("mode", "enforce", "monitor mode: enforce | observe")
 	inspectAddr := fs.String("inspect-addr", "", "optional listen address for the verdict/coverage API (e.g. 127.0.0.1:8001)")
 	levelName := fs.String("level", "full", "contract check level: full | pre-only")
+	evalName := fs.String("eval", "lazy", "contract evaluation engine: lazy (demand-driven plans) | eager (whole-contract snapshots)")
 	logFile := fs.String("log-file", "", "append verdicts as NDJSON to this file")
 	metricsAddr := fs.String("metrics-addr", "", "optional listen address for the Prometheus-text /metrics endpoint (e.g. 127.0.0.1:8002)")
 	auditDir := fs.String("audit-dir", "", "directory for the append-only audit trail (violations and Unverified outcomes)")
@@ -103,6 +104,10 @@ func run(args []string) error {
 		level = monitor.CheckPreOnly
 	default:
 		return fmt.Errorf("unknown level %q (want full or pre-only)", *levelName)
+	}
+	eval, err := monitor.ParseEvalMode(*evalName)
+	if err != nil {
+		return err
 	}
 
 	// Optional model slicing (paper §VI.B future work): monitor only the
@@ -154,6 +159,7 @@ func run(args []string) error {
 		},
 		Mode:              mode,
 		Level:             level,
+		Eval:              eval,
 		OnVerdict:         onVerdict,
 		ParallelSnapshots: *parallelSnapshots,
 		Audit:             audit,
@@ -162,7 +168,7 @@ func run(args []string) error {
 		return err
 	}
 
-	fmt.Printf("cloud monitor (%s mode) on %s, proxying %s\n", mode, *addr, *cloudURL)
+	fmt.Printf("cloud monitor (%s mode, %s eval) on %s, proxying %s\n", mode, eval, *addr, *cloudURL)
 	fmt.Printf("  %d contracts over model %q; security requirements %v\n",
 		len(sys.Contracts.Contracts), model.Resource.Name, sys.Contracts.SecReqs())
 	for _, r := range sys.Routes {

@@ -61,6 +61,7 @@ func run(args []string, out io.Writer) error {
 	warmup := fs.Int("warmup", -1, "override warmup request count")
 	modeName := fs.String("mode", "enforce", "monitor mode for the in-process deployment: enforce | observe")
 	levelName := fs.String("level", "full", "check level for the in-process deployment: full | pre-only")
+	evalName := fs.String("eval", "lazy", "evaluation engine for the in-process deployment: lazy | eager")
 	parallel := fs.Bool("parallel-snapshots", false, "resolve state snapshots concurrently")
 	workers := fs.Int("snapshot-workers", 0, "bound the parallel snapshot pool (0 = default)")
 	cacheTTL := fs.Duration("cache-ttl", 0, "pre-state read-cache TTL (0 = disabled)")
@@ -156,12 +157,17 @@ func run(args []string, out io.Writer) error {
 		default:
 			return fmt.Errorf("unknown level %q (want full or pre-only)", *levelName)
 		}
+		evalMode, err := monitor.ParseEvalMode(*evalName)
+		if err != nil {
+			return err
+		}
 		if policy == monitor.Degrade && *cacheTTL <= 0 {
 			return fmt.Errorf("-fail-policy degrade needs -cache-ttl > 0 (the policy falls back to the pre-state cache)")
 		}
 		opts := loadgen.DeployOptions{
 			Mode:              mode,
 			Level:             level,
+			Eval:              evalMode,
 			FailPolicy:        policy,
 			ParallelSnapshots: *parallel,
 			SnapshotWorkers:   *workers,
@@ -233,7 +239,10 @@ func run(args []string, out io.Writer) error {
 		if err := verifyObs(dep, report); err != nil {
 			return err
 		}
-		fmt.Fprintln(out, "verify: structural invariants hold (verdicts ≡ metrics ≡ audit)")
+		if err := verifyFetch(sc, report, dep); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "verify: structural invariants hold (verdicts ≡ metrics ≡ audit ≡ fetch economy)")
 	}
 	return nil
 }
@@ -376,6 +385,33 @@ func verifyReport(sc loadgen.Scenario, r *loadgen.Report, policy monitor.FailPol
 	if policy == monitor.FailClosed && r.Verdicts[monitor.Unverified.String()] != 0 {
 		return fmt.Errorf("verify: fail-closed run recorded %d unverified verdicts",
 			r.Verdicts[monitor.Unverified.String()])
+	}
+	return nil
+}
+
+// verifyFetch asserts the run's fetch-economy invariants: the monitor
+// never reads more of the cloud than the eager engine's worst case (two
+// full snapshots per checked request), and a serial closed loop coalesces
+// nothing — with one client there is never a concurrent identical read in
+// flight to share.
+func verifyFetch(sc loadgen.Scenario, r *loadgen.Report, dep *loadgen.Deployment) error {
+	if dep == nil || r.Fetch == nil || r.Fetch.Requests == 0 {
+		return nil
+	}
+	perRequest := 0
+	for _, c := range dep.Sys.Contracts.Contracts {
+		if n := 2 * len(c.StatePaths()); n > perRequest {
+			perRequest = n
+		}
+	}
+	bound := perRequest * r.Fetch.Requests
+	if r.Fetch.CloudGets > bound {
+		return fmt.Errorf("verify: %d cloud GETs for %d checked requests exceeds the eager bound %d (2 snapshots × %d paths each)",
+			r.Fetch.CloudGets, r.Fetch.Requests, bound, perRequest/2)
+	}
+	if sc.Clients == 1 && sc.Rate == 0 && r.Fetch.Coalesced != 0 {
+		return fmt.Errorf("verify: serial closed loop coalesced %d fetches (nothing can be in flight to share)",
+			r.Fetch.Coalesced)
 	}
 	return nil
 }

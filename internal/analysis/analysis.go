@@ -17,6 +17,8 @@
 //	                          contract-table holes, route conflicts
 //	MV4xx  secreq             security-requirement traceability
 //	MV5xx  monitorability     postconditions the proxy cannot observe
+//	MV6xx  frames             dead effects, disjuncts blind to their
+//	                          trigger's guard vocabulary
 //
 // Diagnostics are deterministically ordered, so the analyzer's output is
 // byte-for-byte reproducible — a requirement for golden tests and CI.
@@ -146,6 +148,7 @@ func Passes() []Pass {
 		interfacePass(),
 		secreqPass(),
 		monitorabilityPass(),
+		framesPass(),
 	}
 }
 

@@ -35,6 +35,14 @@ type Case struct {
 	Pre ocl.Expr
 	// Post is inv(target) and effect — may reference pre() old values.
 	Post ocl.Expr
+	// Guard is the transition's parsed guard alone (literal true when the
+	// model declares none). The planner uses its vocabulary separately
+	// from the source invariant's.
+	Guard ocl.Expr
+	// Effect is the transition's parsed effect alone (literal true when
+	// absent). Its current-state paths bound what the transition may
+	// change — the lazy post-check's re-fetch frame.
+	Effect ocl.Expr
 }
 
 // Contract is the combined method contract for one trigger.
@@ -60,6 +68,8 @@ type Contract struct {
 	// statePaths caches the StatePaths result. Generate fills it once so
 	// the monitor's per-request hot path never re-walks the formulas.
 	statePaths []string
+	// plan caches the compiled evaluation plan (see Plan).
+	plan *Plan
 }
 
 // StatePaths returns the distinct navigation paths the contract needs from
@@ -68,10 +78,10 @@ type Contract struct {
 // constitute the guards and invariants"). For contracts built by Generate
 // the result is precomputed; callers must not mutate it.
 func (c *Contract) StatePaths() []string {
-	if c.statePaths != nil {
-		return c.statePaths
+	if c.statePaths == nil {
+		c.statePaths = computeStatePaths(c)
 	}
-	return computeStatePaths(c)
+	return c.statePaths
 }
 
 // computeStatePaths walks Pre and Post collecting distinct paths in
@@ -175,7 +185,13 @@ func Generate(m *uml.Model) (*Set, error) {
 			}
 			casePre := conj(invs[t.From], guard)
 			casePost := conj(invs[t.To], effect)
-			c.Cases = append(c.Cases, Case{Transition: t, Pre: casePre, Post: casePost})
+			c.Cases = append(c.Cases, Case{
+				Transition: t,
+				Pre:        casePre,
+				Post:       casePost,
+				Guard:      guard,
+				Effect:     effect,
+			})
 			pres = append(pres, casePre)
 			// The antecedent refers to the state before the call: wrap it
 			// in pre() so evaluation reads the snapshot.
@@ -191,6 +207,7 @@ func Generate(m *uml.Model) (*Set, error) {
 		}
 		sort.Strings(c.SecReqs)
 		c.statePaths = computeStatePaths(c)
+		c.plan = compilePlan(c)
 		set.Contracts = append(set.Contracts, c)
 	}
 	return set, nil

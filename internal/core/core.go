@@ -39,6 +39,9 @@ type Options struct {
 	// Level defaults to monitor.CheckFull; CheckPreOnly ablates the
 	// post-condition verification.
 	Level monitor.CheckLevel
+	// Eval selects the evaluation engine (defaults to monitor.EvalLazy;
+	// monitor.EvalEager restores whole-contract snapshots).
+	Eval monitor.EvalMode
 	// FailPolicy decides the verdict when a state snapshot fails
 	// (defaults to monitor.FailClosed; Degrade requires
 	// PreStateCacheTTL > 0).
@@ -137,6 +140,7 @@ func Build(opts Options) (*System, error) {
 		},
 		Mode:             opts.Mode,
 		Level:            opts.Level,
+		Eval:             opts.Eval,
 		FailPolicy:       opts.FailPolicy,
 		MaxLog:           opts.MaxLog,
 		OnVerdict:        opts.OnVerdict,

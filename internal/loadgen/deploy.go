@@ -23,6 +23,10 @@ type DeployOptions struct {
 	Mode monitor.Mode
 	// Level defaults to monitor.CheckFull.
 	Level monitor.CheckLevel
+	// Eval selects the evaluation engine (default monitor.EvalLazy;
+	// monitor.EvalEager restores whole-contract snapshots — the A/B knob
+	// behind EXPERIMENTS.md E15).
+	Eval monitor.EvalMode
 	// FailPolicy decides the monitor's verdict when a snapshot fails
 	// (default monitor.FailClosed; Degrade needs PreStateCacheTTL).
 	FailPolicy monitor.FailPolicy
@@ -136,6 +140,7 @@ func Deploy(opts DeployOptions) (*Deployment, error) {
 		},
 		Mode:              opts.Mode,
 		Level:             opts.Level,
+		Eval:              opts.Eval,
 		FailPolicy:        opts.FailPolicy,
 		CloudTimeout:      opts.CloudTimeout,
 		Retry:             opts.Retry,
@@ -170,6 +175,15 @@ func Deploy(opts DeployOptions) (*Deployment, error) {
 		Tokens:     tokens,
 		Outcomes:   sys.Monitor.Outcomes,
 		Stages:     sys.Monitor.StageSummaries,
+		Fetch: func() FetchEconomy {
+			fs := sys.Monitor.FetchStats()
+			return FetchEconomy{
+				Requests:     int(fs.Requests),
+				PathsFetched: int(fs.PathsFetched),
+				Coalesced:    int(fs.Coalesced),
+				CloudGets:    int(sys.Provider.Stats().Gets),
+			}
+		},
 	}
 	if inj != nil {
 		tgt.Faults = inj.Counts

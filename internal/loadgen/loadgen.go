@@ -139,6 +139,34 @@ type Target struct {
 	// (obs.AuditLog.Counts); Run diffs it around the run so the report's
 	// audit tallies can be cross-checked against the verdict tallies.
 	Audit func() map[string]int
+	// Fetch, if set, supplies the cumulative fetch-economy counters
+	// (monitor path fetches, coalesced flights, provider cloud GETs); Run
+	// diffs it around the run — warmup requests included, prepopulation
+	// excluded (it runs before the capture).
+	Fetch func() FetchEconomy
+}
+
+// FetchEconomy is the cloud-read cost of a run: how many state paths the
+// monitor fetched, how many of those fetches were coalesced onto another
+// request's in-flight read, and how many REST GETs actually hit the cloud.
+type FetchEconomy struct {
+	// Requests counts verdicts with fetch accounting.
+	Requests int `json:"requests"`
+	// PathsFetched is the total provider path reads across them.
+	PathsFetched int `json:"paths_fetched"`
+	// Coalesced counts fetches served by another request's in-flight read.
+	Coalesced int `json:"coalesced"`
+	// CloudGets counts the provider's REST GETs (before retries).
+	CloudGets int `json:"cloud_gets"`
+}
+
+func (f FetchEconomy) sub(before FetchEconomy) FetchEconomy {
+	return FetchEconomy{
+		Requests:     f.Requests - before.Requests,
+		PathsFetched: f.PathsFetched - before.PathsFetched,
+		Coalesced:    f.Coalesced - before.Coalesced,
+		CloudGets:    f.CloudGets - before.CloudGets,
+	}
 }
 
 // volumePool is the shared set of volume ids the workload operates on.
@@ -250,6 +278,10 @@ func Run(sc Scenario, tgt Target) (*Report, error) {
 	if tgt.Audit != nil {
 		auditBefore = tgt.Audit()
 	}
+	var fetchBefore FetchEconomy
+	if tgt.Fetch != nil {
+		fetchBefore = tgt.Fetch()
+	}
 
 	var (
 		issued   atomic.Int64
@@ -310,6 +342,10 @@ func Run(sc Scenario, tgt Target) (*Report, error) {
 	}
 	if tgt.Stages != nil {
 		rep.Stages = tgt.Stages()
+	}
+	if tgt.Fetch != nil {
+		f := tgt.Fetch().sub(fetchBefore)
+		rep.Fetch = &f
 	}
 	return rep, nil
 }

@@ -238,3 +238,55 @@ func TestRunValidation(t *testing.T) {
 		t.Error("missing project accepted")
 	}
 }
+
+// TestFetchEconomyLazyVsEager runs the same serial workload under both
+// evaluation engines and checks the report's fetch-economy section: the
+// lazy engine reads strictly less of the cloud, a serial loop coalesces
+// nothing, and the eager engine's reads match its two-snapshots-per-check
+// arithmetic.
+func TestFetchEconomyLazyVsEager(t *testing.T) {
+	run := func(eval monitor.EvalMode) *Report {
+		t.Helper()
+		dep, err := Deploy(DeployOptions{Mode: monitor.Enforce, Eval: eval})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := Scenario{
+			Name: "economy",
+			Mix: []OpSpec{
+				{Op: OpGetVolume, Role: RoleMember, Weight: 3},
+				{Op: OpDeleteVolume, Role: RoleAdmin, Weight: 1},
+			},
+			Clients:     1,
+			Requests:    120,
+			Prepopulate: 40,
+			Seed:        11,
+		}
+		report, err := Run(sc, dep.Target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Fetch == nil {
+			t.Fatal("report has no fetch economy despite Fetch source")
+		}
+		return report
+	}
+	lazy := run(monitor.EvalLazy)
+	eager := run(monitor.EvalEager)
+	if lazy.Fetch.Requests != eager.Fetch.Requests {
+		t.Fatalf("checked requests diverge: lazy %d, eager %d", lazy.Fetch.Requests, eager.Fetch.Requests)
+	}
+	if lazy.Fetch.CloudGets >= eager.Fetch.CloudGets {
+		t.Errorf("lazy used %d cloud GETs, eager %d — lazy must read strictly less",
+			lazy.Fetch.CloudGets, eager.Fetch.CloudGets)
+	}
+	if lazy.Fetch.Coalesced != 0 || eager.Fetch.Coalesced != 0 {
+		t.Errorf("serial run coalesced fetches: lazy %d, eager %d", lazy.Fetch.Coalesced, eager.Fetch.Coalesced)
+	}
+	// In process, every monitor-side path fetch is exactly one cloud GET.
+	for name, r := range map[string]*Report{"lazy": lazy, "eager": eager} {
+		if r.Fetch.PathsFetched != r.Fetch.CloudGets {
+			t.Errorf("%s: %d paths fetched but %d cloud GETs", name, r.Fetch.PathsFetched, r.Fetch.CloudGets)
+		}
+	}
+}

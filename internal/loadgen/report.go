@@ -61,6 +61,9 @@ type Report struct {
 	// cumulative over the monitor's lifetime, warmup and prepopulation
 	// included.
 	Stages map[string]obs.StageSummary `json:"stages,omitempty"`
+	// Fetch is the run's cloud-read economy, diffed around the run like
+	// Verdicts (present when the target exposes its fetch counters).
+	Fetch *FetchEconomy `json:"fetch,omitempty"`
 }
 
 // percentile returns the q-quantile (0 < q <= 1) of the sorted durations.
@@ -187,6 +190,12 @@ func (r *Report) Text() string {
 			fmt.Fprintf(&sb, " %s=%d", v, r.Audit[v])
 		}
 		sb.WriteByte('\n')
+	}
+	if f := r.Fetch; f != nil && f.Requests > 0 {
+		fmt.Fprintf(&sb, "  fetch economy: %d cloud GETs (%.2f/req), %d paths fetched (%.2f/req), %d coalesced\n",
+			f.CloudGets, float64(f.CloudGets)/float64(f.Requests),
+			f.PathsFetched, float64(f.PathsFetched)/float64(f.Requests),
+			f.Coalesced)
 	}
 	if len(r.Stages) > 0 {
 		for _, name := range obs.StageNames() {

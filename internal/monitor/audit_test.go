@@ -39,8 +39,11 @@ func TestCheckPreOnlySkipsPostSnapshot(t *testing.T) {
 	if v.Outcome != OK || !v.PostOK {
 		t.Errorf("verdict = %+v", v)
 	}
-	if p.calls != 1 {
-		t.Errorf("snapshot calls = %d, want 1 (no post snapshot)", p.calls)
+	// Lazy evaluation fetches path-by-path, so the pre phase may make
+	// several Snapshot calls; what CheckPreOnly guarantees is that none
+	// of them happen after the forward.
+	if p.postCalls != 0 {
+		t.Errorf("post-phase snapshot calls = %d, want 0 (no post snapshot)", p.postCalls)
 	}
 }
 

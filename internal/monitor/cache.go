@@ -219,10 +219,12 @@ func (m *Monitor) cachedPre(reqCtx *RequestContext, paths []string) (ocl.MapEnv,
 }
 
 // preSnapshot resolves the pre-state, serving paths from the cache when
-// enabled and fetching only the misses from the provider.
-func (m *Monitor) preSnapshot(reqCtx *RequestContext, paths []string) (ocl.MapEnv, error) {
+// enabled and fetching only the misses from the provider. The second
+// return is the number of paths actually fetched from the provider.
+func (m *Monitor) preSnapshot(reqCtx *RequestContext, paths []string) (ocl.MapEnv, int, error) {
 	if m.cache == nil {
-		return m.provider.Snapshot(reqCtx, paths)
+		env, err := m.provider.Snapshot(reqCtx, paths)
+		return env, len(paths), err
 	}
 	project := reqCtx.Params["project_id"]
 	pk := paramsCacheKey(reqCtx.Params)
@@ -239,12 +241,12 @@ func (m *Monitor) preSnapshot(reqCtx *RequestContext, paths []string) (ocl.MapEn
 		}
 	}
 	if len(missing) == 0 {
-		return env, nil
+		return env, 0, nil
 	}
 	gen := m.cache.projectGen(project)
 	fetched, err := m.provider.Snapshot(reqCtx, missing)
 	if err != nil {
-		return nil, err
+		return nil, len(missing), err
 	}
 	for _, p := range missing {
 		v, present := fetched[p]
@@ -253,5 +255,5 @@ func (m *Monitor) preSnapshot(reqCtx *RequestContext, paths []string) (ocl.MapEn
 		}
 		m.cache.put(p, reqCtx.Token, pk, project, v, present, gen)
 	}
-	return env, nil
+	return env, len(missing), nil
 }

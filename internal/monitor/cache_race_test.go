@@ -76,7 +76,7 @@ func TestCacheGenerationRace(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < iterations; i++ {
 				floor := progress.Load()
-				env, err := m.preSnapshot(reqCtx, paths)
+				env, _, err := m.preSnapshot(reqCtx, paths)
 				if err != nil {
 					errs <- "snapshot error: " + err.Error()
 					return

@@ -66,9 +66,13 @@ func newCachedMonitor(t *testing.T, ttl time.Duration, p StateProvider, f Forwar
 				Pattern: "/projects/{project_id}/volumes/{volume_id}",
 				Backend: "/v/{project_id}/{volume_id}"},
 		},
-		Provider:         p,
-		Forward:          f,
-		Mode:             Enforce,
+		Provider: p,
+		Forward:  f,
+		Mode:     Enforce,
+		// These tests assert the eager engine's whole-snapshot call and
+		// path arithmetic; the lazy engine's fetch economy is covered by
+		// the differential and plan tests.
+		Eval:             EvalEager,
 		PreStateCacheTTL: ttl,
 	})
 	if err != nil {

@@ -1,0 +1,287 @@
+package monitor
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"cloudmon/internal/contract"
+	"cloudmon/internal/ocl"
+	"cloudmon/internal/paper"
+	"cloudmon/internal/uml"
+)
+
+// The differential suite proves the tentpole's safety claim: the lazy
+// plan engine and the eager whole-snapshot engine produce bit-identical
+// verdicts — same outcome, pre/post truth, failing clause and SecReq
+// attribution — on every request. Only the fetch economy may differ.
+
+// diffRoutes mirrors newMonitor's route table.
+func diffRoutes() []Route {
+	return []Route{
+		{Trigger: uml.Trigger{Method: uml.GET, Resource: "volume"},
+			Pattern: "/projects/{project_id}/volumes/{volume_id}",
+			Backend: "/volume/v3/{project_id}/volumes/{volume_id}"},
+		{Trigger: uml.Trigger{Method: uml.PUT, Resource: "volume"},
+			Pattern: "/projects/{project_id}/volumes/{volume_id}",
+			Backend: "/volume/v3/{project_id}/volumes/{volume_id}"},
+		{Trigger: uml.Trigger{Method: uml.POST, Resource: "volume"},
+			Pattern: "/projects/{project_id}/volumes",
+			Backend: "/volume/v3/{project_id}/volumes"},
+		{Trigger: uml.Trigger{Method: uml.DELETE, Resource: "volume"},
+			Pattern: "/projects/{project_id}/volumes/{volume_id}",
+			Backend: "/volume/v3/{project_id}/volumes/{volume_id}"},
+	}
+}
+
+// runEngine drives one request through a freshly built monitor in the given
+// eval mode and returns its verdict and response code.
+func runEngine(t *testing.T, set *contract.Set, eval EvalMode, noReuse bool, mode Mode,
+	method, path string, pre, post ocl.MapEnv, status int) (Verdict, int) {
+	t.Helper()
+	m, err := New(Config{
+		Contracts:   set,
+		Routes:      diffRoutes(),
+		Provider:    &fakeProvider{pre: pre, post: post},
+		Forward:     &fakeForwarder{status: status},
+		Mode:        mode,
+		Eval:        eval,
+		NoPostReuse: noReuse,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(method, path, nil)
+	req.Header.Set("X-Auth-Token", "tok")
+	rec := httptest.NewRecorder()
+	m.ServeHTTP(rec, req)
+	return lastVerdict(t, m), rec.Code
+}
+
+// diffCompare asserts the equivalence contract between two verdicts. Detail
+// is compared except on Error outcomes: plan order may surface a different
+// (equally real) evaluation error than the monolithic formula does.
+func diffCompare(t *testing.T, name string, eager, lazy Verdict, eagerCode, lazyCode int) {
+	t.Helper()
+	fail := func(field string, e, l interface{}) {
+		t.Errorf("%s: %s diverged: eager %v, lazy %v", name, field, e, l)
+	}
+	if eager.Outcome != lazy.Outcome {
+		fail("outcome", fmt.Sprintf("%s (%s)", eager.Outcome, eager.Detail),
+			fmt.Sprintf("%s (%s)", lazy.Outcome, lazy.Detail))
+		return
+	}
+	if eagerCode != lazyCode {
+		fail("status", eagerCode, lazyCode)
+	}
+	if eager.PreOK != lazy.PreOK {
+		fail("PreOK", eager.PreOK, lazy.PreOK)
+	}
+	if eager.PostOK != lazy.PostOK {
+		fail("PostOK", eager.PostOK, lazy.PostOK)
+	}
+	if eager.Forwarded != lazy.Forwarded {
+		fail("Forwarded", eager.Forwarded, lazy.Forwarded)
+	}
+	if !reflect.DeepEqual(eager.MatchedSecReqs, lazy.MatchedSecReqs) {
+		fail("MatchedSecReqs", eager.MatchedSecReqs, lazy.MatchedSecReqs)
+	}
+	if !reflect.DeepEqual(eager.MatchedTransitions, lazy.MatchedTransitions) {
+		fail("MatchedTransitions", eager.MatchedTransitions, lazy.MatchedTransitions)
+	}
+	if eager.FailingClause != lazy.FailingClause {
+		fail("FailingClause", eager.FailingClause, lazy.FailingClause)
+	}
+	if eager.Outcome != Error && eager.Detail != lazy.Detail {
+		fail("Detail", eager.Detail, lazy.Detail)
+	}
+	if lazy.FetchedPaths > eager.FetchedPaths {
+		fail("FetchedPaths (lazy must not fetch more)", eager.FetchedPaths, lazy.FetchedPaths)
+	}
+}
+
+type diffRequest struct {
+	method, path string
+}
+
+func diffRequests() []diffRequest {
+	return []diffRequest{
+		{http.MethodGet, "/projects/p1/volumes/v1"},
+		{http.MethodPut, "/projects/p1/volumes/v1"},
+		{http.MethodPost, "/projects/p1/volumes"},
+		{http.MethodDelete, "/projects/p1/volumes/v1"},
+	}
+}
+
+// TestDifferentialExampleStates sweeps hand-picked states covering every
+// outcome class: pre pass/fail, post pass/fail, backend accept/reject, in
+// both modes — eager vs lazy with post-state reuse disabled (the
+// unconditionally equivalent configuration).
+func TestDifferentialExampleStates(t *testing.T) {
+	set, err := contract.Generate(paper.CinderModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type state struct {
+		name      string
+		pre, post ocl.MapEnv
+		status    int
+	}
+	states := []state{
+		{"ok-delete", env(2, 10, "available", "admin"), env(1, 10, "available", "admin"), 204},
+		{"post-violation", env(2, 10, "available", "admin"), env(2, 10, "available", "admin"), 204},
+		{"pre-fail-role", env(2, 10, "available", "intruder"), env(1, 10, "available", "intruder"), 204},
+		{"pre-fail-in-use", env(2, 10, "in-use", "admin"), env(1, 10, "in-use", "admin"), 204},
+		{"backend-rejects", env(2, 10, "available", "admin"), env(2, 10, "available", "admin"), 403},
+		{"backend-errors", env(2, 10, "available", "admin"), env(2, 10, "available", "admin"), 500},
+		{"quota-edge", env(10, 10, "available", "admin"), env(9, 10, "available", "admin"), 204},
+		{"empty-project", env(0, 10, "available", "admin"), env(0, 10, "available", "admin"), 204},
+	}
+	// Undefined inputs: missing paths resolve to Undefined in both engines.
+	partial := env(2, 10, "available", "admin")
+	delete(partial, "volume.status")
+	states = append(states, state{"absent-status", partial, env(1, 10, "available", "admin"), 204})
+	// Ill-typed state: quota as a string exercises evaluation errors.
+	illTyped := env(2, 10, "available", "admin")
+	illTyped["quota_sets.volume"] = ocl.StringVal("ten")
+	states = append(states, state{"ill-typed-quota", illTyped, illTyped, 204})
+
+	for _, mode := range []Mode{Enforce, Observe} {
+		for _, rq := range diffRequests() {
+			for _, st := range states {
+				name := fmt.Sprintf("%s/%s/%s", mode, rq.method, st.name)
+				ve, ce := runEngine(t, set, EvalEager, false, mode, rq.method, rq.path, st.pre, st.post, st.status)
+				vl, cl := runEngine(t, set, EvalLazy, true, mode, rq.method, rq.path, st.pre, st.post, st.status)
+				diffCompare(t, name, ve, vl, ce, cl)
+			}
+		}
+	}
+}
+
+// randomEnv draws a state; roughly half the draws are well-typed, the rest
+// mix in absent paths and wrong kinds so the error paths diverge or agree
+// loudly.
+func randomEnv(rng *rand.Rand) ocl.MapEnv {
+	roles := []string{"admin", "member", "user", "intruder", ""}
+	statuses := []string{"available", "in-use", "error", ""}
+	e := env(rng.Intn(4), rng.Intn(4), statuses[rng.Intn(len(statuses))], roles[rng.Intn(len(roles))])
+	if rng.Intn(4) == 0 {
+		keys := []string{"project.id", "project.volumes", "quota_sets.volume", "volume.status", "user.id.groups"}
+		delete(e, keys[rng.Intn(len(keys))])
+	}
+	if rng.Intn(6) == 0 {
+		e["quota_sets.volume"] = ocl.StringVal("zz")
+	}
+	return e
+}
+
+// TestDifferentialFuzzStates drives both engines over seeded random pre and
+// post states and demands verdict equivalence (reuse off: post states are
+// unconstrained, so the frame assumption does not hold).
+func TestDifferentialFuzzStates(t *testing.T) {
+	set, err := contract.Generate(paper.CinderModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	reqs := diffRequests()
+	statuses := []int{200, 204, 403, 500}
+	for i := 0; i < 300; i++ {
+		rq := reqs[rng.Intn(len(reqs))]
+		pre, post := randomEnv(rng), randomEnv(rng)
+		status := statuses[rng.Intn(len(statuses))]
+		mode := Enforce
+		if rng.Intn(2) == 0 {
+			mode = Observe
+		}
+		name := fmt.Sprintf("fuzz-%d/%s/%s", i, mode, rq.method)
+		ve, ce := runEngine(t, set, EvalEager, false, mode, rq.method, rq.path, pre, post, status)
+		vl, cl := runEngine(t, set, EvalLazy, true, mode, rq.method, rq.path, pre, post, status)
+		diffCompare(t, name, ve, vl, ce, cl)
+		if t.Failed() {
+			t.Fatalf("first divergence at iteration %d: pre=%v post=%v status=%d", i, pre, post, status)
+		}
+	}
+}
+
+// TestDifferentialPostReuseOnFrameRespectingStates checks the default lazy
+// configuration (effect-frame reuse ON) against eager, on post states that
+// honor the frame: only paths inside the active transitions' effect frame
+// change across the call. This is the soundness condition the reuse
+// optimization rests on — the cloud moved only what the model says the
+// transition touches.
+func TestDifferentialPostReuseOnFrameRespectingStates(t *testing.T) {
+	set, err := contract.Generate(paper.CinderModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	reqs := diffRequests()
+	for i := 0; i < 200; i++ {
+		rq := reqs[rng.Intn(len(reqs))]
+		pre := randomEnv(rng)
+		// The paper model's every effect frame is {project.volumes}: a
+		// frame-respecting post state mutates only the volume set.
+		post := make(ocl.MapEnv, len(pre))
+		for k, v := range pre {
+			post[k] = v
+		}
+		elems := make([]ocl.Value, rng.Intn(4))
+		for j := range elems {
+			elems[j] = ocl.StringVal("v")
+		}
+		post["project.volumes"] = ocl.CollectionVal(elems...)
+		name := fmt.Sprintf("reuse-%d/%s", i, rq.method)
+		ve, ce := runEngine(t, set, EvalEager, false, Enforce, rq.method, rq.path, pre, post, 204)
+		vl, cl := runEngine(t, set, EvalLazy, false, Enforce, rq.method, rq.path, pre, post, 204)
+		diffCompare(t, name, ve, vl, ce, cl)
+		if t.Failed() {
+			t.Fatalf("first divergence at iteration %d: pre=%v post=%v", i, pre, post)
+		}
+	}
+}
+
+// TestLazyFetchEconomyOnPaperModel pins the headline numbers the tentpole
+// claims for the paper's Cinder model: a clean GET needs 5 cloud reads
+// under the plan engine against the eager engine's 8, and a clean DELETE 6
+// against 10.
+func TestLazyFetchEconomyOnPaperModel(t *testing.T) {
+	set, err := contract.Generate(paper.CinderModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		method, path        string
+		pre, post           ocl.MapEnv
+		status              int
+		wantLazy, wantEager int
+		wantReused          int
+	}{
+		// GET: 4 pre paths + post re-fetch of project.volumes; the other
+		// 2 consequent reads reuse the pre-state (project.id, quota).
+		{http.MethodGet, "/projects/p1/volumes/v1",
+			env(2, 10, "available", "admin"), env(2, 10, "available", "admin"), 200, 5, 8, 2},
+		// DELETE: 5 pre paths + 1 framed post path.
+		{http.MethodDelete, "/projects/p1/volumes/v1",
+			env(2, 10, "available", "admin"), env(1, 10, "available", "admin"), 204, 6, 10, 2},
+	}
+	for _, tc := range cases {
+		vl, _ := runEngine(t, set, EvalLazy, false, Enforce, tc.method, tc.path, tc.pre, tc.post, tc.status)
+		ve, _ := runEngine(t, set, EvalEager, false, Enforce, tc.method, tc.path, tc.pre, tc.post, tc.status)
+		if vl.Outcome != OK || ve.Outcome != OK {
+			t.Fatalf("%s: outcomes lazy=%s eager=%s, want ok/ok", tc.method, vl.Outcome, ve.Outcome)
+		}
+		if vl.FetchedPaths != tc.wantLazy {
+			t.Errorf("%s: lazy fetched %d paths, want %d", tc.method, vl.FetchedPaths, tc.wantLazy)
+		}
+		if ve.FetchedPaths != tc.wantEager {
+			t.Errorf("%s: eager fetched %d paths, want %d", tc.method, ve.FetchedPaths, tc.wantEager)
+		}
+		if vl.ReusedPaths != tc.wantReused {
+			t.Errorf("%s: lazy reused %d paths, want %d", tc.method, vl.ReusedPaths, tc.wantReused)
+		}
+	}
+}

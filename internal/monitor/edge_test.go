@@ -16,9 +16,9 @@ type slowSecondSnapshot struct {
 	calls int
 }
 
-func (f *slowSecondSnapshot) Snapshot(_ *RequestContext, paths []string) (ocl.MapEnv, error) {
+func (f *slowSecondSnapshot) Snapshot(ctx *RequestContext, paths []string) (ocl.MapEnv, error) {
 	f.calls++
-	if f.calls > 1 {
+	if ctx.Phase == PhasePost {
 		return nil, errFake
 	}
 	out := make(ocl.MapEnv, len(paths))

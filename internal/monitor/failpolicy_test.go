@@ -34,15 +34,15 @@ func (p *switchProvider) Snapshot(_ *RequestContext, paths []string) (ocl.MapEnv
 	return out, nil
 }
 
-// prePostProvider serves the pre-state and errors on the post-state call.
+// prePostProvider serves the pre-state and errors on post-state reads.
 type prePostProvider struct {
 	pre   ocl.MapEnv
 	calls int
 }
 
-func (p *prePostProvider) Snapshot(_ *RequestContext, paths []string) (ocl.MapEnv, error) {
+func (p *prePostProvider) Snapshot(ctx *RequestContext, paths []string) (ocl.MapEnv, error) {
 	p.calls++
-	if p.calls > 1 {
+	if ctx.Phase == PhasePost {
 		return nil, errFake
 	}
 	out := make(ocl.MapEnv, len(paths))

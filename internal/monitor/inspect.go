@@ -48,6 +48,24 @@ func (m *Monitor) InspectHandler() http.Handler {
 		return nil
 	})
 	rt.Handle(http.MethodGet, "/contracts", func(w http.ResponseWriter, r *http.Request, _ map[string]string) error {
+		type preClauseDoc struct {
+			Case  int      `json:"case"`
+			Paths []string `json:"paths"`
+			Added []string `json:"added,omitempty"`
+			Cost  int      `json:"cost"`
+		}
+		type postClauseDoc struct {
+			Case     int      `json:"case"`
+			CurPaths []string `json:"cur_paths,omitempty"`
+			PrePaths []string `json:"pre_paths,omitempty"`
+			Touched  []string `json:"touched,omitempty"`
+			Cost     int      `json:"cost"`
+		}
+		type planDoc struct {
+			Pre      []preClauseDoc  `json:"pre"`
+			Post     []postClauseDoc `json:"post"`
+			PrePaths []string        `json:"pre_paths"`
+		}
 		type contractDoc struct {
 			Trigger    string   `json:"trigger"`
 			URI        string   `json:"uri"`
@@ -55,9 +73,23 @@ func (m *Monitor) InspectHandler() http.Handler {
 			Post       string   `json:"post"`
 			SecReqs    []string `json:"sec_reqs"`
 			StatePaths []string `json:"state_paths"`
+			Plan       planDoc  `json:"plan"`
 		}
 		docs := make([]contractDoc, 0, len(m.contracts.Contracts))
 		for _, c := range m.contracts.Contracts {
+			plan := c.Plan()
+			pd := planDoc{PrePaths: plan.PrePaths}
+			for _, cl := range plan.Pre {
+				pd.Pre = append(pd.Pre, preClauseDoc{
+					Case: cl.Index, Paths: cl.Paths, Added: cl.Added, Cost: cl.Cost,
+				})
+			}
+			for _, cl := range plan.Post {
+				pd.Post = append(pd.Post, postClauseDoc{
+					Case: cl.Index, CurPaths: cl.CurPaths, PrePaths: cl.PrePaths,
+					Touched: cl.Touched, Cost: cl.Cost,
+				})
+			}
 			docs = append(docs, contractDoc{
 				Trigger:    c.Trigger.String(),
 				URI:        c.URI,
@@ -65,6 +97,7 @@ func (m *Monitor) InspectHandler() http.Handler {
 				Post:       c.Post.String(),
 				SecReqs:    c.SecReqs,
 				StatePaths: c.StatePaths(),
+				Plan:       pd,
 			})
 		}
 		httpkit.WriteJSON(w, http.StatusOK, map[string]any{"contracts": docs})
@@ -138,6 +171,8 @@ type verdictDoc struct {
 	MatchedSecReqs []string          `json:"matched_sec_reqs,omitempty"`
 	FailingClause  string            `json:"failing_clause,omitempty"`
 	Detail         string            `json:"detail,omitempty"`
+	FetchedPaths   int               `json:"fetched_paths"`
+	ReusedPaths    int               `json:"reused_paths,omitempty"`
 	ElapsedMicros  int64             `json:"elapsed_micros"`
 	StageNanos     map[string]int64  `json:"stage_nanos,omitempty"`
 	PreSnapshot    map[string]string `json:"pre_snapshot,omitempty"`
@@ -158,6 +193,8 @@ func verdictDocs(vs []Verdict) []verdictDoc {
 			MatchedSecReqs: v.MatchedSecReqs,
 			FailingClause:  v.FailingClause,
 			Detail:         v.Detail,
+			FetchedPaths:   v.FetchedPaths,
+			ReusedPaths:    v.ReusedPaths,
 			ElapsedMicros:  v.Elapsed.Microseconds(),
 			StageNanos:     v.Trace.Map(),
 			PreSnapshot:    snapshotDoc(v.PreSnapshot),

@@ -114,6 +114,17 @@ func TestInspectContracts(t *testing.T) {
 			Pre        string   `json:"pre"`
 			SecReqs    []string `json:"sec_reqs"`
 			StatePaths []string `json:"state_paths"`
+			Plan       struct {
+				Pre []struct {
+					Case  int      `json:"case"`
+					Paths []string `json:"paths"`
+				} `json:"pre"`
+				Post []struct {
+					Case    int      `json:"case"`
+					Touched []string `json:"touched"`
+				} `json:"post"`
+				PrePaths []string `json:"pre_paths"`
+			} `json:"plan"`
 		} `json:"contracts"`
 	}
 	getJSON(t, h, "/contracts", &body)
@@ -129,6 +140,17 @@ func TestInspectContracts(t *testing.T) {
 			}
 			if len(c.SecReqs) != 1 || c.SecReqs[0] != "1.4" {
 				t.Errorf("sec_reqs = %v", c.SecReqs)
+			}
+			if len(c.Plan.Pre) != 3 || len(c.Plan.Post) != 3 {
+				t.Errorf("plan clauses = %d pre / %d post, want 3/3", len(c.Plan.Pre), len(c.Plan.Post))
+			}
+			if len(c.Plan.PrePaths) != len(c.StatePaths) {
+				t.Errorf("plan pre_paths = %v, want the %d state paths", c.Plan.PrePaths, len(c.StatePaths))
+			}
+			for _, pc := range c.Plan.Post {
+				if len(pc.Touched) == 0 {
+					t.Errorf("post clause %d has no effect frame", pc.Case)
+				}
 			}
 		}
 	}

@@ -1,0 +1,547 @@
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cloudmon/internal/obs"
+	"cloudmon/internal/ocl"
+)
+
+// EvalMode selects the snapshot/evaluation engine.
+type EvalMode int
+
+// Evaluation modes.
+const (
+	// EvalLazy (the default) evaluates the contract's compiled plan
+	// clause-by-clause, fetching each state path the first time a formula
+	// demands it. The pre-check fetches only what deciding (and
+	// attributing) the disjuncts needs; the post-check re-fetches only
+	// paths inside the active transitions' effect frame and reuses the
+	// pre-state snapshot for the rest.
+	EvalLazy EvalMode = iota + 1
+	// EvalEager snapshots the contract's full StatePaths union before each
+	// evaluation — the paper's original workflow. Kept for differential
+	// testing and benchmarking against the plan engine.
+	EvalEager
+)
+
+// String returns the mode name.
+func (e EvalMode) String() string {
+	switch e {
+	case EvalLazy:
+		return "lazy"
+	case EvalEager:
+		return "eager"
+	}
+	return fmt.Sprintf("EvalMode(%d)", int(e))
+}
+
+// ParseEvalMode parses a -eval flag value.
+func ParseEvalMode(s string) (EvalMode, error) {
+	switch s {
+	case "lazy":
+		return EvalLazy, nil
+	case "eager":
+		return EvalEager, nil
+	}
+	return 0, fmt.Errorf("monitor: unknown eval mode %q (lazy|eager)", s)
+}
+
+// unfetchedError is the demand signal of lazy evaluation: a formula reached
+// a navigation path its environment has not fetched yet. The evaluator
+// aborts on any environment error, so the driver fetches the path and
+// re-evaluates; fetched values are stable, so each retry advances past the
+// previous miss.
+type unfetchedError struct {
+	env  *lazyEnv
+	path string
+}
+
+func (e *unfetchedError) Error() string {
+	return "monitor: state path " + e.path + " not fetched"
+}
+
+// fetchError wraps a cloud fetch failure so the check loop can tell
+// snapshot failures (fail-policy territory) from formula evaluation errors.
+type fetchError struct{ err error }
+
+func (e *fetchError) Error() string { return e.err.Error() }
+func (e *fetchError) Unwrap() error { return e.err }
+
+// lazyEnv is an ocl.Environment populated on demand. A fetched-but-absent
+// path resolves to Undefined exactly like ocl.MapEnv; an unfetched path
+// resolves to an unfetchedError naming itself.
+type lazyEnv struct {
+	vals ocl.MapEnv
+	have map[string]bool
+}
+
+func newLazyEnv() *lazyEnv {
+	return &lazyEnv{vals: make(ocl.MapEnv), have: make(map[string]bool)}
+}
+
+// Resolve implements ocl.Environment.
+func (e *lazyEnv) Resolve(path []string) (ocl.Value, error) {
+	key := strings.Join(path, ".")
+	if e.have[key] {
+		if v, ok := e.vals[key]; ok {
+			return v, nil
+		}
+		return ocl.Undefined(), nil
+	}
+	return ocl.Value{}, &unfetchedError{env: e, path: key}
+}
+
+// set records a fetched value (present=false marks the path as fetched but
+// absent, resolving to Undefined from now on).
+func (e *lazyEnv) set(path string, v ocl.Value, present bool) {
+	e.have[path] = true
+	if present {
+		e.vals[path] = v
+	}
+}
+
+// fetched reports whether the path has been resolved already.
+func (e *lazyEnv) fetched(path string) bool { return e.have[path] }
+
+// value returns the stored value for a fetched path (ok=false: absent).
+func (e *lazyEnv) value(path string) (ocl.Value, bool) {
+	v, ok := e.vals[path]
+	return v, ok
+}
+
+// flightGroup coalesces identical concurrent cloud GETs: the first caller
+// for a key becomes the flight leader and performs the fetch (capturing the
+// cache generation before it starts, so it alone may store the result);
+// callers arriving while the flight is open wait for the leader's result
+// and never touch the cache. Flight keys are the pre-state cache keys —
+// (path, token, params) — so coalescing and caching agree on identity.
+// Post-state fetches never join a flight: a request must observe its own
+// forwarded effect, not a read that started before it.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	done    chan struct{}
+	val     ocl.Value
+	present bool
+	err     error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// do runs fn once per open key: the leader executes it, everyone else waits
+// and shares the result. coalesced counts the waiters.
+func (g *flightGroup) do(key string, fn func() (ocl.Value, bool, error), coalesced *obs.Counter) (ocl.Value, bool, error) {
+	g.mu.Lock()
+	if fl, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-fl.done
+		coalesced.Inc()
+		return fl.val, fl.present, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	g.m[key] = fl
+	g.mu.Unlock()
+	fl.val, fl.present, fl.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(fl.done)
+	return fl.val, fl.present, fl.err
+}
+
+// lazyFetcher performs the per-path cloud reads of one lazy check,
+// accounting fetch counts and time per phase.
+type lazyFetcher struct {
+	m       *Monitor
+	reqCtx  *RequestContext
+	project string
+	pk      string
+
+	degraded bool
+	fetched  int
+	preDur   time.Duration
+	postDur  time.Duration
+}
+
+// fetchPre resolves one pre-state path: read cache first, then a coalesced
+// provider fetch, then — under the Degrade policy — a stale cache entry
+// within the degrade window. The flight leader captures the project
+// generation before fetching and is the only writer to the cache, so a
+// waiter can never store a value observed before a write that invalidated
+// it.
+func (f *lazyFetcher) fetchPre(env *lazyEnv, path string) error {
+	m := f.m
+	if m.cache != nil {
+		if v, present, ok := m.cache.get(path, f.reqCtx.Token, f.pk, f.project); ok {
+			env.set(path, v, present)
+			return nil
+		}
+	}
+	t0 := time.Now()
+	val, present, err := m.flights.do(cacheKey(path, f.reqCtx.Token, f.pk), func() (ocl.Value, bool, error) {
+		var gen uint64
+		if m.cache != nil {
+			gen = m.cache.projectGen(f.project)
+		}
+		f.fetched++
+		snap, ferr := m.provider.Snapshot(f.reqCtx, []string{path})
+		if ferr != nil {
+			return ocl.Value{}, false, ferr
+		}
+		v, ok := snap[path]
+		if m.cache != nil {
+			m.cache.put(path, f.reqCtx.Token, f.pk, f.project, v, ok, gen)
+		}
+		return v, ok, nil
+	}, &m.coalesced)
+	f.preDur += time.Since(t0)
+	if err == nil {
+		env.set(path, val, present)
+		return nil
+	}
+	if m.failPolicy == Degrade && m.cache != nil {
+		if v, present, ok := m.cache.getStale(path, f.reqCtx.Token, f.pk, f.project, m.degradeTTL); ok {
+			env.set(path, v, present)
+			f.degraded = true
+			return nil
+		}
+	}
+	return err
+}
+
+// fetchPost resolves one post-state path straight from the cloud — no
+// cache, no coalescing: the post-condition verifies this request's own
+// effect, so joining a read that started before the forward would compare
+// against stale state.
+func (f *lazyFetcher) fetchPost(env *lazyEnv, path string) error {
+	t0 := time.Now()
+	f.fetched++
+	snap, err := f.m.provider.Snapshot(f.reqCtx, []string{path})
+	f.postDur += time.Since(t0)
+	if err != nil {
+		return err
+	}
+	v, ok := snap[path]
+	env.set(path, v, ok)
+	return nil
+}
+
+// evalDemand evaluates expr, fetching navigation paths the moment the
+// evaluator demands one. The loop terminates because every successful fetch
+// marks its path fetched and Resolve only errors on unfetched paths.
+// Fetch failures come back wrapped in fetchError; all other errors are
+// genuine evaluation errors.
+func evalDemand(expr ocl.Expr, ctx ocl.Context, fetch func(*lazyEnv, string) error) (ocl.Value, error) {
+	for {
+		val, err := ocl.Eval(expr, ctx)
+		if err == nil {
+			return val, nil
+		}
+		var uf *unfetchedError
+		if !errors.As(err, &uf) {
+			return ocl.Value{}, err
+		}
+		if uf.env.fetched(uf.path) {
+			// A fetch that does not mark its path would loop forever; fail
+			// loudly instead.
+			return ocl.Value{}, fmt.Errorf("monitor: demand loop stuck on path %s", uf.path)
+		}
+		if ferr := fetch(uf.env, uf.path); ferr != nil {
+			return ocl.Value{}, &fetchError{err: ferr}
+		}
+	}
+}
+
+// boolValue reports (isBool, value) for a tri-state result.
+func boolValue(v ocl.Value) (bool, bool) {
+	return v.Kind == ocl.KindBool, v.Kind == ocl.KindBool && v.Bool
+}
+
+// checkLazy is the plan-driven monitoring workflow: semantically equivalent
+// to checkEager (same verdicts, failing clauses and SecReq attributions —
+// see differential_test.go) while fetching only the state paths the
+// verdict actually needs.
+//
+// Pre-check: every disjunct is evaluated (coverage attribution needs each
+// case's truth, Section IV.C) in plan order, but demand-driven — a failed
+// source invariant never fetches the guard's paths, and disjuncts sharing
+// paths pay once. Post-check: implications whose antecedent was false in
+// the pre-state are skipped outright; active consequents re-fetch only
+// paths inside the transitions' effect frame and reuse the pre-state
+// snapshot for untouched paths (disable with Config.NoPostReuse).
+func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[string]string, trace *obs.Trace) (Verdict, *BackendResponse) {
+	start := time.Now()
+	c := cr.contract
+	plan := cr.plan
+	reqCtx := &RequestContext{
+		Method:   c.Trigger.Method,
+		Resource: c.Trigger.Resource,
+		Params:   params,
+		Token:    r.Header.Get("X-Auth-Token"),
+		Phase:    PhasePre,
+	}
+	v := Verdict{Trigger: c.Trigger, SecReqs: c.SecReqs}
+	f := &lazyFetcher{
+		m:       m,
+		reqCtx:  reqCtx,
+		project: params["project_id"],
+		pk:      paramsCacheKey(params),
+	}
+	var preEvalDur, postEvalDur time.Duration
+	finish := func(outcome Outcome, detail string) Verdict {
+		v.Outcome = outcome
+		v.Detail = detail
+		v.Elapsed = time.Since(start)
+		v.FetchedPaths = f.fetched
+		switch outcome {
+		case Blocked, Rejected, ViolationForbiddenAccepted, ViolationAllowedRejected:
+			v.FailingClause = c.Pre.String()
+		case ViolationPostcondition:
+			v.FailingClause = c.Post.String()
+		}
+		// Fetch time accumulates into the snapshot stages; the evaluation
+		// stages get the remainder of each interleaved phase.
+		trace[obs.StagePreSnapshot] = f.preDur
+		trace[obs.StagePreEval] = preEvalDur
+		trace[obs.StagePostSnapshot] = f.postDur
+		trace[obs.StagePostEval] = postEvalDur
+		return v
+	}
+	// snapshotFailed runs the pre-forward fail-policy branches shared by
+	// the pre-check and the pre-state top-up (the Degrade rescue already
+	// ran per path inside fetchPre).
+	snapshotFailed := func(err error) (Verdict, *BackendResponse) {
+		if m.failPolicy == FailOpen {
+			fwdStart := time.Now()
+			resp, ferr := m.forward.Forward(r, &cr.route, params)
+			trace[obs.StageForward] = time.Since(fwdStart)
+			if ferr != nil {
+				return finish(Error, fmt.Sprintf(
+					"pre-state snapshot: %v; forward to cloud: %v", err, ferr)), nil
+			}
+			v.Forwarded = true
+			v.BackendStatus = resp.StatusCode
+			if m.cache != nil && r.Method != http.MethodGet {
+				m.cache.invalidateProject(params["project_id"])
+			}
+			return finish(Unverified, fmt.Sprintf("pre-state snapshot failed (fail-open): %v", err)), resp
+		}
+		return finish(Error, fmt.Sprintf("pre-state snapshot: %v", err)), nil
+	}
+
+	// Pre phase: evaluate every disjunct, cheapest-planned first. The
+	// tri-state value is kept per case: the post-check derives each
+	// implication's antecedent from it without re-reading the pre-state.
+	preStart := time.Now()
+	anteVals := make([]ocl.Value, len(c.Cases))
+	pre := newLazyEnv()
+	preCtx := ocl.Context{Cur: pre}
+	for _, cl := range plan.Pre {
+		val, err := evalDemand(c.Cases[cl.Index].Pre, preCtx, f.fetchPre)
+		if err != nil {
+			preEvalDur = time.Since(preStart) - f.preDur
+			var fe *fetchError
+			if errors.As(err, &fe) {
+				return snapshotFailed(fe.err)
+			}
+			return finish(Error, fmt.Sprintf("pre-condition evaluation: %v", err)), nil
+		}
+		anteVals[cl.Index] = val
+	}
+	preEvalDur = time.Since(preStart) - f.preDur
+	v.DegradedPre = f.degraded
+	v.PreSnapshot = pre.vals
+
+	// Coverage attribution in model order, exactly as the eager evalPre.
+	preOK := false
+	var matched, matchedTrans []string
+	seen := make(map[string]bool)
+	for i := range c.Cases {
+		if isBool, b := boolValue(anteVals[i]); !isBool || !b {
+			continue
+		}
+		preOK = true
+		cs := &c.Cases[i]
+		matchedTrans = append(matchedTrans,
+			cs.Transition.From+"->"+cs.Transition.To+" on "+cs.Transition.Trigger.String())
+		for _, s := range cs.Transition.SecReqs {
+			if !seen[s] {
+				seen[s] = true
+				matched = append(matched, s)
+			}
+		}
+	}
+	sort.Strings(matched)
+	v.PreOK = preOK
+	v.MatchedSecReqs = matched
+	v.MatchedTransitions = matchedTrans
+
+	if !preOK && m.mode == Enforce {
+		return finish(Blocked, "pre-condition failed; request not forwarded"), nil
+	}
+
+	// Pre-state top-up: pre-context paths of active consequents are
+	// unobservable once the request is forwarded, so capture any the
+	// disjunct evaluation did not already touch. An implication whose
+	// antecedent is definitely false is skipped entirely — its consequent
+	// is never evaluated, so its old values are never read.
+	if preOK && m.level == CheckFull {
+		topStart := time.Now()
+		preFetchBefore := f.preDur
+		for _, pc := range plan.Post {
+			if isBool, b := boolValue(anteVals[pc.Index]); isBool && !b {
+				continue
+			}
+			for _, p := range pc.PrePaths {
+				if pre.fetched(p) {
+					continue
+				}
+				if err := f.fetchPre(pre, p); err != nil {
+					preEvalDur += time.Since(topStart) - (f.preDur - preFetchBefore)
+					return snapshotFailed(err)
+				}
+			}
+		}
+		preEvalDur += time.Since(topStart) - (f.preDur - preFetchBefore)
+		v.DegradedPre = f.degraded
+	}
+
+	fwdStart := time.Now()
+	resp, err := m.forward.Forward(r, &cr.route, params)
+	trace[obs.StageForward] = time.Since(fwdStart)
+	if err != nil {
+		return finish(Error, fmt.Sprintf("forward to cloud: %v", err)), nil
+	}
+	v.Forwarded = true
+	v.BackendStatus = resp.StatusCode
+	if m.cache != nil && r.Method != http.MethodGet {
+		// A forwarded write may change any state the project's contracts
+		// read: drop the project's cached pre-state.
+		m.cache.invalidateProject(params["project_id"])
+	}
+
+	if !preOK {
+		// Observe mode with a forbidden request: the cloud must reject it.
+		if resp.Succeeded() {
+			return finish(ViolationForbiddenAccepted, fmt.Sprintf(
+				"contract forbids %s but cloud answered %d", c.Trigger, resp.StatusCode)), resp
+		}
+		return finish(Rejected, ""), resp
+	}
+
+	if !resp.Succeeded() {
+		return finish(ViolationAllowedRejected, fmt.Sprintf(
+			"contract permits %s but cloud answered %d", c.Trigger, resp.StatusCode)), resp
+	}
+
+	if m.level == CheckPreOnly {
+		v.PostOK = true
+		return finish(OK, ""), resp
+	}
+
+	// Post phase. The effect frame is the union of what the active
+	// transitions may change; post-state reads outside it reuse the
+	// pre-state snapshot (the forwarded call cannot have moved them).
+	reqCtx.Phase = PhasePost
+	postStart := time.Now()
+	var frame map[string]bool
+	if !m.noPostReuse {
+		frame = make(map[string]bool)
+		for _, pc := range plan.Post {
+			if isBool, b := boolValue(anteVals[pc.Index]); isBool && !b {
+				continue
+			}
+			for _, p := range pc.Touched {
+				frame[p] = true
+			}
+		}
+	}
+	post := newLazyEnv()
+	postCtx := ocl.Context{Cur: post, Pre: pre}
+	fetchPost := func(env *lazyEnv, p string) error {
+		if env == pre {
+			// Defense against a plan bug: every pre-context path of an
+			// active consequent was topped up before the forward.
+			return fmt.Errorf("monitor: pre-state path %s demanded after forward", p)
+		}
+		if frame != nil && !frame[p] && pre.fetched(p) {
+			val, present := pre.value(p)
+			env.set(p, val, present)
+			v.ReusedPaths++
+			return nil
+		}
+		return f.fetchPost(env, p)
+	}
+	sawUndef := false
+	postOK := true
+	for _, pc := range plan.Post {
+		ante := anteVals[pc.Index]
+		anteBool, anteTrue := boolValue(ante)
+		if anteBool && !anteTrue {
+			continue // antecedent false: implication holds, nothing to read
+		}
+		if !anteBool && ante.Kind != ocl.KindUndefined {
+			// The eager engine feeds the antecedent through its boolean
+			// connective, which rejects non-boolean kinds.
+			postEvalDur = time.Since(postStart) - f.postDur
+			return finish(Error, fmt.Sprintf("post-condition evaluation: %v",
+				&ocl.EvalError{Expr: c.Post, Message: "boolean operator applied to " + ante.Kind.String()})), resp
+		}
+		consVal, err := evalDemand(c.Cases[pc.Index].Post, postCtx, fetchPost)
+		if err != nil {
+			postEvalDur = time.Since(postStart) - f.postDur
+			var fe *fetchError
+			if errors.As(err, &fe) {
+				if m.failPolicy == FailOpen || m.failPolicy == Degrade {
+					return finish(Unverified, fmt.Sprintf(
+						"post-state snapshot failed (%s): %v", m.failPolicy, fe.err)), resp
+				}
+				return finish(Error, fmt.Sprintf("post-state snapshot: %v", fe.err)), resp
+			}
+			return finish(Error, fmt.Sprintf("post-condition evaluation: %v", err)), resp
+		}
+		consBool, consTrue := boolValue(consVal)
+		if !consBool && consVal.Kind != ocl.KindUndefined {
+			postEvalDur = time.Since(postStart) - f.postDur
+			return finish(Error, fmt.Sprintf("post-condition evaluation: %v",
+				&ocl.EvalError{Expr: c.Post, Message: "boolean operator applied to " + consVal.Kind.String()})), resp
+		}
+		// Kleene implication given the antecedent is true or undefined:
+		//   true  => X  is X;  undef => X  is true only when X is true.
+		switch {
+		case consBool && consTrue:
+			// implication true
+		case anteTrue && consBool: // consequent definitely false
+			postOK = false
+		default:
+			sawUndef = true
+		}
+		if !postOK {
+			break // the eager conjunction short-circuits on definite false
+		}
+	}
+	postEvalDur = time.Since(postStart) - f.postDur
+	if sawUndef {
+		// EvalBool maps an Undefined post-condition to false.
+		postOK = false
+	}
+	v.PostSnapshot = post.vals
+	v.PostOK = postOK
+	if !postOK {
+		return finish(ViolationPostcondition, fmt.Sprintf(
+			"post-condition of %s failed: %s", c.Trigger, c.Post)), resp
+	}
+	return finish(OK, ""), resp
+}

@@ -165,6 +165,15 @@ func (o Outcome) IsViolation() bool {
 	return false
 }
 
+// Snapshot phases, carried on RequestContext so providers (and test fakes)
+// can tell a pre-state read from a post-state read — under lazy evaluation
+// each phase may issue several Snapshot calls, so call counting no longer
+// identifies the phase.
+const (
+	PhasePre  = "pre"
+	PhasePost = "post"
+)
+
 // RequestContext describes one intercepted request to the state provider.
 type RequestContext struct {
 	// Method and Resource identify the contract trigger.
@@ -172,6 +181,9 @@ type RequestContext struct {
 	Resource string
 	// Params are the URI captures (e.g. project_id, volume_id).
 	Params map[string]string
+	// Phase is PhasePre or PhasePost: which snapshot of the monitoring
+	// workflow this read belongs to.
+	Phase string
 	// Token is the requester's X-Auth-Token.
 	Token string
 }
@@ -244,6 +256,14 @@ type Verdict struct {
 	// verdict: the pre-condition for blocked/rejected/forbidden-accepted
 	// outcomes, the post-condition for effect violations.
 	FailingClause string
+	// FetchedPaths counts the state-path reads this verdict issued to the
+	// provider (pre and post phases; cache hits and coalesced waits are
+	// free and not counted).
+	FetchedPaths int
+	// ReusedPaths counts post-state paths served from the pre-state
+	// snapshot because no active transition's effect could touch them
+	// (lazy evaluation only).
+	ReusedPaths int
 	// Elapsed is the total monitoring duration.
 	Elapsed time.Duration
 	// Trace holds the per-stage pipeline timings (route match, snapshots,
@@ -294,6 +314,14 @@ type Config struct {
 	Mode Mode
 	// Level defaults to CheckFull.
 	Level CheckLevel
+	// Eval selects the evaluation engine (defaults to EvalLazy; EvalEager
+	// restores the whole-contract snapshot workflow).
+	Eval EvalMode
+	// NoPostReuse disables the lazy post-check's effect-frame reuse of
+	// pre-state values: every demanded post path is re-fetched from the
+	// cloud. Reuse assumes the cloud honors the model's effect frames;
+	// differential tests turn it off to compare against arbitrary states.
+	NoPostReuse bool
 	// FailPolicy decides the verdict when a state snapshot fails
 	// (defaults to FailClosed). Degrade additionally requires
 	// PreStateCacheTTL > 0.
@@ -330,15 +358,19 @@ type Monitor struct {
 	contracts *contract.Set
 	routes    []compiledRoute
 	byMethod  map[string][]*compiledRoute
-	provider   StateProvider
-	forward    Forwarder
-	mode       Mode
-	level      CheckLevel
-	failPolicy FailPolicy
-	degradeTTL time.Duration
-	onVerdict  func(Verdict)
-	cache      *snapshotCache
-	audit      *obs.AuditLog
+	provider    StateProvider
+	forward     Forwarder
+	mode        Mode
+	level       CheckLevel
+	eval        EvalMode
+	noPostReuse bool
+	failPolicy  FailPolicy
+	degradeTTL  time.Duration
+	onVerdict   func(Verdict)
+	cache       *snapshotCache
+	audit       *obs.AuditLog
+	// flights coalesces identical concurrent pre-state GETs (lazy engine).
+	flights *flightGroup
 
 	// The verdict log is sharded to keep the record() critical section
 	// off the proxy's critical path under concurrent load; verdicts
@@ -357,6 +389,10 @@ type Monitor struct {
 	outcomes      [numOutcomes]obs.Counter
 	coverage      obs.KeyedCounter
 	transCoverage obs.KeyedCounter
+	// pathsFetched distributes per-request provider path reads; coalesced
+	// counts pre-state fetches that joined another request's flight.
+	pathsFetched *obs.Histogram
+	coalesced    obs.Counter
 }
 
 // numOutcomes sizes the outcome counter array (outcomes are 1-based).
@@ -382,6 +418,8 @@ type compiledRoute struct {
 	// paths is the contract's StatePaths, computed once at build time so
 	// the per-request hot path never re-walks the formulas.
 	paths []string
+	// plan is the contract's compiled evaluation plan (lazy engine).
+	plan *contract.Plan
 }
 
 var _ http.Handler = (*Monitor)(nil)
@@ -412,6 +450,10 @@ func New(cfg Config) (*Monitor, error) {
 	if policy == 0 {
 		policy = FailClosed
 	}
+	eval := cfg.Eval
+	if eval == 0 {
+		eval = EvalLazy
+	}
 	if policy == Degrade && cfg.PreStateCacheTTL <= 0 {
 		return nil, fmt.Errorf("monitor: fail policy %s requires PreStateCacheTTL > 0", policy)
 	}
@@ -420,17 +462,21 @@ func New(cfg Config) (*Monitor, error) {
 		maxLog = 1024
 	}
 	m := &Monitor{
-		contracts:  cfg.Contracts,
-		provider:   cfg.Provider,
-		forward:    cfg.Forward,
-		mode:       mode,
-		level:      level,
-		failPolicy: policy,
-		onVerdict:  cfg.OnVerdict,
-		audit:      cfg.Audit,
-		maxLog:     maxLog,
-		shardMax:   (maxLog + logShards - 1) / logShards,
-		tracer:     obs.NewTracer(),
+		contracts:    cfg.Contracts,
+		provider:     cfg.Provider,
+		forward:      cfg.Forward,
+		mode:         mode,
+		level:        level,
+		eval:         eval,
+		noPostReuse:  cfg.NoPostReuse,
+		failPolicy:   policy,
+		onVerdict:    cfg.OnVerdict,
+		audit:        cfg.Audit,
+		maxLog:       maxLog,
+		shardMax:     (maxLog + logShards - 1) / logShards,
+		tracer:       obs.NewTracer(),
+		flights:      newFlightGroup(),
+		pathsFetched: obs.NewCountHistogram(),
 	}
 	if m.shardMax < 1 {
 		m.shardMax = 1
@@ -458,6 +504,7 @@ func New(cfg Config) (*Monitor, error) {
 			segments: splitPath(r.Pattern),
 			contract: c,
 			paths:    c.StatePaths(),
+			plan:     c.Plan(),
 		})
 	}
 	// Index the compiled routes by HTTP method so match() scans only the
@@ -480,6 +527,9 @@ func (m *Monitor) Level() CheckLevel { return m.level }
 
 // FailPolicy returns the monitor's snapshot-failure policy.
 func (m *Monitor) FailPolicy() FailPolicy { return m.failPolicy }
+
+// Eval returns the monitor's evaluation engine.
+func (m *Monitor) Eval() EvalMode { return m.eval }
 
 // ServeHTTP implements the proxy entry point.
 func (m *Monitor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -515,10 +565,21 @@ func (m *Monitor) match(r *http.Request) (*compiledRoute, map[string]string, boo
 	return nil, nil, false
 }
 
-// check runs the full monitoring workflow for a matched request and
-// returns the verdict plus the backend response (nil when not forwarded).
-// Stage boundaries are written into trace as the pipeline advances.
+// check runs the monitoring workflow for a matched request and returns the
+// verdict plus the backend response (nil when not forwarded), dispatching
+// to the configured evaluation engine.
 func (m *Monitor) check(r *http.Request, cr *compiledRoute, params map[string]string, trace *obs.Trace) (Verdict, *BackendResponse) {
+	if m.eval == EvalEager {
+		return m.checkEager(r, cr, params, trace)
+	}
+	return m.checkLazy(r, cr, params, trace)
+}
+
+// checkEager is the whole-contract snapshot workflow: fetch every state
+// path the contract mentions, evaluate, forward, fetch them all again,
+// evaluate the post-condition. Stage boundaries are written into trace as
+// the pipeline advances.
+func (m *Monitor) checkEager(r *http.Request, cr *compiledRoute, params map[string]string, trace *obs.Trace) (Verdict, *BackendResponse) {
 	start := time.Now()
 	c := cr.contract
 	reqCtx := &RequestContext{
@@ -526,6 +587,7 @@ func (m *Monitor) check(r *http.Request, cr *compiledRoute, params map[string]st
 		Resource: c.Trigger.Resource,
 		Params:   params,
 		Token:    r.Header.Get("X-Auth-Token"),
+		Phase:    PhasePre,
 	}
 	v := Verdict{Trigger: c.Trigger, SecReqs: c.SecReqs}
 	finish := func(outcome Outcome, detail string) Verdict {
@@ -553,7 +615,8 @@ func (m *Monitor) check(r *http.Request, cr *compiledRoute, params map[string]st
 	}
 
 	paths := cr.paths
-	pre, err := m.preSnapshot(reqCtx, paths)
+	pre, fetched, err := m.preSnapshot(reqCtx, paths)
+	v.FetchedPaths = fetched
 	if err != nil && m.failPolicy == Degrade {
 		// Degrade: a recent cached pre-state (within the degrade window,
 		// generation-valid) substitutes for the failed live snapshot;
@@ -635,7 +698,9 @@ func (m *Monitor) check(r *http.Request, cr *compiledRoute, params map[string]st
 		return finish(OK, ""), resp
 	}
 
+	reqCtx.Phase = PhasePost
 	post, err := m.provider.Snapshot(reqCtx, paths)
+	v.FetchedPaths += len(paths)
 	mark(obs.StagePostSnapshot)
 	if err != nil {
 		// The response is already in hand; under FailOpen and Degrade the
@@ -768,6 +833,7 @@ func (m *Monitor) record(v Verdict) {
 	for _, tr := range v.MatchedTransitions {
 		m.transCoverage.Add(tr, 1)
 	}
+	m.pathsFetched.ObserveCount(v.FetchedPaths)
 	m.tracer.Observe(&v.Trace)
 	if m.audit != nil && v.Outcome != OK {
 		m.audit.Append(auditRecord(&v))
@@ -913,6 +979,12 @@ func (m *Monitor) RegisterMetrics(reg *obs.Registry) {
 				"Monitor pipeline latency by stage.",
 				m.tracer.Stage(s), obs.L("stage", s.String()))
 		}
+		w.Histogram("cloudmon_snapshot_paths_fetched",
+			"State paths fetched from the provider per monitored request (count histogram: 1 unit = 1 path).",
+			m.pathsFetched)
+		w.Counter("cloudmon_snapshot_coalesced_total",
+			"Pre-state path fetches that joined another request's in-flight cloud read.",
+			float64(m.coalesced.Value()))
 		if m.cache != nil {
 			cs := m.cache.stats()
 			w.Counter("cloudmon_cache_hits_total", "Pre-state cache hits.", float64(cs.Hits))
@@ -946,6 +1018,30 @@ func (m *Monitor) ResetLog() {
 	m.coverage.Reset()
 	m.transCoverage.Reset()
 	m.tracer.Reset()
+	m.pathsFetched.Reset()
+	m.coalesced.Reset()
+}
+
+// FetchStats are the monitor-side fetch-economy counters: how many state
+// paths requests actually read and how often concurrent reads coalesced.
+type FetchStats struct {
+	// Requests is the number of verdicts with fetch accounting.
+	Requests uint64 `json:"requests"`
+	// PathsFetched is the total provider path reads across them.
+	PathsFetched uint64 `json:"paths_fetched"`
+	// Coalesced counts pre-state fetches served by another request's
+	// in-flight read.
+	Coalesced uint64 `json:"coalesced"`
+}
+
+// FetchStats returns the fetch-economy counters.
+func (m *Monitor) FetchStats() FetchStats {
+	snap := m.pathsFetched.Snapshot()
+	return FetchStats{
+		Requests:     snap.Count,
+		PathsFetched: uint64(snap.Sum + 0.5),
+		Coalesced:    m.coalesced.Value(),
+	}
 }
 
 // splitPath splits a URL path into non-empty segments.

@@ -12,22 +12,26 @@ import (
 	"cloudmon/internal/uml"
 )
 
-// fakeProvider returns scripted snapshots: the first Snapshot call returns
-// pre, later calls return post.
+// fakeProvider returns scripted snapshots: pre-phase reads serve pre,
+// post-phase reads serve post (the lazy engine issues several Snapshot
+// calls per phase, so the phase on the request context — not the call
+// count — selects the script).
 type fakeProvider struct {
 	pre, post ocl.MapEnv
 	err       error
 	calls     int
+	postCalls int
 }
 
-func (f *fakeProvider) Snapshot(_ *RequestContext, paths []string) (ocl.MapEnv, error) {
+func (f *fakeProvider) Snapshot(ctx *RequestContext, paths []string) (ocl.MapEnv, error) {
 	f.calls++
 	if f.err != nil {
 		return nil, f.err
 	}
-	src := f.post
-	if f.calls == 1 {
-		src = f.pre
+	src := f.pre
+	if ctx.Phase == PhasePost {
+		f.postCalls++
+		src = f.post
 	}
 	out := make(ocl.MapEnv, len(paths))
 	for _, p := range paths {

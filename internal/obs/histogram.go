@@ -35,6 +35,24 @@ func NewDurationHistogram() *Histogram {
 	return NewHistogram(DefaultDurationBounds)
 }
 
+// DefaultCountBounds are the upper bucket bounds for count-valued
+// histograms (paths fetched per request): small integers exactly, then a
+// coarsening grid.
+var DefaultCountBounds = []float64{0, 1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32}
+
+// NewCountHistogram builds a histogram for integer counts over
+// DefaultCountBounds. Counts ride the duration plumbing under the
+// convention 1 unit = 1 second, so rendering, parsing and quantiles work
+// unchanged; read Sum as a total count and quantiles in whole units.
+func NewCountHistogram() *Histogram {
+	return NewHistogram(DefaultCountBounds)
+}
+
+// ObserveCount records one integer observation under the count convention.
+func (h *Histogram) ObserveCount(n int) {
+	h.Observe(time.Duration(n) * time.Second)
+}
+
 // NewHistogram builds a histogram with the given upper bounds (seconds,
 // must be sorted ascending).
 func NewHistogram(bounds []float64) *Histogram {

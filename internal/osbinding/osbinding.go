@@ -84,6 +84,7 @@ type Provider struct {
 	attempts      obs.Counter
 	retries       obs.Counter
 	authRefreshes obs.Counter
+	gets          obs.Counter
 }
 
 // ProviderStats snapshots the retry-loop counters.
@@ -94,6 +95,10 @@ type ProviderStats struct {
 	Retries uint64 `json:"retries"`
 	// AuthRefreshes counts 401-triggered token invalidations.
 	AuthRefreshes uint64 `json:"auth_refreshes"`
+	// Gets counts state-path resolutions — one per navigation path read,
+	// each one REST GET against the cloud (before retries). The lazy
+	// monitor's fetch economy is measured against this.
+	Gets uint64 `json:"gets"`
 }
 
 // Stats snapshots the provider's counters.
@@ -102,6 +107,7 @@ func (p *Provider) Stats() ProviderStats {
 		Attempts:      p.attempts.Value(),
 		Retries:       p.retries.Value(),
 		AuthRefreshes: p.authRefreshes.Value(),
+		Gets:          p.gets.Value(),
 	}
 }
 
@@ -119,6 +125,9 @@ func (p *Provider) RegisterMetrics(reg *obs.Registry) {
 		w.Counter("cloudmon_snapshot_auth_refresh_total",
 			"Service-token refreshes triggered by 401 responses.",
 			float64(p.authRefreshes.Value()))
+		w.Counter("cloudmon_cloud_gets_total",
+			"State-path reads issued against the cloud (one REST GET each, before retries).",
+			float64(p.gets.Value()))
 		if p.Breaker != nil {
 			var state float64
 			switch p.Breaker.State() {
@@ -303,6 +312,7 @@ const DefaultMaxParallel = 8
 // resources are OclUndefined, never errors — that is how "GET was not 200"
 // enters the formulas.
 func (p *Provider) resolve(ctx *monitor.RequestContext, path string) (ocl.Value, error) {
+	p.gets.Inc()
 	switch path {
 	case "project.id":
 		return p.resolveProjectID(ctx)
