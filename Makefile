@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet lint test race cover bench planbench fuzz chaos obs examples experiments artifacts
+.PHONY: all build vet lint test race cover bench planbench factbench fuzz chaos obs examples experiments artifacts
 
 all: build vet lint test
 
@@ -10,13 +10,15 @@ build:
 vet:
 	go vet ./...
 
-# Static analysis of every model the examples construct: the two paper
-# models and the SecReq-1.4 audit slice. Fails on any error-severity
-# diagnostic.
+# Static analysis of every model the examples construct (the two paper
+# models and the SecReq-1.4 audit slice), plus the repo's own analyzers
+# (hot-path allocation discipline, atomic counters). Fails on any
+# error-severity diagnostic or lint finding.
 lint:
 	go run ./cmd/modelvet -example cinder
 	go run ./cmd/modelvet -example nova
 	go run ./cmd/modelvet -example cinder-secreq-1.4
+	go run ./cmd/repolint .
 
 test:
 	go test ./...
@@ -34,6 +36,11 @@ bench:
 # snapshot, with per-op cloud-GET economy (see EXPERIMENTS.md).
 planbench:
 	go test -run XXX -bench BenchmarkEvalPlan -benchmem .
+
+# E16: the lazy engine with compile-time facts vs without (witness skips
+# and static clauses; see EXPERIMENTS.md).
+factbench:
+	go test -run XXX -bench BenchmarkEvalPlanFacts -benchmem .
 
 # Seed-corpus fuzzing already runs under `make test`; this target fuzzes
 # each parser for 30s.

@@ -10,6 +10,8 @@
 //	E15 BenchmarkEvalPlan           demand-driven evaluation vs eager
 //	    whole-contract snapshots, with per-op cloud-GET economy and
 //	    flight coalescing under simulated latency
+//	E16 BenchmarkEvalPlanFacts      compile-time fact pruning vs the
+//	    no-facts lazy baseline, with per-op clause-demand economy
 //
 // plus supporting micro-benchmarks for the substrate (policy checks,
 // XMI round-trips, router dispatch).
@@ -168,8 +170,9 @@ func (t delayTransport) RoundTrip(r *http.Request) (*http.Response, error) {
 }
 
 // newThroughputDeployment wires cloud + monitor in process with an
-// optional per-backend-request delay and arbitrary core option tweaks.
-func newThroughputDeployment(b *testing.B, delay time.Duration, mutate func(*core.Options)) *benchDeployment {
+// optional per-backend-request delay and arbitrary core option tweaks
+// (testing.TB so experiment tests can reuse it alongside benchmarks).
+func newThroughputDeployment(b testing.TB, delay time.Duration, mutate func(*core.Options)) *benchDeployment {
 	b.Helper()
 	cloud := openstack.New(openstack.Config{})
 	seed := cloud.ApplySeed(openstack.Seed{
@@ -392,6 +395,73 @@ func BenchmarkEvalPlan(b *testing.B) {
 		fs := d.sys.Monitor.FetchStats()
 		b.ReportMetric(float64(fs.Coalesced)/float64(b.N), "coalesced/op")
 	})
+}
+
+// BenchmarkEvalPlanFacts (E16) compares the lazy engine with compile-time
+// facts (the default) against the same engine with facts disabled — the
+// PR-5 baseline. The pruning shows up as fewer per-clause path demands
+// (witness skips decide excluded disjuncts with one element), reported as
+// demands/op from the monitor's verdict log; cloud GETs/op stay identical
+// because the skipped elements read already-fetched paths on these routes.
+func BenchmarkEvalPlanFacts(b *testing.B) {
+	variants := []struct {
+		name    string
+		noFacts bool
+	}{
+		{"facts", false},
+		{"no-facts", true},
+	}
+	reportWork := func(b *testing.B, d *benchDeployment, before uint64) {
+		b.ReportMetric(float64(d.sys.Provider.Stats().Gets-before)/float64(b.N), "cloudGETs/op")
+		var demands, skips, n int
+		for _, v := range d.sys.Monitor.Log() {
+			demands += v.DemandedPaths
+			skips += v.FactsSkipped
+			n++
+		}
+		if n > 0 {
+			b.ReportMetric(float64(demands)/float64(n), "demands/op")
+			b.ReportMetric(float64(skips)/float64(n), "factskips/op")
+		}
+	}
+	for _, v := range variants {
+		v := v
+		b.Run("GET/"+v.name, func(b *testing.B) {
+			d := newThroughputDeployment(b, 0, func(o *core.Options) { o.NoFacts = v.noFacts })
+			path := "/projects/" + d.projectID + "/volumes/" + d.volumeID
+			b.ReportAllocs()
+			before := d.sys.Provider.Stats().Gets
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.monitored.Do(http.MethodGet, path, nil, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportWork(b, d, before)
+		})
+		b.Run("CreateDelete/"+v.name, func(b *testing.B) {
+			d := newThroughputDeployment(b, 0, func(o *core.Options) { o.NoFacts = v.noFacts })
+			collection := "/projects/" + d.projectID + "/volumes"
+			in := map[string]map[string]any{"volume": {"name": "x", "size": 1}}
+			b.ReportAllocs()
+			before := d.sys.Provider.Stats().Gets
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var out struct {
+					Volume cinder.Volume `json:"volume"`
+				}
+				if _, err := d.monitored.Do(http.MethodPost, collection, in, &out, nil); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := d.monitored.Do(http.MethodDelete, collection+"/"+out.Volume.ID, nil, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportWork(b, d, before)
+		})
+	}
 }
 
 // BenchmarkMonitorAblation compares the full workflow against the

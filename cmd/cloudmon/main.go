@@ -55,6 +55,7 @@ func run(args []string) error {
 	inspectAddr := fs.String("inspect-addr", "", "optional listen address for the verdict/coverage API (e.g. 127.0.0.1:8001)")
 	levelName := fs.String("level", "full", "contract check level: full | pre-only")
 	evalName := fs.String("eval", "lazy", "contract evaluation engine: lazy (demand-driven plans) | eager (whole-contract snapshots)")
+	noFacts := fs.Bool("no-facts", false, "disable compile-time fact pruning in the lazy engine (A/B baseline)")
 	logFile := fs.String("log-file", "", "append verdicts as NDJSON to this file")
 	metricsAddr := fs.String("metrics-addr", "", "optional listen address for the Prometheus-text /metrics endpoint (e.g. 127.0.0.1:8002)")
 	auditDir := fs.String("audit-dir", "", "directory for the append-only audit trail (violations and Unverified outcomes)")
@@ -160,6 +161,7 @@ func run(args []string) error {
 		Mode:              mode,
 		Level:             level,
 		Eval:              eval,
+		NoFacts:           *noFacts,
 		OnVerdict:         onVerdict,
 		ParallelSnapshots: *parallelSnapshots,
 		Audit:             audit,

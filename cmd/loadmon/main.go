@@ -62,6 +62,7 @@ func run(args []string, out io.Writer) error {
 	modeName := fs.String("mode", "enforce", "monitor mode for the in-process deployment: enforce | observe")
 	levelName := fs.String("level", "full", "check level for the in-process deployment: full | pre-only")
 	evalName := fs.String("eval", "lazy", "evaluation engine for the in-process deployment: lazy | eager")
+	noFacts := fs.Bool("no-facts", false, "disable compile-time fact pruning in the lazy engine (A/B baseline)")
 	parallel := fs.Bool("parallel-snapshots", false, "resolve state snapshots concurrently")
 	workers := fs.Int("snapshot-workers", 0, "bound the parallel snapshot pool (0 = default)")
 	cacheTTL := fs.Duration("cache-ttl", 0, "pre-state read-cache TTL (0 = disabled)")
@@ -168,6 +169,7 @@ func run(args []string, out io.Writer) error {
 			Mode:              mode,
 			Level:             level,
 			Eval:              evalMode,
+			NoFacts:           *noFacts,
 			FailPolicy:        policy,
 			ParallelSnapshots: *parallel,
 			SnapshotWorkers:   *workers,

@@ -16,6 +16,10 @@
 //	-example NAME   analyze a bundled model instead of an XMI file:
 //	                cinder, nova, or cinder-secreq-1.4
 //	-list-passes    print the registered passes and their codes, then exit
+//	-facts          additionally print the compile-time clause facts the
+//	                symbolic pass proved per contract (static disjuncts,
+//	                witness exclusions, dead paths), after machine-checking
+//	                each facts artifact
 //
 // Exit status: 0 when the model is clean or carries only warnings and
 // infos, 1 when any error-severity diagnostic is reported, 2 on usage or
@@ -30,6 +34,7 @@ import (
 	"strings"
 
 	"cloudmon/internal/analysis"
+	"cloudmon/internal/contract"
 	"cloudmon/internal/paper"
 	"cloudmon/internal/slice"
 	"cloudmon/internal/uml"
@@ -55,6 +60,7 @@ func run(args []string, out io.Writer) (failed bool, err error) {
 	passes := fs.String("passes", "", "comma-separated pass names to run (default: all)")
 	example := fs.String("example", "", "analyze a bundled model: cinder, nova, cinder-secreq-1.4")
 	listPasses := fs.Bool("list-passes", false, "print the registered passes and exit")
+	facts := fs.Bool("facts", false, "print the compile-time clause facts per contract")
 	if err := fs.Parse(args); err != nil {
 		return false, err
 	}
@@ -96,7 +102,28 @@ func run(args []string, out io.Writer) (failed bool, err error) {
 	} else {
 		fmt.Fprint(out, report.Render())
 	}
-	return report.HasErrors(), nil
+	failed = report.HasErrors()
+
+	if *facts {
+		set, err := contract.Generate(model)
+		if err != nil {
+			// The report above already explains why the model cannot
+			// generate; there are no facts to print.
+			fmt.Fprintf(out, "facts: contracts not generated: %v\n", err)
+			return true, nil
+		}
+		// Machine-check every artifact before presenting it as proven.
+		for _, c := range set.Contracts {
+			if f := c.Plan().Facts; f != nil {
+				if err := f.Check(c); err != nil {
+					fmt.Fprintf(out, "facts: %s: CHECK FAILED: %v\n", c.Trigger, err)
+					failed = true
+				}
+			}
+		}
+		fmt.Fprint(out, contract.RenderFacts(set))
+	}
+	return failed, nil
 }
 
 // loadModel resolves the -example shorthand or reads the XMI argument.

@@ -136,3 +136,29 @@ func TestUnknownPassRejected(t *testing.T) {
 		t.Errorf("err = %v, want unknown-pass error", err)
 	}
 }
+
+func TestFactsOutput(t *testing.T) {
+	var out bytes.Buffer
+	failed, err := run([]string{"-facts", "-example", "cinder"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("cinder with -facts reports errors:\n%s", out.String())
+	}
+	s := out.String()
+	// The pinned DELETE exclusion: once the size()=1 disjunct is true,
+	// the size()>1 sibling is decided by its witness element alone.
+	for _, needle := range []string{
+		"DELETE(volume)",
+		"witness project.volumes->size() > 1",
+		"skippable once",
+	} {
+		if !strings.Contains(s, needle) {
+			t.Errorf("-facts output missing %q:\n%s", needle, s)
+		}
+	}
+	if strings.Contains(s, "CHECK FAILED") {
+		t.Errorf("facts machine check failed:\n%s", s)
+	}
+}

@@ -1,0 +1,38 @@
+// Command repolint runs the repo's own static analyzers (internal/lint)
+// over a source tree and exits non-zero on any finding. It complements
+// `go vet`: vet checks general Go mistakes, repolint checks invariants
+// specific to this codebase (hot-path allocation discipline, atomic
+// counter usage).
+//
+// Usage:
+//
+//	repolint [root]
+//
+// root defaults to the current directory.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cloudmon/internal/lint"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	findings, err := lint.Run(root, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

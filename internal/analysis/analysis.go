@@ -19,9 +19,14 @@
 //	MV5xx  monitorability     postconditions the proxy cannot observe
 //	MV6xx  frames             dead effects, disjuncts blind to their
 //	                          trigger's guard vocabulary
+//	MV7xx  symbolic           compile-time clause facts: statically
+//	                          decided disjuncts, subsumed disjuncts,
+//	                          never-demanded state paths, facts-artifact
+//	                          machine-check failures
 //
-// Diagnostics are deterministically ordered, so the analyzer's output is
-// byte-for-byte reproducible — a requirement for golden tests and CI.
+// Diagnostics are deterministically ordered and exact duplicates removed,
+// so the analyzer's output is byte-for-byte reproducible — a requirement
+// for golden tests and CI.
 package analysis
 
 import (
@@ -149,6 +154,7 @@ func Passes() []Pass {
 		secreqPass(),
 		monitorabilityPass(),
 		framesPass(),
+		symbolicPass(),
 	}
 }
 
@@ -311,7 +317,23 @@ func Analyze(m *uml.Model, cfg Config) *Report {
 		r.Diagnostics = append(r.Diagnostics, p.Run(ctx)...)
 	}
 	sortDiagnostics(r.Diagnostics)
+	r.Diagnostics = dedupeDiagnostics(r.Diagnostics)
 	return r
+}
+
+// dedupeDiagnostics removes exact duplicates from a sorted slice. Passes
+// anchored at shared model elements (identical sibling transitions, a path
+// read in several clauses) can re-derive the same finding once per
+// viewpoint; repeating it doubles the counts without adding information.
+func dedupeDiagnostics(ds []Diagnostic) []Diagnostic {
+	out := ds[:0]
+	for i, d := range ds {
+		if i > 0 && d == ds[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // sortDiagnostics orders diagnostics deterministically: by code, then

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"cloudmon/internal/analysis/symbolic"
 	"cloudmon/internal/ocl"
 	"cloudmon/internal/uml"
 )
@@ -34,6 +35,7 @@ func runFrames(ctx *Context) []Diagnostic {
 	read := make(map[string]bool)
 	invPaths := make(map[string][]string)
 	guardPaths := make(map[*uml.Transition][]string)
+	guardExprs := make(map[*uml.Transition]ocl.Expr)
 	for _, me := range ctx.exprs {
 		if me.Expr == nil {
 			continue
@@ -44,6 +46,7 @@ func runFrames(ctx *Context) []Diagnostic {
 			invPaths[me.State.Name] = cur
 		case exprGuard:
 			guardPaths[me.Transition] = cur
+			guardExprs[me.Transition] = me.Expr
 		case exprEffect:
 			continue
 		}
@@ -112,6 +115,15 @@ func runFrames(ctx *Context) []Diagnostic {
 				}
 			}
 			if !shares {
+				// A written guard that constant-folds to true is an
+				// explicit tautology — the modeler said "always fires" on
+				// purpose. Only a missing guard is a forgotten one.
+				if g := guardExprs[t]; g != nil && strings.TrimSpace(t.Guard) != "" {
+					if l, ok := symbolic.Fold(g).(*ocl.Lit); ok &&
+						l.Value.Kind == ocl.KindBool && l.Value.Bool {
+						continue
+					}
+				}
 				ds = append(ds, Diagnostic{
 					Code:     "MV601",
 					Severity: Warning,

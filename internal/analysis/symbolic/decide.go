@@ -1,0 +1,208 @@
+package symbolic
+
+import "cloudmon/internal/ocl"
+
+// Tri is the verdict of the static three-valued decision procedure.
+type Tri int
+
+// Decision outcomes. Unknown means the formula's value depends on the
+// environment (or the analysis could not tell).
+const (
+	Unknown Tri = iota
+	True
+	False
+	Undef
+)
+
+// String returns the verdict name.
+func (t Tri) String() string {
+	switch t {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	case Undef:
+		return "OclUndefined"
+	}
+	return "unknown"
+}
+
+// outcome is a bitset over the abstract boolean outcomes of evaluating a
+// formula: the three Kleene values plus oErr for "errors or produces a
+// non-boolean value".
+type outcome uint8
+
+const (
+	oTrue outcome = 1 << iota
+	oFalse
+	oUndef
+	oErr
+)
+
+const oAnyBool = oTrue | oFalse | oUndef
+
+// Decide statically evaluates a boolean formula over every environment at
+// once, honoring the evaluator's Kleene connectives and their
+// short-circuiting. It returns True/False/Undef only when the concrete
+// evaluator reaches that exact value, without error, for every
+// environment. Fold the expression first for best precision — Decide
+// itself only interprets literals and connectives abstractly.
+func Decide(e ocl.Expr) Tri {
+	switch absBool(e, map[string]int{}) {
+	case oTrue:
+		return True
+	case oFalse:
+		return False
+	case oUndef:
+		return Undef
+	}
+	return Unknown
+}
+
+// absBool computes the set of outcomes the formula can evaluate to.
+// Structural cases cover literals and the boolean connectives (where
+// short-circuiting prunes outcomes); everything else falls back to the
+// kind and error analyses.
+func absBool(e ocl.Expr, bound map[string]int) outcome {
+	switch n := e.(type) {
+	case *ocl.Lit:
+		switch n.Value.Kind {
+		case ocl.KindBool:
+			if n.Value.Bool {
+				return oTrue
+			}
+			return oFalse
+		case ocl.KindUndefined:
+			return oUndef
+		default:
+			return oErr // a non-boolean literal fed to a boolean context
+		}
+	case *ocl.Unary:
+		if n.Op == ocl.OpNot {
+			sub := absBool(n.Expr, bound)
+			var out outcome
+			if sub&oTrue != 0 {
+				out |= oFalse
+			}
+			if sub&oFalse != 0 {
+				out |= oTrue
+			}
+			out |= sub & (oUndef | oErr)
+			return out
+		}
+	case *ocl.Binary:
+		switch n.Op {
+		case ocl.OpAnd, ocl.OpOr, ocl.OpImplies, ocl.OpXor:
+			return absLogic(n, bound)
+		}
+	}
+	return leafOutcome(e, bound)
+}
+
+// leafOutcome derives the outcome set of a non-connective node from its
+// possible kinds and error-freedom.
+func leafOutcome(e ocl.Expr, bound map[string]int) outcome {
+	var out outcome
+	k := kinds(e, bound)
+	if k.Has(KBool) {
+		out |= oTrue | oFalse
+	}
+	if k.Has(KUndef) {
+		out |= oUndef
+	}
+	if k.Has(KInt|KString|KColl) || !neverErrors(e, bound) {
+		out |= oErr
+	}
+	return out
+}
+
+// absLogic lifts the evaluator's short-circuiting Kleene connectives to
+// outcome sets. The left operand is always evaluated, so its error
+// outcome always propagates; the right operand's outcomes only matter
+// when some left outcome fails to short-circuit.
+func absLogic(n *ocl.Binary, bound map[string]int) outcome {
+	l := absBool(n.L, bound)
+	var out outcome
+	out |= l & oErr
+	var shortcut, rest outcome
+	switch n.Op {
+	case ocl.OpAnd:
+		shortcut = oFalse // false and _ = false, right unevaluated
+	case ocl.OpOr:
+		shortcut = oTrue
+	case ocl.OpImplies:
+		shortcut = oFalse // false implies _ = true
+	}
+	if n.Op != ocl.OpXor && l&shortcut != 0 {
+		if n.Op == ocl.OpImplies {
+			out |= oTrue
+		} else {
+			out |= shortcut
+		}
+	}
+	rest = l & oAnyBool &^ shortcut
+	if n.Op == ocl.OpXor {
+		rest = l & oAnyBool
+	}
+	if rest == 0 {
+		return out
+	}
+	r := absBool(n.R, bound)
+	out |= r & oErr
+	for _, la := range [...]outcome{oTrue, oFalse, oUndef} {
+		if rest&la == 0 {
+			continue
+		}
+		for _, rb := range [...]outcome{oTrue, oFalse, oUndef} {
+			if r&rb == 0 {
+				continue
+			}
+			out |= kleene(n.Op, la, rb)
+		}
+	}
+	return out
+}
+
+// kleene is the evaluator's three-valued truth table for one pair of
+// operand values.
+func kleene(op ocl.BinOp, l, r outcome) outcome {
+	switch op {
+	case ocl.OpAnd:
+		switch {
+		case l == oFalse || r == oFalse:
+			return oFalse
+		case l == oUndef || r == oUndef:
+			return oUndef
+		default:
+			return oTrue
+		}
+	case ocl.OpOr:
+		switch {
+		case l == oTrue || r == oTrue:
+			return oTrue
+		case l == oUndef || r == oUndef:
+			return oUndef
+		default:
+			return oFalse
+		}
+	case ocl.OpImplies:
+		switch {
+		case l == oFalse || r == oTrue:
+			return oTrue
+		case l == oUndef || r == oUndef:
+			return oUndef
+		default:
+			return r
+		}
+	case ocl.OpXor:
+		switch {
+		case l == oUndef || r == oUndef:
+			return oUndef
+		case l != r:
+			return oTrue
+		default:
+			return oFalse
+		}
+	}
+	return oErr
+}

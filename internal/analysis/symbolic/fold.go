@@ -1,0 +1,124 @@
+package symbolic
+
+import "cloudmon/internal/ocl"
+
+// Fold rewrites every maximal environment-independent subtree to the
+// literal the concrete evaluator produces for it. The rewrite is
+// value- and error-preserving for every environment:
+//
+//   - only closed subtrees (no free navigation, no pre() references) are
+//     evaluated, so the computed value is the value any evaluation would
+//     see;
+//   - a closed subtree whose evaluation errors is kept verbatim, so an
+//     expression that always errors still errors after folding;
+//   - nothing is rewritten across a non-closed boundary — in particular
+//     `true and x` is NOT simplified to `x`, because the conjunction
+//     applies a boolean coercion to x that the bare x would lose.
+//
+// The input expression is never mutated; shared structure is reused when
+// nothing under it folds.
+func Fold(e ocl.Expr) ocl.Expr {
+	folded, _ := foldExpr(e, map[string]int{})
+	return folded
+}
+
+// foldExpr folds bottom-up, reporting whether the (folded) subtree is
+// closed: its value does not depend on the environment. Iterator
+// variables are closed when bound — their value comes from the enclosing
+// iteration, which the concrete evaluator replays during tryEval.
+func foldExpr(e ocl.Expr, bound map[string]int) (ocl.Expr, bool) {
+	switch n := e.(type) {
+	case *ocl.Lit:
+		return n, true
+	case *ocl.Nav:
+		return n, bound[n.Path[0]] > 0 && !n.AtPre
+	case *ocl.PreExpr:
+		inner, _ := foldExpr(n.Expr, bound)
+		if inner == n.Expr {
+			return n, false
+		}
+		return &ocl.PreExpr{Expr: inner}, false
+	case *ocl.Unary:
+		sub, closed := foldExpr(n.Expr, bound)
+		out := e
+		if sub != n.Expr {
+			out = &ocl.Unary{Op: n.Op, Expr: sub}
+		}
+		if closed {
+			return tryEval(out), true
+		}
+		return out, false
+	case *ocl.Binary:
+		l, lc := foldExpr(n.L, bound)
+		r, rc := foldExpr(n.R, bound)
+		out := e
+		if l != n.L || r != n.R {
+			out = &ocl.Binary{Op: n.Op, L: l, R: r}
+		}
+		if lc && rc {
+			return tryEval(out), true
+		}
+		return out, false
+	case *ocl.CollOp:
+		recv, closed := foldExpr(n.Recv, bound)
+		changed := recv != n.Recv
+		args := make([]ocl.Expr, len(n.Args))
+		for i, a := range n.Args {
+			fa, ac := foldExpr(a, bound)
+			closed = closed && ac
+			args[i] = fa
+			if fa != a {
+				changed = true
+			}
+		}
+		out := e
+		if changed {
+			out = &ocl.CollOp{Recv: recv, Name: n.Name, Args: args}
+		}
+		if closed {
+			return tryEval(out), true
+		}
+		return out, false
+	case *ocl.IterOp:
+		recv, rc := foldExpr(n.Recv, bound)
+		bound[n.Var]++
+		body, bc := foldExpr(n.Body, bound)
+		bound[n.Var]--
+		out := e
+		if recv != n.Recv || body != n.Body {
+			out = &ocl.IterOp{Recv: recv, Name: n.Name, Var: n.Var, Body: body}
+		}
+		if rc && bc {
+			return tryEval(out), true
+		}
+		return out, false
+	}
+	return e, false
+}
+
+// tryEval evaluates a closed expression with the concrete evaluator and
+// returns the literal result; expressions that error are kept as-is so
+// folding never changes error behavior.
+func tryEval(e ocl.Expr) ocl.Expr {
+	if _, ok := e.(*ocl.Lit); ok {
+		return e
+	}
+	v, err := ocl.Eval(e, ocl.Context{})
+	if err != nil {
+		return e
+	}
+	return &ocl.Lit{Value: v}
+}
+
+// Elements flattens the expression's top-level conjunction into its
+// elements, in evaluation order. The concrete evaluator decides a
+// conjunction by evaluating elements left to right and stopping at the
+// first definite false; every skip the fact engine performs is justified
+// against this element list.
+func Elements(e ocl.Expr) []ocl.Expr {
+	b, ok := e.(*ocl.Binary)
+	if !ok || b.Op != ocl.OpAnd {
+		return []ocl.Expr{e}
+	}
+	return append(Elements(b.L), Elements(b.R)...)
+}

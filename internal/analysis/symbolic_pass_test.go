@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"testing"
+
+	"cloudmon/internal/paper"
+	"cloudmon/internal/uml"
+)
+
+// TestStaticDisjunctMV700AndDeadPathMV703: a guard carrying a false
+// conjunct makes the whole DELETE disjunct statically false — the case can
+// never fire, and the paths only its clauses read are never demanded.
+func TestStaticDisjunctMV700AndDeadPathMV703(t *testing.T) {
+	m := minimalModel()
+	m.Behavioral.Transitions[1].Guard = "things->size() = 1 and 2 > 3"
+	r := analyze(m)
+	wantDiag(t, r, "MV700", Warning, "DELETE(thing) busy->empty", "can never fire")
+	wantDiag(t, r, "MV703", Info, "contract DELETE(thing)", `"things"`, "never demanded")
+}
+
+// TestTautologicalDisjunctMV701: a source invariant that folds to true and
+// a guardless transition give a disjunct that fires for every state.
+func TestTautologicalDisjunctMV701(t *testing.T) {
+	m := minimalModel()
+	m.Behavioral.States[0].Invariant = "2 > 1"
+	r := analyze(m)
+	wantDiag(t, r, "MV701", Info, "POST(thing) empty->busy", "fires for every state")
+}
+
+// TestSubsumedDisjunctMV702: a second DELETE case whose inv+guard entail a
+// sibling's is redundant in the disjunction pre(m).
+func TestSubsumedDisjunctMV702(t *testing.T) {
+	m := minimalModel()
+	// "full" duplicates busy's invariant; its DELETE guard (>= 1) is
+	// entailed by busy's (= 1), so the busy case is the redundant one.
+	m.Behavioral.States = append(m.Behavioral.States,
+		&uml.State{Name: "full", Invariant: "things->size() >= 1"})
+	m.Behavioral.Transitions = append(m.Behavioral.Transitions,
+		&uml.Transition{
+			From: "busy", To: "full",
+			Trigger: uml.Trigger{Method: uml.PUT, Resource: "thing"},
+			Guard:   "things->size() >= 1",
+			Effect:  "things->size() = pre(things->size())",
+			SecReqs: []string{"1.2"},
+		},
+		&uml.Transition{
+			From: "full", To: "busy",
+			Trigger: uml.Trigger{Method: uml.DELETE, Resource: "thing"},
+			Guard:   "things->size() >= 1",
+			Effect:  "things->size() = pre(things->size()) - 1",
+			SecReqs: []string{"1.2"},
+		})
+	r := analyze(m)
+	wantDiag(t, r, "MV702", Warning, "DELETE(thing) busy->empty",
+		"redundant disjunct", "full->busy")
+}
+
+// TestSymbolicQuietOnShippedModels: the paper's models have no statically
+// decided or subsumed disjuncts and no dead paths — MV70x must stay
+// silent on them (their facts are pairwise exclusions, which are an
+// optimization, not a smell).
+func TestSymbolicQuietOnShippedModels(t *testing.T) {
+	for name, m := range map[string]*uml.Model{
+		"cinder":  paper.CinderModel(),
+		"nova":    paper.NovaModel(),
+		"minimal": minimalModel(),
+	} {
+		r := analyze(m)
+		for _, code := range []string{"MV700", "MV701", "MV702", "MV703", "MV704"} {
+			if ds := r.ByCode(code); len(ds) != 0 {
+				t.Errorf("%s model: %s fired:\n%s", name, code, r.Render())
+			}
+		}
+	}
+}
+
+// TestMV601QuietOnTautologyGuard: a written guard that constant-folds to
+// true is a deliberate "always fires", not a forgotten guard — MV601 must
+// not flag it even though it reads none of the trigger's vocabulary.
+func TestMV601QuietOnTautologyGuard(t *testing.T) {
+	m := minimalModel()
+	m.Behavioral.States = append(m.Behavioral.States,
+		&uml.State{Name: "drained", Invariant: "thing.count = 0"})
+	m.Behavioral.Transitions = append(m.Behavioral.Transitions, &uml.Transition{
+		From: "drained", To: "empty",
+		Trigger: uml.Trigger{Method: uml.DELETE, Resource: "thing"},
+		Guard:   "1 = 1",
+		Effect:  "things->size() = pre(things->size())",
+		SecReqs: []string{"1.2"},
+	})
+	m.Behavioral.Transitions = append(m.Behavioral.Transitions, &uml.Transition{
+		From: "busy", To: "drained",
+		Trigger: uml.Trigger{Method: uml.PUT, Resource: "thing"},
+		Guard:   "thing.count = 0",
+		Effect:  "things->size() = pre(things->size())",
+		SecReqs: []string{"1.2"},
+	})
+	r := analyze(m)
+	if got := len(r.ByCode("MV601")); got != 0 {
+		t.Fatalf("MV601 fired %d times on an explicit tautology guard:\n%s", got, r.Render())
+	}
+}
+
+// TestDiagnosticsDeduped: two identical transitions yield byte-identical
+// diagnostics; the report keeps one.
+func TestDiagnosticsDeduped(t *testing.T) {
+	m := minimalModel()
+	dup := *m.Behavioral.Transitions[1]
+	m.Behavioral.Transitions = append(m.Behavioral.Transitions, &dup)
+	// Both DELETE cases now carry identical inv+guard: each subsumes the
+	// other, producing two identical MV702 diagnostics per direction
+	// before deduplication.
+	r := analyze(m)
+	ds := r.ByCode("MV702")
+	seen := make(map[string]bool)
+	for _, d := range ds {
+		key := d.Loc.String() + "|" + d.Message
+		if seen[key] {
+			t.Fatalf("duplicate diagnostic survived dedupe: %s: %s", d.Loc, d.Message)
+		}
+		seen[key] = true
+	}
+	if len(ds) == 0 {
+		t.Fatalf("expected MV702 on duplicated transitions:\n%s", r.Render())
+	}
+}

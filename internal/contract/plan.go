@@ -71,6 +71,11 @@ type Plan struct {
 	// EagerPaths is StatePaths(): what the eager engine fetches for each
 	// of its two snapshots. Kept on the plan so observers can compare.
 	EagerPaths []string
+	// Facts is the statically proven clause knowledge (see facts.go).
+	// The plan's clause lists above stay fact-neutral — a contract is
+	// shared by monitors with facts on and off — so every pruning
+	// decision is the runtime's, guided by this artifact.
+	Facts *Facts
 }
 
 // Plan returns the contract's compiled evaluation plan. For contracts built
@@ -127,5 +132,6 @@ func compilePlan(c *Contract) *Plan {
 			Cost:     ocl.StaticCost(cs.Post),
 		})
 	}
+	p.Facts = computeFacts(c, p)
 	return p
 }

@@ -42,6 +42,10 @@ type Options struct {
 	// Eval selects the evaluation engine (defaults to monitor.EvalLazy;
 	// monitor.EvalEager restores whole-contract snapshots).
 	Eval monitor.EvalMode
+	// NoFacts disables compile-time fact pruning in the lazy engine
+	// (static clause assignment and witness-based sibling skips) — the
+	// A/B knob behind EXPERIMENTS.md E16.
+	NoFacts bool
 	// FailPolicy decides the verdict when a state snapshot fails
 	// (defaults to monitor.FailClosed; Degrade requires
 	// PreStateCacheTTL > 0).
@@ -141,6 +145,7 @@ func Build(opts Options) (*System, error) {
 		Mode:             opts.Mode,
 		Level:            opts.Level,
 		Eval:             opts.Eval,
+		NoFacts:          opts.NoFacts,
 		FailPolicy:       opts.FailPolicy,
 		MaxLog:           opts.MaxLog,
 		OnVerdict:        opts.OnVerdict,

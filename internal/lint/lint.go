@@ -1,0 +1,158 @@
+// Package lint is the repo's own static analyzer, shaped after
+// golang.org/x/tools/go/analysis but built on the standard library's
+// go/parser and go/ast alone (the repo takes no dependencies). Each
+// Analyzer inspects parsed files and reports findings; Run walks a source
+// tree and applies every analyzer to every package.
+//
+// The analyzers encode invariants the monitor's performance work depends
+// on but the compiler cannot check: the per-request hot path must not
+// allocate or format, and counters shared across request goroutines must
+// be the lock-free obs types, not raw integers.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// An Analyzer names one check and the function that runs it over a
+// single package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings, e.g. "hotpath".
+	Name string
+	// Doc is a one-line description of what the analyzer enforces.
+	Doc string
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// A Pass carries one package's parsed files to an analyzer and collects
+// its findings.
+type Pass struct {
+	Fset *token.FileSet
+	// Pkg is the package name (not import path) of the files.
+	Pkg string
+	// Dir is the directory the files were parsed from, relative to the
+	// Run root.
+	Dir      string
+	Files    []*ast.File
+	analyzer *Analyzer
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Finding is one rule violation.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run walks every Go package under root and applies the analyzers.
+// Test files, testdata, and hidden directories are skipped: the rules
+// guard production code.
+func Run(root string, analyzers []*Analyzer) ([]Finding, error) {
+	pkgs, err := loadPackages(root)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		RunPackage(pkg, analyzers, &findings)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// RunPackage applies the analyzers to one parsed package, appending to
+// findings. Exposed so tests can lint synthetic sources.
+func RunPackage(pkg *Pass, analyzers []*Analyzer, findings *[]Finding) {
+	for _, a := range analyzers {
+		p := *pkg
+		p.analyzer = a
+		p.findings = findings
+		a.Run(&p)
+	}
+}
+
+// loadPackages parses every non-test Go file under root, grouped by
+// directory.
+func loadPackages(root string) ([]*Pass, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Pass
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		fset := token.NewFileSet()
+		var files []*ast.File
+		pkgName := ""
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", filepath.Join(dir, name), err)
+			}
+			files = append(files, f)
+			pkgName = f.Name.Name
+		}
+		if len(files) == 0 {
+			continue
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			rel = dir
+		}
+		pkgs = append(pkgs, &Pass{Fset: fset, Pkg: pkgName, Dir: rel, Files: files})
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// parseSrc builds a Pass from synthetic source, the way testdata packages
+// feed go/analysis analyzers.
+func parseSrc(t *testing.T, src string) *Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Pass{Fset: fset, Pkg: f.Name.Name, Dir: ".", Files: []*ast.File{f}}
+}
+
+func lintSrc(t *testing.T, src string) []Finding {
+	t.Helper()
+	var findings []Finding
+	RunPackage(parseSrc(t, src), Analyzers(), &findings)
+	return findings
+}
+
+func wantFinding(t *testing.T, findings []Finding, analyzer, needle string) {
+	t.Helper()
+	for _, f := range findings {
+		if f.Analyzer == analyzer && strings.Contains(f.Message, needle) {
+			return
+		}
+	}
+	t.Fatalf("no %s finding mentioning %q in %v", analyzer, needle, findings)
+}
+
+func TestHotPathForbidsTimeSprintfAndMaps(t *testing.T) {
+	findings := lintSrc(t, `package monitor
+
+import (
+	"fmt"
+	"time"
+)
+
+type Monitor struct{}
+
+func (m *Monitor) check() {
+	_ = time.Now()
+	_ = fmt.Sprintf("%d", 1)
+	_ = make(map[string]bool)
+}
+
+func evalDemand() {
+	_ = map[string]int{"a": 1}
+}
+`)
+	wantFinding(t, findings, "hotpath", "(*Monitor).check calls time.Now")
+	wantFinding(t, findings, "hotpath", "(*Monitor).check calls fmt.Sprintf")
+	wantFinding(t, findings, "hotpath", "(*Monitor).check allocates a map")
+	wantFinding(t, findings, "hotpath", "evalDemand allocates a map literal")
+	if len(findings) != 4 {
+		t.Fatalf("got %d findings, want 4: %v", len(findings), findings)
+	}
+}
+
+func TestHotPathIgnoresColdFunctionsAndOtherPackages(t *testing.T) {
+	// The same constructs outside the hot-path functions are fine.
+	if f := lintSrc(t, `package monitor
+
+import "time"
+
+func (m *Monitor) record() { _ = time.Now(); _ = make(map[string]bool) }
+
+type Monitor struct{}
+`); len(f) != 0 {
+		t.Fatalf("cold function flagged: %v", f)
+	}
+	// A different package named check/evalDemand is out of scope.
+	if f := lintSrc(t, `package other
+
+import "time"
+
+func evalDemand() { _ = time.Now() }
+`); len(f) != 0 {
+		t.Fatalf("other package flagged: %v", f)
+	}
+}
+
+func TestAtomicCountersFlagsRawSharedInts(t *testing.T) {
+	findings := lintSrc(t, `package monitor
+
+type Monitor struct {
+	requestCount uint64
+	factsPruned  int64
+}
+`)
+	wantFinding(t, findings, "atomiccounter", "requestCount")
+	wantFinding(t, findings, "atomiccounter", "factsPruned")
+}
+
+func TestAtomicCountersAllowsObsTypesAndSnapshots(t *testing.T) {
+	findings := lintSrc(t, `package monitor
+
+import "cloudmon/internal/obs"
+
+type Monitor struct {
+	coalesced obs.Counter
+	coverage  obs.KeyedCounter
+	maxLog    int
+}
+
+// Snapshot structs returned by value carry exported raw ints by design.
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("legitimate counters flagged: %v", findings)
+	}
+}
+
+// TestRepoIsClean lints the actual repository: the monitor hot path and
+// counter fields must satisfy the rules the analyzers enforce.
+func TestRepoIsClean(t *testing.T) {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Skip("caller unavailable")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(file))) // internal/lint -> repo root
+	findings, err := Run(root, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -27,6 +27,9 @@ type DeployOptions struct {
 	// monitor.EvalEager restores whole-contract snapshots — the A/B knob
 	// behind EXPERIMENTS.md E15).
 	Eval monitor.EvalMode
+	// NoFacts disables the lazy engine's compile-time fact pruning (the
+	// A/B knob behind EXPERIMENTS.md E16).
+	NoFacts bool
 	// FailPolicy decides the monitor's verdict when a snapshot fails
 	// (default monitor.FailClosed; Degrade needs PreStateCacheTTL).
 	FailPolicy monitor.FailPolicy
@@ -141,6 +144,7 @@ func Deploy(opts DeployOptions) (*Deployment, error) {
 		Mode:              opts.Mode,
 		Level:             opts.Level,
 		Eval:              opts.Eval,
+		NoFacts:           opts.NoFacts,
 		FailPolicy:        opts.FailPolicy,
 		CloudTimeout:      opts.CloudTimeout,
 		Retry:             opts.Retry,

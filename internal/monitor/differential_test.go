@@ -14,10 +14,13 @@ import (
 	"cloudmon/internal/uml"
 )
 
-// The differential suite proves the tentpole's safety claim: the lazy
-// plan engine and the eager whole-snapshot engine produce bit-identical
-// verdicts — same outcome, pre/post truth, failing clause and SecReq
-// attribution — on every request. Only the fetch economy may differ.
+// The differential suite proves the engines' safety claim: the lazy plan
+// engine — with and without compile-time fact pruning — and the eager
+// whole-snapshot engine produce bit-identical verdicts: same outcome,
+// pre/post truth, failing clause and SecReq attribution on every request.
+// Only the fetch economy may differ. Each sweep runs three arms (eager,
+// lazy with facts off, lazy with facts on) and compares both lazy arms
+// against eager, so all three agree field for field.
 
 // diffRoutes mirrors newMonitor's route table.
 func diffRoutes() []Route {
@@ -39,7 +42,7 @@ func diffRoutes() []Route {
 
 // runEngine drives one request through a freshly built monitor in the given
 // eval mode and returns its verdict and response code.
-func runEngine(t *testing.T, set *contract.Set, eval EvalMode, noReuse bool, mode Mode,
+func runEngine(t *testing.T, set *contract.Set, eval EvalMode, noReuse, noFacts bool, mode Mode,
 	method, path string, pre, post ocl.MapEnv, status int) (Verdict, int) {
 	t.Helper()
 	m, err := New(Config{
@@ -50,6 +53,7 @@ func runEngine(t *testing.T, set *contract.Set, eval EvalMode, noReuse bool, mod
 		Mode:        mode,
 		Eval:        eval,
 		NoPostReuse: noReuse,
+		NoFacts:     noFacts,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -153,9 +157,11 @@ func TestDifferentialExampleStates(t *testing.T) {
 		for _, rq := range diffRequests() {
 			for _, st := range states {
 				name := fmt.Sprintf("%s/%s/%s", mode, rq.method, st.name)
-				ve, ce := runEngine(t, set, EvalEager, false, mode, rq.method, rq.path, st.pre, st.post, st.status)
-				vl, cl := runEngine(t, set, EvalLazy, true, mode, rq.method, rq.path, st.pre, st.post, st.status)
+				ve, ce := runEngine(t, set, EvalEager, false, false, mode, rq.method, rq.path, st.pre, st.post, st.status)
+				vl, cl := runEngine(t, set, EvalLazy, true, true, mode, rq.method, rq.path, st.pre, st.post, st.status)
+				vf, cf := runEngine(t, set, EvalLazy, true, false, mode, rq.method, rq.path, st.pre, st.post, st.status)
 				diffCompare(t, name, ve, vl, ce, cl)
+				diffCompare(t, name+"/facts", ve, vf, ce, cf)
 			}
 		}
 	}
@@ -198,9 +204,11 @@ func TestDifferentialFuzzStates(t *testing.T) {
 			mode = Observe
 		}
 		name := fmt.Sprintf("fuzz-%d/%s/%s", i, mode, rq.method)
-		ve, ce := runEngine(t, set, EvalEager, false, mode, rq.method, rq.path, pre, post, status)
-		vl, cl := runEngine(t, set, EvalLazy, true, mode, rq.method, rq.path, pre, post, status)
+		ve, ce := runEngine(t, set, EvalEager, false, false, mode, rq.method, rq.path, pre, post, status)
+		vl, cl := runEngine(t, set, EvalLazy, true, true, mode, rq.method, rq.path, pre, post, status)
+		vf, cf := runEngine(t, set, EvalLazy, true, false, mode, rq.method, rq.path, pre, post, status)
 		diffCompare(t, name, ve, vl, ce, cl)
+		diffCompare(t, name+"/facts", ve, vf, ce, cf)
 		if t.Failed() {
 			t.Fatalf("first divergence at iteration %d: pre=%v post=%v status=%d", i, pre, post, status)
 		}
@@ -235,9 +243,11 @@ func TestDifferentialPostReuseOnFrameRespectingStates(t *testing.T) {
 		}
 		post["project.volumes"] = ocl.CollectionVal(elems...)
 		name := fmt.Sprintf("reuse-%d/%s", i, rq.method)
-		ve, ce := runEngine(t, set, EvalEager, false, Enforce, rq.method, rq.path, pre, post, 204)
-		vl, cl := runEngine(t, set, EvalLazy, false, Enforce, rq.method, rq.path, pre, post, 204)
+		ve, ce := runEngine(t, set, EvalEager, false, false, Enforce, rq.method, rq.path, pre, post, 204)
+		vl, cl := runEngine(t, set, EvalLazy, false, true, Enforce, rq.method, rq.path, pre, post, 204)
+		vf, cf := runEngine(t, set, EvalLazy, false, false, Enforce, rq.method, rq.path, pre, post, 204)
 		diffCompare(t, name, ve, vl, ce, cl)
+		diffCompare(t, name+"/facts", ve, vf, ce, cf)
 		if t.Failed() {
 			t.Fatalf("first divergence at iteration %d: pre=%v post=%v", i, pre, post)
 		}
@@ -269,8 +279,8 @@ func TestLazyFetchEconomyOnPaperModel(t *testing.T) {
 			env(2, 10, "available", "admin"), env(1, 10, "available", "admin"), 204, 6, 10, 2},
 	}
 	for _, tc := range cases {
-		vl, _ := runEngine(t, set, EvalLazy, false, Enforce, tc.method, tc.path, tc.pre, tc.post, tc.status)
-		ve, _ := runEngine(t, set, EvalEager, false, Enforce, tc.method, tc.path, tc.pre, tc.post, tc.status)
+		vl, _ := runEngine(t, set, EvalLazy, false, false, Enforce, tc.method, tc.path, tc.pre, tc.post, tc.status)
+		ve, _ := runEngine(t, set, EvalEager, false, false, Enforce, tc.method, tc.path, tc.pre, tc.post, tc.status)
 		if vl.Outcome != OK || ve.Outcome != OK {
 			t.Fatalf("%s: outcomes lazy=%s eager=%s, want ok/ok", tc.method, vl.Outcome, ve.Outcome)
 		}

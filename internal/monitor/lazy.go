@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"cloudmon/internal/contract"
 	"cloudmon/internal/obs"
 	"cloudmon/internal/ocl"
 )
@@ -80,6 +81,9 @@ func (e *fetchError) Unwrap() error { return e.err }
 type lazyEnv struct {
 	vals ocl.MapEnv
 	have map[string]bool
+	// demanded records the distinct paths the current clause has resolved
+	// (see beginClause/takeDemands); nil until accounting starts.
+	demanded map[string]bool
 }
 
 func newLazyEnv() *lazyEnv {
@@ -90,12 +94,34 @@ func newLazyEnv() *lazyEnv {
 func (e *lazyEnv) Resolve(path []string) (ocl.Value, error) {
 	key := strings.Join(path, ".")
 	if e.have[key] {
+		if e.demanded != nil {
+			e.demanded[key] = true
+		}
 		if v, ok := e.vals[key]; ok {
 			return v, nil
 		}
 		return ocl.Undefined(), nil
 	}
 	return ocl.Value{}, &unfetchedError{env: e, path: key}
+}
+
+// beginClause opens a demand-accounting window: takeDemands then reports
+// the distinct paths the evaluator resolved since. The per-clause counts
+// feed Verdict.DemandedPaths — the work measure fact pruning reduces even
+// when every path was already fetched.
+func (e *lazyEnv) beginClause() {
+	if e.demanded == nil {
+		e.demanded = make(map[string]bool, 8)
+		return
+	}
+	clear(e.demanded)
+}
+
+// takeDemands closes the window and returns its distinct demand count.
+func (e *lazyEnv) takeDemands() int {
+	n := len(e.demanded)
+	clear(e.demanded)
+	return n
 }
 
 // set records a fetched value (present=false marks the path as fetched but
@@ -269,6 +295,44 @@ func boolValue(v ocl.Value) (bool, bool) {
 	return v.Kind == ocl.KindBool, v.Kind == ocl.KindBool && v.Bool
 }
 
+// Pruning kinds of the cloudmon_facts_pruned_total metric.
+const (
+	factsPrunedPreClause  = "pre-clause"  // disjunct assigned a static value
+	factsPrunedPreSibling = "pre-sibling" // disjunct decided by a witness element
+	factsPrunedPostClause = "post-clause" // implication statically vacuous
+)
+
+// witnessSkip tries to decide disjunct i through an armed exclusion: a
+// sibling already observed definitely true whose elements refute one of
+// i's. Only a definite-false observation of the witness element licenses
+// the skip — the prover is idealized (facts.go), so the observation is
+// the soundness guard. Every other outcome (true, undefined, non-boolean,
+// evaluation or fetch error) falls back to full evaluation, which
+// reproduces the no-facts engine exactly: the witness's fetched values
+// are shared state, and fetchPre retries failed paths on re-demand.
+func (m *Monitor) witnessSkip(facts *contract.Facts, i int, anteVals []ocl.Value, pre *lazyEnv, preCtx ocl.Context, f *lazyFetcher, v *Verdict) (ocl.Value, bool) {
+	for _, ex := range facts.Exclusions[i] {
+		if isBool, b := boolValue(anteVals[ex.Provider]); !isBool || !b {
+			continue
+		}
+		pre.beginClause()
+		wval, err := evalDemand(ex.Witness, preCtx, f.fetchPre)
+		v.DemandedPaths += pre.takeDemands()
+		if err == nil {
+			if isBool, b := boolValue(wval); isBool && !b {
+				v.FactsSkipped++
+				m.factsPruned.Add(factsPrunedPreSibling, 1)
+				return ocl.BoolVal(false), true
+			}
+		}
+		// Per request only the first armed exclusion is tried: its witness
+		// observation already paid the fetches, and after a non-false
+		// observation the full evaluation reuses them anyway.
+		return ocl.Value{}, false
+	}
+	return ocl.Value{}, false
+}
+
 // checkLazy is the plan-driven monitoring workflow: semantically equivalent
 // to checkEager (same verdicts, failing clauses and SecReq attributions —
 // see differential_test.go) while fetching only the state paths the
@@ -344,12 +408,56 @@ func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[strin
 	// Pre phase: evaluate every disjunct, cheapest-planned first. The
 	// tri-state value is kept per case: the post-check derives each
 	// implication's antecedent from it without re-reading the pre-state.
+	// With facts on, a statically decided disjunct is assigned its value
+	// without evaluation, and a disjunct with an armed exclusion (a
+	// sibling already observed definitely true) is decided by its witness
+	// element alone when that witness is observed definitely false — every
+	// other observation falls back to full evaluation, reproducing the
+	// no-facts engine exactly.
 	preStart := time.Now()
+	facts := plan.Facts
+	useFacts := !m.noFacts && facts != nil
 	anteVals := make([]ocl.Value, len(c.Cases))
 	pre := newLazyEnv()
 	preCtx := ocl.Context{Cur: pre}
+	// debugRecheck re-derives a fact-decided value the slow way
+	// (FactsDebug): an unsound fact surfaces as a mismatch count here and
+	// as a verdict divergence in the differential suites.
+	debugRecheck := func(i int, got ocl.Value) {
+		if !m.factsDebug {
+			return
+		}
+		pre.beginClause()
+		full, err := evalDemand(c.Cases[i].Pre, preCtx, f.fetchPre)
+		pre.takeDemands()
+		if err != nil || !full.Equal(got) {
+			m.factsMismatch.Inc()
+		}
+	}
 	for _, cl := range plan.Pre {
-		val, err := evalDemand(c.Cases[cl.Index].Pre, preCtx, f.fetchPre)
+		i := cl.Index
+		if useFacts {
+			if s := facts.Pre[i].Static; s != nil {
+				anteVals[i] = *s
+				v.FactsSkipped++
+				m.factsPruned.Add(factsPrunedPreClause, 1)
+				debugRecheck(i, *s)
+				continue
+			}
+			if val, ok := m.witnessSkip(facts, i, anteVals, pre, preCtx, f, &v); ok {
+				anteVals[i] = val
+				debugRecheck(i, val)
+				continue
+			}
+		}
+		expr := c.Cases[i].Pre
+		if useFacts {
+			// The folded form is value- and error-equivalent (facts.go).
+			expr = facts.Pre[i].Folded
+		}
+		pre.beginClause()
+		val, err := evalDemand(expr, preCtx, f.fetchPre)
+		v.DemandedPaths += pre.takeDemands()
 		if err != nil {
 			preEvalDur = time.Since(preStart) - f.preDur
 			var fe *fetchError
@@ -358,7 +466,7 @@ func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[strin
 			}
 			return finish(Error, fmt.Sprintf("pre-condition evaluation: %v", err)), nil
 		}
-		anteVals[cl.Index] = val
+		anteVals[i] = val
 	}
 	preEvalDur = time.Since(preStart) - f.preDur
 	v.DegradedPre = f.degraded
@@ -490,6 +598,12 @@ func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[strin
 		ante := anteVals[pc.Index]
 		anteBool, anteTrue := boolValue(ante)
 		if anteBool && !anteTrue {
+			if useFacts && facts.Post[pc.Index].Vacuous() {
+				// The skip is ordinary Kleene vacuity, but the antecedent
+				// was decided statically — attribute the avoided clause.
+				v.FactsSkipped++
+				m.factsPruned.Add(factsPrunedPostClause, 1)
+			}
 			continue // antecedent false: implication holds, nothing to read
 		}
 		if !anteBool && ante.Kind != ocl.KindUndefined {
@@ -499,7 +613,14 @@ func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[strin
 			return finish(Error, fmt.Sprintf("post-condition evaluation: %v",
 				&ocl.EvalError{Expr: c.Post, Message: "boolean operator applied to " + ante.Kind.String()})), resp
 		}
-		consVal, err := evalDemand(c.Cases[pc.Index].Post, postCtx, fetchPost)
+		postExpr := c.Cases[pc.Index].Post
+		if useFacts {
+			postExpr = facts.Post[pc.Index].Folded
+		}
+		pre.beginClause()
+		post.beginClause()
+		consVal, err := evalDemand(postExpr, postCtx, fetchPost)
+		v.DemandedPaths += pre.takeDemands() + post.takeDemands()
 		if err != nil {
 			postEvalDur = time.Since(postStart) - f.postDur
 			var fe *fetchError

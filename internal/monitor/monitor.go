@@ -264,6 +264,16 @@ type Verdict struct {
 	// snapshot because no active transition's effect could touch them
 	// (lazy evaluation only).
 	ReusedPaths int
+	// DemandedPaths counts the per-clause path demands the evaluator
+	// issued (lazy engine only; eager leaves it zero). A path demanded by
+	// two clauses counts twice — the number measures evaluation work, not
+	// fetch traffic, so it shows what fact-based pruning saves even when
+	// every path was already fetched by an earlier clause.
+	DemandedPaths int
+	// FactsSkipped counts the clause evaluations a compile-time fact
+	// decided without full evaluation: statically valued disjuncts,
+	// witness-based sibling skips, statically vacuous post implications.
+	FactsSkipped int
 	// Elapsed is the total monitoring duration.
 	Elapsed time.Duration
 	// Trace holds the per-stage pipeline timings (route match, snapshots,
@@ -322,6 +332,17 @@ type Config struct {
 	// cloud. Reuse assumes the cloud honors the model's effect frames;
 	// differential tests turn it off to compare against arbitrary states.
 	NoPostReuse bool
+	// NoFacts disables the plan's compile-time facts artifact (static
+	// clause values, witness-based sibling skips, constant-folded clause
+	// forms): the lazy engine evaluates every disjunct in full. Facts
+	// change no verdict — the differential suite proves field-for-field
+	// equality — only the work a verdict costs.
+	NoFacts bool
+	// FactsDebug re-derives every fact-decided clause value the slow way
+	// and counts disagreements in cloudmon_facts_mismatch_total — a
+	// soundness tripwire for development, not for production paths (the
+	// re-check fetches the state the fact avoided fetching).
+	FactsDebug bool
 	// FailPolicy decides the verdict when a state snapshot fails
 	// (defaults to FailClosed). Degrade additionally requires
 	// PreStateCacheTTL > 0.
@@ -355,15 +376,17 @@ type Config struct {
 
 // Monitor is the cloud monitor. Safe for concurrent use.
 type Monitor struct {
-	contracts *contract.Set
-	routes    []compiledRoute
-	byMethod  map[string][]*compiledRoute
+	contracts   *contract.Set
+	routes      []compiledRoute
+	byMethod    map[string][]*compiledRoute
 	provider    StateProvider
 	forward     Forwarder
 	mode        Mode
 	level       CheckLevel
 	eval        EvalMode
 	noPostReuse bool
+	noFacts     bool
+	factsDebug  bool
 	failPolicy  FailPolicy
 	degradeTTL  time.Duration
 	onVerdict   func(Verdict)
@@ -393,6 +416,12 @@ type Monitor struct {
 	// counts pre-state fetches that joined another request's flight.
 	pathsFetched *obs.Histogram
 	coalesced    obs.Counter
+	// factsPruned counts clause evaluations decided by compile-time facts,
+	// keyed by pruning kind (pre-clause, pre-sibling, post-clause);
+	// factsMismatch counts FactsDebug re-checks that disagreed with a
+	// fact-assigned value — any non-zero value is a soundness bug.
+	factsPruned   obs.KeyedCounter
+	factsMismatch obs.Counter
 }
 
 // numOutcomes sizes the outcome counter array (outcomes are 1-based).
@@ -469,6 +498,8 @@ func New(cfg Config) (*Monitor, error) {
 		level:        level,
 		eval:         eval,
 		noPostReuse:  cfg.NoPostReuse,
+		noFacts:      cfg.NoFacts,
+		factsDebug:   cfg.FactsDebug,
 		failPolicy:   policy,
 		onVerdict:    cfg.OnVerdict,
 		audit:        cfg.Audit,
@@ -985,6 +1016,12 @@ func (m *Monitor) RegisterMetrics(reg *obs.Registry) {
 		w.Counter("cloudmon_snapshot_coalesced_total",
 			"Pre-state path fetches that joined another request's in-flight cloud read.",
 			float64(m.coalesced.Value()))
+		w.KeyedCounter("cloudmon_facts_pruned_total",
+			"Clause evaluations decided by compile-time plan facts, by pruning kind.",
+			&m.factsPruned, "kind")
+		w.Counter("cloudmon_facts_mismatch_total",
+			"FactsDebug re-checks that disagreed with a fact-assigned clause value.",
+			float64(m.factsMismatch.Value()))
 		if m.cache != nil {
 			cs := m.cache.stats()
 			w.Counter("cloudmon_cache_hits_total", "Pre-state cache hits.", float64(cs.Hits))
@@ -1020,6 +1057,8 @@ func (m *Monitor) ResetLog() {
 	m.tracer.Reset()
 	m.pathsFetched.Reset()
 	m.coalesced.Reset()
+	m.factsPruned.Reset()
+	m.factsMismatch.Reset()
 }
 
 // FetchStats are the monitor-side fetch-economy counters: how many state

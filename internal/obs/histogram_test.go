@@ -134,7 +134,7 @@ func TestTracer(t *testing.T) {
 		t.Fatal("zero-span stage leaked into summaries")
 	}
 	m := trace.Map()
-	if len(m) != 2 || m["forward"] != (3 * time.Millisecond).Nanoseconds() {
+	if len(m) != 2 || m["forward"] != (3*time.Millisecond).Nanoseconds() {
 		t.Fatalf("Map() = %v", m)
 	}
 	tr.Reset()
