@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet lint test race cover bench planbench factbench fuzz chaos obs examples experiments artifacts
+.PHONY: all build vet lint test race cover bench planbench factbench compbench fuzz chaos obs examples experiments artifacts
 
 all: build vet lint test
 
@@ -42,12 +42,19 @@ planbench:
 factbench:
 	go test -run XXX -bench BenchmarkEvalPlanFacts -benchmem .
 
+# E17: the compiled closure-chain engine vs the lazy engine and the
+# single-pass tree walk on the in-process OK path (see EXPERIMENTS.md).
+compbench:
+	go test -run XXX -bench BenchmarkCompiledEval -benchmem .
+
 # Seed-corpus fuzzing already runs under `make test`; this target fuzzes
-# each parser for 30s.
+# each parser for 30s, plus the compiled OCL engine against the
+# tree-walking reference.
 fuzz:
 	go test -fuzz FuzzParse -fuzztime 30s ./internal/ocl/
 	go test -fuzz FuzzEval -fuzztime 30s ./internal/ocl/
 	go test -fuzz FuzzParseRule -fuzztime 30s ./internal/rbac/
+	go test -fuzz FuzzCompiledEval -fuzztime 30s ./internal/contract/
 
 # Chaos: the fault×policy matrix and the chaotic soaks under the race
 # detector, then a fault-ridden loadmon run with invariant verification.

@@ -54,7 +54,7 @@ func run(args []string) error {
 	modeName := fs.String("mode", "enforce", "monitor mode: enforce | observe")
 	inspectAddr := fs.String("inspect-addr", "", "optional listen address for the verdict/coverage API (e.g. 127.0.0.1:8001)")
 	levelName := fs.String("level", "full", "contract check level: full | pre-only")
-	evalName := fs.String("eval", "lazy", "contract evaluation engine: lazy (demand-driven plans) | eager (whole-contract snapshots)")
+	evalName := fs.String("eval", "compiled", "contract evaluation engine: compiled (closure-chain programs) | lazy (demand-driven tree walk) | eager (whole-contract snapshots)")
 	noFacts := fs.Bool("no-facts", false, "disable compile-time fact pruning in the lazy engine (A/B baseline)")
 	logFile := fs.String("log-file", "", "append verdicts as NDJSON to this file")
 	metricsAddr := fs.String("metrics-addr", "", "optional listen address for the Prometheus-text /metrics endpoint (e.g. 127.0.0.1:8002)")

@@ -61,7 +61,7 @@ func run(args []string, out io.Writer) error {
 	warmup := fs.Int("warmup", -1, "override warmup request count")
 	modeName := fs.String("mode", "enforce", "monitor mode for the in-process deployment: enforce | observe")
 	levelName := fs.String("level", "full", "check level for the in-process deployment: full | pre-only")
-	evalName := fs.String("eval", "lazy", "evaluation engine for the in-process deployment: lazy | eager")
+	evalName := fs.String("eval", "compiled", "evaluation engine for the in-process deployment: compiled | lazy | eager")
 	noFacts := fs.Bool("no-facts", false, "disable compile-time fact pruning in the lazy engine (A/B baseline)")
 	parallel := fs.Bool("parallel-snapshots", false, "resolve state snapshots concurrently")
 	workers := fs.Int("snapshot-workers", 0, "bound the parallel snapshot pool (0 = default)")

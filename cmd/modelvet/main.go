@@ -20,6 +20,9 @@
 //	                symbolic pass proved per contract (static disjuncts,
 //	                witness exclusions, dead paths), after machine-checking
 //	                each facts artifact
+//	-compiled       additionally print each contract's compiled artifact
+//	                (state-path slot table, program counts, iterator
+//	                registers) — what the monitor's default engine executes
 //
 // Exit status: 0 when the model is clean or carries only warnings and
 // infos, 1 when any error-severity diagnostic is reported, 2 on usage or
@@ -61,6 +64,7 @@ func run(args []string, out io.Writer) (failed bool, err error) {
 	example := fs.String("example", "", "analyze a bundled model: cinder, nova, cinder-secreq-1.4")
 	listPasses := fs.Bool("list-passes", false, "print the registered passes and exit")
 	facts := fs.Bool("facts", false, "print the compile-time clause facts per contract")
+	compiled := fs.Bool("compiled", false, "print each contract's compiled artifact summary")
 	if err := fs.Parse(args); err != nil {
 		return false, err
 	}
@@ -104,24 +108,29 @@ func run(args []string, out io.Writer) (failed bool, err error) {
 	}
 	failed = report.HasErrors()
 
-	if *facts {
+	if *facts || *compiled {
 		set, err := contract.Generate(model)
 		if err != nil {
 			// The report above already explains why the model cannot
-			// generate; there are no facts to print.
-			fmt.Fprintf(out, "facts: contracts not generated: %v\n", err)
+			// generate; there is nothing to print.
+			fmt.Fprintf(out, "contracts not generated: %v\n", err)
 			return true, nil
 		}
-		// Machine-check every artifact before presenting it as proven.
-		for _, c := range set.Contracts {
-			if f := c.Plan().Facts; f != nil {
-				if err := f.Check(c); err != nil {
-					fmt.Fprintf(out, "facts: %s: CHECK FAILED: %v\n", c.Trigger, err)
-					failed = true
+		if *facts {
+			// Machine-check every artifact before presenting it as proven.
+			for _, c := range set.Contracts {
+				if f := c.Plan().Facts; f != nil {
+					if err := f.Check(c); err != nil {
+						fmt.Fprintf(out, "facts: %s: CHECK FAILED: %v\n", c.Trigger, err)
+						failed = true
+					}
 				}
 			}
+			fmt.Fprint(out, contract.RenderFacts(set))
 		}
-		fmt.Fprint(out, contract.RenderFacts(set))
+		if *compiled {
+			fmt.Fprint(out, contract.RenderCompiled(set))
+		}
 	}
 	return failed, nil
 }

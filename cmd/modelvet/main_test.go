@@ -162,3 +162,27 @@ func TestFactsOutput(t *testing.T) {
 		t.Errorf("facts machine check failed:\n%s", s)
 	}
 }
+
+func TestCompiledOutput(t *testing.T) {
+	var out bytes.Buffer
+	failed, err := run([]string{"-compiled", "-example", "cinder"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("cinder with -compiled reports errors:\n%s", out.String())
+	}
+	s := out.String()
+	// The DELETE artifact: one program per disjunct and consequent, the
+	// slot table the programs resolve paths against.
+	for _, needle := range []string{
+		"DELETE(volume)",
+		"programs: 3 pre, 3 post",
+		"[0] project.id",
+		"user.id.groups",
+	} {
+		if !strings.Contains(s, needle) {
+			t.Errorf("-compiled output missing %q:\n%s", needle, s)
+		}
+	}
+}

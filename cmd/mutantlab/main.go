@@ -2,6 +2,8 @@
 //
 //	mutantlab            run the full mutant campaign and print the kill matrix
 //	mutantlab -paper     run only the paper's three mutants (Section VI.D)
+//	mutantlab -compiler  run the OCL-compiler mutation campaign (seeded
+//	                     semantic faults vs the tree-walking reference)
 //	mutantlab -table1    print Table I (security requirements) as generated
 //	mutantlab -listing1  print the DELETE(volume) contract (Listing 1)
 //	mutantlab -coverage  print SecReq coverage of the standard request matrix
@@ -35,6 +37,7 @@ func run(args []string) error {
 	ablation := fs.Bool("ablation", false, "also run the pre-only monitor ablation and compare kill rates")
 	mbtSuite := fs.Bool("mbt", false, "run the model-based-testing suite generated from the behavioral model and exit")
 	novaCampaign := fs.Bool("nova", false, "run the compute-service (Nova model) mutant campaign and exit")
+	compiler := fs.Bool("compiler", false, "run the OCL-compiler mutation campaign and exit")
 	jsonOut := fs.Bool("json", false, "emit the kill matrix as JSON instead of a table")
 	table1 := fs.Bool("table1", false, "print Table I and exit")
 	listing1 := fs.Bool("listing1", false, "print the DELETE(volume) contract and exit")
@@ -55,6 +58,9 @@ func run(args []string) error {
 	}
 	if *mbtSuite {
 		return runMBTSuite()
+	}
+	if *compiler {
+		return runCompilerCampaign(*jsonOut)
 	}
 	emit := func(report *mutation.CampaignReport) error {
 		if *jsonOut {
@@ -104,6 +110,29 @@ func run(args []string) error {
 			"the difference is exactly the lost-effect mutants only post-conditions can see\n",
 			report.Killed(), len(report.Runs), pre.Killed(), len(pre.Runs))
 	}
+	return nil
+}
+
+// runCompilerCampaign runs the seeded-fault campaign against the compiled
+// OCL engine: every clause of the Cinder contract set plus the synthetic
+// differential corpus, each mutant judged against the tree walk.
+func runCompilerCampaign(jsonOut bool) error {
+	set, err := contract.Generate(paper.CinderModel())
+	if err != nil {
+		return err
+	}
+	report, err := contract.RunCompilerCampaign(set)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	fmt.Printf("running compiler mutation campaign: %d seeded faults over the Cinder contract set\n\n",
+		len(contract.CompilerMutants()))
+	report.Format(os.Stdout)
 	return nil
 }
 

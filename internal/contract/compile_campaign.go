@@ -1,0 +1,206 @@
+// The compiler mutation campaign: differential adequacy evidence for the
+// closure-chain compiler. Each seeded mutant (CompilerMutants) breaks one
+// documented evaluator rule at compile time; the campaign evaluates a
+// corpus of formulas — every clause of a generated contract set plus
+// synthetic forms targeting each rule — under both the mutated compiler
+// and the tree-walking reference, and declares the mutant killed on the
+// first value or error divergence. A surviving mutant means the corpus
+// (and therefore the differential test suite built from the same
+// semantics) has a blind spot.
+package contract
+
+import (
+	"fmt"
+	"io"
+
+	"cloudmon/internal/ocl"
+)
+
+// CompilerKill records one mutant's fate against the corpus.
+type CompilerKill struct {
+	// Mutant is the seeded fault's name.
+	Mutant string `json:"mutant"`
+	// Killed reports whether any corpus formula diverged.
+	Killed bool `json:"killed"`
+	// Witness is the first diverging formula, with the divergence shape.
+	Witness string `json:"witness,omitempty"`
+	// Trials is the number of (formula, environment) pairs evaluated.
+	Trials int `json:"trials"`
+}
+
+// CompilerCampaignReport is the campaign's result set.
+type CompilerCampaignReport struct {
+	// Kills holds one entry per seeded mutant, in catalogue order.
+	Kills []CompilerKill `json:"kills"`
+	// Formulas is the corpus size.
+	Formulas int `json:"formulas"`
+}
+
+// Killed counts killed mutants.
+func (r *CompilerCampaignReport) Killed() int {
+	n := 0
+	for _, k := range r.Kills {
+		if k.Killed {
+			n++
+		}
+	}
+	return n
+}
+
+// Score is the kill ratio in [0, 1].
+func (r *CompilerCampaignReport) Score() float64 {
+	if len(r.Kills) == 0 {
+		return 0
+	}
+	return float64(r.Killed()) / float64(len(r.Kills))
+}
+
+// Format renders the kill matrix as a table.
+func (r *CompilerCampaignReport) Format(w io.Writer) {
+	fmt.Fprintf(w, "%-22s %-8s %s\n", "MUTANT", "KILLED", "WITNESS")
+	for _, k := range r.Kills {
+		status := "LIVE"
+		if k.Killed {
+			status = "killed"
+		}
+		fmt.Fprintf(w, "%-22s %-8s %s\n", k.Mutant, status, k.Witness)
+	}
+	fmt.Fprintf(w, "\nkill score: %d/%d (%.0f%%) over %d formulas\n",
+		r.Killed(), len(r.Kills), 100*r.Score(), r.Formulas)
+}
+
+// campaignEnvs returns the characteristic states the corpus is evaluated
+// under: a well-populated current state, a pre-state that differs on every
+// shared path (so pre-as-cur cannot hide), and a sparse state that forces
+// Undefined through every operator family.
+func campaignEnvs() (cur, pre, sparse ocl.MapEnv) {
+	cur = ocl.MapEnv{
+		"project.id":        ocl.StringVal("p"),
+		"project.volumes":   ocl.CollectionVal(ocl.StringVal("a"), ocl.StringVal("b")),
+		"quota_sets.volume": ocl.IntVal(10),
+		"volume.status":     ocl.StringVal("available"),
+		"user.id.groups":    ocl.StringsVal("admin", "member"),
+		"nums":              ocl.CollectionVal(ocl.IntVal(1), ocl.IntVal(2), ocl.IntVal(3)),
+		"empty":             ocl.CollectionVal(),
+		"x":                 ocl.IntVal(2),
+	}
+	pre = ocl.MapEnv{
+		"project.id":        ocl.StringVal("q"),
+		"project.volumes":   ocl.CollectionVal(ocl.StringVal("a"), ocl.StringVal("b"), ocl.StringVal("c")),
+		"quota_sets.volume": ocl.IntVal(3),
+		"volume.status":     ocl.StringVal("in-use"),
+		"user.id.groups":    ocl.StringsVal("member"),
+		"nums":              ocl.CollectionVal(ocl.IntVal(9)),
+		"empty":             ocl.CollectionVal(ocl.IntVal(1)),
+		"x":                 ocl.IntVal(7),
+	}
+	sparse = ocl.MapEnv{"x": ocl.IntVal(2)}
+	return cur, pre, sparse
+}
+
+// campaignFormulas returns the synthetic corpus: each formula targets at
+// least one mutant's blind rule, and together they cover every seeded
+// fault. Contract clauses are appended by the caller.
+func campaignFormulas() []string {
+	return []string{
+		// Collection coercions on equality and counting.
+		"user.id.groups = 'admin'",
+		"nums->count(2) = 1",
+		// Kleene three-valued logic under Undefined operands.
+		"(volume.status = 'gone') and true",
+		"(volume.status = 'gone') implies true",
+		"(volume.status = 'gone') or false",
+		"not (volume.status = 'gone')",
+		"true xor true",
+		// Ordering and arithmetic edges.
+		"x <= 2",
+		"x < 2",
+		"x / 0 = 0",
+		"1 + 2 * 3 = 7",
+		// Iterators over empty and Undefined-producing bodies.
+		"empty->forAll(n | false)",
+		"empty->exists(n | true)",
+		"nums->exists(n | n = missing)",
+		"nums->select(n | n > 1)->size() = 2",
+		// Scalar-as-singleton coercion.
+		"x->size() = 1",
+		"x->isEmpty()",
+		// Absent paths resolve to Undefined, not false.
+		"volume.status = 'gone'",
+		// Old-value operator against a differing pre-state.
+		"pre(x) = 7",
+		"x@pre > x",
+		"pre(project.volumes->size()) - project.volumes->size() = 1",
+	}
+}
+
+// RunCompilerCampaign evaluates every seeded compiler mutant against the
+// differential corpus: the synthetic formulas plus every clause (pre,
+// post, effect) of the given contract set. A nil set runs the synthetic
+// corpus alone.
+func RunCompilerCampaign(set *Set) (*CompilerCampaignReport, error) {
+	type probe struct {
+		src string
+		e   ocl.Expr
+	}
+	var corpus []probe
+	for _, src := range campaignFormulas() {
+		e, err := ocl.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("corpus formula %q: %w", src, err)
+		}
+		corpus = append(corpus, probe{src, e})
+	}
+	if set != nil {
+		for _, c := range set.Contracts {
+			for _, cs := range c.Cases {
+				for _, e := range []ocl.Expr{cs.Pre, cs.Post, cs.Effect} {
+					corpus = append(corpus, probe{e.String(), e})
+				}
+			}
+		}
+	}
+	cur, pre, sparse := campaignEnvs()
+	bindings := []struct {
+		cur, pre ocl.MapEnv
+	}{
+		{cur, pre},
+		{cur, nil},
+		{sparse, nil},
+	}
+	report := &CompilerCampaignReport{Formulas: len(corpus)}
+	for _, mutant := range CompilerMutants() {
+		kill := CompilerKill{Mutant: mutant}
+		for _, p := range corpus {
+			mutated := CompileExprWithMutant(p.e, mutant)
+			for _, bind := range bindings {
+				kill.Trials++
+				ctx := ocl.Context{Cur: bind.cur}
+				if bind.pre != nil {
+					ctx.Pre = bind.pre
+				}
+				wantV, wantErr := ocl.Eval(p.e, ctx)
+				gotV, gotErr := mutated.Eval(bind.cur, bind.pre)
+				switch {
+				case (wantErr == nil) != (gotErr == nil):
+					kill.Killed = true
+					kill.Witness = fmt.Sprintf("%s: error divergence (%v vs %v)", p.src, wantErr, gotErr)
+				case wantErr != nil && wantErr.Error() != gotErr.Error():
+					kill.Killed = true
+					kill.Witness = fmt.Sprintf("%s: error text divergence", p.src)
+				case wantErr == nil && !wantV.Equal(gotV):
+					kill.Killed = true
+					kill.Witness = fmt.Sprintf("%s: %v vs %v", p.src, wantV, gotV)
+				}
+				if kill.Killed {
+					break
+				}
+			}
+			if kill.Killed {
+				break
+			}
+		}
+		report.Kills = append(report.Kills, kill)
+	}
+	return report, nil
+}

@@ -1,0 +1,55 @@
+package contract
+
+import (
+	"strings"
+	"testing"
+
+	"cloudmon/internal/paper"
+)
+
+// TestCompilerCampaignKillsAllMutants pins the compiler mutation score at
+// 100%: every seeded semantic fault in the closure-chain compiler is
+// detected by the differential corpus. A drop below full kills means a
+// compiler rule lost its witnessing formula — the differential safety net
+// has a hole — and must fail loudly, not erode silently.
+func TestCompilerCampaignKillsAllMutants(t *testing.T) {
+	set, err := Generate(paper.CinderModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := RunCompilerCampaign(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Kills) != len(CompilerMutants()) {
+		t.Fatalf("campaign ran %d mutants, catalogue has %d", len(report.Kills), len(CompilerMutants()))
+	}
+	for _, k := range report.Kills {
+		if !k.Killed {
+			t.Errorf("mutant %s survived the corpus (%d trials)", k.Mutant, k.Trials)
+		}
+	}
+	if got, want := report.Killed(), len(CompilerMutants()); got != want {
+		t.Errorf("kill score %d/%d, pinned at %d/%d", got, len(report.Kills), want, want)
+	}
+	var sb strings.Builder
+	report.Format(&sb)
+	if !strings.Contains(sb.String(), "kill score:") {
+		t.Errorf("report format lost its score line:\n%s", sb.String())
+	}
+}
+
+// TestCompilerCampaignSyntheticOnly checks the synthetic corpus alone
+// (nil contract set) already kills every mutant — contract clauses add
+// real-workload confidence, not coverage the score depends on.
+func TestCompilerCampaignSyntheticOnly(t *testing.T) {
+	report, err := RunCompilerCampaign(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range report.Kills {
+		if !k.Killed {
+			t.Errorf("mutant %s survives the synthetic corpus", k.Mutant)
+		}
+	}
+}

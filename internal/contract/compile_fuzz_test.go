@@ -1,0 +1,104 @@
+package contract
+
+import (
+	"testing"
+
+	"cloudmon/internal/ocl"
+)
+
+// FuzzCompiledEval is the compiler's soundness fuzzer: any formula the
+// parser accepts must evaluate identically under the closure-chain
+// programs and the reference tree walk — same value (including Undefined
+// propagation) or the same error, over the same environments. The seed
+// corpus unions the OCL package's parse and eval seeds with forms that
+// target compiler-specific machinery: iterator registers, the collection
+// arena, pre-state slots and constant folding.
+func FuzzCompiledEval(f *testing.F) {
+	seeds := []string{
+		// From the OCL fuzz corpus.
+		"true",
+		"project.id->size()=1 and project.volumes->size()=0",
+		"project.volumes < quota_sets.volume and volume.status <> 'in-use'",
+		"user.id.groups='admin' or user.id.groups='member'",
+		"pre(project.volumes->size()) - 1",
+		"x@pre = 3",
+		"nums->select(n | n > 1)->size()",
+		"coll->forAll(g | g <> 'banned')",
+		"not (a and b) implies c xor d",
+		"1 + 2 * 3 / 4 - 5",
+		"project.volumes->size() = 2",
+		"user.id.groups->forAll(g | g = 'admin')",
+		"pre(x) + 1 < y",
+		"a / 0",
+		"x->sum()",
+		// Compiler-specific shapes.
+		"nums->select(n | nums->select(m | m > n)->size() > 0)->size()",
+		"nums->collect(n | n + 1)->sum()",
+		"nums->reject(n | n > 1)->includes(1)",
+		"user.id.groups->exists(g | g = missing)",
+		"pre(project.volumes)->size() < project.volumes->size()",
+		"volume.status@pre = volume.status",
+		"nums->count(1) + nums->first()",
+		"2 > 1 and 3 * 3 = 9",
+		"missing = missing",
+		"nums->isEmpty() or nums->notEmpty()",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	env := ocl.MapEnv{
+		"project.id":        ocl.StringVal("p1"),
+		"project.volumes":   ocl.CollectionVal(ocl.StringVal("a"), ocl.StringVal("b")),
+		"quota_sets.volume": ocl.IntVal(10),
+		"volume.status":     ocl.StringVal("available"),
+		"user.id.groups":    ocl.StringsVal("admin", "member"),
+		"nums":              ocl.CollectionVal(ocl.IntVal(1), ocl.IntVal(2), ocl.IntVal(3)),
+		"coll":              ocl.StringsVal("x", "y"),
+		"x":                 ocl.IntVal(1),
+		"y":                 ocl.IntVal(2),
+		"a":                 ocl.IntVal(3),
+		"b":                 ocl.BoolVal(true),
+		"c":                 ocl.BoolVal(false),
+		"d":                 ocl.BoolVal(true),
+	}
+	pre := ocl.MapEnv{
+		"project.volumes": ocl.CollectionVal(ocl.StringVal("a"), ocl.StringVal("b"), ocl.StringVal("c")),
+		"volume.status":   ocl.StringVal("in-use"),
+		"x":               ocl.IntVal(7),
+		"nums":            ocl.CollectionVal(ocl.IntVal(9)),
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ocl.Parse(src)
+		if err != nil {
+			return
+		}
+		ce := CompileExpr(e)
+		// Two environment bindings: with a pre-state and without one
+		// (pre()/@pre must surface ErrNoPreState in both engines).
+		for _, preEnv := range []ocl.MapEnv{pre, nil} {
+			// Bind Pre only when a pre-state exists: a typed-nil MapEnv in
+			// the interface field would read as an empty (bound) pre-state.
+			ctx := ocl.Context{Cur: env}
+			if preEnv != nil {
+				ctx.Pre = preEnv
+			}
+			wantV, wantErr := ocl.Eval(e, ctx)
+			gotV, gotErr := ce.Eval(env, preEnv)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("%q (pre=%v): error divergence: tree-walk %v, compiled %v",
+					src, preEnv != nil, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if wantErr.Error() != gotErr.Error() {
+					t.Fatalf("%q (pre=%v): error text divergence: tree-walk %q, compiled %q",
+						src, preEnv != nil, wantErr.Error(), gotErr.Error())
+				}
+				continue
+			}
+			if !wantV.Equal(gotV) {
+				t.Fatalf("%q (pre=%v): value divergence: tree-walk %v, compiled %v",
+					src, preEnv != nil, wantV, gotV)
+			}
+		}
+	})
+}

@@ -1,0 +1,186 @@
+// The compiled engine's runtime state: a Frame of generation-stamped
+// value slots, one per state path the contract can demand, plus iterator
+// registers and an append-only arena for collection results. Frames are
+// pooled per Compiled artifact so a warmed monitor evaluates contracts
+// without allocating.
+package contract
+
+import (
+	"cloudmon/internal/ocl"
+)
+
+// Demand is the compiled engine's demand signal: a program reached a
+// state-path slot that has not been filled this evaluation. Demands are
+// preallocated per slot at compile time, so signalling one costs nothing;
+// the demand loop (internal/monitor) fetches the path, fills the slot and
+// re-runs the program — the mirror of the lazy engine's unfetchedError.
+type Demand struct {
+	// Path is the dotted state path the program demanded.
+	Path string
+	// Index is the slot index in the Compiled path table.
+	Index int
+	// Pre marks a pre-state (old value) demand; false is current state.
+	Pre bool
+}
+
+// Error implements the error interface.
+func (d *Demand) Error() string {
+	if d.Pre {
+		return "contract: pre-state path " + d.Path + " not resolved"
+	}
+	return "contract: state path " + d.Path + " not resolved"
+}
+
+// slot is one state-path value. gen stamps the fill (valid when it equals
+// the bank's generation — bumping the generation empties the whole bank
+// in O(1)); demandGen stamps the last clause window that read the slot,
+// for per-clause distinct-demand accounting.
+type slot struct {
+	val       ocl.Value
+	gen       uint64
+	demandGen uint64
+	present   bool
+}
+
+// Frame is the mutable evaluation state of one monitored request. It is
+// not safe for concurrent use; obtain one per evaluation from
+// Compiled.NewFrame and return it with Compiled.Release.
+type Frame struct {
+	c *Compiled
+	// cur and pre are the current- and pre-state slot banks, indexed by
+	// the Compiled path table.
+	cur, pre []slot
+	// curGen/preGen are the banks' fill generations: a slot is filled iff
+	// its gen matches. Bumping a generation invalidates the bank.
+	curGen, preGen uint64
+	// clauseGen identifies the open demand-accounting window; demanded
+	// counts the distinct slot reads within it.
+	clauseGen uint64
+	demanded  int
+	// hasPre reports whether a pre-state environment is bound: pre()/
+	// @pre without one is ocl.ErrNoPreState, exactly as in the tree walk.
+	hasPre bool
+	// regs holds iterator-variable bindings, indexed by lexical depth.
+	regs []ocl.Value
+	// arena backs collection results built during evaluation
+	// (select/reject/collect). It is append-only within one evaluation
+	// and recycled across evaluations, so the steady state allocates
+	// nothing; results alias it and die with the frame's reuse.
+	arena []ocl.Value
+}
+
+// Reset empties both banks, closes the accounting window and recycles the
+// arena. Generations only ever increase, so stale slot stamps from
+// earlier evaluations can never read as filled.
+func (fr *Frame) Reset() {
+	fr.curGen++
+	fr.preGen++
+	fr.clauseGen++
+	fr.demanded = 0
+	fr.hasPre = false
+	fr.arena = fr.arena[:0]
+}
+
+// SetCur fills the current-state slot for path (present=false marks it
+// fetched but absent, resolving to Undefined). Paths outside the
+// contract's table are ignored.
+func (fr *Frame) SetCur(path string, v ocl.Value, present bool) {
+	if i, ok := fr.c.idx[path]; ok {
+		fr.cur[i] = slot{val: v, gen: fr.curGen, present: present}
+	}
+}
+
+// SetCurSlot fills current-state slot i directly. Callers that resolved
+// the path table once (Compiled.Paths order, or a Demand's Index) fill
+// per request without re-hashing path strings — the point of resolving
+// paths at compile time.
+func (fr *Frame) SetCurSlot(i int, v ocl.Value, present bool) {
+	fr.cur[i] = slot{val: v, gen: fr.curGen, present: present}
+}
+
+// SetPreSlot fills pre-state slot i directly and marks the pre-state
+// bound.
+func (fr *Frame) SetPreSlot(i int, v ocl.Value, present bool) {
+	fr.hasPre = true
+	fr.pre[i] = slot{val: v, gen: fr.preGen, present: present}
+}
+
+// SetPre fills the pre-state slot for path and marks the pre-state bound.
+func (fr *Frame) SetPre(path string, v ocl.Value, present bool) {
+	fr.hasPre = true
+	if i, ok := fr.c.idx[path]; ok {
+		fr.pre[i] = slot{val: v, gen: fr.preGen, present: present}
+	}
+}
+
+// BeginPost turns the frame around for the post-check: the current bank
+// is emptied (it now describes the post-state, fetched on demand) and the
+// pre-state bank is bound. Callers then copy the captured pre-state in
+// via SetPre.
+func (fr *Frame) BeginPost() {
+	fr.curGen++
+	fr.preGen++
+	fr.hasPre = true
+}
+
+// BeginClause opens a demand-accounting window; TakeDemands closes it and
+// reports the distinct slot reads since — the compiled engine's
+// equivalent of lazyEnv.beginClause/takeDemands, feeding the same
+// Verdict.DemandedPaths measure.
+func (fr *Frame) BeginClause() {
+	fr.clauseGen++
+	fr.demanded = 0
+}
+
+// TakeDemands closes the window and returns its distinct demand count.
+func (fr *Frame) TakeDemands() int {
+	n := fr.demanded
+	fr.clauseGen++
+	fr.demanded = 0
+	return n
+}
+
+// Filled reports whether the demanded slot has been filled — the demand
+// loop's progress guard (a fetch that does not fill its slot would loop
+// forever).
+func (fr *Frame) Filled(d *Demand) bool {
+	if d.Pre {
+		return fr.pre[d.Index].gen == fr.preGen
+	}
+	return fr.cur[d.Index].gen == fr.curGen
+}
+
+// loadCur reads a current-state slot, accounting the demand window.
+func (fr *Frame) loadCur(i int) (ocl.Value, error) {
+	s := &fr.cur[i]
+	if s.gen != fr.curGen {
+		return ocl.Value{}, fr.c.curDemand[i]
+	}
+	if s.demandGen != fr.clauseGen {
+		s.demandGen = fr.clauseGen
+		fr.demanded++
+	}
+	if !s.present {
+		return ocl.Value{Kind: ocl.KindUndefined}, nil
+	}
+	return s.val, nil
+}
+
+// loadPre reads a pre-state slot.
+func (fr *Frame) loadPre(i int) (ocl.Value, error) {
+	if !fr.hasPre {
+		return ocl.Value{}, ocl.ErrNoPreState
+	}
+	s := &fr.pre[i]
+	if s.gen != fr.preGen {
+		return ocl.Value{}, fr.c.preDemand[i]
+	}
+	if s.demandGen != fr.clauseGen {
+		s.demandGen = fr.clauseGen
+		fr.demanded++
+	}
+	if !s.present {
+		return ocl.Value{Kind: ocl.KindUndefined}, nil
+	}
+	return s.val, nil
+}

@@ -76,6 +76,11 @@ type Plan struct {
 	// shared by monitors with facts on and off — so every pruning
 	// decision is the runtime's, guided by this artifact.
 	Facts *Facts
+	// Compiled is the closure-chain evaluator set (see compile.go):
+	// every clause translated once into slot-model programs, compiled
+	// from the facts' folded forms. The compiled engine shares the lazy
+	// engine's workflow and swaps only the per-node evaluation.
+	Compiled *Compiled
 }
 
 // Plan returns the contract's compiled evaluation plan. For contracts built
@@ -133,5 +138,6 @@ func compilePlan(c *Contract) *Plan {
 		})
 	}
 	p.Facts = computeFacts(c, p)
+	p.Compiled = compileContract(c, p)
 	return p
 }

@@ -39,7 +39,8 @@ type Options struct {
 	// Level defaults to monitor.CheckFull; CheckPreOnly ablates the
 	// post-condition verification.
 	Level monitor.CheckLevel
-	// Eval selects the evaluation engine (defaults to monitor.EvalLazy;
+	// Eval selects the evaluation engine (defaults to
+	// monitor.EvalCompiled; monitor.EvalLazy re-walks the OCL trees,
 	// monitor.EvalEager restores whole-contract snapshots).
 	Eval monitor.EvalMode
 	// NoFacts disables compile-time fact pruning in the lazy engine

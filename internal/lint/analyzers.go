@@ -11,14 +11,28 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{HotPath(), AtomicCounters()}
 }
 
-// hotFuncs names the monitor's per-request hot path: the check dispatch
-// every proxied call goes through, and the demand-driven evaluator the
-// lazy engine re-enters once per clause. Everything reachable per request
-// but outside these (snapshotting, forwarding, verdict recording) already
-// allocates by design.
-var hotFuncs = map[string]bool{
-	"(*Monitor).check": true,
-	"evalDemand":       true,
+// hotFuncs names the per-request hot path, per package: the monitor's
+// check dispatch and the demand-driven evaluators it re-enters once per
+// clause, and the compiled engine's slot accessors and program entry —
+// the functions every fused closure funnels through, where a stray
+// allocation multiplies by the atom count. Everything reachable per
+// request but outside these (snapshotting, forwarding, verdict
+// recording) already allocates by design.
+var hotFuncs = map[string]map[string]bool{
+	"monitor": {
+		"(*Monitor).check": true,
+		"evalDemand":       true,
+		"evalProgram":      true,
+	},
+	"contract": {
+		"(*Frame).loadCur":    true,
+		"(*Frame).loadPre":    true,
+		"(*Frame).SetCur":     true,
+		"(*Frame).SetPre":     true,
+		"(*Frame).SetCurSlot": true,
+		"(*Frame).SetPreSlot": true,
+		"(*Program).Run":      true,
+	},
 }
 
 // HotPath forbids wall-clock reads, string formatting, and map
@@ -34,13 +48,14 @@ func HotPath() *Analyzer {
 }
 
 func runHotPath(p *Pass) {
-	if p.Pkg != "monitor" {
+	funcs := hotFuncs[p.Pkg]
+	if funcs == nil {
 		return
 	}
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !hotFuncs[funcKey(fn)] {
+			if !ok || fn.Body == nil || !funcs[funcKey(fn)] {
 				continue
 			}
 			name := funcKey(fn)

@@ -68,6 +68,28 @@ func evalDemand() {
 	}
 }
 
+// TestHotPathCoversCompiledEngine pins the rule's reach into the
+// contract package: the compiled engine's slot accessors are on every
+// fused closure's path, so the same constructs are forbidden there.
+func TestHotPathCoversCompiledEngine(t *testing.T) {
+	findings := lintSrc(t, `package contract
+
+import "time"
+
+type Frame struct{}
+type Program struct{}
+
+func (fr *Frame) loadCur(i int) { _ = time.Now() }
+
+func (p *Program) Run() { _ = make(map[string]int) }
+`)
+	wantFinding(t, findings, "hotpath", "(*Frame).loadCur calls time.Now")
+	wantFinding(t, findings, "hotpath", "(*Program).Run allocates a map")
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(findings), findings)
+	}
+}
+
 func TestHotPathIgnoresColdFunctionsAndOtherPackages(t *testing.T) {
 	// The same constructs outside the hot-path functions are fine.
 	if f := lintSrc(t, `package monitor

@@ -23,9 +23,10 @@ type DeployOptions struct {
 	Mode monitor.Mode
 	// Level defaults to monitor.CheckFull.
 	Level monitor.CheckLevel
-	// Eval selects the evaluation engine (default monitor.EvalLazy;
-	// monitor.EvalEager restores whole-contract snapshots — the A/B knob
-	// behind EXPERIMENTS.md E15).
+	// Eval selects the evaluation engine (default monitor.EvalCompiled;
+	// monitor.EvalLazy re-walks the OCL trees, monitor.EvalEager restores
+	// whole-contract snapshots — the A/B knobs behind EXPERIMENTS.md
+	// E15/E17).
 	Eval monitor.EvalMode
 	// NoFacts disables the lazy engine's compile-time fact pruning (the
 	// A/B knob behind EXPERIMENTS.md E16).

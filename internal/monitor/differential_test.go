@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"testing"
+	"time"
 
 	"cloudmon/internal/contract"
 	"cloudmon/internal/ocl"
@@ -14,13 +15,17 @@ import (
 	"cloudmon/internal/uml"
 )
 
-// The differential suite proves the engines' safety claim: the lazy plan
-// engine — with and without compile-time fact pruning — and the eager
-// whole-snapshot engine produce bit-identical verdicts: same outcome,
-// pre/post truth, failing clause and SecReq attribution on every request.
-// Only the fetch economy may differ. Each sweep runs three arms (eager,
-// lazy with facts off, lazy with facts on) and compares both lazy arms
-// against eager, so all three agree field for field.
+// The differential suite proves the engines' safety claim: the compiled
+// closure-chain engine, the lazy tree-walking plan engine — each with and
+// without compile-time fact pruning — and the eager whole-snapshot engine
+// produce bit-identical verdicts: same outcome, pre/post truth, failing
+// clause and SecReq attribution on every request. Only the fetch economy
+// may differ between eager and the plan engines; between lazy and
+// compiled even the economy counters (fetches, reuses, clause demands,
+// fact skips) must agree exactly, because the compiled engine swaps only
+// the per-node evaluator inside the shared demand-driven workflow. Each
+// sweep runs five arms (eager; lazy and compiled, facts off and on) and
+// compares every plan arm against eager, then lazy against compiled.
 
 // diffRoutes mirrors newMonitor's route table.
 func diffRoutes() []Route {
@@ -65,45 +70,68 @@ func runEngine(t *testing.T, set *contract.Set, eval EvalMode, noReuse, noFacts 
 	return lastVerdict(t, m), rec.Code
 }
 
-// diffCompare asserts the equivalence contract between two verdicts. Detail
-// is compared except on Error outcomes: plan order may surface a different
-// (equally real) evaluation error than the monolithic formula does.
-func diffCompare(t *testing.T, name string, eager, lazy Verdict, eagerCode, lazyCode int) {
+// diffCompare asserts the equivalence contract between a reference verdict
+// (the eager arm) and a plan-engine verdict. Detail is compared except on
+// Error outcomes: plan order may surface a different (equally real)
+// evaluation error than the monolithic formula does.
+func diffCompare(t *testing.T, name string, ref, got Verdict, refCode, gotCode int) {
 	t.Helper()
 	fail := func(field string, e, l interface{}) {
-		t.Errorf("%s: %s diverged: eager %v, lazy %v", name, field, e, l)
+		t.Errorf("%s: %s diverged: ref %v, got %v", name, field, e, l)
 	}
-	if eager.Outcome != lazy.Outcome {
-		fail("outcome", fmt.Sprintf("%s (%s)", eager.Outcome, eager.Detail),
-			fmt.Sprintf("%s (%s)", lazy.Outcome, lazy.Detail))
+	if ref.Outcome != got.Outcome {
+		fail("outcome", fmt.Sprintf("%s (%s)", ref.Outcome, ref.Detail),
+			fmt.Sprintf("%s (%s)", got.Outcome, got.Detail))
 		return
 	}
-	if eagerCode != lazyCode {
-		fail("status", eagerCode, lazyCode)
+	if refCode != gotCode {
+		fail("status", refCode, gotCode)
 	}
-	if eager.PreOK != lazy.PreOK {
-		fail("PreOK", eager.PreOK, lazy.PreOK)
+	if ref.PreOK != got.PreOK {
+		fail("PreOK", ref.PreOK, got.PreOK)
 	}
-	if eager.PostOK != lazy.PostOK {
-		fail("PostOK", eager.PostOK, lazy.PostOK)
+	if ref.PostOK != got.PostOK {
+		fail("PostOK", ref.PostOK, got.PostOK)
 	}
-	if eager.Forwarded != lazy.Forwarded {
-		fail("Forwarded", eager.Forwarded, lazy.Forwarded)
+	if ref.Forwarded != got.Forwarded {
+		fail("Forwarded", ref.Forwarded, got.Forwarded)
 	}
-	if !reflect.DeepEqual(eager.MatchedSecReqs, lazy.MatchedSecReqs) {
-		fail("MatchedSecReqs", eager.MatchedSecReqs, lazy.MatchedSecReqs)
+	if !reflect.DeepEqual(ref.MatchedSecReqs, got.MatchedSecReqs) {
+		fail("MatchedSecReqs", ref.MatchedSecReqs, got.MatchedSecReqs)
 	}
-	if !reflect.DeepEqual(eager.MatchedTransitions, lazy.MatchedTransitions) {
-		fail("MatchedTransitions", eager.MatchedTransitions, lazy.MatchedTransitions)
+	if !reflect.DeepEqual(ref.MatchedTransitions, got.MatchedTransitions) {
+		fail("MatchedTransitions", ref.MatchedTransitions, got.MatchedTransitions)
 	}
-	if eager.FailingClause != lazy.FailingClause {
-		fail("FailingClause", eager.FailingClause, lazy.FailingClause)
+	if ref.FailingClause != got.FailingClause {
+		fail("FailingClause", ref.FailingClause, got.FailingClause)
 	}
-	if eager.Outcome != Error && eager.Detail != lazy.Detail {
-		fail("Detail", eager.Detail, lazy.Detail)
+	if ref.Outcome != Error && ref.Detail != got.Detail {
+		fail("Detail", ref.Detail, got.Detail)
 	}
-	if lazy.FetchedPaths > eager.FetchedPaths {
-		fail("FetchedPaths (lazy must not fetch more)", eager.FetchedPaths, lazy.FetchedPaths)
+	if got.FetchedPaths > ref.FetchedPaths {
+		fail("FetchedPaths (plan engine must not fetch more)", ref.FetchedPaths, got.FetchedPaths)
+	}
+}
+
+// diffEconomy asserts exact economy-counter agreement between the lazy and
+// compiled arms of one configuration. The compiled engine reuses the lazy
+// workflow (fetch cache, flights, facts pruning, effect-frame reuse) and
+// swaps only per-node evaluation, so fetches, reuses, per-clause demands
+// and fact skips must match to the unit — any drift means the closure
+// chains demand state the tree walk does not, or vice versa.
+func diffEconomy(t *testing.T, name string, lazy, comp Verdict) {
+	t.Helper()
+	if lazy.FetchedPaths != comp.FetchedPaths {
+		t.Errorf("%s: FetchedPaths diverged: lazy %d, compiled %d", name, lazy.FetchedPaths, comp.FetchedPaths)
+	}
+	if lazy.ReusedPaths != comp.ReusedPaths {
+		t.Errorf("%s: ReusedPaths diverged: lazy %d, compiled %d", name, lazy.ReusedPaths, comp.ReusedPaths)
+	}
+	if lazy.DemandedPaths != comp.DemandedPaths {
+		t.Errorf("%s: DemandedPaths diverged: lazy %d, compiled %d", name, lazy.DemandedPaths, comp.DemandedPaths)
+	}
+	if lazy.FactsSkipped != comp.FactsSkipped {
+		t.Errorf("%s: FactsSkipped diverged: lazy %d, compiled %d", name, lazy.FactsSkipped, comp.FactsSkipped)
 	}
 }
 
@@ -160,8 +188,14 @@ func TestDifferentialExampleStates(t *testing.T) {
 				ve, ce := runEngine(t, set, EvalEager, false, false, mode, rq.method, rq.path, st.pre, st.post, st.status)
 				vl, cl := runEngine(t, set, EvalLazy, true, true, mode, rq.method, rq.path, st.pre, st.post, st.status)
 				vf, cf := runEngine(t, set, EvalLazy, true, false, mode, rq.method, rq.path, st.pre, st.post, st.status)
+				vc, cc := runEngine(t, set, EvalCompiled, true, true, mode, rq.method, rq.path, st.pre, st.post, st.status)
+				vcf, ccf := runEngine(t, set, EvalCompiled, true, false, mode, rq.method, rq.path, st.pre, st.post, st.status)
 				diffCompare(t, name, ve, vl, ce, cl)
 				diffCompare(t, name+"/facts", ve, vf, ce, cf)
+				diffCompare(t, name+"/compiled", ve, vc, ce, cc)
+				diffCompare(t, name+"/compiled+facts", ve, vcf, ce, ccf)
+				diffEconomy(t, name+"/economy", vl, vc)
+				diffEconomy(t, name+"/economy+facts", vf, vcf)
 			}
 		}
 	}
@@ -207,8 +241,14 @@ func TestDifferentialFuzzStates(t *testing.T) {
 		ve, ce := runEngine(t, set, EvalEager, false, false, mode, rq.method, rq.path, pre, post, status)
 		vl, cl := runEngine(t, set, EvalLazy, true, true, mode, rq.method, rq.path, pre, post, status)
 		vf, cf := runEngine(t, set, EvalLazy, true, false, mode, rq.method, rq.path, pre, post, status)
+		vc, cc := runEngine(t, set, EvalCompiled, true, true, mode, rq.method, rq.path, pre, post, status)
+		vcf, ccf := runEngine(t, set, EvalCompiled, true, false, mode, rq.method, rq.path, pre, post, status)
 		diffCompare(t, name, ve, vl, ce, cl)
 		diffCompare(t, name+"/facts", ve, vf, ce, cf)
+		diffCompare(t, name+"/compiled", ve, vc, ce, cc)
+		diffCompare(t, name+"/compiled+facts", ve, vcf, ce, ccf)
+		diffEconomy(t, name+"/economy", vl, vc)
+		diffEconomy(t, name+"/economy+facts", vf, vcf)
 		if t.Failed() {
 			t.Fatalf("first divergence at iteration %d: pre=%v post=%v status=%d", i, pre, post, status)
 		}
@@ -246,18 +286,25 @@ func TestDifferentialPostReuseOnFrameRespectingStates(t *testing.T) {
 		ve, ce := runEngine(t, set, EvalEager, false, false, Enforce, rq.method, rq.path, pre, post, 204)
 		vl, cl := runEngine(t, set, EvalLazy, false, true, Enforce, rq.method, rq.path, pre, post, 204)
 		vf, cf := runEngine(t, set, EvalLazy, false, false, Enforce, rq.method, rq.path, pre, post, 204)
+		vc, cc := runEngine(t, set, EvalCompiled, false, true, Enforce, rq.method, rq.path, pre, post, 204)
+		vcf, ccf := runEngine(t, set, EvalCompiled, false, false, Enforce, rq.method, rq.path, pre, post, 204)
 		diffCompare(t, name, ve, vl, ce, cl)
 		diffCompare(t, name+"/facts", ve, vf, ce, cf)
+		diffCompare(t, name+"/compiled", ve, vc, ce, cc)
+		diffCompare(t, name+"/compiled+facts", ve, vcf, ce, ccf)
+		diffEconomy(t, name+"/economy", vl, vc)
+		diffEconomy(t, name+"/economy+facts", vf, vcf)
 		if t.Failed() {
 			t.Fatalf("first divergence at iteration %d: pre=%v post=%v", i, pre, post)
 		}
 	}
 }
 
-// TestLazyFetchEconomyOnPaperModel pins the headline numbers the tentpole
-// claims for the paper's Cinder model: a clean GET needs 5 cloud reads
-// under the plan engine against the eager engine's 8, and a clean DELETE 6
-// against 10.
+// TestLazyFetchEconomyOnPaperModel pins the headline numbers the plan
+// engines claim for the paper's Cinder model: a clean GET needs 5 cloud
+// reads under the plan engines against the eager engine's 8, and a clean
+// DELETE 6 against 10. Both demand-driven engines — lazy tree walk and
+// compiled closure chains — must hit the same pins.
 func TestLazyFetchEconomyOnPaperModel(t *testing.T) {
 	set, err := contract.Generate(paper.CinderModel())
 	if err != nil {
@@ -267,7 +314,7 @@ func TestLazyFetchEconomyOnPaperModel(t *testing.T) {
 		method, path        string
 		pre, post           ocl.MapEnv
 		status              int
-		wantLazy, wantEager int
+		wantPlan, wantEager int
 		wantReused          int
 	}{
 		// GET: 4 pre paths + post re-fetch of project.volumes; the other
@@ -279,19 +326,125 @@ func TestLazyFetchEconomyOnPaperModel(t *testing.T) {
 			env(2, 10, "available", "admin"), env(1, 10, "available", "admin"), 204, 6, 10, 2},
 	}
 	for _, tc := range cases {
-		vl, _ := runEngine(t, set, EvalLazy, false, false, Enforce, tc.method, tc.path, tc.pre, tc.post, tc.status)
 		ve, _ := runEngine(t, set, EvalEager, false, false, Enforce, tc.method, tc.path, tc.pre, tc.post, tc.status)
-		if vl.Outcome != OK || ve.Outcome != OK {
-			t.Fatalf("%s: outcomes lazy=%s eager=%s, want ok/ok", tc.method, vl.Outcome, ve.Outcome)
-		}
-		if vl.FetchedPaths != tc.wantLazy {
-			t.Errorf("%s: lazy fetched %d paths, want %d", tc.method, vl.FetchedPaths, tc.wantLazy)
+		if ve.Outcome != OK {
+			t.Fatalf("%s: eager outcome %s, want ok", tc.method, ve.Outcome)
 		}
 		if ve.FetchedPaths != tc.wantEager {
 			t.Errorf("%s: eager fetched %d paths, want %d", tc.method, ve.FetchedPaths, tc.wantEager)
 		}
-		if vl.ReusedPaths != tc.wantReused {
-			t.Errorf("%s: lazy reused %d paths, want %d", tc.method, vl.ReusedPaths, tc.wantReused)
+		for _, eval := range []EvalMode{EvalLazy, EvalCompiled} {
+			vp, _ := runEngine(t, set, eval, false, false, Enforce, tc.method, tc.path, tc.pre, tc.post, tc.status)
+			if vp.Outcome != OK {
+				t.Fatalf("%s/%s: outcome %s, want ok", tc.method, eval, vp.Outcome)
+			}
+			if vp.FetchedPaths != tc.wantPlan {
+				t.Errorf("%s/%s: fetched %d paths, want %d", tc.method, eval, vp.FetchedPaths, tc.wantPlan)
+			}
+			if vp.ReusedPaths != tc.wantReused {
+				t.Errorf("%s/%s: reused %d paths, want %d", tc.method, eval, vp.ReusedPaths, tc.wantReused)
+			}
+		}
+	}
+}
+
+// TestDifferentialFailPolicies checks that every snapshot-failure policy
+// degrades identically under the lazy and compiled engines, with facts on
+// and off: a cloud outage must yield the same outcome, attribution and
+// economy regardless of how clauses are evaluated. Three fault shapes are
+// driven per policy: pre-phase failure (cold), post-phase failure, and —
+// for Degrade — a warmed cache followed by an outage, which must serve the
+// cached pre-state in both engines.
+func TestDifferentialFailPolicies(t *testing.T) {
+	set, err := contract.Generate(paper.CinderModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(eval EvalMode, noFacts bool, policy FailPolicy, prov StateProvider) *Monitor {
+		t.Helper()
+		cfg := Config{
+			Contracts:  set,
+			Routes:     diffRoutes(),
+			Provider:   prov,
+			Forward:    &fakeForwarder{status: 204},
+			Mode:       Enforce,
+			Eval:       eval,
+			NoFacts:    noFacts,
+			FailPolicy: policy,
+		}
+		if policy == Degrade {
+			cfg.PreStateCacheTTL = 20 * time.Millisecond
+			cfg.DegradeTTL = 10 * time.Second
+		}
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	sendReq := func(m *Monitor, method string) (Verdict, int) {
+		t.Helper()
+		req := httptest.NewRequest(method, "/projects/p1/volumes/v1", nil)
+		req.Header.Set("X-Auth-Token", "tok")
+		rec := httptest.NewRecorder()
+		m.ServeHTTP(rec, req)
+		return lastVerdict(t, m), rec.Code
+	}
+	send := func(m *Monitor) (Verdict, int) { return sendReq(m, http.MethodDelete) }
+	good := env(2, 10, "available", "admin")
+	for _, policy := range []FailPolicy{FailClosed, FailOpen, Degrade} {
+		for _, noFacts := range []bool{true, false} {
+			tag := fmt.Sprintf("%s/facts=%v", policy, !noFacts)
+
+			// Pre-phase outage from the first request.
+			run := func(eval EvalMode) (Verdict, int) {
+				prov := &switchProvider{env: good}
+				prov.fail.Store(true)
+				return send(build(eval, noFacts, policy, prov))
+			}
+			vl, cl := run(EvalLazy)
+			vc, cc := run(EvalCompiled)
+			diffCompare(t, tag+"/pre-fault", vl, vc, cl, cc)
+			diffEconomy(t, tag+"/pre-fault", vl, vc)
+			if vl.DegradedPre != vc.DegradedPre {
+				t.Errorf("%s/pre-fault: DegradedPre diverged: lazy %v, compiled %v", tag, vl.DegradedPre, vc.DegradedPre)
+			}
+
+			// Post-phase outage: the pre-check passes, the post snapshot
+			// fails mid-request.
+			runPost := func(eval EvalMode) (Verdict, int) {
+				return send(build(eval, noFacts, policy, &prePostProvider{pre: good}))
+			}
+			vl, cl = runPost(EvalLazy)
+			vc, cc = runPost(EvalCompiled)
+			diffCompare(t, tag+"/post-fault", vl, vc, cl, cc)
+			diffEconomy(t, tag+"/post-fault", vl, vc)
+
+			if policy != Degrade {
+				continue
+			}
+			// Warm cache, then outage: Degrade must serve the cached
+			// pre-state and mark the verdict degraded in both engines.
+			// GET keeps the state fixpoint-clean across both requests.
+			runWarm := func(eval EvalMode) (Verdict, int) {
+				prov := &switchProvider{env: good}
+				m := build(eval, noFacts, policy, prov)
+				if v, _ := sendReq(m, http.MethodGet); v.Outcome != OK {
+					t.Fatalf("%s/%s: warm request outcome %s, want ok", tag, eval, v.Outcome)
+				}
+				// Let the read cache lapse so the live snapshot really
+				// fails; the degrade window is still wide open.
+				time.Sleep(30 * time.Millisecond)
+				prov.fail.Store(true)
+				return sendReq(m, http.MethodGet)
+			}
+			vl, cl = runWarm(EvalLazy)
+			vc, cc = runWarm(EvalCompiled)
+			diffCompare(t, tag+"/degrade-warm", vl, vc, cl, cc)
+			diffEconomy(t, tag+"/degrade-warm", vl, vc)
+			if !vl.DegradedPre || !vc.DegradedPre {
+				t.Errorf("%s/degrade-warm: DegradedPre lazy=%v compiled=%v, want both true", tag, vl.DegradedPre, vc.DegradedPre)
+			}
 		}
 	}
 }

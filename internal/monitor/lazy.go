@@ -19,7 +19,7 @@ type EvalMode int
 
 // Evaluation modes.
 const (
-	// EvalLazy (the default) evaluates the contract's compiled plan
+	// EvalLazy evaluates the contract's compiled plan
 	// clause-by-clause, fetching each state path the first time a formula
 	// demands it. The pre-check fetches only what deciding (and
 	// attributing) the disjuncts needs; the post-check re-fetches only
@@ -30,6 +30,14 @@ const (
 	// evaluation — the paper's original workflow. Kept for differential
 	// testing and benchmarking against the plan engine.
 	EvalEager
+	// EvalCompiled (the default) runs the same demand-driven workflow as
+	// EvalLazy — same fetch order, facts pruning, FailPolicy semantics and
+	// demand accounting — but evaluates each clause through its compiled
+	// closure-chain program (contract/compile.go) over a pooled slot
+	// frame instead of re-walking the OCL tree. Only the per-node
+	// evaluation changes; the differential suite proves the verdicts
+	// field-for-field identical.
+	EvalCompiled
 )
 
 // String returns the mode name.
@@ -39,6 +47,8 @@ func (e EvalMode) String() string {
 		return "lazy"
 	case EvalEager:
 		return "eager"
+	case EvalCompiled:
+		return "compiled"
 	}
 	return fmt.Sprintf("EvalMode(%d)", int(e))
 }
@@ -46,12 +56,14 @@ func (e EvalMode) String() string {
 // ParseEvalMode parses a -eval flag value.
 func ParseEvalMode(s string) (EvalMode, error) {
 	switch s {
+	case "compiled":
+		return EvalCompiled, nil
 	case "lazy":
 		return EvalLazy, nil
 	case "eager":
 		return EvalEager, nil
 	}
-	return 0, fmt.Errorf("monitor: unknown eval mode %q (lazy|eager)", s)
+	return 0, fmt.Errorf("monitor: unknown eval mode %q (compiled|lazy|eager)", s)
 }
 
 // unfetchedError is the demand signal of lazy evaluation: a formula reached
@@ -84,6 +96,10 @@ type lazyEnv struct {
 	// demanded records the distinct paths the current clause has resolved
 	// (see beginClause/takeDemands); nil until accounting starts.
 	demanded map[string]bool
+	// slotSet, when non-nil, mirrors every set into the compiled engine's
+	// frame bank, so the env (the verdict's snapshot of record) and the
+	// slot model can never disagree about what has been fetched.
+	slotSet func(path string, v ocl.Value, present bool)
 }
 
 func newLazyEnv() *lazyEnv {
@@ -130,6 +146,9 @@ func (e *lazyEnv) set(path string, v ocl.Value, present bool) {
 	e.have[path] = true
 	if present {
 		e.vals[path] = v
+	}
+	if e.slotSet != nil {
+		e.slotSet(path, v, present)
 	}
 }
 
@@ -290,6 +309,32 @@ func evalDemand(expr ocl.Expr, ctx ocl.Context, fetch func(*lazyEnv, string) err
 	}
 }
 
+// evalProgram is evalDemand's twin for the compiled engine: it runs the
+// clause's closure-chain program, fetching a state path the moment a slot
+// demand surfaces. Termination mirrors evalDemand — every successful
+// fetch fills its slot (via the env's slotSet mirror), and a filled slot
+// cannot demand again.
+func evalProgram(prog *contract.Program, fr *contract.Frame, fetch func(*contract.Demand) error) (ocl.Value, error) {
+	for {
+		val, err := prog.Run(fr)
+		if err == nil {
+			return val, nil
+		}
+		var d *contract.Demand
+		if !errors.As(err, &d) {
+			return ocl.Value{}, err
+		}
+		if fr.Filled(d) {
+			// A fetch that does not fill its slot would loop forever; fail
+			// loudly instead.
+			return ocl.Value{}, fmt.Errorf("monitor: demand loop stuck on path %s", d.Path)
+		}
+		if ferr := fetch(d); ferr != nil {
+			return ocl.Value{}, &fetchError{err: ferr}
+		}
+	}
+}
+
 // boolValue reports (isBool, value) for a tri-state result.
 func boolValue(v ocl.Value) (bool, bool) {
 	return v.Kind == ocl.KindBool, v.Kind == ocl.KindBool && v.Bool
@@ -310,14 +355,24 @@ const (
 // evaluation or fetch error) falls back to full evaluation, which
 // reproduces the no-facts engine exactly: the witness's fetched values
 // are shared state, and fetchPre retries failed paths on re-demand.
-func (m *Monitor) witnessSkip(facts *contract.Facts, i int, anteVals []ocl.Value, pre *lazyEnv, preCtx ocl.Context, f *lazyFetcher, v *Verdict) (ocl.Value, bool) {
-	for _, ex := range facts.Exclusions[i] {
+func (m *Monitor) witnessSkip(facts *contract.Facts, comp *contract.Compiled, fr *contract.Frame, i int, anteVals []ocl.Value, pre *lazyEnv, preCtx ocl.Context, f *lazyFetcher, v *Verdict) (ocl.Value, bool) {
+	for j, ex := range facts.Exclusions[i] {
 		if isBool, b := boolValue(anteVals[ex.Provider]); !isBool || !b {
 			continue
 		}
-		pre.beginClause()
-		wval, err := evalDemand(ex.Witness, preCtx, f.fetchPre)
-		v.DemandedPaths += pre.takeDemands()
+		var wval ocl.Value
+		var err error
+		if fr != nil {
+			fr.BeginClause()
+			wval, err = evalProgram(comp.WitnessProgram(i, j), fr, func(d *contract.Demand) error {
+				return f.fetchPre(pre, d.Path)
+			})
+			v.DemandedPaths += fr.TakeDemands()
+		} else {
+			pre.beginClause()
+			wval, err = evalDemand(ex.Witness, preCtx, f.fetchPre)
+			v.DemandedPaths += pre.takeDemands()
+		}
 		if err == nil {
 			if isBool, b := boolValue(wval); isBool && !b {
 				v.FactsSkipped++
@@ -420,6 +475,22 @@ func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[strin
 	anteVals := make([]ocl.Value, len(c.Cases))
 	pre := newLazyEnv()
 	preCtx := ocl.Context{Cur: pre}
+	// The compiled engine swaps only the per-clause evaluation: a pooled
+	// slot frame mirrors the env (slotSet keeps them in lockstep), the
+	// clause programs run over it, and the demand loop, fetch order and
+	// accounting stay exactly the lazy engine's.
+	comp := plan.Compiled
+	useCompiled := m.eval == EvalCompiled && comp != nil
+	var fr *contract.Frame
+	var demandPre func(*contract.Demand) error
+	if useCompiled {
+		fr = comp.NewFrame()
+		defer comp.Release(fr)
+		pre.slotSet = fr.SetCur
+		demandPre = func(d *contract.Demand) error { return f.fetchPre(pre, d.Path) }
+	} else {
+		comp = nil
+	}
 	// debugRecheck re-derives a fact-decided value the slow way
 	// (FactsDebug): an unsound fact surfaces as a mismatch count here and
 	// as a verdict divergence in the differential suites.
@@ -444,20 +515,31 @@ func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[strin
 				debugRecheck(i, *s)
 				continue
 			}
-			if val, ok := m.witnessSkip(facts, i, anteVals, pre, preCtx, f, &v); ok {
+			if val, ok := m.witnessSkip(facts, comp, fr, i, anteVals, pre, preCtx, f, &v); ok {
 				anteVals[i] = val
 				debugRecheck(i, val)
 				continue
 			}
 		}
-		expr := c.Cases[i].Pre
-		if useFacts {
-			// The folded form is value- and error-equivalent (facts.go).
-			expr = facts.Pre[i].Folded
+		var val ocl.Value
+		var err error
+		if useCompiled {
+			// The program was compiled from the folded form, which is
+			// value-, error- and demand-equivalent to the original
+			// (facts.go) — one program serves facts-on and facts-off.
+			fr.BeginClause()
+			val, err = evalProgram(comp.PreProgram(i), fr, demandPre)
+			v.DemandedPaths += fr.TakeDemands()
+		} else {
+			expr := c.Cases[i].Pre
+			if useFacts {
+				// The folded form is value- and error-equivalent (facts.go).
+				expr = facts.Pre[i].Folded
+			}
+			pre.beginClause()
+			val, err = evalDemand(expr, preCtx, f.fetchPre)
+			v.DemandedPaths += pre.takeDemands()
 		}
-		pre.beginClause()
-		val, err := evalDemand(expr, preCtx, f.fetchPre)
-		v.DemandedPaths += pre.takeDemands()
 		if err != nil {
 			preEvalDur = time.Since(preStart) - f.preDur
 			var fe *fetchError
@@ -578,6 +660,19 @@ func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[strin
 	}
 	post := newLazyEnv()
 	postCtx := ocl.Context{Cur: post, Pre: pre}
+	if useCompiled {
+		// Turn the frame around: the current bank now describes the
+		// post-state (filled on demand below) and the captured pre-state
+		// becomes the pre bank. The pre env stops mirroring into the
+		// frame — nothing writes it after the forward.
+		fr.BeginPost()
+		pre.slotSet = nil
+		post.slotSet = fr.SetCur
+		for path := range pre.have {
+			val, present := pre.value(path)
+			fr.SetPre(path, val, present)
+		}
+	}
 	fetchPost := func(env *lazyEnv, p string) error {
 		if env == pre {
 			// Defense against a plan bug: every pre-context path of an
@@ -591,6 +686,17 @@ func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[strin
 			return nil
 		}
 		return f.fetchPost(env, p)
+	}
+	var demandPost func(*contract.Demand) error
+	if useCompiled {
+		demandPost = func(d *contract.Demand) error {
+			if d.Pre {
+				// Mirrors the env == pre guard above: every pre-context
+				// path of an active consequent was topped up already.
+				return fmt.Errorf("monitor: pre-state path %s demanded after forward", d.Path)
+			}
+			return fetchPost(post, d.Path)
+		}
 	}
 	sawUndef := false
 	postOK := true
@@ -613,14 +719,22 @@ func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[strin
 			return finish(Error, fmt.Sprintf("post-condition evaluation: %v",
 				&ocl.EvalError{Expr: c.Post, Message: "boolean operator applied to " + ante.Kind.String()})), resp
 		}
-		postExpr := c.Cases[pc.Index].Post
-		if useFacts {
-			postExpr = facts.Post[pc.Index].Folded
+		var consVal ocl.Value
+		var err error
+		if useCompiled {
+			fr.BeginClause()
+			consVal, err = evalProgram(comp.PostProgram(pc.Index), fr, demandPost)
+			v.DemandedPaths += fr.TakeDemands()
+		} else {
+			postExpr := c.Cases[pc.Index].Post
+			if useFacts {
+				postExpr = facts.Post[pc.Index].Folded
+			}
+			pre.beginClause()
+			post.beginClause()
+			consVal, err = evalDemand(postExpr, postCtx, fetchPost)
+			v.DemandedPaths += pre.takeDemands() + post.takeDemands()
 		}
-		pre.beginClause()
-		post.beginClause()
-		consVal, err := evalDemand(postExpr, postCtx, fetchPost)
-		v.DemandedPaths += pre.takeDemands() + post.takeDemands()
 		if err != nil {
 			postEvalDur = time.Since(postStart) - f.postDur
 			var fe *fetchError

@@ -324,8 +324,10 @@ type Config struct {
 	Mode Mode
 	// Level defaults to CheckFull.
 	Level CheckLevel
-	// Eval selects the evaluation engine (defaults to EvalLazy; EvalEager
-	// restores the whole-contract snapshot workflow).
+	// Eval selects the evaluation engine (defaults to EvalCompiled, the
+	// closure-chain programs over pooled slot frames; EvalLazy re-walks
+	// the OCL trees clause by clause; EvalEager restores the
+	// whole-contract snapshot workflow).
 	Eval EvalMode
 	// NoPostReuse disables the lazy post-check's effect-frame reuse of
 	// pre-state values: every demanded post path is re-fetched from the
@@ -481,7 +483,7 @@ func New(cfg Config) (*Monitor, error) {
 	}
 	eval := cfg.Eval
 	if eval == 0 {
-		eval = EvalLazy
+		eval = EvalCompiled
 	}
 	if policy == Degrade && cfg.PreStateCacheTTL <= 0 {
 		return nil, fmt.Errorf("monitor: fail policy %s requires PreStateCacheTTL > 0", policy)

@@ -1,0 +1,93 @@
+// The evaluation kernel: the semantic core of eval.go exported as plain
+// value functions, so the contract compiler (internal/contract/compile.go)
+// can generate closure chains that are value- and error-equivalent to the
+// tree-walking evaluator without re-implementing (and silently diverging
+// from) the coercion rules. Every function here is a thin alias of the
+// unexported helper the evaluator itself uses — there is exactly one
+// implementation of each rule.
+//
+// Kernel functions never construct errors: an impossible coercion is
+// reported as ok=false and the caller attaches its own expression context.
+// That keeps the compiled OK path allocation-free — errors are built only
+// when an evaluation actually fails.
+package ocl
+
+// KernelBool extracts a boolean operand: (value, defined, ok). Undefined
+// is (false, false, true); non-boolean kinds are (_, _, false) and the
+// caller reports "boolean operator applied to <kind>".
+func KernelBool(v Value) (b, defined, ok bool) {
+	switch v.Kind {
+	case KindBool:
+		return v.Bool, true, true
+	case KindUndefined:
+		return false, false, true
+	default:
+		return false, false, false
+	}
+}
+
+// KernelEqual implements `=` with the membership and count coercions
+// documented on equalValues.
+func KernelEqual(l, r Value) Value { return equalValues(l, r) }
+
+// KernelCompare implements <, <=, >, >= with the collection-size
+// coercion. ok=false means the kinds cannot be ordered.
+func KernelCompare(op BinOp, l, r Value) (Value, bool) {
+	if l.IsUndefined() || r.IsUndefined() {
+		return Undefined(), true
+	}
+	if l.Kind == KindString && r.Kind == KindString {
+		return BoolVal(compareOrd(op, stringCmp(l.Str, r.Str))), true
+	}
+	li, lok := intOf(l)
+	ri, rok := intOf(r)
+	if !lok || !rok {
+		return Value{}, false
+	}
+	return BoolVal(compareOrd(op, intCmp(li, ri))), true
+}
+
+// KernelArith implements +, -, *, / with the collection-size coercion and
+// division by zero yielding Undefined. ok=false means the kinds do not
+// coerce to integers.
+func KernelArith(op BinOp, l, r Value) (Value, bool) {
+	if l.IsUndefined() || r.IsUndefined() {
+		return Undefined(), true
+	}
+	li, lok := intOf(l)
+	ri, rok := intOf(r)
+	if !lok || !rok {
+		return Value{}, false
+	}
+	switch op {
+	case OpAdd:
+		return IntVal(li + ri), true
+	case OpSub:
+		return IntVal(li - ri), true
+	case OpMul:
+		return IntVal(li * ri), true
+	case OpDiv:
+		if ri == 0 {
+			return Undefined(), true
+		}
+		return IntVal(li / ri), true
+	}
+	return Value{}, false
+}
+
+// KernelInt coerces a value to an integer the way ordering and arithmetic
+// do: integers map to themselves, collections to their size.
+func KernelInt(v Value) (int, bool) { return intOf(v) }
+
+// ElemAt indexes the value under the implicit-collection coercion
+// asCollection applies: collections index their elements, scalars are
+// their own sole element. Callers iterate i in [0, v.Size()) — for
+// Undefined the range is empty, so ElemAt is never reached — which is
+// exactly the loop asCollection's materialized slice would drive, minus
+// the allocation.
+func (v Value) ElemAt(i int) Value {
+	if v.Kind == KindCollection {
+		return v.Elems[i]
+	}
+	return v
+}

@@ -156,7 +156,15 @@ func (lx *lexer) next() (Token, error) {
 			lx.pos++
 		}
 		return Token{Kind: TokInt, Text: lx.src[start:lx.pos], Pos: start}, nil
-	case isIdentStart(rune(c)):
+	default:
+		// Decode the full rune: widening the lead byte of a multi-byte
+		// (or invalid) UTF-8 sequence would misclassify it — an invalid
+		// byte like 0xc2 widens to a letter, enters the identifier scan,
+		// consumes nothing and loops the token stream forever.
+		r, _ := utf8.DecodeRuneInString(lx.src[lx.pos:])
+		if !isIdentStart(r) {
+			return Token{}, lx.errf(start, "unexpected character "+string(r))
+		}
 		for lx.pos < len(lx.src) {
 			r, sz := utf8.DecodeRuneInString(lx.src[lx.pos:])
 			if !isIdentPart(r) {
@@ -177,8 +185,6 @@ func (lx *lexer) next() (Token, error) {
 			}
 		}
 		return Token{Kind: TokIdent, Text: word, Pos: start}, nil
-	default:
-		return Token{}, lx.errf(start, "unexpected character "+string(c))
 	}
 }
 

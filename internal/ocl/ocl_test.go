@@ -86,7 +86,10 @@ func TestLexPreKeywordOnlyBeforeParen(t *testing.T) {
 }
 
 func TestLexErrors(t *testing.T) {
-	for _, src := range []string{"'unterminated", "a ? b"} {
+	// "\xc2x" regresses an invalid-UTF-8 lead byte: widened to a rune it
+	// reads as a letter, and the lexer once looped forever emitting empty
+	// identifiers without advancing.
+	for _, src := range []string{"'unterminated", "a ? b", "\xc2x", "a->\xc2xists(g | g)", "\xff"} {
 		if _, err := Lex(src); err == nil {
 			t.Errorf("Lex(%q): want error", src)
 		} else {
