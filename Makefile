@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet lint test race cover bench planbench factbench compbench fuzz chaos obs examples experiments artifacts
+.PHONY: all build vet lint test race cover bench planbench factbench compbench asyncbench fuzz chaos obs examples experiments artifacts
 
 all: build vet lint test
 
@@ -46,6 +46,12 @@ factbench:
 # single-pass tree walk on the in-process OK path (see EXPERIMENTS.md).
 compbench:
 	go test -run XXX -bench BenchmarkCompiledEval -benchmem .
+
+# E18: synchronous vs deferred (async) post-verification on a mutating
+# create/delete workload at 1 ms simulated RTT, with p99 detection lag
+# (see EXPERIMENTS.md).
+asyncbench:
+	go test -run XXX -bench BenchmarkAsyncPost -benchtime 25x .
 
 # Seed-corpus fuzzing already runs under `make test`; this target fuzzes
 # each parser for 30s, plus the compiled OCL engine against the

@@ -56,6 +56,10 @@ func run(args []string) error {
 	levelName := fs.String("level", "full", "contract check level: full | pre-only")
 	evalName := fs.String("eval", "compiled", "contract evaluation engine: compiled (closure-chain programs) | lazy (demand-driven tree walk) | eager (whole-contract snapshots)")
 	noFacts := fs.Bool("no-facts", false, "disable compile-time fact pruning in the lazy engine (A/B baseline)")
+	postName := fs.String("post", "sync", "post-verification mode: sync | async (defer post-checks to a bounded worker queue)")
+	postQueue := fs.Int("post-queue", 0, "async post queue capacity (0 = default)")
+	postWorkers := fs.Int("post-workers", 0, "async post worker pool size (0 = default)")
+	backpressureName := fs.String("post-backpressure", "block", "saturated async queue policy: block | shed")
 	logFile := fs.String("log-file", "", "append verdicts as NDJSON to this file")
 	metricsAddr := fs.String("metrics-addr", "", "optional listen address for the Prometheus-text /metrics endpoint (e.g. 127.0.0.1:8002)")
 	auditDir := fs.String("audit-dir", "", "directory for the append-only audit trail (violations and Unverified outcomes)")
@@ -107,6 +111,14 @@ func run(args []string) error {
 		return fmt.Errorf("unknown level %q (want full or pre-only)", *levelName)
 	}
 	eval, err := monitor.ParseEvalMode(*evalName)
+	if err != nil {
+		return err
+	}
+	postMode, err := monitor.ParsePostMode(*postName)
+	if err != nil {
+		return err
+	}
+	backpressure, err := monitor.ParseBackpressure(*backpressureName)
 	if err != nil {
 		return err
 	}
@@ -162,6 +174,10 @@ func run(args []string) error {
 		Level:             level,
 		Eval:              eval,
 		NoFacts:           *noFacts,
+		Post:              postMode,
+		PostQueueCap:      *postQueue,
+		PostWorkers:       *postWorkers,
+		PostBackpressure:  backpressure,
 		OnVerdict:         onVerdict,
 		ParallelSnapshots: *parallelSnapshots,
 		Audit:             audit,
@@ -169,6 +185,8 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Drain deferred post-checks before the audit log closes.
+	defer sys.Monitor.Close()
 
 	fmt.Printf("cloud monitor (%s mode, %s eval) on %s, proxying %s\n", mode, eval, *addr, *cloudURL)
 	fmt.Printf("  %d contracts over model %q; security requirements %v\n",

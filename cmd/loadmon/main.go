@@ -62,6 +62,10 @@ func run(args []string, out io.Writer) error {
 	modeName := fs.String("mode", "enforce", "monitor mode for the in-process deployment: enforce | observe")
 	levelName := fs.String("level", "full", "check level for the in-process deployment: full | pre-only")
 	evalName := fs.String("eval", "compiled", "evaluation engine for the in-process deployment: compiled | lazy | eager")
+	postName := fs.String("post", "sync", "post-verification mode: sync | async (defer post-checks to a bounded worker queue)")
+	postQueue := fs.Int("post-queue", 0, "async post queue capacity (0 = default)")
+	postWorkers := fs.Int("post-workers", 0, "async post worker pool size (0 = default)")
+	backpressureName := fs.String("post-backpressure", "block", "saturated async queue policy: block | shed")
 	noFacts := fs.Bool("no-facts", false, "disable compile-time fact pruning in the lazy engine (A/B baseline)")
 	parallel := fs.Bool("parallel-snapshots", false, "resolve state snapshots concurrently")
 	workers := fs.Int("snapshot-workers", 0, "bound the parallel snapshot pool (0 = default)")
@@ -129,8 +133,18 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown fail-policy %q (want closed, open or degrade)", *policyName)
 	}
 
+	postMode, err := monitor.ParsePostMode(*postName)
+	if err != nil {
+		return err
+	}
+	backpressure, err := monitor.ParseBackpressure(*backpressureName)
+	if err != nil {
+		return err
+	}
+
 	var tgt loadgen.Target
 	var dep *loadgen.Deployment
+	var depOpts loadgen.DeployOptions
 	if *target != "" {
 		if *verify {
 			return fmt.Errorf("-verify needs the in-process deployment (it reads monitor counters)")
@@ -171,6 +185,10 @@ func run(args []string, out io.Writer) error {
 			Eval:              evalMode,
 			NoFacts:           *noFacts,
 			FailPolicy:        policy,
+			Post:              postMode,
+			PostQueueCap:      *postQueue,
+			PostWorkers:       *postWorkers,
+			PostBackpressure:  backpressure,
 			ParallelSnapshots: *parallel,
 			SnapshotWorkers:   *workers,
 			PreStateCacheTTL:  *cacheTTL,
@@ -214,6 +232,7 @@ func run(args []string, out io.Writer) error {
 		}
 		defer dep.Close()
 		tgt = dep.Target
+		depOpts = opts
 	}
 
 	report, err := loadgen.Run(sc, tgt)
@@ -235,13 +254,16 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *verify {
-		if err := verifyReport(sc, report, policy); err != nil {
+		if err := verifyReport(sc, report, policy, postMode, report.AsyncPost); err != nil {
 			return err
 		}
 		if err := verifyObs(dep, report); err != nil {
 			return err
 		}
 		if err := verifyFetch(sc, report, dep); err != nil {
+			return err
+		}
+		if err := verifyAsync(sc, report, dep, depOpts, out); err != nil {
 			return err
 		}
 		fmt.Fprintln(out, "verify: structural invariants hold (verdicts ≡ metrics ≡ audit ≡ fetch economy)")
@@ -370,8 +392,10 @@ func verifyObs(dep *loadgen.Deployment, r *loadgen.Report) error {
 // verifyReport asserts the structural verdict invariants a chaotic run
 // must preserve: the monitor answered every request (no transport
 // errors), every issued request produced exactly one verdict, and a
-// fail-closed monitor never recorded an unverified forward.
-func verifyReport(sc loadgen.Scenario, r *loadgen.Report, policy monitor.FailPolicy) error {
+// fail-closed monitor never recorded an unverified forward — except the
+// explicitly accounted async-queue sheds, which must match the shed
+// counter one-for-one.
+func verifyReport(sc loadgen.Scenario, r *loadgen.Report, policy monitor.FailPolicy, post monitor.PostMode, ap *loadgen.AsyncPostReport) error {
 	if r.Errors > 0 {
 		return fmt.Errorf("verify: %d transport errors — the monitor itself failed under faults", r.Errors)
 	}
@@ -384,10 +408,110 @@ func verifyReport(sc loadgen.Scenario, r *loadgen.Report, policy monitor.FailPol
 			return fmt.Errorf("verify: verdict counters sum to %d, want %d (one per issued request)", sum, sc.Requests)
 		}
 	}
-	if policy == monitor.FailClosed && r.Verdicts[monitor.Unverified.String()] != 0 {
-		return fmt.Errorf("verify: fail-closed run recorded %d unverified verdicts",
-			r.Verdicts[monitor.Unverified.String()])
+	if policy == monitor.FailClosed {
+		unverified := r.Verdicts[monitor.Unverified.String()]
+		// Fail-closed synchronous checks turn snapshot failures into
+		// Error, never Unverified — so under async post every Unverified
+		// verdict must be an accounted queue shed, and without async
+		// there must be none at all.
+		var shed int
+		if post == monitor.PostAsync && ap != nil {
+			shed = int(ap.Shed)
+		}
+		if unverified != shed {
+			return fmt.Errorf("verify: fail-closed run recorded %d unverified verdicts, want %d (= async sheds)",
+				unverified, shed)
+		}
 	}
+	return nil
+}
+
+// verifyAsync asserts the deferred-verification invariants of a -post
+// async run: every shed surfaced as exactly one shed-tagged Unverified
+// audit record, every late record's detection lag is non-negative and
+// every accepted capture landed one lag histogram sample; on a serial,
+// fault-free run it then replays the identical scenario against a
+// synchronous twin deployment and requires the verdict multisets to be
+// identical — the async pipeline may delay verdicts, never change them.
+func verifyAsync(sc loadgen.Scenario, r *loadgen.Report, dep *loadgen.Deployment, opts loadgen.DeployOptions, out io.Writer) error {
+	if dep == nil || opts.Post != monitor.PostAsync {
+		return nil
+	}
+	st := dep.Sys.Monitor.AsyncPostStats()
+	if st.Pending != 0 {
+		return fmt.Errorf("verify: async post queue still holds %d captures after drain", st.Pending)
+	}
+	if st.Lag.Count != st.Enqueued {
+		return fmt.Errorf("verify: %d captures enqueued but %d lag samples observed", st.Enqueued, st.Lag.Count)
+	}
+	if dep.Audit != nil {
+		if err := dep.Audit.Sync(); err != nil {
+			return fmt.Errorf("verify: sync audit log: %w", err)
+		}
+		read, err := obs.ReadAuditDir(dep.Audit.Dir())
+		if err != nil {
+			return fmt.Errorf("verify: read audit dir: %w", err)
+		}
+		shedRecs, lateViol := 0, 0
+		for _, rec := range read.Records {
+			if rec.Shed {
+				shedRecs++
+				if rec.Outcome != monitor.Unverified.String() {
+					return fmt.Errorf("verify: audit record %d is shed but %s, want %s",
+						rec.Seq, rec.Outcome, monitor.Unverified)
+				}
+			}
+			if rec.Late {
+				if rec.LagNanos < 0 {
+					return fmt.Errorf("verify: audit record %d has negative detection lag %d ns", rec.Seq, rec.LagNanos)
+				}
+				if rec.ReturnUnixNano <= 0 {
+					return fmt.Errorf("verify: late audit record %d lacks a response-return timestamp", rec.Seq)
+				}
+				if rec.Outcome == monitor.ViolationPostcondition.String() {
+					lateViol++
+				}
+			}
+		}
+		if shedRecs != int(st.Shed) {
+			return fmt.Errorf("verify: monitor shed %d captures but the trail holds %d shed records", st.Shed, shedRecs)
+		}
+		if lateViol != int(st.LateViolations) {
+			return fmt.Errorf("verify: monitor counted %d late violations but the trail holds %d", st.LateViolations, lateViol)
+		}
+	}
+	// The sync twin needs a deterministic replay: one client, closed
+	// loop, no fault injection, nothing shed (a shed abandons a post
+	// phase the twin will evaluate, so the multisets could not match).
+	if sc.Clients != 1 || sc.Rate != 0 || opts.Faults != nil || st.Shed != 0 {
+		return nil
+	}
+	twin := opts
+	twin.Post = monitor.PostSync
+	twin.PostQueueCap, twin.PostWorkers, twin.PostBackpressure = 0, 0, 0
+	twin.AuditDir = ""
+	tdep, err := loadgen.Deploy(twin)
+	if err != nil {
+		return fmt.Errorf("verify: deploy sync twin: %w", err)
+	}
+	defer tdep.Close()
+	trep, err := loadgen.Run(sc, tdep.Target)
+	if err != nil {
+		return fmt.Errorf("verify: run sync twin: %w", err)
+	}
+	for outcome, n := range r.Verdicts {
+		if trep.Verdicts[outcome] != n {
+			return fmt.Errorf("verify: async run saw %d %s verdicts, sync twin %d — deferred verification changed a verdict",
+				n, outcome, trep.Verdicts[outcome])
+		}
+	}
+	for outcome, n := range trep.Verdicts {
+		if r.Verdicts[outcome] != n {
+			return fmt.Errorf("verify: sync twin saw %d %s verdicts, async run %d — deferred verification changed a verdict",
+				n, outcome, r.Verdicts[outcome])
+		}
+	}
+	fmt.Fprintln(out, "verify: async verdict multiset ≡ synchronous twin")
 	return nil
 }
 

@@ -47,10 +47,23 @@ type Options struct {
 	// (static clause assignment and witness-based sibling skips) — the
 	// A/B knob behind EXPERIMENTS.md E16.
 	NoFacts bool
+	// NoPostReuse disables the post-check's effect-frame reuse: every
+	// contract path is re-fetched after the forward (the full re-check
+	// the paper's workflow describes; see monitor.Config.NoPostReuse).
+	NoPostReuse bool
 	// FailPolicy decides the verdict when a state snapshot fails
 	// (defaults to monitor.FailClosed; Degrade requires
 	// PreStateCacheTTL > 0).
 	FailPolicy monitor.FailPolicy
+	// Post selects when post-conditions are verified (defaults to
+	// monitor.PostSync; PostAsync defers them to a bounded worker queue
+	// and returns responses as soon as the forward completes).
+	Post monitor.PostMode
+	// PostQueueCap / PostWorkers / PostBackpressure tune the async post
+	// pipeline (see the matching monitor.Config fields).
+	PostQueueCap     int
+	PostWorkers      int
+	PostBackpressure monitor.BackpressurePolicy
 	// CloudTimeout is the one knob both cloud-facing paths derive their
 	// deadline from: the snapshot client's per-attempt deadline and the
 	// forwarder's per-request deadline (0 = httpkit.DefaultCloudTimeout
@@ -147,7 +160,12 @@ func Build(opts Options) (*System, error) {
 		Level:            opts.Level,
 		Eval:             opts.Eval,
 		NoFacts:          opts.NoFacts,
+		NoPostReuse:      opts.NoPostReuse,
 		FailPolicy:       opts.FailPolicy,
+		Post:             opts.Post,
+		PostQueueCap:     opts.PostQueueCap,
+		PostWorkers:      opts.PostWorkers,
+		PostBackpressure: opts.PostBackpressure,
 		MaxLog:           opts.MaxLog,
 		OnVerdict:        opts.OnVerdict,
 		PreStateCacheTTL: opts.PreStateCacheTTL,

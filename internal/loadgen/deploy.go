@@ -34,6 +34,14 @@ type DeployOptions struct {
 	// FailPolicy decides the monitor's verdict when a snapshot fails
 	// (default monitor.FailClosed; Degrade needs PreStateCacheTTL).
 	FailPolicy monitor.FailPolicy
+	// Post selects when post-conditions are verified (default
+	// monitor.PostSync; PostAsync defers them to a bounded worker queue).
+	Post monitor.PostMode
+	// PostQueueCap / PostWorkers / PostBackpressure tune the async post
+	// pipeline (see the matching monitor.Config fields).
+	PostQueueCap     int
+	PostWorkers      int
+	PostBackpressure monitor.BackpressurePolicy
 	// ParallelSnapshots enables the provider's bounded fan-out.
 	ParallelSnapshots bool
 	// SnapshotWorkers bounds the fan-out pool (0 = default).
@@ -87,8 +95,13 @@ type Deployment struct {
 	Audit *obs.AuditLog
 }
 
-// Close flushes and closes the deployment's audit sink, if any.
+// Close drains the monitor's async post pipeline (so every deferred
+// verdict — including its audit record — lands), then flushes and closes
+// the deployment's audit sink, if any.
 func (d *Deployment) Close() error {
+	if d.Sys != nil && d.Sys.Monitor != nil {
+		d.Sys.Monitor.Close()
+	}
 	if d.Audit != nil {
 		return d.Audit.Close()
 	}
@@ -147,6 +160,10 @@ func Deploy(opts DeployOptions) (*Deployment, error) {
 		Eval:              opts.Eval,
 		NoFacts:           opts.NoFacts,
 		FailPolicy:        opts.FailPolicy,
+		Post:              opts.Post,
+		PostQueueCap:      opts.PostQueueCap,
+		PostWorkers:       opts.PostWorkers,
+		PostBackpressure:  opts.PostBackpressure,
 		CloudTimeout:      opts.CloudTimeout,
 		Retry:             opts.Retry,
 		Breaker:           opts.Breaker,
@@ -192,6 +209,10 @@ func Deploy(opts DeployOptions) (*Deployment, error) {
 	}
 	if inj != nil {
 		tgt.Faults = inj.Counts
+	}
+	if opts.Post == monitor.PostAsync {
+		tgt.Drain = sys.Monitor.DrainPost
+		tgt.AsyncPost = sys.Monitor.AsyncPostStats
 	}
 	if audit != nil {
 		tgt.Audit = func() map[string]int {

@@ -144,6 +144,15 @@ type Target struct {
 	// diffs it around the run — warmup requests included, prepopulation
 	// excluded (it runs before the capture).
 	Fetch func() FetchEconomy
+	// Drain, if set, is called after the workers finish and before any
+	// counters are sampled — async post-verification targets block here
+	// until every deferred verdict is recorded, so verdict tallies still
+	// sum to the request count.
+	Drain func()
+	// AsyncPost, if set, supplies the monitor's async post pipeline
+	// counters (monitor.AsyncPostStats), sampled after the drain for the
+	// report's lag percentiles and shed counts.
+	AsyncPost func() monitor.AsyncPostStats
 }
 
 // FetchEconomy is the cloud-read cost of a run: how many state paths the
@@ -266,6 +275,11 @@ func Run(sc Scenario, tgt Target) (*Report, error) {
 		}
 	}
 
+	if tgt.Drain != nil {
+		// Prepopulation's deferred post verdicts must record before the
+		// baseline counters are sampled, or they land inside the run diff.
+		tgt.Drain()
+	}
 	var before map[monitor.Outcome]int
 	if tgt.Outcomes != nil {
 		before = tgt.Outcomes()
@@ -324,6 +338,12 @@ func Run(sc Scenario, tgt Target) (*Report, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if tgt.Drain != nil {
+		// Deferred post verdicts must land before the counter diffs; the
+		// drain is outside the timed window — detection lag is reported
+		// separately, not folded into throughput.
+		tgt.Drain()
+	}
 
 	var verdicts map[string]int
 	if tgt.Outcomes != nil {
@@ -346,6 +366,18 @@ func Run(sc Scenario, tgt Target) (*Report, error) {
 	if tgt.Fetch != nil {
 		f := tgt.Fetch().sub(fetchBefore)
 		rep.Fetch = &f
+	}
+	if tgt.AsyncPost != nil {
+		if st := tgt.AsyncPost(); st.Enqueued > 0 || st.Shed > 0 {
+			rep.AsyncPost = &AsyncPostReport{
+				Enqueued:       st.Enqueued,
+				Shed:           st.Shed,
+				LateViolations: st.LateViolations,
+				LagP50US:       us(st.Lag.Quantile(0.50)),
+				LagP95US:       us(st.Lag.Quantile(0.95)),
+				LagP99US:       us(st.Lag.Quantile(0.99)),
+			}
+		}
 	}
 	return rep, nil
 }

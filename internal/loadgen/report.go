@@ -64,6 +64,21 @@ type Report struct {
 	// Fetch is the run's cloud-read economy, diffed around the run like
 	// Verdicts (present when the target exposes its fetch counters).
 	Fetch *FetchEconomy `json:"fetch,omitempty"`
+	// AsyncPost summarizes the deferred post-verification pipeline
+	// (present when the target runs -post async and saw traffic): how
+	// many captures were queued or shed and the detection-lag
+	// percentiles, measured from response return to verdict record.
+	AsyncPost *AsyncPostReport `json:"async_post,omitempty"`
+}
+
+// AsyncPostReport is the async post section of the run summary.
+type AsyncPostReport struct {
+	Enqueued       uint64  `json:"enqueued"`
+	Shed           uint64  `json:"shed"`
+	LateViolations uint64  `json:"late_violations"`
+	LagP50US       float64 `json:"lag_p50_us"`
+	LagP95US       float64 `json:"lag_p95_us"`
+	LagP99US       float64 `json:"lag_p99_us"`
 }
 
 // percentile returns the q-quantile (0 < q <= 1) of the sorted durations.
@@ -196,6 +211,10 @@ func (r *Report) Text() string {
 			f.CloudGets, float64(f.CloudGets)/float64(f.Requests),
 			f.PathsFetched, float64(f.PathsFetched)/float64(f.Requests),
 			f.Coalesced)
+	}
+	if ap := r.AsyncPost; ap != nil {
+		fmt.Fprintf(&sb, "  async post: %d enqueued, %d shed, %d late violations; lag µs: p50 %.0f  p95 %.0f  p99 %.0f\n",
+			ap.Enqueued, ap.Shed, ap.LateViolations, ap.LagP50US, ap.LagP95US, ap.LagP99US)
 	}
 	if len(r.Stages) > 0 {
 		for _, name := range obs.StageNames() {

@@ -121,7 +121,9 @@ func checkVerdictInvariants(t *testing.T, log []monitor.Verdict, mode monitor.Mo
 				fail("fail-closed forwarded a request whose pre-state snapshot failed")
 			}
 		case monitor.Unverified:
-			if policy == monitor.FailClosed {
+			// Shed async captures are the one legitimate Unverified under
+			// fail-closed: the queue, not the fail policy, declined the check.
+			if policy == monitor.FailClosed && !v.Shed {
 				fail("Unverified under fail-closed")
 			}
 			if !v.Forwarded {
@@ -129,6 +131,17 @@ func checkVerdictInvariants(t *testing.T, log []monitor.Verdict, mode monitor.Mo
 			}
 		default:
 			fail("unknown outcome")
+		}
+		if v.Shed && !v.Late {
+			fail("Shed implies Late (a shed verdict is a deferred one)")
+		}
+		if v.Late {
+			if v.Returned.IsZero() {
+				fail("Late verdict without a response-return timestamp")
+			}
+			if v.DetectionLag < 0 {
+				fail("negative detection lag %v", v.DetectionLag)
+			}
 		}
 	}
 }
@@ -196,6 +209,30 @@ func TestSoakHardened(t *testing.T) {
 	}, monitor.Enforce)
 }
 
+// TestSoakAsyncPost is the async-pipeline concurrency soak: 32 clients,
+// deferred post verification under the block policy. Run under -race this
+// proves the capture hand-off, the write fence, the worker pool and the
+// pending accounting against the full mixed matrix; the drain guarantee
+// is checked by the counter cross-check in runSoak (Run drains before
+// diffing).
+func TestSoakAsyncPost(t *testing.T) {
+	dep := runSoak(t, DeployOptions{Post: monitor.PostAsync}, monitor.Enforce)
+	defer dep.Close()
+	st := dep.Sys.Monitor.AsyncPostStats()
+	if st.Enqueued == 0 {
+		t.Fatal("async soak enqueued nothing; the pipeline is not wired in")
+	}
+	if st.Pending != 0 {
+		t.Fatalf("pending %d after drained run", st.Pending)
+	}
+	if st.Shed != 0 {
+		t.Fatalf("block policy shed %d captures", st.Shed)
+	}
+	if st.Lag.Count != st.Enqueued {
+		t.Fatalf("lag histogram holds %d samples for %d enqueued", st.Lag.Count, st.Enqueued)
+	}
+}
+
 // chaosOpts returns DeployOptions under the checked-in ~20% mixed-fault
 // profile, with a fast retry policy so the soak finishes quickly while
 // still exercising the backoff and per-attempt-deadline paths.
@@ -239,6 +276,44 @@ func TestSoakChaosFailOpen(t *testing.T) {
 	dep := runSoak(t, chaosOpts(t, monitor.FailOpen), monitor.Enforce)
 	if dep.Injector == nil || dep.Injector.Total() == 0 {
 		t.Fatal("chaos soak injected no faults; the profile is not wired in")
+	}
+}
+
+// TestSoakChaosAsyncFailOpen combines the ~20% fault profile with async
+// post verification: snapshot faults now fire on worker goroutines too,
+// so late verdicts carry Error/Unverified outcomes and the invariant
+// sweep (including the late-timestamp checks) runs over all of them.
+func TestSoakChaosAsyncFailOpen(t *testing.T) {
+	opts := chaosOpts(t, monitor.FailOpen)
+	opts.Post = monitor.PostAsync
+	dep := runSoak(t, opts, monitor.Enforce)
+	defer dep.Close()
+	if dep.Injector == nil || dep.Injector.Total() == 0 {
+		t.Fatal("chaos soak injected no faults; the profile is not wired in")
+	}
+	if st := dep.Sys.Monitor.AsyncPostStats(); st.Enqueued == 0 || st.Pending != 0 {
+		t.Fatalf("async stats after chaos soak: %+v", st)
+	}
+}
+
+// TestSoakChaosAsyncShed saturates a one-slot queue with one worker under
+// chaos and the shed policy: every rejected capture must surface as a
+// shed Unverified verdict — the only Unverified a fail-closed monitor may
+// record — and the counts must agree exactly.
+func TestSoakChaosAsyncShed(t *testing.T) {
+	opts := chaosOpts(t, monitor.FailClosed)
+	opts.Post = monitor.PostAsync
+	opts.PostQueueCap = 1
+	opts.PostWorkers = 1
+	opts.PostBackpressure = monitor.BackpressureShed
+	dep := runSoak(t, opts, monitor.Enforce)
+	defer dep.Close()
+	st := dep.Sys.Monitor.AsyncPostStats()
+	if st.Shed == 0 {
+		t.Fatal("one-slot queue under 32 clients shed nothing")
+	}
+	if got := dep.Sys.Monitor.Outcomes()[monitor.Unverified]; got != int(st.Shed) {
+		t.Fatalf("Unverified verdicts %d, shed counter %d", got, st.Shed)
 	}
 }
 

@@ -70,6 +70,38 @@ func runEngine(t *testing.T, set *contract.Set, eval EvalMode, noReuse, noFacts 
 	return lastVerdict(t, m), rec.Code
 }
 
+// runEngineAsync drives one request through a compiled monitor deferring
+// post verification to the async pipeline, drains it, and returns the late
+// verdict and the response code the client saw. Against the fixed fake
+// states the drained verdict must be indistinguishable from the
+// synchronous arms — same outcome, failing clause and fetch economy — the
+// sixth differential arm.
+func runEngineAsync(t *testing.T, set *contract.Set, noFacts bool, mode Mode,
+	method, path string, pre, post ocl.MapEnv, status int) (Verdict, int) {
+	t.Helper()
+	m, err := New(Config{
+		Contracts:   set,
+		Routes:      diffRoutes(),
+		Provider:    &fakeProvider{pre: pre, post: post},
+		Forward:     &fakeForwarder{status: status},
+		Mode:        mode,
+		Eval:        EvalCompiled,
+		NoPostReuse: true,
+		NoFacts:     noFacts,
+		Post:        PostAsync,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	req := httptest.NewRequest(method, path, nil)
+	req.Header.Set("X-Auth-Token", "tok")
+	rec := httptest.NewRecorder()
+	m.ServeHTTP(rec, req)
+	m.DrainPost()
+	return lastVerdict(t, m), rec.Code
+}
+
 // diffCompare asserts the equivalence contract between a reference verdict
 // (the eager arm) and a plan-engine verdict. Detail is compared except on
 // Error outcomes: plan order may surface a different (equally real)
@@ -190,12 +222,24 @@ func TestDifferentialExampleStates(t *testing.T) {
 				vf, cf := runEngine(t, set, EvalLazy, true, false, mode, rq.method, rq.path, st.pre, st.post, st.status)
 				vc, cc := runEngine(t, set, EvalCompiled, true, true, mode, rq.method, rq.path, st.pre, st.post, st.status)
 				vcf, ccf := runEngine(t, set, EvalCompiled, true, false, mode, rq.method, rq.path, st.pre, st.post, st.status)
+				va, ca := runEngineAsync(t, set, true, mode, rq.method, rq.path, st.pre, st.post, st.status)
 				diffCompare(t, name, ve, vl, ce, cl)
 				diffCompare(t, name+"/facts", ve, vf, ce, cf)
 				diffCompare(t, name+"/compiled", ve, vc, ce, cc)
 				diffCompare(t, name+"/compiled+facts", ve, vcf, ce, ccf)
+				// The async arm's one designed observable difference: a
+				// verdict decided in the deferred post phase (violation or
+				// evaluation error) lands after the client already has the
+				// backend's answer, so the wire code is the backend's, not
+				// the 409/502 the synchronous monitor substitutes.
+				wantCode := ce
+				if va.Late {
+					wantCode = va.BackendStatus
+				}
+				diffCompare(t, name+"/async", ve, va, wantCode, ca)
 				diffEconomy(t, name+"/economy", vl, vc)
 				diffEconomy(t, name+"/economy+facts", vf, vcf)
+				diffEconomy(t, name+"/economy+async", vc, va)
 			}
 		}
 	}
@@ -243,12 +287,19 @@ func TestDifferentialFuzzStates(t *testing.T) {
 		vf, cf := runEngine(t, set, EvalLazy, true, false, mode, rq.method, rq.path, pre, post, status)
 		vc, cc := runEngine(t, set, EvalCompiled, true, true, mode, rq.method, rq.path, pre, post, status)
 		vcf, ccf := runEngine(t, set, EvalCompiled, true, false, mode, rq.method, rq.path, pre, post, status)
+		va, ca := runEngineAsync(t, set, true, mode, rq.method, rq.path, pre, post, status)
 		diffCompare(t, name, ve, vl, ce, cl)
 		diffCompare(t, name+"/facts", ve, vf, ce, cf)
 		diffCompare(t, name+"/compiled", ve, vc, ce, cc)
 		diffCompare(t, name+"/compiled+facts", ve, vcf, ce, ccf)
+		wantCode := ce
+		if va.Late {
+			wantCode = va.BackendStatus
+		}
+		diffCompare(t, name+"/async", ve, va, wantCode, ca)
 		diffEconomy(t, name+"/economy", vl, vc)
 		diffEconomy(t, name+"/economy+facts", vf, vcf)
+		diffEconomy(t, name+"/economy+async", vc, va)
 		if t.Failed() {
 			t.Fatalf("first divergence at iteration %d: pre=%v post=%v status=%d", i, pre, post, status)
 		}

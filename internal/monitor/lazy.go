@@ -400,7 +400,11 @@ func (m *Monitor) witnessSkip(facts *contract.Facts, comp *contract.Compiled, fr
 // the pre-state are skipped outright; active consequents re-fetch only
 // paths inside the transitions' effect frame and reuse the pre-state
 // snapshot for untouched paths (disable with Config.NoPostReuse).
-func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[string]string, trace *obs.Trace) (Verdict, *BackendResponse) {
+//
+// The third return value is non-nil only under PostAsync: the pre phase
+// and the forward are complete, the verdict is deferred, and the capture
+// carries everything postVerify needs to finish it off the response path.
+func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[string]string, trace *obs.Trace) (Verdict, *BackendResponse, *postCapture) {
 	start := time.Now()
 	c := cr.contract
 	plan := cr.plan
@@ -441,23 +445,24 @@ func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[strin
 	// snapshotFailed runs the pre-forward fail-policy branches shared by
 	// the pre-check and the pre-state top-up (the Degrade rescue already
 	// ran per path inside fetchPre).
-	snapshotFailed := func(err error) (Verdict, *BackendResponse) {
+	snapshotFailed := func(err error) (Verdict, *BackendResponse, *postCapture) {
 		if m.failPolicy == FailOpen {
+			m.fenceWrites(r.Method)
 			fwdStart := time.Now()
 			resp, ferr := m.forward.Forward(r, &cr.route, params)
 			trace[obs.StageForward] = time.Since(fwdStart)
 			if ferr != nil {
 				return finish(Error, fmt.Sprintf(
-					"pre-state snapshot: %v; forward to cloud: %v", err, ferr)), nil
+					"pre-state snapshot: %v; forward to cloud: %v", err, ferr)), nil, nil
 			}
 			v.Forwarded = true
 			v.BackendStatus = resp.StatusCode
 			if m.cache != nil && r.Method != http.MethodGet {
 				m.cache.invalidateProject(params["project_id"])
 			}
-			return finish(Unverified, fmt.Sprintf("pre-state snapshot failed (fail-open): %v", err)), resp
+			return finish(Unverified, fmt.Sprintf("pre-state snapshot failed (fail-open): %v", err)), resp, nil
 		}
-		return finish(Error, fmt.Sprintf("pre-state snapshot: %v", err)), nil
+		return finish(Error, fmt.Sprintf("pre-state snapshot: %v", err)), nil, nil
 	}
 
 	// Pre phase: evaluate every disjunct, cheapest-planned first. The
@@ -546,7 +551,7 @@ func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[strin
 			if errors.As(err, &fe) {
 				return snapshotFailed(fe.err)
 			}
-			return finish(Error, fmt.Sprintf("pre-condition evaluation: %v", err)), nil
+			return finish(Error, fmt.Sprintf("pre-condition evaluation: %v", err)), nil, nil
 		}
 		anteVals[i] = val
 	}
@@ -579,7 +584,7 @@ func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[strin
 	v.MatchedTransitions = matchedTrans
 
 	if !preOK && m.mode == Enforce {
-		return finish(Blocked, "pre-condition failed; request not forwarded"), nil
+		return finish(Blocked, "pre-condition failed; request not forwarded"), nil, nil
 	}
 
 	// Pre-state top-up: pre-context paths of active consequents are
@@ -608,11 +613,16 @@ func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[strin
 		v.DegradedPre = f.degraded
 	}
 
+	// A deferred post check reads the cloud after its response returns; a
+	// write forwarded underneath it would interfere. Mutations wait here
+	// for the pending deferred checks — reads pass straight through — so
+	// async verdicts match the synchronous ordering (see fenceWrites).
+	m.fenceWrites(r.Method)
 	fwdStart := time.Now()
 	resp, err := m.forward.Forward(r, &cr.route, params)
 	trace[obs.StageForward] = time.Since(fwdStart)
 	if err != nil {
-		return finish(Error, fmt.Sprintf("forward to cloud: %v", err)), nil
+		return finish(Error, fmt.Sprintf("forward to cloud: %v", err)), nil, nil
 	}
 	v.Forwarded = true
 	v.BackendStatus = resp.StatusCode
@@ -626,24 +636,120 @@ func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[strin
 		// Observe mode with a forbidden request: the cloud must reject it.
 		if resp.Succeeded() {
 			return finish(ViolationForbiddenAccepted, fmt.Sprintf(
-				"contract forbids %s but cloud answered %d", c.Trigger, resp.StatusCode)), resp
+				"contract forbids %s but cloud answered %d", c.Trigger, resp.StatusCode)), resp, nil
 		}
-		return finish(Rejected, ""), resp
+		return finish(Rejected, ""), resp, nil
 	}
 
 	if !resp.Succeeded() {
 		return finish(ViolationAllowedRejected, fmt.Sprintf(
-			"contract permits %s but cloud answered %d", c.Trigger, resp.StatusCode)), resp
+			"contract permits %s but cloud answered %d", c.Trigger, resp.StatusCode)), resp, nil
 	}
 
 	if m.level == CheckPreOnly {
 		v.PostOK = true
-		return finish(OK, ""), resp
+		return finish(OK, ""), resp, nil
 	}
 
-	// Post phase. The effect frame is the union of what the active
-	// transitions may change; post-state reads outside it reuse the
-	// pre-state snapshot (the forwarded call cannot have moved them).
+	// The post phase runs over a capture of everything the pre phase
+	// learned: the demand fetcher with its accounting, the pre-state env,
+	// the per-case antecedent values and the accumulated timings.
+	// Synchronous mode consumes the capture right here, on the response
+	// path, reusing the pooled frame; PostAsync hands it to the worker
+	// pool and returns the response immediately.
+	cap := &postCapture{
+		m:          m,
+		cr:         cr,
+		reqCtx:     reqCtx,
+		v:          v,
+		f:          f,
+		pre:        pre,
+		anteVals:   anteVals,
+		resp:       resp,
+		start:      start,
+		preEvalDur: preEvalDur,
+	}
+	if m.post == PostAsync {
+		// The pooled frame dies with this call (deferred Release): stop
+		// mirroring into it before the capture escapes. The worker
+		// re-materializes a frame from the env — BeginPost copies
+		// nothing, so a rebuilt frame and a turned-around one are
+		// indistinguishable. The response-path trace keeps the pre-phase
+		// spans; the worker fills in the post spans on its own copy.
+		pre.slotSet = nil
+		trace[obs.StagePreSnapshot] = f.preDur
+		trace[obs.StagePreEval] = preEvalDur
+		// Pending from this moment — before the response is written — so
+		// the write fence and DrainPost account for the capture even while
+		// ServeHTTP is still carrying it to the queue.
+		m.asyncPost.pending.Add(1)
+		return v, resp, cap
+	}
+	return m.postVerify(cap, trace, fr), resp, nil
+}
+
+// postCapture is the deferred-verdict record of one forwarded request:
+// everything the post phase needs, captured the moment the forward
+// completed. The verdict inside carries the final pre-phase fields
+// (coverage, antecedents, fetch accounting); postVerify finishes it.
+type postCapture struct {
+	m          *Monitor
+	cr         *compiledRoute
+	reqCtx     *RequestContext
+	v          Verdict
+	f          *lazyFetcher
+	pre        *lazyEnv
+	anteVals   []ocl.Value
+	resp       *BackendResponse
+	start      time.Time
+	preEvalDur time.Duration
+	// trace is the request's pipeline trace as of response return. The
+	// async worker owns this copy and adds the post-phase spans; the
+	// response path's own trace array is dead once the handler returns.
+	trace obs.Trace
+	// returned is when the response went back to the client (PostAsync);
+	// detection lag is measured from it.
+	returned time.Time
+}
+
+// postVerify is the post phase shared verbatim by the synchronous check
+// and the async workers. The effect frame is the union of what the active
+// transitions may change; post-state reads outside it reuse the pre-state
+// snapshot (the forwarded call cannot have moved them). fr is the pre
+// phase's pooled frame on the synchronous path; async workers pass nil
+// and a fresh frame is rebuilt from the captured env — BeginPost copies
+// no state, so the rebuilt frame evaluates identically.
+func (m *Monitor) postVerify(cap *postCapture, trace *obs.Trace, fr *contract.Frame) Verdict {
+	c := cap.cr.contract
+	plan := cap.cr.plan
+	reqCtx := cap.reqCtx
+	f := cap.f
+	pre := cap.pre
+	anteVals := cap.anteVals
+	v := &cap.v
+	facts := plan.Facts
+	useFacts := !m.noFacts && facts != nil
+	comp := plan.Compiled
+	useCompiled := m.eval == EvalCompiled && comp != nil
+	if useCompiled && fr == nil {
+		fr = comp.NewFrame()
+		defer comp.Release(fr)
+	}
+	var postEvalDur time.Duration
+	finish := func(outcome Outcome, detail string) Verdict {
+		v.Outcome = outcome
+		v.Detail = detail
+		v.Elapsed = time.Since(cap.start)
+		v.FetchedPaths = f.fetched
+		if outcome == ViolationPostcondition {
+			v.FailingClause = c.Post.String()
+		}
+		trace[obs.StagePreSnapshot] = f.preDur
+		trace[obs.StagePreEval] = cap.preEvalDur
+		trace[obs.StagePostSnapshot] = f.postDur
+		trace[obs.StagePostEval] = postEvalDur
+		return *v
+	}
 	reqCtx.Phase = PhasePost
 	postStart := time.Now()
 	var frame map[string]bool
@@ -717,7 +823,7 @@ func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[strin
 			// connective, which rejects non-boolean kinds.
 			postEvalDur = time.Since(postStart) - f.postDur
 			return finish(Error, fmt.Sprintf("post-condition evaluation: %v",
-				&ocl.EvalError{Expr: c.Post, Message: "boolean operator applied to " + ante.Kind.String()})), resp
+				&ocl.EvalError{Expr: c.Post, Message: "boolean operator applied to " + ante.Kind.String()}))
 		}
 		var consVal ocl.Value
 		var err error
@@ -741,17 +847,17 @@ func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[strin
 			if errors.As(err, &fe) {
 				if m.failPolicy == FailOpen || m.failPolicy == Degrade {
 					return finish(Unverified, fmt.Sprintf(
-						"post-state snapshot failed (%s): %v", m.failPolicy, fe.err)), resp
+						"post-state snapshot failed (%s): %v", m.failPolicy, fe.err))
 				}
-				return finish(Error, fmt.Sprintf("post-state snapshot: %v", fe.err)), resp
+				return finish(Error, fmt.Sprintf("post-state snapshot: %v", fe.err))
 			}
-			return finish(Error, fmt.Sprintf("post-condition evaluation: %v", err)), resp
+			return finish(Error, fmt.Sprintf("post-condition evaluation: %v", err))
 		}
 		consBool, consTrue := boolValue(consVal)
 		if !consBool && consVal.Kind != ocl.KindUndefined {
 			postEvalDur = time.Since(postStart) - f.postDur
 			return finish(Error, fmt.Sprintf("post-condition evaluation: %v",
-				&ocl.EvalError{Expr: c.Post, Message: "boolean operator applied to " + consVal.Kind.String()})), resp
+				&ocl.EvalError{Expr: c.Post, Message: "boolean operator applied to " + consVal.Kind.String()}))
 		}
 		// Kleene implication given the antecedent is true or undefined:
 		//   true  => X  is X;  undef => X  is true only when X is true.
@@ -776,7 +882,7 @@ func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[strin
 	v.PostOK = postOK
 	if !postOK {
 		return finish(ViolationPostcondition, fmt.Sprintf(
-			"post-condition of %s failed: %s", c.Trigger, c.Post)), resp
+			"post-condition of %s failed: %s", c.Trigger, c.Post))
 	}
-	return finish(OK, ""), resp
+	return finish(OK, "")
 }

@@ -274,8 +274,25 @@ type Verdict struct {
 	// decided without full evaluation: statically valued disjuncts,
 	// witness-based sibling skips, statically vacuous post implications.
 	FactsSkipped int
-	// Elapsed is the total monitoring duration.
+	// Elapsed is the total monitoring duration. For late verdicts
+	// (PostAsync) it spans from request arrival to the deferred
+	// post-evaluation's completion — queue wait included.
 	Elapsed time.Duration
+	// Late marks a verdict whose post phase ran asynchronously, after the
+	// response had already returned to the client (PostAsync).
+	Late bool
+	// Shed marks an Unverified verdict recorded because the async post
+	// queue was saturated under the shed backpressure policy: the
+	// response stood, the post phase was abandoned, and this verdict is
+	// the accounted (never silent) record of that.
+	Shed bool
+	// Returned is when the response was handed back to the client (late
+	// verdicts only; zero for synchronous ones).
+	Returned time.Time
+	// DetectionLag is verdict time minus response-return time (late
+	// verdicts only) — by construction non-negative, the regression
+	// tests pin it.
+	DetectionLag time.Duration
 	// Trace holds the per-stage pipeline timings (route match, snapshots,
 	// evaluations, forward). Stages the request never reached are zero.
 	Trace obs.Trace
@@ -374,6 +391,19 @@ type Config struct {
 	// entries invalidated by a forwarded write are never served
 	// regardless of age. Default 10 × PreStateCacheTTL.
 	DegradeTTL time.Duration
+	// Post selects when post-conditions are verified (defaults to
+	// PostSync). PostAsync returns the cloud response as soon as the
+	// forward completes and verifies the effect on a bounded worker
+	// queue, emitting late verdicts with detection-lag accounting.
+	// Requires a demand-driven engine (EvalCompiled or EvalLazy).
+	Post PostMode
+	// PostQueueCap bounds the async post queue (default 1024).
+	PostQueueCap int
+	// PostWorkers sizes the async post worker pool (default 4).
+	PostWorkers int
+	// PostBackpressure decides what a saturated queue does to the
+	// response path (defaults to BackpressureBlock).
+	PostBackpressure BackpressurePolicy
 }
 
 // Monitor is the cloud monitor. Safe for concurrent use.
@@ -396,6 +426,11 @@ type Monitor struct {
 	audit       *obs.AuditLog
 	// flights coalesces identical concurrent pre-state GETs (lazy engine).
 	flights *flightGroup
+	// post/postBackpressure/asyncPost form the deferred post-verification
+	// pipeline (asyncpost.go); asyncPost is nil under PostSync.
+	post             PostMode
+	postBackpressure BackpressurePolicy
+	asyncPost        *asyncPost
 
 	// The verdict log is sharded to keep the record() critical section
 	// off the proxy's critical path under concurrent load; verdicts
@@ -488,6 +523,20 @@ func New(cfg Config) (*Monitor, error) {
 	if policy == Degrade && cfg.PreStateCacheTTL <= 0 {
 		return nil, fmt.Errorf("monitor: fail policy %s requires PreStateCacheTTL > 0", policy)
 	}
+	post := cfg.Post
+	if post == 0 {
+		post = PostSync
+	}
+	backpressure := cfg.PostBackpressure
+	if backpressure == 0 {
+		backpressure = BackpressureBlock
+	}
+	if post == PostAsync && eval == EvalEager {
+		return nil, fmt.Errorf("monitor: post mode %s requires the compiled or lazy engine", post)
+	}
+	if post == PostAsync && level == CheckPreOnly {
+		return nil, fmt.Errorf("monitor: post mode %s is meaningless at check level %s", post, level)
+	}
 	maxLog := cfg.MaxLog
 	if maxLog <= 0 {
 		maxLog = 1024
@@ -510,6 +559,20 @@ func New(cfg Config) (*Monitor, error) {
 		tracer:       obs.NewTracer(),
 		flights:      newFlightGroup(),
 		pathsFetched: obs.NewCountHistogram(),
+
+		post:             post,
+		postBackpressure: backpressure,
+	}
+	if post == PostAsync {
+		queueCap := cfg.PostQueueCap
+		if queueCap <= 0 {
+			queueCap = 1024
+		}
+		workers := cfg.PostWorkers
+		if workers <= 0 {
+			workers = 4
+		}
+		m.asyncPost = newAsyncPost(m, queueCap, workers)
 	}
 	if m.shardMax < 1 {
 		m.shardMax = 1
@@ -564,6 +627,9 @@ func (m *Monitor) FailPolicy() FailPolicy { return m.failPolicy }
 // Eval returns the monitor's evaluation engine.
 func (m *Monitor) Eval() EvalMode { return m.eval }
 
+// Post returns the monitor's post-verification mode.
+func (m *Monitor) Post() PostMode { return m.post }
+
 // ServeHTTP implements the proxy entry point.
 func (m *Monitor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// The trace lives on this frame: stage spans are written into the
@@ -578,7 +644,22 @@ func (m *Monitor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			"cloud monitor has no contract route for %s %s", r.Method, r.URL.Path))
 		return
 	}
-	verdict, resp := m.check(r, cr, params, &trace)
+	verdict, resp, cap := m.check(r, cr, params, &trace)
+	if cap != nil {
+		// PostAsync: the pre phase passed and the forward succeeded; the
+		// post phase is deferred. The capture owns its trace copy from
+		// here; the enqueue runs before the response is written so the
+		// block policy's backpressure reaches the client and queue order
+		// matches response order. Exactly one verdict is recorded per
+		// request — by the worker, or as a shed Unverified here.
+		cap.trace = trace
+		cap.returned = time.Now()
+		if !m.asyncPost.enqueue(cap, m.postBackpressure) {
+			m.shedVerdict(cap)
+		}
+		writeBackend(w, resp)
+		return
+	}
 	verdict.Trace = trace
 	m.record(verdict)
 	m.respond(w, verdict, resp)
@@ -600,10 +681,12 @@ func (m *Monitor) match(r *http.Request) (*compiledRoute, map[string]string, boo
 
 // check runs the monitoring workflow for a matched request and returns the
 // verdict plus the backend response (nil when not forwarded), dispatching
-// to the configured evaluation engine.
-func (m *Monitor) check(r *http.Request, cr *compiledRoute, params map[string]string, trace *obs.Trace) (Verdict, *BackendResponse) {
+// to the configured evaluation engine. A non-nil capture (PostAsync only)
+// means the verdict is deferred: the caller must enqueue or shed it.
+func (m *Monitor) check(r *http.Request, cr *compiledRoute, params map[string]string, trace *obs.Trace) (Verdict, *BackendResponse, *postCapture) {
 	if m.eval == EvalEager {
-		return m.checkEager(r, cr, params, trace)
+		v, resp := m.checkEager(r, cr, params, trace)
+		return v, resp, nil
 	}
 	return m.checkLazy(r, cr, params, trace)
 }
@@ -876,9 +959,12 @@ func (m *Monitor) record(v Verdict) {
 	}
 }
 
-// auditRecord converts a verdict into the durable audit shape.
+// auditRecord converts a verdict into the durable audit shape. Late
+// verdicts carry both timestamps — when the response returned and how far
+// behind it the verdict landed — so lag is reconstructible from the trail
+// alone and auditctl summaries stay monotonic.
 func auditRecord(v *Verdict) *obs.AuditRecord {
-	return &obs.AuditRecord{
+	rec := &obs.AuditRecord{
 		Trigger:        v.Trigger.String(),
 		Method:         string(v.Trigger.Method),
 		Resource:       v.Trigger.Resource,
@@ -893,6 +979,13 @@ func auditRecord(v *Verdict) *obs.AuditRecord {
 		Post:           snapshotDoc(v.PostSnapshot),
 		StageNanos:     v.Trace.Map(),
 	}
+	if v.Late {
+		rec.Late = true
+		rec.Shed = v.Shed
+		rec.ReturnUnixNano = v.Returned.UnixNano()
+		rec.LagNanos = int64(v.DetectionLag)
+	}
+	return rec
 }
 
 // Log returns a copy of the verdict log (oldest first). With the log
@@ -1024,6 +1117,26 @@ func (m *Monitor) RegisterMetrics(reg *obs.Registry) {
 		w.Counter("cloudmon_facts_mismatch_total",
 			"FactsDebug re-checks that disagreed with a fact-assigned clause value.",
 			float64(m.factsMismatch.Value()))
+		if ap := m.asyncPost; ap != nil {
+			w.Histogram("cloudmon_post_lag_seconds",
+				"Detection lag of async post verdicts (verdict time minus response-return time).",
+				ap.lag)
+			w.Gauge("cloudmon_post_queue_depth",
+				"Captures enqueued for async post verification and not yet recorded.",
+				float64(ap.pending.Load()))
+			w.Counter("cloudmon_post_enqueued_total",
+				"Captures accepted onto the async post queue.",
+				float64(ap.enqueued.Value()))
+			w.Counter("cloudmon_post_shed_total",
+				"Async post captures shed by a saturated queue (each is an audited Unverified verdict).",
+				float64(ap.shed.Value()))
+			w.Counter("cloudmon_post_late_violations_total",
+				"Violations detected after the response returned (async post).",
+				float64(ap.lateViol.Value()))
+			w.Counter("cloudmon_post_fence_waits_total",
+				"Mutating forwards that waited on the write fence for pending deferred checks.",
+				float64(ap.fenceWaits.Value()))
+		}
 		if m.cache != nil {
 			cs := m.cache.stats()
 			w.Counter("cloudmon_cache_hits_total", "Pre-state cache hits.", float64(cs.Hits))
@@ -1061,6 +1174,12 @@ func (m *Monitor) ResetLog() {
 	m.coalesced.Reset()
 	m.factsPruned.Reset()
 	m.factsMismatch.Reset()
+	if ap := m.asyncPost; ap != nil {
+		ap.enqueued.Reset()
+		ap.shed.Reset()
+		ap.lateViol.Reset()
+		ap.lag.Reset()
+	}
 }
 
 // FetchStats are the monitor-side fetch-economy counters: how many state

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"cloudmon/internal/contract"
@@ -19,18 +20,25 @@ import (
 type fakeProvider struct {
 	pre, post ocl.MapEnv
 	err       error
+	// mu guards the call counters: with PostAsync a worker's post-phase
+	// read overlaps the next request's pre-phase read.
+	mu        sync.Mutex
 	calls     int
 	postCalls int
 }
 
 func (f *fakeProvider) Snapshot(ctx *RequestContext, paths []string) (ocl.MapEnv, error) {
+	f.mu.Lock()
 	f.calls++
+	if ctx.Phase == PhasePost {
+		f.postCalls++
+	}
+	f.mu.Unlock()
 	if f.err != nil {
 		return nil, f.err
 	}
 	src := f.pre
 	if ctx.Phase == PhasePost {
-		f.postCalls++
 		src = f.post
 	}
 	out := make(ocl.MapEnv, len(paths))

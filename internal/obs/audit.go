@@ -49,6 +49,18 @@ type AuditRecord struct {
 	Post map[string]string `json:"post,omitempty"`
 	// StageNanos are the per-stage trace timings.
 	StageNanos map[string]int64 `json:"stage_nanos,omitempty"`
+	// Late marks a verdict whose post phase ran after the response
+	// returned (async post-verification); Shed marks a late verdict whose
+	// post phase was abandoned by a saturated queue under the shed
+	// backpressure policy.
+	Late bool `json:"late,omitempty"`
+	Shed bool `json:"shed,omitempty"`
+	// ReturnUnixNano is when the response returned to the client (late
+	// records only); LagNanos is the detection lag — record time minus
+	// return time, non-negative. Both timestamps travel with the record
+	// so lag is reconstructible from the trail alone.
+	ReturnUnixNano int64 `json:"return_unix_nano,omitempty"`
+	LagNanos       int64 `json:"lag_nanos,omitempty"`
 }
 
 // TimeStamp returns the record time as a time.Time.
