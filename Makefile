@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet lint test race cover bench planbench factbench compbench asyncbench fuzz chaos obs examples experiments artifacts
+.PHONY: all build vet lint test race cover bench planbench factbench compbench asyncbench fuzz chaos obs evidence examples experiments artifacts
 
 all: build vet lint test
 
@@ -80,6 +80,29 @@ obs:
 		-audit-dir /tmp/cloudmon-obs-audit -verify
 	go run ./cmd/auditctl verify -dir /tmp/cloudmon-obs-audit
 	go run ./cmd/auditctl summarize -dir /tmp/cloudmon-obs-audit
+
+# Evidence soundness: a chaotic loadmon run is cut into a signed
+# evidence pack; the pack must verify and every packed verdict must
+# replay to the same outcome (exit 5 on divergence). Then one byte of a
+# packed segment is flipped and verification must fail (exit 4) with a
+# pointed manifest-mismatch error.
+evidence:
+	rm -rf /tmp/cloudmon-evidence
+	mkdir -p /tmp/cloudmon-evidence
+	go run ./cmd/loadmon -scenario cinder-mixed -requests 600 -clients 16 \
+		-faults internal/faults/testdata/chaos.json -fail-policy open \
+		-audit-dir /tmp/cloudmon-evidence/trail -verify
+	go run ./cmd/auditctl keygen -out /tmp/cloudmon-evidence/sign.key
+	go run ./cmd/auditctl pack -dir /tmp/cloudmon-evidence/trail \
+		-out /tmp/cloudmon-evidence/run.pack -key /tmp/cloudmon-evidence/sign.key \
+		-scenario cinder-mixed
+	go run ./cmd/auditctl verify -pack /tmp/cloudmon-evidence/run.pack \
+		-pub /tmp/cloudmon-evidence/sign.key.pub
+	go run ./cmd/auditctl replay -pack /tmp/cloudmon-evidence/run.pack
+	printf '\0' | dd of=$$(ls /tmp/cloudmon-evidence/run.pack/segments/audit-*.jsonl | head -1) \
+		bs=1 seek=120 count=1 conv=notrunc
+	! go run ./cmd/auditctl verify -pack /tmp/cloudmon-evidence/run.pack
+	@echo "evidence: pack verified, replay clean, tamper detected"
 
 examples:
 	go run ./examples/quickstart

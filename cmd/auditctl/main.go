@@ -1,20 +1,35 @@
-// Command auditctl queries the cloud monitor's audit trail — the
-// append-only JSONL chain an obs.AuditLog writes — without the monitor
-// process:
+// Command auditctl queries and packages the cloud monitor's audit trail
+// — the append-only JSONL chain an obs.AuditLog writes — without the
+// monitor process:
 //
 //	auditctl list -dir audit/ -secreq 1.3 -outcome rejected
 //	auditctl summarize -dir audit/
 //	auditctl verify -dir audit/
+//	auditctl keygen -out signing.key
+//	auditctl pack -dir audit/ -out run.pack -key signing.key
+//	auditctl verify -pack run.pack
+//	auditctl replay -pack run.pack
 //
-// list filters records (by SecReq, outcome, resource, time window) and
-// prints one line per record, or full JSON with -json. summarize
-// tallies the trail per outcome, SecReq and trigger, and condenses the
-// recorded stage timings. verify checks the chain: contiguous segment
-// indices, contiguous sequence numbers, no torn lines — exit status 1
-// when the trail has a hole.
+// list and summarize stream the trail segment by segment — one line in
+// memory at a time — so multi-gigabyte trails cost nothing to inspect.
+// verify checks either a raw trail (chain contiguity, torn lines) or an
+// evidence pack (SHA-256 manifest, Ed25519 signature, then the packed
+// chain). replay re-evaluates every packed verdict against the packed
+// snapshots and diffs outcome and failing clause against the record —
+// independent reproduction of the monitor's decisions.
+//
+// Exit codes are stable for scripting:
+//
+//	0  clean
+//	1  trail has crash-torn final lines only (the expected crash shape)
+//	2  usage or infrastructure error
+//	3  trail corruption (mid-file damage, chain gaps, unknown schema)
+//	4  pack envelope verification failed (manifest or signature)
+//	5  replay divergence (a verdict does not reproduce)
 package main
 
 import (
+	"crypto/ed25519"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,7 +39,11 @@ import (
 	"strings"
 	"time"
 
+	"cloudmon/internal/contract"
+	"cloudmon/internal/evidence"
+	"cloudmon/internal/monitor"
 	"cloudmon/internal/obs"
+	"cloudmon/internal/paper"
 )
 
 func main() {
@@ -37,11 +56,16 @@ func main() {
 }
 
 func usage(out io.Writer) {
-	fmt.Fprintln(out, `usage: auditctl <list|summarize|verify> -dir <audit-dir> [flags]
+	fmt.Fprintln(out, `usage: auditctl <list|summarize|verify|keygen|pack|replay> [flags]
 
   list       print records, optionally filtered (-secreq -outcome -resource -since -until -json)
   summarize  tally the trail per outcome, SecReq and trigger
-  verify     check the chain (segments, sequence, torn lines); exit 1 on problems`)
+  verify     check a trail (-dir) or an evidence pack (-pack [-pub key.pub]);
+             exit 1 torn tail, 3 corruption, 4 bad manifest/signature
+  keygen     generate an Ed25519 signing key (-out key; writes key and key.pub)
+  pack       cut a signed evidence pack from a trail (-dir -out pack[.zip] -key key)
+  replay     re-evaluate packed verdicts against packed snapshots
+             (-pack [-model cinder|nova] [-json]); exit 5 on divergence`)
 }
 
 func run(args []string, out io.Writer) (int, error) {
@@ -57,6 +81,12 @@ func run(args []string, out io.Writer) (int, error) {
 		return runSummarize(rest, out)
 	case "verify":
 		return runVerify(rest, out)
+	case "keygen":
+		return runKeygen(rest, out)
+	case "pack":
+		return runPack(rest, out)
+	case "replay":
+		return runReplay(rest, out)
 	case "help", "-h", "-help", "--help":
 		usage(out)
 		return 0, nil
@@ -150,20 +180,17 @@ func runList(args []string, out io.Writer) (int, error) {
 	if f.until, err = parseWhen(*until); err != nil {
 		return 2, err
 	}
-	res, err := obs.ReadAuditDir(*dir)
-	if err != nil {
-		return 2, err
-	}
+	// The trail is streamed segment by segment: one record in memory at
+	// a time, however large the trail.
 	enc := json.NewEncoder(out)
 	shown := 0
-	for i := range res.Records {
-		rec := &res.Records[i]
+	scan, err := obs.ScanAuditDir(*dir, func(rec *obs.AuditRecord) error {
 		if !f.match(rec) {
-			continue
+			return nil
 		}
 		if *jsonOut {
 			if err := enc.Encode(rec); err != nil {
-				return 2, err
+				return err
 			}
 		} else {
 			secs := strings.Join(rec.SecReqs, ",")
@@ -176,13 +203,24 @@ func runList(args []string, out io.Writer) (int, error) {
 		}
 		shown++
 		if *limit > 0 && shown >= *limit {
-			break
+			return obs.ErrStopScan
 		}
+		return nil
+	})
+	if err != nil {
+		return 2, err
 	}
 	if !*jsonOut {
-		fmt.Fprintf(out, "%d of %d records matched", shown, len(res.Records))
-		if len(res.Torn) > 0 {
-			fmt.Fprintf(out, " (%d torn lines skipped)", len(res.Torn))
+		if *limit > 0 && shown >= *limit {
+			fmt.Fprintf(out, "%d records shown (limit %d)", shown, *limit)
+		} else {
+			fmt.Fprintf(out, "%d of %d records matched", shown, scan.Records)
+		}
+		if len(scan.Torn) > 0 {
+			fmt.Fprintf(out, " (%d torn lines skipped)", len(scan.Torn))
+		}
+		if scan.Legacy > 0 {
+			fmt.Fprintf(out, " (%d legacy unversioned records)", scan.Legacy)
 		}
 		fmt.Fprintln(out)
 	}
@@ -194,6 +232,7 @@ type summary struct {
 	Records   int                         `json:"records"`
 	Segments  int                         `json:"segments"`
 	Torn      int                         `json:"torn"`
+	Legacy    int                         `json:"legacy_records,omitempty"`
 	First     string                      `json:"first,omitempty"`
 	Last      string                      `json:"last,omitempty"`
 	Outcomes  map[string]int              `json:"outcomes"`
@@ -213,24 +252,17 @@ func runSummarize(args []string, out io.Writer) (int, error) {
 	if *dir == "" {
 		return 2, fmt.Errorf("summarize: -dir is required")
 	}
-	res, err := obs.ReadAuditDir(*dir)
-	if err != nil {
-		return 2, err
-	}
 	sum := summary{
-		Records:   len(res.Records),
-		Segments:  len(res.Segments),
-		Torn:      len(res.Torn),
 		Outcomes:  map[string]int{},
 		SecReqs:   map[string]int{},
 		Triggers:  map[string]int{},
 		NoSecReqs: map[string]int{},
 	}
-	// Re-aggregate the recorded stage timings into histograms so the
-	// summary carries percentiles, not just counts.
+	// Aggregation is streaming: tallies and histograms update record by
+	// record, nothing is materialized.
 	stageHists := map[string]*obs.Histogram{}
-	for i := range res.Records {
-		rec := &res.Records[i]
+	var firstRec, lastRec time.Time
+	scan, err := obs.ScanAuditDir(*dir, func(rec *obs.AuditRecord) error {
 		sum.Outcomes[rec.Outcome]++
 		sum.Triggers[rec.Trigger]++
 		for _, s := range rec.SecReqs {
@@ -247,16 +279,28 @@ func runSummarize(args []string, out io.Writer) (int, error) {
 			}
 			h.Observe(time.Duration(ns))
 		}
+		if firstRec.IsZero() {
+			firstRec = rec.TimeStamp()
+		}
+		lastRec = rec.TimeStamp()
+		return nil
+	})
+	if err != nil {
+		return 2, err
 	}
+	sum.Records = scan.Records
+	sum.Segments = len(scan.Segments)
+	sum.Torn = len(scan.Torn)
+	sum.Legacy = scan.Legacy
 	if len(stageHists) > 0 {
 		sum.Stages = map[string]obs.StageSummary{}
 		for stage, h := range stageHists {
 			sum.Stages[stage] = obs.SummarizeHistogram(h.Snapshot())
 		}
 	}
-	if len(res.Records) > 0 {
-		sum.First = res.Records[0].TimeStamp().UTC().Format(time.RFC3339)
-		sum.Last = res.Records[len(res.Records)-1].TimeStamp().UTC().Format(time.RFC3339)
+	if !firstRec.IsZero() {
+		sum.First = firstRec.UTC().Format(time.RFC3339)
+		sum.Last = lastRec.UTC().Format(time.RFC3339)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(out)
@@ -267,6 +311,9 @@ func runSummarize(args []string, out io.Writer) (int, error) {
 		return 0, nil
 	}
 	fmt.Fprintf(out, "%d records in %d segments (%d torn lines)\n", sum.Records, sum.Segments, sum.Torn)
+	if sum.Legacy > 0 {
+		fmt.Fprintf(out, "  %d legacy unversioned records\n", sum.Legacy)
+	}
 	if sum.First != "" {
 		fmt.Fprintf(out, "  window %s .. %s\n", sum.First, sum.Last)
 	}
@@ -305,15 +352,36 @@ func printTally(out io.Writer, title string, m map[string]int) {
 	fmt.Fprintln(out)
 }
 
+// chainExit maps a chain verification to the documented exit code:
+// torn-tail-only damage (the expected crash shape) is distinct from
+// mid-file corruption or sequence gaps.
+func chainExit(res *obs.VerifyResult) int {
+	switch {
+	case res.OK():
+		return 0
+	case res.TornTailOnly():
+		return 1
+	default:
+		return 3
+	}
+}
+
 func runVerify(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("auditctl verify", flag.ContinueOnError)
-	dir := fs.String("dir", "", "audit directory (required)")
+	dir := fs.String("dir", "", "audit directory")
+	pack := fs.String("pack", "", "evidence pack (directory or .zip) instead of -dir")
+	pubFile := fs.String("pub", "", "verify the pack signature against this public key file (default: the pack's embedded key)")
 	jsonOut := fs.Bool("json", false, "emit the verification result as JSON")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
-	if *dir == "" {
-		return 2, fmt.Errorf("verify: -dir is required")
+	switch {
+	case *dir != "" && *pack != "":
+		return 2, fmt.Errorf("verify: -dir and -pack are mutually exclusive")
+	case *dir == "" && *pack == "":
+		return 2, fmt.Errorf("verify: one of -dir or -pack is required")
+	case *pack != "":
+		return verifyPack(*pack, *pubFile, *jsonOut, out)
 	}
 	res, err := obs.VerifyAuditDir(*dir)
 	if err != nil {
@@ -327,6 +395,9 @@ func runVerify(args []string, out io.Writer) (int, error) {
 		}
 	} else {
 		fmt.Fprintf(out, "%d records in %d segments\n", res.Records, res.Segments)
+		if res.Legacy > 0 {
+			fmt.Fprintf(out, "  %d legacy unversioned records\n", res.Legacy)
+		}
 		for _, p := range res.Problems {
 			fmt.Fprintf(out, "  problem: %s\n", p)
 		}
@@ -334,8 +405,210 @@ func runVerify(args []string, out io.Writer) (int, error) {
 			fmt.Fprintln(out, "chain OK")
 		}
 	}
-	if !res.OK() {
-		return 1, nil
+	return chainExit(res), nil
+}
+
+func verifyPack(packPath, pubFile string, jsonOut bool, out io.Writer) (int, error) {
+	var pub ed25519.PublicKey
+	if pubFile != "" {
+		var err error
+		if pub, err = evidence.LoadPublicKey(pubFile); err != nil {
+			return 2, err
+		}
+	}
+	p, err := evidence.OpenPack(packPath)
+	if err != nil {
+		return 2, err
+	}
+	defer p.Close()
+	rep, err := p.Verify(pub)
+	if err != nil {
+		return 2, err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return 2, err
+		}
+	} else {
+		fmt.Fprintf(out, "pack %s (%d entries, key %s)\n", rep.PackID, rep.Entries, rep.KeyID)
+		if rep.SignedByEmbedded {
+			fmt.Fprintln(out, "  signature checked against the pack's embedded key (integrity, not origin)")
+		}
+		for _, prob := range rep.Problems {
+			fmt.Fprintf(out, "  problem: %s\n", prob)
+		}
+		if rep.Chain != nil {
+			for _, prob := range rep.Chain.Problems {
+				fmt.Fprintf(out, "  chain problem: %s\n", prob)
+			}
+		}
+		if rep.OK() {
+			fmt.Fprintln(out, "pack OK: manifest, signature and chain verified")
+		}
+	}
+	if !rep.PackOK() {
+		return 4, nil
+	}
+	if rep.Chain == nil {
+		return 4, nil
+	}
+	return chainExit(rep.Chain), nil
+}
+
+func runKeygen(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("auditctl keygen", flag.ContinueOnError)
+	outFile := fs.String("out", "", "private key file to write (required; public half goes to <out>.pub)")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *outFile == "" {
+		return 2, fmt.Errorf("keygen: -out is required")
+	}
+	if _, err := os.Stat(*outFile); err == nil {
+		return 2, fmt.Errorf("keygen: %s already exists", *outFile)
+	}
+	pubKey, priv, err := evidence.GenerateKey(nil)
+	if err != nil {
+		return 2, err
+	}
+	if err := evidence.WriteKeyFiles(*outFile, priv); err != nil {
+		return 2, err
+	}
+	fmt.Fprintf(out, "wrote %s and %s.pub (key %s)\n", *outFile, *outFile, evidence.KeyID(pubKey))
+	return 0, nil
+}
+
+func runPack(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("auditctl pack", flag.ContinueOnError)
+	dir := fs.String("dir", "", "audit directory (required)")
+	outPath := fs.String("out", "", "pack to write: a directory, or a .zip path (required)")
+	keyFile := fs.String("key", "", "Ed25519 private key file (required; see auditctl keygen)")
+	scenario := fs.String("scenario", "", "scenario label for meta.json")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *dir == "" || *outPath == "" || *keyFile == "" {
+		return 2, fmt.Errorf("pack: -dir, -out and -key are required")
+	}
+	priv, err := evidence.LoadPrivateKey(*keyFile)
+	if err != nil {
+		return 2, err
+	}
+	res, err := evidence.BuildPack(*dir, *outPath, evidence.PackOptions{
+		Key:      priv,
+		Scenario: *scenario,
+		Tool:     "auditctl",
+	})
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprintf(out, "packed %d records in %d segments -> %s\n", res.Records, res.Segments, res.Path)
+	fmt.Fprintf(out, "  pack %s signed by %s\n", res.PackID, res.KeyID)
+	if res.Torn > 0 {
+		fmt.Fprintf(out, "  %d torn lines packed as-is (the pack is evidence, not a cleanup)\n", res.Torn)
+	}
+	return 0, nil
+}
+
+// replayContracts regenerates the contract set the trail was monitored
+// under. "auto" infers the model from the pack's scenario label.
+func replayContracts(model, scenario string) (*contract.Set, error) {
+	switch model {
+	case "", "auto":
+		if strings.HasPrefix(scenario, "nova") {
+			model = "nova"
+		} else {
+			model = "cinder"
+		}
+	}
+	switch model {
+	case "cinder":
+		return contract.Generate(paper.CinderModel())
+	case "nova":
+		return contract.Generate(paper.NovaModel())
+	}
+	return nil, fmt.Errorf("replay: unknown model %q (cinder|nova|auto)", model)
+}
+
+func runReplay(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("auditctl replay", flag.ContinueOnError)
+	pack := fs.String("pack", "", "evidence pack (directory or .zip)")
+	dir := fs.String("dir", "", "raw audit directory instead of -pack")
+	model := fs.String("model", "auto", "contract model the trail was monitored under (cinder|nova|auto)")
+	jsonOut := fs.Bool("json", false, "emit the replay summary as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	switch {
+	case *pack != "" && *dir != "":
+		return 2, fmt.Errorf("replay: -pack and -dir are mutually exclusive")
+	case *pack == "" && *dir == "":
+		return 2, fmt.Errorf("replay: one of -pack or -dir is required")
+	}
+	var (
+		recs     *obs.ReadResult
+		scenario string
+	)
+	if *pack != "" {
+		p, err := evidence.OpenPack(*pack)
+		if err != nil {
+			return 2, err
+		}
+		defer p.Close()
+		// Tampered evidence must not be replayed as if authentic: the
+		// envelope is verified (against the embedded key) first.
+		rep, err := p.Verify(nil)
+		if err != nil {
+			return 2, err
+		}
+		if !rep.PackOK() {
+			for _, prob := range rep.Problems {
+				fmt.Fprintf(out, "  problem: %s\n", prob)
+			}
+			return 4, nil
+		}
+		scenario = p.Meta.Scenario
+		if recs, err = p.Records(); err != nil {
+			return 2, err
+		}
+	} else {
+		var err error
+		if recs, err = obs.ReadAuditDir(*dir); err != nil {
+			return 2, err
+		}
+	}
+	set, err := replayContracts(*model, scenario)
+	if err != nil {
+		return 2, err
+	}
+	replayer, err := monitor.NewReplayer(set)
+	if err != nil {
+		return 2, err
+	}
+	sum := replayer.ReplayAll(recs.Records)
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			return 2, err
+		}
+	} else {
+		fmt.Fprintf(out, "replayed %d/%d records: %d matched, %d diverged, %d skipped\n",
+			sum.Replayed, sum.Total, sum.Matched, sum.Diverged, sum.Skipped)
+		for reason, n := range sum.SkipReasons {
+			fmt.Fprintf(out, "  skipped %d: %s\n", n, reason)
+		}
+		for _, f := range sum.Failures {
+			fmt.Fprintf(out, "  DIVERGED seq %d %s: %s\n", f.Seq, f.Trigger, f.Reason)
+		}
+		if sum.OK() {
+			fmt.Fprintln(out, "replay OK: every replayable verdict reproduced")
+		}
+	}
+	if !sum.OK() {
+		return 5, nil
 	}
 	return 0, nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -134,5 +135,149 @@ func TestBadUsage(t *testing.T) {
 	}
 	if code, err := run([]string{"list"}, &sb); code != 2 || err == nil {
 		t.Fatalf("list without -dir: code=%d err=%v", code, err)
+	}
+	if code, err := run([]string{"verify"}, &sb); code != 2 || err == nil {
+		t.Fatalf("verify without -dir/-pack: code=%d err=%v", code, err)
+	}
+	if code, err := run([]string{"pack", "-dir", "x"}, &sb); code != 2 || err == nil {
+		t.Fatalf("pack without -out/-key: code=%d err=%v", code, err)
+	}
+}
+
+func TestVerifyMidFileCorruptionExit3(t *testing.T) {
+	dir := writeTrail(t)
+	segs, err := obs.AuditSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(segs[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero a byte in the FIRST record: mid-file damage, not a crash tail.
+	data[5] = 0x00
+	if err := os.WriteFile(segs[0].Path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	code, err := run([]string{"verify", "-dir", dir}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 3 {
+		t.Fatalf("mid-file corruption: code=%d, want 3\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "corrupt mid-file record") {
+		t.Fatalf("verify output:\n%s", sb.String())
+	}
+}
+
+func TestListStreamsWithLimit(t *testing.T) {
+	dir := writeTrail(t)
+	var sb strings.Builder
+	code, err := run([]string{"list", "-dir", dir, "-limit", "2"}, &sb)
+	if err != nil || code != 0 {
+		t.Fatalf("list -limit: code=%d err=%v", code, err)
+	}
+	if !strings.Contains(sb.String(), "2 records shown (limit 2)") {
+		t.Fatalf("limit output:\n%s", sb.String())
+	}
+}
+
+// packTrail cuts a signed pack from a fresh trail via the CLI and
+// returns its path plus the key file.
+func packTrail(t *testing.T, zip bool) (pack, key string) {
+	t.Helper()
+	dir := writeTrail(t)
+	tmp := t.TempDir()
+	key = filepath.Join(tmp, "sign.key")
+	pack = filepath.Join(tmp, "run.pack")
+	if zip {
+		pack += ".zip"
+	}
+	var sb strings.Builder
+	if code, err := run([]string{"keygen", "-out", key}, &sb); err != nil || code != 0 {
+		t.Fatalf("keygen: code=%d err=%v", code, err)
+	}
+	if code, err := run([]string{"pack", "-dir", dir, "-out", pack, "-key", key, "-scenario", "test"}, &sb); err != nil || code != 0 {
+		t.Fatalf("pack: code=%d err=%v\n%s", code, err, sb.String())
+	}
+	return pack, key
+}
+
+func TestPackVerifyRoundTrip(t *testing.T) {
+	for _, zip := range []bool{false, true} {
+		pack, key := packTrail(t, zip)
+		var sb strings.Builder
+		code, err := run([]string{"verify", "-pack", pack, "-pub", key + ".pub"}, &sb)
+		if err != nil || code != 0 {
+			t.Fatalf("zip=%v verify -pack: code=%d err=%v\n%s", zip, code, err, sb.String())
+		}
+		if !strings.Contains(sb.String(), "pack OK") {
+			t.Fatalf("verify output:\n%s", sb.String())
+		}
+	}
+}
+
+func TestPackTamperExit4(t *testing.T) {
+	pack, _ := packTrail(t, false)
+	seg := filepath.Join(pack, "segments", "audit-000001.jsonl")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	code, err := run([]string{"verify", "-pack", pack}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 4 {
+		t.Fatalf("tampered pack: code=%d, want 4\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "manifest mismatch") {
+		t.Fatalf("verify output:\n%s", sb.String())
+	}
+	// replay must refuse the tampered pack with the same exit code.
+	sb.Reset()
+	code, err = run([]string{"replay", "-pack", pack}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 4 {
+		t.Fatalf("replay of tampered pack: code=%d, want 4\n%s", code, sb.String())
+	}
+}
+
+func TestReplayDigestMismatchExit5(t *testing.T) {
+	// The synthetic trail's records carry no contract digest and no
+	// snapshots: the DELETE and GET records resolve to cinder triggers
+	// but replay against empty state. Bind one to a bogus digest — the
+	// replayer must refuse to compare and exit 5.
+	dir := t.TempDir()
+	log, err := obs.OpenAuditLog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Append(&obs.AuditRecord{Trigger: "GET(volume)", Method: "GET", Resource: "volume",
+		Outcome: "error", Time: 1})
+	log.Append(&obs.AuditRecord{Trigger: "GET(volume)", Method: "GET", Resource: "volume",
+		Outcome: "blocked", ContractDigest: "sha256:bogus", Time: 2})
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	code, err := run([]string{"replay", "-dir", dir, "-model", "cinder"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 5 {
+		t.Fatalf("digest mismatch: code=%d, want 5\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "DIVERGED") {
+		t.Fatalf("replay output:\n%s", sb.String())
 	}
 }

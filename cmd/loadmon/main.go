@@ -25,15 +25,18 @@
 package main
 
 import (
+	"crypto/ed25519"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
+	"cloudmon/internal/evidence"
 	"cloudmon/internal/faults"
 	"cloudmon/internal/loadgen"
 	"cloudmon/internal/monitor"
@@ -78,6 +81,8 @@ func run(args []string, out io.Writer) error {
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "circuit-breaker open cooldown (0 = default)")
 	verify := fs.Bool("verify", false, "assert structural verdict invariants after the run (in-process only)")
 	auditDir := fs.String("audit-dir", "", "audit-trail directory for the in-process monitor (-verify defaults to a temp dir)")
+	packOut := fs.String("pack", "", "write a signed evidence pack of the run's audit trail here (dir or .zip; in-process only)")
+	packKey := fs.String("pack-key", "", "Ed25519 private key file for -pack (see auditctl keygen; empty = ephemeral run key)")
 	metricsAddr := fs.String("metrics-addr", "", "scrape this /metrics endpoint after the run (with -target; e.g. http://127.0.0.1:8002)")
 	target := fs.String("target", "", "drive an external monitor at this URL instead of deploying in process")
 	cloudURL := fs.String("cloud", "", "cloud URL for role authentication (required with -target)")
@@ -149,6 +154,9 @@ func run(args []string, out io.Writer) error {
 		if *verify {
 			return fmt.Errorf("-verify needs the in-process deployment (it reads monitor counters)")
 		}
+		if *packOut != "" {
+			return fmt.Errorf("-pack needs the in-process deployment (it reads the local audit trail)")
+		}
 		tgt, err = externalTarget(*target, *cloudURL, *project, *creds)
 		if err != nil {
 			return err
@@ -216,9 +224,9 @@ func run(args []string, out io.Writer) error {
 			opts.MaxLog = sc.Requests + 1024
 		}
 		opts.AuditDir = *auditDir
-		if opts.AuditDir == "" && *verify {
+		if opts.AuditDir == "" && (*verify || *packOut != "") {
 			// -verify cross-checks audit counts against verdict counters,
-			// so it always needs a trail.
+			// and -pack snapshots the trail — both always need one.
 			tmp, err := os.MkdirTemp("", "loadmon-audit-")
 			if err != nil {
 				return err
@@ -266,8 +274,116 @@ func run(args []string, out io.Writer) error {
 		if err := verifyAsync(sc, report, dep, depOpts, out); err != nil {
 			return err
 		}
+		if err := verifyPackReplay(dep, sc, out); err != nil {
+			return err
+		}
 		fmt.Fprintln(out, "verify: structural invariants hold (verdicts ≡ metrics ≡ audit ≡ fetch economy)")
 	}
+	if *packOut != "" {
+		if err := emitPack(dep, sc, *packOut, *packKey, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitPack cuts a signed evidence pack of the run's audit trail: the
+// verdicts, their snapshots and the contract-set digest, hashed,
+// signed and portable — what -pack hands to an external auditor.
+func emitPack(dep *loadgen.Deployment, sc loadgen.Scenario, outPath, keyFile string, out io.Writer) error {
+	if dep == nil || dep.Audit == nil {
+		return fmt.Errorf("-pack needs the in-process deployment with an audit trail")
+	}
+	if err := dep.Audit.Sync(); err != nil {
+		return fmt.Errorf("pack: sync audit log: %w", err)
+	}
+	var priv ed25519.PrivateKey
+	var err error
+	if keyFile != "" {
+		if priv, err = evidence.LoadPrivateKey(keyFile); err != nil {
+			return err
+		}
+	} else {
+		// Ephemeral run key: the pack still proves integrity (the public
+		// half is embedded); origin proof needs -pack-key with a kept key.
+		if _, priv, err = evidence.GenerateKey(nil); err != nil {
+			return err
+		}
+	}
+	res, err := evidence.BuildPack(dep.Audit.Dir(), outPath, evidence.PackOptions{
+		Key:       priv,
+		Scenario:  sc.Name,
+		SetDigest: dep.Sys.Contracts.Digest(),
+		Tool:      "loadmon",
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "pack: %d records in %d segments -> %s (pack %s, key %s)\n",
+		res.Records, res.Segments, res.Path, res.PackID, res.KeyID)
+	return nil
+}
+
+// verifyPackReplay closes the evidence loop on every -verify run: pack
+// the trail, verify the pack envelope, then replay each packed verdict
+// against its packed snapshots and require zero divergence — the trail
+// must reproduce the monitor's decisions, not merely describe them.
+func verifyPackReplay(dep *loadgen.Deployment, sc loadgen.Scenario, out io.Writer) error {
+	if dep == nil || dep.Audit == nil {
+		return nil
+	}
+	if err := dep.Audit.Sync(); err != nil {
+		return fmt.Errorf("verify: sync audit log: %w", err)
+	}
+	tmp, err := os.MkdirTemp("", "loadmon-pack-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	_, priv, err := evidence.GenerateKey(nil)
+	if err != nil {
+		return err
+	}
+	packPath := filepath.Join(tmp, "pack")
+	if _, err := evidence.BuildPack(dep.Audit.Dir(), packPath, evidence.PackOptions{
+		Key:       priv,
+		Scenario:  sc.Name,
+		SetDigest: dep.Sys.Contracts.Digest(),
+		Tool:      "loadmon",
+	}); err != nil {
+		return fmt.Errorf("verify: build evidence pack: %w", err)
+	}
+	p, err := evidence.OpenPack(packPath)
+	if err != nil {
+		return fmt.Errorf("verify: open evidence pack: %w", err)
+	}
+	defer p.Close()
+	rep, err := p.Verify(priv.Public().(ed25519.PublicKey))
+	if err != nil {
+		return fmt.Errorf("verify: verify evidence pack: %w", err)
+	}
+	if !rep.PackOK() {
+		return fmt.Errorf("verify: evidence pack envelope failed: %s", strings.Join(rep.Problems, "; "))
+	}
+	recs, err := p.Records()
+	if err != nil {
+		return fmt.Errorf("verify: read packed records: %w", err)
+	}
+	replayer, err := monitor.NewReplayer(dep.Sys.Contracts)
+	if err != nil {
+		return fmt.Errorf("verify: build replayer: %w", err)
+	}
+	sum := replayer.ReplayAll(recs.Records)
+	if !sum.OK() {
+		msg := fmt.Sprintf("verify: evidence replay diverged on %d of %d packed verdicts", sum.Diverged, sum.Total)
+		if len(sum.Failures) > 0 {
+			f := sum.Failures[0]
+			msg += fmt.Sprintf(" (first: seq %d %s: %s)", f.Seq, f.Trigger, f.Reason)
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	fmt.Fprintf(out, "verify: evidence pack replays clean (%d/%d packed verdicts reproduced, %d skipped)\n",
+		sum.Matched, sum.Total, sum.Skipped)
 	return nil
 }
 

@@ -6,12 +6,17 @@
 package cloudmon_test
 
 import (
+	"crypto/ed25519"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"cloudmon/internal/contract"
 	"cloudmon/internal/core"
+	"cloudmon/internal/evidence"
+	"cloudmon/internal/loadgen"
 	"cloudmon/internal/mbt"
 	"cloudmon/internal/monitor"
 	"cloudmon/internal/mutation"
@@ -384,4 +389,112 @@ func TestExperimentE16FactPruning(t *testing.T) {
 		t.Logf("E16 | %-24s demanded paths %d -> %d (%d fact skips), outcome %s",
 			w.op, vp.DemandedPaths, vf.DemandedPaths, vf.FactsSkipped, vf.Outcome)
 	}
+}
+
+// TestExperimentE19EvidencePack (E19): signed evidence packs replay
+// independently. A real load run writes its audit trail; the trail is
+// cut into a PackSpec v1 pack (canonical JSON, SHA-256 manifest,
+// Ed25519 signature); a verifier holding only the pack and the
+// contract model re-evaluates every packed verdict against the packed
+// snapshots — divergence must be 0 of N. Flipping a single byte in a
+// packed segment must break verification with a pointed
+// manifest-mismatch error.
+func TestExperimentE19EvidencePack(t *testing.T) {
+	sc, err := loadgen.Lookup("cinder-mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Requests, sc.Warmup = 400, 0
+	dep, err := loadgen.Deploy(loadgen.DeployOptions{AuditDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	if _, err := loadgen.Run(sc, dep.Target); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Audit.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, priv, err := evidence.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packPath := filepath.Join(t.TempDir(), "run.pack")
+	res, err := evidence.BuildPack(dep.Audit.Dir(), packPath, evidence.PackOptions{
+		Key:       priv,
+		Scenario:  sc.Name,
+		SetDigest: dep.Sys.Contracts.Digest(),
+		Tool:      "experiments",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records == 0 {
+		t.Fatal("E19 needs a trail with verdicts; the scenario produced none")
+	}
+
+	p, err := evidence.OpenPack(packPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	rep, err := p.Verify(priv.Public().(ed25519.PublicKey))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("pack verification failed: %+v", rep)
+	}
+	recs, err := p.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayer, err := monitor.NewReplayer(dep.Sys.Contracts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := replayer.ReplayAll(recs.Records)
+	if !sum.OK() || sum.Replayed == 0 {
+		t.Fatalf("replay: %+v (failures %+v)", sum, sum.Failures)
+	}
+	if sum.Diverged != 0 {
+		t.Fatalf("E19 requires 0 divergences, got %d", sum.Diverged)
+	}
+	t.Logf("E19 | packed %d records (pack %.24s…), replayed %d, matched %d, diverged 0",
+		res.Records, res.PackID, sum.Replayed, sum.Matched)
+
+	// One flipped byte anywhere must break the pack.
+	seg := filepath.Join(packPath, "segments", "audit-000001.jsonl")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x01
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := evidence.OpenPack(packPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	rep2, err := p2.Verify(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.PackOK() {
+		t.Fatal("flipped byte not detected")
+	}
+	pointed := false
+	for _, prob := range rep2.Problems {
+		if strings.Contains(prob, "manifest mismatch") && strings.Contains(prob, "audit-000001.jsonl") {
+			pointed = true
+		}
+	}
+	if !pointed {
+		t.Fatalf("no pointed manifest-mismatch problem: %v", rep2.Problems)
+	}
+	t.Logf("E19 | tamper: 1 flipped byte -> %d verification problems", len(rep2.Problems))
 }

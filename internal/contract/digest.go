@@ -1,0 +1,38 @@
+package contract
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Digest returns a stable content digest of the contract: SHA-256 over a
+// deterministic textual rendering of the trigger, URI, every case's
+// clauses (pre, post, guard, effect, transition endpoints, SecReq tags)
+// and the combined pre/post formulas. Two contracts digest equal exactly
+// when they would make the same decisions, so the digest — stamped on
+// every audit record — binds a verdict to the contract version that
+// produced it; evidence replay refuses to compare across versions.
+func (c *Contract) Digest() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "cloudmon.contract/v1\ntrigger %s\nuri %s\n", c.Trigger, c.URI)
+	for _, cs := range c.Cases {
+		fmt.Fprintf(h, "case %s->%s on %s\n", cs.Transition.From, cs.Transition.To, cs.Transition.Trigger)
+		fmt.Fprintf(h, "secreqs %s\n", strings.Join(cs.Transition.SecReqs, ","))
+		fmt.Fprintf(h, "pre %s\npost %s\nguard %s\neffect %s\n", cs.Pre, cs.Post, cs.Guard, cs.Effect)
+	}
+	fmt.Fprintf(h, "pre %s\npost %s\nsecreqs %s\n", c.Pre, c.Post, strings.Join(c.SecReqs, ","))
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// Digest returns a stable content digest of the whole set: SHA-256 over
+// the per-contract digests in trigger order.
+func (s *Set) Digest() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "cloudmon.contract-set/v1\n")
+	for _, c := range s.Contracts {
+		fmt.Fprintf(h, "%s %s\n", c.Trigger, c.Digest())
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}

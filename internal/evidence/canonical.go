@@ -1,0 +1,195 @@
+// Package evidence turns the monitor's crash-safe audit trail into
+// tamper-evident, independently replayable evidence packs: canonical JSON
+// for every digested document, a SHA-256 manifest over the pack entries,
+// an Ed25519 signature over the manifest, and a replay path that
+// re-evaluates every packed verdict against the packed state snapshots.
+//
+// The pack layout (PackSpec v1) is deterministic — same trail, same key,
+// same metadata in, byte-identical pack out — so packs themselves can be
+// diffed and digested.
+package evidence
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// Marshal encodes v as canonical JSON in the style of RFC 8785 (JCS):
+// object keys sorted by UTF-16 code units, minimal string escaping, no
+// HTML escaping, no insignificant whitespace, ES6 number formatting —
+// with one deliberate deviation: integers that exceed IEEE-754's exact
+// range (2^53) are serialized with full precision instead of being
+// rounded, because audit records carry nanosecond timestamps. The
+// encoding is deterministic: Marshal(Unmarshal(x)) is byte-identical
+// regardless of the key order or whitespace of x.
+//
+// Every digested or signed document in an evidence pack — manifest,
+// meta, signature — goes through this encoder; repolint forbids plain
+// encoding/json marshalling elsewhere in this package.
+func Marshal(v any) ([]byte, error) {
+	// encoding/json handles struct tags and cycles; the generic re-encode
+	// below imposes the canonical form. UseNumber keeps int64 precision.
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("evidence: marshal: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var g any
+	if err := dec.Decode(&g); err != nil {
+		return nil, fmt.Errorf("evidence: canonicalize: %w", err)
+	}
+	return appendCanonical(nil, g)
+}
+
+// Canonicalize re-encodes a JSON document in canonical form.
+func Canonicalize(doc []byte) ([]byte, error) {
+	dec := json.NewDecoder(bytes.NewReader(doc))
+	dec.UseNumber()
+	var g any
+	if err := dec.Decode(&g); err != nil {
+		return nil, fmt.Errorf("evidence: canonicalize: %w", err)
+	}
+	var trailing any
+	if err := dec.Decode(&trailing); err == nil {
+		return nil, fmt.Errorf("evidence: canonicalize: trailing JSON document")
+	}
+	return appendCanonical(nil, g)
+}
+
+// appendCanonical appends the canonical encoding of a decoded generic
+// JSON value (nil, bool, string, json.Number, []any, map[string]any).
+func appendCanonical(b []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(b, "null"...), nil
+	case bool:
+		if x {
+			return append(b, "true"...), nil
+		}
+		return append(b, "false"...), nil
+	case string:
+		return appendString(b, x), nil
+	case json.Number:
+		return appendNumber(b, x)
+	case []any:
+		b = append(b, '[')
+		for i, e := range x {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			var err error
+			if b, err = appendCanonical(b, e); err != nil {
+				return nil, err
+			}
+		}
+		return append(b, ']'), nil
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return lessUTF16(keys[i], keys[j]) })
+		b = append(b, '{')
+		for i, k := range keys {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendString(b, k)
+			b = append(b, ':')
+			var err error
+			if b, err = appendCanonical(b, x[k]); err != nil {
+				return nil, err
+			}
+		}
+		return append(b, '}'), nil
+	}
+	return nil, fmt.Errorf("evidence: cannot canonicalize %T", v)
+}
+
+// lessUTF16 orders strings by their UTF-16 code units — the property-name
+// sort RFC 8785 specifies (it differs from byte order only for code
+// points beyond the BMP, which sort after the surrogate range).
+func lessUTF16(a, b string) bool {
+	ua := utf16.Encode([]rune(a))
+	ub := utf16.Encode([]rune(b))
+	for i := 0; i < len(ua) && i < len(ub); i++ {
+		if ua[i] != ub[i] {
+			return ua[i] < ub[i]
+		}
+	}
+	return len(ua) < len(ub)
+}
+
+// appendString appends the canonical JSON string encoding: `"` and `\`
+// escaped, control characters as \b \t \n \f \r or lowercase \u00xx,
+// everything else (including HTML-sensitive characters and non-ASCII)
+// as literal UTF-8. Invalid UTF-8 is carried as U+FFFD, matching
+// encoding/json's decoder.
+func appendString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b = append(b, '\\', '"')
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\b':
+			b = append(b, '\\', 'b')
+		case '\t':
+			b = append(b, '\\', 't')
+		case '\n':
+			b = append(b, '\\', 'n')
+		case '\f':
+			b = append(b, '\\', 'f')
+		case '\r':
+			b = append(b, '\\', 'r')
+		default:
+			if r < 0x20 {
+				b = append(b, fmt.Sprintf("\\u%04x", r)...)
+			} else {
+				b = utf8.AppendRune(b, r)
+			}
+		}
+	}
+	return append(b, '"')
+}
+
+// appendNumber appends the canonical number form: integers in [-2^63,
+// 2^63) with their exact digits, everything else as an IEEE-754 double
+// in ES6 Number::toString shape (shortest round-trip decimal; exponent
+// notation outside [1e-6, 1e21); -0 serializes as 0).
+func appendNumber(b []byte, n json.Number) ([]byte, error) {
+	s := string(n)
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return strconv.AppendInt(b, i, 10), nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return nil, fmt.Errorf("evidence: bad number %q: %v", s, err)
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return nil, fmt.Errorf("evidence: non-finite number %q", s)
+	}
+	if f == 0 {
+		return append(b, '0'), nil
+	}
+	if abs := math.Abs(f); abs >= 1e21 || abs < 1e-6 {
+		es := strconv.FormatFloat(f, 'e', -1, 64)
+		mant, exp, _ := strings.Cut(es, "e")
+		mant = strings.TrimSuffix(mant, ".0")
+		sign, digits := exp[:1], strings.TrimLeft(exp[1:], "0")
+		if digits == "" {
+			digits = "0"
+		}
+		return append(b, (mant + "e" + sign + digits)...), nil
+	}
+	return strconv.AppendFloat(b, f, 'f', -1, 64), nil
+}

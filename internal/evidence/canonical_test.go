@@ -1,0 +1,108 @@
+package evidence
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestCanonicalGoldenVectors pins the canonical form of the encoding's
+// edge cases: key ordering (UTF-16 code units, so supplementary-plane
+// characters sort below U+E000..U+FFFF), ES6 number shapes, the exact
+// escaping table, and the int64 full-precision deviation the audit
+// trail's nanosecond timestamps require.
+func TestCanonicalGoldenVectors(t *testing.T) {
+	cases := []struct{ name, in, want string }{
+		{"key sort", `{"b":1,"a":2}`, `{"a":2,"b":1}`},
+		{"nested", `{"z":{"q":1,"p":2},"a":[{"k":1,"j":2}]}`, `{"a":[{"j":2,"k":1}],"z":{"p":2,"q":1}}`},
+		// U+1D11E (𝄞) encodes as the surrogate pair D834 DD1E; its first
+		// UTF-16 unit 0xD834 is below 0xFB01 (ﬁ), so 𝄞 sorts before ﬁ —
+		// the opposite of code-point order. RFC 8785 §3.2.3.
+		{"utf16 key order", `{"ﬁ":1,"𝄞":2,"z":3}`, `{"z":3,"𝄞":2,"ﬁ":1}`},
+		{"empty containers", `{"a":{},"b":[]}`, `{"a":{},"b":[]}`},
+		// Numbers: ES6 Number::toString shapes, except integers in the
+		// int64 range keep exact digits (timestamps exceed 2^53).
+		{"int64 precision", `[9223372036854775807,-9223372036854775808]`, `[9223372036854775807,-9223372036854775808]`},
+		{"float shapes", `[1E21,0.0000001,-0.0,10.0,0.5]`, `[1e+21,1e-7,0,10,0.5]`},
+		{"small magnitudes", `[1e-6,0.000001]`, `[0.000001,0.000001]`},
+		// Strings: two-char escapes for the named controls, \u00xx for the
+		// rest below 0x20, literal UTF-8 above, no HTML escaping.
+		{"escapes", `["\u0041","\u000b","\b","a\tb","<&>"]`, `["A","\u000b","\b","a\tb","<&>"]`},
+		{"literal unicode", `["€"]`, `["€"]`},
+		{"quote and backslash", `["\"\\"]`, `["\"\\"]`},
+		{"literals", `[true,false,null]`, `[true,false,null]`},
+	}
+	for _, tc := range cases {
+		got, err := Canonicalize([]byte(tc.in))
+		if err != nil {
+			t.Errorf("%s: Canonicalize(%q): %v", tc.name, tc.in, err)
+			continue
+		}
+		if string(got) != tc.want {
+			t.Errorf("%s: Canonicalize(%q) = %q, want %q", tc.name, tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestCanonicalOrderIndependence is the property the pack format leans
+// on: semantically identical documents — any key order, any
+// insignificant whitespace — canonicalize to byte-identical output, and
+// canonicalization is idempotent (encode ∘ decode is a fixed point).
+func TestCanonicalOrderIndependence(t *testing.T) {
+	variants := []string{
+		`{"scenario":"cinder-mixed","records":19,"entries":[{"name":"a","sha256":"x"},{"name":"b","sha256":"y"}],"torn":0}`,
+		`{"torn":0,"entries":[{"sha256":"x","name":"a"},{"sha256":"y","name":"b"}],"records":19,"scenario":"cinder-mixed"}`,
+		"{ \"records\" : 19,\n  \"torn\": 0,\n  \"scenario\": \"cinder-mixed\",\n  \"entries\": [ { \"name\": \"a\", \"sha256\": \"x\" }, { \"name\": \"b\", \"sha256\": \"y\" } ] }",
+	}
+	var first []byte
+	for i, doc := range variants {
+		got, err := Canonicalize([]byte(doc))
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if first == nil {
+			first = got
+			continue
+		}
+		if !bytes.Equal(got, first) {
+			t.Errorf("variant %d canonicalizes to %q, variant 0 to %q", i, got, first)
+		}
+	}
+	again, err := Canonicalize(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, first) {
+		t.Errorf("not idempotent: %q re-canonicalizes to %q", first, again)
+	}
+}
+
+func TestCanonicalMarshalStructsAndErrors(t *testing.T) {
+	got, err := Marshal(struct {
+		B int    `json:"b"`
+		A string `json:"a"`
+	}{B: 1, A: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `{"a":"x","b":1}` {
+		t.Errorf("struct fields not key-sorted: %s", got)
+	}
+	if _, err := Marshal(math.NaN()); err == nil {
+		t.Error("NaN must not canonicalize (JSON has no representation)")
+	}
+	if _, err := Canonicalize([]byte(`{"a":1} {"b":2}`)); err == nil {
+		t.Error("trailing document must be rejected")
+	}
+	if _, err := Canonicalize([]byte(`{"a":`)); err == nil {
+		t.Error("truncated document must be rejected")
+	}
+	// Invalid UTF-8 input degrades to U+FFFD, deterministically.
+	got, err = Marshal(string([]byte{'a', 0x80, 'b'}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "\"a�b\"" {
+		t.Errorf("invalid UTF-8 = %q, want the replacement character", got)
+	}
+}

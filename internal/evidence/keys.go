@@ -1,0 +1,130 @@
+package evidence
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Key file schema identity.
+const (
+	KeySchemaID      = "cloudmon.evidence.key"
+	KeySchemaVersion = "1.0.0"
+)
+
+// keyFile is the on-disk shape of a signing key. The private file holds
+// the Ed25519 seed and is written 0600; the sibling .pub file carries
+// only the public half and is what verifiers distribute.
+type keyFile struct {
+	SchemaID      string `json:"schema_id"`
+	SchemaVersion string `json:"schema_version"`
+	Algorithm     string `json:"algorithm"`
+	KeyID         string `json:"key_id"`
+	PublicKey     string `json:"public_key"`
+	PrivateSeed   string `json:"private_key_seed,omitempty"`
+}
+
+// KeyID derives the stable identifier of a public key: "ed25519:" plus
+// the first 16 hex digits of the key's SHA-256.
+func KeyID(pub ed25519.PublicKey) string {
+	sum := sha256.Sum256(pub)
+	return "ed25519:" + hex.EncodeToString(sum[:8])
+}
+
+// GenerateKey creates a new Ed25519 signing key. A nil reader uses
+// crypto/rand; tests pass a deterministic stream.
+func GenerateKey(r io.Reader) (ed25519.PublicKey, ed25519.PrivateKey, error) {
+	if r == nil {
+		r = rand.Reader
+	}
+	pub, priv, err := ed25519.GenerateKey(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("evidence: generate key: %w", err)
+	}
+	return pub, priv, nil
+}
+
+// WriteKeyFiles writes the private key to path (mode 0600) and the
+// public half to path+".pub". Both files are canonical JSON.
+func WriteKeyFiles(path string, priv ed25519.PrivateKey) error {
+	pub := priv.Public().(ed25519.PublicKey)
+	kf := keyFile{
+		SchemaID:      KeySchemaID,
+		SchemaVersion: KeySchemaVersion,
+		Algorithm:     "ed25519",
+		KeyID:         KeyID(pub),
+		PublicKey:     hex.EncodeToString(pub),
+		PrivateSeed:   hex.EncodeToString(priv.Seed()),
+	}
+	data, err := Marshal(kf)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o600); err != nil {
+		return fmt.Errorf("evidence: write key file: %w", err)
+	}
+	kf.PrivateSeed = ""
+	data, err = Marshal(kf)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path+".pub", append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("evidence: write public key file: %w", err)
+	}
+	return nil
+}
+
+// readKeyFile parses and sanity-checks a key file.
+func readKeyFile(path string) (*keyFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("evidence: read key file: %w", err)
+	}
+	var kf keyFile
+	if err := json.Unmarshal(data, &kf); err != nil {
+		return nil, fmt.Errorf("evidence: parse key file %s: %w", path, err)
+	}
+	if kf.SchemaID != KeySchemaID {
+		return nil, fmt.Errorf("evidence: %s is not a key file (schema %q)", path, kf.SchemaID)
+	}
+	if kf.Algorithm != "ed25519" {
+		return nil, fmt.Errorf("evidence: unsupported key algorithm %q in %s", kf.Algorithm, path)
+	}
+	return &kf, nil
+}
+
+// LoadPrivateKey loads an Ed25519 private key from a key file written by
+// WriteKeyFiles.
+func LoadPrivateKey(path string) (ed25519.PrivateKey, error) {
+	kf, err := readKeyFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if kf.PrivateSeed == "" {
+		return nil, fmt.Errorf("evidence: %s holds no private seed (public key file?)", path)
+	}
+	seed, err := hex.DecodeString(kf.PrivateSeed)
+	if err != nil || len(seed) != ed25519.SeedSize {
+		return nil, fmt.Errorf("evidence: malformed private seed in %s", path)
+	}
+	return ed25519.NewKeyFromSeed(seed), nil
+}
+
+// LoadPublicKey loads an Ed25519 public key from either a public or a
+// private key file.
+func LoadPublicKey(path string) (ed25519.PublicKey, error) {
+	kf, err := readKeyFile(path)
+	if err != nil {
+		return nil, err
+	}
+	pub, err := hex.DecodeString(kf.PublicKey)
+	if err != nil || len(pub) != ed25519.PublicKeySize {
+		return nil, fmt.Errorf("evidence: malformed public key in %s", path)
+	}
+	return ed25519.PublicKey(pub), nil
+}

@@ -1,0 +1,381 @@
+package evidence
+
+import (
+	"archive/zip"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"cloudmon/internal/obs"
+)
+
+// PackSpec v1 schema identities and entry names. A pack is a directory
+// (or zip — the layouts are byte-for-byte interchangeable) holding:
+//
+//	manifest.json   — SHA-256 + size of every other entry, sorted by name
+//	meta.json       — producer build info, scenario, time range, tallies
+//	signature.json  — Ed25519 signature over the exact manifest bytes
+//	segments/       — the audit segments, copied verbatim
+//
+// The manifest covers meta.json and every segment; the signature covers
+// the manifest; therefore one flipped byte anywhere breaks either an
+// entry digest or the signature.
+const (
+	ManifestSchemaID  = "cloudmon.evidence.pack.manifest"
+	MetaSchemaID      = "cloudmon.evidence.pack.meta"
+	SignatureSchemaID = "cloudmon.evidence.pack.signature"
+	PackSchemaVersion = "1.0.0"
+
+	ManifestName  = "manifest.json"
+	MetaName      = "meta.json"
+	SignatureName = "signature.json"
+	SegmentPrefix = "segments/"
+)
+
+// Entry is one manifest line: a named pack member with its content hash.
+type Entry struct {
+	Name   string `json:"name"`
+	SHA256 string `json:"sha256"`
+	Size   int64  `json:"size"`
+}
+
+// Manifest is the digested table of contents. PackID is content-derived
+// (SHA-256 over the canonical entries list), so identical evidence packs
+// to identical IDs regardless of where or when they were written.
+type Manifest struct {
+	SchemaID      string  `json:"schema_id"`
+	SchemaVersion string  `json:"schema_version"`
+	PackID        string  `json:"pack_id"`
+	Entries       []Entry `json:"entries"`
+}
+
+// Producer records what built the pack.
+type Producer struct {
+	Tool      string `json:"tool"`
+	Module    string `json:"module"`
+	GoVersion string `json:"go_version"`
+}
+
+// Meta carries the context a third-party auditor needs next to the raw
+// segments: when the pack was cut, by what, from which scenario, over
+// which time range, and the contract versions the verdicts bind to.
+type Meta struct {
+	SchemaID        string            `json:"schema_id"`
+	SchemaVersion   string            `json:"schema_version"`
+	CreatedUnixNano int64             `json:"created_unix_nano"`
+	Producer        Producer          `json:"producer"`
+	Scenario        string            `json:"scenario,omitempty"`
+	Segments        int               `json:"segments"`
+	Records         int               `json:"records"`
+	LegacyRecords   int               `json:"legacy_records,omitempty"`
+	TornLines       int               `json:"torn_lines,omitempty"`
+	Outcomes        map[string]int    `json:"outcomes,omitempty"`
+	FirstUnixNano   int64             `json:"first_unix_nano,omitempty"`
+	LastUnixNano    int64             `json:"last_unix_nano,omitempty"`
+	ContractDigests map[string]string `json:"contract_digests,omitempty"`
+	SetDigest       string            `json:"contract_set_digest,omitempty"`
+}
+
+// Signature is the detached signature document: Ed25519 over the exact
+// bytes of manifest.json, with the public key embedded so a pack is
+// self-verifying (callers distrusting the embedded key pass their own).
+type Signature struct {
+	SchemaID      string `json:"schema_id"`
+	SchemaVersion string `json:"schema_version"`
+	Algorithm     string `json:"algorithm"`
+	KeyID         string `json:"key_id"`
+	PublicKey     string `json:"public_key"`
+	Signature     string `json:"signature"`
+}
+
+// PackOptions parameterize BuildPack.
+type PackOptions struct {
+	// Key signs the manifest. Required.
+	Key ed25519.PrivateKey
+	// Scenario labels the run that produced the trail (meta.json).
+	Scenario string
+	// SetDigest is the contract-set digest of the monitor that wrote the
+	// trail, when the packer knows it (loadmon does; auditctl derives the
+	// per-trigger digests from the records instead).
+	SetDigest string
+	// Tool names the producer (defaults to "cloudmon").
+	Tool string
+	// CreatedUnixNano pins the pack timestamp (0 → now). Everything else
+	// about a pack is content-derived, so pinning this makes the whole
+	// pack reproducible.
+	CreatedUnixNano int64
+}
+
+// BuildResult reports what BuildPack wrote.
+type BuildResult struct {
+	Path     string `json:"path"`
+	Zip      bool   `json:"zip"`
+	PackID   string `json:"pack_id"`
+	KeyID    string `json:"key_id"`
+	Segments int    `json:"segments"`
+	Records  int    `json:"records"`
+	Torn     int    `json:"torn,omitempty"`
+	Legacy   int    `json:"legacy,omitempty"`
+}
+
+// sha256Hex streams r through SHA-256 and returns the hex digest and
+// byte count.
+func sha256Hex(r io.Reader) (string, int64, error) {
+	h := sha256.New()
+	n, err := io.Copy(h, r)
+	if err != nil {
+		return "", 0, err
+	}
+	return hex.EncodeToString(h.Sum(nil)), n, nil
+}
+
+// BuildPack cuts a PackSpec v1 evidence pack from the audit trail under
+// auditDir. out names either a directory (created; must not already
+// contain a manifest) or a .zip file. The segments are copied verbatim —
+// a torn tail is packed as-is and surfaced in meta, because the pack is
+// evidence of what was on disk, not a cleaned-up copy.
+func BuildPack(auditDir, out string, opts PackOptions) (*BuildResult, error) {
+	if len(opts.Key) != ed25519.PrivateKeySize {
+		return nil, fmt.Errorf("evidence: pack requires an Ed25519 signing key")
+	}
+	meta := Meta{
+		SchemaID:        MetaSchemaID,
+		SchemaVersion:   PackSchemaVersion,
+		CreatedUnixNano: opts.CreatedUnixNano,
+		Producer: Producer{
+			Tool:      opts.Tool,
+			Module:    "cloudmon",
+			GoVersion: runtime.Version(),
+		},
+		Scenario:  opts.Scenario,
+		SetDigest: opts.SetDigest,
+		Outcomes:  map[string]int{},
+	}
+	if meta.Producer.Tool == "" {
+		meta.Producer.Tool = "cloudmon"
+	}
+	if meta.CreatedUnixNano == 0 {
+		meta.CreatedUnixNano = time.Now().UnixNano()
+	}
+	digests := map[string]string{}
+	scan, err := obs.ScanAuditDir(auditDir, func(r *obs.AuditRecord) error {
+		meta.Outcomes[r.Outcome]++
+		if meta.FirstUnixNano == 0 || r.Time < meta.FirstUnixNano {
+			meta.FirstUnixNano = r.Time
+		}
+		if r.Time > meta.LastUnixNano {
+			meta.LastUnixNano = r.Time
+		}
+		if r.ContractDigest != "" {
+			digests[r.Trigger] = r.ContractDigest
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(scan.Segments) == 0 {
+		return nil, fmt.Errorf("evidence: no audit segments under %s", auditDir)
+	}
+	meta.Segments = len(scan.Segments)
+	meta.Records = scan.Records
+	meta.LegacyRecords = scan.Legacy
+	meta.TornLines = len(scan.Torn)
+	if len(digests) > 0 {
+		meta.ContractDigests = digests
+	}
+	if len(meta.Outcomes) == 0 {
+		meta.Outcomes = nil
+	}
+
+	// Hash every entry first: the manifest needs the digests before any
+	// bytes are laid out.
+	var entries []Entry
+	for _, seg := range scan.Segments {
+		f, err := os.Open(seg.Path)
+		if err != nil {
+			return nil, fmt.Errorf("evidence: open segment: %w", err)
+		}
+		sum, n, err := sha256Hex(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("evidence: hash segment %s: %w", seg.Path, err)
+		}
+		entries = append(entries, Entry{
+			Name:   SegmentPrefix + filepath.Base(seg.Path),
+			SHA256: sum,
+			Size:   n,
+		})
+	}
+	metaBytes, err := Marshal(meta)
+	if err != nil {
+		return nil, err
+	}
+	metaBytes = append(metaBytes, '\n')
+	metaSum := sha256.Sum256(metaBytes)
+	entries = append(entries, Entry{
+		Name:   MetaName,
+		SHA256: hex.EncodeToString(metaSum[:]),
+		Size:   int64(len(metaBytes)),
+	})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+
+	packID, err := PackID(entries)
+	if err != nil {
+		return nil, err
+	}
+	manifest := Manifest{
+		SchemaID:      ManifestSchemaID,
+		SchemaVersion: PackSchemaVersion,
+		PackID:        packID,
+		Entries:       entries,
+	}
+	manifestBytes, err := Marshal(manifest)
+	if err != nil {
+		return nil, err
+	}
+	manifestBytes = append(manifestBytes, '\n')
+
+	pub := opts.Key.Public().(ed25519.PublicKey)
+	sig := Signature{
+		SchemaID:      SignatureSchemaID,
+		SchemaVersion: PackSchemaVersion,
+		Algorithm:     "ed25519",
+		KeyID:         KeyID(pub),
+		PublicKey:     hex.EncodeToString(pub),
+		Signature:     hex.EncodeToString(ed25519.Sign(opts.Key, manifestBytes)),
+	}
+	sigBytes, err := Marshal(sig)
+	if err != nil {
+		return nil, err
+	}
+	sigBytes = append(sigBytes, '\n')
+
+	// Lay the pack out in sorted-name order (fixed entry ordering is part
+	// of PackSpec v1: two packs of the same trail are byte-identical).
+	files := []packMember{
+		{name: ManifestName, data: manifestBytes},
+		{name: MetaName, data: metaBytes},
+		{name: SignatureName, data: sigBytes},
+	}
+	for _, seg := range scan.Segments {
+		files = append(files, packMember{name: SegmentPrefix + filepath.Base(seg.Path), src: seg.Path})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].name < files[j].name })
+	if strings.HasSuffix(out, ".zip") {
+		err = writeZipPack(out, files)
+	} else {
+		err = writeDirPack(out, files)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &BuildResult{
+		Path:     out,
+		Zip:      strings.HasSuffix(out, ".zip"),
+		PackID:   packID,
+		KeyID:    sig.KeyID,
+		Segments: meta.Segments,
+		Records:  meta.Records,
+		Torn:     meta.TornLines,
+		Legacy:   meta.LegacyRecords,
+	}, nil
+}
+
+// PackID derives the content identifier from the sorted manifest
+// entries: "sha256:" over their canonical JSON.
+func PackID(entries []Entry) (string, error) {
+	data, err := Marshal(entries)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}
+
+// packMember is one file to lay out: inline bytes or a source to copy.
+type packMember struct {
+	name string
+	data []byte
+	src  string
+}
+
+func (m *packMember) open() (io.ReadCloser, error) {
+	if m.src != "" {
+		return os.Open(m.src)
+	}
+	return io.NopCloser(strings.NewReader(string(m.data))), nil
+}
+
+// writeDirPack lays the members out under a directory.
+func writeDirPack(out string, files []packMember) error {
+	if _, err := os.Stat(filepath.Join(out, ManifestName)); err == nil {
+		return fmt.Errorf("evidence: %s already holds a pack manifest", out)
+	}
+	for _, m := range files {
+		dst := filepath.Join(out, filepath.FromSlash(m.name))
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return fmt.Errorf("evidence: pack dir: %w", err)
+		}
+		src, err := m.open()
+		if err != nil {
+			return fmt.Errorf("evidence: pack member %s: %w", m.name, err)
+		}
+		f, err := os.OpenFile(dst, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			src.Close()
+			return fmt.Errorf("evidence: pack member %s: %w", m.name, err)
+		}
+		_, err = io.Copy(f, src)
+		src.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("evidence: write pack member %s: %w", m.name, err)
+		}
+	}
+	return nil
+}
+
+// writeZipPack lays the members out as a deterministic zip: entries in
+// sorted-name order, zero timestamps, Store method (no compressor
+// version in the byte stream).
+func writeZipPack(out string, files []packMember) error {
+	f, err := os.OpenFile(out, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("evidence: create pack zip: %w", err)
+	}
+	zw := zip.NewWriter(f)
+	for _, m := range files {
+		w, err := zw.CreateHeader(&zip.FileHeader{
+			Name:   path.Clean(m.name),
+			Method: zip.Store,
+		})
+		if err != nil {
+			return fmt.Errorf("evidence: zip member %s: %w", m.name, err)
+		}
+		src, err := m.open()
+		if err != nil {
+			return fmt.Errorf("evidence: pack member %s: %w", m.name, err)
+		}
+		_, err = io.Copy(w, src)
+		src.Close()
+		if err != nil {
+			return fmt.Errorf("evidence: write zip member %s: %w", m.name, err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("evidence: finish pack zip: %w", err)
+	}
+	return f.Close()
+}

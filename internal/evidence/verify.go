@@ -1,0 +1,223 @@
+package evidence
+
+import (
+	"archive/zip"
+	"crypto/ed25519"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+
+	"cloudmon/internal/obs"
+)
+
+// Pack is an opened evidence pack — a directory or a zip, read through
+// the same fs.FS.
+type Pack struct {
+	// Path is what was opened.
+	Path string
+	// Zip reports the container format.
+	Zip bool
+	// Manifest, Meta and Sig are the parsed envelope documents.
+	Manifest Manifest
+	Meta     Meta
+	Sig      Signature
+	// ManifestRaw is the exact manifest bytes — what the signature covers.
+	ManifestRaw []byte
+
+	fsys   fs.FS
+	closer io.Closer
+}
+
+// OpenPack opens a pack directory or zip and parses its envelope. The
+// entry hashes are NOT checked here — call Verify.
+func OpenPack(pathName string) (*Pack, error) {
+	info, err := os.Stat(pathName)
+	if err != nil {
+		return nil, fmt.Errorf("evidence: open pack: %w", err)
+	}
+	p := &Pack{Path: pathName}
+	if info.IsDir() {
+		p.fsys = os.DirFS(pathName)
+	} else {
+		zr, err := zip.OpenReader(pathName)
+		if err != nil {
+			return nil, fmt.Errorf("evidence: open pack zip: %w", err)
+		}
+		p.fsys = zr
+		p.closer = zr
+		p.Zip = true
+	}
+	p.ManifestRaw, err = fs.ReadFile(p.fsys, ManifestName)
+	if err != nil {
+		p.Close()
+		return nil, fmt.Errorf("evidence: pack has no readable manifest: %w", err)
+	}
+	if err := json.Unmarshal(p.ManifestRaw, &p.Manifest); err != nil {
+		p.Close()
+		return nil, fmt.Errorf("evidence: parse manifest: %w", err)
+	}
+	if p.Manifest.SchemaID != ManifestSchemaID {
+		p.Close()
+		return nil, fmt.Errorf("evidence: unknown manifest schema %q", p.Manifest.SchemaID)
+	}
+	metaBytes, err := fs.ReadFile(p.fsys, MetaName)
+	if err == nil {
+		if err := json.Unmarshal(metaBytes, &p.Meta); err != nil {
+			p.Close()
+			return nil, fmt.Errorf("evidence: parse meta: %w", err)
+		}
+	}
+	sigBytes, err := fs.ReadFile(p.fsys, SignatureName)
+	if err == nil {
+		if err := json.Unmarshal(sigBytes, &p.Sig); err != nil {
+			p.Close()
+			return nil, fmt.Errorf("evidence: parse signature: %w", err)
+		}
+	}
+	return p, nil
+}
+
+// Close releases the underlying zip reader (no-op for directory packs).
+func (p *Pack) Close() error {
+	if p.closer != nil {
+		return p.closer.Close()
+	}
+	return nil
+}
+
+// Records reads the packed audit chain.
+func (p *Pack) Records() (*obs.ReadResult, error) {
+	sub, err := fs.Sub(p.fsys, "segments")
+	if err != nil {
+		return nil, fmt.Errorf("evidence: pack segments: %w", err)
+	}
+	return obs.ReadAuditFS(sub)
+}
+
+// VerifyReport is the outcome of Pack.Verify. Problems are pack
+// integrity failures (manifest/signature); Chain reports the packed
+// trail's own chain verification, kept separate because a truthfully
+// packed torn tail is a property of the trail, not of the pack.
+type VerifyReport struct {
+	PackID  string `json:"pack_id"`
+	KeyID   string `json:"key_id,omitempty"`
+	Entries int    `json:"entries"`
+	// SignedByEmbedded reports that no caller key was supplied, so the
+	// signature was checked against the pack's own embedded public key —
+	// proof of integrity, not of origin.
+	SignedByEmbedded bool     `json:"signed_by_embedded_key,omitempty"`
+	Problems         []string `json:"problems,omitempty"`
+	// Chain is the packed trail's chain verification.
+	Chain *obs.VerifyResult `json:"chain,omitempty"`
+}
+
+// OK reports whether both the pack envelope and the packed chain
+// verified cleanly.
+func (r *VerifyReport) OK() bool {
+	return len(r.Problems) == 0 && r.Chain != nil && r.Chain.OK()
+}
+
+// PackOK reports whether the pack envelope alone (hashes + signature)
+// verified, regardless of chain findings.
+func (r *VerifyReport) PackOK() bool { return len(r.Problems) == 0 }
+
+// Verify checks the pack end to end: the Ed25519 signature over the
+// exact manifest bytes (against pub, or the embedded key when pub is
+// nil), the content-derived pack ID, every entry's SHA-256 and size,
+// that no unlisted files ride along, and the packed chain itself.
+func (p *Pack) Verify(pub ed25519.PublicKey) (*VerifyReport, error) {
+	rep := &VerifyReport{
+		PackID:  p.Manifest.PackID,
+		KeyID:   p.Sig.KeyID,
+		Entries: len(p.Manifest.Entries),
+	}
+	problem := func(format string, args ...any) {
+		rep.Problems = append(rep.Problems, fmt.Sprintf(format, args...))
+	}
+
+	// Signature over the exact manifest bytes.
+	embedded, err := hex.DecodeString(p.Sig.PublicKey)
+	if err != nil || len(embedded) != ed25519.PublicKeySize {
+		embedded = nil
+	}
+	key := pub
+	if key == nil {
+		rep.SignedByEmbedded = true
+		key = embedded
+	}
+	sig, sigErr := hex.DecodeString(p.Sig.Signature)
+	switch {
+	case p.Sig.Signature == "":
+		problem("signature: pack has no signature document")
+	case sigErr != nil || len(sig) != ed25519.SignatureSize:
+		problem("signature: malformed signature encoding")
+	case key == nil:
+		problem("signature: no usable public key (embedded key malformed and none supplied)")
+	case !ed25519.Verify(key, p.ManifestRaw, sig):
+		problem("signature: Ed25519 verification of manifest.json failed (key %s)", KeyID(key))
+	default:
+		if pub != nil && embedded != nil && !pub.Equal(ed25519.PublicKey(embedded)) {
+			problem("signature: embedded public key %s differs from the supplied key %s",
+				KeyID(embedded), KeyID(pub))
+		}
+	}
+
+	// Content-derived pack ID.
+	wantID, err := PackID(p.Manifest.Entries)
+	if err != nil {
+		return nil, err
+	}
+	if p.Manifest.PackID != wantID {
+		problem("manifest mismatch: pack_id %s does not match entries (recomputed %s)",
+			p.Manifest.PackID, wantID)
+	}
+
+	// Every listed entry must hash to its manifest line.
+	listed := map[string]bool{ManifestName: true, SignatureName: true}
+	for _, e := range p.Manifest.Entries {
+		listed[e.Name] = true
+		f, err := p.fsys.Open(e.Name)
+		if err != nil {
+			problem("manifest mismatch: %s listed but not readable: %v", e.Name, err)
+			continue
+		}
+		sum, n, err := sha256Hex(f)
+		f.Close()
+		if err != nil {
+			problem("manifest mismatch: %s: %v", e.Name, err)
+			continue
+		}
+		if n != e.Size {
+			problem("manifest mismatch: %s: size %d != manifest %d", e.Name, n, e.Size)
+		}
+		if sum != e.SHA256 {
+			problem("manifest mismatch: %s: sha256 %s != manifest %s", e.Name, sum, e.SHA256)
+		}
+	}
+
+	// Nothing may ride along unlisted.
+	err = fs.WalkDir(p.fsys, ".", func(name string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if !listed[name] {
+			problem("unlisted file in pack: %s", name)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("evidence: walk pack: %w", err)
+	}
+
+	// The packed chain itself.
+	recs, err := p.Records()
+	if err != nil {
+		problem("chain: %v", err)
+	} else {
+		rep.Chain = obs.VerifyChain(recs)
+	}
+	return rep, nil
+}

@@ -2,13 +2,14 @@ package lint
 
 import (
 	"go/ast"
+	"path/filepath"
 	"regexp"
 )
 
 // Analyzers returns the repo's full analyzer set, in the order findings
 // should be reported.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{HotPath(), AtomicCounters()}
+	return []*Analyzer{HotPath(), AtomicCounters(), CanonicalJSON()}
 }
 
 // hotFuncs names the per-request hot path, per package: the monitor's
@@ -150,6 +151,45 @@ func runAtomicCounters(p *Pass) {
 							"field %s looks like a shared counter but is a raw integer; use obs.Counter, obs.KeyedCounter, or sync/atomic",
 							name.Name)
 					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// CanonicalJSON forbids plain encoding/json marshalling inside the
+// evidence package: every signed or hashed document there must go
+// through the canonical encoder, or two semantically identical
+// documents could hash differently and verdict evidence would stop
+// being portable. canonical.go itself — the codec — is exempt; reading
+// (json.Unmarshal, json.NewDecoder) is always allowed.
+func CanonicalJSON() *Analyzer {
+	return &Analyzer{
+		Name: "canonicaljson",
+		Doc:  "the evidence package must marshal through evidence.Marshal, not encoding/json",
+		Run:  runCanonicalJSON,
+	}
+}
+
+func runCanonicalJSON(p *Pass) {
+	if p.Pkg != "evidence" {
+		return
+	}
+	for _, f := range p.Files {
+		if filepath.Base(p.Fset.Position(f.Pos()).Filename) == "canonical.go" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, sel := range []string{"Marshal", "MarshalIndent", "NewEncoder"} {
+				if isPkgCall(call, "json", sel) {
+					p.Reportf(call.Pos(),
+						"json.%s in package evidence bypasses canonicalization; use evidence.Marshal (hashes and signatures cover exact bytes)",
+						sel)
 				}
 			}
 			return true

@@ -147,6 +147,62 @@ type CacheStats struct {
 	}
 }
 
+func TestCanonicalJSONForbidsPlainMarshalInEvidence(t *testing.T) {
+	findings := lintSrc(t, `package evidence
+
+import (
+	"encoding/json"
+	"io"
+)
+
+func bad(w io.Writer) {
+	_, _ = json.Marshal(1)
+	_, _ = json.MarshalIndent(1, "", " ")
+	_ = json.NewEncoder(w)
+}
+
+func stillFine() {
+	_ = json.Unmarshal(nil, nil)
+	_ = json.NewDecoder(nil)
+}
+`)
+	wantFinding(t, findings, "canonicaljson", "json.Marshal in package evidence")
+	wantFinding(t, findings, "canonicaljson", "json.MarshalIndent in package evidence")
+	wantFinding(t, findings, "canonicaljson", "json.NewEncoder in package evidence")
+	if len(findings) != 3 {
+		t.Fatalf("got %d findings, want 3 (reads are allowed): %v", len(findings), findings)
+	}
+}
+
+func TestCanonicalJSONExemptsCodecAndOtherPackages(t *testing.T) {
+	// canonical.go IS the codec: it must call encoding/json.
+	src := `package evidence
+
+import "encoding/json"
+
+func Marshal(v any) ([]byte, error) { return json.Marshal(v) }
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "canonical.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var findings []Finding
+	RunPackage(&Pass{Fset: fset, Pkg: "evidence", Dir: ".", Files: []*ast.File{f}}, Analyzers(), &findings)
+	if len(findings) != 0 {
+		t.Fatalf("canonical.go exemption broken: %v", findings)
+	}
+	// Any other package may marshal as it likes.
+	if f := lintSrc(t, `package obs
+
+import "encoding/json"
+
+func write() { _, _ = json.Marshal(1) }
+`); len(f) != 0 {
+		t.Fatalf("other package flagged: %v", f)
+	}
+}
+
 // TestRepoIsClean lints the actual repository: the monitor hot path and
 // counter fields must satisfy the rules the analyzers enforce.
 func TestRepoIsClean(t *testing.T) {

@@ -415,7 +415,7 @@ func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[strin
 		Token:    r.Header.Get("X-Auth-Token"),
 		Phase:    PhasePre,
 	}
-	v := Verdict{Trigger: c.Trigger, SecReqs: c.SecReqs}
+	v := Verdict{Trigger: c.Trigger, SecReqs: c.SecReqs, ContractDigest: cr.digest}
 	f := &lazyFetcher{
 		m:       m,
 		reqCtx:  reqCtx,

@@ -256,6 +256,10 @@ type Verdict struct {
 	// verdict: the pre-condition for blocked/rejected/forbidden-accepted
 	// outcomes, the post-condition for effect violations.
 	FailingClause string
+	// ContractDigest is the content digest of the contract that produced
+	// the verdict (contract.Contract.Digest) — the binding evidence replay
+	// checks before comparing outcomes.
+	ContractDigest string
 	// FetchedPaths counts the state-path reads this verdict issued to the
 	// provider (pre and post phases; cache hits and coalesced waits are
 	// free and not counted).
@@ -486,6 +490,9 @@ type compiledRoute struct {
 	paths []string
 	// plan is the contract's compiled evaluation plan (lazy engine).
 	plan *contract.Plan
+	// digest is the contract's content digest, computed once at build time
+	// and stamped on every verdict (and audit record) the route produces.
+	digest string
 }
 
 var _ http.Handler = (*Monitor)(nil)
@@ -601,6 +608,7 @@ func New(cfg Config) (*Monitor, error) {
 			contract: c,
 			paths:    c.StatePaths(),
 			plan:     c.Plan(),
+			digest:   c.Digest(),
 		})
 	}
 	// Index the compiled routes by HTTP method so match() scans only the
@@ -705,7 +713,7 @@ func (m *Monitor) checkEager(r *http.Request, cr *compiledRoute, params map[stri
 		Token:    r.Header.Get("X-Auth-Token"),
 		Phase:    PhasePre,
 	}
-	v := Verdict{Trigger: c.Trigger, SecReqs: c.SecReqs}
+	v := Verdict{Trigger: c.Trigger, SecReqs: c.SecReqs, ContractDigest: cr.digest}
 	finish := func(outcome Outcome, detail string) Verdict {
 		v.Outcome = outcome
 		v.Detail = detail
@@ -972,6 +980,7 @@ func auditRecord(v *Verdict) *obs.AuditRecord {
 		SecReqs:        v.SecReqs,
 		MatchedSecReqs: v.MatchedSecReqs,
 		FailingClause:  v.FailingClause,
+		ContractDigest: v.ContractDigest,
 		Detail:         v.Detail,
 		BackendStatus:  v.BackendStatus,
 		DegradedPre:    v.DegradedPre,

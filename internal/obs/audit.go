@@ -10,6 +10,15 @@ import (
 	"time"
 )
 
+// Audit record schema identity. Every record the log writes is stamped
+// with these, so a pack consumer can tell exactly which shape it is
+// parsing; records without a schema_id predate the stamp and are
+// tolerated (and flagged) as legacy.
+const (
+	AuditSchemaID      = "cloudmon.audit.record"
+	AuditSchemaVersion = "1.0.0"
+)
+
 // AuditRecord is one line of the audit trail: a monitored request whose
 // verdict was not a clean pass, traced back to the security requirements
 // the violated (or unverifiable) contract protects. The record carries
@@ -17,6 +26,11 @@ import (
 // IDs, the failing contract clause, the pre/post state the verdict was
 // computed from, and the per-stage timings.
 type AuditRecord struct {
+	// SchemaID and SchemaVersion identify the record shape
+	// (AuditSchemaID/AuditSchemaVersion, stamped by Append). Empty on
+	// legacy records written before stamping existed.
+	SchemaID      string `json:"schema_id,omitempty"`
+	SchemaVersion string `json:"schema_version,omitempty"`
 	// Seq is the chain sequence number, assigned by the log. Contiguous
 	// within and across segments; auditctl verify checks the chain.
 	Seq uint64 `json:"seq"`
@@ -38,6 +52,10 @@ type AuditRecord struct {
 	// pre-condition for blocked/rejected/forbidden-accepted, the
 	// post-condition for effect violations).
 	FailingClause string `json:"failing_clause,omitempty"`
+	// ContractDigest binds the verdict to the exact contract version that
+	// produced it (contract.Contract.Digest): replay refuses to compare a
+	// verdict against a different contract than the one that decided it.
+	ContractDigest string `json:"contract_digest,omitempty"`
 	// Detail is the human-readable explanation.
 	Detail string `json:"detail,omitempty"`
 	// BackendStatus is the cloud's response code (0 when not forwarded).
@@ -168,6 +186,10 @@ func (l *AuditLog) Append(rec *AuditRecord) {
 	defer l.mu.Unlock()
 	l.seq++
 	rec.Seq = l.seq
+	if rec.SchemaID == "" {
+		rec.SchemaID = AuditSchemaID
+		rec.SchemaVersion = AuditSchemaVersion
+	}
 	if rec.Time == 0 {
 		rec.Time = l.now().UnixNano()
 	}

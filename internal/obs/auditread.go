@@ -3,9 +3,18 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
+	"path/filepath"
+	"sort"
 )
+
+// ErrStopScan, returned by a scan callback, stops the scan cleanly: the
+// scanner returns the partial result with a nil error. Any other
+// callback error aborts the scan and is propagated.
+var ErrStopScan = errors.New("obs: stop audit scan")
 
 // TornLine describes a record the reader could not parse — typically the
 // crash-truncated last line of a segment.
@@ -29,30 +38,46 @@ type ReadResult struct {
 	Torn []TornLine
 	// Segments are the files read, in index order.
 	Segments []Segment
+	// Legacy counts records without a schema_id stamp (written before the
+	// record schema was versioned). They parse fine; verifiers flag them.
+	Legacy int
 }
 
-// readSegment parses one segment file, skipping torn lines. A line is
-// torn when it fails to parse as JSON or — the crash signature — is the
-// final line of the file without a trailing newline.
-func readSegment(path string) ([]AuditRecord, []TornLine, error) {
-	f, err := os.Open(path)
+// ScanResult summarizes a streaming pass over an audit chain — everything
+// ReadResult carries except the records themselves, which the per-record
+// callback consumed as they went by. This is what lets auditctl list a
+// multi-gigabyte trail without materializing it.
+type ScanResult struct {
+	// Segments are the files scanned, in index order.
+	Segments []Segment
+	// Records is the number of valid records seen.
+	Records int
+	// Legacy counts records without a schema_id stamp.
+	Legacy int
+	// Torn lists the skipped lines.
+	Torn []TornLine
+}
+
+// scanSegment streams the records of one segment, invoking fn (which may
+// be nil) for each parsed record. A line is torn when it fails to parse
+// as JSON or — the crash signature — is the final line of the file
+// without a trailing newline. displayPath labels torn lines (the on-disk
+// path for directories, the in-pack name for pack file systems).
+func scanSegment(fsys fs.FS, name, displayPath string, fn func(*AuditRecord) error) (records, legacy int, torn []TornLine, err error) {
+	f, err := fsys.Open(name)
 	if err != nil {
-		return nil, nil, fmt.Errorf("obs: open audit segment: %w", err)
+		return 0, 0, nil, fmt.Errorf("obs: open audit segment: %w", err)
 	}
 	defer f.Close()
-	var (
-		recs []AuditRecord
-		torn []TornLine
-	)
+	info, err := f.Stat()
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("obs: stat audit segment: %w", err)
+	}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
 	lineNo := 0
 	// Track the raw byte count consumed vs the file size to detect a
 	// missing trailing newline on the last line.
-	info, err := f.Stat()
-	if err != nil {
-		return nil, nil, fmt.Errorf("obs: stat audit segment: %w", err)
-	}
 	var consumed int64
 	for sc.Scan() {
 		lineNo++
@@ -65,7 +90,7 @@ func readSegment(path string) ([]AuditRecord, []TornLine, error) {
 		if err := json.Unmarshal(line, &rec); err != nil {
 			final := consumed >= info.Size()+1 // the +1 newline was assumed
 			torn = append(torn, TornLine{
-				Path: path, Line: lineNo, Final: final,
+				Path: displayPath, Line: lineNo, Final: final,
 				Reason: fmt.Sprintf("unparsable record: %v", err),
 			})
 			continue
@@ -73,28 +98,120 @@ func readSegment(path string) ([]AuditRecord, []TornLine, error) {
 		// A syntactically valid document on an unterminated final line is
 		// still suspect only if truncated mid-way; valid JSON that
 		// consumed the whole file is accepted even without the newline.
-		recs = append(recs, rec)
+		records++
+		if rec.SchemaID == "" {
+			legacy++
+		}
+		if fn != nil {
+			if err := fn(&rec); err != nil {
+				return records, legacy, torn, err
+			}
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, fmt.Errorf("obs: scan audit segment %s: %w", path, err)
+		return records, legacy, torn, fmt.Errorf("obs: scan audit segment %s: %w", displayPath, err)
+	}
+	return records, legacy, torn, nil
+}
+
+// readSegment parses one segment file into memory, skipping torn lines.
+func readSegment(path string) ([]AuditRecord, []TornLine, error) {
+	var recs []AuditRecord
+	_, _, torn, err := scanSegment(os.DirFS(filepath.Dir(path)), filepath.Base(path), path,
+		func(r *AuditRecord) error {
+			recs = append(recs, *r)
+			return nil
+		})
+	if err != nil {
+		return nil, nil, err
 	}
 	return recs, torn, nil
+}
+
+// ScanAuditDir streams the whole audit chain under dir in segment order,
+// invoking fn for every valid record. Only one line is held in memory at
+// a time — the reader auditctl list/summarize uses on large trails.
+func ScanAuditDir(dir string, fn func(*AuditRecord) error) (*ScanResult, error) {
+	segments, err := AuditSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScanResult{Segments: segments}
+	fsys := os.DirFS(dir)
+	for _, seg := range segments {
+		n, legacy, torn, err := scanSegment(fsys, filepath.Base(seg.Path), seg.Path, fn)
+		res.Records += n
+		res.Legacy += legacy
+		res.Torn = append(res.Torn, torn...)
+		if errors.Is(err, ErrStopScan) {
+			return res, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
 }
 
 // ReadAuditDir reads the whole audit chain under dir, in segment order,
 // skipping (and reporting) torn lines.
 func ReadAuditDir(dir string) (*ReadResult, error) {
-	segments, err := AuditSegments(dir)
+	res := &ReadResult{}
+	scan, err := ScanAuditDir(dir, func(r *AuditRecord) error {
+		res.Records = append(res.Records, *r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Segments, res.Torn, res.Legacy = scan.Segments, scan.Torn, scan.Legacy
+	return res, nil
+}
+
+// auditSegmentsFS lists audit segments at the root of fsys, sorted by
+// index — the evidence-pack layout, where segments sit under segments/.
+func auditSegmentsFS(fsys fs.FS) ([]Segment, error) {
+	entries, err := fs.ReadDir(fsys, ".")
+	if err != nil {
+		return nil, fmt.Errorf("obs: read audit fs: %w", err)
+	}
+	var out []Segment
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		var idx int
+		if _, err := fmt.Sscanf(e.Name(), "audit-%d.jsonl", &idx); err != nil {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, fmt.Errorf("obs: stat audit segment: %w", err)
+		}
+		out = append(out, Segment{Path: e.Name(), Index: idx, Size: info.Size()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out, nil
+}
+
+// ReadAuditFS reads an audit chain from any fs.FS whose root holds
+// audit-*.jsonl segments — a directory, or the segments/ tree of an
+// evidence pack (dir or zip; zip.Reader is an fs.FS).
+func ReadAuditFS(fsys fs.FS) (*ReadResult, error) {
+	segments, err := auditSegmentsFS(fsys)
 	if err != nil {
 		return nil, err
 	}
 	res := &ReadResult{Segments: segments}
 	for _, seg := range segments {
-		recs, torn, err := readSegment(seg.Path)
+		_, legacy, torn, err := scanSegment(fsys, seg.Path, seg.Path, func(r *AuditRecord) error {
+			res.Records = append(res.Records, *r)
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		res.Records = append(res.Records, recs...)
+		res.Legacy += legacy
 		res.Torn = append(res.Torn, torn...)
 	}
 	return res, nil
@@ -106,6 +223,10 @@ type VerifyResult struct {
 	Segments int `json:"segments"`
 	// Records is the number of valid records.
 	Records int `json:"records"`
+	// Legacy counts valid records without a schema_id stamp. Flagged but
+	// not a problem: trails written before the schema existed must stay
+	// verifiable.
+	Legacy int `json:"legacy_records,omitempty"`
 	// Torn lists skipped lines (crash-truncated tails).
 	Torn []TornLine `json:"torn,omitempty"`
 	// Problems lists chain violations: segment-index gaps, sequence
@@ -117,19 +238,33 @@ type VerifyResult struct {
 // themselves problems — a verifier must flag a crash-truncated record).
 func (v *VerifyResult) OK() bool { return len(v.Problems) == 0 }
 
-// VerifyAuditDir checks the audit chain: segment indices must be
-// contiguous, sequence numbers strictly increasing by one across the
-// whole chain, and every line parsable. Torn lines are flagged as
-// problems (the reader skipped them, but an auditor must know the trail
-// has a hole).
-func VerifyAuditDir(dir string) (*VerifyResult, error) {
-	res, err := ReadAuditDir(dir)
-	if err != nil {
-		return nil, err
+// TornTailOnly reports whether every problem is a crash-truncated final
+// line — the expected shape after a crash, distinct (for exit codes)
+// from mid-file corruption or a broken sequence chain.
+func (v *VerifyResult) TornTailOnly() bool {
+	if v.OK() {
+		return false
 	}
+	finals := 0
+	for _, t := range v.Torn {
+		if !t.Final {
+			return false
+		}
+		finals++
+	}
+	return len(v.Problems) == finals
+}
+
+// VerifyChain checks a read audit chain: segment indices must be
+// contiguous, sequence numbers strictly increasing by one across the
+// whole chain, every line parsable, and every stamped schema_id known.
+// Torn lines are flagged as problems (the reader skipped them, but an
+// auditor must know the trail has a hole).
+func VerifyChain(res *ReadResult) *VerifyResult {
 	out := &VerifyResult{
 		Segments: len(res.Segments),
 		Records:  len(res.Records),
+		Legacy:   res.Legacy,
 		Torn:     res.Torn,
 	}
 	for i := 1; i < len(res.Segments); i++ {
@@ -146,6 +281,12 @@ func VerifyAuditDir(dir string) (*VerifyResult, error) {
 				"sequence gap: record %d follows record %d", cur, prev))
 		}
 	}
+	for _, r := range res.Records {
+		if r.SchemaID != "" && r.SchemaID != AuditSchemaID {
+			out.Problems = append(out.Problems, fmt.Sprintf(
+				"record %d has unknown schema %q", r.Seq, r.SchemaID))
+		}
+	}
 	for _, t := range res.Torn {
 		kind := "torn final record"
 		if !t.Final {
@@ -154,5 +295,14 @@ func VerifyAuditDir(dir string) (*VerifyResult, error) {
 		out.Problems = append(out.Problems, fmt.Sprintf(
 			"%s: %s line %d (%s)", kind, t.Path, t.Line, t.Reason))
 	}
-	return out, nil
+	return out
+}
+
+// VerifyAuditDir reads and chain-checks the audit trail under dir.
+func VerifyAuditDir(dir string) (*VerifyResult, error) {
+	res, err := ReadAuditDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return VerifyChain(res), nil
 }

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/fstest"
+)
+
+func writeReadTrail(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	log, err := OpenAuditLog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		log.Append(&AuditRecord{
+			Trigger: "GET(volume)", Method: "GET", Resource: "volume",
+			Outcome: "rejected", Time: int64(1000 + i),
+		})
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestAppendStampsSchema: every record written through Append carries
+// the schema identity and version, without callers opting in.
+func TestAppendStampsSchema(t *testing.T) {
+	dir := writeReadTrail(t, 2)
+	res, err := ReadAuditDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Records {
+		if rec.SchemaID != AuditSchemaID || rec.SchemaVersion != AuditSchemaVersion {
+			t.Fatalf("record %d stamped %q/%q", rec.Seq, rec.SchemaID, rec.SchemaVersion)
+		}
+	}
+	if res.Legacy != 0 {
+		t.Errorf("fresh trail counted %d legacy records", res.Legacy)
+	}
+}
+
+// TestLegacyRecordsToleratedAndFlagged: a pre-schema trail (no
+// schema_id) still reads and chain-verifies, but the legacy count
+// surfaces it; an unknown schema_id is a problem, not a silent accept.
+func TestLegacyRecordsToleratedAndFlagged(t *testing.T) {
+	dir := t.TempDir()
+	lines := []string{
+		`{"seq":1,"time_unix_nano":1,"trigger":"GET(volume)","method":"GET","resource":"volume","outcome":"rejected"}`,
+		`{"schema_id":"cloudmon.audit.record","schema_version":"1.0.0","seq":2,"time_unix_nano":2,"trigger":"GET(volume)","method":"GET","resource":"volume","outcome":"rejected"}`,
+	}
+	if err := os.WriteFile(filepath.Join(dir, "audit-000001.jsonl"),
+		[]byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := VerifyAuditDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || res.Legacy != 1 || res.Records != 2 {
+		t.Fatalf("legacy trail: %+v", res)
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, "audit-000002.jsonl"),
+		[]byte(`{"schema_id":"someone.elses.schema","seq":3,"time_unix_nano":3,"trigger":"GET(volume)","method":"GET","resource":"volume","outcome":"rejected"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err = VerifyAuditDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("unknown schema_id accepted")
+	}
+	found := false
+	for _, p := range res.Problems {
+		if strings.Contains(p, "unknown schema") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("problems %v", res.Problems)
+	}
+}
+
+// TestScanStopsCleanly: ErrStopScan ends the stream without an error
+// and returns the partial tallies — what list -limit leans on.
+func TestScanStopsCleanly(t *testing.T) {
+	dir := writeReadTrail(t, 5)
+	seen := 0
+	res, err := ScanAuditDir(dir, func(r *AuditRecord) error {
+		seen++
+		if seen == 2 {
+			return ErrStopScan
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 2 || res.Records != 2 {
+		t.Fatalf("seen=%d records=%d, want 2/2", seen, res.Records)
+	}
+}
+
+// TestTornClassification: a truncated final line is torn-tail (the
+// crash shape, exit 1 territory); damage mid-file is corruption.
+func TestTornClassification(t *testing.T) {
+	dir := writeReadTrail(t, 3)
+	segs, err := AuditSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(segs[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate the tail: torn-final only.
+	if err := os.WriteFile(segs[0].Path, data[:len(data)-15], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := VerifyAuditDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || !res.TornTailOnly() {
+		t.Fatalf("truncated tail: OK=%v tornTailOnly=%v problems=%v", res.OK(), res.TornTailOnly(), res.Problems)
+	}
+
+	// Corrupt the first line instead: mid-file damage, and the skipped
+	// record also tears the sequence chain.
+	bad := append([]byte{}, data...)
+	bad[10] = 0x00
+	if err := os.WriteFile(segs[0].Path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err = VerifyAuditDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || res.TornTailOnly() {
+		t.Fatalf("mid-file corruption classified as torn tail: %+v", res)
+	}
+}
+
+// TestReadAuditFS: the same chain reads identically through any fs.FS —
+// the path evidence packs use (zip or dir) to reuse the reader.
+func TestReadAuditFS(t *testing.T) {
+	dir := writeReadTrail(t, 3)
+	segs, err := AuditSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(segs[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys := fstest.MapFS{
+		"audit-000001.jsonl": &fstest.MapFile{Data: data},
+	}
+	res, err := ReadAuditFS(fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 3 || len(res.Segments) != 1 {
+		t.Fatalf("fs read: %d records in %d segments", len(res.Records), len(res.Segments))
+	}
+	if !VerifyChain(res).OK() {
+		t.Fatal("fs chain does not verify")
+	}
+}

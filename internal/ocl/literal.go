@@ -1,0 +1,113 @@
+package ocl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseValue parses the literal syntax Value.String renders — the format
+// the monitor's audit snapshots are stored in:
+//
+//	true | false | 42 | -7 | 'text' | OclUndefined | Set{1, 'a', Set{}}
+//
+// It is the inverse of Value.String for every value whose strings contain
+// no single quote (String does not escape quotes, so such values do not
+// round-trip; ParseValue reports an error rather than guess). Evidence
+// replay uses it to rebuild state environments from packed audit records.
+func ParseValue(s string) (Value, error) {
+	p := &literalParser{src: s}
+	v, err := p.value()
+	if err != nil {
+		return Value{}, err
+	}
+	p.ws()
+	if p.pos != len(p.src) {
+		return Value{}, fmt.Errorf("ocl: trailing input %q in value literal", p.src[p.pos:])
+	}
+	return v, nil
+}
+
+type literalParser struct {
+	src string
+	pos int
+}
+
+func (p *literalParser) ws() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *literalParser) value() (Value, error) {
+	p.ws()
+	if p.pos >= len(p.src) {
+		return Value{}, fmt.Errorf("ocl: empty value literal")
+	}
+	rest := p.src[p.pos:]
+	switch {
+	case strings.HasPrefix(rest, "true"):
+		p.pos += len("true")
+		return BoolVal(true), nil
+	case strings.HasPrefix(rest, "false"):
+		p.pos += len("false")
+		return BoolVal(false), nil
+	case strings.HasPrefix(rest, "OclUndefined"):
+		p.pos += len("OclUndefined")
+		return Undefined(), nil
+	case strings.HasPrefix(rest, "Set{"):
+		p.pos += len("Set{")
+		return p.set()
+	case rest[0] == '\'':
+		p.pos++
+		end := strings.IndexByte(p.src[p.pos:], '\'')
+		if end < 0 {
+			return Value{}, fmt.Errorf("ocl: unterminated string in value literal %q", p.src)
+		}
+		v := StringVal(p.src[p.pos : p.pos+end])
+		p.pos += end + 1
+		return v, nil
+	case rest[0] == '-' || (rest[0] >= '0' && rest[0] <= '9'):
+		end := p.pos + 1
+		for end < len(p.src) && p.src[end] >= '0' && p.src[end] <= '9' {
+			end++
+		}
+		n, err := strconv.Atoi(p.src[p.pos:end])
+		if err != nil {
+			return Value{}, fmt.Errorf("ocl: bad integer in value literal %q: %v", p.src, err)
+		}
+		p.pos = end
+		return IntVal(n), nil
+	}
+	return Value{}, fmt.Errorf("ocl: unrecognized value literal %q", rest)
+}
+
+// set parses the elements after "Set{" up to the matching "}".
+func (p *literalParser) set() (Value, error) {
+	var elems []Value
+	p.ws()
+	if p.pos < len(p.src) && p.src[p.pos] == '}' {
+		p.pos++
+		return CollectionVal(), nil
+	}
+	for {
+		v, err := p.value()
+		if err != nil {
+			return Value{}, err
+		}
+		elems = append(elems, v)
+		p.ws()
+		if p.pos >= len(p.src) {
+			return Value{}, fmt.Errorf("ocl: unterminated Set in value literal %q", p.src)
+		}
+		switch p.src[p.pos] {
+		case ',':
+			p.pos++
+		case '}':
+			p.pos++
+			return CollectionVal(elems...), nil
+		default:
+			return Value{}, fmt.Errorf("ocl: expected ',' or '}' in Set literal, got %q", p.src[p.pos:])
+		}
+	}
+}
