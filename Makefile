@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet lint test race cover bench planbench factbench compbench asyncbench fuzz chaos obs evidence examples experiments artifacts
+.PHONY: all build vet lint test race cover bench planbench factbench compbench asyncbench fleetbench fleet examples experiments artifacts fuzz chaos obs evidence
 
 all: build vet lint test
 
@@ -44,14 +44,35 @@ factbench:
 
 # E17: the compiled closure-chain engine vs the lazy engine and the
 # single-pass tree walk on the in-process OK path (see EXPERIMENTS.md).
+# Results land in BENCH_compiled.json for cross-commit tracking.
 compbench:
-	go test -run XXX -bench BenchmarkCompiledEval -benchmem .
+	go test -run XXX -bench BenchmarkCompiledEval -benchmem . \
+		| go run ./cmd/benchjson -out BENCH_compiled.json
 
 # E18: synchronous vs deferred (async) post-verification on a mutating
 # create/delete workload at 1 ms simulated RTT, with p99 detection lag
-# (see EXPERIMENTS.md).
+# (see EXPERIMENTS.md). Results land in BENCH_async.json.
 asyncbench:
-	go test -run XXX -bench BenchmarkAsyncPost -benchtime 25x .
+	go test -run XXX -bench BenchmarkAsyncPost -benchtime 25x . \
+		| go run ./cmd/benchjson -out BENCH_async.json
+
+# E20: aggregate throughput of the sharded fleet at N ∈ {1,2,4}
+# instances behind the consistent-hash front, each instance throttled to
+# a small backend connection budget at 1 ms simulated RTT (see
+# EXPERIMENTS.md). The experiment writes BENCH_fleet.json itself and
+# fails if N=4 is not ≥ 2.5× N=1.
+fleetbench:
+	go test -run TestExperimentE20FleetScaling -v .
+
+# Fleet soundness: the fleet package and in-process fleet scenarios
+# (verdict conservation, mid-run resize remap invariant, chaos soak
+# through the front) under the race detector, then a full
+# loadmon -fleet run with aggregate invariant verification.
+fleet:
+	go test -race ./internal/fleet/
+	go test -race -run 'TestFleet' ./internal/loadgen/
+	go run ./cmd/loadmon -fleet 4 -fleet-projects 16 -requests 1200 \
+		-warmup 0 -clients 16 -verify
 
 # Seed-corpus fuzzing already runs under `make test`; this target fuzzes
 # each parser for 30s, plus the compiled OCL engine against the

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -532,6 +533,50 @@ func replayContracts(model, scenario string) (*contract.Set, error) {
 	return nil, fmt.Errorf("replay: unknown model %q (cinder|nova|auto)", model)
 }
 
+// readAuditTree reads dir as one audit chain or — when dir itself holds
+// no segments but its subdirectories do (a fleet root with one trail per
+// instance) — merges the per-instance chains into a single record set, in
+// instance order. Per-instance Seq chains stay intact within each trail;
+// the merged set is what fleet-wide replay evaluates.
+func readAuditTree(dir string) (*obs.ReadResult, error) {
+	segs, err := obs.AuditSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) > 0 {
+		return obs.ReadAuditDir(dir)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	merged := &obs.ReadResult{}
+	instances := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub := filepath.Join(dir, e.Name())
+		subSegs, err := obs.AuditSegments(sub)
+		if err != nil || len(subSegs) == 0 {
+			continue
+		}
+		r, err := obs.ReadAuditDir(sub)
+		if err != nil {
+			return nil, fmt.Errorf("replay: instance trail %s: %w", e.Name(), err)
+		}
+		instances++
+		merged.Records = append(merged.Records, r.Records...)
+		merged.Segments = append(merged.Segments, r.Segments...)
+		merged.Torn = append(merged.Torn, r.Torn...)
+		merged.Legacy += r.Legacy
+	}
+	if instances == 0 {
+		return nil, fmt.Errorf("replay: %s holds no audit segments, directly or in per-instance subdirectories", dir)
+	}
+	return merged, nil
+}
+
 func runReplay(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("auditctl replay", flag.ContinueOnError)
 	pack := fs.String("pack", "", "evidence pack (directory or .zip)")
@@ -575,7 +620,7 @@ func runReplay(args []string, out io.Writer) (int, error) {
 		}
 	} else {
 		var err error
-		if recs, err = obs.ReadAuditDir(*dir); err != nil {
+		if recs, err = readAuditTree(*dir); err != nil {
 			return 2, err
 		}
 	}

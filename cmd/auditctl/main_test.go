@@ -252,6 +252,54 @@ func TestPackTamperExit4(t *testing.T) {
 	}
 }
 
+// TestReadAuditTreeFleetRoot: a directory without segments of its own but
+// with per-instance subdirectories reads as the merged record set.
+func TestReadAuditTreeFleetRoot(t *testing.T) {
+	root := t.TempDir()
+	total := 0
+	for _, id := range []string{"m-00", "m-01"} {
+		sub := filepath.Join(root, id)
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		log, err := obs.OpenAuditLog(sub, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			log.Append(&obs.AuditRecord{Trigger: "GET(volume)", Method: "GET", Resource: "volume",
+				Outcome: "error", Instance: id, Time: int64(i + 1)})
+			total++
+		}
+		if err := log.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := readAuditTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs.Records) != total {
+		t.Fatalf("merged %d records, want %d", len(recs.Records), total)
+	}
+	byInstance := map[string]int{}
+	for _, rec := range recs.Records {
+		byInstance[rec.Instance]++
+	}
+	if byInstance["m-00"] != 3 || byInstance["m-01"] != 3 {
+		t.Fatalf("merged records per instance: %v", byInstance)
+	}
+	// A flat trail still reads directly.
+	flat := writeTrail(t)
+	if recs, err = readAuditTree(flat); err != nil || len(recs.Records) != 3 {
+		t.Fatalf("flat trail: %v, %d records", err, len(recs.Records))
+	}
+	// An empty root is an explicit error, not an empty replay.
+	if _, err := readAuditTree(t.TempDir()); err == nil {
+		t.Fatal("empty root accepted")
+	}
+}
+
 func TestReplayDigestMismatchExit5(t *testing.T) {
 	// The synthetic trail's records carry no contract digest and no
 	// snapshots: the DELETE and GET records resolve to cinder triggers

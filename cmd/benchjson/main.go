@@ -1,0 +1,132 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON file so benchmark trajectories can be tracked
+// across commits. It reads the benchmark stream on stdin, echoes it
+// unchanged to stdout (the human still sees the run), and writes the
+// parsed results to -out:
+//
+//	go test -run XXX -bench BenchmarkAsyncPost -benchtime 25x . \
+//	    | benchjson -out BENCH_async.json
+//
+// Every value/unit pair on a benchmark line is kept — ns/op, B/op,
+// allocs/op and custom b.ReportMetric units (req/s, p99-lag-ms, ...)
+// alike.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// the -cpu suffix (e.g. "BenchmarkAsyncPost/create-delete/sync-8").
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every pair on the line.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Output is the file benchjson writes.
+type Output struct {
+	// GoOS/GoArch/CPU describe the machine, copied from the stream's
+	// header lines when present.
+	GoOS   string `json:"goos,omitempty"`
+	GoArch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Benchmarks are the parsed results in stream order.
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	outPath := fs.String("out", "", "JSON file to write (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outPath == "" {
+		return fmt.Errorf("-out is required")
+	}
+	res, err := parse(in, out)
+	if err != nil {
+		return err
+	}
+	if len(res.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench` output in)")
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "benchjson: %d results -> %s\n", len(res.Benchmarks), *outPath)
+	return nil
+}
+
+// parse scans the benchmark stream, echoing every line to echo and
+// collecting the parsed results.
+func parse(in io.Reader, echo io.Writer) (*Output, error) {
+	res := &Output{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			res.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			res.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			res.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		}
+		r, ok := parseLine(line)
+		if ok {
+			res.Benchmarks = append(res.Benchmarks, r)
+		}
+	}
+	return res, sc.Err()
+}
+
+// parseLine parses one "BenchmarkName  N  v1 unit1  v2 unit2 ..." line.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: n, Metrics: map[string]float64{}}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Result{}, false
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[rest[i+1]] = v
+	}
+	return r, true
+}

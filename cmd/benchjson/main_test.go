@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: cloudmon
+cpu: Test CPU @ 2.00GHz
+BenchmarkAsyncPost/create-delete/sync-8        	      25	  50213973 ns/op	         3.000 p99-lag-ms	         0 shed
+BenchmarkAsyncPost/create-delete/async-8       	      25	  12087554 ns/op	        41.00 p99-lag-ms	         0 shed
+BenchmarkCompiledEval/pre-8                    	 1203394	       996.1 ns/op	     320 B/op	       6 allocs/op
+PASS
+ok  	cloudmon	4.812s
+`
+
+func TestParseBenchStream(t *testing.T) {
+	var echo strings.Builder
+	res, err := parse(strings.NewReader(sampleBench), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GoOS != "linux" || res.GoArch != "amd64" || res.CPU != "Test CPU @ 2.00GHz" {
+		t.Errorf("header: %+v", res)
+	}
+	if len(res.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(res.Benchmarks))
+	}
+	b := res.Benchmarks[0]
+	if b.Name != "BenchmarkAsyncPost/create-delete/sync-8" || b.Iterations != 25 {
+		t.Errorf("first result: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 50213973 || b.Metrics["p99-lag-ms"] != 3 || b.Metrics["shed"] != 0 {
+		t.Errorf("first metrics: %v", b.Metrics)
+	}
+	if m := res.Benchmarks[2].Metrics; m["allocs/op"] != 6 || m["B/op"] != 320 {
+		t.Errorf("alloc metrics: %v", m)
+	}
+	// The stream is echoed verbatim so the human still sees the run.
+	if echo.String() != sampleBench {
+		t.Errorf("echo mangled the stream:\n%s", echo.String())
+	}
+}
+
+func TestRunWritesJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var sb strings.Builder
+	if err := run([]string{"-out", out}, strings.NewReader(sampleBench), &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Output
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != 3 {
+		t.Fatalf("file holds %d benchmarks, want 3", len(got.Benchmarks))
+	}
+	if !strings.Contains(sb.String(), "3 results -> "+out) {
+		t.Errorf("summary line missing:\n%s", sb.String())
+	}
+	// Missing -out and an empty stream are explicit errors.
+	if err := run(nil, strings.NewReader(sampleBench), &sb); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run([]string{"-out", out}, strings.NewReader("PASS\n"), &sb); err == nil {
+		t.Error("stream without benchmarks accepted")
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	cloudmon	4.812s",
+		"Benchmark only",
+		"BenchmarkX notanumber 12 ns/op",
+		"BenchmarkX 25 12", // dangling value without a unit
+		"BenchmarkX 25 twelve ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("line %q parsed", line)
+		}
+	}
+}

@@ -8,17 +8,38 @@
 // The monitor authenticates to the cloud with a service account
 // (-svc-user/-svc-pass) and exposes the model's URI space, e.g.
 // /projects/{project_id}/volumes/{volume_id}.
+//
+// In a horizontally sharded fleet each instance runs with -instance
+// (stamping its audit records, labelling its metrics and serving the
+// invalidation bus on the inspect listener), and one process runs as the
+// routing front tier:
+//
+//	cloudmon -fleet-front 'm-00=http://h0:8000|http://h0:8001,m-01=http://h1:8000|http://h1:8001' \
+//	         -addr :9000 -metrics-addr :9002
+//
+// The front routes each request to the instance owning its project under
+// rendezvous hashing and serves the federated /metrics of the whole fleet.
+//
+// On SIGTERM/SIGINT the monitor drains in order: the proxy listener stops
+// accepting, deferred post-verifications finish, the audit trail is
+// flushed — and only then do the inspect and metrics listeners close, so
+// a final scrape still sees the complete counters.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"cloudmon/internal/contract"
 	"cloudmon/internal/core"
+	"cloudmon/internal/fleet"
 	"cloudmon/internal/monitor"
 	"cloudmon/internal/obs"
 	"cloudmon/internal/osbinding"
@@ -72,8 +93,16 @@ func run(args []string) error {
 	svcPass := fs.String("svc-pass", "pw-svc", "monitor service-account password")
 	project := fs.String("project", "", "project the service account is scoped to (required)")
 	printContracts := fs.Bool("contracts", false, "print generated contracts at startup")
+	instance := fs.String("instance", "",
+		"fleet instance id: stamps audit records, labels every metric with instance=<id>, and serves the invalidation bus and /metrics on the inspect listener")
+	frontSpec := fs.String("fleet-front", "",
+		"run as a fleet front instead of a monitor: comma-separated id=proxyURL[|inspectURL] members, routed by rendezvous hash on the project")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful drain budget on SIGTERM/SIGINT")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *frontSpec != "" {
+		return runFront(*frontSpec, *addr, *metricsAddr, *shutdownTimeout)
 	}
 	if *project == "" {
 		return fmt.Errorf("-project is required (the seeded project id; cloudsim prints it)")
@@ -170,6 +199,7 @@ func run(args []string) error {
 		ServiceAccount: osbinding.ServiceAccount{
 			User: *svcUser, Password: *svcPass, ProjectID: *project,
 		},
+		InstanceID:        *instance,
 		Mode:              mode,
 		Level:             level,
 		Eval:              eval,
@@ -189,6 +219,9 @@ func run(args []string) error {
 	defer sys.Monitor.Close()
 
 	fmt.Printf("cloud monitor (%s mode, %s eval) on %s, proxying %s\n", mode, eval, *addr, *cloudURL)
+	if *instance != "" {
+		fmt.Printf("  fleet instance %s (audit stamp, metric label, invalidation bus on the inspect listener)\n", *instance)
+	}
 	fmt.Printf("  %d contracts over model %q; security requirements %v\n",
 		len(sys.Contracts.Contracts), model.Resource.Name, sys.Contracts.SecReqs())
 	for _, r := range sys.Routes {
@@ -201,30 +234,139 @@ func run(args []string) error {
 	if audit != nil {
 		fmt.Printf("  audit trail in %s\n", audit.Dir())
 	}
-	// Either listener failing brings the process down.
-	errCh := make(chan error, 1)
-	extra := 0
+	// Observability listeners. When -instance is set the inspect mux also
+	// serves the fleet invalidation bus, so peers can bump this instance's
+	// pre-state cache generations after a resize moves a project here, and
+	// /metrics, so a remote front can federate this instance through the
+	// single inspect URL in its -fleet-front member spec.
+	var aux []*http.Server
 	if *inspectAddr != "" {
 		fmt.Printf("  inspect API on %s (/log /violations /coverage /outcomes /contracts /stages)\n", *inspectAddr)
-		extra++
-		go func() {
-			errCh <- http.ListenAndServe(*inspectAddr, sys.Monitor.InspectHandler())
-		}()
+		handler := sys.Monitor.InspectHandler()
+		if *instance != "" {
+			mux := http.NewServeMux()
+			mux.Handle(fleet.InvalidatePath, fleet.InvalidateHandler(sys.Monitor))
+			mux.Handle("/metrics", sys.Metrics.Handler())
+			mux.Handle("/", handler)
+			handler = mux
+		}
+		aux = append(aux, &http.Server{Addr: *inspectAddr, Handler: handler})
 	}
 	if *metricsAddr != "" {
 		fmt.Printf("  metrics on %s/metrics\n", *metricsAddr)
-		extra++
-		go func() {
-			mux := http.NewServeMux()
-			mux.Handle("/metrics", sys.Metrics.Handler())
-			errCh <- http.ListenAndServe(*metricsAddr, mux)
-		}()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", sys.Metrics.Handler())
+		aux = append(aux, &http.Server{Addr: *metricsAddr, Handler: mux})
 	}
-	if extra == 0 {
-		return http.ListenAndServe(*addr, sys.Monitor)
+	proxy := &http.Server{Addr: *addr, Handler: sys.Monitor}
+
+	err = serveUntilSignal(proxy, aux, *shutdownTimeout, func(ctx context.Context) {
+		// Shutdown order matters: the proxy has stopped accepting and its
+		// in-flight requests have finished; now land every deferred
+		// verdict and flush the trail while the metrics and inspect
+		// listeners are still up, so a final scrape sees the complete run.
+		sys.Monitor.Close()
+		if audit != nil {
+			if serr := audit.Sync(); serr != nil {
+				fmt.Fprintln(os.Stderr, "cloudmon: flush audit trail:", serr)
+			}
+		}
+	})
+	return err
+}
+
+// serveUntilSignal runs the proxy and auxiliary listeners until one fails
+// or SIGTERM/SIGINT arrives, then drains gracefully: proxy first, the
+// drain hook second, observability listeners last.
+func serveUntilSignal(proxy *http.Server, aux []*http.Server, timeout time.Duration, drain func(context.Context)) error {
+	errCh := make(chan error, len(aux)+1)
+	serve := func(srv *http.Server) {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
 	}
-	go func() {
-		errCh <- http.ListenAndServe(*addr, sys.Monitor)
-	}()
-	return <-errCh
+	for _, srv := range aux {
+		go serve(srv)
+	}
+	go serve(proxy)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Printf("received %s: draining (proxy -> deferred verdicts -> audit flush -> observability)\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		if err := proxy.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "cloudmon: proxy shutdown:", err)
+		}
+		if drain != nil {
+			drain(ctx)
+		}
+		for _, srv := range aux {
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "cloudmon: listener shutdown:", err)
+			}
+		}
+		return nil
+	}
+}
+
+// runFront assembles the fleet front tier from the member spec and serves
+// it: requests route to the instance owning their project, /metrics on
+// the metrics listener serves the federated exposition of the whole
+// fleet plus the front's own routing counters.
+func runFront(spec, addr, metricsAddr string, timeout time.Duration) error {
+	members, err := parseFleetMembers(spec)
+	if err != nil {
+		return err
+	}
+	front, err := fleet.NewFront(members)
+	if err != nil {
+		return err
+	}
+	reg := &obs.Registry{}
+	front.RegisterMetrics(reg)
+
+	fmt.Printf("fleet front on %s over %d instances (rendezvous-hash routing by project)\n", addr, len(members))
+	for _, m := range members {
+		fmt.Printf("  %s\n", m.ID)
+	}
+	var aux []*http.Server
+	if metricsAddr != "" {
+		fmt.Printf("  federated metrics on %s/metrics\n", metricsAddr)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", front.FederationHandler(reg))
+		aux = append(aux, &http.Server{Addr: metricsAddr, Handler: mux})
+	}
+	proxy := &http.Server{Addr: addr, Handler: front}
+	return serveUntilSignal(proxy, aux, timeout, nil)
+}
+
+// parseFleetMembers parses "id=proxyURL[|inspectURL]" entries.
+func parseFleetMembers(spec string) ([]*fleet.Member, error) {
+	var members []*fleet.Member
+	for _, ent := range splitCSV(spec) {
+		id, urls, ok := strings.Cut(ent, "=")
+		if !ok || id == "" {
+			return nil, fmt.Errorf("bad -fleet-front entry %q (want id=proxyURL[|inspectURL])", ent)
+		}
+		proxyURL, inspectURL, _ := strings.Cut(urls, "|")
+		if proxyURL == "" {
+			return nil, fmt.Errorf("bad -fleet-front entry %q: empty proxy URL", ent)
+		}
+		m, err := fleet.NewRemoteMember(id, proxyURL, inspectURL, nil)
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, m)
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("-fleet-front lists no members")
+	}
+	return members, nil
 }

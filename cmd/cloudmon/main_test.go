@@ -29,6 +29,33 @@ func TestFlagValidation(t *testing.T) {
 	}
 }
 
+func TestParseFleetMembers(t *testing.T) {
+	members, err := parseFleetMembers("m-00=http://h0:8000|http://h0:8001, m-01=http://h1:8000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 2 || members[0].ID != "m-00" || members[1].ID != "m-01" {
+		t.Fatalf("parsed %+v", members)
+	}
+	// The first member has an inspect URL, so it can federate and take bumps.
+	if members[0].Metrics == nil || members[0].Invalidate == nil {
+		t.Error("inspectable member lacks Metrics/Invalidate")
+	}
+	// The second is routing-only.
+	if members[1].Metrics != nil || members[1].Invalidate != nil {
+		t.Error("routing-only member grew Metrics/Invalidate")
+	}
+	for _, bad := range []string{"", "m-00", "=http://h0:8000", "m-00=", "m-00=%%bad"} {
+		if _, err := parseFleetMembers(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+	// A front spec never needs -project.
+	if err := run([]string{"-fleet-front", "bogus-entry"}); err == nil {
+		t.Error("bogus -fleet-front accepted")
+	}
+}
+
 func TestSplitCSV(t *testing.T) {
 	got := splitCSV(" a, b ,,c ")
 	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {

@@ -1,0 +1,336 @@
+package main
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"cloudmon/internal/evidence"
+	"cloudmon/internal/loadgen"
+	"cloudmon/internal/monitor"
+	"cloudmon/internal/obs"
+)
+
+// printFleetSummary reports where the sharded run's traffic went.
+func printFleetSummary(fdep *loadgen.FleetDeployment, out io.Writer) {
+	st := fdep.Front.Stats()
+	fmt.Fprintf(out, "fleet: %d instances, %d projects, %d requests routed, %d remaps, %d fence waits\n",
+		fdep.Front.Ring().Size(), st.Projects, st.Requests, st.Remaps, st.FenceWaits)
+	for _, in := range fdep.Instances {
+		fmt.Fprintf(out, "  %s: %d requests\n", in.ID, st.Routed[in.ID])
+	}
+}
+
+// verifyFleet asserts the federated run invariants: per-instance and
+// aggregate verdict counters agree with the federated exposition, the
+// summed audit trails agree with the summed verdicts, routing stayed
+// stable, every per-instance evidence pack — and the merged trail —
+// replays with zero divergence, and a mid-run resize remaps only the
+// rendezvous-moved projects without dropping or misjudging a request.
+func verifyFleet(fdep *loadgen.FleetDeployment, sc loadgen.Scenario, r *loadgen.Report, opts loadgen.DeployOptions, out io.Writer) error {
+	// 1. The federated exposition must reproduce every instance's verdict
+	// counters under its instance label — metrics ≡ monitor state.
+	doc, err := fdep.FederatedMetrics()
+	if err != nil {
+		return fmt.Errorf("verify: federate metrics: %w", err)
+	}
+	samples, err := obs.ParseText([]byte(doc))
+	if err != nil {
+		return fmt.Errorf("verify: parse federated exposition: %w", err)
+	}
+	scraped := map[string]map[string]float64{}
+	for _, s := range obs.Find(samples, "cloudmon_verdicts_total") {
+		id := s.Labels["instance"]
+		if scraped[id] == nil {
+			scraped[id] = map[string]float64{}
+		}
+		scraped[id][s.Labels["outcome"]] += s.Value
+	}
+	for _, in := range fdep.Instances {
+		for outcome, n := range in.Sys.Monitor.Outcomes() {
+			if got := int(scraped[in.ID][outcome.String()]); got != n {
+				return fmt.Errorf("verify: federation reports %s=%d for %s, instance counters say %d",
+					outcome, got, in.ID, n)
+			}
+		}
+	}
+
+	// 2. The summed audit diff must match the summed verdict diff on
+	// every non-OK outcome — one record per violation, fleet-wide.
+	for outcome, n := range r.Verdicts {
+		if outcome == monitor.OK.String() {
+			continue
+		}
+		if r.Audit[outcome] != n {
+			return fmt.Errorf("verify: %d %s verdicts across the fleet but %d audit records", n, outcome, r.Audit[outcome])
+		}
+	}
+	for outcome, n := range r.Audit {
+		if r.Verdicts[outcome] != n {
+			return fmt.Errorf("verify: %d audit records for %s but %d verdicts", n, outcome, r.Verdicts[outcome])
+		}
+	}
+
+	// 3. Every instance's chain verifies on disk and every record is
+	// stamped with the instance that judged it.
+	for _, in := range fdep.Instances {
+		if in.Audit == nil {
+			continue
+		}
+		if err := in.Audit.Sync(); err != nil {
+			return fmt.Errorf("verify: sync %s audit log: %w", in.ID, err)
+		}
+		res, err := obs.VerifyAuditDir(in.AuditDir)
+		if err != nil {
+			return fmt.Errorf("verify: %s audit chain: %w", in.ID, err)
+		}
+		if !res.OK() {
+			return fmt.Errorf("verify: %s audit chain problems: %s", in.ID, strings.Join(res.Problems, "; "))
+		}
+		read, err := obs.ReadAuditDir(in.AuditDir)
+		if err != nil {
+			return fmt.Errorf("verify: read %s audit dir: %w", in.ID, err)
+		}
+		for _, rec := range read.Records {
+			if rec.Instance != in.ID {
+				return fmt.Errorf("verify: record seq %d in %s trail is stamped %q", rec.Seq, in.ID, rec.Instance)
+			}
+		}
+	}
+
+	// 4. Routing stayed stable: no remaps on a steady run, and every
+	// project the front saw sits with its ring owner.
+	st := fdep.Front.Stats()
+	if st.Remaps != 0 {
+		return fmt.Errorf("verify: steady fleet run recorded %d remaps — per-project routing is unstable", st.Remaps)
+	}
+	ring := fdep.Front.Ring()
+	for project, owner := range fdep.Front.Owners() {
+		if want := ring.Owner(project); owner != want {
+			return fmt.Errorf("verify: project %s is owned by %s, ring assigns %s", project, owner, want)
+		}
+	}
+
+	// 5. Evidence: each instance's trail packs and replays clean on its
+	// own, and the merged record set replays clean as one trail.
+	if err := verifyFleetPacks(fdep, sc, out); err != nil {
+		return err
+	}
+
+	// 6. Elasticity: a fresh fleet absorbing a mid-run 3→4 resize drops
+	// and misjudges nothing and remaps at most 40% of its projects.
+	return verifyFleetResize(opts, out)
+}
+
+// verifyFleetPacks builds one signed pack per instance, verifies and
+// replays each, then replays the merged instance segments as one record
+// set — the fleet-wide divergence check.
+func verifyFleetPacks(fdep *loadgen.FleetDeployment, sc loadgen.Scenario, out io.Writer) error {
+	if len(fdep.Instances) == 0 || fdep.Instances[0].Audit == nil {
+		return nil
+	}
+	tmp, err := os.MkdirTemp("", "loadmon-fleet-pack-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	_, priv, err := evidence.GenerateKey(nil)
+	if err != nil {
+		return err
+	}
+	replayer, err := monitor.NewReplayer(fdep.Instances[0].Sys.Contracts)
+	if err != nil {
+		return fmt.Errorf("verify: build replayer: %w", err)
+	}
+	var merged []obs.AuditRecord
+	for _, in := range fdep.Instances {
+		packPath := filepath.Join(tmp, in.ID)
+		if _, err := evidence.BuildPack(in.AuditDir, packPath, evidence.PackOptions{
+			Key:       priv,
+			Scenario:  sc.Name,
+			SetDigest: in.Sys.Contracts.Digest(),
+			Tool:      "loadmon",
+		}); err != nil {
+			return fmt.Errorf("verify: build %s evidence pack: %w", in.ID, err)
+		}
+		p, err := evidence.OpenPack(packPath)
+		if err != nil {
+			return fmt.Errorf("verify: open %s evidence pack: %w", in.ID, err)
+		}
+		rep, err := p.Verify(priv.Public().(ed25519.PublicKey))
+		if err != nil {
+			p.Close()
+			return fmt.Errorf("verify: verify %s evidence pack: %w", in.ID, err)
+		}
+		if !rep.PackOK() {
+			p.Close()
+			return fmt.Errorf("verify: %s evidence pack envelope failed: %s", in.ID, strings.Join(rep.Problems, "; "))
+		}
+		recs, err := p.Records()
+		p.Close()
+		if err != nil {
+			return fmt.Errorf("verify: read %s packed records: %w", in.ID, err)
+		}
+		if sum := replayer.ReplayAll(recs.Records); !sum.OK() {
+			return fmt.Errorf("verify: %s evidence replay diverged on %d of %d verdicts", in.ID, sum.Diverged, sum.Total)
+		}
+		merged = append(merged, recs.Records...)
+	}
+	sum := replayer.ReplayAll(merged)
+	if !sum.OK() {
+		return fmt.Errorf("verify: merged fleet replay diverged on %d of %d verdicts", sum.Diverged, sum.Total)
+	}
+	fmt.Fprintf(out, "verify: %d instance packs and the merged trail replay clean (%d/%d verdicts reproduced, %d skipped)\n",
+		len(fdep.Instances), sum.Matched, sum.Total, sum.Skipped)
+	return nil
+}
+
+// verifyFleetResize deploys a fresh 4-instance fleet rung at 3, grows it
+// to 4 a third of the way through a mixed run, and asserts the elasticity
+// invariants: zero transport errors, one verdict per request, no
+// monitor-error or unverified outcomes, and a remap set bounded by 40% of
+// the projects (rendezvous moves ~1/N′).
+func verifyFleetResize(opts loadgen.DeployOptions, out io.Writer) error {
+	const (
+		tenants  = 120
+		requests = 1800
+	)
+	fo := loadgen.FleetOptions{DeployOptions: opts, Instances: 4, TenantCount: tenants}
+	// The resize proof must attribute every anomaly to routing alone:
+	// no fault injection, no audit trail to slow it down, synchronous
+	// verification semantics stay whatever the main run used.
+	fo.Faults = nil
+	fo.AuditDir = ""
+	fo.MaxLog = requests + 1024
+	fdep, err := loadgen.DeployFleet(fo)
+	if err != nil {
+		return fmt.Errorf("verify: deploy resize fleet: %w", err)
+	}
+	defer fdep.Close()
+	if err := fdep.Resize(3); err != nil {
+		return fmt.Errorf("verify: shrink resize fleet: %w", err)
+	}
+	oldRing := fdep.Front.Ring()
+
+	var count atomic.Int64
+	var once sync.Once
+	var resizeErr error
+	tgt := fdep.Target
+	inner := tgt.HTTPClient.Transport
+	tgt.HTTPClient = &http.Client{Transport: tripperFunc(func(req *http.Request) (*http.Response, error) {
+		if count.Add(1) == requests/3 {
+			once.Do(func() { resizeErr = fdep.Resize(4) })
+		}
+		return inner.RoundTrip(req)
+	})}
+
+	sc, err := loadgen.Lookup("cinder-mixed")
+	if err != nil {
+		return err
+	}
+	sc.Name = "fleet-resize"
+	sc.Requests = requests
+	sc.Warmup = 0
+	sc.Prepopulate = 4
+	sc.Clients = 16
+	rep, err := loadgen.Run(sc, tgt)
+	if err != nil {
+		return fmt.Errorf("verify: resize run: %w", err)
+	}
+	if resizeErr != nil {
+		return fmt.Errorf("verify: mid-run resize: %w", resizeErr)
+	}
+	if rep.Errors != 0 {
+		return fmt.Errorf("verify: %d transport errors across the resize — requests were dropped", rep.Errors)
+	}
+	total := 0
+	for _, n := range rep.Verdicts {
+		total += n
+	}
+	if total != requests {
+		return fmt.Errorf("verify: resize run verdicts sum to %d, want %d — a request was dropped or double-judged", total, requests)
+	}
+	for _, outcome := range []monitor.Outcome{monitor.Error, monitor.Unverified} {
+		if n := rep.Verdicts[outcome.String()]; n != 0 {
+			return fmt.Errorf("verify: resize run recorded %d %s verdicts on a fault-free cloud — a request was misjudged", n, outcome)
+		}
+	}
+
+	newRing := fdep.Front.Ring()
+	if newRing.Size() != 4 {
+		return fmt.Errorf("verify: ring size %d after resize, want 4", newRing.Size())
+	}
+	moved := 0
+	for _, tn := range fdep.Tenants {
+		if oldRing.Owner(tn.ProjectID) != newRing.Owner(tn.ProjectID) {
+			moved++
+		}
+	}
+	if bound := tenants * 40 / 100; moved > bound {
+		return fmt.Errorf("verify: 3→4 resize moved %d of %d projects, want ≤ %d (40%%)", moved, tenants, bound)
+	}
+	st := fdep.Front.Stats()
+	if st.Remaps == 0 {
+		return fmt.Errorf("verify: resize recorded no remaps — the fourth instance took nothing over")
+	}
+	if int(st.Remaps) > moved {
+		return fmt.Errorf("verify: front recorded %d remaps for %d moved projects — a project remapped twice", st.Remaps, moved)
+	}
+	for project, owner := range fdep.Front.Owners() {
+		if want := newRing.Owner(project); owner != want {
+			return fmt.Errorf("verify: project %s stuck on %s after resize, ring assigns %s", project, owner, want)
+		}
+	}
+	fmt.Fprintf(out, "verify: 3→4 resize moved %d/%d projects (%d remaps, %d fence waits), zero dropped or misjudged\n",
+		moved, tenants, st.Remaps, st.FenceWaits)
+	return nil
+}
+
+// emitFleetPacks writes one signed evidence pack per instance under
+// outPath (a directory), named after the instance.
+func emitFleetPacks(fdep *loadgen.FleetDeployment, sc loadgen.Scenario, outPath, keyFile string, out io.Writer) error {
+	if len(fdep.Instances) == 0 || fdep.Instances[0].Audit == nil {
+		return fmt.Errorf("-pack needs the fleet deployment to run with an audit trail")
+	}
+	var priv ed25519.PrivateKey
+	var err error
+	if keyFile != "" {
+		if priv, err = evidence.LoadPrivateKey(keyFile); err != nil {
+			return err
+		}
+	} else {
+		if _, priv, err = evidence.GenerateKey(nil); err != nil {
+			return err
+		}
+	}
+	if err := os.MkdirAll(outPath, 0o755); err != nil {
+		return err
+	}
+	for _, in := range fdep.Instances {
+		if err := in.Audit.Sync(); err != nil {
+			return fmt.Errorf("pack: sync %s audit log: %w", in.ID, err)
+		}
+		res, err := evidence.BuildPack(in.AuditDir, filepath.Join(outPath, in.ID), evidence.PackOptions{
+			Key:       priv,
+			Scenario:  sc.Name,
+			SetDigest: in.Sys.Contracts.Digest(),
+			Tool:      "loadmon",
+		})
+		if err != nil {
+			return fmt.Errorf("pack %s: %w", in.ID, err)
+		}
+		fmt.Fprintf(out, "pack: %s: %d records in %d segments -> %s (pack %s, key %s)\n",
+			in.ID, res.Records, res.Segments, res.Path, res.PackID, res.KeyID)
+	}
+	return nil
+}
+
+type tripperFunc func(*http.Request) (*http.Response, error)
+
+func (f tripperFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }

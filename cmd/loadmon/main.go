@@ -74,6 +74,10 @@ func run(args []string, out io.Writer) error {
 	workers := fs.Int("snapshot-workers", 0, "bound the parallel snapshot pool (0 = default)")
 	cacheTTL := fs.Duration("cache-ttl", 0, "pre-state read-cache TTL (0 = disabled)")
 	faultsPath := fs.String("faults", "", "fault-injection profile (JSON) for the in-process cloud")
+	fleetN := fs.Int("fleet", 0, "deploy a sharded fleet of this many monitor instances behind a consistent-hash front (in-process only)")
+	fleetProjects := fs.Int("fleet-projects", 0, "tenant projects the fleet workload spreads across (0 = 4 × fleet size)")
+	fleetRTT := fs.Duration("fleet-rtt", 0, "simulated network round trip on every monitor→cloud request (fleet runs)")
+	fleetConns := fs.Int("fleet-conns", 0, "per-instance backend connection budget (fleet runs; 0 = unlimited)")
 	policyName := fs.String("fail-policy", "closed", "snapshot-failure policy: closed | open | degrade")
 	cloudTimeout := fs.Duration("cloud-timeout", 0, "shared cloud-facing deadline (snapshot attempts and forwards; 0 = default)")
 	retryAttempts := fs.Int("retry-attempts", 0, "override snapshot retry attempts (0 = default)")
@@ -149,8 +153,12 @@ func run(args []string, out io.Writer) error {
 
 	var tgt loadgen.Target
 	var dep *loadgen.Deployment
+	var fdep *loadgen.FleetDeployment
 	var depOpts loadgen.DeployOptions
 	if *target != "" {
+		if *fleetN > 0 {
+			return fmt.Errorf("-fleet deploys in process and cannot combine with -target")
+		}
 		if *verify {
 			return fmt.Errorf("-verify needs the in-process deployment (it reads monitor counters)")
 		}
@@ -234,12 +242,27 @@ func run(args []string, out io.Writer) error {
 			defer os.RemoveAll(tmp)
 			opts.AuditDir = tmp
 		}
-		dep, err = loadgen.Deploy(opts)
-		if err != nil {
-			return err
+		if *fleetN > 0 {
+			fdep, err = loadgen.DeployFleet(loadgen.FleetOptions{
+				DeployOptions: opts,
+				Instances:     *fleetN,
+				TenantCount:   *fleetProjects,
+				RTT:           *fleetRTT,
+				Conns:         *fleetConns,
+			})
+			if err != nil {
+				return err
+			}
+			defer fdep.Close()
+			tgt = fdep.Target
+		} else {
+			dep, err = loadgen.Deploy(opts)
+			if err != nil {
+				return err
+			}
+			defer dep.Close()
+			tgt = dep.Target
 		}
-		defer dep.Close()
-		tgt = dep.Target
 		depOpts = opts
 	}
 
@@ -261,26 +284,40 @@ func run(args []string, out io.Writer) error {
 	} else if _, err := fmt.Fprint(out, report.Text()); err != nil {
 		return err
 	}
+	if fdep != nil {
+		printFleetSummary(fdep, out)
+	}
 	if *verify {
 		if err := verifyReport(sc, report, policy, postMode, report.AsyncPost); err != nil {
 			return err
 		}
-		if err := verifyObs(dep, report); err != nil {
-			return err
+		if fdep != nil {
+			if err := verifyFleet(fdep, sc, report, depOpts, out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "verify: fleet invariants hold (aggregate verdicts ≡ federated metrics ≡ merged audit; routing stable; resize bounded)")
+		} else {
+			if err := verifyObs(dep, report); err != nil {
+				return err
+			}
+			if err := verifyFetch(sc, report, dep); err != nil {
+				return err
+			}
+			if err := verifyAsync(sc, report, dep, depOpts, out); err != nil {
+				return err
+			}
+			if err := verifyPackReplay(dep, sc, out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "verify: structural invariants hold (verdicts ≡ metrics ≡ audit ≡ fetch economy)")
 		}
-		if err := verifyFetch(sc, report, dep); err != nil {
-			return err
-		}
-		if err := verifyAsync(sc, report, dep, depOpts, out); err != nil {
-			return err
-		}
-		if err := verifyPackReplay(dep, sc, out); err != nil {
-			return err
-		}
-		fmt.Fprintln(out, "verify: structural invariants hold (verdicts ≡ metrics ≡ audit ≡ fetch economy)")
 	}
 	if *packOut != "" {
-		if err := emitPack(dep, sc, *packOut, *packKey, out); err != nil {
+		if fdep != nil {
+			if err := emitFleetPacks(fdep, sc, *packOut, *packKey, out); err != nil {
+				return err
+			}
+		} else if err := emitPack(dep, sc, *packOut, *packKey, out); err != nil {
 			return err
 		}
 	}

@@ -7,11 +7,13 @@ package cloudmon_test
 
 import (
 	"crypto/ed25519"
+	"encoding/json"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"cloudmon/internal/contract"
 	"cloudmon/internal/core"
@@ -497,4 +499,87 @@ func TestExperimentE19EvidencePack(t *testing.T) {
 		t.Fatalf("no pointed manifest-mismatch problem: %v", rep2.Problems)
 	}
 	t.Logf("E19 | tamper: 1 flipped byte -> %d verification problems", len(rep2.Problems))
+}
+
+// TestExperimentE20FleetScaling (E20): horizontal sharding pays off once
+// each monitor instance is bound by its per-process backend connection
+// budget and the cloud round-trip time. The same cinder-mixed workload
+// runs against fleets of N ∈ {1, 2, 4} instances behind the
+// consistent-hash front, every instance throttled to 2 backend
+// connections at 1 ms simulated RTT. Aggregate throughput must scale —
+// the gate is ≥ 2.5× at N=4 over N=1 — and the per-N results are
+// written to BENCH_fleet.json so the trajectory is tracked across
+// commits (`make fleetbench`).
+func TestExperimentE20FleetScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency-bound fleet experiment (a few seconds of simulated RTT)")
+	}
+	sc, err := loadgen.Lookup("cinder-mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Requests, sc.Warmup, sc.Clients, sc.Prepopulate = 2000, 160, 128, 4
+
+	const (
+		tenants      = 128
+		connsPerInst = 2
+		rtt          = time.Millisecond
+	)
+	type result struct {
+		Instances     int     `json:"instances"`
+		Requests      int     `json:"requests"`
+		ThroughputRPS float64 `json:"throughput_rps"`
+		Speedup       float64 `json:"speedup_vs_n1"`
+	}
+	var results []result
+	for _, n := range []int{1, 2, 4} {
+		fdep, err := loadgen.DeployFleet(loadgen.FleetOptions{
+			Instances: n, TenantCount: tenants, RTT: rtt, Conns: connsPerInst,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, runErr := loadgen.Run(sc, fdep.Target)
+		fdep.Close()
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		if rep.Errors != 0 {
+			t.Fatalf("E20 N=%d: %d request errors", n, rep.Errors)
+		}
+		results = append(results, result{Instances: n, Requests: rep.Requests, ThroughputRPS: rep.Throughput})
+		t.Logf("E20 | N=%d  conns/instance=%d  rtt=%s: %7.0f req/s",
+			n, connsPerInst, rtt, rep.Throughput)
+	}
+	base := results[0].ThroughputRPS
+	for i := range results {
+		results[i].Speedup = results[i].ThroughputRPS / base
+	}
+	speedup := results[len(results)-1].Speedup
+	t.Logf("E20 | aggregate speedup N=4 over N=1: %.2fx (gate >= 2.5x)", speedup)
+	if speedup < 2.5 {
+		t.Errorf("E20: N=4 speedup %.2fx < 2.5x over N=1", speedup)
+	}
+
+	out := struct {
+		Experiment       string   `json:"experiment"`
+		Scenario         string   `json:"scenario"`
+		RTTMillis        float64  `json:"rtt_ms"`
+		ConnsPerInstance int      `json:"conns_per_instance"`
+		Clients          int      `json:"clients"`
+		Tenants          int      `json:"tenants"`
+		Results          []result `json:"results"`
+	}{
+		Experiment: "E20", Scenario: sc.Name,
+		RTTMillis: float64(rtt) / float64(time.Millisecond), ConnsPerInstance: connsPerInst,
+		Clients: sc.Clients, Tenants: tenants, Results: results,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_fleet.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("E20 | wrote BENCH_fleet.json (%d bytes)", len(data)+1)
 }

@@ -98,6 +98,15 @@ type Options struct {
 	// Audit, when non-nil, is the append-only audit sink the monitor
 	// writes every violation and Unverified outcome to (see obs.AuditLog).
 	Audit *obs.AuditLog
+	// InstanceID names this monitor within a fleet: it is stamped on
+	// every audit record and attached to the registry as a constant
+	// instance label, so fleet metrics federate and fleet evidence packs
+	// attribute each verdict (see monitor.Config.InstanceID).
+	InstanceID string
+	// OnInvalidate receives the project id of every forwarded write —
+	// the fleet's cross-instance invalidation hook (see
+	// monitor.Config.OnInvalidate).
+	OnInvalidate func(project string)
 }
 
 // System is the assembled pipeline.
@@ -171,11 +180,16 @@ func Build(opts Options) (*System, error) {
 		PreStateCacheTTL: opts.PreStateCacheTTL,
 		DegradeTTL:       opts.DegradeTTL,
 		Audit:            opts.Audit,
+		InstanceID:       opts.InstanceID,
+		OnInvalidate:     opts.OnInvalidate,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	reg := &obs.Registry{}
+	if opts.InstanceID != "" {
+		reg.SetConstLabels(obs.L("instance", opts.InstanceID))
+	}
 	mon.RegisterMetrics(reg)
 	provider.RegisterMetrics(reg)
 	return &System{

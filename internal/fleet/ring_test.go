@@ -1,0 +1,119 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// syntheticProjects generates k deterministic project keys shaped like
+// the simulator's ids (hex-ish, prefixed).
+func syntheticProjects(k int) []string {
+	out := make([]string, k)
+	for i := range out {
+		out[i] = fmt.Sprintf("proj-%08x", i*2654435761)
+	}
+	return out
+}
+
+func instanceIDs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("m-%02d", i)
+	}
+	return out
+}
+
+// TestRingBalance: across 1k synthetic projects every instance's share
+// stays within ±20% of the fair share, at N ∈ {2, 4, 8}.
+func TestRingBalance(t *testing.T) {
+	const k = 1000
+	projects := syntheticProjects(k)
+	for _, n := range []int{2, 4, 8} {
+		ring, err := NewRing(instanceIDs(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[string]int)
+		for _, p := range projects {
+			counts[ring.Owner(p)]++
+		}
+		fair := float64(k) / float64(n)
+		lo, hi := fair*0.8, fair*1.2
+		for _, id := range ring.Instances() {
+			c := float64(counts[id])
+			if c < lo || c > hi {
+				t.Errorf("N=%d: instance %s owns %.0f projects, outside [%.0f, %.0f] (fair %.0f)",
+					n, id, c, lo, hi, fair)
+			}
+		}
+	}
+}
+
+// TestRingMinimalRemap: growing the ring by one instance moves at most
+// ceil(K/N')+ε keys (N' the new size), every moved key lands on the new
+// instance, and unmoved keys keep their owner — rendezvous hashing's
+// defining property, and the bound the mid-run resize invariant relies
+// on.
+func TestRingMinimalRemap(t *testing.T) {
+	const k = 1000
+	projects := syntheticProjects(k)
+	for _, n := range []int{2, 3, 4, 7} {
+		old, err := NewRing(instanceIDs(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		grown, err := NewRing(instanceIDs(n + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		newID := fmt.Sprintf("m-%02d", n)
+		moved := 0
+		for _, p := range projects {
+			before, after := old.Owner(p), grown.Owner(p)
+			if before == after {
+				continue
+			}
+			moved++
+			if after != newID {
+				t.Errorf("N=%d→%d: project %s moved %s→%s, not to the new instance %s",
+					n, n+1, p, before, after, newID)
+			}
+		}
+		// Fair share of the grown ring, with 20% slack for hash variance
+		// (the same ε the balance property grants).
+		bound := int(float64(k)/float64(n+1)*1.2) + 1
+		if moved > bound {
+			t.Errorf("N=%d→%d: %d of %d keys moved, want ≤ %d (~K/N')", n, n+1, moved, k, bound)
+		}
+		if moved == 0 {
+			t.Errorf("N=%d→%d: no keys moved — the new instance owns nothing", n, n+1)
+		}
+	}
+}
+
+// TestRingStability: ownership is a pure function of (key, instance set)
+// — same inputs, same owner, regardless of id order.
+func TestRingStability(t *testing.T) {
+	a, _ := NewRing([]string{"m-00", "m-01", "m-02"})
+	b, _ := NewRing([]string{"m-02", "m-00", "m-01"})
+	for _, p := range syntheticProjects(100) {
+		if a.Owner(p) != b.Owner(p) {
+			t.Fatalf("owner of %s depends on instance order: %s vs %s", p, a.Owner(p), b.Owner(p))
+		}
+		if a.Owner(p) != a.Owner(p) {
+			t.Fatalf("owner of %s is not deterministic", p)
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+	if _, err := NewRing([]string{""}); err == nil {
+		t.Error("empty id accepted")
+	}
+}

@@ -111,6 +111,16 @@ type Scenario struct {
 	Prepopulate int
 }
 
+// Tenant is one project of a multi-tenant workload, with the per-role
+// tokens scoped to it (OpenStack tokens are project-scoped, so each
+// tenant authenticates separately).
+type Tenant struct {
+	// ProjectID is the tenant's project.
+	ProjectID string
+	// Tokens maps role name -> X-Auth-Token for this project.
+	Tokens map[string]string
+}
+
 // Target is the system under test: the monitor proxy (or a bare cloud)
 // reachable through an HTTP client.
 type Target struct {
@@ -124,6 +134,12 @@ type Target struct {
 	// Tokens maps role name -> X-Auth-Token. The anonymous role maps to
 	// the empty token; roles absent from the map are issued unauthenticated.
 	Tokens map[string]string
+	// Tenants, when non-empty, spreads the workload across multiple
+	// projects: each request draws a tenant uniformly, and every tenant
+	// keeps its own volume pool and role clients. ProjectID/Tokens are
+	// ignored in that case. Fleet runs route per-project, so a
+	// multi-tenant workload is what exercises the sharding.
+	Tenants []Tenant
 	// Outcomes, if set, supplies the monitor's outcome counters; Run
 	// diffs it around the run to produce the report's verdict tallies.
 	Outcomes func() map[monitor.Outcome]int
@@ -255,23 +271,36 @@ func Run(sc Scenario, tgt Target) (*Report, error) {
 	if sc.Requests <= 0 && sc.Duration <= 0 {
 		return nil, fmt.Errorf("loadgen: scenario %q needs a Requests or Duration bound", sc.Name)
 	}
-	if tgt.ProjectID == "" {
-		return nil, fmt.Errorf("loadgen: target has no project id")
+	tenants := tgt.Tenants
+	if len(tenants) == 0 {
+		if tgt.ProjectID == "" {
+			return nil, fmt.Errorf("loadgen: target has no project id")
+		}
+		tenants = []Tenant{{ProjectID: tgt.ProjectID, Tokens: tgt.Tokens}}
 	}
 
-	pool := &volumePool{}
+	// One volume pool per tenant: ops on a tenant only ever address its
+	// own volumes, so a fleet's disjoint project ownership holds.
+	pools := make([]*volumePool, len(tenants))
+	for i := range pools {
+		pools[i] = &volumePool{}
+	}
 	prepopulate := sc.Prepopulate
 	if prepopulate == 0 {
 		prepopulate = 8
 	}
-	admin := tgt.client(RoleAdmin)
-	for i := 0; i < prepopulate; i++ {
-		id, status, err := createVolume(admin, tgt.ProjectID, fmt.Sprintf("seed-%d", i))
-		if err != nil && status == 0 {
-			return nil, fmt.Errorf("loadgen: prepopulate: %w", err)
-		}
-		if id != "" {
-			pool.add(id)
+	// Every tenant gets the full prepopulation so read/delete cells have
+	// targets regardless of how the mix lands across tenants.
+	for ti, tn := range tenants {
+		admin := tenantClient(tgt, tn, RoleAdmin)
+		for i := 0; i < prepopulate; i++ {
+			id, status, err := createVolume(admin, tn.ProjectID, fmt.Sprintf("seed-%d", i))
+			if err != nil && status == 0 {
+				return nil, fmt.Errorf("loadgen: prepopulate %s: %w", tn.ProjectID, err)
+			}
+			if id != "" {
+				pools[ti].add(id)
+			}
 		}
 	}
 
@@ -326,10 +355,11 @@ func Run(sc Scenario, tgt Target) (*Report, error) {
 			wk := worker{
 				sc:      sc,
 				tgt:     tgt,
-				pool:    pool,
+				tenants: tenants,
+				pools:   pools,
 				rng:     rng,
 				rec:     rec,
-				clients: clientsFor(tgt),
+				clients: make(map[string]*osclient.Client),
 				weights: sc.Mix,
 				total:   total,
 			}
@@ -400,32 +430,36 @@ func dispatch(arrivals chan<- time.Time, rate float64, budget int, deadline time
 	close(arrivals)
 }
 
-// clientsFor builds one osclient per role so workers never share token
-// state.
-func clientsFor(tgt Target) map[string]*osclient.Client {
-	out := make(map[string]*osclient.Client, len(tgt.Tokens)+1)
-	for role, tok := range tgt.Tokens {
-		out[role] = &osclient.Client{BaseURL: tgt.BaseURL, Token: tok, HTTPClient: tgt.HTTPClient}
-	}
-	return out
-}
-
-// client returns a fresh osclient for the role (empty token when the role
-// is unknown — the anonymous requester).
-func (t Target) client(role string) *osclient.Client {
-	return &osclient.Client{BaseURL: t.BaseURL, Token: t.Tokens[role], HTTPClient: t.HTTPClient}
+// tenantClient builds a fresh osclient for the role within the tenant
+// (empty token when the role is unknown — the anonymous requester).
+func tenantClient(tgt Target, tn Tenant, role string) *osclient.Client {
+	return &osclient.Client{BaseURL: tgt.BaseURL, Token: tn.Tokens[role], HTTPClient: tgt.HTTPClient}
 }
 
 // worker is one concurrent client of the run.
 type worker struct {
 	sc      Scenario
 	tgt     Target
-	pool    *volumePool
+	tenants []Tenant
+	pools   []*volumePool
 	rng     *rand.Rand
 	rec     *recorder
+	// clients caches one osclient per (role, tenant) so workers never
+	// share token state; keyed "role|project".
 	clients map[string]*osclient.Client
 	weights []OpSpec
 	total   int
+}
+
+// client returns the worker's cached client for the role within tenant ti.
+func (wk *worker) client(ti int, role string) *osclient.Client {
+	key := role + "|" + wk.tenants[ti].ProjectID
+	c, ok := wk.clients[key]
+	if !ok {
+		c = tenantClient(wk.tgt, wk.tenants[ti], role)
+		wk.clients[key] = c
+	}
+	return c
 }
 
 // loop issues requests until the budget, deadline or arrival stream ends.
@@ -478,15 +512,16 @@ func (wk *worker) pickOp() OpSpec {
 // workload behaving), not an error; only transport failures count as
 // errors.
 func (wk *worker) exec(cell OpSpec) (int, error) {
-	c, ok := wk.clients[cell.Role]
-	if !ok {
-		c = wk.tgt.client(cell.Role)
-		wk.clients[cell.Role] = c
+	ti := 0
+	if len(wk.tenants) > 1 {
+		ti = wk.rng.Intn(len(wk.tenants))
 	}
-	pid := wk.tgt.ProjectID
+	c := wk.client(ti, cell.Role)
+	pid := wk.tenants[ti].ProjectID
+	pool := wk.pools[ti]
 	switch cell.Op {
 	case OpGetVolume:
-		id, ok := wk.pool.pick(wk.rng)
+		id, ok := pool.pick(wk.rng)
 		if !ok {
 			id = missingVolumeID
 		}
@@ -494,25 +529,25 @@ func (wk *worker) exec(cell OpSpec) (int, error) {
 	case OpCreateVolume:
 		id, status, err := createVolume(c, pid, fmt.Sprintf("load-%d", wk.rng.Int63()))
 		if id != "" {
-			wk.pool.add(id)
+			pool.add(id)
 		}
 		return status, err
 	case OpUpdateVolume:
-		id, ok := wk.pool.pick(wk.rng)
+		id, ok := pool.pick(wk.rng)
 		if !ok {
 			id = missingVolumeID
 		}
 		in := map[string]map[string]any{"volume": {"name": fmt.Sprintf("ren-%d", wk.rng.Int63())}}
 		return c.Do(http.MethodPut, "/projects/"+pid+"/volumes/"+id, in, nil, nil)
 	case OpDeleteVolume:
-		id, ok := wk.pool.take(wk.rng)
+		id, ok := pool.take(wk.rng)
 		if !ok {
 			id = missingVolumeID
 		}
 		status, err := c.Do(http.MethodDelete, "/projects/"+pid+"/volumes/"+id, nil, nil, nil)
 		if err != nil && id != missingVolumeID {
 			// The delete did not go through: keep the volume reachable.
-			wk.pool.add(id)
+			pool.add(id)
 		}
 		return status, err
 	}

@@ -457,9 +457,7 @@ func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[strin
 			}
 			v.Forwarded = true
 			v.BackendStatus = resp.StatusCode
-			if m.cache != nil && r.Method != http.MethodGet {
-				m.cache.invalidateProject(params["project_id"])
-			}
+			m.forwardedWrite(r.Method, params["project_id"])
 			return finish(Unverified, fmt.Sprintf("pre-state snapshot failed (fail-open): %v", err)), resp, nil
 		}
 		return finish(Error, fmt.Sprintf("pre-state snapshot: %v", err)), nil, nil
@@ -626,11 +624,9 @@ func (m *Monitor) checkLazy(r *http.Request, cr *compiledRoute, params map[strin
 	}
 	v.Forwarded = true
 	v.BackendStatus = resp.StatusCode
-	if m.cache != nil && r.Method != http.MethodGet {
-		// A forwarded write may change any state the project's contracts
-		// read: drop the project's cached pre-state.
-		m.cache.invalidateProject(params["project_id"])
-	}
+	// A forwarded write may change any state the project's contracts
+	// read: drop the project's cached pre-state and tell the fleet hook.
+	m.forwardedWrite(r.Method, params["project_id"])
 
 	if !preOK {
 		// Observe mode with a forbidden request: the cloud must reject it.

@@ -408,6 +408,18 @@ type Config struct {
 	// PostBackpressure decides what a saturated queue does to the
 	// response path (defaults to BackpressureBlock).
 	PostBackpressure BackpressurePolicy
+	// InstanceID names this monitor within a fleet. It is stamped on
+	// every audit record (obs.AuditRecord.Instance) so evidence packs cut
+	// from a fleet's merged trails attribute each verdict to the engine
+	// that produced it. Empty for single-instance deployments.
+	InstanceID string
+	// OnInvalidate, if set, is invoked synchronously with the project id
+	// whenever the monitor forwards a write (non-GET) — the hook the
+	// fleet's cross-instance invalidation bus hangs off: an instance that
+	// mutates state for a project it does not own posts a generation bump
+	// to the owner. The local pre-state cache is always invalidated first,
+	// regardless of this hook.
+	OnInvalidate func(project string)
 }
 
 // Monitor is the cloud monitor. Safe for concurrent use.
@@ -428,6 +440,8 @@ type Monitor struct {
 	onVerdict   func(Verdict)
 	cache       *snapshotCache
 	audit       *obs.AuditLog
+	instanceID  string
+	onInvalid   func(project string)
 	// flights coalesces identical concurrent pre-state GETs (lazy engine).
 	flights *flightGroup
 	// post/postBackpressure/asyncPost form the deferred post-verification
@@ -561,6 +575,8 @@ func New(cfg Config) (*Monitor, error) {
 		failPolicy:   policy,
 		onVerdict:    cfg.OnVerdict,
 		audit:        cfg.Audit,
+		instanceID:   cfg.InstanceID,
+		onInvalid:    cfg.OnInvalidate,
 		maxLog:       maxLog,
 		shardMax:     (maxLog + logShards - 1) / logShards,
 		tracer:       obs.NewTracer(),
@@ -763,9 +779,7 @@ func (m *Monitor) checkEager(r *http.Request, cr *compiledRoute, params map[stri
 			}
 			v.Forwarded = true
 			v.BackendStatus = resp.StatusCode
-			if m.cache != nil && r.Method != http.MethodGet {
-				m.cache.invalidateProject(params["project_id"])
-			}
+			m.forwardedWrite(r.Method, params["project_id"])
 			return finish(Unverified, fmt.Sprintf("pre-state snapshot failed (fail-open): %v", err)), resp
 		}
 		// FailClosed (and Degrade with a cold cache): nothing
@@ -794,11 +808,9 @@ func (m *Monitor) checkEager(r *http.Request, cr *compiledRoute, params map[stri
 	}
 	v.Forwarded = true
 	v.BackendStatus = resp.StatusCode
-	if m.cache != nil && r.Method != http.MethodGet {
-		// A forwarded write may change any state the project's contracts
-		// read: drop the project's cached pre-state.
-		m.cache.invalidateProject(params["project_id"])
-	}
+	// A forwarded write may change any state the project's contracts
+	// read: drop the project's cached pre-state and tell the fleet hook.
+	m.forwardedWrite(r.Method, params["project_id"])
 
 	if !preOK {
 		// Observe mode with a forbidden request: the cloud must reject it.
@@ -960,12 +972,44 @@ func (m *Monitor) record(v Verdict) {
 	m.pathsFetched.ObserveCount(v.FetchedPaths)
 	m.tracer.Observe(&v.Trace)
 	if m.audit != nil && v.Outcome != OK {
-		m.audit.Append(auditRecord(&v))
+		rec := auditRecord(&v)
+		rec.Instance = m.instanceID
+		m.audit.Append(rec)
 	}
 	if m.onVerdict != nil {
 		m.onVerdict(v)
 	}
 }
+
+// forwardedWrite runs the cache-coherence consequences of a forwarded
+// mutation: the project's cached pre-state is dropped and the
+// OnInvalidate hook fires so a fleet can bump the owning instance's
+// generation. Reads are free — they change no state.
+func (m *Monitor) forwardedWrite(method, project string) {
+	if method == http.MethodGet {
+		return
+	}
+	if m.cache != nil {
+		m.cache.invalidateProject(project)
+	}
+	if m.onInvalid != nil {
+		m.onInvalid(project)
+	}
+}
+
+// InvalidateProject bumps the project's pre-state cache generation: every
+// cached snapshot for the project becomes unusable at once. The fleet's
+// invalidation bus calls this on the owning instance when another
+// instance forwarded a write for the project (resize-driven remaps leave
+// such windows); it is a no-op without the pre-state cache.
+func (m *Monitor) InvalidateProject(project string) {
+	if m.cache != nil {
+		m.cache.invalidateProject(project)
+	}
+}
+
+// InstanceID returns the fleet instance id ("" outside fleets).
+func (m *Monitor) InstanceID() string { return m.instanceID }
 
 // auditRecord converts a verdict into the durable audit shape. Late
 // verdicts carry both timestamps — when the response returned and how far

@@ -31,6 +31,11 @@ type AuditRecord struct {
 	// legacy records written before stamping existed.
 	SchemaID      string `json:"schema_id,omitempty"`
 	SchemaVersion string `json:"schema_version,omitempty"`
+	// Instance identifies the monitor instance that produced the record
+	// (monitor.Config.InstanceID). Empty outside fleet deployments; the
+	// field is additive, so single-instance trails and their packs are
+	// byte-compatible with earlier readers.
+	Instance string `json:"instance,omitempty"`
 	// Seq is the chain sequence number, assigned by the log. Contiguous
 	// within and across segments; auditctl verify checks the chain.
 	Seq uint64 `json:"seq"`

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestConstLabelsRoundTrip renders a registry carrying a constant
+// instance label and parses it back: every sample — counters, keyed
+// counters, gauges, and all three histogram series — must carry the
+// label, and values must survive the round trip.
+func TestConstLabelsRoundTrip(t *testing.T) {
+	var c Counter
+	c.Add(42)
+	var kc KeyedCounter
+	kc.Add("ok", 7)
+	kc.Add("blocked", 3)
+	h := NewDurationHistogram()
+	h.Observe(3 * time.Millisecond)
+	h.Observe(40 * time.Millisecond)
+
+	reg := &Registry{}
+	reg.SetConstLabels(L("instance", "m-01"))
+	reg.Collect(func(w *MetricsWriter) {
+		w.Counter("t_total", "a counter", float64(c.Value()))
+		w.KeyedCounter("t_verdicts_total", "keyed", &kc, "outcome")
+		w.Gauge("t_gauge", "a gauge", 1.5)
+		w.Histogram("t_latency_seconds", "a histogram", h)
+	})
+
+	text := reg.Render()
+	samples, err := ParseText([]byte(text))
+	if err != nil {
+		t.Fatalf("ParseText: %v\n%s", err, text)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples rendered")
+	}
+	for _, s := range samples {
+		if s.Label("instance") != "m-01" {
+			t.Errorf("sample %s%v lacks the constant instance label", s.Name, s.Labels)
+		}
+	}
+	if got := CounterByLabel(samples, "t_verdicts_total", "outcome"); got["ok"] != 7 || got["blocked"] != 3 {
+		t.Errorf("keyed counter round trip: got %v", got)
+	}
+	if got := Find(samples, "t_total"); len(got) != 1 || got[0].Value != 42 {
+		t.Errorf("counter round trip: got %v", got)
+	}
+	snap, ok := HistogramFromSamples(samples, "t_latency_seconds", "instance", "m-01")
+	if !ok {
+		t.Fatal("histogram did not survive the instance-selector round trip")
+	}
+	if snap.Count != 2 {
+		t.Errorf("histogram count = %d, want 2", snap.Count)
+	}
+}
+
+// TestConstLabelsShadowing: a per-sample label of the same name beats the
+// constant, and an unset registry renders no extra labels.
+func TestConstLabelsShadowing(t *testing.T) {
+	reg := &Registry{}
+	reg.SetConstLabels(L("instance", "m-01"))
+	reg.Collect(func(w *MetricsWriter) {
+		w.Counter("t_total", "c", 1, L("instance", "override"))
+	})
+	if text := reg.Render(); !strings.Contains(text, `instance="override"`) ||
+		strings.Contains(text, `instance="m-01"`) {
+		t.Errorf("per-sample label did not shadow the constant:\n%s", text)
+	}
+
+	plain := &Registry{}
+	plain.Collect(func(w *MetricsWriter) { w.Counter("t_total", "c", 1) })
+	if text := plain.Render(); strings.Contains(text, "{") {
+		t.Errorf("registry without const labels rendered labels:\n%s", text)
+	}
+}
+
+// TestMergeExpositions merges two instance documents: one header per
+// metric, every sample kept, and the merged text still parses and sums.
+func TestMergeExpositions(t *testing.T) {
+	docs := make([]string, 2)
+	for i, id := range []string{"m-00", "m-01"} {
+		var c Counter
+		c.Add(uint64(10 * (i + 1)))
+		reg := &Registry{}
+		reg.SetConstLabels(L("instance", id))
+		reg.Collect(func(w *MetricsWriter) {
+			w.Counter("t_requests_total", "requests", float64(c.Value()))
+		})
+		docs[i] = reg.Render()
+	}
+	merged := MergeExpositions(docs...)
+	if n := strings.Count(merged, "# HELP t_requests_total"); n != 1 {
+		t.Errorf("HELP header appears %d times, want 1\n%s", n, merged)
+	}
+	if n := strings.Count(merged, "# TYPE t_requests_total"); n != 1 {
+		t.Errorf("TYPE header appears %d times, want 1\n%s", n, merged)
+	}
+	samples, err := ParseText([]byte(merged))
+	if err != nil {
+		t.Fatalf("merged document does not parse: %v\n%s", err, merged)
+	}
+	byInst := CounterByLabel(samples, "t_requests_total", "instance")
+	if byInst["m-00"] != 10 || byInst["m-01"] != 20 {
+		t.Errorf("merged per-instance sums: got %v", byInst)
+	}
+}

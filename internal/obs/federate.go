@@ -1,0 +1,35 @@
+package obs
+
+import "strings"
+
+// MergeExpositions concatenates several Prometheus text exposition
+// documents into one, keeping a single # HELP / # TYPE header per metric
+// name — the shape a fleet front's /metrics federation endpoint serves
+// after scraping every instance. Sample lines pass through verbatim (each
+// instance's registry already distinguishes its series with a constant
+// instance label), so the merged document parses with ParseText and sums
+// with CounterByLabel exactly like a single registry's output.
+func MergeExpositions(docs ...string) string {
+	var sb strings.Builder
+	seenHeader := make(map[string]bool)
+	for _, doc := range docs {
+		for _, line := range strings.Split(doc, "\n") {
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+				fields := strings.Fields(line)
+				if len(fields) >= 3 {
+					key := fields[1] + " " + fields[2]
+					if seenHeader[key] {
+						continue
+					}
+					seenHeader[key] = true
+				}
+			}
+			sb.WriteString(line)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

@@ -88,6 +88,7 @@ func L(name, value string) Label { return Label{Name: name, Value: value} }
 type Registry struct {
 	mu         sync.Mutex
 	collectors []func(w *MetricsWriter)
+	constLbls  []Label
 }
 
 // Collect registers a producer invoked on every scrape.
@@ -97,13 +98,37 @@ func (r *Registry) Collect(f func(w *MetricsWriter)) {
 	r.mu.Unlock()
 }
 
+// SetConstLabels attaches a constant label set to every sample the
+// registry renders — histogram _bucket/_sum/_count series included. A
+// fleet member identifies itself this way (instance="m-01") without any
+// producer knowing it runs in a fleet. Labels are sorted by name; a
+// per-sample label with the same name wins over the constant.
+func (r *Registry) SetConstLabels(labels ...Label) {
+	sorted := make([]Label, len(labels))
+	copy(sorted, labels)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	r.mu.Lock()
+	r.constLbls = sorted
+	r.mu.Unlock()
+}
+
+// ConstLabels returns the registry's constant label set (nil when unset).
+func (r *Registry) ConstLabels() []Label {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Label, len(r.constLbls))
+	copy(out, r.constLbls)
+	return out
+}
+
 // Render produces the full exposition document.
 func (r *Registry) Render() string {
-	w := &MetricsWriter{seen: make(map[string]bool)}
 	r.mu.Lock()
 	collectors := make([]func(w *MetricsWriter), len(r.collectors))
 	copy(collectors, r.collectors)
+	constLbls := r.constLbls
 	r.mu.Unlock()
+	w := &MetricsWriter{seen: make(map[string]bool), constLbls: constLbls}
 	for _, f := range collectors {
 		f(w)
 	}
@@ -122,8 +147,32 @@ func (r *Registry) Handler() http.Handler {
 // headers are emitted once per metric name regardless of how many
 // producers contribute samples to it.
 type MetricsWriter struct {
-	sb   strings.Builder
-	seen map[string]bool
+	sb        strings.Builder
+	seen      map[string]bool
+	constLbls []Label
+}
+
+// withConst merges the writer's constant labels into a sample's label
+// set. Per-sample labels shadow a constant of the same name.
+func (w *MetricsWriter) withConst(labels []Label) []Label {
+	if len(w.constLbls) == 0 {
+		return labels
+	}
+	merged := make([]Label, 0, len(labels)+len(w.constLbls))
+	merged = append(merged, labels...)
+	for _, c := range w.constLbls {
+		shadowed := false
+		for _, l := range labels {
+			if l.Name == c.Name {
+				shadowed = true
+				break
+			}
+		}
+		if !shadowed {
+			merged = append(merged, c)
+		}
+	}
+	return merged
 }
 
 // header writes the # HELP / # TYPE preamble once per name.
@@ -167,13 +216,13 @@ func formatValue(v float64) string {
 // Counter emits one counter sample.
 func (w *MetricsWriter) Counter(name, help string, value float64, labels ...Label) {
 	w.header(name, help, "counter")
-	fmt.Fprintf(&w.sb, "%s%s %s\n", name, labelString(labels), formatValue(value))
+	fmt.Fprintf(&w.sb, "%s%s %s\n", name, labelString(w.withConst(labels)), formatValue(value))
 }
 
 // Gauge emits one gauge sample.
 func (w *MetricsWriter) Gauge(name, help string, value float64, labels ...Label) {
 	w.header(name, help, "gauge")
-	fmt.Fprintf(&w.sb, "%s%s %s\n", name, labelString(labels), formatValue(value))
+	fmt.Fprintf(&w.sb, "%s%s %s\n", name, labelString(w.withConst(labels)), formatValue(value))
 }
 
 // KeyedCounter emits one counter sample per key of kc, with the key as
@@ -198,14 +247,14 @@ func (w *MetricsWriter) Histogram(name, help string, h *Histogram, labels ...Lab
 	cum := uint64(0)
 	for i, bound := range snap.Bounds {
 		cum += snap.Counts[i]
-		ls := append([]Label{L("le", formatLe(bound))}, labels...)
+		ls := w.withConst(append([]Label{L("le", formatLe(bound))}, labels...))
 		fmt.Fprintf(&w.sb, "%s_bucket%s %d\n", name, labelString(ls), cum)
 	}
 	cum += snap.Counts[len(snap.Bounds)]
-	ls := append([]Label{L("le", "+Inf")}, labels...)
+	ls := w.withConst(append([]Label{L("le", "+Inf")}, labels...))
 	fmt.Fprintf(&w.sb, "%s_bucket%s %d\n", name, labelString(ls), cum)
-	fmt.Fprintf(&w.sb, "%s_sum%s %g\n", name, labelString(labels), snap.Sum)
-	fmt.Fprintf(&w.sb, "%s_count%s %d\n", name, labelString(labels), snap.Count)
+	fmt.Fprintf(&w.sb, "%s_sum%s %g\n", name, labelString(w.withConst(labels)), snap.Sum)
+	fmt.Fprintf(&w.sb, "%s_count%s %d\n", name, labelString(w.withConst(labels)), snap.Count)
 }
 
 // formatLe renders a bucket bound without trailing zeros.
